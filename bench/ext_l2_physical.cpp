@@ -1,0 +1,152 @@
+//===- bench/ext_l2_physical.cpp - L2-level RCD extension ------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Extension experiment (beyond the paper): RCD analysis at the
+// physically-indexed L2 (the paper's footnote 1 declares this out of
+// scope). The experiment profiles a 32KiB-strided walk — one that maps
+// every access to a single L2 set under identity mapping — at L2 under
+// the three page-mapping policies, and re-runs the ADI case study at L2.
+//
+// The point: above L1, both the victim sets and the verdict depend on
+// how the OS happened to lay pages out. A page covers 64 of the 512 L2
+// sets, so for an access at a fixed page offset only the frame's low
+// bits reach the index: page scattering reshapes rather than repairs a
+// super-page stride (identity pins it to one set; first-touch spreads
+// it periodically over eight; shuffling randomizes the order), and it
+// can *create* L2 conflicts for patterns that were regular virtually
+// (ADI under a fragmented layout).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "cfg/SyntheticCodeGen.h"
+
+#include "support/Table.h"
+#include "workloads/Adi.h"
+
+#include <iostream>
+
+using namespace ccprof;
+using namespace ccprof::bench;
+
+namespace {
+
+const char *policyName(PagePolicy Policy) {
+  switch (Policy) {
+  case PagePolicy::Identity:
+    return "identity";
+  case PagePolicy::FirstTouch:
+    return "first-touch";
+  case PagePolicy::Shuffled:
+    return "shuffled";
+  }
+  return "?";
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== Extension: RCD analysis at the physically-indexed L2 "
+               "===\n\n";
+
+  const CacheGeometry L2(256 * 1024, 64, 8); // 512 sets, 32KiB stride
+
+  // --- Synthetic 32KiB-strided walk ------------------------------------
+  Trace Strided;
+  SiteId Site = Strided.site("stride32k.cpp", 11, "walk");
+  Strided.registerAllocation("arena[]",
+                             reinterpret_cast<int *>(0x40000000),
+                             128ull * L2.setStrideBytes() + 64);
+  for (int Round = 0; Round < 20; ++Round)
+    for (uint64_t Row = 0; Row < 128; ++Row)
+      Strided.recordLoad(Site, 0x40000000 + Row * L2.setStrideBytes(), 4);
+
+  // A loop-shaped binary for attribution.
+  BinaryImage Image = [] {
+    LoopSpec Walk;
+    Walk.HeaderLine = 10;
+    Walk.EndLine = 13;
+    Walk.AccessLines = {11};
+    FunctionSpec F;
+    F.Name = "walk";
+    F.StartLine = 5;
+    F.EndLine = 20;
+    F.Loops = {Walk};
+    return lowerToBinary("stride32k.cpp", {F});
+  }();
+  ProgramStructure Structure(Image);
+
+  std::cout << "32KiB-strided walk (128 rows, 20 sweeps) profiled at L2 "
+               "(512 sets):\n\n";
+  TextTable Table({"page mapping", "L2 events", "#sets", "cf(RCD<64)",
+                   "verdict"});
+  for (PagePolicy Policy : {PagePolicy::Identity, PagePolicy::FirstTouch,
+                            PagePolicy::Shuffled}) {
+    ProfileOptions Options;
+    Options.Level = ProfileLevel::L2;
+    Options.L2 = L2;
+    Options.Mapping = Policy;
+    // Scale the short-RCD threshold with the set count: the paper's
+    // T = 8 is numSets/8 of its 64-set L1.
+    Options.RcdThreshold = L2.numSets() / 8;
+    Profiler P(Options);
+    ProfileResult Result = P.profileExact(Strided, Structure);
+    const LoopConflictReport *Hot = Result.hottest();
+    Table.addRow({policyName(Policy), fmt::grouped(Result.L1Misses),
+                  Hot ? std::to_string(Hot->SetsUtilized) : "-",
+                  Hot ? fmt::percent(Hot->ContributionFactor) : "-",
+                  Hot ? (Hot->ConflictPredicted ? "CONFLICT" : "clean")
+                      : "-"});
+  }
+  std::cout << Table.render() << '\n';
+
+  // --- ADI at L2 --------------------------------------------------------
+  std::cout << "ADI (4KiB rows == exactly one page) profiled at L2 under "
+               "each mapping:\n\n";
+  AdiWorkload Adi;
+  BinaryImage AdiImage = Adi.makeBinary();
+  ProgramStructure AdiStructure(AdiImage);
+  TextTable AdiTable({"variant", "page mapping", "L2 events", "#sets",
+                      "cf(RCD<64)", "verdict"});
+  for (WorkloadVariant Variant :
+       {WorkloadVariant::Original, WorkloadVariant::Optimized}) {
+    Trace AdiTrace = traceWorkload(Adi, Variant);
+    for (PagePolicy Policy : {PagePolicy::Identity, PagePolicy::FirstTouch,
+                              PagePolicy::Shuffled}) {
+      ProfileOptions Options;
+      Options.Level = ProfileLevel::L2;
+      Options.L2 = L2;
+      Options.Mapping = Policy;
+      Options.RcdThreshold = L2.numSets() / 8;
+      Profiler P(Options);
+      ProfileResult Result = P.profileExact(AdiTrace, AdiStructure);
+      const LoopConflictReport *Hot =
+          Result.byLocation(Adi.hotLoopLocation());
+      if (!Hot)
+        Hot = Result.hottest();
+      AdiTable.addRow(
+          {Variant == WorkloadVariant::Original ? "original" : "padded",
+           policyName(Policy), fmt::grouped(Result.L1Misses),
+           Hot ? std::to_string(Hot->SetsUtilized) : "-",
+           Hot ? fmt::percent(Hot->ContributionFactor) : "-",
+           Hot ? (Hot->ConflictPredicted ? "CONFLICT" : "clean") : "-"});
+    }
+  }
+  std::cout << AdiTable.render() << '\n';
+
+  std::cout
+      << "Takeaways: (1) ADI's page-sized row stride conflicts at L2 "
+         "under every mapping, and\nthe pad that fixes L1 helps L2 — "
+         "consistent with the paper's measured L2 miss\nreductions "
+         "(Table 3). (2) For the synthetic walk, *which* sets are "
+         "victims and how\nhard they are hit depends entirely on the "
+         "physical layout: attribution above L1\nneeds the real page "
+         "mapping, which is why the paper scopes its measurement to\nthe "
+         "virtually-indexed L1 (footnote 1).\n";
+  return 0;
+}

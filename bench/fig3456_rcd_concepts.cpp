@@ -1,0 +1,125 @@
+//===- bench/fig3456_rcd_concepts.cpp - Paper Figs. 3-6 walkthrough -------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the concept figures of paper Sec. 3 on their own example
+// sequences: the miss-per-set histogram (Fig. 3), the loop-phase
+// locality pattern (Fig. 4), the Re-Conflict Distance and its
+// distribution (Fig. 5), and the conflict period against the sampling
+// period (Fig. 6).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RcdAnalyzer.h"
+#include "pmu/PebsSampler.h"
+#include "sim/MachineConfig.h"
+#include "support/Table.h"
+
+#include <iostream>
+#include <vector>
+
+using namespace ccprof;
+
+namespace {
+
+/// The miss sequence of paper Figs. 3/5 (sets of successive misses).
+const std::vector<uint64_t> PaperSequence = {1, 1, 2, 1, 3, 2, 1, 0, 3, 1};
+
+void figure3() {
+  std::cout << "--- Figure 3: miss sequence and per-set histogram ---\n";
+  std::cout << "sequence:";
+  for (uint64_t Set : PaperSequence)
+    std::cout << " S" << Set;
+  std::cout << '\n';
+
+  RcdProfile P(4);
+  for (uint64_t Set : PaperSequence)
+    P.addMiss(Set);
+  TextTable Table({"set", "misses"});
+  for (uint64_t Set = 0; Set < 4; ++Set)
+    Table.addRow({"S" + std::to_string(Set),
+                  std::to_string(P.missesOnSet(Set))});
+  std::cout << Table.render();
+  std::cout << "set S1 absorbs " << P.missesOnSet(1)
+            << " of 10 misses: imbalanced utilization -> victim set\n\n";
+}
+
+void figure4() {
+  std::cout << "--- Figure 4: temporal locality of victim sets ---\n";
+  // Iterations I1-I3 conflict on S1, I4-I5 on S2/S3, then S1 again.
+  RcdProfile P(4);
+  std::vector<uint64_t> Phased = {1, 1, 1, 2, 3, 2, 3, 1, 1, 1};
+  for (uint64_t Set : Phased)
+    P.addMiss(Set);
+  std::cout << "phase 1 (I1-I3) hammers S1, phase 2 (I4-I5) S2/S3, "
+               "phase 3 returns to S1\n"
+            << "set S1 RCD histogram (1 = back-to-back conflicts):\n"
+            << P.rcdOfSet(1).toAsciiChart(6) << '\n';
+}
+
+void figure5() {
+  std::cout << "--- Figure 5: Re-Conflict Distance of set S1 ---\n";
+  RcdProfile P(4);
+  for (uint64_t Set : PaperSequence)
+    P.addMiss(Set);
+  std::cout << "RCD observations of S1 over the Fig. 3 sequence:\n"
+            << P.rcdOfSet(1).toAsciiChart(6);
+  std::cout << "distribution skewed toward 1-3 (" << P.rcdOfSet(1).total()
+            << " observations, mean "
+            << fmt::fixed(P.rcdOfSet(1).meanKey(), 2)
+            << ") -> S1 is a victim of imbalanced utilization\n\n";
+}
+
+void figure6() {
+  std::cout << "--- Figure 6: conflict period vs sampling period ---\n";
+  // A long stable phase (constant RCD) followed by a phase change.
+  RcdProfile P(4);
+  for (int Round = 0; Round < 12; ++Round) {
+    P.addMiss(1);
+    P.addMiss(2);
+  }
+  for (int Round = 0; Round < 6; ++Round)
+    P.addMiss(3);
+  std::cout << "conflict-period run lengths (constant-RCD streaks):\n"
+            << P.conflictPeriods().RunLengths.toAsciiChart(6);
+  std::cout << "max CP = " << P.conflictPeriods().maxRunLength()
+            << " misses; sampling catches a victim set only while the "
+               "sampling period fits inside the CP\n\n";
+
+  // Demonstrate: sample the same stable phase at two periods.
+  std::vector<MissEvent> Stream;
+  for (int Round = 0; Round < 4000; ++Round) {
+    Stream.push_back(MissEvent{1, (Round % 2 == 0 ? 0u : 1u) * 64});
+  }
+  for (uint64_t Period : {4ull, 64ull}) {
+    SamplingConfig Config;
+    Config.Kind = SamplingKind::Bursty;
+    Config.MeanPeriod = Period;
+    Config.BurstLen = 8;
+    PebsSampler Sampler(Config);
+    auto Samples = Sampler.sampleStream(Stream);
+    RcdProfile Approx(64);
+    CacheGeometry G = paperL1Geometry();
+    for (const PebsSample &S : Samples)
+      Approx.addMiss(G.setIndexOf(S.Event.Addr));
+    std::cout << "period " << Period << ": " << Samples.size()
+              << " samples, approximated cf(RCD<8) = "
+              << fmt::percent(Approx.contributionFactor(8)) << '\n';
+  }
+  std::cout << "(both periods see the stable two-set conflict; the "
+               "denser one measures it more precisely)\n";
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== Figures 3-6: RCD concept walkthrough ===\n\n";
+  figure3();
+  figure4();
+  figure5();
+  figure6();
+  return 0;
+}

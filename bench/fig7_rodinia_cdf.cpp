@@ -1,0 +1,62 @@
+//===- bench/fig7_rodinia_cdf.cpp - Paper Fig. 7 reproduction -------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces paper Fig. 7: the cumulative distribution of sampled RCDs
+// for the hot loop of each of the 18 Rodinia applications. The paper's
+// observation: Needleman-Wunsch concentrates ~88% of its L1 misses below
+// RCD 8, while every other application keeps short-RCD mass at 10-20%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace ccprof;
+using namespace ccprof::bench;
+
+int main() {
+  std::cout << "=== Figure 7: CDF of sampled RCD, Rodinia suite ===\n"
+            << "(bursty PEBS sampling, mean period 171; hot loop per "
+               "application)\n\n";
+
+  const std::vector<uint64_t> CdfPoints = {1, 2, 4, 8, 16, 32, 64, 128};
+  std::vector<std::string> Header = {"application", "samples"};
+  for (uint64_t Point : CdfPoints)
+    Header.push_back("<=" + std::to_string(Point));
+  TextTable Table(Header);
+
+  ProfileOptions Options;
+  Options.Sampling.Kind = SamplingKind::Bursty;
+  Options.Sampling.MeanPeriod = 171;
+
+  for (const auto &W : makeRodiniaSuite()) {
+    ProfileResult Result =
+        profileWorkload(*W, WorkloadVariant::Original, Options);
+    const LoopConflictReport *Hot = Result.hottest();
+    std::vector<std::string> Row = {W->name()};
+    if (!Hot || Hot->Rcd.empty()) {
+      // Too few samples for any set to repeat: no RCD observations.
+      Row.push_back(Hot ? fmt::grouped(Hot->Samples) : "0");
+      for (size_t I = 0; I < CdfPoints.size(); ++I)
+        Row.push_back("-");
+    } else {
+      Row.push_back(fmt::grouped(Hot->Samples));
+      for (uint64_t Point : CdfPoints)
+        Row.push_back(fmt::percent(Hot->Rcd.cdfAt(Point), 0));
+    }
+    Table.addRow(Row);
+  }
+  std::cout << Table.render() << '\n';
+
+  std::cout << "Paper shape check: NW is the only application with heavy "
+               "mass at RCD < 8\n(~88% in the paper); the conflict-free "
+               "kernels keep it at 10-20%.\n";
+  return 0;
+}

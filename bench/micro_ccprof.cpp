@@ -1,0 +1,162 @@
+//===- bench/micro_ccprof.cpp - Component microbenchmarks ------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark microbenchmarks of the pipeline's building blocks.
+// These are the costs behind the overhead model: the cache-model update
+// (the dominant per-reference cost of the simulation pipeline), the
+// sample-handler path, RCD bookkeeping, and the analyzer front-end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/SyntheticCodeGen.h"
+#include "core/LogisticRegression.h"
+#include "core/ProgramStructure.h"
+#include "core/RcdAnalyzer.h"
+#include "pmu/PebsSampler.h"
+#include "sim/Cache.h"
+#include "sim/MachineConfig.h"
+#include "sim/MissClassifier.h"
+#include "sim/ReuseDistance.h"
+#include "support/Rng.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace ccprof;
+
+namespace {
+
+void BM_CacheAccess(benchmark::State &State) {
+  Cache L1(paperL1Geometry(),
+           static_cast<ReplacementKind>(State.range(0)));
+  Xoshiro256 Rng(42);
+  std::vector<uint64_t> Addrs(4096);
+  for (uint64_t &Addr : Addrs)
+    Addr = Rng.next() & 0xfffff;
+  size_t I = 0;
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(L1.access(Addrs[I++ & 4095]).Hit);
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_CacheAccess)
+    ->Arg(static_cast<int>(ReplacementKind::Lru))
+    ->Arg(static_cast<int>(ReplacementKind::Fifo))
+    ->Arg(static_cast<int>(ReplacementKind::TreePlru))
+    ->Arg(static_cast<int>(ReplacementKind::Random));
+
+void BM_FullyAssociativeLru(benchmark::State &State) {
+  FullyAssociativeLru Fa(512);
+  Xoshiro256 Rng(43);
+  std::vector<uint64_t> Lines(4096);
+  for (uint64_t &Line : Lines)
+    Line = Rng.nextBounded(2048);
+  size_t I = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Fa.access(Lines[I++ & 4095]));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_FullyAssociativeLru);
+
+void BM_MissClassification(benchmark::State &State) {
+  MissClassifier M(paperL1Geometry());
+  Xoshiro256 Rng(44);
+  std::vector<uint64_t> Addrs(4096);
+  for (uint64_t &Addr : Addrs)
+    Addr = Rng.next() & 0xfffff;
+  size_t I = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(M.access(Addrs[I++ & 4095]));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_MissClassification);
+
+void BM_RcdUpdate(benchmark::State &State) {
+  RcdProfile Profile(64);
+  Xoshiro256 Rng(45);
+  std::vector<uint64_t> Sets(4096);
+  for (uint64_t &Set : Sets)
+    Set = Rng.nextBounded(64);
+  size_t I = 0;
+  for (auto _ : State) {
+    Profile.addMiss(Sets[I++ & 4095]);
+    benchmark::ClobberMemory();
+  }
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_RcdUpdate);
+
+void BM_SamplerEvent(benchmark::State &State) {
+  SamplingConfig Config;
+  Config.Kind = SamplingKind::Bursty;
+  Config.MeanPeriod = 1212;
+  PebsSampler Sampler(Config);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Sampler.onEvent());
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_SamplerEvent);
+
+void BM_ReuseDistance(benchmark::State &State) {
+  ReuseDistanceAnalyzer Analyzer;
+  Xoshiro256 Rng(46);
+  std::vector<uint64_t> Lines(4096);
+  for (uint64_t &Line : Lines)
+    Line = Rng.nextBounded(4096);
+  size_t I = 0;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Analyzer.access(Lines[I++ & 4095]));
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_ReuseDistance);
+
+void BM_LogisticFit(benchmark::State &State) {
+  std::vector<double> X;
+  std::vector<uint8_t> Y;
+  Xoshiro256 Rng(47);
+  for (int I = 0; I < 16; ++I) {
+    X.push_back(I < 8 ? 0.1 + 0.01 * Rng.nextDouble()
+                      : 0.8 + 0.01 * Rng.nextDouble());
+    Y.push_back(I < 8 ? 0 : 1);
+  }
+  for (auto _ : State) {
+    SimpleLogisticRegression Model;
+    benchmark::DoNotOptimize(Model.fit(X, Y));
+  }
+}
+BENCHMARK(BM_LogisticFit);
+
+void BM_BinaryAnalysis(benchmark::State &State) {
+  // Lower and analyze a deep loop nest: the analyzer front-end cost.
+  LoopSpec Leaf;
+  Leaf.HeaderLine = 50;
+  Leaf.EndLine = 52;
+  Leaf.AccessLines = {51};
+  LoopSpec Nest = Leaf;
+  for (uint32_t Depth = 0; Depth < static_cast<uint32_t>(State.range(0));
+       ++Depth) {
+    LoopSpec Outer;
+    Outer.HeaderLine = 48 - 2 * Depth;
+    Outer.EndLine = 54 + 2 * Depth;
+    Outer.Children = {Nest};
+    Nest = Outer;
+  }
+  FunctionSpec F;
+  F.Name = "deep";
+  F.StartLine = 1;
+  F.EndLine = 100;
+  F.Loops = {Nest};
+  BinaryImage Image = lowerToBinary("deep.cpp", {F});
+  for (auto _ : State) {
+    ProgramStructure S(Image);
+    benchmark::DoNotOptimize(S.numLoops());
+  }
+}
+BENCHMARK(BM_BinaryAnalysis)->Arg(4)->Arg(16);
+
+} // namespace
+
+BENCHMARK_MAIN();

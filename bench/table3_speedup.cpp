@@ -1,0 +1,71 @@
+//===- bench/table3_speedup.cpp - Paper Table 3 reproduction --------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces paper Table 3: the speedup and the per-level cache-miss
+// reduction of each case study after the CCProf-guided fix. Speedups are
+// *measured wall-clock* on this host (sequential; the container has one
+// core — the paper's 28/8-thread runs are out of reach, but its
+// sequential ADI rows show the effect survives single-threaded).
+// Miss-reduction columns replay the recorded traces through simulated
+// Broadwell and Skylake per-core hierarchies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace ccprof;
+using namespace ccprof::bench;
+
+int main() {
+  std::cout << "=== Table 3: speedup and cache-miss reduction after "
+               "optimization ===\n\n";
+
+  const MachineConfig Machines[] = {broadwellConfig(), skylakeConfig()};
+
+  TextTable Table({"Application", "Speedup (measured)",
+                   "BDW L1", "BDW L2", "BDW LLC",
+                   "SKL L1", "SKL L2", "SKL LLC"});
+
+  for (const auto &W : makeCaseStudySuite()) {
+    double Before = timeWorkload(*W, WorkloadVariant::Original, 5);
+    double After = timeWorkload(*W, WorkloadVariant::Optimized, 5);
+    double Speedup = Before / After;
+
+    Trace OrigTrace = traceWorkload(*W, WorkloadVariant::Original);
+    Trace OptTrace = traceWorkload(*W, WorkloadVariant::Optimized);
+
+    std::vector<std::string> Row = {W->name(), fmt::times(Speedup)};
+    for (const MachineConfig &Machine : Machines) {
+      HierarchyMisses MissesBefore = simulateHierarchy(OrigTrace, Machine);
+      HierarchyMisses MissesAfter = simulateHierarchy(OptTrace, Machine);
+      Row.push_back(fmt::fixed(
+                        reductionPercent(MissesBefore.L1, MissesAfter.L1), 1) +
+                    "%");
+      Row.push_back(fmt::fixed(
+                        reductionPercent(MissesBefore.L2, MissesAfter.L2), 1) +
+                    "%");
+      Row.push_back(
+          fmt::fixed(reductionPercent(MissesBefore.Llc, MissesAfter.Llc), 1) +
+          "%");
+    }
+    Table.addRow(Row);
+  }
+  std::cout << Table.render() << '\n';
+
+  std::cout
+      << "Paper reference (Broadwell / Skylake speedups): NW 3.03x/1.55x, "
+         "MKL-FFT 1.13x/1.03x, ADI 1.26x/1.70x (sequential),\n"
+         "Tiny-DNN 1.09x/1.24x, Kripke 94.6x/11.1x (loop only), "
+         "HimenoBMT 1.12x/1.14x.\n"
+         "Shape check: every fix speeds its application up, Kripke's "
+         "loop-order fix is the largest win, and L1/L2 misses drop.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+//===- bench/table4_nw_sets.cpp - Paper Table 4 reproduction --------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Reproduces paper Table 4: per-loop L1-miss contribution and number of
+// cache sets utilized for Needleman-Wunsch, via CCProf's code-centric
+// attribution. In the paper, the tile-copy loops (needle.cpp:128/189)
+// dominate the misses, and two loops (138/199) utilize only a subset of
+// the 64 sets.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "core/Report.h"
+#include "support/Table.h"
+
+#include <iostream>
+
+using namespace ccprof;
+using namespace ccprof::bench;
+
+int main() {
+  std::cout << "=== Table 4: distribution of cache-set usage per loop in "
+               "Needleman-Wunsch ===\n\n";
+
+  auto W = makeWorkloadByName("NW");
+  if (!W) {
+    std::cerr << "error: NW workload unavailable\n";
+    return 1;
+  }
+
+  // Exact profile — the paper validates this table against simulation.
+  ProfileResult Result = profileWorkloadExact(*W, WorkloadVariant::Original);
+  std::cout << renderLoopTable(Result) << '\n';
+
+  std::cout << "Classifier verdicts with RCD details:\n\n";
+  TextTable Verdicts({"loop", "cf(RCD<8)", "mean RCD", "verdict"});
+  for (const LoopConflictReport &Loop : Result.Loops)
+    Verdicts.addRow({Loop.Location, fmt::percent(Loop.ContributionFactor),
+                     fmt::fixed(Loop.MeanRcd, 1),
+                     Loop.ConflictPredicted ? "CONFLICT" : "clean"});
+  std::cout << Verdicts.render() << '\n';
+
+  if (const LoopConflictReport *Hot = Result.hottest())
+    std::cout << renderVictimSets(*Hot) << '\n';
+
+  std::cout << "Paper shape check: the tile-copy loops "
+               "(needle.cpp:128/138/189/199) dominate the misses and are "
+               "flagged; init and traceback loops are minor.\n";
+  return 0;
+}

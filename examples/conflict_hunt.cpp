@@ -1,0 +1,106 @@
+//===- examples/conflict_hunt.cpp - The full optimization workflow ---------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The workflow of paper Sec. 6.1 on Needleman-Wunsch, end to end:
+//
+//   profile -> rank hot loops -> code-centric attribution (which loop)
+//           -> data-centric attribution (which arrays)
+//           -> apply the padding fix -> re-profile -> verify.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Profiler.h"
+#include "core/Report.h"
+#include "support/Table.h"
+#include "workloads/NeedlemanWunsch.h"
+
+#include <chrono>
+#include <iostream>
+
+using namespace ccprof;
+
+namespace {
+
+ProfileResult profileVariant(const NeedlemanWunschWorkload &App,
+                             WorkloadVariant Variant) {
+  Trace T;
+  App.run(Variant, &T);
+  BinaryImage Binary = App.makeBinary();
+  ProgramStructure Structure(Binary);
+  Profiler Ccprof;
+  return Ccprof.profileExact(T, Structure);
+}
+
+double timeVariant(const NeedlemanWunschWorkload &App,
+                   WorkloadVariant Variant) {
+  using Clock = std::chrono::steady_clock;
+  double Best = 1e300;
+  for (int Rep = 0; Rep < 5; ++Rep) {
+    Clock::time_point Start = Clock::now();
+    volatile double Sink = App.run(Variant, nullptr);
+    (void)Sink;
+    Best = std::min(
+        Best, std::chrono::duration<double>(Clock::now() - Start).count());
+  }
+  return Best;
+}
+
+} // namespace
+
+int main() {
+  NeedlemanWunschWorkload App;
+  std::cout << "=== Hunting conflict misses in Needleman-Wunsch ===\n\n";
+
+  // Step 1: profile the original build.
+  std::cout << "--- step 1: profile the original build ---\n";
+  ProfileResult Before = profileVariant(App, WorkloadVariant::Original);
+  std::cout << renderProfileReport(Before, "needle (original)") << '\n';
+
+  // Step 2: the verdicts point at the tile-copy loops; their
+  // data-centric attribution names the two matrices. Count flagged
+  // loops and collect the blamed arrays.
+  std::cout << "--- step 2: what did CCProf find? ---\n";
+  size_t Flagged = 0;
+  for (const LoopConflictReport &Loop : Before.Loops) {
+    if (!Loop.ConflictPredicted)
+      continue;
+    ++Flagged;
+    std::cout << "  " << Loop.Location << " conflicts (cf "
+              << fmt::percent(Loop.ContributionFactor) << ", "
+              << fmt::percent(Loop.MissContribution)
+              << " of all L1 misses)";
+    if (!Loop.DataStructures.empty())
+      std::cout << " — top structure: " << Loop.DataStructures[0].Name;
+    std::cout << '\n';
+  }
+  std::cout << "  " << Flagged << " loops flagged\n\n";
+
+  // Step 3: apply the fix the attribution suggests (pad the rows of
+  // both matrices) and re-profile — this is the Optimized variant.
+  std::cout << "--- step 3: pad the matrices and re-profile ---\n";
+  ProfileResult After = profileVariant(App, WorkloadVariant::Optimized);
+  size_t StillFlagged = 0;
+  for (const LoopConflictReport &Loop : After.Loops)
+    StillFlagged += Loop.ConflictPredicted ? 1 : 0;
+  std::cout << "  flagged loops after padding: " << StillFlagged << '\n';
+  if (const LoopConflictReport *Hot = After.byLocation("needle.cpp:189"))
+    std::cout << "  needle.cpp:189 cf dropped to "
+              << fmt::percent(Hot->ContributionFactor) << '\n';
+
+  // Step 4: confirm with wall-clock time and the correctness checksum.
+  std::cout << "\n--- step 4: verify ---\n";
+  double OrigSeconds = timeVariant(App, WorkloadVariant::Original);
+  double OptSeconds = timeVariant(App, WorkloadVariant::Optimized);
+  std::cout << "  runtime " << fmt::fixed(OrigSeconds * 1e3, 2) << "ms -> "
+            << fmt::fixed(OptSeconds * 1e3, 2) << "ms ("
+            << fmt::times(OrigSeconds / OptSeconds) << " speedup)\n";
+  double ChkOrig = App.run(WorkloadVariant::Original, nullptr);
+  double ChkOpt = App.run(WorkloadVariant::Optimized, nullptr);
+  std::cout << "  alignment score unchanged: "
+            << (ChkOrig == ChkOpt ? "yes" : "NO (bug!)") << '\n';
+  return 0;
+}

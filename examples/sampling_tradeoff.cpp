@@ -1,0 +1,108 @@
+//===- examples/sampling_tradeoff.cpp - Choosing a sampling period ---------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Demonstrates the accuracy/overhead trade-off of paper Sec. 3.3/5.3 on
+// two contrasting applications:
+//
+//  * ADI's conflicts are stable for the whole run (long conflict
+//    periods) — even coarse sampling catches them;
+//  * HimenoBMT's conflicts hop sets every few misses (short conflict
+//    periods) — only high-frequency sampling resolves them, which is
+//    why the paper spent 27x overhead on it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Profiler.h"
+#include "support/Table.h"
+#include "workloads/Adi.h"
+#include "workloads/Himeno.h"
+
+#include <iostream>
+#include <memory>
+
+using namespace ccprof;
+
+int main() {
+  std::cout << "=== Sampling-period trade-off: stable vs twitchy "
+               "conflicts ===\n\n";
+
+  struct AppCase {
+    std::unique_ptr<Workload> W;
+    Trace T;
+    std::unique_ptr<BinaryImage> Image;
+    std::unique_ptr<ProgramStructure> S;
+  };
+  AppCase Cases[2];
+  Cases[0].W = std::make_unique<AdiWorkload>();
+  Cases[1].W = std::make_unique<HimenoWorkload>();
+  for (AppCase &Case : Cases) {
+    Case.W->run(WorkloadVariant::Original, &Case.T);
+    Case.Image = std::make_unique<BinaryImage>(Case.W->makeBinary());
+    Case.S = std::make_unique<ProgramStructure>(*Case.Image);
+  }
+
+  // Conflict-period statistics from the exact profile explain why the
+  // two applications need different frequencies.
+  std::cout << "conflict periods (exact analysis of the hot loop):\n";
+  for (AppCase &Case : Cases) {
+    Profiler Exact;
+    ProfileResult Result = Exact.profileExact(Case.T, *Case.S);
+    const LoopConflictReport *Hot =
+        Result.byLocation(Case.W->hotLoopLocation());
+    if (!Hot)
+      Hot = Result.hottest();
+    if (Hot)
+      std::cout << "  " << Case.W->name() << ": mean CP = "
+                << fmt::fixed(Hot->Periods.meanRunLength(), 1)
+                << " misses, max CP = " << Hot->Periods.maxRunLength()
+                << '\n';
+  }
+  std::cout << '\n';
+
+  // Contrast the sample-schedule *shapes* at equal mean cost: bursty
+  // scheduling takes short runs of back-to-back samples (so true short
+  // RCDs are observable inside a burst), while plain jittered sampling
+  // never captures two events closer than ~period/2 — it is blind to
+  // any RCD below that, no matter how severe the conflict.
+  TextTable Table({"mean period", "app", "bursty verdict", "bursty cf",
+                   "jittered verdict", "jittered cf"});
+  for (uint64_t Period : {64ull, 171ull, 1212ull, 4096ull}) {
+    for (AppCase &Case : Cases) {
+      std::vector<std::string> Row = {std::to_string(Period),
+                                      Case.W->name()};
+      for (SamplingKind Kind :
+           {SamplingKind::Bursty, SamplingKind::UniformJitter}) {
+        ProfileOptions Options;
+        Options.Sampling.Kind = Kind;
+        Options.Sampling.MeanPeriod = Period;
+        Profiler P(Options);
+        ProfileResult Result = P.profile(Case.T, *Case.S);
+        const LoopConflictReport *Hot =
+            Result.byLocation(Case.W->hotLoopLocation());
+        if (!Hot)
+          Hot = Result.hottest();
+        if (!Hot) {
+          Row.push_back("(no samples)");
+          Row.push_back("-");
+        } else {
+          Row.push_back(Hot->ConflictPredicted ? "CONFLICT" : "clean");
+          Row.push_back(fmt::percent(Hot->ContributionFactor));
+        }
+      }
+      Table.addRow(Row);
+    }
+  }
+  std::cout << Table.render() << '\n';
+  std::cout
+      << "Bursty scheduling keeps both applications detectable even at "
+         "coarse mean periods,\nbecause each burst exposes true "
+         "consecutive-miss distances. Plain jittered sampling\ncannot "
+         "observe any RCD shorter than its period and misses the "
+         "conflicts entirely —\nthis is why CCProf randomizes its "
+         "sampling period from a bursty distribution (Sec. 4).\n";
+  return 0;
+}

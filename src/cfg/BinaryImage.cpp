@@ -1,0 +1,67 @@
+//===- cfg/BinaryImage.cpp - Synthetic machine-code image -----------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/BinaryImage.h"
+
+#include <cassert>
+
+using namespace ccprof;
+
+const Instruction *BinaryImage::at(uint64_t Addr) const {
+  if (Addr < BaseAddr || (Addr - BaseAddr) % InsnSize != 0)
+    return nullptr;
+  size_t Index = (Addr - BaseAddr) / InsnSize;
+  return Index < Insns.size() ? &Insns[Index] : nullptr;
+}
+
+std::optional<uint32_t> BinaryImage::lineOf(uint64_t Addr) const {
+  const Instruction *Insn = at(Addr);
+  if (!Insn)
+    return std::nullopt;
+  return Insn->Line;
+}
+
+const BinaryFunction *BinaryImage::functionContaining(uint64_t Addr) const {
+  const Instruction *Insn = at(Addr);
+  if (!Insn)
+    return nullptr;
+  size_t Index = (Addr - BaseAddr) / InsnSize;
+  for (const BinaryFunction &Function : Functions)
+    if (Index >= Function.FirstInsn &&
+        Index < Function.FirstInsn + Function.NumInsns)
+      return &Function;
+  return nullptr;
+}
+
+size_t BinaryImage::appendInstruction(Instruction Insn) {
+  Insn.Addr = nextAddr();
+  Insns.push_back(Insn);
+  return Insns.size() - 1;
+}
+
+void BinaryImage::patchTarget(size_t Index, uint64_t Target) {
+  assert(Index < Insns.size() && "instruction index out of range");
+  assert((Insns[Index].Kind == InsnKind::Jump ||
+          Insns[Index].Kind == InsnKind::CondBranch) &&
+         "only branches have targets");
+  Insns[Index].Target = Target;
+}
+
+void BinaryImage::beginFunction(std::string Name) {
+  assert(!OpenFunction && "previous function not ended");
+  OpenFunction = Functions.size();
+  Functions.push_back(
+      BinaryFunction{std::move(Name), nextAddr(), Insns.size(), 0});
+}
+
+void BinaryImage::endFunction() {
+  assert(OpenFunction && "no open function");
+  BinaryFunction &Function = Functions[*OpenFunction];
+  assert(Insns.size() > Function.FirstInsn && "empty function");
+  Function.NumInsns = Insns.size() - Function.FirstInsn;
+  OpenFunction.reset();
+}

@@ -1,0 +1,103 @@
+//===- cfg/BinaryImage.h - Synthetic machine-code image --------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal "binary executable" model: a flat instruction stream with
+/// branch targets and a line table. CCProf's offline analyzer recovers
+/// the CFG of the profiled binary from machine code and identifies loops
+/// with interval analysis (paper Sec. 4); BinaryImage is the input to
+/// that pipeline in this reproduction. Workloads lower a structural
+/// description of their kernels (LoopSpec/FunctionSpec) into an image,
+/// and the analyzer — which never sees the structure, only instructions —
+/// must rediscover the loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_CFG_BINARYIMAGE_H
+#define CCPROF_CFG_BINARYIMAGE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+/// Control-flow kind of one synthetic instruction.
+enum class InsnKind {
+  Sequential, ///< Falls through to the next instruction.
+  Jump,       ///< Unconditional branch to Target.
+  CondBranch, ///< Branches to Target or falls through.
+  Return,     ///< Ends the function.
+};
+
+/// One synthetic instruction.
+struct Instruction {
+  uint64_t Addr = 0;
+  uint32_t Line = 0; ///< Source line (the "DWARF line table" entry).
+  InsnKind Kind = InsnKind::Sequential;
+  uint64_t Target = 0; ///< Branch target for Jump/CondBranch.
+  bool IsMemoryAccess = false; ///< True for loads/stores (sample sites).
+};
+
+/// One function: a contiguous address range of instructions.
+struct BinaryFunction {
+  std::string Name;
+  uint64_t EntryAddr = 0;
+  size_t FirstInsn = 0; ///< Index into BinaryImage::instructions().
+  size_t NumInsns = 0;
+};
+
+/// A synthetic binary: instructions, functions, and a source-file name.
+class BinaryImage {
+public:
+  explicit BinaryImage(std::string SourceFile)
+      : SourceFile(std::move(SourceFile)) {}
+
+  const std::string &sourceFile() const { return SourceFile; }
+  const std::vector<Instruction> &instructions() const { return Insns; }
+  const std::vector<BinaryFunction> &functions() const { return Functions; }
+
+  /// \returns the instruction at \p Addr, or nullptr.
+  const Instruction *at(uint64_t Addr) const;
+
+  /// \returns the source line of \p Addr, or nullopt.
+  std::optional<uint32_t> lineOf(uint64_t Addr) const;
+
+  /// \returns the function containing \p Addr, or nullptr.
+  const BinaryFunction *functionContaining(uint64_t Addr) const;
+
+  /// Appends an instruction; its address is assigned automatically.
+  /// \returns the index of the new instruction.
+  size_t appendInstruction(Instruction Insn);
+
+  /// Sets the branch target of instruction \p Index (fixup for forward
+  /// branches whose target address is unknown at emission time).
+  void patchTarget(size_t Index, uint64_t Target);
+
+  /// Declares that the instructions [FirstInsn, end) appended since the
+  /// previous function boundary form function \p Name.
+  void beginFunction(std::string Name);
+  void endFunction();
+
+  /// Byte size of every synthetic instruction.
+  static constexpr uint64_t InsnSize = 4;
+
+  /// Address the next appended instruction will receive.
+  uint64_t nextAddr() const { return BaseAddr + Insns.size() * InsnSize; }
+
+private:
+  std::string SourceFile;
+  std::vector<Instruction> Insns;
+  std::vector<BinaryFunction> Functions;
+  std::optional<size_t> OpenFunction;
+  static constexpr uint64_t BaseAddr = 0x400000; ///< Typical ELF text base.
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_CFG_BINARYIMAGE_H

@@ -1,0 +1,134 @@
+//===- cfg/Cfg.cpp - Control-flow graph recovered from a binary ----------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ccprof;
+
+Cfg Cfg::build(const BinaryImage &Image, const BinaryFunction &Function) {
+  assert(Function.NumInsns > 0 && "cannot build a CFG for an empty function");
+  const std::vector<Instruction> &Insns = Image.instructions();
+  const size_t First = Function.FirstInsn;
+  const size_t End = Function.FirstInsn + Function.NumInsns;
+  const uint64_t LowAddr = Insns[First].Addr;
+  const uint64_t HighAddr = Insns[End - 1].Addr;
+
+  [[maybe_unused]] auto InRange = [&](uint64_t Addr) {
+    return Addr >= LowAddr && Addr <= HighAddr;
+  };
+  auto SlotOf = [&](uint64_t Addr) {
+    return static_cast<size_t>((Addr - LowAddr) / BinaryImage::InsnSize);
+  };
+
+  // Pass 1: leaders. The entry, every branch target, and every
+  // instruction following a branch or return start a block.
+  std::vector<bool> IsLeader(Function.NumInsns, false);
+  IsLeader[0] = true;
+  for (size_t I = First; I < End; ++I) {
+    const Instruction &Insn = Insns[I];
+    switch (Insn.Kind) {
+    case InsnKind::Sequential:
+      break;
+    case InsnKind::Jump:
+    case InsnKind::CondBranch:
+      assert(InRange(Insn.Target) && "branch target escapes the function");
+      IsLeader[SlotOf(Insn.Target)] = true;
+      if (I + 1 < End)
+        IsLeader[I + 1 - First] = true;
+      break;
+    case InsnKind::Return:
+      if (I + 1 < End)
+        IsLeader[I + 1 - First] = true;
+      break;
+    }
+  }
+
+  // Pass 2: form blocks as maximal leader-to-leader runs.
+  Cfg Result;
+  Result.FirstAddr = LowAddr;
+  Result.LastAddr = HighAddr;
+  Result.AddrToBlock.assign(Function.NumInsns, 0);
+  for (size_t Slot = 0; Slot < Function.NumInsns; ++Slot) {
+    if (IsLeader[Slot]) {
+      BasicBlock Block;
+      Block.Id = static_cast<BlockId>(Result.Blocks.size());
+      Block.FirstAddr = Insns[First + Slot].Addr;
+      Block.MinLine = Block.MaxLine = Insns[First + Slot].Line;
+      Result.Blocks.push_back(Block);
+    }
+    BasicBlock &Current = Result.Blocks.back();
+    const Instruction &Insn = Insns[First + Slot];
+    Current.LastAddr = Insn.Addr;
+    Current.MinLine = std::min(Current.MinLine, Insn.Line);
+    Current.MaxLine = std::max(Current.MaxLine, Insn.Line);
+    Result.AddrToBlock[Slot] = Current.Id;
+  }
+
+  // Pass 3: edges from each block's terminator.
+  for (BasicBlock &Block : Result.Blocks) {
+    const Instruction &Last = *Image.at(Block.LastAddr);
+    auto AddEdge = [&](uint64_t TargetAddr) {
+      BlockId Succ = Result.AddrToBlock[SlotOf(TargetAddr)];
+      Block.Succs.push_back(Succ);
+      Result.Blocks[Succ].Preds.push_back(Block.Id);
+    };
+    switch (Last.Kind) {
+    case InsnKind::Sequential:
+      if (Block.LastAddr < HighAddr)
+        AddEdge(Block.LastAddr + BinaryImage::InsnSize);
+      break;
+    case InsnKind::Jump:
+      AddEdge(Last.Target);
+      break;
+    case InsnKind::CondBranch:
+      AddEdge(Last.Target);
+      if (Block.LastAddr < HighAddr)
+        AddEdge(Block.LastAddr + BinaryImage::InsnSize);
+      break;
+    case InsnKind::Return:
+      break;
+    }
+  }
+  return Result;
+}
+
+std::optional<BlockId> Cfg::blockContaining(uint64_t Addr) const {
+  if (Addr < FirstAddr || Addr > LastAddr ||
+      (Addr - FirstAddr) % BinaryImage::InsnSize != 0)
+    return std::nullopt;
+  return AddrToBlock[(Addr - FirstAddr) / BinaryImage::InsnSize];
+}
+
+std::vector<BlockId> Cfg::reversePostOrder() const {
+  std::vector<BlockId> PostOrder;
+  PostOrder.reserve(Blocks.size());
+  std::vector<uint8_t> State(Blocks.size(), 0); // 0=new 1=open 2=done
+  // Iterative DFS that emits a node after all its successors.
+  std::vector<std::pair<BlockId, size_t>> Stack;
+  Stack.emplace_back(entry(), 0);
+  State[entry()] = 1;
+  while (!Stack.empty()) {
+    auto &[Node, NextSucc] = Stack.back();
+    const BasicBlock &Block = Blocks[Node];
+    if (NextSucc < Block.Succs.size()) {
+      BlockId Succ = Block.Succs[NextSucc++];
+      if (State[Succ] == 0) {
+        State[Succ] = 1;
+        Stack.emplace_back(Succ, 0);
+      }
+      continue;
+    }
+    State[Node] = 2;
+    PostOrder.push_back(Node);
+    Stack.pop_back();
+  }
+  std::reverse(PostOrder.begin(), PostOrder.end());
+  return PostOrder;
+}

@@ -1,0 +1,69 @@
+//===- cfg/Cfg.h - Control-flow graph recovered from a binary --*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic blocks and the control-flow graph recovered from a
+/// BinaryImage function with the classical leader algorithm. The CFG
+/// feeds dominator computation and Havlak's interval analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_CFG_CFG_H
+#define CCPROF_CFG_CFG_H
+
+#include "cfg/BinaryImage.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ccprof {
+
+/// Index of a basic block within its Cfg.
+using BlockId = uint32_t;
+
+/// A maximal straight-line instruction run.
+struct BasicBlock {
+  BlockId Id = 0;
+  uint64_t FirstAddr = 0;
+  uint64_t LastAddr = 0;
+  uint32_t MinLine = 0; ///< Smallest source line covered by the block.
+  uint32_t MaxLine = 0; ///< Largest source line covered by the block.
+  std::vector<BlockId> Succs;
+  std::vector<BlockId> Preds;
+};
+
+/// Control-flow graph of one function.
+class Cfg {
+public:
+  /// Recovers the CFG of \p Function inside \p Image: computes leaders
+  /// (entry, branch targets, post-branch instructions), forms maximal
+  /// blocks, and wires fallthrough and branch edges.
+  static Cfg build(const BinaryImage &Image, const BinaryFunction &Function);
+
+  size_t numBlocks() const { return Blocks.size(); }
+  const BasicBlock &block(BlockId Id) const { return Blocks[Id]; }
+  const std::vector<BasicBlock> &blocks() const { return Blocks; }
+  BlockId entry() const { return 0; }
+
+  /// \returns the block containing \p Addr, or nullopt.
+  std::optional<BlockId> blockContaining(uint64_t Addr) const;
+
+  /// Blocks in reverse postorder from the entry. Unreachable blocks are
+  /// omitted.
+  std::vector<BlockId> reversePostOrder() const;
+
+private:
+  std::vector<BasicBlock> Blocks;
+  uint64_t FirstAddr = 0;
+  uint64_t LastAddr = 0;
+  std::vector<BlockId> AddrToBlock; ///< Per instruction slot.
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_CFG_CFG_H

@@ -1,0 +1,66 @@
+//===- cfg/Dominators.cpp - Dominator tree over a Cfg ---------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Dominators.h"
+
+#include <cassert>
+
+using namespace ccprof;
+
+DominatorTree::DominatorTree(const Cfg &Graph)
+    : Idom(Graph.numBlocks(), InvalidBlock) {
+  const std::vector<BlockId> Rpo = Graph.reversePostOrder();
+  std::vector<uint32_t> RpoIndex(Graph.numBlocks(), ~uint32_t{0});
+  for (uint32_t I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+
+  auto Intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  Idom[Graph.entry()] = Graph.entry();
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId Node : Rpo) {
+      if (Node == Graph.entry())
+        continue;
+      BlockId NewIdom = InvalidBlock;
+      for (BlockId Pred : Graph.block(Node).Preds) {
+        if (Idom[Pred] == InvalidBlock)
+          continue; // Pred not yet processed or unreachable.
+        NewIdom = NewIdom == InvalidBlock ? Pred : Intersect(Pred, NewIdom);
+      }
+      assert(NewIdom != InvalidBlock &&
+             "reachable non-entry block must have a processed predecessor");
+      if (Idom[Node] != NewIdom) {
+        Idom[Node] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(BlockId A, BlockId B) const {
+  if (Idom[B] == InvalidBlock)
+    return false;
+  BlockId Node = B;
+  while (true) {
+    if (Node == A)
+      return true;
+    BlockId Parent = Idom[Node];
+    if (Parent == Node)
+      return false; // Reached the entry without meeting A.
+    Node = Parent;
+  }
+}

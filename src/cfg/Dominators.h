@@ -1,0 +1,50 @@
+//===- cfg/Dominators.h - Dominator tree over a Cfg ------------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree computed with the Cooper-Harvey-Kennedy iterative
+/// algorithm ("A Simple, Fast Dominance Algorithm"). Used by tests to
+/// cross-check Havlak's loop headers (a natural loop's header dominates
+/// all blocks of the loop) and exposed as part of the binary-analysis
+/// substrate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_CFG_DOMINATORS_H
+#define CCPROF_CFG_DOMINATORS_H
+
+#include "cfg/Cfg.h"
+
+#include <vector>
+
+namespace ccprof {
+
+/// Immediate-dominator tree of a Cfg. Unreachable blocks have no idom
+/// and dominate nothing.
+class DominatorTree {
+public:
+  explicit DominatorTree(const Cfg &Graph);
+
+  /// \returns the immediate dominator of \p Block; the entry block is its
+  /// own idom. Unreachable blocks return InvalidBlock.
+  BlockId idom(BlockId Block) const { return Idom[Block]; }
+
+  /// \returns true if \p A dominates \p B (reflexive).
+  bool dominates(BlockId A, BlockId B) const;
+
+  /// \returns true if \p Block is reachable from the entry.
+  bool isReachable(BlockId Block) const { return Idom[Block] != InvalidBlock; }
+
+  static constexpr BlockId InvalidBlock = ~BlockId{0};
+
+private:
+  std::vector<BlockId> Idom;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_CFG_DOMINATORS_H

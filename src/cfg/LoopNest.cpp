@@ -1,0 +1,256 @@
+//===- cfg/LoopNest.cpp - Havlak interval analysis ------------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The implementation follows Havlak's original formulation: DFS preorder
+// numbering, back-edge classification by ancestorship, and a union-find
+// over collapsed loop bodies processed in reverse preorder. Irreducible
+// entries are attributed to the enclosing interval, as in the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/LoopNest.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+using namespace ccprof;
+
+namespace {
+
+/// Union-find over DFS-numbered nodes with path compression.
+class UnionFind {
+public:
+  explicit UnionFind(size_t Size) : Parent(Size) {
+    for (size_t I = 0; I < Size; ++I)
+      Parent[I] = static_cast<uint32_t>(I);
+  }
+
+  uint32_t find(uint32_t X) {
+    uint32_t Root = X;
+    while (Parent[Root] != Root)
+      Root = Parent[Root];
+    while (Parent[X] != Root) {
+      uint32_t Next = Parent[X];
+      Parent[X] = Root;
+      X = Next;
+    }
+    return Root;
+  }
+
+  /// Attaches \p Child's class under \p NewRoot.
+  void unite(uint32_t Child, uint32_t NewRoot) {
+    Parent[find(Child)] = find(NewRoot);
+  }
+
+private:
+  std::vector<uint32_t> Parent;
+};
+
+} // namespace
+
+LoopNest LoopNest::analyze(const Cfg &Graph) {
+  LoopNest Result;
+  const size_t NumBlocks = Graph.numBlocks();
+  Result.BlockLoop.assign(NumBlocks, InvalidLoop);
+  if (NumBlocks == 0)
+    return Result;
+
+  // --- DFS preorder numbering (iterative) -------------------------------
+  constexpr uint32_t Unvisited = ~uint32_t{0};
+  std::vector<uint32_t> Number(NumBlocks, Unvisited); // block -> preorder
+  std::vector<uint32_t> Last(NumBlocks, 0);  // by preorder number
+  std::vector<BlockId> NodeOf;               // preorder number -> block
+  NodeOf.reserve(NumBlocks);
+
+  {
+    std::vector<std::pair<BlockId, size_t>> Stack;
+    Number[Graph.entry()] = static_cast<uint32_t>(NodeOf.size());
+    NodeOf.push_back(Graph.entry());
+    Stack.emplace_back(Graph.entry(), 0);
+    while (!Stack.empty()) {
+      auto &[Block, NextSucc] = Stack.back();
+      const std::vector<BlockId> &Succs = Graph.block(Block).Succs;
+      if (NextSucc < Succs.size()) {
+        BlockId Succ = Succs[NextSucc++];
+        if (Number[Succ] == Unvisited) {
+          Number[Succ] = static_cast<uint32_t>(NodeOf.size());
+          NodeOf.push_back(Succ);
+          Stack.emplace_back(Succ, 0);
+        }
+        continue;
+      }
+      Last[Number[Block]] = static_cast<uint32_t>(NodeOf.size()) - 1;
+      Stack.pop_back();
+    }
+  }
+
+  const uint32_t NumReachable = static_cast<uint32_t>(NodeOf.size());
+  auto IsAncestor = [&](uint32_t W, uint32_t V) {
+    return W <= V && V <= Last[W];
+  };
+
+  // --- Back-edge classification (by preorder number) ---------------------
+  std::vector<std::vector<uint32_t>> BackPreds(NumReachable);
+  std::vector<std::vector<uint32_t>> NonBackPreds(NumReachable);
+  for (uint32_t W = 0; W < NumReachable; ++W) {
+    for (BlockId PredBlock : Graph.block(NodeOf[W]).Preds) {
+      uint32_t V = Number[PredBlock];
+      if (V == Unvisited)
+        continue; // Unreachable predecessor.
+      if (IsAncestor(W, V))
+        BackPreds[W].push_back(V);
+      else
+        NonBackPreds[W].push_back(V);
+    }
+  }
+
+  // --- Main Havlak fixpoint in reverse preorder --------------------------
+  UnionFind Uf(NumReachable);
+  // Loop headed at preorder number W, if one was created.
+  std::vector<LoopId> LoopOfHeader(NumReachable, InvalidLoop);
+
+  for (uint32_t W = NumReachable; W-- > 0;) {
+    std::vector<uint32_t> NodePool;
+    std::unordered_set<uint32_t> InPool;
+    bool SelfLoop = false;
+    for (uint32_t V : BackPreds[W]) {
+      if (V == W) {
+        SelfLoop = true;
+        continue;
+      }
+      uint32_t Rep = Uf.find(V);
+      if (InPool.insert(Rep).second)
+        NodePool.push_back(Rep);
+    }
+
+    bool Irreducible = false;
+    std::vector<uint32_t> Worklist = NodePool;
+    while (!Worklist.empty()) {
+      uint32_t X = Worklist.back();
+      Worklist.pop_back();
+      // X != W always holds here, so growing NonBackPreds[W] below never
+      // invalidates this iteration.
+      for (uint32_t Y : NonBackPreds[X]) {
+        uint32_t Rep = Uf.find(Y);
+        if (!IsAncestor(W, Rep)) {
+          // An entry into the loop that bypasses the header: the region
+          // is irreducible. Defer the edge to the enclosing interval.
+          Irreducible = true;
+          NonBackPreds[W].push_back(Rep);
+          continue;
+        }
+        if (Rep != W && InPool.insert(Rep).second) {
+          NodePool.push_back(Rep);
+          Worklist.push_back(Rep);
+        }
+      }
+    }
+
+    if (NodePool.empty() && !SelfLoop)
+      continue;
+
+    // Materialize the loop.
+    LoopInfo Loop;
+    Loop.Id = static_cast<LoopId>(Result.Loops.size());
+    Loop.Header = NodeOf[W];
+    Loop.IsReducible = !Irreducible;
+    Loop.OwnBlocks.push_back(NodeOf[W]);
+    LoopOfHeader[W] = Loop.Id;
+
+    for (uint32_t X : NodePool) {
+      // X is a union-find representative: either a plain node or the
+      // header of an already-built inner loop.
+      if (LoopOfHeader[X] != InvalidLoop)
+        Result.Loops[LoopOfHeader[X]].Parent = Loop.Id;
+      else
+        Loop.OwnBlocks.push_back(NodeOf[X]);
+      Uf.unite(X, W);
+    }
+    Result.Loops.push_back(std::move(Loop));
+  }
+
+  // --- Depths, innermost-block map, line spans ---------------------------
+  for (LoopInfo &Loop : Result.Loops)
+    for (BlockId Block : Loop.OwnBlocks)
+      Result.BlockLoop[Block] = Loop.Id;
+
+  // Inner headers carry larger preorder numbers, so reverse preorder
+  // creates inner loops first: a parent always has a larger loop id than
+  // its children, and one descending pass computes depths.
+  for (size_t I = Result.Loops.size(); I-- > 0;) {
+    LoopInfo &Loop = Result.Loops[I];
+    Loop.Depth =
+        Loop.Parent ? Result.Loops[*Loop.Parent].Depth + 1 : 1;
+  }
+
+  // Line spans: fold own blocks, then propagate child spans upward
+  // (children have smaller ids than parents).
+  for (LoopInfo &Loop : Result.Loops) {
+    const BasicBlock &Header = Graph.block(Loop.Header);
+    Loop.MinLine = Header.MinLine;
+    Loop.MaxLine = Header.MaxLine;
+    for (BlockId Block : Loop.OwnBlocks) {
+      Loop.MinLine = std::min(Loop.MinLine, Graph.block(Block).MinLine);
+      Loop.MaxLine = std::max(Loop.MaxLine, Graph.block(Block).MaxLine);
+    }
+  }
+  for (const LoopInfo &Loop : Result.Loops) {
+    if (!Loop.Parent)
+      continue;
+    LoopInfo &Parent = Result.Loops[*Loop.Parent];
+    Parent.MinLine = std::min(Parent.MinLine, Loop.MinLine);
+    Parent.MaxLine = std::max(Parent.MaxLine, Loop.MaxLine);
+  }
+
+  return Result;
+}
+
+std::optional<LoopId> LoopNest::innermostLoopOf(BlockId Block) const {
+  assert(Block < BlockLoop.size() && "block id out of range");
+  LoopId Id = BlockLoop[Block];
+  if (Id == InvalidLoop)
+    return std::nullopt;
+  return Id;
+}
+
+std::optional<LoopId> LoopNest::innermostLoopForLine(uint32_t Line) const {
+  std::optional<LoopId> Best;
+  for (const LoopInfo &Loop : Loops) {
+    if (Line < Loop.MinLine || Line > Loop.MaxLine)
+      continue;
+    if (!Best) {
+      Best = Loop.Id;
+      continue;
+    }
+    const LoopInfo &Current = Loops[*Best];
+    uint32_t LoopSpan = Loop.MaxLine - Loop.MinLine;
+    uint32_t BestSpan = Current.MaxLine - Current.MinLine;
+    if (Loop.Depth > Current.Depth ||
+        (Loop.Depth == Current.Depth && LoopSpan < BestSpan))
+      Best = Loop.Id;
+  }
+  return Best;
+}
+
+std::vector<BlockId> LoopNest::allBlocksOf(LoopId Id) const {
+  assert(Id < Loops.size() && "loop id out of range");
+  std::vector<BlockId> Blocks = Loops[Id].OwnBlocks;
+  // Children have smaller ids; scan all loops whose parent chain reaches
+  // Id. Loop counts are tiny, so the quadratic scan is fine.
+  for (const LoopInfo &Loop : Loops) {
+    if (Loop.Id == Id)
+      continue;
+    std::optional<LoopId> Ancestor = Loop.Parent;
+    while (Ancestor && *Ancestor != Id)
+      Ancestor = Loops[*Ancestor].Parent;
+    if (Ancestor)
+      Blocks.insert(Blocks.end(), Loop.OwnBlocks.begin(),
+                    Loop.OwnBlocks.end());
+  }
+  return Blocks;
+}

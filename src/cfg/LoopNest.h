@@ -1,0 +1,78 @@
+//===- cfg/LoopNest.h - Havlak interval analysis ---------------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loop-nesting forest computed with Havlak's interval analysis
+/// ("Nesting of reducible and irreducible loops", TOPLAS 1997) — the
+/// algorithm the paper's offline analyzer uses to identify loops from
+/// the recovered CFG (Sec. 4, [14]). Handles irreducible regions.
+/// Code-centric attribution resolves a sample's source line to the
+/// innermost loop containing it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_CFG_LOOPNEST_H
+#define CCPROF_CFG_LOOPNEST_H
+
+#include "cfg/Cfg.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace ccprof {
+
+/// Index of a loop within a LoopNest.
+using LoopId = uint32_t;
+
+/// One discovered loop.
+struct LoopInfo {
+  LoopId Id = 0;
+  BlockId Header = 0;
+  bool IsReducible = true;
+  std::optional<LoopId> Parent; ///< Enclosing loop, if nested.
+  uint32_t Depth = 1;           ///< 1 = outermost.
+  /// Blocks directly owned by this loop (not by a nested child);
+  /// includes the header.
+  std::vector<BlockId> OwnBlocks;
+  /// Source-line span covered by the loop including nested loops.
+  uint32_t MinLine = 0;
+  uint32_t MaxLine = 0;
+};
+
+/// The loop-nesting forest of one function's CFG.
+class LoopNest {
+public:
+  /// Runs Havlak's analysis over \p Graph.
+  static LoopNest analyze(const Cfg &Graph);
+
+  size_t numLoops() const { return Loops.size(); }
+  const LoopInfo &loop(LoopId Id) const { return Loops[Id]; }
+  const std::vector<LoopInfo> &loops() const { return Loops; }
+
+  /// \returns the innermost loop containing \p Block, if any.
+  std::optional<LoopId> innermostLoopOf(BlockId Block) const;
+
+  /// \returns the innermost loop whose line span covers \p Line
+  /// (deepest wins; among equal depths the tightest span wins), or
+  /// nullopt. This is how a sample's source line is attributed to a
+  /// loop when only line info is available.
+  std::optional<LoopId> innermostLoopForLine(uint32_t Line) const;
+
+  /// All blocks of \p Id including those of nested loops.
+  std::vector<BlockId> allBlocksOf(LoopId Id) const;
+
+private:
+  std::vector<LoopInfo> Loops;
+  /// Innermost loop per block; InvalidLoop when the block is loop-free.
+  std::vector<LoopId> BlockLoop;
+  static constexpr LoopId InvalidLoop = ~LoopId{0};
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_CFG_LOOPNEST_H

@@ -1,0 +1,111 @@
+//===- cfg/SyntheticCodeGen.cpp - Lower loop specs to binaries -----------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/SyntheticCodeGen.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ccprof;
+
+namespace {
+
+/// One lowering work item inside a region, ordered by source line.
+struct BodyItem {
+  uint32_t Line;
+  enum class ItemKind { Access, Statement, Loop } Kind;
+  const LoopSpec *Loop = nullptr;
+};
+
+std::vector<BodyItem> collectItems(const std::vector<uint32_t> &AccessLines,
+                                   const std::vector<uint32_t> &StatementLines,
+                                   const std::vector<LoopSpec> &Loops) {
+  std::vector<BodyItem> Items;
+  Items.reserve(AccessLines.size() + StatementLines.size() + Loops.size());
+  for (uint32_t Line : AccessLines)
+    Items.push_back(BodyItem{Line, BodyItem::ItemKind::Access, nullptr});
+  for (uint32_t Line : StatementLines)
+    Items.push_back(BodyItem{Line, BodyItem::ItemKind::Statement, nullptr});
+  for (const LoopSpec &Loop : Loops)
+    Items.push_back(BodyItem{Loop.HeaderLine, BodyItem::ItemKind::Loop, &Loop});
+  std::stable_sort(Items.begin(), Items.end(),
+                   [](const BodyItem &A, const BodyItem &B) {
+                     return A.Line < B.Line;
+                   });
+  return Items;
+}
+
+void lowerLoop(BinaryImage &Image, const LoopSpec &Loop) {
+  assert(Loop.HeaderLine <= Loop.EndLine && "loop lines out of order");
+
+  // Preheader: induction-variable init.
+  Image.appendInstruction(
+      Instruction{0, Loop.HeaderLine, InsnKind::Sequential, 0, false});
+
+  // Header: loop test; exits past the latch (patched below).
+  size_t HeaderIndex = Image.appendInstruction(
+      Instruction{0, Loop.HeaderLine, InsnKind::CondBranch, 0, false});
+  uint64_t HeaderAddr = Image.instructions()[HeaderIndex].Addr;
+
+  for (const BodyItem &Item :
+       collectItems(Loop.AccessLines, Loop.StatementLines, Loop.Children)) {
+    switch (Item.Kind) {
+    case BodyItem::ItemKind::Access:
+      Image.appendInstruction(
+          Instruction{0, Item.Line, InsnKind::Sequential, 0, true});
+      break;
+    case BodyItem::ItemKind::Statement:
+      Image.appendInstruction(
+          Instruction{0, Item.Line, InsnKind::Sequential, 0, false});
+      break;
+    case BodyItem::ItemKind::Loop:
+      lowerLoop(Image, *Item.Loop);
+      break;
+    }
+  }
+
+  // Latch: back edge to the header.
+  Image.appendInstruction(
+      Instruction{0, Loop.EndLine, InsnKind::Jump, HeaderAddr, false});
+
+  // The exit block starts at the next emitted instruction.
+  Image.patchTarget(HeaderIndex, Image.nextAddr());
+}
+
+} // namespace
+
+BinaryImage ccprof::lowerToBinary(std::string SourceFile,
+                                  const std::vector<FunctionSpec> &Functions) {
+  BinaryImage Image(std::move(SourceFile));
+  for (const FunctionSpec &Function : Functions) {
+    Image.beginFunction(Function.Name);
+    // Prologue.
+    Image.appendInstruction(
+        Instruction{0, Function.StartLine, InsnKind::Sequential, 0, false});
+    for (const BodyItem &Item :
+         collectItems(Function.AccessLines, Function.StatementLines,
+                      Function.Loops)) {
+      switch (Item.Kind) {
+      case BodyItem::ItemKind::Access:
+        Image.appendInstruction(
+            Instruction{0, Item.Line, InsnKind::Sequential, 0, true});
+        break;
+      case BodyItem::ItemKind::Statement:
+        Image.appendInstruction(
+            Instruction{0, Item.Line, InsnKind::Sequential, 0, false});
+        break;
+      case BodyItem::ItemKind::Loop:
+        lowerLoop(Image, *Item.Loop);
+        break;
+      }
+    }
+    Image.appendInstruction(
+        Instruction{0, Function.EndLine, InsnKind::Return, 0, false});
+    Image.endFunction();
+  }
+  return Image;
+}

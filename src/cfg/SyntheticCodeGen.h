@@ -1,0 +1,66 @@
+//===- cfg/SyntheticCodeGen.h - Lower loop specs to binaries ---*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a structural description of a kernel (a tree of counted loops
+/// with memory-access statements) into a BinaryImage, the way a compiler
+/// lowers source to machine code. Workloads describe their shape here;
+/// the offline analyzer then has to *rediscover* the loops from the
+/// instruction stream with CFG recovery + Havlak, mirroring the paper's
+/// pipeline where loops are identified from fully optimized binaries,
+/// never from source.
+///
+/// Lowering of one loop:
+///
+///   preheader:  init            (Sequential, line = HeaderLine)
+///   header:     test, br exit   (CondBranch -> exit, line = HeaderLine)
+///   body:       stmts/children  (in line order)
+///   latch:      jmp header      (Jump, line = EndLine)
+///   exit:       ...
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_CFG_SYNTHETICCODEGEN_H
+#define CCPROF_CFG_SYNTHETICCODEGEN_H
+
+#include "cfg/BinaryImage.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+/// A loop in a kernel description.
+struct LoopSpec {
+  uint32_t HeaderLine = 0; ///< Line of the `for (...)` statement.
+  uint32_t EndLine = 0;    ///< Line of the loop's closing brace.
+  /// Lines inside this loop (not inside a child) that perform memory
+  /// accesses; each lowers to one memory-access instruction.
+  std::vector<uint32_t> AccessLines;
+  /// Straight-line (non-access) statement lines inside this loop.
+  std::vector<uint32_t> StatementLines;
+  std::vector<LoopSpec> Children;
+};
+
+/// A function: optional top-level statements plus top-level loops.
+struct FunctionSpec {
+  std::string Name;
+  uint32_t StartLine = 0;
+  uint32_t EndLine = 0;
+  std::vector<uint32_t> AccessLines;    ///< Loop-free access lines.
+  std::vector<uint32_t> StatementLines; ///< Loop-free statement lines.
+  std::vector<LoopSpec> Loops;
+};
+
+/// Lowers \p Functions into a fresh image for \p SourceFile.
+BinaryImage lowerToBinary(std::string SourceFile,
+                          const std::vector<FunctionSpec> &Functions);
+
+} // namespace ccprof
+
+#endif // CCPROF_CFG_SYNTHETICCODEGEN_H

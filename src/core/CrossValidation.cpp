@@ -1,0 +1,59 @@
+//===- core/CrossValidation.cpp - K-fold model validation ----------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CrossValidation.h"
+
+#include "core/LogisticRegression.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <numeric>
+#include <vector>
+
+using namespace ccprof;
+
+BinaryConfusion ccprof::crossValidate(std::span<const double> X,
+                                      std::span<const uint8_t> Labels,
+                                      CrossValidationOptions Options) {
+  assert(X.size() == Labels.size() && "feature/label size mismatch");
+  assert(Options.Folds >= 2 && "k-fold needs at least two folds");
+  assert(X.size() >= Options.Folds && "need at least one sample per fold");
+
+  const size_t N = X.size();
+
+  // Fisher-Yates shuffle of the index set for random fold assignment.
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), size_t{0});
+  Xoshiro256 Rng(Options.ShuffleSeed);
+  for (size_t I = N; I > 1; --I)
+    std::swap(Order[I - 1], Order[Rng.nextBounded(I)]);
+
+  BinaryConfusion Pooled;
+  for (uint32_t Fold = 0; Fold < Options.Folds; ++Fold) {
+    // Fold f holds the shuffled indices congruent to f.
+    std::vector<double> TrainX;
+    std::vector<uint8_t> TrainY;
+    TrainX.reserve(N);
+    TrainY.reserve(N);
+    for (size_t I = 0; I < N; ++I) {
+      if (I % Options.Folds == Fold)
+        continue;
+      TrainX.push_back(X[Order[I]]);
+      TrainY.push_back(Labels[Order[I]]);
+    }
+
+    SimpleLogisticRegression Model;
+    Model.fit(TrainX, TrainY);
+
+    for (size_t I = Fold; I < N; I += Options.Folds) {
+      bool Predicted =
+          Model.classify(X[Order[I]], Options.DecisionThreshold);
+      Pooled.record(Predicted, Labels[Order[I]] != 0);
+    }
+  }
+  return Pooled;
+}

@@ -1,0 +1,42 @@
+//===- core/CrossValidation.h - K-fold model validation --------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// K-fold cross-validation of the conflict classifier, pooling the
+/// per-fold confusion matrices into one F1-score — the paper's accuracy
+/// protocol (8-fold over 16 labeled loops, Sec. 5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_CORE_CROSSVALIDATION_H
+#define CCPROF_CORE_CROSSVALIDATION_H
+
+#include "support/Statistics.h"
+
+#include <cstdint>
+#include <span>
+
+namespace ccprof {
+
+/// Options for k-fold evaluation.
+struct CrossValidationOptions {
+  uint32_t Folds = 8;
+  uint64_t ShuffleSeed = 0x0f01'd5ee;
+  double DecisionThreshold = 0.5;
+};
+
+/// Runs k-fold cross-validation of a SimpleLogisticRegression on the
+/// labeled observations (\p X[i], \p Labels[i]) and \returns the pooled
+/// confusion matrix (use .f1() for the paper's accuracy measure).
+/// Requires X.size() >= Folds >= 2.
+BinaryConfusion crossValidate(std::span<const double> X,
+                              std::span<const uint8_t> Labels,
+                              CrossValidationOptions Options = {});
+
+} // namespace ccprof
+
+#endif // CCPROF_CORE_CROSSVALIDATION_H

@@ -1,0 +1,78 @@
+//===- core/LogisticRegression.cpp - Simple logistic regression ----------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LogisticRegression.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ccprof;
+
+namespace {
+
+double sigmoid(double Z) {
+  // Numerically stable in both tails.
+  if (Z >= 0.0) {
+    double E = std::exp(-Z);
+    return 1.0 / (1.0 + E);
+  }
+  double E = std::exp(Z);
+  return E / (1.0 + E);
+}
+
+} // namespace
+
+uint32_t SimpleLogisticRegression::fit(std::span<const double> X,
+                                       std::span<const uint8_t> Labels,
+                                       LogisticFitOptions Options) {
+  assert(X.size() == Labels.size() && "feature/label size mismatch");
+  assert(!X.empty() && "cannot fit an empty training set");
+
+  const size_t N = X.size();
+  W0 = 0.0;
+  W1 = 0.0;
+
+  uint32_t Iteration = 0;
+  for (; Iteration < Options.MaxIterations; ++Iteration) {
+    // Gradient and Hessian of the ridge-penalized log-likelihood.
+    double G0 = -Options.Ridge * W0;
+    double G1 = -Options.Ridge * W1;
+    double H00 = Options.Ridge, H01 = 0.0, H11 = Options.Ridge;
+    for (size_t I = 0; I < N; ++I) {
+      double P = sigmoid(W0 + W1 * X[I]);
+      double Error = (Labels[I] ? 1.0 : 0.0) - P;
+      G0 += Error;
+      G1 += Error * X[I];
+      double Weight = P * (1.0 - P);
+      H00 += Weight;
+      H01 += Weight * X[I];
+      H11 += Weight * X[I] * X[I];
+    }
+
+    // Newton step: solve H * delta = G for the 2x2 system.
+    double Det = H00 * H11 - H01 * H01;
+    assert(Det > 0.0 && "ridge keeps the Hessian positive definite");
+    double Delta0 = (H11 * G0 - H01 * G1) / Det;
+    double Delta1 = (H00 * G1 - H01 * G0) / Det;
+    W0 += Delta0;
+    W1 += Delta1;
+
+    if (std::abs(Delta0) < Options.Tolerance &&
+        std::abs(Delta1) < Options.Tolerance)
+      break;
+  }
+  return Iteration;
+}
+
+double SimpleLogisticRegression::predictProbability(double X) const {
+  return sigmoid(W0 + W1 * X);
+}
+
+double SimpleLogisticRegression::decisionBoundary() const {
+  assert(W1 != 0.0 && "flat model has no boundary");
+  return -W0 / W1;
+}

@@ -1,0 +1,65 @@
+//===- core/LogisticRegression.h - Simple logistic regression --*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Simple (one-feature) logistic regression, the model the paper trains
+/// to decide "does this loop suffer from conflict misses?" from the L1
+/// miss contribution factor under an RCD threshold (Sec. 3.4, [35]).
+/// Fitted with Newton-Raphson (IRLS) plus a small L2 ridge so linearly
+/// separable training sets — common with only 16 loops — converge to
+/// finite weights.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_CORE_LOGISTICREGRESSION_H
+#define CCPROF_CORE_LOGISTICREGRESSION_H
+
+#include <cstdint>
+#include <span>
+
+namespace ccprof {
+
+/// Options of SimpleLogisticRegression::fit.
+struct LogisticFitOptions {
+  uint32_t MaxIterations = 100;
+  double Tolerance = 1e-9;  ///< Convergence on weight change.
+  double Ridge = 1e-3;      ///< L2 regularization strength.
+};
+
+/// Binary classifier p(y=1 | x) = sigmoid(W0 + W1 * x).
+class SimpleLogisticRegression {
+public:
+  /// Fits the model to observations (\p X[i], nonzero \p Labels[i]).
+  /// \returns the number of Newton iterations used.
+  /// Requires at least one observation of each class for a meaningful
+  /// decision boundary, but converges regardless.
+  uint32_t fit(std::span<const double> X, std::span<const uint8_t> Labels,
+               LogisticFitOptions Options = {});
+
+  /// p(y=1 | \p X).
+  double predictProbability(double X) const;
+
+  /// predictProbability(X) >= \p Threshold.
+  bool classify(double X, double Threshold = 0.5) const {
+    return predictProbability(X) >= Threshold;
+  }
+
+  /// The feature value where p = 0.5 (the decision boundary); only
+  /// meaningful when W1 != 0.
+  double decisionBoundary() const;
+
+  double intercept() const { return W0; }
+  double slope() const { return W1; }
+
+private:
+  double W0 = 0.0;
+  double W1 = 0.0;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_CORE_LOGISTICREGRESSION_H

@@ -1,0 +1,98 @@
+//===- core/PaddingAdvisor.cpp - Padding optimization guidance -----------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PaddingAdvisor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace ccprof;
+
+uint64_t ccprof::setsTouchedByColumnSweep(uint64_t RowStrideBytes,
+                                          uint64_t Rows,
+                                          const CacheGeometry &Geometry) {
+  assert(RowStrideBytes > 0 && "stride must be positive");
+  const uint64_t NumSets = Geometry.numSets();
+  std::vector<uint8_t> Touched(NumSets, 0);
+  uint64_t Count = 0;
+  uint64_t Addr = 0;
+  for (uint64_t Row = 0; Row < Rows && Count < NumSets; ++Row) {
+    uint64_t Set = Geometry.setIndexOf(Addr);
+    if (!Touched[Set]) {
+      Touched[Set] = 1;
+      ++Count;
+    }
+    Addr += RowStrideBytes;
+  }
+  return Count;
+}
+
+uint64_t ccprof::worstWindowSetCoverage(uint64_t RowStrideBytes,
+                                        uint64_t Rows,
+                                        const CacheGeometry &Geometry) {
+  assert(RowStrideBytes > 0 && "stride must be positive");
+  assert(Rows > 0 && "need at least one row");
+  const uint64_t NumSets = Geometry.numSets();
+  const uint64_t Window = std::min(NumSets, Rows);
+
+  // Sliding window over the per-row set sequence, tracking distinct-set
+  // counts incrementally.
+  std::vector<uint64_t> Sets(Rows);
+  uint64_t Addr = 0;
+  for (uint64_t Row = 0; Row < Rows; ++Row) {
+    Sets[Row] = Geometry.setIndexOf(Addr);
+    Addr += RowStrideBytes;
+  }
+
+  std::vector<uint32_t> InWindow(NumSets, 0);
+  uint64_t Distinct = 0;
+  uint64_t Worst = Window;
+  for (uint64_t Row = 0; Row < Rows; ++Row) {
+    if (InWindow[Sets[Row]]++ == 0)
+      ++Distinct;
+    if (Row + 1 >= Window) {
+      Worst = std::min(Worst, Distinct);
+      uint64_t Leaving = Sets[Row + 1 - Window];
+      if (--InWindow[Leaving] == 0)
+        --Distinct;
+    }
+  }
+  return Worst;
+}
+
+PaddingAdvice ccprof::adviseRowPadding(uint64_t RowBytes,
+                                       uint64_t ElementBytes, uint64_t Rows,
+                                       const CacheGeometry &Geometry) {
+  assert(ElementBytes > 0 && "element size must be positive");
+  assert(RowBytes >= ElementBytes && "row must hold at least one element");
+
+  PaddingAdvice Advice;
+  Advice.SetsBefore = worstWindowSetCoverage(RowBytes, Rows, Geometry);
+  Advice.PadBytes = 0;
+  Advice.NewRowBytes = RowBytes;
+  Advice.SetsAfter = Advice.SetsBefore;
+  const uint64_t Best = std::min(Geometry.numSets(), Rows);
+  if (Advice.SetsBefore == Best)
+    return Advice; // Already perfectly spread.
+
+  // Try pads up to one full set-stride; the mapping of row starts to
+  // sets is periodic in the set stride, so nothing larger helps.
+  const uint64_t MaxPad = Geometry.setStrideBytes();
+  for (uint64_t Pad = ElementBytes; Pad <= MaxPad; Pad += ElementBytes) {
+    uint64_t Coverage =
+        worstWindowSetCoverage(RowBytes + Pad, Rows, Geometry);
+    if (Coverage > Advice.SetsAfter) {
+      Advice.PadBytes = Pad;
+      Advice.NewRowBytes = RowBytes + Pad;
+      Advice.SetsAfter = Coverage;
+      if (Coverage == Best)
+        break; // Cannot do better.
+    }
+  }
+  return Advice;
+}

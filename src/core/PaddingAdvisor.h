@@ -1,0 +1,67 @@
+//===- core/PaddingAdvisor.h - Padding optimization guidance ---*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes the padding fix the paper applies once CCProf flags a loop:
+/// for a multidimensional array accessed along a non-contiguous
+/// dimension, successive accesses stride by the row size, and when that
+/// stride maps a column onto only a few cache sets the walk conflicts.
+/// Padding each row shifts successive rows across sets (paper Fig. 2,
+/// Sec. 6, [16]).
+///
+/// The advisor evaluates candidate pads by directly counting the sets a
+/// strided walk touches — robust to strides that are not multiples of
+/// the line size (the paper's 32-byte NW pad, for instance).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_CORE_PADDINGADVISOR_H
+#define CCPROF_CORE_PADDINGADVISOR_H
+
+#include "sim/CacheGeometry.h"
+
+#include <cstdint>
+
+namespace ccprof {
+
+/// Number of distinct cache sets touched by \p Rows accesses strided by
+/// \p RowStrideBytes (a column walk of a row-major matrix), starting at
+/// offset 0. Saturates at the geometry's set count.
+uint64_t setsTouchedByColumnSweep(uint64_t RowStrideBytes, uint64_t Rows,
+                                  const CacheGeometry &Geometry);
+
+/// The temporal-quality measure of a strided walk: the minimum number of
+/// distinct sets touched over any window of min(numSets, Rows)
+/// consecutive accesses. Total sets touched can be perfect while the
+/// walk still dwells on one set for long runs (the NW pattern, where a
+/// small byte drift eventually covers every set but 16 consecutive rows
+/// share one) — low worst-window coverage is exactly what produces the
+/// short RCDs CCProf flags.
+uint64_t worstWindowSetCoverage(uint64_t RowStrideBytes, uint64_t Rows,
+                                const CacheGeometry &Geometry);
+
+/// Recommended padding for one row of a row-major array.
+struct PaddingAdvice {
+  uint64_t PadBytes = 0;      ///< Bytes to append to each row.
+  uint64_t NewRowBytes = 0;   ///< RowBytes + PadBytes.
+  uint64_t SetsBefore = 0;    ///< Worst-window coverage before padding.
+  uint64_t SetsAfter = 0;     ///< Worst-window coverage after padding.
+
+  bool improves() const { return SetsAfter > SetsBefore; }
+};
+
+/// Finds the smallest pad (a multiple of \p ElementBytes, at most one
+/// set-stride) that maximizes the worst-window set coverage of a column
+/// walk over \p Rows rows of \p RowBytes each. A pad of 0 is returned
+/// when the walk already achieves the best coverage found.
+PaddingAdvice adviseRowPadding(uint64_t RowBytes, uint64_t ElementBytes,
+                               uint64_t Rows,
+                               const CacheGeometry &Geometry);
+
+} // namespace ccprof
+
+#endif // CCPROF_CORE_PADDINGADVISOR_H

@@ -1,0 +1,89 @@
+//===- core/ProgramStructure.cpp - Offline binary analysis front-end -----===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProgramStructure.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ccprof;
+
+ProgramStructure::ProgramStructure(const BinaryImage &Image) : Image(&Image) {
+  Structures.reserve(Image.functions().size());
+  for (const BinaryFunction &Function : Image.functions()) {
+    FunctionStructure Structure{Cfg::build(Image, Function), LoopNest{}, 0,
+                                0};
+    Structure.Loops = LoopNest::analyze(Structure.Graph);
+    const std::vector<Instruction> &Insns = Image.instructions();
+    Structure.MinLine = Insns[Function.FirstInsn].Line;
+    Structure.MaxLine = Insns[Function.FirstInsn].Line;
+    for (size_t I = Function.FirstInsn,
+                E = Function.FirstInsn + Function.NumInsns;
+         I < E; ++I) {
+      Structure.MinLine = std::min(Structure.MinLine, Insns[I].Line);
+      Structure.MaxLine = std::max(Structure.MaxLine, Insns[I].Line);
+    }
+    Structures.push_back(std::move(Structure));
+  }
+}
+
+std::optional<LoopRef>
+ProgramStructure::innermostLoopForLine(uint32_t Line) const {
+  std::optional<LoopRef> Best;
+  uint32_t BestDepth = 0;
+  uint32_t BestSpan = ~uint32_t{0};
+  for (uint32_t F = 0; F < Structures.size(); ++F) {
+    const FunctionStructure &Structure = Structures[F];
+    if (Line < Structure.MinLine || Line > Structure.MaxLine)
+      continue;
+    std::optional<LoopId> Loop =
+        Structure.Loops.innermostLoopForLine(Line);
+    if (!Loop)
+      continue;
+    const LoopInfo &Info = Structure.Loops.loop(*Loop);
+    uint32_t Span = Info.MaxLine - Info.MinLine;
+    if (!Best || Info.Depth > BestDepth ||
+        (Info.Depth == BestDepth && Span < BestSpan)) {
+      Best = LoopRef{F, *Loop};
+      BestDepth = Info.Depth;
+      BestSpan = Span;
+    }
+  }
+  return Best;
+}
+
+std::string ProgramStructure::describeLoop(LoopRef Ref) const {
+  const LoopInfo &Info = info(Ref);
+  const Cfg &Graph = Structures[Ref.FunctionIndex].Graph;
+  uint32_t HeaderLine = Graph.block(Info.Header).MinLine;
+  return Image->sourceFile() + ":" + std::to_string(HeaderLine);
+}
+
+uint32_t ProgramStructure::headerLine(LoopRef Ref) const {
+  const LoopInfo &Info = info(Ref);
+  return Structures[Ref.FunctionIndex].Graph.block(Info.Header).MinLine;
+}
+
+uint32_t ProgramStructure::depth(LoopRef Ref) const {
+  return info(Ref).Depth;
+}
+
+size_t ProgramStructure::numLoops() const {
+  size_t Count = 0;
+  for (const FunctionStructure &Structure : Structures)
+    Count += Structure.Loops.numLoops();
+  return Count;
+}
+
+std::vector<LoopRef> ProgramStructure::allLoops() const {
+  std::vector<LoopRef> Loops;
+  Loops.reserve(numLoops());
+  for (uint32_t F = 0; F < Structures.size(); ++F)
+    for (LoopId L = 0; L < Structures[F].Loops.numLoops(); ++L)
+      Loops.push_back(LoopRef{F, L});
+  return Loops;
+}

@@ -1,0 +1,93 @@
+//===- core/ProgramStructure.h - Offline binary analysis front-end -------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The offline analyzer's view of the profiled program: for every
+/// function of the binary it recovers the CFG and runs Havlak interval
+/// analysis (paper Sec. 4), then answers "which innermost loop does this
+/// source line belong to?" during code-centric attribution. Loops are
+/// named by their header line, the way the paper reports them
+/// ("needle.cpp:189").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_CORE_PROGRAMSTRUCTURE_H
+#define CCPROF_CORE_PROGRAMSTRUCTURE_H
+
+#include "cfg/Cfg.h"
+#include "cfg/LoopNest.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+/// A loop within the analyzed program: function index + loop id.
+struct LoopRef {
+  uint32_t FunctionIndex = 0;
+  LoopId Loop = 0;
+
+  bool operator==(const LoopRef &Other) const = default;
+  /// Totally ordered so LoopRef can key ordered containers.
+  auto operator<=>(const LoopRef &Other) const = default;
+};
+
+/// CFG + loop forest of every function in a BinaryImage.
+class ProgramStructure {
+public:
+  /// Analyzes \p Image (which must outlive this object).
+  explicit ProgramStructure(const BinaryImage &Image);
+
+  /// \returns the innermost loop (across all functions) whose line span
+  /// contains \p Line, or nullopt for loop-free code.
+  std::optional<LoopRef> innermostLoopForLine(uint32_t Line) const;
+
+  /// "file:headerLine" name of \p Ref, e.g. "needle.cpp:189".
+  std::string describeLoop(LoopRef Ref) const;
+
+  /// Header source line of \p Ref.
+  uint32_t headerLine(LoopRef Ref) const;
+
+  /// Nesting depth of \p Ref (1 = outermost).
+  uint32_t depth(LoopRef Ref) const;
+
+  /// Total loops discovered across all functions.
+  size_t numLoops() const;
+
+  size_t numFunctions() const { return Structures.size(); }
+  const Cfg &cfg(uint32_t FunctionIndex) const {
+    return Structures[FunctionIndex].Graph;
+  }
+  const LoopNest &loopNest(uint32_t FunctionIndex) const {
+    return Structures[FunctionIndex].Loops;
+  }
+  const BinaryImage &image() const { return *Image; }
+
+  /// Every loop of the program.
+  std::vector<LoopRef> allLoops() const;
+
+private:
+  struct FunctionStructure {
+    Cfg Graph;
+    LoopNest Loops;
+    uint32_t MinLine = 0;
+    uint32_t MaxLine = 0;
+  };
+
+  const LoopInfo &info(LoopRef Ref) const {
+    return Structures[Ref.FunctionIndex].Loops.loop(Ref.Loop);
+  }
+
+  const BinaryImage *Image;
+  std::vector<FunctionStructure> Structures;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_CORE_PROGRAMSTRUCTURE_H

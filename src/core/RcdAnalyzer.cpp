@@ -1,0 +1,91 @@
+//===- core/RcdAnalyzer.cpp - Re-Conflict Distance analysis --------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RcdAnalyzer.h"
+
+#include <cassert>
+
+using namespace ccprof;
+
+RcdProfile::RcdProfile(uint64_t NumSets)
+    : PerSetRcd(NumSets), SetMisses(NumSets, 0), LastMissOrdinal(NumSets, 0),
+      CurrentRunRcd(NumSets, 0), CurrentRunLength(NumSets, 0) {
+  assert(NumSets > 0 && "profile needs at least one set");
+}
+
+void RcdProfile::addMiss(uint64_t SetIndex, uint64_t EventOrdinal) {
+  assert(SetIndex < SetMisses.size() && "set index out of range");
+  assert(EventOrdinal > LastOrdinal && "event ordinals must increase");
+  LastOrdinal = EventOrdinal;
+  ++TotalMisses;
+  ++SetMisses[SetIndex];
+
+  const uint64_t Previous = LastMissOrdinal[SetIndex];
+  LastMissOrdinal[SetIndex] = EventOrdinal;
+  if (Previous == 0)
+    return; // First miss on this set: no RCD observation yet.
+
+  const uint64_t Distance = EventOrdinal - Previous;
+  Rcd.add(Distance);
+  PerSetRcd[SetIndex].add(Distance);
+
+  // Conflict-period tracking: extend or close the constant-RCD run.
+  if (CurrentRunLength[SetIndex] > 0 && CurrentRunRcd[SetIndex] == Distance) {
+    ++CurrentRunLength[SetIndex];
+    return;
+  }
+  if (CurrentRunLength[SetIndex] > 0)
+    Periods.RunLengths.add(CurrentRunLength[SetIndex]);
+  CurrentRunRcd[SetIndex] = Distance;
+  CurrentRunLength[SetIndex] = 1;
+}
+
+const Histogram &RcdProfile::rcdOfSet(uint64_t SetIndex) const {
+  assert(SetIndex < PerSetRcd.size() && "set index out of range");
+  return PerSetRcd[SetIndex];
+}
+
+uint64_t RcdProfile::setsUtilized() const {
+  uint64_t Count = 0;
+  for (uint64_t Misses : SetMisses)
+    if (Misses > 0)
+      ++Count;
+  return Count;
+}
+
+ConflictPeriodStats RcdProfile::conflictPeriods() const {
+  ConflictPeriodStats Result = Periods;
+  for (uint64_t Length : CurrentRunLength)
+    if (Length > 0)
+      Result.RunLengths.add(Length);
+  return Result;
+}
+
+double RcdProfile::contributionFactor(uint64_t Threshold) const {
+  if (TotalMisses == 0)
+    return 0.0;
+  return static_cast<double>(Rcd.countBelow(Threshold)) /
+         static_cast<double>(TotalMisses);
+}
+
+RcdAnalyzer::RcdAnalyzer(uint64_t NumSets) : NumSets(NumSets) {
+  assert(NumSets > 0 && "analyzer needs at least one set");
+}
+
+void RcdAnalyzer::addMiss(ContextId Context, uint64_t SetIndex,
+                          uint64_t EventOrdinal) {
+  auto It = Profiles.find(Context);
+  if (It == Profiles.end())
+    It = Profiles.emplace(Context, RcdProfile(NumSets)).first;
+  It->second.addMiss(SetIndex, EventOrdinal);
+  ++TotalMisses;
+}
+
+const RcdProfile *RcdAnalyzer::profile(ContextId Context) const {
+  auto It = Profiles.find(Context);
+  return It == Profiles.end() ? nullptr : &It->second;
+}

@@ -1,0 +1,155 @@
+//===- core/RcdAnalyzer.h - Re-Conflict Distance analysis ------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-Conflict Distance (RCD) — the paper's central metric (Def. 1):
+/// for a cache set S within a program context P, the distance between
+/// two consecutive misses on S, measured in misses of P. We record the
+/// distance as the difference of miss ordinals, so a perfectly balanced
+/// round-robin over all N sets yields RCD == N for every set, matching
+/// Observation 2 ("if an application has no conflict misses, the RCD of
+/// each set equals the number of cache sets"); RCD < N marks the set as
+/// a victim of imbalanced utilization.
+///
+/// The same analyzer serves both pipelines: fed every miss (simulator
+/// ground truth) it produces exact RCDs; fed the PEBS-sampled
+/// subsequence it produces the approximate RCDs of Sec. 3.3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_CORE_RCDANALYZER_H
+#define CCPROF_CORE_RCDANALYZER_H
+
+#include "support/Histogram.h"
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace ccprof {
+
+/// Identifier of a program context (a loop or function). The profiler
+/// assigns contexts during attribution; the analyzer only groups by them.
+using ContextId = uint32_t;
+
+/// Statistics of conflict periods (Sec. 3.3): maximal runs of misses on
+/// one set with the same RCD value. Long periods mean stable conflict
+/// behaviour that sparse sampling can catch; short periods (HimenoBMT)
+/// need high-frequency sampling.
+struct ConflictPeriodStats {
+  Histogram RunLengths; ///< Lengths of completed constant-RCD runs.
+
+  double meanRunLength() const { return RunLengths.meanKey(); }
+  uint64_t maxRunLength() const {
+    return RunLengths.empty() ? 0 : RunLengths.maxKey();
+  }
+};
+
+/// RCD profile of one program context.
+///
+/// Distances are measured in *event ordinals*: positions in the global
+/// L1-miss event stream. Under sampling the PMU knows the exact event
+/// distance between two samples (it counts the skipped events via the
+/// programmed period), so sampled RCDs measured this way are exact
+/// distances over an incomplete set of observation points — rather than
+/// distances in the sampled subsequence, which would fabricate short
+/// RCDs across burst gaps.
+class RcdProfile {
+public:
+  explicit RcdProfile(uint64_t NumSets);
+
+  /// Feeds a miss of this context on \p SetIndex observed at global
+  /// event position \p EventOrdinal (1-based, strictly increasing).
+  void addMiss(uint64_t SetIndex, uint64_t EventOrdinal);
+
+  /// Convenience overload for self-contained streams: uses the next
+  /// consecutive ordinal (exact, context-local RCD — what a simulator
+  /// that traces only this loop would compute).
+  void addMiss(uint64_t SetIndex) { addMiss(SetIndex, LastOrdinal + 1); }
+
+  /// All RCD observations of the context pooled over sets.
+  const Histogram &rcd() const { return Rcd; }
+
+  /// RCD observations of one set.
+  const Histogram &rcdOfSet(uint64_t SetIndex) const;
+
+  /// Total misses fed to this context (including each set's first miss,
+  /// which produces no RCD observation).
+  uint64_t totalMisses() const { return TotalMisses; }
+
+  /// Misses that fell on \p SetIndex.
+  uint64_t missesOnSet(uint64_t SetIndex) const {
+    return SetMisses[SetIndex];
+  }
+
+  /// Number of distinct sets that received at least one miss — the
+  /// "# of cache sets utilized" column of paper Table 4.
+  uint64_t setsUtilized() const;
+
+  /// Contribution factor cf (Eq. 1): the fraction of this context's
+  /// misses whose RCD is shorter than \p Threshold.
+  double contributionFactor(uint64_t Threshold) const;
+
+  /// Mean observed RCD; the number of sets for balanced utilization.
+  double meanRcd() const { return Rcd.meanKey(); }
+
+  /// Conflict-period statistics pooled over sets, including the
+  /// still-open run of each set (a stable pattern that never changes is
+  /// one long period, not zero periods).
+  ConflictPeriodStats conflictPeriods() const;
+
+  uint64_t numSets() const { return SetMisses.size(); }
+
+private:
+  Histogram Rcd;
+  std::vector<Histogram> PerSetRcd;
+  std::vector<uint64_t> SetMisses;
+  /// Event ordinal of the previous miss on each set; 0 = none yet.
+  std::vector<uint64_t> LastMissOrdinal;
+  /// Most recent event ordinal fed to this profile.
+  uint64_t LastOrdinal = 0;
+  /// RCD value of the current constant-RCD run per set; run tracking for
+  /// conflict periods.
+  std::vector<uint64_t> CurrentRunRcd;
+  std::vector<uint64_t> CurrentRunLength;
+  ConflictPeriodStats Periods;
+  uint64_t TotalMisses = 0;
+};
+
+/// Groups a stream of set-attributed misses by program context and
+/// maintains one RcdProfile per context.
+class RcdAnalyzer {
+public:
+  explicit RcdAnalyzer(uint64_t NumSets);
+
+  /// Feeds one miss of context \p Context on set \p SetIndex observed
+  /// at global event position \p EventOrdinal (1-based, increasing).
+  void addMiss(ContextId Context, uint64_t SetIndex,
+               uint64_t EventOrdinal);
+
+  /// \returns the profile of \p Context, or nullptr if it never missed.
+  const RcdProfile *profile(ContextId Context) const;
+
+  /// All contexts with their profiles, keyed by context id.
+  const std::map<ContextId, RcdProfile> &profiles() const {
+    return Profiles;
+  }
+
+  /// Misses fed across all contexts.
+  uint64_t totalMisses() const { return TotalMisses; }
+
+  uint64_t numSets() const { return NumSets; }
+
+private:
+  uint64_t NumSets;
+  std::map<ContextId, RcdProfile> Profiles;
+  uint64_t TotalMisses = 0;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_CORE_RCDANALYZER_H

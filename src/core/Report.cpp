@@ -1,0 +1,84 @@
+//===- core/Report.cpp - Text rendering of profile results ---------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Report.h"
+
+#include "support/Table.h"
+
+#include <sstream>
+
+using namespace ccprof;
+
+std::string ccprof::renderProfileReport(const ProfileResult &Result,
+                                        const std::string &ProgramName) {
+  std::ostringstream Out;
+  Out << "CCProf conflict-miss report: " << ProgramName << '\n'
+      << "  references " << fmt::grouped(Result.TraceRefs) << ", L1 misses "
+      << fmt::grouped(Result.L1Misses) << " ("
+      << fmt::percent(Result.L1MissRatio) << "), samples "
+      << fmt::grouped(Result.Samples) << ", sets " << Result.NumSets
+      << ", RCD threshold " << Result.RcdThreshold << "\n\n";
+
+  TextTable Table({"loop", "miss contrib", "#sets", "cf(RCD<T)",
+                   "median RCD", "p(conflict)", "verdict"});
+  for (const LoopConflictReport &Loop : Result.Loops) {
+    Table.addRow({Loop.Location, fmt::percent(Loop.MissContribution),
+                  std::to_string(Loop.SetsUtilized),
+                  fmt::percent(Loop.ContributionFactor),
+                  std::to_string(Loop.MedianRcd),
+                  fmt::fixed(Loop.ConflictProbability, 2),
+                  Loop.ConflictPredicted ? "CONFLICT" : "clean"});
+  }
+  Out << Table.render() << '\n';
+
+  // Optimization guidance: data-centric attribution of flagged loops.
+  for (const LoopConflictReport &Loop : Result.Loops) {
+    if (!Loop.ConflictPredicted || Loop.DataStructures.empty())
+      continue;
+    Out << "Conflicting loop " << Loop.Location
+        << " — responsible data structures:\n";
+    for (const DataStructureReport &Data : Loop.DataStructures)
+      Out << "    " << Data.Name << "  " << fmt::grouped(Data.Samples)
+          << " samples (" << fmt::percent(Data.Share) << ")\n";
+    Out << "  guidance: consider padding the dominant structure's rows "
+           "or transposing the loop's access order.\n";
+  }
+  return Out.str();
+}
+
+std::string ccprof::renderLoopTable(const ProfileResult &Result) {
+  TextTable Table(
+      {"Loop with line number", "L1 cache miss contribution",
+       "# of Cache Sets utilized"});
+  for (const LoopConflictReport &Loop : Result.Loops)
+    Table.addRow({Loop.Location, fmt::percent(Loop.MissContribution),
+                  std::to_string(Loop.SetsUtilized)});
+  return Table.render();
+}
+
+std::vector<std::pair<uint64_t, double>>
+ccprof::rcdCdfSeries(const LoopConflictReport &Report) {
+  return Report.Rcd.cdfSeries();
+}
+
+double ccprof::cdfAtThreshold(const LoopConflictReport &Report,
+                              uint64_t Threshold) {
+  return Report.Rcd.fractionBelow(Threshold);
+}
+
+std::string ccprof::renderVictimSets(const LoopConflictReport &Report,
+                                     size_t MaxRows) {
+  std::ostringstream Out;
+  Out << "per-set misses of " << Report.Location << " ("
+      << Report.SetsUtilized << "/" << Report.PerSetMisses.size()
+      << " sets utilized):\n";
+  Histogram BySet;
+  for (uint64_t Set = 0; Set < Report.PerSetMisses.size(); ++Set)
+    BySet.add(Set, Report.PerSetMisses[Set]);
+  Out << BySet.toAsciiChart(MaxRows);
+  return Out.str();
+}

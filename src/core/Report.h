@@ -1,0 +1,53 @@
+//===- core/Report.h - Text rendering of profile results -------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders ProfileResults as the text reports CCProf emits: the per-loop
+/// conflict summary (Table 4 style), the optimization guidance with
+/// data-centric attribution, and RCD CDF series for the paper's figures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_CORE_REPORT_H
+#define CCPROF_CORE_REPORT_H
+
+#include "core/Profiler.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccprof {
+
+/// Full human-readable report: run summary, hot loops with verdicts,
+/// data-centric attribution for flagged loops.
+std::string renderProfileReport(const ProfileResult &Result,
+                                const std::string &ProgramName);
+
+/// Table 4-style rendering: location, miss contribution, sets utilized.
+std::string renderLoopTable(const ProfileResult &Result);
+
+/// CDF series of the RCD distribution of one loop report (paper
+/// Figs. 7/9): (rcd, cumulative fraction of that context's misses).
+/// The series accounts only for observed RCDs; the first miss per set
+/// contributes no point.
+std::vector<std::pair<uint64_t, double>>
+rcdCdfSeries(const LoopConflictReport &Report);
+
+/// The paper's summary statistic for the CDF plots: the fraction of
+/// misses with RCD strictly below \p Threshold.
+double cdfAtThreshold(const LoopConflictReport &Report, uint64_t Threshold);
+
+/// Fig. 3-b rendering: the per-set miss histogram of one context as an
+/// ASCII chart (at most \p MaxRows busiest sets), with the victim sets
+/// called out.
+std::string renderVictimSets(const LoopConflictReport &Report,
+                             size_t MaxRows = 12);
+
+} // namespace ccprof
+
+#endif // CCPROF_CORE_REPORT_H

@@ -1,0 +1,50 @@
+//===- core/SetImbalanceBaseline.cpp - DProf-style baseline ---------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SetImbalanceBaseline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ccprof;
+
+ImbalanceVerdict
+SetImbalanceBaseline::classify(std::span<const uint64_t> PerSetMisses) const {
+  assert(!PerSetMisses.empty() && "need at least one set");
+  ImbalanceVerdict Verdict;
+
+  uint64_t Total = 0;
+  for (uint64_t Count : PerSetMisses)
+    Total += Count;
+  if (Total == 0)
+    return Verdict; // No misses: trivially clean.
+
+  // Share of the busiest quarter of the sets.
+  std::vector<uint64_t> Sorted(PerSetMisses.begin(), PerSetMisses.end());
+  std::sort(Sorted.begin(), Sorted.end(), std::greater<uint64_t>());
+  size_t Quarter = std::max<size_t>(1, Sorted.size() / 4);
+  uint64_t Top = 0;
+  for (size_t I = 0; I < Quarter; ++I)
+    Top += Sorted[I];
+  Verdict.TopQuarterShare =
+      static_cast<double>(Top) / static_cast<double>(Total);
+
+  // Coefficient of variation for reporting.
+  double Mean =
+      static_cast<double>(Total) / static_cast<double>(PerSetMisses.size());
+  double Var = 0.0;
+  for (uint64_t Count : PerSetMisses) {
+    double Delta = static_cast<double>(Count) - Mean;
+    Var += Delta * Delta;
+  }
+  Var /= static_cast<double>(PerSetMisses.size());
+  Verdict.CoefficientOfVariation = Mean > 0.0 ? std::sqrt(Var) / Mean : 0.0;
+
+  Verdict.Conflict = Verdict.TopQuarterShare > FlagThreshold;
+  return Verdict;
+}

@@ -1,0 +1,61 @@
+//===- core/SetImbalanceBaseline.h - DProf-style baseline ------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline the paper positions itself against (Sec. 7.1, [39]):
+/// a DProf-style *static* heuristic that aggregates sampled misses into
+/// one per-set histogram for the whole run and flags a context when the
+/// distribution is imbalanced — without any temporal information.
+///
+/// Its blind spot, per the paper: "DProf assumes that the workload is
+/// uniform throughout the runtime, whereas applications with dynamic
+/// access patterns are common." A loop whose victim set *migrates*
+/// (phase 1 hammers set A, phase 2 set B, ... — the locality signature
+/// of paper Fig. 4) conflicts in every phase, yet its whole-run
+/// histogram is perfectly balanced, so the static heuristic reports it
+/// clean. RCD, measuring distances, catches it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_CORE_SETIMBALANCEBASELINE_H
+#define CCPROF_CORE_SETIMBALANCEBASELINE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ccprof {
+
+/// Verdict of the static heuristic on one context's per-set counts.
+struct ImbalanceVerdict {
+  bool Conflict = false;
+  /// Fraction of all misses absorbed by the busiest quarter of the
+  /// sets; 0.25 for a uniform distribution, 1.0 for total collapse.
+  double TopQuarterShare = 0.0;
+  /// Coefficient of variation of the per-set counts (0 = uniform).
+  double CoefficientOfVariation = 0.0;
+};
+
+/// Static set-imbalance classifier over whole-run per-set miss counts.
+class SetImbalanceBaseline {
+public:
+  /// \p FlagThreshold: flag when the busiest quarter of the sets holds
+  /// more than this share of all misses. A uniform pattern scores 0.25;
+  /// DProf-style tools use a generous margin over that.
+  explicit SetImbalanceBaseline(double FlagThreshold = 0.5)
+      : FlagThreshold(FlagThreshold) {}
+
+  /// Classifies one context from its per-set miss counts.
+  ImbalanceVerdict classify(std::span<const uint64_t> PerSetMisses) const;
+
+private:
+  double FlagThreshold;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_CORE_SETIMBALANCEBASELINE_H

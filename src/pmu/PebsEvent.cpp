@@ -1,0 +1,50 @@
+//===- pmu/PebsEvent.cpp - Simulated PEBS events and samples -------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmu/PebsEvent.h"
+
+using namespace ccprof;
+
+std::vector<MissEvent>
+ccprof::collectL1MissStream(const Trace &Execution,
+                            const CacheGeometry &Geometry,
+                            MissStreamOptions Options) {
+  Cache L1(Geometry, Options.Policy);
+  std::vector<MissEvent> Stream;
+  for (const MemoryRecord &Record : Execution.records()) {
+    CacheAccessResult Access = L1.access(Record.Addr, Record.IsWrite);
+    if (Access.Hit)
+      continue;
+    if (Record.IsWrite && !Options.IncludeStores)
+      continue;
+    Stream.push_back(MissEvent{Record.Site, Record.Addr, Record.Addr});
+  }
+  return Stream;
+}
+
+std::vector<MissEvent>
+ccprof::collectL2MissStream(const Trace &Execution,
+                            const CacheGeometry &L1Geometry,
+                            const CacheGeometry &L2Geometry,
+                            PageMapper &Mapper, MissStreamOptions Options) {
+  Cache L1(L1Geometry, Options.Policy);
+  Cache L2(L2Geometry, Options.Policy);
+  std::vector<MissEvent> Stream;
+  for (const MemoryRecord &Record : Execution.records()) {
+    // L1 is virtually indexed; only its misses reach L2, which sees
+    // physical addresses.
+    if (L1.access(Record.Addr, Record.IsWrite).Hit)
+      continue;
+    uint64_t Physical = Mapper.translate(Record.Addr);
+    if (L2.access(Physical, Record.IsWrite).Hit)
+      continue;
+    if (Record.IsWrite && !Options.IncludeStores)
+      continue;
+    Stream.push_back(MissEvent{Record.Site, Physical, Record.Addr});
+  }
+  return Stream;
+}

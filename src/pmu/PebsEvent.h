@@ -1,0 +1,84 @@
+//===- pmu/PebsEvent.h - Simulated PEBS events and samples -----*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The event and sample types of the simulated performance monitoring
+/// unit. The monitored event is MEM_LOAD_UOPS_RETIRED:L1_MISS — every
+/// retired load that missed L1 — and a PEBS sample captures the
+/// instruction pointer and effective data address of the sampled event
+/// (paper Secs. 2.2, 4). In this reproduction the event stream is
+/// produced by replaying a Trace through the L1 cache simulator instead
+/// of by the hardware, which preserves the exact (IP, address) tuple
+/// distribution the real PMU would deliver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_PMU_PEBSEVENT_H
+#define CCPROF_PMU_PEBSEVENT_H
+
+#include "sim/Cache.h"
+#include "sim/PageMapper.h"
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ccprof {
+
+/// One occurrence of the monitored event (a load miss at the profiled
+/// level).
+struct MissEvent {
+  SiteId Ip = UnknownSite;
+  /// The address the target cache indexes by: virtual for L1, physical
+  /// for L2 (PEBS delivers the linear address; the kernel driver can
+  /// translate it while the page is pinned by the interrupt).
+  uint64_t Addr = 0;
+  /// The virtual address, always — data-centric attribution matches it
+  /// against the (virtual) allocation ranges.
+  uint64_t VirtualAddr = 0;
+
+  bool operator==(const MissEvent &Other) const = default;
+};
+
+/// One PEBS sample: the captured event plus its position in the event
+/// stream (the running count of event occurrences, which the real PMU
+/// exposes implicitly through the programmed reset period).
+struct PebsSample {
+  MissEvent Event;
+  uint64_t EventIndex = 0; ///< 0-based index among all miss events.
+};
+
+/// Options for deriving the L1 miss stream from a trace.
+struct MissStreamOptions {
+  ReplacementKind Policy = ReplacementKind::Lru;
+  /// The hardware event counts retired *load* misses; stores still
+  /// update the cache but produce no event unless this is set.
+  bool IncludeStores = false;
+};
+
+/// Replays \p Execution through an L1 cache of \p Geometry and \returns
+/// the stream of miss events, one per missing load (and store, if
+/// requested). This is the reproduction's MEM_LOAD_UOPS_RETIRED:L1_MISS
+/// event source.
+std::vector<MissEvent> collectL1MissStream(const Trace &Execution,
+                                           const CacheGeometry &Geometry,
+                                           MissStreamOptions Options = {});
+
+/// Replays \p Execution through a virtually-indexed L1 and a
+/// physically-indexed L2 (addresses translated by \p Mapper) and
+/// \returns one event per load that misses both, carrying the
+/// *physical* address — the MEM_LOAD_UOPS_RETIRED:L2_MISS analogue
+/// needed to extend RCD analysis above L1 (paper footnote 1).
+std::vector<MissEvent> collectL2MissStream(const Trace &Execution,
+                                           const CacheGeometry &L1Geometry,
+                                           const CacheGeometry &L2Geometry,
+                                           PageMapper &Mapper,
+                                           MissStreamOptions Options = {});
+
+} // namespace ccprof
+
+#endif // CCPROF_PMU_PEBSEVENT_H

@@ -1,0 +1,83 @@
+//===- pmu/PebsSampler.cpp - Event-based address sampling ----------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmu/PebsSampler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ccprof;
+
+PebsSampler::PebsSampler(SamplingConfig Config)
+    : Config(Config), Rng(Config.Seed) {
+  assert(Config.MeanPeriod > 0 && "sampling period must be positive");
+  assert(Config.Jitter >= 0.0 && Config.Jitter < 1.0 &&
+         "jitter must be a fraction of the mean");
+  assert(Config.BurstLen > 0 && "burst length must be positive");
+  // Random initial phase, uniform over one mean period: the PMU counter
+  // starts at an arbitrary point relative to the workload, and without
+  // this, programs with fewer misses than the first gap would never be
+  // sampled at all.
+  Countdown = 1 + Rng.nextBounded(Config.MeanPeriod);
+}
+
+bool PebsSampler::onEvent() {
+  ++EventCount;
+  assert(Countdown > 0 && "countdown must be armed");
+  if (--Countdown > 0)
+    return false;
+  ++SampleCount;
+  Countdown = drawNextGap();
+  return true;
+}
+
+std::vector<PebsSample>
+PebsSampler::sampleStream(std::span<const MissEvent> Stream) {
+  std::vector<PebsSample> Samples;
+  if (Config.MeanPeriod > 0)
+    Samples.reserve(Stream.size() / Config.MeanPeriod + 16);
+  for (uint64_t Index = 0; Index < Stream.size(); ++Index)
+    if (onEvent())
+      Samples.push_back(PebsSample{Stream[Index], Index});
+  return Samples;
+}
+
+uint64_t PebsSampler::drawNextGap() {
+  switch (Config.Kind) {
+  case SamplingKind::Fixed:
+    return Config.MeanPeriod;
+
+  case SamplingKind::UniformJitter: {
+    double Lo = static_cast<double>(Config.MeanPeriod) * (1.0 - Config.Jitter);
+    double Hi = static_cast<double>(Config.MeanPeriod) * (1.0 + Config.Jitter);
+    uint64_t Span = std::max<uint64_t>(1, static_cast<uint64_t>(Hi - Lo) + 1);
+    uint64_t Gap = static_cast<uint64_t>(Lo) + Rng.nextBounded(Span);
+    return std::max<uint64_t>(1, Gap);
+  }
+
+  case SamplingKind::Bursty: {
+    // Within a burst the next sample is the very next event. After the
+    // burst, skip a randomized long gap chosen so the mean period over a
+    // full burst+gap cycle equals MeanPeriod:
+    //   events/cycle = (BurstLen-1)*1 + Gap, samples/cycle = BurstLen.
+    if (BurstRemaining > 0) {
+      --BurstRemaining;
+      return 1;
+    }
+    BurstRemaining = Config.BurstLen - 1;
+    uint64_t MeanGap =
+        Config.BurstLen * Config.MeanPeriod - (Config.BurstLen - 1);
+    // Randomize within [MeanGap/2, 3*MeanGap/2] to avoid phase-locking
+    // with periodic access patterns.
+    uint64_t Lo = std::max<uint64_t>(1, MeanGap / 2);
+    uint64_t Gap = Lo + Rng.nextBounded(MeanGap + 1);
+    return Gap;
+  }
+  }
+  assert(false && "unknown sampling kind");
+  return 1;
+}

@@ -1,0 +1,177 @@
+//===- sim/Cache.h - Set-associative cache model ---------------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace-driven single-level set-associative cache simulator. This is the
+/// project's stand-in for the Dinero IV uniprocessor simulator that the
+/// paper uses as ground truth (Sec. 5): it consumes a memory reference
+/// stream and reports hit/miss per reference together with per-set miss
+/// counters.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SIM_CACHE_H
+#define CCPROF_SIM_CACHE_H
+
+#include "sim/CacheGeometry.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace ccprof {
+
+/// Replacement policy of a set-associative cache.
+enum class ReplacementKind {
+  Lru,    ///< Least-recently-used (the model assumed by the paper).
+  Fifo,   ///< First-in-first-out.
+  TreePlru, ///< Tree pseudo-LRU (requires power-of-two associativity).
+  Random, ///< Uniform random victim.
+};
+
+/// Result of a single cache access.
+struct CacheAccessResult {
+  bool Hit = false;
+  uint64_t SetIndex = 0;
+  /// Line address (see CacheGeometry::lineAddrOf) of an evicted valid
+  /// line, if the fill displaced one.
+  std::optional<uint64_t> EvictedLine;
+  /// True when the evicted line was dirty (write-back needed).
+  bool EvictedDirty = false;
+};
+
+/// Aggregate counters of a Cache.
+struct CacheStats {
+  uint64_t Accesses = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+  uint64_t Writebacks = 0;
+
+  double missRatio() const {
+    return Accesses == 0
+               ? 0.0
+               : static_cast<double>(Misses) / static_cast<double>(Accesses);
+  }
+};
+
+/// A single cache level with a configurable replacement policy.
+///
+/// Write policy is write-back / write-allocate (the common configuration
+/// of the Intel data caches the paper profiles).
+class Cache {
+public:
+  Cache(CacheGeometry Geometry, ReplacementKind Policy = ReplacementKind::Lru,
+        uint64_t RngSeed = 0x5eedcafe);
+
+  const CacheGeometry &geometry() const { return Geometry; }
+  ReplacementKind policy() const { return Policy; }
+
+  /// Simulates one reference to \p Addr. A miss allocates the line and
+  /// may evict. \p IsWrite marks the (allocated or hit) line dirty.
+  CacheAccessResult access(uint64_t Addr, bool IsWrite = false);
+
+  /// \returns true if the line holding \p Addr is currently resident,
+  /// without touching replacement state.
+  bool probe(uint64_t Addr) const;
+
+  /// Invalidates every line and zeroes replacement state; statistics are
+  /// preserved (use resetStats() to clear them).
+  void flush();
+
+  void resetStats();
+
+  const CacheStats &stats() const { return Stats; }
+
+  /// Number of misses that fell on set \p SetIndex.
+  uint64_t missesOnSet(uint64_t SetIndex) const;
+
+  /// Per-set miss counters, indexed by set.
+  const std::vector<uint64_t> &perSetMisses() const { return SetMisses; }
+
+  /// Number of sets that received at least one miss.
+  uint64_t setsWithMisses() const;
+
+private:
+  struct Way {
+    uint64_t Tag = 0;
+    bool Valid = false;
+    bool Dirty = false;
+    uint64_t LastUse = 0;  ///< LRU timestamp.
+    uint64_t InsertedAt = 0; ///< FIFO timestamp.
+  };
+
+  /// Selects the victim way in a full set according to Policy.
+  uint32_t chooseVictim(uint64_t SetIndex);
+
+  /// Updates replacement metadata for a hit or fill of \p WayIndex.
+  void touchWay(uint64_t SetIndex, uint32_t WayIndex);
+
+  Way &wayAt(uint64_t SetIndex, uint32_t WayIndex) {
+    return Ways[SetIndex * Geometry.associativity() + WayIndex];
+  }
+  const Way &wayAt(uint64_t SetIndex, uint32_t WayIndex) const {
+    return Ways[SetIndex * Geometry.associativity() + WayIndex];
+  }
+
+  CacheGeometry Geometry;
+  ReplacementKind Policy;
+  std::vector<Way> Ways;          ///< NumSets * Associativity, row-major.
+  std::vector<uint64_t> PlruBits; ///< One tree-PLRU bitset per set.
+  std::vector<uint64_t> SetMisses;
+  CacheStats Stats;
+  uint64_t Tick = 0;
+  Xoshiro256 Rng;
+};
+
+/// Fully-associative LRU cache of a fixed number of lines, with O(1)
+/// amortized access. Used as the companion cache for conflict/capacity
+/// miss classification: a reference that misses the set-associative cache
+/// but hits a fully-associative cache of equal capacity is a conflict
+/// miss (Sec. 2.1 / classical OPT-free classification).
+class FullyAssociativeLru {
+public:
+  explicit FullyAssociativeLru(uint64_t NumLines);
+
+  /// Simulates one reference to the line containing \p Addr given
+  /// \p LineBytes-sized lines. \returns true on hit.
+  bool access(uint64_t LineAddr);
+
+  bool probe(uint64_t LineAddr) const;
+
+  uint64_t numLines() const { return Capacity; }
+  uint64_t size() const { return Slots.size(); }
+  void flush();
+
+private:
+  // Intrusive doubly-linked list over a vector arena plus a hash map from
+  // line address to arena slot; front = most recent.
+  struct Node {
+    uint64_t LineAddr;
+    uint32_t Prev;
+    uint32_t Next;
+  };
+
+  static constexpr uint32_t Npos = ~uint32_t{0};
+
+  void unlink(uint32_t Slot);
+  void pushFront(uint32_t Slot);
+
+  uint64_t Capacity;
+  std::vector<Node> Arena;
+  std::vector<uint32_t> FreeSlots;
+  uint32_t Head = Npos;
+  uint32_t Tail = Npos;
+  /// Maps resident line address -> arena slot.
+  std::unordered_map<uint64_t, uint32_t> Slots;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_SIM_CACHE_H

@@ -1,0 +1,36 @@
+//===- sim/CacheGeometry.cpp - Cache shape and address slicing -----------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/CacheGeometry.h"
+
+#include "support/Table.h"
+
+#include <bit>
+
+using namespace ccprof;
+
+CacheGeometry::CacheGeometry(uint64_t SizeBytes, uint32_t LineBytes,
+                             uint32_t Associativity)
+    : SizeBytes(SizeBytes), LineBytes(LineBytes),
+      Associativity(Associativity) {
+  assert(LineBytes > 0 && std::has_single_bit(LineBytes) &&
+         "line size must be a power of two");
+  assert(Associativity > 0 && "associativity must be positive");
+  assert(SizeBytes % (static_cast<uint64_t>(LineBytes) * Associativity) == 0 &&
+         "capacity must be divisible by line size times associativity");
+  NumSets = SizeBytes / (static_cast<uint64_t>(LineBytes) * Associativity);
+  assert(NumSets > 0 && "geometry must have at least one set");
+  LineShift = static_cast<uint32_t>(std::countr_zero(LineBytes));
+  SetsArePow2 = std::has_single_bit(NumSets);
+  SetShift = SetsArePow2 ? static_cast<uint32_t>(std::countr_zero(NumSets)) : 0;
+}
+
+std::string CacheGeometry::describe() const {
+  return fmt::bytes(SizeBytes) + " " + std::to_string(Associativity) +
+         "-way " + std::to_string(LineBytes) + "B-line (" +
+         std::to_string(NumSets) + " sets)";
+}

@@ -1,0 +1,56 @@
+//===- sim/CacheHierarchy.cpp - Multi-level cache simulation -------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/CacheHierarchy.h"
+
+using namespace ccprof;
+
+CacheHierarchy::CacheHierarchy(std::vector<CacheLevelConfig> Configs) {
+  assert(!Configs.empty() && "hierarchy needs at least one level");
+  Levels.reserve(Configs.size());
+  Names.reserve(Configs.size());
+  for (CacheLevelConfig &Config : Configs) {
+    Levels.emplace_back(Config.Geometry, Config.Policy);
+    Names.push_back(std::move(Config.Name));
+  }
+}
+
+HierarchyAccessResult CacheHierarchy::access(uint64_t Addr, bool IsWrite) {
+  HierarchyAccessResult Result;
+  for (size_t L = 0; L < Levels.size(); ++L) {
+    CacheAccessResult Access = Levels[L].access(Addr, IsWrite);
+    if (L == 0)
+      Result.MissedL1 = !Access.Hit;
+    // A dirty victim is written back into the next level down (or to
+    // memory from the last level); model it as a write access so the
+    // victim's line stays warm below, as in a real write-back hierarchy.
+    if (Access.EvictedLine && Access.EvictedDirty) {
+      uint64_t VictimAddr =
+          *Access.EvictedLine *
+          static_cast<uint64_t>(Levels[L].geometry().lineBytes());
+      if (L + 1 < Levels.size())
+        Levels[L + 1].access(VictimAddr, /*IsWrite=*/true);
+      else
+        ++MemoryAccesses;
+    }
+    if (Access.Hit) {
+      Result.HitLevel = static_cast<uint32_t>(L);
+      return Result;
+    }
+  }
+  Result.HitLevel = static_cast<uint32_t>(Levels.size());
+  ++MemoryAccesses;
+  return Result;
+}
+
+void CacheHierarchy::reset() {
+  for (Cache &Level : Levels) {
+    Level.flush();
+    Level.resetStats();
+  }
+  MemoryAccesses = 0;
+}

@@ -1,0 +1,43 @@
+//===- sim/MachineConfig.cpp - Evaluation machine descriptions -----------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MachineConfig.h"
+
+using namespace ccprof;
+
+static constexpr uint64_t KiB = 1024;
+static constexpr uint64_t MiB = 1024 * 1024;
+
+MachineConfig ccprof::broadwellConfig() {
+  return MachineConfig{
+      "Intel Broadwell E7-4830v4",
+      {
+          CacheLevelConfig{"L1", CacheGeometry(32 * KiB, 64, 8),
+                           ReplacementKind::Lru},
+          CacheLevelConfig{"L2", CacheGeometry(256 * KiB, 64, 8),
+                           ReplacementKind::Lru},
+          CacheLevelConfig{"LLC", CacheGeometry(35 * MiB, 64, 20),
+                           ReplacementKind::Lru},
+      }};
+}
+
+MachineConfig ccprof::skylakeConfig() {
+  return MachineConfig{
+      "Intel Skylake E3-1240v5",
+      {
+          CacheLevelConfig{"L1", CacheGeometry(32 * KiB, 64, 8),
+                           ReplacementKind::Lru},
+          CacheLevelConfig{"L2", CacheGeometry(256 * KiB, 64, 4),
+                           ReplacementKind::Lru},
+          CacheLevelConfig{"LLC", CacheGeometry(8 * MiB, 64, 16),
+                           ReplacementKind::Lru},
+      }};
+}
+
+CacheGeometry ccprof::paperL1Geometry() {
+  return CacheGeometry(32 * KiB, 64, 8);
+}

@@ -1,0 +1,54 @@
+//===- sim/MachineConfig.h - Evaluation machine descriptions ---*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cache-hierarchy descriptions of the two evaluation machines from the
+/// paper (Sec. 5): an Intel Broadwell Xeon E7-4830v4 and an Intel Skylake
+/// Xeon E3-1240v5. Both have 32KiB 8-way private L1D and 256KiB private
+/// L2 per core; Broadwell has a 35MiB shared LLC, Skylake 8MiB. All
+/// RCD analysis in the paper (and here) runs against the L1: 8-way,
+/// 64 sets, 64B lines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SIM_MACHINECONFIG_H
+#define CCPROF_SIM_MACHINECONFIG_H
+
+#include "sim/CacheHierarchy.h"
+
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+/// A named per-core cache hierarchy description.
+struct MachineConfig {
+  std::string Name;
+  std::vector<CacheLevelConfig> Levels;
+
+  /// Geometry of the first (L1) level.
+  const CacheGeometry &l1Geometry() const { return Levels.front().Geometry; }
+
+  /// Builds a fresh hierarchy simulator for this machine.
+  CacheHierarchy makeHierarchy() const { return CacheHierarchy(Levels); }
+};
+
+/// Intel Broadwell Xeon E7-4830v4: 32KiB/8-way L1D, 256KiB/8-way L2,
+/// 35MiB/20-way shared LLC.
+MachineConfig broadwellConfig();
+
+/// Intel Skylake Xeon E3-1240v5: 32KiB/8-way L1D, 256KiB/4-way L2,
+/// 8MiB/16-way shared LLC.
+MachineConfig skylakeConfig();
+
+/// The L1 geometry the paper measures RCD against: 32KiB, 8-way, 64B
+/// lines, 64 sets.
+CacheGeometry paperL1Geometry();
+
+} // namespace ccprof
+
+#endif // CCPROF_SIM_MACHINECONFIG_H

@@ -1,0 +1,62 @@
+//===- sim/MissClassifier.cpp - Cold/capacity/conflict labeling ----------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MissClassifier.h"
+
+using namespace ccprof;
+
+const char *ccprof::accessKindName(AccessKind Kind) {
+  switch (Kind) {
+  case AccessKind::Hit:
+    return "hit";
+  case AccessKind::ColdMiss:
+    return "cold";
+  case AccessKind::CapacityMiss:
+    return "capacity";
+  case AccessKind::ConflictMiss:
+    return "conflict";
+  }
+  assert(false && "unknown access kind");
+  return "?";
+}
+
+MissClassifier::MissClassifier(CacheGeometry Geometry, ReplacementKind Policy)
+    : SetAssociative(Geometry, Policy),
+      FullyAssociative(Geometry.numLines()) {}
+
+AccessKind MissClassifier::access(uint64_t Addr, bool IsWrite) {
+  const uint64_t LineAddr = SetAssociative.geometry().lineAddrOf(Addr);
+
+  // Drive both caches unconditionally so their contents stay in sync
+  // with the full reference stream.
+  const bool SaHit = SetAssociative.access(Addr, IsWrite).Hit;
+  const bool FaHit = FullyAssociative.access(LineAddr);
+  const bool FirstTouch = SeenLines.insert(LineAddr).second;
+
+  if (SaHit) {
+    ++Breakdown.Hits;
+    return AccessKind::Hit;
+  }
+  if (FirstTouch) {
+    ++Breakdown.ColdMisses;
+    return AccessKind::ColdMiss;
+  }
+  if (FaHit) {
+    ++Breakdown.ConflictMisses;
+    return AccessKind::ConflictMiss;
+  }
+  ++Breakdown.CapacityMisses;
+  return AccessKind::CapacityMiss;
+}
+
+void MissClassifier::reset() {
+  SetAssociative.flush();
+  SetAssociative.resetStats();
+  FullyAssociative.flush();
+  SeenLines.clear();
+  Breakdown = MissBreakdown{};
+}

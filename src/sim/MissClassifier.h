@@ -1,0 +1,93 @@
+//===- sim/MissClassifier.h - Cold/capacity/conflict labeling --*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classifies every cache miss of a reference stream as cold, capacity,
+/// or conflict following the classical three-C model (paper Sec. 1):
+///
+///  * cold      - the line was never referenced before;
+///  * capacity  - the line would also miss in a fully-associative LRU
+///                cache of equal capacity (reuse distance exceeds the
+///                cache size);
+///  * conflict  - the set-associative cache misses although the
+///                fully-associative companion hits: the miss exists only
+///                because of set conflicts.
+///
+/// CCProf itself never sees these labels at runtime — they are the
+/// simulator-side ground truth used to train and validate the classifier
+/// (Sec. 5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SIM_MISSCLASSIFIER_H
+#define CCPROF_SIM_MISSCLASSIFIER_H
+
+#include "sim/Cache.h"
+
+#include <cstdint>
+#include <unordered_set>
+
+namespace ccprof {
+
+/// Outcome of one classified reference.
+enum class AccessKind {
+  Hit,
+  ColdMiss,
+  CapacityMiss,
+  ConflictMiss,
+};
+
+/// Returns a short lowercase name ("hit", "cold", ...) for \p Kind.
+const char *accessKindName(AccessKind Kind);
+
+/// Counters per AccessKind.
+struct MissBreakdown {
+  uint64_t Hits = 0;
+  uint64_t ColdMisses = 0;
+  uint64_t CapacityMisses = 0;
+  uint64_t ConflictMisses = 0;
+
+  uint64_t totalMisses() const {
+    return ColdMisses + CapacityMisses + ConflictMisses;
+  }
+  uint64_t totalAccesses() const { return Hits + totalMisses(); }
+
+  /// Conflict misses as a fraction of all misses; 0 when missless.
+  double conflictShare() const {
+    uint64_t Misses = totalMisses();
+    return Misses == 0 ? 0.0
+                       : static_cast<double>(ConflictMisses) /
+                             static_cast<double>(Misses);
+  }
+};
+
+/// Drives a set-associative cache and its fully-associative companion in
+/// lock-step to label each reference.
+class MissClassifier {
+public:
+  explicit MissClassifier(CacheGeometry Geometry,
+                          ReplacementKind Policy = ReplacementKind::Lru);
+
+  /// Classifies one reference and updates both caches.
+  AccessKind access(uint64_t Addr, bool IsWrite = false);
+
+  const MissBreakdown &breakdown() const { return Breakdown; }
+  const Cache &cache() const { return SetAssociative; }
+
+  /// Resets cache contents, counters and the cold-line set.
+  void reset();
+
+private:
+  Cache SetAssociative;
+  FullyAssociativeLru FullyAssociative;
+  std::unordered_set<uint64_t> SeenLines;
+  MissBreakdown Breakdown;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_SIM_MISSCLASSIFIER_H

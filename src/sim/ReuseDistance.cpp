@@ -1,0 +1,92 @@
+//===- sim/ReuseDistance.cpp - Exact LRU reuse-distance analysis ---------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ReuseDistance.h"
+
+#include <cassert>
+
+using namespace ccprof;
+
+ReuseDistanceAnalyzer::ReuseDistanceAnalyzer() {
+  Bit.assign(1, 0);
+  Marks.assign(1, 0);
+}
+
+uint64_t ReuseDistanceAnalyzer::access(uint64_t LineAddr) {
+  ++Clock; // Timestamps are 1-based to match the Fenwick indexing.
+  if (Clock >= Bit.size())
+    grow(Clock + 1);
+
+  auto [It, Inserted] = LastAccess.try_emplace(LineAddr, Clock);
+  if (Inserted) {
+    bitAdd(Clock, +1);
+    ++ColdCount;
+    return Infinite;
+  }
+
+  const size_t Previous = It->second;
+  // Distinct lines touched strictly between Previous and Clock equals the
+  // number of "most recent access" marks in (Previous, Clock).
+  const uint64_t Distance = bitPrefixSum(Clock - 1) - bitPrefixSum(Previous);
+  bitAdd(Previous, -1);
+  bitAdd(Clock, +1);
+  It->second = Clock;
+  Distances.add(Distance);
+  return Distance;
+}
+
+double ReuseDistanceAnalyzer::missRatioAtCapacity(uint64_t CacheLines) const {
+  if (Distances.empty())
+    return 0.0;
+  const uint64_t Hits = Distances.countBelow(CacheLines);
+  return 1.0 -
+         static_cast<double>(Hits) / static_cast<double>(Distances.total());
+}
+
+void ReuseDistanceAnalyzer::reset() {
+  Bit.assign(1, 0);
+  Marks.assign(1, 0);
+  LastAccess.clear();
+  Clock = 0;
+  ColdCount = 0;
+  Distances = Histogram{};
+}
+
+void ReuseDistanceAnalyzer::grow(size_t MinSize) {
+  size_t NewSize = Bit.size();
+  while (NewSize < MinSize)
+    NewSize *= 2;
+  Marks.resize(NewSize, 0);
+  // Rebuild the Fenwick array from the raw marks with the standard O(n)
+  // construction; doubling an existing Fenwick in place would leave the
+  // new high-order nodes missing contributions from old indices.
+  Bit.assign(NewSize, 0);
+  for (size_t I = 1; I < NewSize; ++I) {
+    Bit[I] += Marks[I];
+    size_t Parent = I + (I & (~I + 1));
+    if (Parent < NewSize)
+      Bit[Parent] += Bit[I];
+  }
+}
+
+void ReuseDistanceAnalyzer::bitAdd(size_t Index, int64_t Delta) {
+  assert(Index >= 1 && Index < Bit.size() && "Fenwick index out of range");
+  Marks[Index] = static_cast<uint8_t>(static_cast<int64_t>(Marks[Index]) +
+                                      Delta);
+  for (; Index < Bit.size(); Index += Index & (~Index + 1))
+    Bit[Index] += Delta;
+}
+
+uint64_t ReuseDistanceAnalyzer::bitPrefixSum(size_t Index) const {
+  int64_t Sum = 0;
+  if (Index >= Bit.size())
+    Index = Bit.size() - 1;
+  for (; Index > 0; Index -= Index & (~Index + 1))
+    Sum += Bit[Index];
+  assert(Sum >= 0 && "mark counts cannot go negative");
+  return static_cast<uint64_t>(Sum);
+}

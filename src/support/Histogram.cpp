@@ -1,0 +1,148 @@
+//===- support/Histogram.cpp - Integer histograms and CDFs ---------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+using namespace ccprof;
+
+void Histogram::add(uint64_t Key, uint64_t Weight) {
+  if (Weight == 0)
+    return;
+  Buckets[Key] += Weight;
+  Total += Weight;
+}
+
+void Histogram::merge(const Histogram &Other) {
+  for (const auto &[Key, Count] : Other.Buckets)
+    add(Key, Count);
+}
+
+uint64_t Histogram::count(uint64_t Key) const {
+  auto It = Buckets.find(Key);
+  return It == Buckets.end() ? 0 : It->second;
+}
+
+uint64_t Histogram::countBelow(uint64_t Bound) const {
+  uint64_t Sum = 0;
+  for (auto It = Buckets.begin(), E = Buckets.lower_bound(Bound); It != E;
+       ++It)
+    Sum += It->second;
+  return Sum;
+}
+
+uint64_t Histogram::countAtOrBelow(uint64_t Bound) const {
+  uint64_t Sum = 0;
+  for (auto It = Buckets.begin(), E = Buckets.upper_bound(Bound); It != E;
+       ++It)
+    Sum += It->second;
+  return Sum;
+}
+
+double Histogram::fractionBelow(uint64_t Bound) const {
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(countBelow(Bound)) / static_cast<double>(Total);
+}
+
+double Histogram::cdfAt(uint64_t Bound) const {
+  if (Total == 0)
+    return 0.0;
+  return static_cast<double>(countAtOrBelow(Bound)) /
+         static_cast<double>(Total);
+}
+
+uint64_t Histogram::quantile(double Q) const {
+  assert(!empty() && "quantile of an empty histogram");
+  assert(Q > 0.0 && Q <= 1.0 && "quantile requires Q in (0, 1]");
+  uint64_t Target = static_cast<uint64_t>(Q * static_cast<double>(Total));
+  if (Target == 0)
+    Target = 1;
+  uint64_t Seen = 0;
+  for (const auto &[Key, Count] : Buckets) {
+    Seen += Count;
+    if (Seen >= Target)
+      return Key;
+  }
+  return Buckets.rbegin()->first;
+}
+
+uint64_t Histogram::minKey() const {
+  assert(!empty() && "minKey of an empty histogram");
+  return Buckets.begin()->first;
+}
+
+uint64_t Histogram::maxKey() const {
+  assert(!empty() && "maxKey of an empty histogram");
+  return Buckets.rbegin()->first;
+}
+
+double Histogram::meanKey() const {
+  if (Total == 0)
+    return 0.0;
+  double Sum = 0.0;
+  for (const auto &[Key, Count] : Buckets)
+    Sum += static_cast<double>(Key) * static_cast<double>(Count);
+  return Sum / static_cast<double>(Total);
+}
+
+std::vector<uint64_t> Histogram::keys() const {
+  std::vector<uint64_t> Result;
+  Result.reserve(Buckets.size());
+  for (const auto &[Key, Count] : Buckets)
+    Result.push_back(Key);
+  return Result;
+}
+
+std::vector<std::pair<uint64_t, double>> Histogram::cdfSeries() const {
+  std::vector<std::pair<uint64_t, double>> Series;
+  Series.reserve(Buckets.size());
+  uint64_t Seen = 0;
+  for (const auto &[Key, Count] : Buckets) {
+    Seen += Count;
+    Series.emplace_back(Key,
+                        static_cast<double>(Seen) / static_cast<double>(Total));
+  }
+  return Series;
+}
+
+std::string Histogram::toAsciiChart(size_t MaxRows) const {
+  if (empty())
+    return "(empty histogram)\n";
+
+  // Keep the MaxRows largest buckets but render them in key order.
+  std::vector<std::pair<uint64_t, uint64_t>> Rows(Buckets.begin(),
+                                                  Buckets.end());
+  if (Rows.size() > MaxRows) {
+    std::sort(Rows.begin(), Rows.end(), [](const auto &A, const auto &B) {
+      return A.second > B.second;
+    });
+    Rows.resize(MaxRows);
+    std::sort(Rows.begin(), Rows.end());
+  }
+
+  uint64_t MaxCount = 0;
+  for (const auto &[Key, Count] : Rows)
+    MaxCount = std::max(MaxCount, Count);
+
+  constexpr size_t BarWidth = 50;
+  std::ostringstream Out;
+  for (const auto &[Key, Count] : Rows) {
+    size_t Bar = MaxCount == 0
+                     ? 0
+                     : static_cast<size_t>(static_cast<double>(Count) /
+                                           static_cast<double>(MaxCount) *
+                                           BarWidth);
+    Out << std::string(12 - std::min<size_t>(12, std::to_string(Key).size()),
+                       ' ')
+        << Key << " | " << std::string(Bar, '#') << ' ' << Count << '\n';
+  }
+  return Out.str();
+}

@@ -1,0 +1,94 @@
+//===- support/Histogram.h - Integer histograms and CDFs -------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Histogram over unsigned integer keys with cumulative-distribution
+/// queries. The profiler's central data product — the distribution of
+/// Re-Conflict Distances (paper Figs. 5, 7, 9) — is a Histogram, and the
+/// contribution factor cf (Eq. 1) is a CDF query on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SUPPORT_HISTOGRAM_H
+#define CCPROF_SUPPORT_HISTOGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccprof {
+
+/// Sparse histogram over uint64_t keys.
+class Histogram {
+public:
+  /// Adds \p Weight observations of \p Key.
+  void add(uint64_t Key, uint64_t Weight = 1);
+
+  /// Merges all observations from \p Other into this histogram.
+  void merge(const Histogram &Other);
+
+  /// Number of observations of exactly \p Key.
+  uint64_t count(uint64_t Key) const;
+
+  /// Number of observations with key strictly less than \p Bound.
+  uint64_t countBelow(uint64_t Bound) const;
+
+  /// Number of observations with key less than or equal to \p Bound.
+  uint64_t countAtOrBelow(uint64_t Bound) const;
+
+  /// Total number of observations.
+  uint64_t total() const { return Total; }
+
+  /// True if no observation has been recorded.
+  bool empty() const { return Total == 0; }
+
+  /// Fraction of observations with key strictly below \p Bound
+  /// (0 for an empty histogram). This is the paper's contribution
+  /// factor when applied to an RCD histogram with Bound = T.
+  double fractionBelow(uint64_t Bound) const;
+
+  /// Cumulative probability P(key <= Bound); 0 for an empty histogram.
+  double cdfAt(uint64_t Bound) const;
+
+  /// Smallest key K such that P(key <= K) >= \p Q, for Q in (0, 1].
+  /// Requires a non-empty histogram.
+  uint64_t quantile(double Q) const;
+
+  /// Smallest observed key. Requires a non-empty histogram.
+  uint64_t minKey() const;
+
+  /// Largest observed key. Requires a non-empty histogram.
+  uint64_t maxKey() const;
+
+  /// Mean of the observations; 0 for an empty histogram.
+  double meanKey() const;
+
+  /// Distinct keys observed, in increasing order.
+  std::vector<uint64_t> keys() const;
+
+  /// (key, cumulativeProbability) pairs in increasing key order — the
+  /// series plotted in the paper's CDF figures.
+  std::vector<std::pair<uint64_t, double>> cdfSeries() const;
+
+  /// Ordered (key, count) view for iteration.
+  const std::map<uint64_t, uint64_t> &buckets() const { return Buckets; }
+
+  /// Renders a fixed-width ASCII bar chart, at most \p MaxRows rows
+  /// (largest-count keys kept).
+  std::string toAsciiChart(size_t MaxRows = 20) const;
+
+private:
+  std::map<uint64_t, uint64_t> Buckets;
+  uint64_t Total = 0;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_SUPPORT_HISTOGRAM_H

@@ -1,0 +1,126 @@
+//===- support/IntervalMap.h - Address-interval lookup ---------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A map from non-overlapping half-open [Start, End) address intervals to
+/// values, with O(log n) point lookup. The data-centric attribution pass
+/// (paper Sec. 3.4) uses it to resolve a sampled effective address to the
+/// heap allocation that contains it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SUPPORT_INTERVALMAP_H
+#define CCPROF_SUPPORT_INTERVALMAP_H
+
+#include <cassert>
+#include <cstdint>
+#include <map>
+#include <optional>
+
+namespace ccprof {
+
+/// Map from disjoint half-open uint64_t intervals to values of type \p T.
+///
+/// Later insertions overwrite the overlapped portions of earlier
+/// intervals is NOT supported; inserting an overlapping interval fails.
+/// This mirrors real allocator behaviour: a live allocation's range is
+/// unique; a freed range must be erased before its pages are reused.
+template <typename T> class IntervalMap {
+public:
+  /// Inserts [Start, End) -> Value. \returns false (and leaves the map
+  /// unchanged) if the interval is empty or overlaps an existing one.
+  bool insert(uint64_t Start, uint64_t End, T Value) {
+    if (Start >= End)
+      return false;
+    // The first interval whose start is >= Start must begin at or after
+    // End, and the previous interval must end at or before Start.
+    auto Next = Intervals.lower_bound(Start);
+    if (Next != Intervals.end() && Next->first < End)
+      return false;
+    if (Next != Intervals.begin()) {
+      auto Prev = std::prev(Next);
+      if (Prev->second.End > Start)
+        return false;
+    }
+    Intervals.emplace(Start, Entry{End, std::move(Value)});
+    return true;
+  }
+
+  /// Erases the interval that starts exactly at \p Start.
+  /// \returns true if such an interval existed.
+  bool eraseAt(uint64_t Start) { return Intervals.erase(Start) > 0; }
+
+  /// Erases the interval containing \p Addr, if any.
+  /// \returns true if an interval was erased.
+  bool eraseContaining(uint64_t Addr) {
+    auto It = findIter(Addr);
+    if (It == Intervals.end())
+      return false;
+    Intervals.erase(It);
+    return true;
+  }
+
+  /// \returns the value of the interval containing \p Addr, or nullopt.
+  std::optional<T> lookup(uint64_t Addr) const {
+    auto It = findIter(Addr);
+    if (It == Intervals.end())
+      return std::nullopt;
+    return It->second.Value;
+  }
+
+  /// \returns a pointer to the value of the interval containing \p Addr,
+  /// or nullptr. The pointer is invalidated by any mutation.
+  const T *lookupPtr(uint64_t Addr) const {
+    auto It = findIter(Addr);
+    return It == Intervals.end() ? nullptr : &It->second.Value;
+  }
+
+  /// \returns the [Start, End) bounds of the interval containing \p Addr,
+  /// or nullopt.
+  std::optional<std::pair<uint64_t, uint64_t>> bounds(uint64_t Addr) const {
+    auto It = findIter(Addr);
+    if (It == Intervals.end())
+      return std::nullopt;
+    return std::make_pair(It->first, It->second.End);
+  }
+
+  bool contains(uint64_t Addr) const {
+    return findIter(Addr) != Intervals.end();
+  }
+
+  size_t size() const { return Intervals.size(); }
+  bool empty() const { return Intervals.empty(); }
+  void clear() { Intervals.clear(); }
+
+  /// Applies \p Fn(Start, End, Value) to every interval in address order.
+  template <typename Func> void forEach(Func Fn) const {
+    for (const auto &[Start, E] : Intervals)
+      Fn(Start, E.End, E.Value);
+  }
+
+private:
+  struct Entry {
+    uint64_t End;
+    T Value;
+  };
+
+  using MapType = std::map<uint64_t, Entry>;
+
+  typename MapType::const_iterator findIter(uint64_t Addr) const {
+    auto It = Intervals.upper_bound(Addr);
+    if (It == Intervals.begin())
+      return Intervals.end();
+    --It;
+    return Addr < It->second.End ? It : Intervals.end();
+  }
+
+  MapType Intervals;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_SUPPORT_INTERVALMAP_H

@@ -1,0 +1,104 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable pseudo-random generators used throughout the
+/// profiler and the benchmark harness. Profiling results must be
+/// reproducible run to run, so all randomness in the project flows through
+/// these generators rather than std::random_device.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SUPPORT_RNG_H
+#define CCPROF_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace ccprof {
+
+/// SplitMix64 generator; used to seed Xoshiro and for cheap one-off draws.
+///
+/// Reference: Steele, Lea, Flood. "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256** generator: the project-wide default PRNG.
+///
+/// Satisfies the C++ UniformRandomBitGenerator requirements so it can be
+/// plugged into <random> distributions when convenient.
+class Xoshiro256 {
+public:
+  using result_type = uint64_t;
+
+  explicit Xoshiro256(uint64_t Seed) {
+    SplitMix64 Mixer(Seed);
+    for (uint64_t &Word : State)
+      Word = Mixer.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+
+  uint64_t next() {
+    const uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    const uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform integer in [0, Bound) without modulo bias
+  /// (Lemire's multiply-and-shift rejection method).
+  uint64_t nextBounded(uint64_t Bound) {
+    assert(Bound > 0 && "bound must be positive");
+    __uint128_t Product = static_cast<__uint128_t>(next()) * Bound;
+    uint64_t Low = static_cast<uint64_t>(Product);
+    if (Low < Bound) {
+      uint64_t Threshold = (0 - Bound) % Bound;
+      while (Low < Threshold) {
+        Product = static_cast<__uint128_t>(next()) * Bound;
+        Low = static_cast<uint64_t>(Product);
+      }
+    }
+    return static_cast<uint64_t>(Product >> 64);
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_SUPPORT_RNG_H

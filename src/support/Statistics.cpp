@@ -1,0 +1,94 @@
+//===- support/Statistics.cpp - Summary and classification stats ---------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ccprof;
+
+double ccprof::mean(std::span<const double> Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double ccprof::variance(std::span<const double> Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += (V - M) * (V - M);
+  return Sum / static_cast<double>(Values.size());
+}
+
+double ccprof::stddev(std::span<const double> Values) {
+  return std::sqrt(variance(Values));
+}
+
+double ccprof::geomean(std::span<const double> Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double ccprof::median(std::span<const double> Values) {
+  return percentile(Values, 50.0);
+}
+
+double ccprof::percentile(std::span<const double> Values, double P) {
+  assert(P >= 0.0 && P <= 100.0 && "percentile must be in [0, 100]");
+  if (Values.empty())
+    return 0.0;
+  std::vector<double> Sorted(Values.begin(), Values.end());
+  std::sort(Sorted.begin(), Sorted.end());
+  if (Sorted.size() == 1)
+    return Sorted.front();
+  double Rank = P / 100.0 * static_cast<double>(Sorted.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Sorted[Lo] * (1.0 - Frac) + Sorted[Hi] * Frac;
+}
+
+double BinaryConfusion::precision() const {
+  size_t Denom = TruePositives + FalsePositives;
+  return Denom == 0 ? 0.0
+                    : static_cast<double>(TruePositives) /
+                          static_cast<double>(Denom);
+}
+
+double BinaryConfusion::recall() const {
+  size_t Denom = TruePositives + FalseNegatives;
+  return Denom == 0 ? 0.0
+                    : static_cast<double>(TruePositives) /
+                          static_cast<double>(Denom);
+}
+
+double BinaryConfusion::f1() const {
+  double P = precision();
+  double R = recall();
+  return (P + R) == 0.0 ? 0.0 : 2.0 * P * R / (P + R);
+}
+
+double BinaryConfusion::accuracy() const {
+  size_t Total = total();
+  return Total == 0 ? 0.0
+                    : static_cast<double>(TruePositives + TrueNegatives) /
+                          static_cast<double>(Total);
+}

@@ -1,0 +1,120 @@
+//===- support/Statistics.h - Summary and classification stats -*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptive statistics (mean, median, percentiles, geometric mean) and
+/// binary-classification quality measures (precision, recall, F1) used by
+/// the conflict-miss classifier evaluation (paper Sec. 5.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SUPPORT_STATISTICS_H
+#define CCPROF_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ccprof {
+
+/// Arithmetic mean of \p Values; 0 for an empty span.
+double mean(std::span<const double> Values);
+
+/// Population variance of \p Values; 0 for fewer than two elements.
+double variance(std::span<const double> Values);
+
+/// Standard deviation (square root of the population variance).
+double stddev(std::span<const double> Values);
+
+/// Geometric mean of \p Values; all elements must be positive.
+double geomean(std::span<const double> Values);
+
+/// Median of \p Values (copies and partially sorts); 0 for an empty span.
+double median(std::span<const double> Values);
+
+/// Linear-interpolated percentile \p P in [0, 100] of \p Values.
+double percentile(std::span<const double> Values, double P);
+
+/// Running single-pass accumulator for mean/variance (Welford).
+class RunningStats {
+public:
+  void add(double X) {
+    ++Count;
+    double Delta = X - Mean;
+    Mean += Delta / static_cast<double>(Count);
+    M2 += Delta * (X - Mean);
+    if (Count == 1 || X < Min)
+      Min = X;
+    if (Count == 1 || X > Max)
+      Max = X;
+  }
+
+  size_t count() const { return Count; }
+  double mean() const { return Mean; }
+  double variance() const {
+    return Count > 1 ? M2 / static_cast<double>(Count) : 0.0;
+  }
+  double min() const { return Min; }
+  double max() const { return Max; }
+
+private:
+  size_t Count = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Confusion-matrix counts for a binary classifier, with the derived
+/// quality measures used in the paper's accuracy study (F1-score,
+/// Sec. 5.2). The positive class is "loop suffers from conflict misses".
+struct BinaryConfusion {
+  size_t TruePositives = 0;
+  size_t FalsePositives = 0;
+  size_t TrueNegatives = 0;
+  size_t FalseNegatives = 0;
+
+  /// Records one (predicted, actual) observation.
+  void record(bool Predicted, bool Actual) {
+    if (Predicted && Actual)
+      ++TruePositives;
+    else if (Predicted && !Actual)
+      ++FalsePositives;
+    else if (!Predicted && Actual)
+      ++FalseNegatives;
+    else
+      ++TrueNegatives;
+  }
+
+  /// Merges counts from \p Other (used to pool k-fold folds).
+  void merge(const BinaryConfusion &Other) {
+    TruePositives += Other.TruePositives;
+    FalsePositives += Other.FalsePositives;
+    TrueNegatives += Other.TrueNegatives;
+    FalseNegatives += Other.FalseNegatives;
+  }
+
+  size_t total() const {
+    return TruePositives + FalsePositives + TrueNegatives + FalseNegatives;
+  }
+
+  /// TP / (TP + FP); 0 when no positive prediction was made.
+  double precision() const;
+
+  /// TP / (TP + FN); 0 when no actual positive exists.
+  double recall() const;
+
+  /// Harmonic mean of precision and recall; the paper's accuracy measure.
+  double f1() const;
+
+  /// (TP + TN) / total; 0 for an empty confusion matrix.
+  double accuracy() const;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_SUPPORT_STATISTICS_H

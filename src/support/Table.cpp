@@ -1,0 +1,142 @@
+//===- support/Table.cpp - Aligned text table rendering ------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+
+using namespace ccprof;
+
+TextTable::TextTable(std::vector<std::string> HeaderRow)
+    : Header(std::move(HeaderRow)) {}
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  Rows.push_back(RowEntry{/*IsSeparator=*/false, std::move(Row)});
+}
+
+void TextTable::addSeparator() {
+  Rows.push_back(RowEntry{/*IsSeparator=*/true, {}});
+}
+
+std::string TextTable::render() const {
+  // Compute per-column widths over header and all rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+  };
+  Grow(Header);
+  for (const RowEntry &Row : Rows)
+    if (!Row.IsSeparator)
+      Grow(Row.Cells);
+
+  size_t TotalWidth = 0;
+  for (size_t W : Widths)
+    TotalWidth += W + 3;
+
+  std::ostringstream Out;
+  auto Emit = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      Out << Cells[I];
+      if (I + 1 < Cells.size())
+        Out << std::string(Widths[I] - Cells[I].size() + 3, ' ');
+    }
+    Out << '\n';
+  };
+
+  if (!Header.empty()) {
+    Emit(Header);
+    Out << std::string(TotalWidth, '-') << '\n';
+  }
+  for (const RowEntry &Row : Rows) {
+    if (Row.IsSeparator)
+      Out << std::string(TotalWidth, '-') << '\n';
+    else
+      Emit(Row.Cells);
+  }
+  return Out.str();
+}
+
+std::string TextTable::renderCsv() const {
+  auto Escape = [](const std::string &Field) {
+    if (Field.find_first_of(",\"\n") == std::string::npos)
+      return Field;
+    std::string Quoted = "\"";
+    for (char C : Field) {
+      if (C == '"')
+        Quoted += '"';
+      Quoted += C;
+    }
+    Quoted += '"';
+    return Quoted;
+  };
+
+  std::ostringstream Out;
+  auto Emit = [&](const std::vector<std::string> &Cells) {
+    for (size_t I = 0; I < Cells.size(); ++I) {
+      if (I)
+        Out << ',';
+      Out << Escape(Cells[I]);
+    }
+    Out << '\n';
+  };
+  if (!Header.empty())
+    Emit(Header);
+  for (const RowEntry &Row : Rows)
+    if (!Row.IsSeparator)
+      Emit(Row.Cells);
+  return Out.str();
+}
+
+std::ostream &ccprof::operator<<(std::ostream &Out, const TextTable &Table) {
+  return Out << Table.render();
+}
+
+std::string fmt::fixed(double Value, int Digits) {
+  std::ostringstream Out;
+  Out.setf(std::ios::fixed);
+  Out.precision(Digits);
+  Out << Value;
+  return Out.str();
+}
+
+std::string fmt::percent(double Fraction, int Digits) {
+  return fixed(Fraction * 100.0, Digits) + "%";
+}
+
+std::string fmt::times(double Value, int Digits) {
+  return fixed(Value, Digits) + "x";
+}
+
+std::string fmt::bytes(uint64_t Count) {
+  static const char *Suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  size_t Index = 0;
+  uint64_t Value = Count;
+  while (Value >= 1024 && Value % 1024 == 0 && Index < 4) {
+    Value /= 1024;
+    ++Index;
+  }
+  return std::to_string(Value) + Suffixes[Index];
+}
+
+std::string fmt::grouped(uint64_t Value) {
+  std::string Digits = std::to_string(Value);
+  std::string Result;
+  size_t Count = 0;
+  for (auto It = Digits.rbegin(); It != Digits.rend(); ++It) {
+    if (Count && Count % 3 == 0)
+      Result += ',';
+    Result += *It;
+    ++Count;
+  }
+  std::reverse(Result.begin(), Result.end());
+  return Result;
+}

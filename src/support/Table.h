@@ -1,0 +1,78 @@
+//===- support/Table.h - Aligned text table rendering ----------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-width text table and CSV rendering used by the benchmark harness
+/// to print the paper's tables (Tables 2-4) and figure data series.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SUPPORT_TABLE_H
+#define CCPROF_SUPPORT_TABLE_H
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+/// Column-aligned text table with an optional header row.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header = {});
+
+  /// Appends a data row; rows may have differing lengths.
+  void addRow(std::vector<std::string> Row);
+
+  /// Appends a horizontal separator line at the current position.
+  void addSeparator();
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Renders with padded columns and a header separator.
+  std::string render() const;
+
+  /// Renders in RFC-4180-ish CSV (quotes fields containing commas).
+  std::string renderCsv() const;
+
+private:
+  struct RowEntry {
+    bool IsSeparator;
+    std::vector<std::string> Cells;
+  };
+
+  std::vector<std::string> Header;
+  std::vector<RowEntry> Rows;
+};
+
+/// Writes TextTable::render() to \p Out.
+std::ostream &operator<<(std::ostream &Out, const TextTable &Table);
+
+/// Formatting helpers shared by tables and reports.
+namespace fmt {
+
+/// Formats \p Value with \p Digits fractional digits, e.g. 3.14.
+std::string fixed(double Value, int Digits = 2);
+
+/// Formats \p Fraction (0.52 -> "52.0%").
+std::string percent(double Fraction, int Digits = 1);
+
+/// Formats a speedup/overhead multiplier (2.9 -> "2.90x").
+std::string times(double Value, int Digits = 2);
+
+/// Formats a byte count with a binary suffix (32768 -> "32KiB").
+std::string bytes(uint64_t Count);
+
+/// Formats \p Value grouped by thousands (1234567 -> "1,234,567").
+std::string grouped(uint64_t Value);
+
+} // namespace fmt
+
+} // namespace ccprof
+
+#endif // CCPROF_SUPPORT_TABLE_H

@@ -1,0 +1,37 @@
+//===- trace/AllocationRegistry.cpp - Heap allocation tracking -----------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/AllocationRegistry.h"
+
+using namespace ccprof;
+
+std::optional<AllocId>
+AllocationRegistry::recordAllocation(std::string Name, uint64_t Start,
+                                     uint64_t SizeBytes) {
+  if (SizeBytes == 0)
+    return std::nullopt;
+  AllocId Id = static_cast<AllocId>(Allocations.size());
+  if (!LiveRanges.insert(Start, Start + SizeBytes, Id))
+    return std::nullopt;
+  Allocations.push_back(
+      AllocationInfo{std::move(Name), Start, SizeBytes, /*Live=*/true});
+  return Id;
+}
+
+bool AllocationRegistry::recordFree(uint64_t Start) {
+  std::optional<AllocId> Id = LiveRanges.lookup(Start);
+  if (!Id || Allocations[*Id].Start != Start)
+    return false;
+  Allocations[*Id].Live = false;
+  LiveRanges.eraseAt(Start);
+  return true;
+}
+
+std::optional<AllocId>
+AllocationRegistry::findByAddress(uint64_t Addr) const {
+  return LiveRanges.lookup(Addr);
+}

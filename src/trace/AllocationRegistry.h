@@ -1,0 +1,85 @@
+//===- trace/AllocationRegistry.h - Heap allocation tracking ---*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tracks live heap allocations (name, start address, size) the way
+/// CCProf's libmonitor shim interposes malloc/free (paper Sec. 4).
+/// Data-centric attribution resolves each sampled effective address to
+/// the allocation containing it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_TRACE_ALLOCATIONREGISTRY_H
+#define CCPROF_TRACE_ALLOCATIONREGISTRY_H
+
+#include "support/IntervalMap.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+/// Index of an allocation within an AllocationRegistry.
+using AllocId = uint32_t;
+
+/// One recorded heap allocation.
+struct AllocationInfo {
+  std::string Name; ///< Data-structure name, e.g. "reference[]".
+  uint64_t Start = 0;
+  uint64_t SizeBytes = 0;
+  bool Live = true;
+
+  uint64_t end() const { return Start + SizeBytes; }
+};
+
+/// Registry of named allocation ranges with point-address lookup.
+class AllocationRegistry {
+public:
+  /// Records a new live allocation. \returns its id, or nullopt if the
+  /// range is empty or overlaps a live allocation (which would indicate
+  /// a broken allocator or a missed free).
+  std::optional<AllocId> recordAllocation(std::string Name, uint64_t Start,
+                                          uint64_t SizeBytes);
+
+  /// Convenience overload taking a pointer.
+  template <typename T>
+  std::optional<AllocId> recordAllocation(std::string Name, const T *Ptr,
+                                          uint64_t SizeBytes) {
+    return recordAllocation(std::move(Name),
+                            reinterpret_cast<uint64_t>(Ptr), SizeBytes);
+  }
+
+  /// Marks the allocation starting at \p Start as freed; its address
+  /// range becomes reusable. \returns false if no live allocation starts
+  /// there.
+  bool recordFree(uint64_t Start);
+
+  /// \returns the id of the live allocation containing \p Addr.
+  std::optional<AllocId> findByAddress(uint64_t Addr) const;
+
+  /// \returns allocation metadata (live or freed) by id.
+  const AllocationInfo &info(AllocId Id) const {
+    assert(Id < Allocations.size() && "allocation id out of range");
+    return Allocations[Id];
+  }
+
+  /// Total allocations ever recorded (including freed ones).
+  size_t size() const { return Allocations.size(); }
+
+  /// Number of currently live allocations.
+  size_t liveCount() const { return LiveRanges.size(); }
+
+private:
+  std::vector<AllocationInfo> Allocations;
+  IntervalMap<AllocId> LiveRanges;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_TRACE_ALLOCATIONREGISTRY_H

@@ -1,0 +1,47 @@
+//===- trace/MemoryRecord.h - One recorded memory reference ----*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unit of the memory trace: one executed load or store with its
+/// instruction identity (a SiteId standing in for the instruction
+/// pointer) and the effective virtual address. This is the exact tuple
+/// PEBS address sampling delivers (paper Sec. 2.2) and the tuple Pin
+/// would record for the simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_TRACE_MEMORYRECORD_H
+#define CCPROF_TRACE_MEMORYRECORD_H
+
+#include <cstdint>
+
+namespace ccprof {
+
+/// Identifies an access site (instruction). SiteIds are issued by a
+/// SiteRegistry and play the role of the instruction pointer: distinct
+/// source references get distinct ids, and the registry maps an id back
+/// to file/line/function for attribution.
+using SiteId = uint32_t;
+
+/// Reserved id meaning "unknown instruction" (e.g. a sample whose IP
+/// falls outside any registered code, like the anonymous MKL loops in
+/// paper Sec. 6.3).
+inline constexpr SiteId UnknownSite = 0;
+
+/// One recorded memory reference.
+struct MemoryRecord {
+  SiteId Site = UnknownSite;
+  uint64_t Addr = 0;
+  uint16_t SizeBytes = 0;
+  bool IsWrite = false;
+
+  bool operator==(const MemoryRecord &Other) const = default;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_TRACE_MEMORYRECORD_H

@@ -1,0 +1,38 @@
+//===- trace/SiteRegistry.cpp - Access-site (synthetic IP) table ---------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/SiteRegistry.h"
+
+#include <cassert>
+
+using namespace ccprof;
+
+std::string SourceSite::describe() const {
+  std::string Result = File + ":" + std::to_string(Line);
+  if (!Function.empty())
+    Result += " (" + Function + ")";
+  return Result;
+}
+
+SiteId SiteRegistry::registerSite(std::string File, uint32_t Line,
+                                  std::string Function) {
+  Key K{File, Line, Function};
+  auto It = Index.find(K);
+  if (It != Index.end())
+    return It->second;
+
+  Sites.push_back(SourceSite{std::move(File), Line, std::move(Function)});
+  SiteId Id = static_cast<SiteId>(Sites.size()); // ids are 1-based
+  Index.emplace(std::move(K), Id);
+  return Id;
+}
+
+const SourceSite *SiteRegistry::lookup(SiteId Id) const {
+  if (Id == UnknownSite || Id > Sites.size())
+    return nullptr;
+  return &Sites[Id - 1];
+}

@@ -1,0 +1,83 @@
+//===- trace/SiteRegistry.h - Access-site (synthetic IP) table -*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Registry of instrumented access sites. A site is the reproduction's
+/// instruction pointer: each static load/store in a workload kernel
+/// registers once and records its SiteId with every dynamic reference.
+/// The offline analyzer resolves a SiteId back to (file, line, function)
+/// exactly as HPCToolkit resolves an IP against DWARF line tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_TRACE_SITEREGISTRY_H
+#define CCPROF_TRACE_SITEREGISTRY_H
+
+#include "trace/MemoryRecord.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ccprof {
+
+/// Source identity of an access site.
+struct SourceSite {
+  std::string File;
+  uint32_t Line = 0;
+  std::string Function;
+
+  bool operator==(const SourceSite &Other) const = default;
+
+  /// "file:line (function)" rendering for reports.
+  std::string describe() const;
+};
+
+/// Issues stable SiteIds for source sites and resolves them back.
+///
+/// Ids start at 1; UnknownSite (0) is never issued.
+class SiteRegistry {
+public:
+  /// Returns the id for (\p File, \p Line, \p Function), creating it on
+  /// first use. Repeated registration of the same triple returns the
+  /// same id.
+  SiteId registerSite(std::string File, uint32_t Line, std::string Function);
+
+  /// \returns the source identity of \p Id, or nullptr for UnknownSite /
+  /// unregistered ids.
+  const SourceSite *lookup(SiteId Id) const;
+
+  /// Number of registered sites.
+  size_t size() const { return Sites.size(); }
+
+  /// All registered sites in id order (index 0 is SiteId 1).
+  const std::vector<SourceSite> &sites() const { return Sites; }
+
+private:
+  struct Key {
+    std::string File;
+    uint32_t Line;
+    std::string Function;
+    bool operator==(const Key &Other) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key &K) const {
+      size_t H = std::hash<std::string>{}(K.File);
+      H = H * 31 + K.Line;
+      H = H * 31 + std::hash<std::string>{}(K.Function);
+      return H;
+    }
+  };
+
+  std::vector<SourceSite> Sites;
+  std::unordered_map<Key, SiteId, KeyHash> Index;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_TRACE_SITEREGISTRY_H

@@ -1,0 +1,147 @@
+//===- trace/Trace.cpp - Memory trace container and recorder -------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include <istream>
+#include <ostream>
+
+using namespace ccprof;
+
+namespace {
+
+constexpr uint32_t TraceMagic = 0xCC9F07A1;
+constexpr uint32_t TraceVersion = 1;
+
+void writeU32(std::ostream &Out, uint32_t Value) {
+  Out.write(reinterpret_cast<const char *>(&Value), sizeof(Value));
+}
+
+void writeU64(std::ostream &Out, uint64_t Value) {
+  Out.write(reinterpret_cast<const char *>(&Value), sizeof(Value));
+}
+
+void writeString(std::ostream &Out, const std::string &Value) {
+  writeU32(Out, static_cast<uint32_t>(Value.size()));
+  Out.write(Value.data(), static_cast<std::streamsize>(Value.size()));
+}
+
+bool readU32(std::istream &In, uint32_t &Value) {
+  In.read(reinterpret_cast<char *>(&Value), sizeof(Value));
+  return In.good();
+}
+
+bool readU64(std::istream &In, uint64_t &Value) {
+  In.read(reinterpret_cast<char *>(&Value), sizeof(Value));
+  return In.good();
+}
+
+bool readString(std::istream &In, std::string &Value) {
+  uint32_t Size = 0;
+  if (!readU32(In, Size))
+    return false;
+  // Refuse absurd sizes rather than attempting a gigantic allocation on a
+  // corrupt stream.
+  if (Size > (1u << 20))
+    return false;
+  Value.resize(Size);
+  In.read(Value.data(), Size);
+  return In.good() || (Size == 0 && !In.bad());
+}
+
+} // namespace
+
+bool Trace::writeTo(std::ostream &Out) const {
+  writeU32(Out, TraceMagic);
+  writeU32(Out, TraceVersion);
+
+  // Site table.
+  writeU32(Out, static_cast<uint32_t>(Sites.size()));
+  for (const SourceSite &Site : Sites.sites()) {
+    writeString(Out, Site.File);
+    writeU32(Out, Site.Line);
+    writeString(Out, Site.Function);
+  }
+
+  // Allocation table (live and freed, in id order).
+  writeU32(Out, static_cast<uint32_t>(Allocations.size()));
+  for (size_t I = 0; I < Allocations.size(); ++I) {
+    const AllocationInfo &Info = Allocations.info(static_cast<AllocId>(I));
+    writeString(Out, Info.Name);
+    writeU64(Out, Info.Start);
+    writeU64(Out, Info.SizeBytes);
+    writeU32(Out, Info.Live ? 1 : 0);
+  }
+
+  // Reference stream.
+  writeU64(Out, Records.size());
+  for (const MemoryRecord &Record : Records) {
+    writeU32(Out, Record.Site);
+    writeU64(Out, Record.Addr);
+    writeU32(Out, (static_cast<uint32_t>(Record.SizeBytes) << 1) |
+                      (Record.IsWrite ? 1 : 0));
+  }
+  return Out.good();
+}
+
+bool Trace::readFrom(std::istream &In, Trace &Result) {
+  uint32_t Magic = 0, Version = 0;
+  if (!readU32(In, Magic) || Magic != TraceMagic)
+    return false;
+  if (!readU32(In, Version) || Version != TraceVersion)
+    return false;
+
+  Trace Loaded;
+
+  uint32_t NumSites = 0;
+  if (!readU32(In, NumSites))
+    return false;
+  for (uint32_t I = 0; I < NumSites; ++I) {
+    std::string File, Function;
+    uint32_t Line = 0;
+    if (!readString(In, File) || !readU32(In, Line) ||
+        !readString(In, Function))
+      return false;
+    Loaded.Sites.registerSite(std::move(File), Line, std::move(Function));
+  }
+
+  uint32_t NumAllocations = 0;
+  if (!readU32(In, NumAllocations))
+    return false;
+  for (uint32_t I = 0; I < NumAllocations; ++I) {
+    std::string Name;
+    uint64_t Start = 0, Size = 0;
+    uint32_t Live = 0;
+    if (!readString(In, Name) || !readU64(In, Start) || !readU64(In, Size) ||
+        !readU32(In, Live))
+      return false;
+    std::optional<AllocId> Id =
+        Loaded.Allocations.recordAllocation(std::move(Name), Start, Size);
+    if (!Id)
+      return false;
+    if (!Live)
+      Loaded.Allocations.recordFree(Start);
+  }
+
+  uint64_t NumRecords = 0;
+  if (!readU64(In, NumRecords))
+    return false;
+  Loaded.Records.reserve(NumRecords);
+  for (uint64_t I = 0; I < NumRecords; ++I) {
+    uint32_t Site = 0, SizeAndFlags = 0;
+    uint64_t Addr = 0;
+    if (!readU32(In, Site) || !readU64(In, Addr) ||
+        !readU32(In, SizeAndFlags))
+      return false;
+    Loaded.Records.push_back(
+        MemoryRecord{Site, Addr, static_cast<uint16_t>(SizeAndFlags >> 1),
+                     (SizeAndFlags & 1) != 0});
+  }
+
+  Result = std::move(Loaded);
+  return true;
+}

@@ -1,0 +1,95 @@
+//===- trace/Trace.h - Memory trace container and recorder -----*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory trace of one monitored execution: the sequence of
+/// MemoryRecords together with the site and allocation registries needed
+/// to attribute them. Trace is what the Pin + Dinero pipeline of the
+/// paper would produce; workload kernels populate it through the
+/// recording API while executing their real computation on real buffers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_TRACE_TRACE_H
+#define CCPROF_TRACE_TRACE_H
+
+#include "trace/AllocationRegistry.h"
+#include "trace/MemoryRecord.h"
+#include "trace/SiteRegistry.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+namespace ccprof {
+
+/// A recorded execution: reference stream plus attribution metadata.
+class Trace {
+public:
+  /// Registers (or re-finds) the access site for \p File:\p Line.
+  SiteId site(std::string File, uint32_t Line, std::string Function = "") {
+    return Sites.registerSite(std::move(File), Line, std::move(Function));
+  }
+
+  /// Records one load of \p SizeBytes at \p Addr issued by \p Site.
+  void recordLoad(SiteId Site, uint64_t Addr, uint16_t SizeBytes) {
+    Records.push_back(MemoryRecord{Site, Addr, SizeBytes, /*IsWrite=*/false});
+  }
+
+  /// Records one store of \p SizeBytes at \p Addr issued by \p Site.
+  void recordStore(SiteId Site, uint64_t Addr, uint16_t SizeBytes) {
+    Records.push_back(MemoryRecord{Site, Addr, SizeBytes, /*IsWrite=*/true});
+  }
+
+  /// Records a load of *\p Ptr; size is sizeof(T).
+  template <typename T> void load(SiteId Site, const T *Ptr) {
+    recordLoad(Site, reinterpret_cast<uint64_t>(Ptr),
+               static_cast<uint16_t>(sizeof(T)));
+  }
+
+  /// Records a store to *\p Ptr; size is sizeof(T).
+  template <typename T> void store(SiteId Site, const T *Ptr) {
+    recordStore(Site, reinterpret_cast<uint64_t>(Ptr),
+                static_cast<uint16_t>(sizeof(T)));
+  }
+
+  /// Registers a named allocation for data-centric attribution.
+  template <typename T>
+  void registerAllocation(std::string Name, const T *Ptr,
+                          uint64_t SizeBytes) {
+    Allocations.recordAllocation(std::move(Name), Ptr, SizeBytes);
+  }
+
+  std::span<const MemoryRecord> records() const { return Records; }
+  size_t size() const { return Records.size(); }
+  bool empty() const { return Records.empty(); }
+  void reserve(size_t Capacity) { Records.reserve(Capacity); }
+  void clearRecords() { Records.clear(); }
+
+  SiteRegistry &sites() { return Sites; }
+  const SiteRegistry &sites() const { return Sites; }
+  AllocationRegistry &allocations() { return Allocations; }
+  const AllocationRegistry &allocations() const { return Allocations; }
+
+  /// Serializes the trace (records + registries) to a binary stream.
+  /// \returns false on I/O failure.
+  bool writeTo(std::ostream &Out) const;
+
+  /// Deserializes a trace previously written by writeTo.
+  /// \returns false on I/O failure or format mismatch.
+  static bool readFrom(std::istream &In, Trace &Result);
+
+private:
+  std::vector<MemoryRecord> Records;
+  SiteRegistry Sites;
+  AllocationRegistry Allocations;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_TRACE_TRACE_H

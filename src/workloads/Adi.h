@@ -1,0 +1,42 @@
+//===- workloads/Adi.h - PolyBench ADI case study --------------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alternating Direction Implicit 2D PDE solver from PolyBench/C (paper
+/// Sec. 6.2, Listing 2). The column sweep reads matrix `u` with the full
+/// 4KiB row stride — exactly one L1 set stride, so an entire column
+/// lands in a single set (the paper and its simulator both observe RCD
+/// of 1). The optimized build pads each row by 32 bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_WORKLOADS_ADI_H
+#define CCPROF_WORKLOADS_ADI_H
+
+#include "workloads/Workload.h"
+
+namespace ccprof {
+
+class AdiWorkload : public Workload {
+public:
+  explicit AdiWorkload(uint64_t N = 512, uint64_t TimeSteps = 1);
+
+  std::string name() const override { return "ADI"; }
+  std::string sourceFile() const override { return "adi.c"; }
+  bool expectConflicts() const override { return true; }
+  std::string hotLoopLocation() const override { return "adi.c:40"; }
+  double run(WorkloadVariant Variant, Trace *Recorder) const override;
+  BinaryImage makeBinary() const override;
+
+private:
+  uint64_t N;
+  uint64_t TimeSteps;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_WORKLOADS_ADI_H

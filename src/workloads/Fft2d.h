@@ -1,0 +1,48 @@
+//===- workloads/Fft2d.h - 2D power-of-two FFT case study ------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 2D radix-2 FFT over an NxN complex grid, standing in for the paper's
+/// Intel MKL FFT case study (Sec. 6.3) — the library source is closed,
+/// but the cache behaviour that matters is the textbook one: a 2D
+/// transform of power-of-two extent runs one FFT per row (contiguous),
+/// then one per column, and the column pass strides by the row size —
+/// a power-of-two multiple of the set stride, folding each column onto
+/// a single L1 set. The optimized build pads each row by 8 complex
+/// elements, as the paper does.
+///
+/// Faithful to the MKL situation, the synthetic binary exposes no
+/// per-line debug info for the transform loops (anonymous code blocks):
+/// samples attribute to the enclosing function region only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_WORKLOADS_FFT2D_H
+#define CCPROF_WORKLOADS_FFT2D_H
+
+#include "workloads/Workload.h"
+
+namespace ccprof {
+
+class Fft2dWorkload : public Workload {
+public:
+  explicit Fft2dWorkload(uint64_t N = 256);
+
+  std::string name() const override { return "MKL-FFT"; }
+  std::string sourceFile() const override { return "mkl_fft.cpp"; }
+  bool expectConflicts() const override { return true; }
+  std::string hotLoopLocation() const override { return "mkl_fft.cpp:60"; }
+  double run(WorkloadVariant Variant, Trace *Recorder) const override;
+  BinaryImage makeBinary() const override;
+
+private:
+  uint64_t N;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_WORKLOADS_FFT2D_H

@@ -1,0 +1,49 @@
+//===- workloads/Himeno.h - HimenoBMT Jacobi case study --------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Riken's HimenoBMT Poisson-equation benchmark (paper Sec. 6.6,
+/// Listing 5): a 19-point 3D Jacobi sweep over float grids a(x4), b(x3),
+/// c(x3), p, bnd, wrk1, wrk2. With power-of-two j/k extents, the j- and
+/// i-neighbour accesses stride by power-of-two multiples of the line
+/// size and the identically-sized grids alias each other in the L1 —
+/// dozens of same-set lines per cell against 8 ways. Conflicts hop sets
+/// every iteration (short conflict periods), which is why the paper
+/// needs high-frequency sampling here. The optimized build pads the
+/// innermost (deps) extent by 16 floats, reshaping every stride.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_WORKLOADS_HIMENO_H
+#define CCPROF_WORKLOADS_HIMENO_H
+
+#include "workloads/Workload.h"
+
+namespace ccprof {
+
+class HimenoWorkload : public Workload {
+public:
+  explicit HimenoWorkload(uint64_t Rows = 16, uint64_t Cols = 32,
+                          uint64_t Deps = 128, uint64_t Iterations = 2);
+
+  std::string name() const override { return "HimenoBMT"; }
+  std::string sourceFile() const override { return "himenobmt.c"; }
+  bool expectConflicts() const override { return true; }
+  std::string hotLoopLocation() const override { return "himenobmt.c:6"; }
+  double run(WorkloadVariant Variant, Trace *Recorder) const override;
+  BinaryImage makeBinary() const override;
+
+private:
+  uint64_t Rows; ///< mimax (i extent).
+  uint64_t Cols; ///< mjmax (j extent).
+  uint64_t Deps; ///< mkmax (k extent).
+  uint64_t Iterations;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_WORKLOADS_HIMENO_H

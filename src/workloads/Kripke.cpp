@@ -1,0 +1,143 @@
+//===- workloads/Kripke.cpp - Kripke particle-edit case study ------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Kripke.h"
+
+#include "cfg/SyntheticCodeGen.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace ccprof;
+
+KripkeWorkload::KripkeWorkload(uint64_t Groups, uint64_t Directions,
+                               uint64_t Zones)
+    : Groups(Groups), Directions(Directions), Zones(Zones) {
+  assert(Groups > 0 && Directions > 0 && Zones > 0 && "empty phase space");
+}
+
+namespace {
+
+/// Synthetic source "kernel.cpp":
+///   original (column order)      optimized (row order)
+///   10 for (z = ...) {           30 for (g = ...) {
+///   12   for (d = ...) {         32   for (d = ...) {
+///   14     for (g = ...)         34     for (z = ...)
+///   15       part += w*psi*vol;  35       part += w*psi*vol;
+template <typename Rec>
+double runKripke(uint64_t G, uint64_t D, uint64_t Z, bool RowOrder, Rec &R) {
+  const SiteId ColPsi = R.site("kernel.cpp", 15, "particle_edit");
+  const SiteId ColVol = R.site("kernel.cpp", 11, "particle_edit");
+  const SiteId ColW = R.site("kernel.cpp", 13, "particle_edit");
+  const SiteId RowPsi = R.site("kernel.cpp", 35, "particle_edit_rowmajor");
+  const SiteId RowVol = R.site("kernel.cpp", 36, "particle_edit_rowmajor");
+  const SiteId RowW = R.site("kernel.cpp", 33, "particle_edit_rowmajor");
+
+  // psi[(g*D + d)*Z + z]: zone-contiguous, as in Kripke's GDZ nesting.
+  std::vector<double> Psi(G * D * Z);
+  std::vector<double> Volume(Z);
+  std::vector<double> Weight(D);
+  R.alloc("psi[]", Psi.data(), Psi.size() * sizeof(double));
+  R.alloc("volume[]", Volume.data(), Volume.size() * sizeof(double));
+  R.alloc("w[]", Weight.data(), Weight.size() * sizeof(double));
+
+  for (uint64_t I = 0; I < Psi.size(); ++I)
+    Psi[I] = 1e-6 * static_cast<double>((I * 2654435761ULL) % 1000);
+  for (uint64_t I = 0; I < Z; ++I)
+    Volume[I] = 1.0 + 0.001 * static_cast<double>(I);
+  for (uint64_t I = 0; I < D; ++I)
+    Weight[I] = 1.0 / static_cast<double>(D) +
+                1e-5 * static_cast<double>(I);
+
+  double Part = 0.0;
+  if (!RowOrder) {
+    // Original: psi walked with stride D*Z doubles in the inner loop.
+    for (uint64_t Zi = 0; Zi < Z; ++Zi) {
+      R.load(ColVol, &Volume[Zi]);
+      double Vol = Volume[Zi];
+      for (uint64_t Di = 0; Di < D; ++Di) {
+        R.load(ColW, &Weight[Di]);
+        double W = Weight[Di];
+        for (uint64_t Gi = 0; Gi < G; ++Gi) {
+          const double *P = &Psi[(Gi * D + Di) * Z + Zi];
+          R.load(ColPsi, P);
+          Part += W * *P * Vol;
+        }
+      }
+    }
+    return Part;
+  }
+  // Optimized: row-order traversal, contiguous in z.
+  for (uint64_t Gi = 0; Gi < G; ++Gi) {
+    for (uint64_t Di = 0; Di < D; ++Di) {
+      R.load(RowW, &Weight[Di]);
+      double W = Weight[Di];
+      for (uint64_t Zi = 0; Zi < Z; ++Zi) {
+        const double *P = &Psi[(Gi * D + Di) * Z + Zi];
+        R.load(RowPsi, P);
+        R.load(RowVol, &Volume[Zi]);
+        Part += W * *P * Volume[Zi];
+      }
+    }
+  }
+  return Part;
+}
+
+} // namespace
+
+double KripkeWorkload::run(WorkloadVariant Variant, Trace *Recorder) const {
+  const bool RowOrder = Variant == WorkloadVariant::Optimized;
+  if (Recorder) {
+    TraceRecorder R(*Recorder);
+    return runKripke(Groups, Directions, Zones, RowOrder, R);
+  }
+  NullRecorder R;
+  return runKripke(Groups, Directions, Zones, RowOrder, R);
+}
+
+BinaryImage KripkeWorkload::makeBinary() const {
+  LoopSpec ColG;
+  ColG.HeaderLine = 14;
+  ColG.EndLine = 16;
+  ColG.AccessLines = {15};
+  LoopSpec ColD;
+  ColD.HeaderLine = 12;
+  ColD.EndLine = 17;
+  ColD.AccessLines = {13};
+  ColD.Children = {ColG};
+  LoopSpec ColZ;
+  ColZ.HeaderLine = 10;
+  ColZ.EndLine = 18;
+  ColZ.AccessLines = {11};
+  ColZ.Children = {ColD};
+  FunctionSpec Col;
+  Col.Name = "particle_edit";
+  Col.StartLine = 8;
+  Col.EndLine = 20;
+  Col.Loops = {ColZ};
+
+  LoopSpec RowZ;
+  RowZ.HeaderLine = 34;
+  RowZ.EndLine = 37;
+  RowZ.AccessLines = {35, 36};
+  LoopSpec RowD;
+  RowD.HeaderLine = 32;
+  RowD.EndLine = 38;
+  RowD.AccessLines = {33};
+  RowD.Children = {RowZ};
+  LoopSpec RowG;
+  RowG.HeaderLine = 30;
+  RowG.EndLine = 39;
+  RowG.Children = {RowD};
+  FunctionSpec Row;
+  Row.Name = "particle_edit_rowmajor";
+  Row.StartLine = 28;
+  Row.EndLine = 41;
+  Row.Loops = {RowG};
+
+  return lowerToBinary("kernel.cpp", {Col, Row});
+}

@@ -1,0 +1,47 @@
+//===- workloads/Kripke.h - Kripke particle-edit case study ----*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The particle-edit kernel of LLNL's Kripke Sn transport mini-app
+/// (paper Sec. 6.5, Listing 4): a triple loop over zones, directions and
+/// groups reducing w * psi(g,d,z) * volume. With psi laid out
+/// [group][direction][zone], the original loop order (z, d, g) walks psi
+/// in column order — the innermost g-step strides by directions*zones
+/// elements, a power-of-two multiple of the set stride. The optimized
+/// build transposes the loop nest to row order (g, d, z), the paper's
+/// fix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_WORKLOADS_KRIPKE_H
+#define CCPROF_WORKLOADS_KRIPKE_H
+
+#include "workloads/Workload.h"
+
+namespace ccprof {
+
+class KripkeWorkload : public Workload {
+public:
+  explicit KripkeWorkload(uint64_t Groups = 48, uint64_t Directions = 64,
+                          uint64_t Zones = 256);
+
+  std::string name() const override { return "Kripke"; }
+  std::string sourceFile() const override { return "kernel.cpp"; }
+  bool expectConflicts() const override { return true; }
+  std::string hotLoopLocation() const override { return "kernel.cpp:14"; }
+  double run(WorkloadVariant Variant, Trace *Recorder) const override;
+  BinaryImage makeBinary() const override;
+
+private:
+  uint64_t Groups;
+  uint64_t Directions;
+  uint64_t Zones;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_WORKLOADS_KRIPKE_H

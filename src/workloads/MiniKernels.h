@@ -1,0 +1,37 @@
+//===- workloads/MiniKernels.h - Conflict-free Rodinia kernels -*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The seventeen non-conflicting Rodinia applications of paper Fig. 7.
+/// Each is a compact kernel reproducing the *memory access pattern* of
+/// the original application's hot loop — contiguous scans, non-power-of-
+/// two stencils, indirect graph walks — none of which fold onto a subset
+/// of L1 sets, so CCProf must classify them all as conflict-free. They
+/// are the negative class of the classifier's training and evaluation
+/// sets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_WORKLOADS_MINIKERNELS_H
+#define CCPROF_WORKLOADS_MINIKERNELS_H
+
+#include "workloads/Workload.h"
+
+#include <memory>
+#include <vector>
+
+namespace ccprof {
+
+/// The 17 conflict-free Rodinia mini kernels (Fig. 7's negative class):
+/// backprop, bfs, b+tree, cfd, heartwall, hotspot, hotspot3D, kmeans,
+/// lavaMD, leukocyte, lud, myocyte, nn, particlefilter, pathfinder,
+/// srad, streamcluster.
+std::vector<std::unique_ptr<Workload>> makeRodiniaMiniKernels();
+
+} // namespace ccprof
+
+#endif // CCPROF_WORKLOADS_MINIKERNELS_H

@@ -1,0 +1,53 @@
+//===- workloads/NeedlemanWunsch.h - Rodinia NW case study -----*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Needleman-Wunsch global DNA sequence alignment (Rodinia), the paper's
+/// flagship case study (Sec. 6.1, Tables 2-4). Dynamic programming over
+/// a (B*nb+1)^2 int matrix, processed in 16x16 tiles along
+/// anti-diagonals; every tile copies slices of the `reference` and
+/// `input_itemsets` matrices into locals — a column-strided walk whose
+/// ~2KiB row stride folds onto a couple of L1 sets, and the two
+/// identically-laid-out matrices collide with each other (inter-array
+/// conflict). The optimized build pads `reference` rows by 32 bytes and
+/// `input_itemsets` rows by 288 bytes, as in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_WORKLOADS_NEEDLEMANWUNSCH_H
+#define CCPROF_WORKLOADS_NEEDLEMANWUNSCH_H
+
+#include "workloads/Workload.h"
+
+namespace ccprof {
+
+class NeedlemanWunschWorkload : public Workload {
+public:
+  /// \p NumBlocks tiles per dimension (matrix dim = 16 * NumBlocks + 1).
+  explicit NeedlemanWunschWorkload(uint64_t NumBlocks = 32,
+                                   int32_t Penalty = 10);
+
+  std::string name() const override { return "NW"; }
+  std::string sourceFile() const override { return "needle.cpp"; }
+  bool expectConflicts() const override { return true; }
+  std::string hotLoopLocation() const override { return "needle.cpp:189"; }
+  double run(WorkloadVariant Variant, Trace *Recorder) const override;
+  BinaryImage makeBinary() const override;
+
+  static constexpr uint64_t TileSize = 16;
+
+  /// Matrix dimension (rows == cols).
+  uint64_t dim() const { return TileSize * NumBlocks + 1; }
+
+private:
+  uint64_t NumBlocks;
+  int32_t Penalty;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_WORKLOADS_NEEDLEMANWUNSCH_H

@@ -1,0 +1,105 @@
+//===- workloads/Symmetrization.cpp - Paper Fig. 2 example ---------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Symmetrization.h"
+
+#include "cfg/SyntheticCodeGen.h"
+
+#include <cassert>
+#include <vector>
+
+using namespace ccprof;
+
+SymmetrizationWorkload::SymmetrizationWorkload(uint64_t N, uint64_t Sweeps)
+    : N(N), Sweeps(Sweeps) {
+  assert(N > 1 && Sweeps > 0 && "degenerate symmetrization instance");
+}
+
+uint64_t SymmetrizationWorkload::rowElems(WorkloadVariant Variant) const {
+  // The optimized build pads each row by 64 bytes (8 doubles), Fig. 2-c.
+  return Variant == WorkloadVariant::Optimized ? N + 8 : N;
+}
+
+namespace {
+
+/// The kernel proper; synthetic source "symm.cpp":
+///   10  for (it = 0; it < sweeps; ++it)
+///   11    for (i = 0; i < n; ++i)
+///   12      for (j = 0; j < n; ++j) {
+///   13        double upper = A[i][j];
+///   14        double lower = A[j][i];
+///   15        A[i][j] = 0.5 * (upper + lower);
+///   16      }
+template <typename Rec>
+double runSymmetrization(uint64_t N, uint64_t Sweeps, uint64_t Row, Rec &R) {
+  const SiteId LoadUpper = R.site("symm.cpp", 13, "symmetrize");
+  const SiteId LoadLower = R.site("symm.cpp", 14, "symmetrize");
+  const SiteId StoreAvg = R.site("symm.cpp", 15, "symmetrize");
+
+  std::vector<double> A(N * Row, 0.0);
+  R.alloc("A[][]", A.data(), A.size() * sizeof(double));
+  for (uint64_t I = 0; I < N; ++I)
+    for (uint64_t J = 0; J < N; ++J)
+      A[I * Row + J] = static_cast<double>((I * 131 + J * 17) % 97);
+
+  for (uint64_t Sweep = 0; Sweep < Sweeps; ++Sweep) {
+    for (uint64_t I = 0; I < N; ++I) {
+      for (uint64_t J = 0; J < N; ++J) {
+        R.load(LoadUpper, &A[I * Row + J]);
+        double Upper = A[I * Row + J];
+        R.load(LoadLower, &A[J * Row + I]);
+        double Lower = A[J * Row + I];
+        R.store(StoreAvg, &A[I * Row + J]);
+        A[I * Row + J] = 0.5 * (Upper + Lower);
+      }
+    }
+  }
+
+  double Checksum = 0.0;
+  for (uint64_t I = 0; I < N; ++I)
+    for (uint64_t J = 0; J < N; ++J)
+      Checksum += A[I * Row + J];
+  return Checksum;
+}
+
+} // namespace
+
+double SymmetrizationWorkload::run(WorkloadVariant Variant,
+                                   Trace *Recorder) const {
+  const uint64_t Row = rowElems(Variant);
+  if (Recorder) {
+    TraceRecorder R(*Recorder);
+    return runSymmetrization(N, Sweeps, Row, R);
+  }
+  NullRecorder R;
+  return runSymmetrization(N, Sweeps, Row, R);
+}
+
+BinaryImage SymmetrizationWorkload::makeBinary() const {
+  LoopSpec Inner;
+  Inner.HeaderLine = 12;
+  Inner.EndLine = 16;
+  Inner.AccessLines = {13, 14, 15};
+
+  LoopSpec Mid;
+  Mid.HeaderLine = 11;
+  Mid.EndLine = 16;
+  Mid.Children.push_back(Inner);
+
+  LoopSpec Outer;
+  Outer.HeaderLine = 10;
+  Outer.EndLine = 16;
+  Outer.Children.push_back(Mid);
+
+  FunctionSpec Function;
+  Function.Name = "symmetrize";
+  Function.StartLine = 8;
+  Function.EndLine = 18;
+  Function.Loops.push_back(Outer);
+
+  return lowerToBinary("symm.cpp", {Function});
+}

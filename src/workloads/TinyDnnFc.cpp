@@ -1,0 +1,111 @@
+//===- workloads/TinyDnnFc.cpp - Tiny-DNN FC layer case study ------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/TinyDnnFc.h"
+
+#include "cfg/SyntheticCodeGen.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+using namespace ccprof;
+
+TinyDnnFcWorkload::TinyDnnFcWorkload(uint64_t InSize, uint64_t OutSize,
+                                     uint64_t Batches)
+    : InSize(InSize), OutSize(OutSize), Batches(Batches) {
+  assert(InSize > 0 && OutSize > 0 && Batches > 0 &&
+         "degenerate layer shape");
+}
+
+namespace {
+
+/// Synthetic source "fully_connected.h":
+///   20  for (i = 0; i < out_size_; i++) {
+///   21    for (c = 0; c < in_size_; c++)
+///   22      a[i] += W[c * out_size_ + i] * in[c];
+///   23    a[i] += b[i]; out[i] = tanh-approx(a[i]);
+///   24  }
+template <typename Rec>
+double runFc(uint64_t InSize, uint64_t OutSize, uint64_t Batches,
+             uint64_t WRow, Rec &R) {
+  const SiteId LoadW = R.site("fully_connected.h", 22, "forward_propagation");
+  const SiteId LoadIn =
+      R.site("fully_connected.h", 22, "forward_propagation");
+  const SiteId StoreOut =
+      R.site("fully_connected.h", 23, "forward_propagation");
+
+  std::vector<float> W(InSize * WRow);
+  std::vector<float> In(InSize);
+  std::vector<float> Bias(OutSize);
+  std::vector<float> Out(OutSize);
+  R.alloc("W[]", W.data(), W.size() * sizeof(float));
+  R.alloc("in[]", In.data(), In.size() * sizeof(float));
+  R.alloc("b[]", Bias.data(), Bias.size() * sizeof(float));
+  R.alloc("a[]", Out.data(), Out.size() * sizeof(float));
+
+  for (uint64_t C = 0; C < InSize; ++C) {
+    In[C] = std::sin(0.01f * static_cast<float>(C));
+    for (uint64_t I = 0; I < OutSize; ++I)
+      W[C * WRow + I] =
+          0.001f * static_cast<float>((C * 31 + I * 7) % 201 - 100);
+  }
+  for (uint64_t I = 0; I < OutSize; ++I)
+    Bias[I] = 0.05f * static_cast<float>(I % 11);
+
+  double Checksum = 0.0;
+  for (uint64_t Batch = 0; Batch < Batches; ++Batch) {
+    for (uint64_t I = 0; I < OutSize; ++I) {
+      float Acc = 0.0f;
+      for (uint64_t C = 0; C < InSize; ++C) {
+        R.load(LoadW, &W[C * WRow + I]);
+        R.load(LoadIn, &In[C]);
+        Acc += W[C * WRow + I] * In[C];
+      }
+      R.store(StoreOut, &Out[I]);
+      Out[I] = Acc + Bias[I];
+      Checksum += Out[I];
+    }
+  }
+  return Checksum;
+}
+
+} // namespace
+
+double TinyDnnFcWorkload::run(WorkloadVariant Variant,
+                              Trace *Recorder) const {
+  // Pad each weight row by 16 floats (64B) so the column walk spreads
+  // over every set (gcd(WRow * 4 / 64, 64) == 1 for out_size 1024).
+  const uint64_t WRow =
+      OutSize + (Variant == WorkloadVariant::Optimized ? 16 : 0);
+  if (Recorder) {
+    TraceRecorder R(*Recorder);
+    return runFc(InSize, OutSize, Batches, WRow, R);
+  }
+  NullRecorder R;
+  return runFc(InSize, OutSize, Batches, WRow, R);
+}
+
+BinaryImage TinyDnnFcWorkload::makeBinary() const {
+  LoopSpec Inner;
+  Inner.HeaderLine = 21;
+  Inner.EndLine = 22;
+  Inner.AccessLines = {22};
+  LoopSpec Outer;
+  Outer.HeaderLine = 20;
+  Outer.EndLine = 24;
+  Outer.AccessLines = {23};
+  Outer.Children = {Inner};
+
+  FunctionSpec Forward;
+  Forward.Name = "forward_propagation";
+  Forward.StartLine = 18;
+  Forward.EndLine = 26;
+  Forward.Loops = {Outer};
+
+  return lowerToBinary("fully_connected.h", {Forward});
+}

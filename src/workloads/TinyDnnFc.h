@@ -1,0 +1,50 @@
+//===- workloads/TinyDnnFc.h - Tiny-DNN FC layer case study ----*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Forward propagation of a fully-connected layer, the Tiny-DNN case
+/// study (paper Sec. 6.4, Listing 3):
+///
+///   for (c = 0; c < in_size; c++)
+///     a[i] += W[c * out_size + i] * in[c];
+///
+/// The weight matrix is read down a column with stride out_size *
+/// sizeof(float); with a power-of-two out_size that walk folds onto one
+/// L1 set. The optimized build pads each weight row (16 floats).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_WORKLOADS_TINYDNNFC_H
+#define CCPROF_WORKLOADS_TINYDNNFC_H
+
+#include "workloads/Workload.h"
+
+namespace ccprof {
+
+class TinyDnnFcWorkload : public Workload {
+public:
+  explicit TinyDnnFcWorkload(uint64_t InSize = 512, uint64_t OutSize = 1024,
+                             uint64_t Batches = 2);
+
+  std::string name() const override { return "Tiny-DNN"; }
+  std::string sourceFile() const override { return "fully_connected.h"; }
+  bool expectConflicts() const override { return true; }
+  std::string hotLoopLocation() const override {
+    return "fully_connected.h:21";
+  }
+  double run(WorkloadVariant Variant, Trace *Recorder) const override;
+  BinaryImage makeBinary() const override;
+
+private:
+  uint64_t InSize;
+  uint64_t OutSize;
+  uint64_t Batches;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_WORKLOADS_TINYDNNFC_H

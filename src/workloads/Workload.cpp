@@ -1,0 +1,58 @@
+//===- workloads/Workload.cpp - Suite registries --------------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "workloads/Adi.h"
+#include "workloads/Fft2d.h"
+#include "workloads/Himeno.h"
+#include "workloads/Kripke.h"
+#include "workloads/MiniKernels.h"
+#include "workloads/NeedlemanWunsch.h"
+#include "workloads/Symmetrization.h"
+#include "workloads/TinyDnnFc.h"
+
+using namespace ccprof;
+
+Workload::~Workload() = default;
+
+std::vector<std::unique_ptr<Workload>> ccprof::makeCaseStudySuite() {
+  std::vector<std::unique_ptr<Workload>> Suite;
+  Suite.push_back(std::make_unique<NeedlemanWunschWorkload>());
+  Suite.push_back(std::make_unique<Fft2dWorkload>());
+  Suite.push_back(std::make_unique<AdiWorkload>());
+  Suite.push_back(std::make_unique<TinyDnnFcWorkload>());
+  Suite.push_back(std::make_unique<KripkeWorkload>());
+  Suite.push_back(std::make_unique<HimenoWorkload>());
+  return Suite;
+}
+
+std::vector<std::unique_ptr<Workload>> ccprof::makeRodiniaSuite() {
+  std::vector<std::unique_ptr<Workload>> Suite = makeRodiniaMiniKernels();
+  Suite.push_back(std::make_unique<NeedlemanWunschWorkload>());
+  return Suite;
+}
+
+std::unique_ptr<Workload> ccprof::makeSymmetrization() {
+  return std::make_unique<SymmetrizationWorkload>();
+}
+
+std::unique_ptr<Workload>
+ccprof::makeWorkloadByName(const std::string &Name) {
+  auto Search = [&Name](std::vector<std::unique_ptr<Workload>> Suite)
+      -> std::unique_ptr<Workload> {
+    for (std::unique_ptr<Workload> &Candidate : Suite)
+      if (Candidate->name() == Name)
+        return std::move(Candidate);
+    return nullptr;
+  };
+  if (Name == "Symmetrization")
+    return makeSymmetrization();
+  if (std::unique_ptr<Workload> Found = Search(makeCaseStudySuite()))
+    return Found;
+  return Search(makeRodiniaSuite());
+}

@@ -1,0 +1,82 @@
+//===- tests/AllocationRegistryTest.cpp - Allocation tracking tests -------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/AllocationRegistry.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+TEST(AllocationRegistryTest, RecordAndFind) {
+  AllocationRegistry R;
+  auto Id = R.recordAllocation("matrix", 0x1000, 256);
+  ASSERT_TRUE(Id.has_value());
+  EXPECT_EQ(R.findByAddress(0x1000), Id);
+  EXPECT_EQ(R.findByAddress(0x10ff), Id);
+  EXPECT_FALSE(R.findByAddress(0x1100).has_value());
+  EXPECT_FALSE(R.findByAddress(0xfff).has_value());
+  EXPECT_EQ(R.info(*Id).Name, "matrix");
+  EXPECT_EQ(R.info(*Id).SizeBytes, 256u);
+}
+
+TEST(AllocationRegistryTest, EmptyAllocationRejected) {
+  AllocationRegistry R;
+  EXPECT_FALSE(R.recordAllocation("zero", 0x1000, 0).has_value());
+  EXPECT_EQ(R.size(), 0u);
+}
+
+TEST(AllocationRegistryTest, OverlappingLiveAllocationRejected) {
+  AllocationRegistry R;
+  ASSERT_TRUE(R.recordAllocation("a", 0x1000, 0x100).has_value());
+  EXPECT_FALSE(R.recordAllocation("b", 0x1080, 0x100).has_value());
+  EXPECT_EQ(R.liveCount(), 1u);
+}
+
+TEST(AllocationRegistryTest, FreeAndReuse) {
+  AllocationRegistry R;
+  auto A = R.recordAllocation("first", 0x1000, 0x100);
+  ASSERT_TRUE(A.has_value());
+  EXPECT_TRUE(R.recordFree(0x1000));
+  EXPECT_FALSE(R.recordFree(0x1000)); // double free
+  EXPECT_FALSE(R.findByAddress(0x1000).has_value());
+  EXPECT_FALSE(R.info(*A).Live);
+
+  // A fresh allocation may reuse the address range.
+  auto B = R.recordAllocation("second", 0x1000, 0x200);
+  ASSERT_TRUE(B.has_value());
+  EXPECT_NE(*A, *B);
+  EXPECT_EQ(R.findByAddress(0x1010), B);
+  EXPECT_EQ(R.size(), 2u);
+  EXPECT_EQ(R.liveCount(), 1u);
+}
+
+TEST(AllocationRegistryTest, FreeRequiresExactStart) {
+  AllocationRegistry R;
+  ASSERT_TRUE(R.recordAllocation("a", 0x1000, 0x100).has_value());
+  EXPECT_FALSE(R.recordFree(0x1001)); // not a start address
+  EXPECT_TRUE(R.recordFree(0x1000));
+}
+
+TEST(AllocationRegistryTest, PointerOverload) {
+  AllocationRegistry R;
+  double Buffer[16];
+  auto Id = R.recordAllocation("buffer", Buffer, sizeof(Buffer));
+  ASSERT_TRUE(Id.has_value());
+  EXPECT_EQ(R.findByAddress(reinterpret_cast<uint64_t>(&Buffer[7])), Id);
+}
+
+TEST(AllocationRegistryTest, ManyAllocations) {
+  AllocationRegistry R;
+  for (uint64_t I = 0; I < 500; ++I)
+    ASSERT_TRUE(
+        R.recordAllocation("a" + std::to_string(I), I * 0x1000, 0x800)
+            .has_value());
+  EXPECT_EQ(R.liveCount(), 500u);
+  auto Id = R.findByAddress(250 * 0x1000 + 0x7ff);
+  ASSERT_TRUE(Id.has_value());
+  EXPECT_EQ(R.info(*Id).Name, "a250");
+}

@@ -1,0 +1,122 @@
+//===- tests/CacheGeometryTest.cpp - Address slicing unit tests -----------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/CacheGeometry.h"
+#include "sim/MachineConfig.h"
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+TEST(CacheGeometryTest, PaperL1Shape) {
+  // 32KiB, 8-way, 64B lines => 64 sets (paper Sec. 5).
+  CacheGeometry G = paperL1Geometry();
+  EXPECT_EQ(G.sizeBytes(), 32u * 1024);
+  EXPECT_EQ(G.lineBytes(), 64u);
+  EXPECT_EQ(G.associativity(), 8u);
+  EXPECT_EQ(G.numSets(), 64u);
+  EXPECT_EQ(G.numLines(), 512u);
+  EXPECT_EQ(G.setStrideBytes(), 4096u);
+}
+
+TEST(CacheGeometryTest, OffsetIndexTagSlicing) {
+  CacheGeometry G(32 * 1024, 64, 8); // 64 sets
+  // Address = tag | index | offset (Fig. 1).
+  uint64_t Addr = (0xABCull << 12) | (17ull << 6) | 33;
+  EXPECT_EQ(G.offsetOf(Addr), 33u);
+  EXPECT_EQ(G.setIndexOf(Addr), 17u);
+  EXPECT_EQ(G.tagOf(Addr), 0xABCu);
+}
+
+TEST(CacheGeometryTest, LineAddr) {
+  CacheGeometry G(32 * 1024, 64, 8);
+  EXPECT_EQ(G.lineAddrOf(0), 0u);
+  EXPECT_EQ(G.lineAddrOf(63), 0u);
+  EXPECT_EQ(G.lineAddrOf(64), 1u);
+  EXPECT_EQ(G.lineAddrOf(4096 + 5), 64u);
+}
+
+TEST(CacheGeometryTest, LineStartAddrRoundTrips) {
+  CacheGeometry G(32 * 1024, 64, 8);
+  for (uint64_t Addr : {0ull, 64ull, 4095ull, 4096ull, 123456789ull}) {
+    uint64_t Start = G.lineStartAddr(G.tagOf(Addr), G.setIndexOf(Addr));
+    EXPECT_EQ(Start, Addr & ~uint64_t{63});
+  }
+}
+
+TEST(CacheGeometryTest, ConsecutiveLinesWalkConsecutiveSets) {
+  CacheGeometry G(32 * 1024, 64, 8);
+  for (uint64_t Line = 0; Line < 200; ++Line)
+    EXPECT_EQ(G.setIndexOf(Line * 64), Line % 64);
+}
+
+TEST(CacheGeometryTest, SetStrideMapsBackToSameSet) {
+  CacheGeometry G(32 * 1024, 64, 8);
+  uint64_t Base = 0x1234c0;
+  EXPECT_EQ(G.setIndexOf(Base), G.setIndexOf(Base + G.setStrideBytes()));
+  EXPECT_NE(G.tagOf(Base), G.tagOf(Base + G.setStrideBytes()));
+}
+
+TEST(CacheGeometryTest, NonPowerOfTwoSetCount) {
+  // 20-way 35MiB LLC: 28672 sets, not a power of two.
+  CacheGeometry G(35 * 1024 * 1024, 64, 20);
+  EXPECT_EQ(G.numSets(), 28672u);
+  // Modulo indexing must still partition lines correctly.
+  for (uint64_t Line : {0ull, 1ull, 28671ull, 28672ull, 999999ull}) {
+    uint64_t Addr = Line * 64 + 13;
+    EXPECT_EQ(G.setIndexOf(Addr), Line % 28672);
+    EXPECT_EQ(G.tagOf(Addr), Line / 28672);
+    EXPECT_EQ(G.lineStartAddr(G.tagOf(Addr), G.setIndexOf(Addr)), Line * 64);
+  }
+}
+
+TEST(CacheGeometryTest, DirectMappedAndFullyAssociativeExtremes) {
+  CacheGeometry Direct(4096, 64, 1); // direct-mapped: 64 sets
+  EXPECT_EQ(Direct.numSets(), 64u);
+  CacheGeometry Fa(4096, 64, 64); // fully associative: 1 set
+  EXPECT_EQ(Fa.numSets(), 1u);
+  EXPECT_EQ(Fa.setIndexOf(0xdeadbeef), 0u);
+}
+
+TEST(CacheGeometryTest, DescribeMentionsShape) {
+  std::string Desc = paperL1Geometry().describe();
+  EXPECT_NE(Desc.find("32KiB"), std::string::npos);
+  EXPECT_NE(Desc.find("8-way"), std::string::npos);
+  EXPECT_NE(Desc.find("64 sets"), std::string::npos);
+}
+
+// Property sweep: slicing is a bijection over the address bits for many
+// geometries.
+class GeometrySweepTest
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t, uint32_t>> {
+};
+
+TEST_P(GeometrySweepTest, SliceAndReassemble) {
+  auto [Size, Line, Assoc] = GetParam();
+  CacheGeometry G(Size, Line, Assoc);
+  SplitMix64 Rng(Size ^ Line ^ Assoc);
+  for (int I = 0; I < 200; ++I) {
+    uint64_t Addr = Rng.next() >> 8;
+    uint64_t Reassembled =
+        G.lineStartAddr(G.tagOf(Addr), G.setIndexOf(Addr)) + G.offsetOf(Addr);
+    EXPECT_EQ(Reassembled, Addr);
+    EXPECT_LT(G.setIndexOf(Addr), G.numSets());
+    EXPECT_LT(G.offsetOf(Addr), G.lineBytes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GeometrySweepTest,
+    ::testing::Values(std::make_tuple(32 * 1024, 64, 8),
+                      std::make_tuple(256 * 1024, 64, 4),
+                      std::make_tuple(256 * 1024, 64, 8),
+                      std::make_tuple(8 * 1024 * 1024, 64, 16),
+                      std::make_tuple(35 * 1024 * 1024, 64, 20),
+                      std::make_tuple(4096, 32, 2),
+                      std::make_tuple(1024, 16, 1),
+                      std::make_tuple(16 * 1024, 128, 16)));

@@ -1,0 +1,116 @@
+//===- tests/CacheHierarchyTest.cpp - Multi-level cache tests -------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/CacheHierarchy.h"
+#include "sim/MachineConfig.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+namespace {
+
+CacheHierarchy tinyHierarchy() {
+  return CacheHierarchy({
+      CacheLevelConfig{"L1", CacheGeometry(256, 64, 2)},    // 4 lines
+      CacheLevelConfig{"L2", CacheGeometry(1024, 64, 2)},   // 16 lines
+  });
+}
+
+} // namespace
+
+TEST(CacheHierarchyTest, ColdMissReachesMemory) {
+  CacheHierarchy H = tinyHierarchy();
+  HierarchyAccessResult R = H.access(0);
+  EXPECT_TRUE(R.MissedL1);
+  EXPECT_EQ(R.HitLevel, 2u); // past both levels
+  EXPECT_EQ(H.memoryAccesses(), 1u);
+}
+
+TEST(CacheHierarchyTest, SecondAccessHitsL1) {
+  CacheHierarchy H = tinyHierarchy();
+  H.access(0);
+  HierarchyAccessResult R = H.access(0);
+  EXPECT_FALSE(R.MissedL1);
+  EXPECT_EQ(R.HitLevel, 0u);
+}
+
+TEST(CacheHierarchyTest, L1VictimStillHitsL2) {
+  CacheHierarchy H = tinyHierarchy();
+  // Three lines conflicting in L1 set 0 (stride = L1 set stride 128B),
+  // but mapping to distinct L2 sets (L2 stride 512B).
+  H.access(0);
+  H.access(128);
+  H.access(256); // L1 evicts line 0
+  HierarchyAccessResult R = H.access(0);
+  EXPECT_TRUE(R.MissedL1);
+  EXPECT_EQ(R.HitLevel, 1u); // served from L2
+}
+
+TEST(CacheHierarchyTest, LevelNamesAndCount) {
+  CacheHierarchy H = tinyHierarchy();
+  ASSERT_EQ(H.numLevels(), 2u);
+  EXPECT_EQ(H.levelName(0), "L1");
+  EXPECT_EQ(H.levelName(1), "L2");
+}
+
+TEST(CacheHierarchyTest, MissCountersPerLevel) {
+  CacheHierarchy H = tinyHierarchy();
+  for (uint64_t L = 0; L < 8; ++L)
+    H.access(L * 64);
+  EXPECT_EQ(H.missesAt(0), 8u);
+  EXPECT_EQ(H.missesAt(1), 8u);
+  for (uint64_t L = 0; L < 8; ++L)
+    H.access(L * 64); // L1 holds only 4 lines; L2 holds all 8
+  EXPECT_EQ(H.missesAt(1), 8u) << "second sweep must be served by L2";
+}
+
+TEST(CacheHierarchyTest, DirtyEvictionWritesBack) {
+  CacheHierarchy H = tinyHierarchy();
+  H.access(0, /*IsWrite=*/true);
+  H.access(128);
+  H.access(256); // evicts dirty line 0 from L1 -> write to L2
+  // L2 saw: fills for 0, 128, 256 plus the writeback of 0.
+  EXPECT_EQ(H.level(1).stats().Accesses, 4u);
+  EXPECT_EQ(H.level(1).stats().Hits, 1u); // the writeback hits
+}
+
+TEST(CacheHierarchyTest, ResetClearsEverything) {
+  CacheHierarchy H = tinyHierarchy();
+  H.access(0);
+  H.reset();
+  EXPECT_EQ(H.memoryAccesses(), 0u);
+  EXPECT_EQ(H.missesAt(0), 0u);
+  EXPECT_TRUE(H.access(0).MissedL1);
+}
+
+TEST(MachineConfigTest, BroadwellShape) {
+  MachineConfig M = broadwellConfig();
+  ASSERT_EQ(M.Levels.size(), 3u);
+  EXPECT_EQ(M.l1Geometry().sizeBytes(), 32u * 1024);
+  EXPECT_EQ(M.l1Geometry().numSets(), 64u);
+  EXPECT_EQ(M.Levels[1].Geometry.sizeBytes(), 256u * 1024);
+  EXPECT_EQ(M.Levels[2].Geometry.sizeBytes(), 35ull * 1024 * 1024);
+  EXPECT_NE(M.Name.find("Broadwell"), std::string::npos);
+}
+
+TEST(MachineConfigTest, SkylakeShape) {
+  MachineConfig M = skylakeConfig();
+  ASSERT_EQ(M.Levels.size(), 3u);
+  EXPECT_EQ(M.Levels[1].Geometry.associativity(), 4u);
+  EXPECT_EQ(M.Levels[2].Geometry.sizeBytes(), 8ull * 1024 * 1024);
+  EXPECT_NE(M.Name.find("Skylake"), std::string::npos);
+}
+
+TEST(MachineConfigTest, HierarchiesAreRunnable) {
+  for (const MachineConfig &M : {broadwellConfig(), skylakeConfig()}) {
+    CacheHierarchy H = M.makeHierarchy();
+    for (uint64_t I = 0; I < 1000; ++I)
+      H.access(I * 64);
+    EXPECT_EQ(H.level(0).stats().Accesses, 1000u);
+  }
+}

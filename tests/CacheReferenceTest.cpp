@@ -1,0 +1,142 @@
+//===- tests/CacheReferenceTest.cpp - Oracle cross-checks ------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Cross-checks the production Cache against a deliberately naive oracle
+// (O(ways) list-shuffling simulator) over randomized reference streams
+// and a sweep of geometries. Any divergence in hit/miss behaviour or
+// eviction choice is a bug in one of the two — and the oracle is simple
+// enough to trust.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+#include <deque>
+#include <vector>
+
+using namespace ccprof;
+
+namespace {
+
+/// Textbook set-associative cache: per-set recency list, front = MRU.
+class OracleCache {
+public:
+  OracleCache(CacheGeometry Geometry, ReplacementKind Policy)
+      : Geometry(Geometry), Policy(Policy), Sets(Geometry.numSets()) {}
+
+  /// \returns (hit, evicted line or ~0).
+  std::pair<bool, uint64_t> access(uint64_t Addr) {
+    auto &Set = Sets[Geometry.setIndexOf(Addr)];
+    uint64_t Line = Geometry.lineAddrOf(Addr);
+    for (size_t I = 0; I < Set.size(); ++I) {
+      if (Set[I] != Line)
+        continue;
+      if (Policy == ReplacementKind::Lru) {
+        Set.erase(Set.begin() + static_cast<long>(I));
+        Set.push_front(Line);
+      }
+      return {true, ~uint64_t{0}};
+    }
+    uint64_t Evicted = ~uint64_t{0};
+    if (Set.size() == Geometry.associativity()) {
+      Evicted = Set.back(); // LRU and FIFO both evict the back.
+      Set.pop_back();
+    }
+    Set.push_front(Line);
+    return {false, Evicted};
+  }
+
+private:
+  CacheGeometry Geometry;
+  ReplacementKind Policy;
+  /// Front = most recent (LRU) / newest insertion (FIFO).
+  std::vector<std::deque<uint64_t>> Sets;
+};
+
+} // namespace
+
+class CacheOracleTest
+    : public ::testing::TestWithParam<
+          std::tuple<uint64_t, uint32_t, uint32_t, int>> {};
+
+TEST_P(CacheOracleTest, LruMatchesOracle) {
+  auto [Size, Line, Assoc, Locality] = GetParam();
+  CacheGeometry G(Size, Line, Assoc);
+  Cache Real(G, ReplacementKind::Lru);
+  OracleCache Oracle(G, ReplacementKind::Lru);
+
+  Xoshiro256 Rng(Size ^ Assoc ^ static_cast<uint64_t>(Locality));
+  uint64_t Mismatches = 0;
+  for (int I = 0; I < 30000; ++I) {
+    // Locality controls the footprint: smaller pools re-reference more.
+    uint64_t Addr = Rng.nextBounded(uint64_t{1} << Locality) * 16;
+    CacheAccessResult R = Real.access(Addr);
+    auto [OracleHit, OracleEvicted] = Oracle.access(Addr);
+    if (R.Hit != OracleHit)
+      ++Mismatches;
+    if (R.EvictedLine &&
+        (OracleEvicted == ~uint64_t{0} || *R.EvictedLine != OracleEvicted))
+      ++Mismatches;
+    if (!R.EvictedLine && OracleEvicted != ~uint64_t{0})
+      ++Mismatches;
+  }
+  EXPECT_EQ(Mismatches, 0u);
+}
+
+TEST_P(CacheOracleTest, FifoMatchesOracle) {
+  auto [Size, Line, Assoc, Locality] = GetParam();
+  CacheGeometry G(Size, Line, Assoc);
+  Cache Real(G, ReplacementKind::Fifo);
+  OracleCache Oracle(G, ReplacementKind::Fifo);
+
+  Xoshiro256 Rng(Size + Assoc + static_cast<uint64_t>(Locality));
+  for (int I = 0; I < 30000; ++I) {
+    uint64_t Addr = Rng.nextBounded(uint64_t{1} << Locality) * 16;
+    CacheAccessResult R = Real.access(Addr);
+    auto [OracleHit, OracleEvicted] = Oracle.access(Addr);
+    ASSERT_EQ(R.Hit, OracleHit) << "at access " << I;
+    if (R.EvictedLine) {
+      ASSERT_EQ(*R.EvictedLine, OracleEvicted) << "at access " << I;
+    } else {
+      ASSERT_EQ(OracleEvicted, ~uint64_t{0}) << "at access " << I;
+    }
+  }
+}
+
+TEST_P(CacheOracleTest, FullyAssociativeLruMatchesOracle) {
+  auto [Size, Line, Assoc, Locality] = GetParam();
+  (void)Assoc;
+  CacheGeometry G(Size, Line,
+                  static_cast<uint32_t>(Size / Line)); // 1 set
+  if (G.numLines() > 4096)
+    GTEST_SKIP() << "oracle too slow for huge fully-associative shapes";
+  FullyAssociativeLru Real(G.numLines());
+  OracleCache Oracle(G, ReplacementKind::Lru);
+
+  Xoshiro256 Rng(Size * 3 + static_cast<uint64_t>(Locality));
+  for (int I = 0; I < 30000; ++I) {
+    uint64_t Addr = Rng.nextBounded(uint64_t{1} << Locality) * 16;
+    bool Hit = Real.access(G.lineAddrOf(Addr));
+    auto [OracleHit, OracleEvicted] = Oracle.access(Addr);
+    (void)OracleEvicted;
+    ASSERT_EQ(Hit, OracleHit) << "at access " << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeometryAndLocality, CacheOracleTest,
+    ::testing::Values(
+        std::make_tuple(uint64_t{4096}, 64u, 1u, 14),   // direct-mapped
+        std::make_tuple(uint64_t{4096}, 64u, 2u, 14),
+        std::make_tuple(uint64_t{32768}, 64u, 8u, 16),  // the paper's L1
+        std::make_tuple(uint64_t{32768}, 64u, 8u, 20),  // low locality
+        std::make_tuple(uint64_t{8192}, 32u, 4u, 15),
+        std::make_tuple(uint64_t{2048}, 64u, 16u, 13),  // 2 fat sets
+        std::make_tuple(uint64_t{65536}, 128u, 4u, 18)));

@@ -1,0 +1,252 @@
+//===- tests/CacheTest.cpp - Set-associative cache unit tests -------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace ccprof;
+
+namespace {
+
+/// Tiny cache for exact eviction-order checks: 2 sets, 2 ways, 64B lines.
+CacheGeometry tinyGeometry() { return CacheGeometry(256, 64, 2); }
+
+/// Address of line \p Line within set \p Set of tinyGeometry.
+uint64_t tinyAddr(uint64_t Tag, uint64_t Set) {
+  return (Tag * 2 + Set) * 64;
+}
+
+} // namespace
+
+TEST(CacheTest, ColdMissThenHit) {
+  Cache C(tinyGeometry());
+  EXPECT_FALSE(C.access(0).Hit);
+  EXPECT_TRUE(C.access(0).Hit);
+  EXPECT_TRUE(C.access(63).Hit); // same line
+  EXPECT_FALSE(C.access(64).Hit); // next line, other set
+  EXPECT_EQ(C.stats().Accesses, 4u);
+  EXPECT_EQ(C.stats().Hits, 2u);
+  EXPECT_EQ(C.stats().Misses, 2u);
+}
+
+TEST(CacheTest, LruEvictsLeastRecentlyUsed) {
+  Cache C(tinyGeometry(), ReplacementKind::Lru);
+  // Fill set 0 with tags 0 and 1.
+  C.access(tinyAddr(0, 0));
+  C.access(tinyAddr(1, 0));
+  // Touch tag 0 so tag 1 becomes LRU.
+  C.access(tinyAddr(0, 0));
+  // Insert tag 2: must evict tag 1.
+  CacheAccessResult R = C.access(tinyAddr(2, 0));
+  EXPECT_FALSE(R.Hit);
+  ASSERT_TRUE(R.EvictedLine.has_value());
+  EXPECT_EQ(*R.EvictedLine, tinyGeometry().lineAddrOf(tinyAddr(1, 0)));
+  EXPECT_TRUE(C.access(tinyAddr(0, 0)).Hit);
+  EXPECT_FALSE(C.access(tinyAddr(1, 0)).Hit);
+}
+
+TEST(CacheTest, FifoEvictsOldestInsertion) {
+  Cache C(tinyGeometry(), ReplacementKind::Fifo);
+  C.access(tinyAddr(0, 0));
+  C.access(tinyAddr(1, 0));
+  // Touch tag 0 (FIFO ignores recency).
+  C.access(tinyAddr(0, 0));
+  CacheAccessResult R = C.access(tinyAddr(2, 0));
+  ASSERT_TRUE(R.EvictedLine.has_value());
+  EXPECT_EQ(*R.EvictedLine, tinyGeometry().lineAddrOf(tinyAddr(0, 0)));
+}
+
+TEST(CacheTest, SetsAreIndependent) {
+  Cache C(tinyGeometry());
+  C.access(tinyAddr(0, 0));
+  C.access(tinyAddr(1, 0));
+  C.access(tinyAddr(2, 0)); // set 0 now evicting
+  // Set 1 is untouched: its fills must not evict.
+  EXPECT_FALSE(C.access(tinyAddr(0, 1)).EvictedLine.has_value());
+  EXPECT_FALSE(C.access(tinyAddr(1, 1)).EvictedLine.has_value());
+}
+
+TEST(CacheTest, WritebackTracksDirtyLines) {
+  Cache C(tinyGeometry());
+  C.access(tinyAddr(0, 0), /*IsWrite=*/true);
+  C.access(tinyAddr(1, 0));
+  // Evicting the dirty tag-0 line must report a write-back.
+  C.access(tinyAddr(0, 0)); // refresh LRU: tag1 is victim (clean)
+  CacheAccessResult R1 = C.access(tinyAddr(2, 0));
+  ASSERT_TRUE(R1.EvictedLine.has_value());
+  EXPECT_FALSE(R1.EvictedDirty);
+  // Now evict the dirty line.
+  CacheAccessResult R2 = C.access(tinyAddr(3, 0));
+  ASSERT_TRUE(R2.EvictedLine.has_value());
+  EXPECT_TRUE(R2.EvictedDirty);
+  EXPECT_EQ(C.stats().Writebacks, 1u);
+}
+
+TEST(CacheTest, ProbeDoesNotPerturbState) {
+  Cache C(tinyGeometry());
+  C.access(tinyAddr(0, 0));
+  C.access(tinyAddr(1, 0));
+  // Probing tag 0 must not refresh it in LRU order.
+  EXPECT_TRUE(C.probe(tinyAddr(0, 0)));
+  EXPECT_FALSE(C.probe(tinyAddr(7, 0)));
+  CacheAccessResult R = C.access(tinyAddr(2, 0));
+  ASSERT_TRUE(R.EvictedLine.has_value());
+  EXPECT_EQ(*R.EvictedLine, tinyGeometry().lineAddrOf(tinyAddr(0, 0)));
+}
+
+TEST(CacheTest, FlushInvalidatesEverything) {
+  Cache C(tinyGeometry());
+  C.access(0);
+  C.flush();
+  EXPECT_FALSE(C.probe(0));
+  EXPECT_FALSE(C.access(0).Hit);
+}
+
+TEST(CacheTest, PerSetMissCounters) {
+  Cache C(tinyGeometry());
+  C.access(tinyAddr(0, 0));
+  C.access(tinyAddr(1, 0));
+  C.access(tinyAddr(0, 1));
+  EXPECT_EQ(C.missesOnSet(0), 2u);
+  EXPECT_EQ(C.missesOnSet(1), 1u);
+  EXPECT_EQ(C.setsWithMisses(), 2u);
+  C.resetStats();
+  EXPECT_EQ(C.missesOnSet(0), 0u);
+  EXPECT_EQ(C.stats().Accesses, 0u);
+}
+
+TEST(CacheTest, TreePlruApproximatesLru) {
+  // For a 2-way cache, tree-PLRU degenerates to exact LRU.
+  Cache C(tinyGeometry(), ReplacementKind::TreePlru);
+  C.access(tinyAddr(0, 0));
+  C.access(tinyAddr(1, 0));
+  C.access(tinyAddr(0, 0));
+  CacheAccessResult R = C.access(tinyAddr(2, 0));
+  ASSERT_TRUE(R.EvictedLine.has_value());
+  EXPECT_EQ(*R.EvictedLine, tinyGeometry().lineAddrOf(tinyAddr(1, 0)));
+}
+
+TEST(CacheTest, TreePlruNeverEvictsMostRecent) {
+  Cache C(CacheGeometry(64 * 8, 64, 8), ReplacementKind::TreePlru);
+  // One set, 8 ways. Repeatedly insert new tags; the most recently
+  // touched line must survive each eviction.
+  uint64_t Previous = 0;
+  for (uint64_t Tag = 0; Tag < 64; ++Tag) {
+    CacheAccessResult R = C.access(Tag * 64);
+    if (R.EvictedLine) {
+      EXPECT_NE(*R.EvictedLine, Previous) << "evicted the MRU line";
+    }
+    Previous = Tag;
+  }
+}
+
+TEST(CacheTest, RandomPolicyIsDeterministicPerSeed) {
+  Cache A(tinyGeometry(), ReplacementKind::Random, /*RngSeed=*/7);
+  Cache B(tinyGeometry(), ReplacementKind::Random, /*RngSeed=*/7);
+  for (uint64_t Tag = 0; Tag < 100; ++Tag) {
+    CacheAccessResult Ra = A.access(tinyAddr(Tag, 0));
+    CacheAccessResult Rb = B.access(tinyAddr(Tag, 0));
+    EXPECT_EQ(Ra.Hit, Rb.Hit);
+    EXPECT_EQ(Ra.EvictedLine, Rb.EvictedLine);
+  }
+}
+
+TEST(CacheTest, MissRatioComputation) {
+  Cache C(tinyGeometry());
+  C.access(0);
+  C.access(0);
+  C.access(0);
+  C.access(0);
+  EXPECT_DOUBLE_EQ(C.stats().missRatio(), 0.25);
+  CacheStats Fresh;
+  EXPECT_DOUBLE_EQ(Fresh.missRatio(), 0.0);
+}
+
+// Property: under LRU, a working set no larger than one set's ways never
+// misses after warm-up, for any associativity.
+class LruWorkingSetTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(LruWorkingSetTest, FittingWorkingSetNeverMisses) {
+  uint32_t Assoc = GetParam();
+  CacheGeometry G(64ull * Assoc * 4, 64, Assoc); // 4 sets
+  Cache C(G);
+  std::vector<uint64_t> Lines;
+  for (uint32_t W = 0; W < Assoc; ++W)
+    Lines.push_back(W * G.setStrideBytes()); // all map to set 0
+  for (uint64_t Addr : Lines)
+    C.access(Addr);
+  for (int Round = 0; Round < 10; ++Round)
+    for (uint64_t Addr : Lines)
+      EXPECT_TRUE(C.access(Addr).Hit);
+}
+
+TEST_P(LruWorkingSetTest, OneExtraLineThrashesRoundRobin) {
+  uint32_t Assoc = GetParam();
+  CacheGeometry G(64ull * Assoc * 4, 64, Assoc);
+  Cache C(G);
+  // Assoc+1 lines in one set, accessed cyclically: classic LRU worst
+  // case, every access misses after warm-up.
+  for (int Round = 0; Round < 5; ++Round)
+    for (uint32_t W = 0; W <= Assoc; ++W)
+      C.access(W * G.setStrideBytes());
+  CacheStats S = C.stats();
+  EXPECT_EQ(S.Hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativities, LruWorkingSetTest,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(FullyAssociativeLruTest, BasicHitMiss) {
+  FullyAssociativeLru C(2);
+  EXPECT_FALSE(C.access(1));
+  EXPECT_FALSE(C.access(2));
+  EXPECT_TRUE(C.access(1));
+  EXPECT_FALSE(C.access(3)); // evicts 2 (LRU)
+  EXPECT_TRUE(C.access(1));
+  EXPECT_FALSE(C.access(2));
+}
+
+TEST(FullyAssociativeLruTest, CapacityOne) {
+  FullyAssociativeLru C(1);
+  EXPECT_FALSE(C.access(1));
+  EXPECT_TRUE(C.access(1));
+  EXPECT_FALSE(C.access(2));
+  EXPECT_FALSE(C.access(1));
+}
+
+TEST(FullyAssociativeLruTest, ProbeAndSize) {
+  FullyAssociativeLru C(4);
+  C.access(10);
+  C.access(20);
+  EXPECT_TRUE(C.probe(10));
+  EXPECT_FALSE(C.probe(30));
+  EXPECT_EQ(C.size(), 2u);
+  C.flush();
+  EXPECT_EQ(C.size(), 0u);
+  EXPECT_FALSE(C.probe(10));
+}
+
+TEST(FullyAssociativeLruTest, MatchesStackDistanceSemantics) {
+  // A line hits iff fewer than Capacity distinct lines intervened.
+  FullyAssociativeLru C(3);
+  C.access(1);
+  C.access(2);
+  C.access(3);
+  EXPECT_TRUE(C.access(1));  // distance 2 < 3
+  C.access(4);               // evicts 2
+  EXPECT_FALSE(C.access(2)); // distance 3 >= 3
+}
+
+TEST(FullyAssociativeLruTest, LargeChurnStaysBounded) {
+  FullyAssociativeLru C(128);
+  for (uint64_t I = 0; I < 100000; ++I)
+    C.access(I % 1000);
+  EXPECT_LE(C.size(), 128u);
+}

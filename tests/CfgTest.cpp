@@ -1,0 +1,157 @@
+//===- tests/CfgTest.cpp - CFG recovery unit tests -------------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Cfg.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+namespace {
+
+/// Builds a function from (Line, Kind, TargetIndex) triples, where
+/// TargetIndex is the index of the target instruction within the
+/// function (resolved to an address).
+struct InsnSpec {
+  uint32_t Line;
+  InsnKind Kind;
+  size_t TargetIndex = 0;
+  bool IsAccess = false;
+};
+
+BinaryImage buildFunction(const std::vector<InsnSpec> &Specs) {
+  BinaryImage Image("test.cpp");
+  Image.beginFunction("f");
+  uint64_t Base = Image.nextAddr();
+  for (const InsnSpec &Spec : Specs) {
+    Instruction Insn;
+    Insn.Line = Spec.Line;
+    Insn.Kind = Spec.Kind;
+    Insn.Target = Base + Spec.TargetIndex * BinaryImage::InsnSize;
+    Insn.IsMemoryAccess = Spec.IsAccess;
+    Image.appendInstruction(Insn);
+  }
+  Image.endFunction();
+  return Image;
+}
+
+} // namespace
+
+TEST(CfgTest, StraightLineIsOneBlock) {
+  BinaryImage Image = buildFunction({
+      {1, InsnKind::Sequential},
+      {2, InsnKind::Sequential},
+      {3, InsnKind::Return},
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  ASSERT_EQ(Graph.numBlocks(), 1u);
+  const BasicBlock &Block = Graph.block(0);
+  EXPECT_EQ(Block.MinLine, 1u);
+  EXPECT_EQ(Block.MaxLine, 3u);
+  EXPECT_TRUE(Block.Succs.empty());
+}
+
+TEST(CfgTest, DiamondHasFourBlocks) {
+  // 0: entry; 1: condbr ->4; 2: then; 3: jmp ->5; 4: else; 5: merge; 6: ret
+  BinaryImage Image = buildFunction({
+      {1, InsnKind::Sequential},
+      {2, InsnKind::CondBranch, 4},
+      {3, InsnKind::Sequential},
+      {3, InsnKind::Jump, 5},
+      {4, InsnKind::Sequential},
+      {5, InsnKind::Sequential},
+      {6, InsnKind::Return},
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  ASSERT_EQ(Graph.numBlocks(), 4u);
+
+  const BasicBlock &Entry = Graph.block(0);
+  ASSERT_EQ(Entry.Succs.size(), 2u);
+  // Then (B1) and else (B2) both reach the merge block (B3).
+  EXPECT_EQ(Graph.block(1).Succs, std::vector<BlockId>{3});
+  EXPECT_EQ(Graph.block(2).Succs, std::vector<BlockId>{3});
+  EXPECT_EQ(Graph.block(3).Preds.size(), 2u);
+  EXPECT_TRUE(Graph.block(3).Succs.empty());
+}
+
+TEST(CfgTest, SimpleLoopHasBackEdge) {
+  // 0: preheader; 1: header condbr ->4; 2: body; 3: jmp ->1; 4: ret
+  BinaryImage Image = buildFunction({
+      {1, InsnKind::Sequential},
+      {2, InsnKind::CondBranch, 4},
+      {3, InsnKind::Sequential},
+      {4, InsnKind::Jump, 1},
+      {5, InsnKind::Return},
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  ASSERT_EQ(Graph.numBlocks(), 4u);
+  // Latch (B2) loops back to the header (B1).
+  EXPECT_EQ(Graph.block(2).Succs, std::vector<BlockId>{1});
+  EXPECT_EQ(Graph.block(1).Preds.size(), 2u);
+}
+
+TEST(CfgTest, BlockContaining) {
+  BinaryImage Image = buildFunction({
+      {1, InsnKind::Sequential},
+      {2, InsnKind::CondBranch, 3},
+      {3, InsnKind::Sequential},
+      {4, InsnKind::Return},
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  const BinaryFunction &F = Image.functions()[0];
+  uint64_t Entry = F.EntryAddr;
+  auto B0 = Graph.blockContaining(Entry);
+  ASSERT_TRUE(B0.has_value());
+  EXPECT_EQ(*B0, 0u);
+  EXPECT_FALSE(Graph.blockContaining(Entry - 4).has_value());
+  EXPECT_FALSE(Graph.blockContaining(Entry + 1).has_value()); // unaligned
+}
+
+TEST(CfgTest, ReversePostOrderStartsAtEntry) {
+  BinaryImage Image = buildFunction({
+      {1, InsnKind::Sequential},
+      {2, InsnKind::CondBranch, 4},
+      {3, InsnKind::Sequential},
+      {4, InsnKind::Jump, 1},
+      {5, InsnKind::Return},
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  std::vector<BlockId> Rpo = Graph.reversePostOrder();
+  ASSERT_FALSE(Rpo.empty());
+  EXPECT_EQ(Rpo.front(), Graph.entry());
+  EXPECT_EQ(Rpo.size(), Graph.numBlocks());
+  // Every block appears exactly once.
+  std::vector<bool> Seen(Graph.numBlocks(), false);
+  for (BlockId Block : Rpo) {
+    EXPECT_FALSE(Seen[Block]);
+    Seen[Block] = true;
+  }
+}
+
+TEST(BinaryImageTest, LineAndFunctionLookup) {
+  BinaryImage Image("src.cpp");
+  Image.beginFunction("first");
+  Image.appendInstruction({0, 10, InsnKind::Sequential, 0, false});
+  Image.appendInstruction({0, 11, InsnKind::Return, 0, false});
+  Image.endFunction();
+  Image.beginFunction("second");
+  Image.appendInstruction({0, 20, InsnKind::Return, 0, true});
+  Image.endFunction();
+
+  ASSERT_EQ(Image.functions().size(), 2u);
+  uint64_t FirstAddr = Image.functions()[0].EntryAddr;
+  uint64_t SecondAddr = Image.functions()[1].EntryAddr;
+
+  EXPECT_EQ(Image.lineOf(FirstAddr), 10u);
+  EXPECT_EQ(Image.lineOf(SecondAddr), 20u);
+  EXPECT_FALSE(Image.lineOf(SecondAddr + 4).has_value());
+
+  ASSERT_NE(Image.functionContaining(FirstAddr + 4), nullptr);
+  EXPECT_EQ(Image.functionContaining(FirstAddr + 4)->Name, "first");
+  EXPECT_EQ(Image.functionContaining(SecondAddr)->Name, "second");
+  EXPECT_TRUE(Image.at(SecondAddr)->IsMemoryAccess);
+}

@@ -1,0 +1,80 @@
+//===- tests/ConflictClassifierTest.cpp - Classifier tests -----------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ConflictClassifier.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+TEST(ConflictClassifierTest, PretrainedSeparatesPaperRanges) {
+  // Sec. 5.1: clean Rodinia loops put 10-20% of misses below RCD 8;
+  // NW puts 88% there.
+  ConflictClassifier C = ConflictClassifier::pretrained();
+  EXPECT_FALSE(C.classify(0.10).Conflict);
+  EXPECT_FALSE(C.classify(0.20).Conflict);
+  EXPECT_TRUE(C.classify(0.88).Conflict);
+  EXPECT_TRUE(C.classify(0.99).Conflict);
+}
+
+TEST(ConflictClassifierTest, ProbabilityTracksVerdict) {
+  ConflictClassifier C = ConflictClassifier::pretrained();
+  ConflictClassifier::Decision Low = C.classify(0.05);
+  ConflictClassifier::Decision High = C.classify(0.95);
+  EXPECT_LT(Low.Probability, 0.5);
+  EXPECT_GT(High.Probability, 0.5);
+  EXPECT_EQ(Low.Conflict, Low.Probability >= 0.5);
+  EXPECT_EQ(High.Conflict, High.Probability >= 0.5);
+}
+
+TEST(ConflictClassifierTest, TrainOnCustomLoops) {
+  std::vector<LabeledLoop> Loops = {
+      {"a", 0.01, false}, {"b", 0.02, false}, {"c", 0.9, true},
+      {"d", 0.95, true},  {"e", 0.05, false}, {"f", 0.85, true},
+  };
+  ConflictClassifier C;
+  EXPECT_FALSE(C.isTrained());
+  C.train(Loops);
+  EXPECT_TRUE(C.isTrained());
+  EXPECT_FALSE(C.classify(0.03).Conflict);
+  EXPECT_TRUE(C.classify(0.92).Conflict);
+}
+
+TEST(ConflictClassifierTest, ClassifyProfileUsesThreshold) {
+  // Build a profile that hammers one set: cf at threshold 8 is ~1.
+  RcdProfile Victim(64);
+  for (int I = 0; I < 200; ++I)
+    Victim.addMiss(3);
+  ConflictClassifier C = ConflictClassifier::pretrained();
+  EXPECT_TRUE(C.classifyProfile(Victim).Conflict);
+
+  // Balanced round-robin: cf 0.
+  RcdProfile Balanced(64);
+  for (int Round = 0; Round < 5; ++Round)
+    for (uint64_t Set = 0; Set < 64; ++Set)
+      Balanced.addMiss(Set);
+  EXPECT_FALSE(C.classifyProfile(Balanced).Conflict);
+}
+
+TEST(ConflictClassifierTest, Table1DecisionMatrix) {
+  // Paper Table 1, realized by the trained model:
+  //   low RCD (=> high cf) + high miss contribution => conflict;
+  //   high RCD (=> low cf) => no conflict.
+  ConflictClassifier C = ConflictClassifier::pretrained();
+  // "low RCD, high contribution": strong indication.
+  EXPECT_TRUE(C.classify(0.9).Conflict);
+  // "high RCD": no indication regardless of contribution.
+  EXPECT_FALSE(C.classify(0.05).Conflict);
+}
+
+TEST(ConflictClassifierTest, CustomRcdThreshold) {
+  ConflictClassifier C(16);
+  EXPECT_EQ(C.rcdThreshold(), 16u);
+  ConflictClassifier Default = ConflictClassifier::pretrained();
+  EXPECT_EQ(Default.rcdThreshold(), ConflictClassifier::DefaultRcdThreshold);
+  EXPECT_EQ(ConflictClassifier::DefaultRcdThreshold, 8u);
+}

@@ -1,0 +1,101 @@
+//===- tests/CrossValidationTest.cpp - K-fold validation tests ------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CrossValidation.h"
+
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace ccprof;
+
+namespace {
+
+/// The paper's training-set shape: 16 loops, 8 conflicting / 8 clean.
+void paperStyleTrainingSet(double Separation, std::vector<double> &X,
+                           std::vector<uint8_t> &Y) {
+  Xoshiro256 Rng(0x16f01d);
+  for (int I = 0; I < 8; ++I) {
+    X.push_back(0.15 + 0.02 * static_cast<double>(I % 4) +
+                0.01 * Rng.nextDouble());
+    Y.push_back(0);
+  }
+  for (int I = 0; I < 8; ++I) {
+    X.push_back(0.15 + Separation + 0.05 * static_cast<double>(I % 4) +
+                0.01 * Rng.nextDouble());
+    Y.push_back(1);
+  }
+}
+
+} // namespace
+
+TEST(CrossValidationTest, PerfectlySeparableGivesF1One) {
+  std::vector<double> X;
+  std::vector<uint8_t> Y;
+  paperStyleTrainingSet(/*Separation=*/0.5, X, Y);
+  CrossValidationOptions Options;
+  Options.Folds = 8;
+  BinaryConfusion Result = crossValidate(X, Y, Options);
+  EXPECT_DOUBLE_EQ(Result.f1(), 1.0);
+  EXPECT_EQ(Result.total(), 16u);
+}
+
+TEST(CrossValidationTest, EveryObservationEvaluatedOnce) {
+  std::vector<double> X;
+  std::vector<uint8_t> Y;
+  paperStyleTrainingSet(0.5, X, Y);
+  for (uint32_t Folds : {2u, 4u, 8u}) {
+    CrossValidationOptions Options;
+    Options.Folds = Folds;
+    BinaryConfusion Result = crossValidate(X, Y, Options);
+    EXPECT_EQ(Result.total(), X.size()) << "folds = " << Folds;
+  }
+}
+
+TEST(CrossValidationTest, OverlappingClassesScoreBelowOne) {
+  // Interleaved features: the classes overlap in [0.18, 0.38], so no
+  // one-dimensional threshold achieves a perfect split.
+  std::vector<double> X = {0.10, 0.30, 0.38, 0.40, 0.18, 0.12, 0.42, 0.20,
+                           0.15, 0.35, 0.25, 0.45, 0.33, 0.28, 0.41, 0.22};
+  std::vector<uint8_t> Y = {0, 1, 0, 1, 1, 0, 1, 0,
+                            0, 1, 0, 1, 1, 0, 1, 0};
+  CrossValidationOptions Options;
+  Options.Folds = 4;
+  BinaryConfusion Result = crossValidate(X, Y, Options);
+  EXPECT_LT(Result.f1(), 1.0);
+  EXPECT_GT(Result.f1(), 0.3) << "the trend is still learnable";
+}
+
+TEST(CrossValidationTest, DeterministicForFixedSeed) {
+  std::vector<double> X;
+  std::vector<uint8_t> Y;
+  paperStyleTrainingSet(0.1, X, Y);
+  CrossValidationOptions Options;
+  Options.ShuffleSeed = 77;
+  BinaryConfusion A = crossValidate(X, Y, Options);
+  BinaryConfusion B = crossValidate(X, Y, Options);
+  EXPECT_EQ(A.TruePositives, B.TruePositives);
+  EXPECT_EQ(A.FalsePositives, B.FalsePositives);
+  EXPECT_EQ(A.FalseNegatives, B.FalseNegatives);
+  EXPECT_EQ(A.TrueNegatives, B.TrueNegatives);
+}
+
+TEST(CrossValidationTest, SmallerSeparationLowersF1) {
+  // Mirrors Fig. 8's logic: noisier features (lower separation between
+  // the classes) can only hurt the pooled F1-score.
+  auto F1At = [](double Separation) {
+    std::vector<double> X;
+    std::vector<uint8_t> Y;
+    paperStyleTrainingSet(Separation, X, Y);
+    CrossValidationOptions Options;
+    Options.Folds = 8;
+    return crossValidate(X, Y, Options).f1();
+  };
+  EXPECT_GE(F1At(0.5), F1At(0.02));
+}

@@ -1,0 +1,133 @@
+//===- tests/DominatorsTest.cpp - Dominator tree unit tests ---------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Dominators.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+namespace {
+
+struct InsnSpec {
+  InsnKind Kind;
+  size_t TargetIndex = 0;
+};
+
+BinaryImage buildFunction(const std::vector<InsnSpec> &Specs) {
+  BinaryImage Image("dom.cpp");
+  Image.beginFunction("f");
+  uint64_t Base = Image.nextAddr();
+  uint32_t Line = 1;
+  for (const InsnSpec &Spec : Specs) {
+    Instruction Insn;
+    Insn.Line = Line++;
+    Insn.Kind = Spec.Kind;
+    Insn.Target = Base + Spec.TargetIndex * BinaryImage::InsnSize;
+    Image.appendInstruction(Insn);
+  }
+  Image.endFunction();
+  return Image;
+}
+
+} // namespace
+
+TEST(DominatorsTest, StraightLine) {
+  BinaryImage Image = buildFunction({
+      {InsnKind::Sequential},
+      {InsnKind::Jump, 2},
+      {InsnKind::Return},
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  DominatorTree Dom(Graph);
+  EXPECT_EQ(Dom.idom(Graph.entry()), Graph.entry());
+  for (BlockId B = 0; B < Graph.numBlocks(); ++B) {
+    EXPECT_TRUE(Dom.dominates(Graph.entry(), B));
+    EXPECT_TRUE(Dom.dominates(B, B)) << "dominance is reflexive";
+  }
+}
+
+TEST(DominatorsTest, DiamondMergeDominatedByEntryOnly) {
+  // B0 -> {B1, B2} -> B3.
+  BinaryImage Image = buildFunction({
+      {InsnKind::Sequential},        // 0  B0
+      {InsnKind::CondBranch, 4},     // 1  B0
+      {InsnKind::Sequential},        // 2  B1 (then)
+      {InsnKind::Jump, 5},           // 3  B1
+      {InsnKind::Sequential},        // 4  B2 (else)
+      {InsnKind::Sequential},        // 5  B3 (merge)
+      {InsnKind::Return},            // 6  B3
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  ASSERT_EQ(Graph.numBlocks(), 4u);
+  DominatorTree Dom(Graph);
+  EXPECT_EQ(Dom.idom(1), 0u);
+  EXPECT_EQ(Dom.idom(2), 0u);
+  EXPECT_EQ(Dom.idom(3), 0u) << "merge is dominated by the fork point";
+  EXPECT_FALSE(Dom.dominates(1, 3));
+  EXPECT_FALSE(Dom.dominates(2, 3));
+  EXPECT_TRUE(Dom.dominates(0, 3));
+  EXPECT_FALSE(Dom.dominates(1, 2));
+}
+
+TEST(DominatorsTest, LoopHeaderDominatesBody) {
+  // B0 -> B1(header) <-> B2(body); B1 -> B3(exit).
+  BinaryImage Image = buildFunction({
+      {InsnKind::Sequential},     // 0  B0
+      {InsnKind::CondBranch, 4},  // 1  B1 header
+      {InsnKind::Sequential},     // 2  B2 body
+      {InsnKind::Jump, 1},        // 3  B2 latch
+      {InsnKind::Return},         // 4  B3 exit
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  DominatorTree Dom(Graph);
+  EXPECT_TRUE(Dom.dominates(1, 2));
+  EXPECT_TRUE(Dom.dominates(1, 3));
+  EXPECT_FALSE(Dom.dominates(2, 1));
+  EXPECT_EQ(Dom.idom(2), 1u);
+  EXPECT_EQ(Dom.idom(3), 1u);
+}
+
+TEST(DominatorsTest, NestedDiamonds) {
+  // Outer diamond whose 'then' arm is itself a diamond.
+  BinaryImage Image = buildFunction({
+      {InsnKind::CondBranch, 7},  // 0 B0 -> else(7) / then(1)
+      {InsnKind::CondBranch, 4},  // 1 B1 inner fork
+      {InsnKind::Sequential},     // 2 B2 inner then
+      {InsnKind::Jump, 5},        // 3 B2
+      {InsnKind::Sequential},     // 4 B3 inner else
+      {InsnKind::Sequential},     // 5 B4 inner merge
+      {InsnKind::Jump, 8},        // 6 B4 -> outer merge
+      {InsnKind::Sequential},     // 7 B5 outer else
+      {InsnKind::Sequential},     // 8 B6 outer merge
+      {InsnKind::Return},         // 9 B6
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  ASSERT_EQ(Graph.numBlocks(), 7u);
+  DominatorTree Dom(Graph);
+  // Inner merge (B4) is dominated by the inner fork (B1).
+  EXPECT_EQ(Dom.idom(4), 1u);
+  // Outer merge (B6) is dominated by the entry fork only.
+  EXPECT_EQ(Dom.idom(6), 0u);
+  EXPECT_TRUE(Dom.dominates(1, 2));
+  EXPECT_TRUE(Dom.dominates(1, 4));
+  EXPECT_FALSE(Dom.dominates(1, 6));
+}
+
+TEST(DominatorsTest, EveryReachableBlockReachable) {
+  BinaryImage Image = buildFunction({
+      {InsnKind::CondBranch, 3},
+      {InsnKind::Sequential},
+      {InsnKind::Jump, 4},
+      {InsnKind::Sequential},
+      {InsnKind::Return},
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  DominatorTree Dom(Graph);
+  for (BlockId B = 0; B < Graph.numBlocks(); ++B)
+    EXPECT_TRUE(Dom.isReachable(B));
+}

@@ -1,0 +1,211 @@
+//===- tests/EndToEndTest.cpp - Paper-level integration tests --------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The headline claims, as tests:
+//  * every case-study application is flagged as conflicting before the
+//    padding/loop-order fix and clean after it (Fig. 9, Table 3);
+//  * the 17 conflict-free Rodinia kernels are never flagged (Fig. 7);
+//  * sparse PEBS-style sampling reaches the same verdicts as exact
+//    simulation for stable conflict patterns (Sec. 3.3/5.2);
+//  * the classifier trained on simulator ground truth cross-validates
+//    perfectly at high sampling frequency (Fig. 8's left end).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CrossValidation.h"
+#include "core/Profiler.h"
+#include "workloads/Workload.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+namespace {
+
+/// Exact (simulation-grade) profile of one workload variant.
+ProfileResult profileExactly(const Workload &W, WorkloadVariant Variant) {
+  Trace T;
+  W.run(Variant, &T);
+  BinaryImage Image = W.makeBinary();
+  ProgramStructure S(Image);
+  Profiler P;
+  return P.profileExact(T, S);
+}
+
+/// The report of the workload's paper-designated hot loop, falling back
+/// to the hottest context (the optimized Kripke moves to another loop).
+const LoopConflictReport *hotReport(const ProfileResult &Result,
+                                    const Workload &W) {
+  if (const LoopConflictReport *R = Result.byLocation(W.hotLoopLocation()))
+    return R;
+  return Result.hottest();
+}
+
+} // namespace
+
+TEST(EndToEndTest, CaseStudiesConflictBeforeAndNotAfterOptimization) {
+  for (const auto &W : makeCaseStudySuite()) {
+    ProfileResult Before = profileExactly(*W, WorkloadVariant::Original);
+    const LoopConflictReport *HotBefore = hotReport(Before, *W);
+    ASSERT_NE(HotBefore, nullptr) << W->name();
+    EXPECT_TRUE(HotBefore->ConflictPredicted)
+        << W->name() << " original must be flagged (cf = "
+        << HotBefore->ContributionFactor << ")";
+    EXPECT_GT(HotBefore->ContributionFactor, 0.45) << W->name();
+
+    ProfileResult After = profileExactly(*W, WorkloadVariant::Optimized);
+    const LoopConflictReport *HotAfter = After.hottest();
+    ASSERT_NE(HotAfter, nullptr) << W->name();
+    EXPECT_FALSE(HotAfter->ConflictPredicted)
+        << W->name() << " optimized must be clean (cf = "
+        << HotAfter->ContributionFactor << ")";
+    // Fig. 9: the short-RCD mass collapses after the fix.
+    EXPECT_LT(HotAfter->ContributionFactor,
+              HotBefore->ContributionFactor * 0.6)
+        << W->name();
+  }
+}
+
+TEST(EndToEndTest, CleanRodiniaKernelsAreNeverFlagged) {
+  for (const auto &W : makeRodiniaSuite()) {
+    if (W->expectConflicts())
+      continue; // NW is the positive case, covered above.
+    ProfileResult Result = profileExactly(*W, WorkloadVariant::Original);
+    const LoopConflictReport *Hot = Result.hottest();
+    ASSERT_NE(Hot, nullptr) << W->name();
+    EXPECT_FALSE(Hot->ConflictPredicted) << W->name();
+    // Sec. 5.1: clean hot loops put only 10-20% of misses below RCD 8.
+    EXPECT_LT(Hot->ContributionFactor, 0.25) << W->name();
+  }
+}
+
+TEST(EndToEndTest, NwMatchesPaperNarrative) {
+  auto W = makeWorkloadByName("NW");
+  ASSERT_NE(W, nullptr);
+  ProfileResult Result = profileExactly(*W, WorkloadVariant::Original);
+
+  // Sec. 5.1: "RCD of shorter than eight accounts for 88% of the L1
+  // cache misses" in the conflicting tile-copy loops.
+  const LoopConflictReport *Copy = Result.byLocation("needle.cpp:189");
+  ASSERT_NE(Copy, nullptr);
+  EXPECT_GT(Copy->ContributionFactor, 0.6);
+  EXPECT_TRUE(Copy->ConflictPredicted);
+
+  // Table 4: multiple loops are visible with nontrivial contributions,
+  // and the copy loops dominate.
+  EXPECT_GE(Result.Loops.size(), 6u);
+  double CopyShare = 0.0;
+  for (const char *Loc : {"needle.cpp:128", "needle.cpp:138",
+                          "needle.cpp:189", "needle.cpp:199"})
+    if (const LoopConflictReport *R = Result.byLocation(Loc))
+      CopyShare += R->MissContribution;
+  EXPECT_GT(CopyShare, 0.5);
+
+  // Sec. 6.1: the conflicts are attributed to the two matrices.
+  bool SawReference = false, SawInput = false;
+  for (const DataStructureReport &D : Copy->DataStructures) {
+    SawReference |= D.Name == "reference[]";
+    SawInput |= D.Name == "input_itemsets[]";
+  }
+  EXPECT_TRUE(SawReference);
+  // The :189 loop copies reference only; input shows up in :199.
+  const LoopConflictReport *InputCopy = Result.byLocation("needle.cpp:199");
+  ASSERT_NE(InputCopy, nullptr);
+  for (const DataStructureReport &D : InputCopy->DataStructures)
+    SawInput |= D.Name == "input_itemsets[]";
+  EXPECT_TRUE(SawInput);
+}
+
+TEST(EndToEndTest, AdiExhibitsRcdOne) {
+  // Sec. 6.2: "Both CCProf and simulation confirms the frequent conflict
+  // with RCD of 1."
+  auto W = makeWorkloadByName("ADI");
+  ASSERT_NE(W, nullptr);
+  ProfileResult Result = profileExactly(*W, WorkloadVariant::Original);
+  const LoopConflictReport *Hot = Result.byLocation(W->hotLoopLocation());
+  ASSERT_NE(Hot, nullptr);
+  ASSERT_FALSE(Hot->Rcd.empty());
+  EXPECT_EQ(Hot->Rcd.quantile(0.5), 1u);
+}
+
+TEST(EndToEndTest, SampledVerdictMatchesExactForStablePatterns) {
+  // Himeno's conflict periods are too short for default-rate sampling
+  // (the paper needed a 27x-overhead frequency for it); the other five
+  // case studies must be caught at moderate rates.
+  for (const auto &W : makeCaseStudySuite()) {
+    if (W->name() == "HimenoBMT")
+      continue;
+    Trace T;
+    W->run(WorkloadVariant::Original, &T);
+    BinaryImage Image = W->makeBinary();
+    ProgramStructure S(Image);
+
+    ProfileOptions Options;
+    Options.Sampling.Kind = SamplingKind::Bursty;
+    Options.Sampling.MeanPeriod = 171; // the paper's best-F1 period
+    Profiler P(Options);
+    ProfileResult Result = P.profile(T, S);
+    const LoopConflictReport *Hot = hotReport(Result, *W);
+    ASSERT_NE(Hot, nullptr) << W->name();
+    EXPECT_TRUE(Hot->ConflictPredicted) << W->name();
+  }
+}
+
+TEST(EndToEndTest, ClassifierCrossValidatesOnMeasuredLoops) {
+  // Rebuild the paper's Sec. 5.2 protocol: label loops with the exact
+  // simulator pipeline, measure cf from high-frequency sampling, and
+  // 8-fold cross-validate the logistic model. 6 conflicting case-study
+  // loops + padded NW/ADI + 8 clean kernels = 16 loops.
+  std::vector<double> X;
+  std::vector<uint8_t> Y;
+
+  // \returns false when the workload misses too rarely to be sampled at
+  // this frequency (b+tree, myocyte: their working sets fit in L1).
+  auto AddLoop = [&](const Workload &W, WorkloadVariant Variant,
+                     bool Label) {
+    Trace T;
+    W.run(Variant, &T);
+    BinaryImage Image = W.makeBinary();
+    ProgramStructure S(Image);
+    ProfileOptions Options;
+    Options.Sampling.Kind = SamplingKind::Bursty;
+    Options.Sampling.MeanPeriod = 171;
+    Profiler P(Options);
+    ProfileResult Result = P.profile(T, S);
+    const LoopConflictReport *Hot = hotReport(Result, W);
+    if (!Hot || Hot->Samples < 16)
+      return false;
+    X.push_back(Hot->ContributionFactor);
+    Y.push_back(Label ? 1 : 0);
+    return true;
+  };
+
+  for (const auto &W : makeCaseStudySuite())
+    if (W->name() != "HimenoBMT")
+      EXPECT_TRUE(AddLoop(*W, WorkloadVariant::Original, true))
+          << W->name();
+  auto Nw = makeWorkloadByName("NW");
+  auto Adi = makeWorkloadByName("ADI");
+  auto Fft = makeWorkloadByName("MKL-FFT");
+  AddLoop(*Nw, WorkloadVariant::Optimized, false);
+  AddLoop(*Adi, WorkloadVariant::Optimized, false);
+  AddLoop(*Fft, WorkloadVariant::Optimized, false);
+  size_t CleanAdded = 0;
+  for (const auto &W : makeRodiniaSuite()) {
+    if (W->expectConflicts())
+      continue;
+    if (AddLoop(*W, WorkloadVariant::Original, false) && ++CleanAdded == 8)
+      break;
+  }
+  ASSERT_GE(X.size(), 14u);
+
+  CrossValidationOptions Options;
+  Options.Folds = 8;
+  BinaryConfusion Confusion = crossValidate(X, Y, Options);
+  EXPECT_GE(Confusion.f1(), 0.9)
+      << "high-frequency sampling should recover the paper's F1 ~ 1";
+}

@@ -1,0 +1,123 @@
+//===- tests/HistogramTest.cpp - Histogram and CDF unit tests ------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Histogram.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram H;
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.total(), 0u);
+  EXPECT_EQ(H.count(5), 0u);
+  EXPECT_EQ(H.countBelow(100), 0u);
+  EXPECT_DOUBLE_EQ(H.fractionBelow(100), 0.0);
+  EXPECT_DOUBLE_EQ(H.cdfAt(100), 0.0);
+  EXPECT_DOUBLE_EQ(H.meanKey(), 0.0);
+  EXPECT_TRUE(H.keys().empty());
+  EXPECT_TRUE(H.cdfSeries().empty());
+}
+
+TEST(HistogramTest, AddAndCount) {
+  Histogram H;
+  H.add(3);
+  H.add(3);
+  H.add(7, 5);
+  EXPECT_EQ(H.total(), 7u);
+  EXPECT_EQ(H.count(3), 2u);
+  EXPECT_EQ(H.count(7), 5u);
+  EXPECT_EQ(H.count(4), 0u);
+}
+
+TEST(HistogramTest, ZeroWeightIsIgnored) {
+  Histogram H;
+  H.add(3, 0);
+  EXPECT_TRUE(H.empty());
+  EXPECT_EQ(H.count(3), 0u);
+}
+
+TEST(HistogramTest, CountBelowAndAtOrBelow) {
+  Histogram H;
+  H.add(1, 10);
+  H.add(8, 20);
+  H.add(64, 30);
+  EXPECT_EQ(H.countBelow(1), 0u);
+  EXPECT_EQ(H.countBelow(8), 10u);
+  EXPECT_EQ(H.countAtOrBelow(8), 30u);
+  EXPECT_EQ(H.countBelow(65), 60u);
+}
+
+TEST(HistogramTest, FractionBelowMatchesContributionFactor) {
+  // The paper's cf: N_{RCD < T} / N_total with T = 8.
+  Histogram Rcd;
+  Rcd.add(1, 88);
+  Rcd.add(64, 12);
+  EXPECT_DOUBLE_EQ(Rcd.fractionBelow(8), 0.88);
+}
+
+TEST(HistogramTest, CdfSeriesIsMonotoneAndEndsAtOne) {
+  Histogram H;
+  H.add(2, 5);
+  H.add(4, 5);
+  H.add(9, 10);
+  auto Series = H.cdfSeries();
+  ASSERT_EQ(Series.size(), 3u);
+  EXPECT_EQ(Series[0].first, 2u);
+  EXPECT_DOUBLE_EQ(Series[0].second, 0.25);
+  EXPECT_DOUBLE_EQ(Series[1].second, 0.5);
+  EXPECT_DOUBLE_EQ(Series[2].second, 1.0);
+  for (size_t I = 1; I < Series.size(); ++I)
+    EXPECT_LE(Series[I - 1].second, Series[I].second);
+}
+
+TEST(HistogramTest, QuantileAndMinMax) {
+  Histogram H;
+  for (uint64_t K = 1; K <= 100; ++K)
+    H.add(K);
+  EXPECT_EQ(H.minKey(), 1u);
+  EXPECT_EQ(H.maxKey(), 100u);
+  EXPECT_EQ(H.quantile(0.5), 50u);
+  EXPECT_EQ(H.quantile(1.0), 100u);
+  EXPECT_EQ(H.quantile(0.01), 1u);
+}
+
+TEST(HistogramTest, MeanKey) {
+  Histogram H;
+  H.add(10, 3);
+  H.add(20, 1);
+  EXPECT_DOUBLE_EQ(H.meanKey(), 12.5);
+}
+
+TEST(HistogramTest, Merge) {
+  Histogram A, B;
+  A.add(1, 2);
+  B.add(1, 3);
+  B.add(9, 4);
+  A.merge(B);
+  EXPECT_EQ(A.total(), 9u);
+  EXPECT_EQ(A.count(1), 5u);
+  EXPECT_EQ(A.count(9), 4u);
+}
+
+TEST(HistogramTest, AsciiChartMentionsKeys) {
+  Histogram H;
+  H.add(42, 7);
+  std::string Chart = H.toAsciiChart();
+  EXPECT_NE(Chart.find("42"), std::string::npos);
+  EXPECT_NE(Chart.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, AsciiChartCapsRows) {
+  Histogram H;
+  for (uint64_t K = 0; K < 100; ++K)
+    H.add(K, K + 1);
+  std::string Chart = H.toAsciiChart(5);
+  size_t Lines = std::count(Chart.begin(), Chart.end(), '\n');
+  EXPECT_EQ(Lines, 5u);
+}

@@ -1,0 +1,117 @@
+//===- tests/IntervalMapTest.cpp - IntervalMap unit tests -----------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/IntervalMap.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+
+using namespace ccprof;
+
+TEST(IntervalMapTest, InsertAndLookup) {
+  IntervalMap<std::string> Map;
+  EXPECT_TRUE(Map.insert(100, 200, "a"));
+  EXPECT_TRUE(Map.insert(300, 400, "b"));
+
+  EXPECT_EQ(Map.lookup(100), "a");
+  EXPECT_EQ(Map.lookup(199), "a");
+  EXPECT_EQ(Map.lookup(350), "b");
+  EXPECT_FALSE(Map.lookup(200).has_value()); // End is exclusive.
+  EXPECT_FALSE(Map.lookup(99).has_value());
+  EXPECT_FALSE(Map.lookup(250).has_value());
+}
+
+TEST(IntervalMapTest, EmptyIntervalRejected) {
+  IntervalMap<int> Map;
+  EXPECT_FALSE(Map.insert(10, 10, 1));
+  EXPECT_FALSE(Map.insert(10, 5, 1));
+  EXPECT_TRUE(Map.empty());
+}
+
+TEST(IntervalMapTest, OverlapRejected) {
+  IntervalMap<int> Map;
+  ASSERT_TRUE(Map.insert(100, 200, 1));
+  EXPECT_FALSE(Map.insert(150, 250, 2)); // overlaps middle
+  EXPECT_FALSE(Map.insert(50, 101, 2));  // overlaps start
+  EXPECT_FALSE(Map.insert(199, 300, 2)); // overlaps end
+  EXPECT_FALSE(Map.insert(100, 200, 2)); // exact duplicate
+  EXPECT_FALSE(Map.insert(120, 130, 2)); // contained
+  EXPECT_EQ(Map.size(), 1u);
+  EXPECT_EQ(Map.lookup(150), 1);
+}
+
+TEST(IntervalMapTest, AdjacentIntervalsAllowed) {
+  IntervalMap<int> Map;
+  EXPECT_TRUE(Map.insert(0, 10, 1));
+  EXPECT_TRUE(Map.insert(10, 20, 2));
+  EXPECT_EQ(Map.lookup(9), 1);
+  EXPECT_EQ(Map.lookup(10), 2);
+}
+
+TEST(IntervalMapTest, EraseAtAndReuse) {
+  IntervalMap<int> Map;
+  ASSERT_TRUE(Map.insert(100, 200, 1));
+  EXPECT_TRUE(Map.eraseAt(100));
+  EXPECT_FALSE(Map.eraseAt(100));
+  EXPECT_FALSE(Map.contains(150));
+  // The freed range can be reused, as after free()+malloc().
+  EXPECT_TRUE(Map.insert(100, 300, 2));
+  EXPECT_EQ(Map.lookup(250), 2);
+}
+
+TEST(IntervalMapTest, EraseContaining) {
+  IntervalMap<int> Map;
+  ASSERT_TRUE(Map.insert(100, 200, 1));
+  EXPECT_TRUE(Map.eraseContaining(150));
+  EXPECT_TRUE(Map.empty());
+  EXPECT_FALSE(Map.eraseContaining(150));
+}
+
+TEST(IntervalMapTest, Bounds) {
+  IntervalMap<int> Map;
+  ASSERT_TRUE(Map.insert(100, 200, 1));
+  auto B = Map.bounds(150);
+  ASSERT_TRUE(B.has_value());
+  EXPECT_EQ(B->first, 100u);
+  EXPECT_EQ(B->second, 200u);
+  EXPECT_FALSE(Map.bounds(200).has_value());
+}
+
+TEST(IntervalMapTest, LookupPtrAvoidsCopy) {
+  IntervalMap<std::string> Map;
+  ASSERT_TRUE(Map.insert(0, 10, "value"));
+  const std::string *Ptr = Map.lookupPtr(5);
+  ASSERT_NE(Ptr, nullptr);
+  EXPECT_EQ(*Ptr, "value");
+  EXPECT_EQ(Map.lookupPtr(10), nullptr);
+}
+
+TEST(IntervalMapTest, ForEachVisitsInAddressOrder) {
+  IntervalMap<int> Map;
+  ASSERT_TRUE(Map.insert(300, 400, 3));
+  ASSERT_TRUE(Map.insert(100, 200, 1));
+  std::vector<uint64_t> Starts;
+  Map.forEach([&](uint64_t Start, uint64_t End, int Value) {
+    Starts.push_back(Start);
+    EXPECT_LT(Start, End);
+    EXPECT_TRUE(Value == 1 || Value == 3);
+  });
+  ASSERT_EQ(Starts.size(), 2u);
+  EXPECT_EQ(Starts[0], 100u);
+  EXPECT_EQ(Starts[1], 300u);
+}
+
+TEST(IntervalMapTest, ManyIntervalsStressLookup) {
+  IntervalMap<uint64_t> Map;
+  for (uint64_t I = 0; I < 1000; ++I)
+    ASSERT_TRUE(Map.insert(I * 100, I * 100 + 50, I));
+  for (uint64_t I = 0; I < 1000; ++I) {
+    EXPECT_EQ(Map.lookup(I * 100 + 25), I);
+    EXPECT_FALSE(Map.lookup(I * 100 + 75).has_value());
+  }
+}

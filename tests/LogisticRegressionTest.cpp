@@ -1,0 +1,103 @@
+//===- tests/LogisticRegressionTest.cpp - Logistic model tests ------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/LogisticRegression.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace ccprof;
+
+TEST(LogisticRegressionTest, SeparableDataClassifiesPerfectly) {
+  std::vector<double> X = {0.05, 0.10, 0.15, 0.20, 0.70, 0.80, 0.90, 0.99};
+  std::vector<uint8_t> Y = {0, 0, 0, 0, 1, 1, 1, 1};
+  SimpleLogisticRegression Model;
+  Model.fit(X, Y);
+  for (size_t I = 0; I < X.size(); ++I)
+    EXPECT_EQ(Model.classify(X[I]), Y[I] != 0) << "at x = " << X[I];
+}
+
+TEST(LogisticRegressionTest, ProbabilitiesAreMonotone) {
+  std::vector<double> X = {0.1, 0.2, 0.8, 0.9};
+  std::vector<uint8_t> Y = {0, 0, 1, 1};
+  SimpleLogisticRegression Model;
+  Model.fit(X, Y);
+  EXPECT_GT(Model.slope(), 0.0);
+  double Previous = 0.0;
+  for (double V = 0.0; V <= 1.0; V += 0.1) {
+    double P = Model.predictProbability(V);
+    EXPECT_GE(P, Previous);
+    Previous = P;
+  }
+}
+
+TEST(LogisticRegressionTest, DecisionBoundaryBetweenClasses) {
+  std::vector<double> X = {0.1, 0.2, 0.8, 0.9};
+  std::vector<uint8_t> Y = {0, 0, 1, 1};
+  SimpleLogisticRegression Model;
+  Model.fit(X, Y);
+  double Boundary = Model.decisionBoundary();
+  EXPECT_GT(Boundary, 0.2);
+  EXPECT_LT(Boundary, 0.8);
+  EXPECT_NEAR(Model.predictProbability(Boundary), 0.5, 1e-6);
+}
+
+TEST(LogisticRegressionTest, SeparableDataStaysFinite) {
+  // Without the ridge penalty the MLE diverges on separable data; the
+  // fit must converge to finite weights.
+  std::vector<double> X = {0.0, 1.0};
+  std::vector<uint8_t> Y = {0, 1};
+  SimpleLogisticRegression Model;
+  uint32_t Iterations = Model.fit(X, Y);
+  EXPECT_LT(Iterations, 100u);
+  EXPECT_TRUE(std::isfinite(Model.intercept()));
+  EXPECT_TRUE(std::isfinite(Model.slope()));
+}
+
+TEST(LogisticRegressionTest, NoisyDataStillLearnsTrend) {
+  // Overlapping classes: one mislabeled point each side.
+  std::vector<double> X = {0.1, 0.15, 0.2, 0.85, 0.25, 0.8, 0.9, 0.95};
+  std::vector<uint8_t> Y = {0, 0, 0, 0, 1, 1, 1, 1};
+  SimpleLogisticRegression Model;
+  Model.fit(X, Y);
+  EXPECT_GT(Model.slope(), 0.0);
+  EXPECT_LT(Model.predictProbability(0.0), 0.5);
+  EXPECT_GT(Model.predictProbability(1.0), 0.5);
+}
+
+TEST(LogisticRegressionTest, ExtremeInputsDoNotOverflow) {
+  std::vector<double> X = {-1000.0, 1000.0};
+  std::vector<uint8_t> Y = {0, 1};
+  SimpleLogisticRegression Model;
+  Model.fit(X, Y);
+  EXPECT_GE(Model.predictProbability(-1e9), 0.0);
+  EXPECT_LE(Model.predictProbability(1e9), 1.0);
+  EXPECT_TRUE(std::isfinite(Model.predictProbability(0.0)));
+}
+
+TEST(LogisticRegressionTest, AllSameLabelPredictsThatLabel) {
+  std::vector<double> X = {0.1, 0.5, 0.9};
+  std::vector<uint8_t> Y = {1, 1, 1};
+  SimpleLogisticRegression Model;
+  Model.fit(X, Y);
+  EXPECT_GT(Model.predictProbability(0.5), 0.5);
+}
+
+TEST(LogisticRegressionTest, RefittingResetsWeights) {
+  SimpleLogisticRegression Model;
+  std::vector<double> X1 = {0.0, 1.0};
+  std::vector<uint8_t> Up = {0, 1};
+  Model.fit(X1, Up);
+  double SlopeUp = Model.slope();
+  std::vector<uint8_t> Down = {1, 0};
+  Model.fit(X1, Down);
+  EXPECT_LT(Model.slope(), 0.0);
+  EXPECT_GT(SlopeUp, 0.0);
+}

@@ -1,0 +1,194 @@
+//===- tests/LoopNestTest.cpp - Havlak interval analysis tests ------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/Dominators.h"
+#include "cfg/LoopNest.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+namespace {
+
+struct InsnSpec {
+  uint32_t Line;
+  InsnKind Kind;
+  size_t TargetIndex = 0;
+};
+
+BinaryImage buildFunction(const std::vector<InsnSpec> &Specs) {
+  BinaryImage Image("loops.cpp");
+  Image.beginFunction("f");
+  uint64_t Base = Image.nextAddr();
+  for (const InsnSpec &Spec : Specs) {
+    Instruction Insn;
+    Insn.Line = Spec.Line;
+    Insn.Kind = Spec.Kind;
+    Insn.Target = Base + Spec.TargetIndex * BinaryImage::InsnSize;
+    Image.appendInstruction(Insn);
+  }
+  Image.endFunction();
+  return Image;
+}
+
+} // namespace
+
+TEST(LoopNestTest, AcyclicGraphHasNoLoops) {
+  BinaryImage Image = buildFunction({
+      {1, InsnKind::Sequential},
+      {2, InsnKind::CondBranch, 3},
+      {3, InsnKind::Sequential},
+      {4, InsnKind::Return},
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  LoopNest Nest = LoopNest::analyze(Graph);
+  EXPECT_EQ(Nest.numLoops(), 0u);
+  for (BlockId B = 0; B < Graph.numBlocks(); ++B)
+    EXPECT_FALSE(Nest.innermostLoopOf(B).has_value());
+}
+
+TEST(LoopNestTest, SingleLoop) {
+  // B0 -> B1(header, lines 2) <-> B2(body, lines 3-4); B1 -> B3.
+  BinaryImage Image = buildFunction({
+      {1, InsnKind::Sequential},     // B0
+      {2, InsnKind::CondBranch, 4},  // B1 header
+      {3, InsnKind::Sequential},     // B2
+      {4, InsnKind::Jump, 1},        // B2 latch
+      {5, InsnKind::Return},         // B3
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  LoopNest Nest = LoopNest::analyze(Graph);
+  ASSERT_EQ(Nest.numLoops(), 1u);
+  const LoopInfo &Loop = Nest.loop(0);
+  EXPECT_EQ(Loop.Header, 1u);
+  EXPECT_TRUE(Loop.IsReducible);
+  EXPECT_EQ(Loop.Depth, 1u);
+  EXPECT_FALSE(Loop.Parent.has_value());
+  EXPECT_EQ(Loop.MinLine, 2u);
+  EXPECT_EQ(Loop.MaxLine, 4u);
+
+  EXPECT_EQ(Nest.innermostLoopOf(1), 0u);
+  EXPECT_EQ(Nest.innermostLoopOf(2), 0u);
+  EXPECT_FALSE(Nest.innermostLoopOf(0).has_value());
+  EXPECT_FALSE(Nest.innermostLoopOf(3).has_value());
+}
+
+TEST(LoopNestTest, SelfLoop) {
+  BinaryImage Image = buildFunction({
+      {1, InsnKind::Sequential},
+      {2, InsnKind::CondBranch, 1}, // branches to itself
+      {3, InsnKind::Return},
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  LoopNest Nest = LoopNest::analyze(Graph);
+  ASSERT_EQ(Nest.numLoops(), 1u);
+  EXPECT_EQ(Nest.loop(0).OwnBlocks.size(), 1u);
+}
+
+TEST(LoopNestTest, NestedLoops) {
+  // for (...) { for (...) { body } }
+  BinaryImage Image = buildFunction({
+      {1, InsnKind::Sequential},     // 0 B0 preheader
+      {2, InsnKind::CondBranch, 8},  // 1 B1 outer header -> exit
+      {3, InsnKind::Sequential},     // 2 B2 inner preheader
+      {4, InsnKind::CondBranch, 7},  // 3 B3 inner header -> outer latch
+      {5, InsnKind::Sequential},     // 4 B4 inner body
+      {5, InsnKind::Jump, 3},        // 5 B4 inner latch
+      {6, InsnKind::Sequential},     // 6 (unreachable padding)
+      {6, InsnKind::Jump, 1},        // 7 B5 outer latch
+      {7, InsnKind::Return},         // 8 B6 exit
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  LoopNest Nest = LoopNest::analyze(Graph);
+  ASSERT_EQ(Nest.numLoops(), 2u);
+
+  // Inner loops are materialized before outer ones.
+  const LoopInfo &Inner = Nest.loop(0);
+  const LoopInfo &Outer = Nest.loop(1);
+  EXPECT_EQ(Inner.Depth, 2u);
+  EXPECT_EQ(Outer.Depth, 1u);
+  ASSERT_TRUE(Inner.Parent.has_value());
+  EXPECT_EQ(*Inner.Parent, Outer.Id);
+  EXPECT_FALSE(Outer.Parent.has_value());
+  EXPECT_TRUE(Inner.IsReducible);
+  EXPECT_TRUE(Outer.IsReducible);
+
+  // Line spans: the outer loop covers the inner loop's lines.
+  EXPECT_LE(Outer.MinLine, Inner.MinLine);
+  EXPECT_GE(Outer.MaxLine, Inner.MaxLine);
+
+  // The header of each loop dominates its blocks (sanity vs CHK).
+  DominatorTree Dom(Graph);
+  for (BlockId Block : Nest.allBlocksOf(Outer.Id))
+    EXPECT_TRUE(Dom.dominates(Outer.Header, Block));
+}
+
+TEST(LoopNestTest, IrreducibleRegionDetected) {
+  // Entry branches into the middle of a cycle: B1 <-> B2 with two entry
+  // edges (B0 -> B1, B0 -> B2).
+  BinaryImage Image = buildFunction({
+      {1, InsnKind::CondBranch, 3}, // 0 B0 -> B2 / fall to B1
+      {2, InsnKind::Sequential},    // 1 B1
+      {2, InsnKind::Jump, 3},       // 2 B1 -> B2
+      {3, InsnKind::Sequential},    // 3 B2
+      {3, InsnKind::CondBranch, 1}, // 4 B2 -> B1 / fall
+      {4, InsnKind::Return},        // 5 B3
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  LoopNest Nest = LoopNest::analyze(Graph);
+  ASSERT_EQ(Nest.numLoops(), 1u);
+  EXPECT_FALSE(Nest.loop(0).IsReducible);
+}
+
+TEST(LoopNestTest, InnermostLoopForLinePrefersDeepest) {
+  BinaryImage Image = buildFunction({
+      {10, InsnKind::Sequential},     // B0
+      {10, InsnKind::CondBranch, 8},  // B1 outer header
+      {11, InsnKind::Sequential},     // B2
+      {12, InsnKind::CondBranch, 7},  // B3 inner header
+      {13, InsnKind::Sequential},     // B4 inner body
+      {14, InsnKind::Jump, 3},        // B4
+      {15, InsnKind::Sequential},     // unreachable
+      {16, InsnKind::Jump, 1},        // B5 outer latch
+      {17, InsnKind::Return},         // B6
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  LoopNest Nest = LoopNest::analyze(Graph);
+  ASSERT_EQ(Nest.numLoops(), 2u);
+
+  auto Inner = Nest.innermostLoopForLine(13);
+  ASSERT_TRUE(Inner.has_value());
+  EXPECT_EQ(Nest.loop(*Inner).Depth, 2u);
+
+  auto Outer = Nest.innermostLoopForLine(16);
+  ASSERT_TRUE(Outer.has_value());
+  EXPECT_EQ(Nest.loop(*Outer).Depth, 1u);
+
+  EXPECT_FALSE(Nest.innermostLoopForLine(99).has_value());
+}
+
+TEST(LoopNestTest, AllBlocksIncludesNestedLoops) {
+  BinaryImage Image = buildFunction({
+      {1, InsnKind::Sequential},
+      {2, InsnKind::CondBranch, 8},
+      {3, InsnKind::Sequential},
+      {4, InsnKind::CondBranch, 7},
+      {5, InsnKind::Sequential},
+      {5, InsnKind::Jump, 3},
+      {6, InsnKind::Sequential},
+      {6, InsnKind::Jump, 1},
+      {7, InsnKind::Return},
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  LoopNest Nest = LoopNest::analyze(Graph);
+  ASSERT_EQ(Nest.numLoops(), 2u);
+  const LoopInfo &Outer = Nest.loop(1);
+  std::vector<BlockId> All = Nest.allBlocksOf(Outer.Id);
+  std::vector<BlockId> Own = Outer.OwnBlocks;
+  EXPECT_GT(All.size(), Own.size())
+      << "transitive blocks must include the inner loop's blocks";
+}

@@ -1,0 +1,131 @@
+//===- tests/MissClassifierTest.cpp - Three-C classification tests --------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MissClassifier.h"
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+namespace {
+
+/// 2 sets x 2 ways, 64B lines.
+CacheGeometry tinyGeometry() { return CacheGeometry(256, 64, 2); }
+
+uint64_t setAddr(uint64_t Tag, uint64_t Set) { return (Tag * 2 + Set) * 64; }
+
+} // namespace
+
+TEST(MissClassifierTest, FirstTouchIsCold) {
+  MissClassifier M(tinyGeometry());
+  EXPECT_EQ(M.access(0), AccessKind::ColdMiss);
+  EXPECT_EQ(M.access(0), AccessKind::Hit);
+  EXPECT_EQ(M.breakdown().ColdMisses, 1u);
+  EXPECT_EQ(M.breakdown().Hits, 1u);
+}
+
+TEST(MissClassifierTest, ConflictMiss) {
+  MissClassifier M(tinyGeometry());
+  // Three lines in set 0 of a 2-way cache; total capacity is 4 lines,
+  // so the fully-associative companion retains all three.
+  M.access(setAddr(0, 0));
+  M.access(setAddr(1, 0));
+  M.access(setAddr(2, 0)); // evicts tag 0 from the SA cache only
+  EXPECT_EQ(M.access(setAddr(0, 0)), AccessKind::ConflictMiss);
+  EXPECT_EQ(M.breakdown().ConflictMisses, 1u);
+  EXPECT_EQ(M.breakdown().CapacityMisses, 0u);
+}
+
+TEST(MissClassifierTest, CapacityMiss) {
+  MissClassifier M(tinyGeometry()); // 4 lines total
+  // Five distinct lines spread over both sets, then re-reference the
+  // first: it left both the SA cache and the FA companion.
+  for (uint64_t L = 0; L < 5; ++L)
+    M.access(L * 64);
+  EXPECT_EQ(M.access(0), AccessKind::CapacityMiss);
+  EXPECT_EQ(M.breakdown().CapacityMisses, 1u);
+}
+
+TEST(MissClassifierTest, BreakdownTotals) {
+  MissClassifier M(tinyGeometry());
+  for (uint64_t L = 0; L < 10; ++L)
+    M.access(L * 64);
+  MissBreakdown B = M.breakdown();
+  EXPECT_EQ(B.totalAccesses(), 10u);
+  EXPECT_EQ(B.ColdMisses, 10u);
+  EXPECT_EQ(B.totalMisses(), 10u);
+}
+
+TEST(MissClassifierTest, ConflictShare) {
+  MissClassifier M(tinyGeometry());
+  M.access(setAddr(0, 0));
+  M.access(setAddr(1, 0));
+  M.access(setAddr(2, 0));
+  M.access(setAddr(0, 0)); // conflict
+  // 3 cold + 1 conflict.
+  EXPECT_DOUBLE_EQ(M.breakdown().conflictShare(), 0.25);
+}
+
+TEST(MissClassifierTest, ResetClearsState) {
+  MissClassifier M(tinyGeometry());
+  M.access(0);
+  M.reset();
+  EXPECT_EQ(M.breakdown().totalAccesses(), 0u);
+  EXPECT_EQ(M.access(0), AccessKind::ColdMiss); // cold again after reset
+}
+
+TEST(MissClassifierTest, KindNames) {
+  EXPECT_STREQ(accessKindName(AccessKind::Hit), "hit");
+  EXPECT_STREQ(accessKindName(AccessKind::ColdMiss), "cold");
+  EXPECT_STREQ(accessKindName(AccessKind::CapacityMiss), "capacity");
+  EXPECT_STREQ(accessKindName(AccessKind::ConflictMiss), "conflict");
+}
+
+TEST(MissClassifierTest, PaddedColumnWalkRemovesConflicts) {
+  // The paper's central claim in miniature: a column walk with a
+  // set-stride row maps to one set (conflict misses); padding by one
+  // line spreads it (no conflict misses on reuse).
+  CacheGeometry G(32 * 1024, 64, 8); // 64 sets, stride 4096
+  const uint64_t Rows = 64;
+
+  auto SweepTwice = [&](uint64_t RowBytes) {
+    MissClassifier M(G);
+    for (int Round = 0; Round < 2; ++Round)
+      for (uint64_t Row = 0; Row < Rows; ++Row)
+        M.access(Row * RowBytes);
+    return M.breakdown();
+  };
+
+  MissBreakdown Conflicting = SweepTwice(4096);
+  EXPECT_GT(Conflicting.ConflictMisses, Rows / 2)
+      << "unpadded walk must conflict on reuse";
+
+  MissBreakdown Padded = SweepTwice(4096 + 64);
+  EXPECT_EQ(Padded.ConflictMisses, 0u);
+  EXPECT_EQ(Padded.Hits, Rows); // second sweep hits entirely
+}
+
+// Property: classified counts always sum to accesses, and conflicts can
+// only occur on lines seen before.
+class ClassifierSweepTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ClassifierSweepTest, CountsAreConsistent) {
+  CacheGeometry G(4096, 64, GetParam());
+  MissClassifier M(G);
+  SplitMix64 Rng(GetParam());
+  for (int I = 0; I < 20000; ++I)
+    M.access((Rng.next() % 512) * 64);
+  MissBreakdown B = M.breakdown();
+  EXPECT_EQ(B.Hits + B.ColdMisses + B.CapacityMisses + B.ConflictMisses,
+            20000u);
+  // At most 512 distinct lines were ever touched.
+  EXPECT_LE(B.ColdMisses, 512u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Associativities, ClassifierSweepTest,
+                         ::testing::Values(1, 2, 4, 8, 16, 32, 64));

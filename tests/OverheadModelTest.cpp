@@ -1,0 +1,60 @@
+//===- tests/OverheadModelTest.cpp - Overhead model unit tests ------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pmu/OverheadModel.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+TEST(OverheadModelTest, NoSamplesMeansNoOverhead) {
+  OverheadConstants C;
+  EXPECT_DOUBLE_EQ(profilingOverheadFactor(1.0, 0, C), 1.0);
+  EXPECT_DOUBLE_EQ(simulationOverheadFactor(1.0, 0, C), 1.0);
+}
+
+TEST(OverheadModelTest, OverheadGrowsLinearlyWithSamples) {
+  OverheadConstants C;
+  C.SampleCostNs = 1000.0; // 1 microsecond per sample
+  // 1e6 samples at 1us = 1 extra second on a 1-second run: 2x.
+  EXPECT_NEAR(profilingOverheadFactor(1.0, 1'000'000, C), 2.0, 1e-9);
+  EXPECT_NEAR(profilingOverheadFactor(1.0, 2'000'000, C), 3.0, 1e-9);
+}
+
+TEST(OverheadModelTest, SimulationDwarfsSampling) {
+  // The paper's qualitative claim (Sec. 5.3): tracing every reference
+  // costs orders of magnitude more than sampling every ~1212th miss.
+  OverheadConstants C = {1800.0, 180.0};
+  const double PlainSeconds = 0.01;
+  const uint64_t Refs = 10'000'000;
+  const uint64_t Misses = Refs / 20;    // 5% miss ratio
+  const uint64_t Samples = Misses / 1212;
+  double Profiling = profilingOverheadFactor(PlainSeconds, Samples, C);
+  double Simulation = simulationOverheadFactor(PlainSeconds, Refs, C);
+  EXPECT_LT(Profiling, 2.0);
+  EXPECT_GT(Simulation, 50.0);
+  EXPECT_GT(Simulation / Profiling, 25.0);
+}
+
+TEST(OverheadModelTest, HigherFrequencyCostsMore) {
+  OverheadConstants C;
+  const uint64_t Misses = 1'000'000;
+  double At1212 = profilingOverheadFactor(0.01, Misses / 1212, C);
+  double At171 = profilingOverheadFactor(0.01, Misses / 171, C);
+  EXPECT_GT(At171, At1212) << "paper Fig. 8: accuracy costs overhead";
+}
+
+TEST(OverheadModelTest, CalibrationProducesSaneConstants) {
+  OverheadConstants C = calibrateOverheadConstants();
+  // The handler is at least the bare interrupt cost and below 1ms.
+  EXPECT_GT(C.SampleCostNs, InterruptEntryExitNs);
+  EXPECT_LT(C.SampleCostNs, 1e6);
+  // One simulated reference costs at least the Pin callback and well
+  // under a millisecond.
+  EXPECT_GT(C.TraceSimCostNs, PinCallbackNs);
+  EXPECT_LT(C.TraceSimCostNs, 1e6);
+}

@@ -1,0 +1,103 @@
+//===- tests/PaddingAdvisorTest.cpp - Padding guidance tests ---------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PaddingAdvisor.h"
+
+#include "sim/MachineConfig.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+TEST(PaddingAdvisorTest, SetStrideWalkTouchesOneSet) {
+  CacheGeometry G = paperL1Geometry(); // 4096B set stride
+  EXPECT_EQ(setsTouchedByColumnSweep(4096, 64, G), 1u);
+  EXPECT_EQ(worstWindowSetCoverage(4096, 64, G), 1u);
+}
+
+TEST(PaddingAdvisorTest, PaperFigure2Symmetrization) {
+  // 128x128 doubles: 1KiB rows. A column walk touches 4 of the 64 sets
+  // (Sec. 2.1: "column access will frequently utilize four cache
+  // sets"); a 64-byte pad spreads it over all sets.
+  CacheGeometry G = paperL1Geometry();
+  EXPECT_EQ(setsTouchedByColumnSweep(1024, 128, G), 4u);
+  EXPECT_EQ(setsTouchedByColumnSweep(1024 + 64, 128, G), 64u);
+}
+
+TEST(PaddingAdvisorTest, OneLinePadSpreadsFully) {
+  CacheGeometry G = paperL1Geometry();
+  // 4160B = 65 lines: gcd(65, 64) == 1, every row a new set.
+  EXPECT_EQ(worstWindowSetCoverage(4160, 64, G), 64u);
+}
+
+TEST(PaddingAdvisorTest, HalfLinePadLeavesPairs) {
+  CacheGeometry G = paperL1Geometry();
+  // 4128B = 64.5 lines: consecutive row pairs share a set, so a window
+  // of 64 rows sees only ~32 distinct sets.
+  uint64_t Coverage = worstWindowSetCoverage(4128, 128, G);
+  EXPECT_LE(Coverage, 33u);
+  EXPECT_GE(Coverage, 31u);
+}
+
+TEST(PaddingAdvisorTest, AdviceForSetStrideRows) {
+  CacheGeometry G = paperL1Geometry();
+  PaddingAdvice A = adviseRowPadding(4096, 8, 64, G);
+  EXPECT_EQ(A.SetsBefore, 1u);
+  EXPECT_EQ(A.SetsAfter, 64u);
+  EXPECT_GT(A.PadBytes, 0u);
+  EXPECT_EQ(A.PadBytes % 8, 0u) << "pad must be whole elements";
+  EXPECT_TRUE(A.improves());
+  // The advisor finds the smallest full-coverage pad: one line.
+  EXPECT_EQ(A.PadBytes, 64u);
+}
+
+TEST(PaddingAdvisorTest, NoPadWhenAlreadySpread) {
+  CacheGeometry G = paperL1Geometry();
+  // 65-line rows already walk all sets.
+  PaddingAdvice A = adviseRowPadding(4160, 8, 64, G);
+  EXPECT_EQ(A.PadBytes, 0u);
+  EXPECT_EQ(A.NewRowBytes, 4160u);
+  EXPECT_FALSE(A.improves());
+}
+
+TEST(PaddingAdvisorTest, CatchesTemporalClumpingLikeNw) {
+  // The NW shape: 513-int rows (2052B) drift one line every 16 rows,
+  // touching every set *eventually* but dwelling 2-3 sets per window.
+  CacheGeometry G = paperL1Geometry();
+  EXPECT_EQ(setsTouchedByColumnSweep(2052, 512, G), 64u)
+      << "total coverage looks fine...";
+  EXPECT_LE(worstWindowSetCoverage(2052, 512, G), 12u)
+      << "...but the walk dwells on a few sets per window";
+  PaddingAdvice A = adviseRowPadding(2052, 4, 512, G);
+  EXPECT_GE(A.SetsAfter, 60u);
+  EXPECT_TRUE(A.improves());
+}
+
+TEST(PaddingAdvisorTest, RespectsElementGranularity) {
+  CacheGeometry G = paperL1Geometry();
+  for (uint64_t Elem : {2ull, 4ull, 8ull, 16ull}) {
+    PaddingAdvice A = adviseRowPadding(4096, Elem, 64, G);
+    EXPECT_EQ(A.PadBytes % Elem, 0u) << "element size " << Elem;
+  }
+}
+
+TEST(PaddingAdvisorTest, FewRowsNeedNoFullCoverage) {
+  CacheGeometry G = paperL1Geometry();
+  // With only 4 rows the best achievable window coverage is 4.
+  PaddingAdvice A = adviseRowPadding(4096, 8, 4, G);
+  EXPECT_EQ(A.SetsAfter, 4u);
+}
+
+TEST(PaddingAdvisorTest, WorksForSkylakeL2Geometry) {
+  // The analysis is geometry-generic: check a 4-way 256KiB L2
+  // (1024 sets, 64KiB set stride).
+  CacheGeometry L2(256 * 1024, 64, 4);
+  EXPECT_EQ(L2.numSets(), 1024u);
+  EXPECT_EQ(setsTouchedByColumnSweep(L2.setStrideBytes(), 100, L2), 1u);
+  PaddingAdvice A = adviseRowPadding(L2.setStrideBytes(), 8, 1024, L2);
+  EXPECT_EQ(A.SetsAfter, 1024u);
+}

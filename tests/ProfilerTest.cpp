@@ -1,0 +1,276 @@
+//===- tests/ProfilerTest.cpp - End-to-end pipeline tests ------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Profiler.h"
+
+#include "cfg/SyntheticCodeGen.h"
+#include "core/Report.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+namespace {
+
+/// A synthetic two-loop program: loop at line 10 performs a conflicting
+/// set-stride column walk; loop at line 20 streams contiguously.
+BinaryImage testImage() {
+  LoopSpec Conflict;
+  Conflict.HeaderLine = 10;
+  Conflict.EndLine = 13;
+  Conflict.AccessLines = {11};
+  LoopSpec Stream;
+  Stream.HeaderLine = 20;
+  Stream.EndLine = 23;
+  Stream.AccessLines = {21};
+  FunctionSpec F;
+  F.Name = "main";
+  F.StartLine = 1;
+  F.EndLine = 30;
+  F.Loops = {Conflict, Stream};
+  return lowerToBinary("two.cpp", {F});
+}
+
+/// Builds the matching trace: Rounds x 32 strided accesses from the
+/// conflict loop, Rounds x 512 streaming accesses from the clean loop.
+Trace testTrace(int Rounds) {
+  Trace T;
+  SiteId ConflictSite = T.site("two.cpp", 11, "main");
+  SiteId StreamSite = T.site("two.cpp", 21, "main");
+  constexpr uint64_t ConflictBase = 0x10000000;
+  constexpr uint64_t StreamBase = 0x20000000;
+  T.registerAllocation("victim[]", reinterpret_cast<int *>(ConflictBase),
+                       32 * 4096 + 64);
+  T.registerAllocation("stream[]", reinterpret_cast<int *>(StreamBase),
+                       512 * 64);
+  for (int Round = 0; Round < Rounds; ++Round) {
+    for (uint64_t Row = 0; Row < 32; ++Row)
+      T.recordLoad(ConflictSite, ConflictBase + Row * 4096, 4);
+    for (uint64_t Line = 0; Line < 512; ++Line)
+      T.recordLoad(StreamSite, StreamBase + Line * 64, 4);
+  }
+  return T;
+}
+
+ProfileOptions exactishOptions() {
+  ProfileOptions Options;
+  Options.Sampling.Kind = SamplingKind::Fixed;
+  Options.Sampling.MeanPeriod = 1;
+  return Options;
+}
+
+} // namespace
+
+TEST(ProfilerTest, FlagsTheConflictingLoopOnly) {
+  Trace T = testTrace(20);
+  BinaryImage Image = testImage();
+  ProgramStructure S(Image);
+  Profiler P(exactishOptions());
+  ProfileResult Result = P.profileExact(T, S);
+
+  const LoopConflictReport *Conflict = Result.byLocation("two.cpp:10");
+  const LoopConflictReport *Clean = Result.byLocation("two.cpp:20");
+  ASSERT_NE(Conflict, nullptr);
+  ASSERT_NE(Clean, nullptr);
+  EXPECT_TRUE(Conflict->ConflictPredicted);
+  EXPECT_GT(Conflict->ContributionFactor, 0.8);
+  EXPECT_FALSE(Clean->ConflictPredicted);
+  EXPECT_LT(Clean->ContributionFactor, 0.25);
+  // The conflicting walk reuses one set; the stream covers all 64.
+  EXPECT_EQ(Conflict->SetsUtilized, 1u);
+  EXPECT_EQ(Clean->SetsUtilized, 64u);
+}
+
+TEST(ProfilerTest, DataCentricAttributionNamesTheVictim) {
+  Trace T = testTrace(20);
+  BinaryImage Image = testImage();
+  ProgramStructure S(Image);
+  Profiler P(exactishOptions());
+  ProfileResult Result = P.profileExact(T, S);
+  const LoopConflictReport *Conflict = Result.byLocation("two.cpp:10");
+  ASSERT_NE(Conflict, nullptr);
+  ASSERT_FALSE(Conflict->DataStructures.empty());
+  EXPECT_EQ(Conflict->DataStructures[0].Name, "victim[]");
+  EXPECT_DOUBLE_EQ(Conflict->DataStructures[0].Share, 1.0);
+}
+
+TEST(ProfilerTest, MissContributionSumsToOne) {
+  Trace T = testTrace(10);
+  BinaryImage Image = testImage();
+  ProgramStructure S(Image);
+  Profiler P(exactishOptions());
+  ProfileResult Result = P.profileExact(T, S);
+  double Total = 0.0;
+  uint64_t Samples = 0;
+  for (const LoopConflictReport &Loop : Result.Loops) {
+    Total += Loop.MissContribution;
+    Samples += Loop.Samples;
+  }
+  EXPECT_NEAR(Total, 1.0, 1e-9);
+  EXPECT_EQ(Samples, Result.Samples);
+}
+
+TEST(ProfilerTest, HottestIsSortedFirst) {
+  Trace T = testTrace(10);
+  BinaryImage Image = testImage();
+  ProgramStructure S(Image);
+  Profiler P(exactishOptions());
+  ProfileResult Result = P.profileExact(T, S);
+  ASSERT_GE(Result.Loops.size(), 2u);
+  for (size_t I = 1; I < Result.Loops.size(); ++I)
+    EXPECT_GE(Result.Loops[I - 1].Samples, Result.Loops[I].Samples);
+  EXPECT_EQ(Result.hottest(), &Result.Loops.front());
+}
+
+TEST(ProfilerTest, EmptyTraceProducesEmptyResult) {
+  Trace T;
+  BinaryImage Image = testImage();
+  ProgramStructure S(Image);
+  Profiler P;
+  ProfileResult Result = P.profile(T, S);
+  EXPECT_EQ(Result.TraceRefs, 0u);
+  EXPECT_EQ(Result.L1Misses, 0u);
+  EXPECT_EQ(Result.Samples, 0u);
+  EXPECT_TRUE(Result.Loops.empty());
+  EXPECT_EQ(Result.hottest(), nullptr);
+  EXPECT_EQ(Result.byLocation("two.cpp:10"), nullptr);
+}
+
+TEST(ProfilerTest, UnknownIpsAttributeToUnknownContext) {
+  Trace T;
+  // Record misses with UnknownSite (an IP outside any registered code,
+  // like the closed-source MKL case).
+  for (uint64_t Row = 0; Row < 64; ++Row)
+    T.recordLoad(UnknownSite, 0x5000000 + Row * 4096, 4);
+  BinaryImage Image = testImage();
+  ProgramStructure S(Image);
+  Profiler P(exactishOptions());
+  ProfileResult Result = P.profileExact(T, S);
+  ASSERT_EQ(Result.Loops.size(), 1u);
+  EXPECT_EQ(Result.Loops[0].Location, "<unknown code>");
+  EXPECT_TRUE(Result.Loops[0].ConflictPredicted);
+}
+
+TEST(ProfilerTest, LoopFreeSitesAttributeToLine) {
+  Trace T;
+  SiteId S1 = T.site("two.cpp", 3, "main"); // line 3: outside both loops
+  for (uint64_t Row = 0; Row < 64; ++Row)
+    T.recordLoad(S1, 0x5000000 + Row * 64, 4);
+  BinaryImage Image = testImage();
+  ProgramStructure S(Image);
+  Profiler P(exactishOptions());
+  ProfileResult Result = P.profileExact(T, S);
+  ASSERT_EQ(Result.Loops.size(), 1u);
+  EXPECT_NE(Result.Loops[0].Location.find("two.cpp:3"), std::string::npos);
+  EXPECT_NE(Result.Loops[0].Location.find("no loop"), std::string::npos);
+}
+
+TEST(ProfilerTest, SampledProfileApproximatesExact) {
+  Trace T = testTrace(400); // plenty of misses for sparse sampling
+  BinaryImage Image = testImage();
+  ProgramStructure S(Image);
+
+  Profiler Exact(exactishOptions());
+  ProfileResult Ground = Exact.profileExact(T, S);
+
+  ProfileOptions Sampled;
+  Sampled.Sampling.Kind = SamplingKind::Bursty;
+  Sampled.Sampling.MeanPeriod = 97;
+  Profiler Approx(Sampled);
+  ProfileResult Estimate = Approx.profile(T, S);
+
+  const LoopConflictReport *GroundHot = Ground.byLocation("two.cpp:10");
+  const LoopConflictReport *EstimateHot = Estimate.byLocation("two.cpp:10");
+  ASSERT_NE(GroundHot, nullptr);
+  ASSERT_NE(EstimateHot, nullptr);
+  EXPECT_EQ(GroundHot->ConflictPredicted, EstimateHot->ConflictPredicted);
+  EXPECT_NEAR(GroundHot->MissContribution, EstimateHot->MissContribution,
+              0.15);
+  // The sampled run sees roughly misses/period samples.
+  EXPECT_GT(Estimate.Samples, Ground.L1Misses / 97 / 2);
+  EXPECT_LT(Estimate.Samples, Ground.L1Misses / 97 * 2);
+}
+
+TEST(ProfilerTest, InsignificantLoopsAreNotFlagged) {
+  // A tiny conflicting loop below the significance threshold must not
+  // be flagged (paper Table 1: low RCD + low contribution =>
+  // insignificant impact).
+  Trace T = testTrace(300);
+  // Append a minor context: a conflicting walk well below 1% of the
+  // misses.
+  SiteId MinorSite = T.site("two.cpp", 3, "main");
+  for (uint64_t Row = 0; Row < 50; ++Row)
+    T.recordLoad(MinorSite, 0x40000000 + Row * 4096, 4);
+  BinaryImage Image = testImage();
+  ProgramStructure S(Image);
+  Profiler P(exactishOptions());
+  ProfileResult Result = P.profileExact(T, S);
+  const LoopConflictReport *Minor = nullptr;
+  for (const LoopConflictReport &Loop : Result.Loops)
+    if (Loop.Location.find("two.cpp:3") != std::string::npos)
+      Minor = &Loop;
+  ASSERT_NE(Minor, nullptr);
+  EXPECT_GT(Minor->ContributionFactor, 0.8) << "the signature is there...";
+  EXPECT_FALSE(Minor->Significant);
+  EXPECT_FALSE(Minor->ConflictPredicted) << "...but the loop is too cold";
+}
+
+TEST(ProfilerTest, L2LevelProfilingUsesPhysicalSets) {
+  // A walk striding by the L2 set stride (32KiB) conflicts in L2 under
+  // identity mapping; L1 sees it as a balanced (multi-set) pattern.
+  Trace T;
+  SiteId Site = T.site("two.cpp", 11, "main");
+  T.registerAllocation("big[]", reinterpret_cast<int *>(0x10000000),
+                       64ull * 32768 + 64);
+  CacheGeometry L2(256 * 1024, 64, 8); // 512 sets, 32KiB stride
+  for (int Round = 0; Round < 20; ++Round)
+    for (uint64_t Row = 0; Row < 64; ++Row)
+      T.recordLoad(Site, 0x10000000 + Row * L2.setStrideBytes(), 4);
+
+  BinaryImage Image = testImage();
+  ProgramStructure S(Image);
+
+  ProfileOptions L2Options = exactishOptions();
+  L2Options.Level = ProfileLevel::L2;
+  L2Options.L2 = L2;
+  L2Options.Mapping = PagePolicy::Identity;
+  Profiler P2(L2Options);
+  ProfileResult AtL2 = P2.profileExact(T, S);
+  ASSERT_NE(AtL2.hottest(), nullptr);
+  EXPECT_EQ(AtL2.NumSets, 512u);
+  EXPECT_TRUE(AtL2.hottest()->ConflictPredicted)
+      << "32KiB-strided walk must conflict at L2";
+  EXPECT_EQ(AtL2.hottest()->SetsUtilized, 1u);
+  // Data-centric attribution still resolves the (virtual) allocation.
+  ASSERT_FALSE(AtL2.hottest()->DataStructures.empty());
+  EXPECT_EQ(AtL2.hottest()->DataStructures[0].Name, "big[]");
+
+  // Under a shuffled page layout the same walk spreads — but only
+  // across the sets reachable from a fixed page offset: a 4KiB page
+  // covers 64 of the 512 sets, so only the frame's low 3 bits feed the
+  // index and at most 8 distinct sets are reachable.
+  ProfileOptions Shuffled = L2Options;
+  Shuffled.Mapping = PagePolicy::Shuffled;
+  Profiler P3(Shuffled);
+  ProfileResult Scattered = P3.profileExact(T, S);
+  ASSERT_NE(Scattered.hottest(), nullptr);
+  EXPECT_GT(Scattered.hottest()->SetsUtilized, 2u);
+  EXPECT_LE(Scattered.hottest()->SetsUtilized, 8u)
+      << "a fixed page offset can only reach numSets/linesPerPage sets";
+}
+
+TEST(ProfilerTest, ReportRenderingContainsVerdicts) {
+  Trace T = testTrace(20);
+  BinaryImage Image = testImage();
+  ProgramStructure S(Image);
+  Profiler P(exactishOptions());
+  ProfileResult Result = P.profileExact(T, S);
+  std::string Report = renderProfileReport(Result, "two");
+  EXPECT_NE(Report.find("two.cpp:10"), std::string::npos);
+  EXPECT_NE(Report.find("CONFLICT"), std::string::npos);
+  EXPECT_NE(Report.find("victim[]"), std::string::npos);
+}

@@ -1,0 +1,112 @@
+//===- tests/ProgramStructureTest.cpp - Binary analysis front-end tests ---===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ProgramStructure.h"
+
+#include "cfg/SyntheticCodeGen.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+namespace {
+
+BinaryImage twoFunctionImage() {
+  LoopSpec Inner;
+  Inner.HeaderLine = 12;
+  Inner.EndLine = 15;
+  Inner.AccessLines = {13, 14};
+  LoopSpec Outer;
+  Outer.HeaderLine = 10;
+  Outer.EndLine = 16;
+  Outer.Children = {Inner};
+  FunctionSpec Hot;
+  Hot.Name = "hot";
+  Hot.StartLine = 8;
+  Hot.EndLine = 20;
+  Hot.Loops = {Outer};
+
+  LoopSpec Flat;
+  Flat.HeaderLine = 40;
+  Flat.EndLine = 44;
+  Flat.AccessLines = {42};
+  FunctionSpec Cold;
+  Cold.Name = "cold";
+  Cold.StartLine = 38;
+  Cold.EndLine = 48;
+  Cold.Loops = {Flat};
+
+  return lowerToBinary("prog.cpp", {Hot, Cold});
+}
+
+} // namespace
+
+TEST(ProgramStructureTest, DiscoversAllLoops) {
+  BinaryImage Image = twoFunctionImage();
+  ProgramStructure S(Image);
+  EXPECT_EQ(S.numFunctions(), 2u);
+  EXPECT_EQ(S.numLoops(), 3u);
+  EXPECT_EQ(S.allLoops().size(), 3u);
+}
+
+TEST(ProgramStructureTest, InnermostLoopAcrossFunctions) {
+  BinaryImage Image = twoFunctionImage();
+  ProgramStructure S(Image);
+
+  auto Inner = S.innermostLoopForLine(13);
+  ASSERT_TRUE(Inner.has_value());
+  EXPECT_EQ(Inner->FunctionIndex, 0u);
+  EXPECT_EQ(S.headerLine(*Inner), 12u);
+  EXPECT_EQ(S.depth(*Inner), 2u);
+
+  auto Flat = S.innermostLoopForLine(42);
+  ASSERT_TRUE(Flat.has_value());
+  EXPECT_EQ(Flat->FunctionIndex, 1u);
+  EXPECT_EQ(S.headerLine(*Flat), 40u);
+  EXPECT_EQ(S.depth(*Flat), 1u);
+
+  EXPECT_FALSE(S.innermostLoopForLine(30).has_value());
+  EXPECT_FALSE(S.innermostLoopForLine(999).has_value());
+}
+
+TEST(ProgramStructureTest, DescribeLoopUsesHeaderLine) {
+  BinaryImage Image = twoFunctionImage();
+  ProgramStructure S(Image);
+  auto Inner = S.innermostLoopForLine(13);
+  ASSERT_TRUE(Inner.has_value());
+  EXPECT_EQ(S.describeLoop(*Inner), "prog.cpp:12");
+}
+
+TEST(ProgramStructureTest, OuterLoopLineFallsToOuter) {
+  BinaryImage Image = twoFunctionImage();
+  ProgramStructure S(Image);
+  // Line 16 is the outer loop's latch, outside the inner loop's span.
+  auto Loop = S.innermostLoopForLine(16);
+  ASSERT_TRUE(Loop.has_value());
+  EXPECT_EQ(S.headerLine(*Loop), 10u);
+}
+
+TEST(ProgramStructureTest, LoopFreeImage) {
+  FunctionSpec Plain;
+  Plain.Name = "plain";
+  Plain.StartLine = 1;
+  Plain.EndLine = 5;
+  Plain.AccessLines = {3};
+  BinaryImage Image = lowerToBinary("plain.cpp", {Plain});
+  ProgramStructure S(Image);
+  EXPECT_EQ(S.numLoops(), 0u);
+  EXPECT_FALSE(S.innermostLoopForLine(3).has_value());
+}
+
+TEST(ProgramStructureTest, LoopRefOrdering) {
+  LoopRef A{0, 1};
+  LoopRef B{0, 2};
+  LoopRef C{1, 0};
+  EXPECT_LT(A, B);
+  EXPECT_LT(B, C);
+  EXPECT_EQ(A, (LoopRef{0, 1}));
+}

@@ -1,0 +1,175 @@
+//===- tests/RcdAnalyzerTest.cpp - Re-Conflict Distance tests -------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/RcdAnalyzer.h"
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+TEST(RcdProfileTest, FirstMissPerSetHasNoRcd) {
+  RcdProfile P(4);
+  P.addMiss(0);
+  P.addMiss(1);
+  EXPECT_EQ(P.totalMisses(), 2u);
+  EXPECT_TRUE(P.rcd().empty());
+}
+
+TEST(RcdProfileTest, PaperFigure5Sequence) {
+  // Fig. 5-a: the RCD of set 1 across the miss sequence
+  // S1 S1 S2 S1 S3 S2 S1 S0 S3 S1 -> set-1 distances 1, 2, 3, 3.
+  RcdProfile P(4);
+  for (uint64_t Set : {1, 1, 2, 1, 3, 2, 1, 0, 3, 1})
+    P.addMiss(Set);
+  const Histogram &Set1 = P.rcdOfSet(1);
+  EXPECT_EQ(Set1.total(), 4u);
+  EXPECT_EQ(Set1.count(1), 1u);
+  EXPECT_EQ(Set1.count(2), 1u);
+  EXPECT_EQ(Set1.count(3), 2u);
+}
+
+TEST(RcdProfileTest, BalancedRoundRobinGivesRcdEqualToNumSets) {
+  // Observation 2: with no conflicts, RCD of every set equals the
+  // number of sets.
+  constexpr uint64_t NumSets = 64;
+  RcdProfile P(NumSets);
+  for (int Round = 0; Round < 10; ++Round)
+    for (uint64_t Set = 0; Set < NumSets; ++Set)
+      P.addMiss(Set);
+  const Histogram &Rcd = P.rcd();
+  EXPECT_EQ(Rcd.minKey(), NumSets);
+  EXPECT_EQ(Rcd.maxKey(), NumSets);
+  EXPECT_DOUBLE_EQ(P.meanRcd(), static_cast<double>(NumSets));
+  EXPECT_DOUBLE_EQ(P.contributionFactor(8), 0.0);
+}
+
+TEST(RcdProfileTest, SingleVictimSetGivesRcdOne) {
+  RcdProfile P(64);
+  for (int I = 0; I < 100; ++I)
+    P.addMiss(17);
+  EXPECT_EQ(P.rcd().count(1), 99u);
+  EXPECT_EQ(P.setsUtilized(), 1u);
+  // cf = 99/100: one miss (the first) produced no RCD observation.
+  EXPECT_DOUBLE_EQ(P.contributionFactor(8), 0.99);
+}
+
+TEST(RcdProfileTest, ContributionFactorUsesMissDenominator) {
+  // Eq. 1: cf = N_{RCD<T} / N_total where N_total counts all misses.
+  RcdProfile P(8);
+  P.addMiss(0); // no RCD
+  P.addMiss(0); // RCD 1
+  P.addMiss(1); // no RCD
+  P.addMiss(2); // no RCD
+  EXPECT_DOUBLE_EQ(P.contributionFactor(8), 0.25);
+}
+
+TEST(RcdProfileTest, SetsUtilizedMatchesTouchedSets) {
+  RcdProfile P(64);
+  for (uint64_t Set : {0, 5, 5, 63})
+    P.addMiss(Set);
+  EXPECT_EQ(P.setsUtilized(), 3u);
+  EXPECT_EQ(P.missesOnSet(5), 2u);
+  EXPECT_EQ(P.missesOnSet(1), 0u);
+}
+
+TEST(RcdProfileTest, ConflictPeriodRuns) {
+  // Set 0 misses with constant RCD 2 (period of length 4), then the
+  // rhythm changes.
+  RcdProfile P(4);
+  // Sequence: 0 1 0 1 0 1 0 1 0 0 -> set-0 RCDs: 2,2,2,2,1.
+  for (uint64_t Set : {0, 1, 0, 1, 0, 1, 0, 1, 0, 0})
+    P.addMiss(Set);
+  const ConflictPeriodStats &Periods = P.conflictPeriods();
+  // The run of four RCD-2 observations closed when the RCD-1 arrived.
+  EXPECT_EQ(Periods.RunLengths.count(4), 1u);
+  EXPECT_EQ(Periods.maxRunLength(), 4u);
+}
+
+TEST(RcdProfileTest, MeanRcdMixesSets) {
+  RcdProfile P(4);
+  // Set 0: distances 2, 2. Set 1: distances 2, 2.
+  for (uint64_t Set : {0, 1, 0, 1, 0, 1})
+    P.addMiss(Set);
+  EXPECT_DOUBLE_EQ(P.meanRcd(), 2.0);
+}
+
+TEST(RcdAnalyzerTest, ContextsAreIndependent) {
+  RcdAnalyzer A(64);
+  // Context 1 hammers one set; context 2 round-robins. Event ordinals
+  // come from one shared global miss stream.
+  uint64_t Event = 0;
+  for (int I = 0; I < 50; ++I)
+    A.addMiss(1, 7, ++Event);
+  for (int Round = 0; Round < 3; ++Round)
+    for (uint64_t Set = 0; Set < 64; ++Set)
+      A.addMiss(2, Set, ++Event);
+
+  const RcdProfile *P1 = A.profile(1);
+  const RcdProfile *P2 = A.profile(2);
+  ASSERT_NE(P1, nullptr);
+  ASSERT_NE(P2, nullptr);
+  EXPECT_GT(P1->contributionFactor(8), 0.9);
+  EXPECT_DOUBLE_EQ(P2->contributionFactor(8), 0.0);
+  EXPECT_EQ(A.totalMisses(), 50u + 192u);
+  EXPECT_EQ(A.profiles().size(), 2u);
+}
+
+TEST(RcdAnalyzerTest, InterleavedContextsUseGlobalDistances) {
+  // Two contexts alternate misses on set 0. The event distance between
+  // context 1's consecutive set-0 misses is 2 (one context-2 miss in
+  // between) — the simulator's view of the global miss sequence.
+  RcdAnalyzer A(64);
+  uint64_t Event = 0;
+  for (int I = 0; I < 10; ++I) {
+    A.addMiss(1, 0, ++Event);
+    A.addMiss(2, 0, ++Event);
+  }
+  EXPECT_EQ(A.profile(1)->rcd().count(2), 9u);
+  EXPECT_EQ(A.profile(2)->rcd().count(2), 9u);
+}
+
+TEST(RcdProfileTest, SparseEventOrdinalsMeasureTrueDistance) {
+  // Sampling: only every 100th miss observed, but the PMU still knows
+  // the exact event positions. Two observed set-3 misses 200 events
+  // apart yield RCD 200, not 2.
+  RcdProfile P(64);
+  P.addMiss(3, 100);
+  P.addMiss(5, 200);
+  P.addMiss(3, 300);
+  EXPECT_EQ(P.rcd().count(200), 1u);
+  EXPECT_DOUBLE_EQ(P.contributionFactor(8), 0.0);
+}
+
+TEST(RcdAnalyzerTest, UnknownContextReturnsNull) {
+  RcdAnalyzer A(64);
+  EXPECT_EQ(A.profile(42), nullptr);
+}
+
+// Property: for any interleaving, the RCD observations of a set count
+// exactly its misses minus one.
+class RcdCountingTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RcdCountingTest, ObservationCountInvariant) {
+  const uint64_t NumSets = GetParam();
+  RcdProfile P(NumSets);
+  SplitMix64 Rng(NumSets * 17);
+  constexpr int Misses = 5000;
+  for (int I = 0; I < Misses; ++I)
+    P.addMiss(Rng.next() % NumSets);
+  uint64_t TotalObservations = 0;
+  for (uint64_t Set = 0; Set < NumSets; ++Set) {
+    uint64_t OnSet = P.missesOnSet(Set);
+    EXPECT_EQ(P.rcdOfSet(Set).total(), OnSet == 0 ? 0 : OnSet - 1);
+    TotalObservations += P.rcdOfSet(Set).total();
+  }
+  EXPECT_EQ(P.rcd().total(), TotalObservations);
+  EXPECT_EQ(P.totalMisses(), static_cast<uint64_t>(Misses));
+}
+
+INSTANTIATE_TEST_SUITE_P(SetCounts, RcdCountingTest,
+                         ::testing::Values(1, 2, 8, 64, 100));

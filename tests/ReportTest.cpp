@@ -1,0 +1,112 @@
+//===- tests/ReportTest.cpp - Report rendering tests -----------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Report.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+namespace {
+
+LoopConflictReport sampleReport() {
+  LoopConflictReport R;
+  R.Location = "needle.cpp:189";
+  R.Samples = 100;
+  R.MissContribution = 0.2951;
+  R.SetsUtilized = 41;
+  R.ContributionFactor = 0.88;
+  R.MeanRcd = 5.5;
+  R.ConflictProbability = 0.97;
+  R.ConflictPredicted = true;
+  R.Rcd.add(1, 44);
+  R.Rcd.add(4, 44);
+  R.Rcd.add(64, 12);
+  R.DataStructures.push_back(DataStructureReport{"reference[]", 70, 0.7});
+  R.DataStructures.push_back(
+      DataStructureReport{"input_itemsets[]", 30, 0.3});
+  return R;
+}
+
+ProfileResult sampleResult() {
+  ProfileResult Result;
+  Result.TraceRefs = 1000000;
+  Result.L1Misses = 50000;
+  Result.Samples = 100;
+  Result.L1MissRatio = 0.05;
+  Result.NumSets = 64;
+  Result.RcdThreshold = 8;
+  Result.Loops.push_back(sampleReport());
+  return Result;
+}
+
+} // namespace
+
+TEST(ReportTest, FullReportMentionsEverything) {
+  std::string Text = renderProfileReport(sampleResult(), "needle");
+  EXPECT_NE(Text.find("needle"), std::string::npos);
+  EXPECT_NE(Text.find("needle.cpp:189"), std::string::npos);
+  EXPECT_NE(Text.find("CONFLICT"), std::string::npos);
+  EXPECT_NE(Text.find("reference[]"), std::string::npos);
+  EXPECT_NE(Text.find("input_itemsets[]"), std::string::npos);
+  EXPECT_NE(Text.find("padding"), std::string::npos);
+  EXPECT_NE(Text.find("1,000,000"), std::string::npos);
+}
+
+TEST(ReportTest, LoopTableHasPaperColumns) {
+  std::string Table = renderLoopTable(sampleResult());
+  EXPECT_NE(Table.find("Loop with line number"), std::string::npos);
+  EXPECT_NE(Table.find("L1 cache miss contribution"), std::string::npos);
+  EXPECT_NE(Table.find("# of Cache Sets utilized"), std::string::npos);
+  EXPECT_NE(Table.find("needle.cpp:189"), std::string::npos);
+  EXPECT_NE(Table.find("41"), std::string::npos);
+}
+
+TEST(ReportTest, CleanLoopOmittedFromGuidance) {
+  ProfileResult Result = sampleResult();
+  Result.Loops[0].ConflictPredicted = false;
+  std::string Text = renderProfileReport(Result, "clean");
+  EXPECT_EQ(Text.find("responsible data structures"), std::string::npos);
+  EXPECT_NE(Text.find("clean"), std::string::npos);
+}
+
+TEST(ReportTest, RcdCdfSeriesMatchesHistogram) {
+  LoopConflictReport R = sampleReport();
+  auto Series = rcdCdfSeries(R);
+  ASSERT_EQ(Series.size(), 3u);
+  EXPECT_EQ(Series[0].first, 1u);
+  EXPECT_DOUBLE_EQ(Series[0].second, 0.44);
+  EXPECT_DOUBLE_EQ(Series[1].second, 0.88);
+  EXPECT_DOUBLE_EQ(Series[2].second, 1.0);
+}
+
+TEST(ReportTest, CdfAtThresholdMatchesPaperExample) {
+  // "RCD of shorter than eight accounts for 88% of the L1 cache misses"
+  // (Sec. 5.1, NW).
+  LoopConflictReport R = sampleReport();
+  EXPECT_DOUBLE_EQ(cdfAtThreshold(R, 8), 0.88);
+  EXPECT_DOUBLE_EQ(cdfAtThreshold(R, 1), 0.0);
+  EXPECT_DOUBLE_EQ(cdfAtThreshold(R, 65), 1.0);
+}
+
+TEST(ReportTest, VictimSetChartShowsBusySets) {
+  LoopConflictReport R = sampleReport();
+  R.PerSetMisses.assign(64, 1);
+  R.PerSetMisses[5] = 90;
+  R.SetsUtilized = 64;
+  std::string Chart = renderVictimSets(R, 4);
+  EXPECT_NE(Chart.find("needle.cpp:189"), std::string::npos);
+  EXPECT_NE(Chart.find("64/64"), std::string::npos);
+  EXPECT_NE(Chart.find("90"), std::string::npos);
+}
+
+TEST(ReportTest, EmptyResultRendersWithoutCrashing) {
+  ProfileResult Empty;
+  std::string Text = renderProfileReport(Empty, "empty");
+  EXPECT_NE(Text.find("empty"), std::string::npos);
+  EXPECT_FALSE(renderLoopTable(Empty).empty());
+}

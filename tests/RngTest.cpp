@@ -1,0 +1,84 @@
+//===- tests/RngTest.cpp - PRNG unit tests ---------------------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace ccprof;
+
+TEST(RngTest, SplitMixIsDeterministic) {
+  SplitMix64 A(42), B(42);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Xoshiro256 A(1), B(2);
+  int Equal = 0;
+  for (int I = 0; I < 100; ++I)
+    if (A.next() == B.next())
+      ++Equal;
+  EXPECT_LT(Equal, 5);
+}
+
+TEST(RngTest, XoshiroIsDeterministic) {
+  Xoshiro256 A(0xdead), B(0xdead);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(RngTest, BoundedStaysInRange) {
+  Xoshiro256 Rng(7);
+  for (uint64_t Bound : {1ull, 2ull, 7ull, 64ull, 1212ull}) {
+    for (int I = 0; I < 1000; ++I)
+      EXPECT_LT(Rng.nextBounded(Bound), Bound);
+  }
+}
+
+TEST(RngTest, BoundedCoversAllValues) {
+  Xoshiro256 Rng(99);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 2000; ++I)
+    Seen.insert(Rng.nextBounded(16));
+  EXPECT_EQ(Seen.size(), 16u);
+}
+
+TEST(RngTest, BoundedIsRoughlyUniform) {
+  Xoshiro256 Rng(123);
+  constexpr uint64_t Bound = 10;
+  constexpr int Draws = 100000;
+  uint64_t Counts[Bound] = {};
+  for (int I = 0; I < Draws; ++I)
+    ++Counts[Rng.nextBounded(Bound)];
+  for (uint64_t C : Counts) {
+    // Expected 10000 per bucket; allow 10% slack (way beyond 6 sigma).
+    EXPECT_GT(C, 9000u);
+    EXPECT_LT(C, 11000u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Xoshiro256 Rng(5);
+  double Sum = 0.0;
+  for (int I = 0; I < 10000; ++I) {
+    double X = Rng.nextDouble();
+    EXPECT_GE(X, 0.0);
+    EXPECT_LT(X, 1.0);
+    Sum += X;
+  }
+  EXPECT_NEAR(Sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~uint64_t{0});
+  Xoshiro256 Rng(1);
+  EXPECT_GE(Rng(), Xoshiro256::min());
+}

@@ -1,0 +1,71 @@
+//===- tests/SiteRegistryTest.cpp - Site registry unit tests --------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/SiteRegistry.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+TEST(SiteRegistryTest, IdsStartAtOne) {
+  SiteRegistry R;
+  SiteId Id = R.registerSite("a.cpp", 10, "f");
+  EXPECT_EQ(Id, 1u);
+  EXPECT_NE(Id, UnknownSite);
+}
+
+TEST(SiteRegistryTest, DuplicateRegistrationReturnsSameId) {
+  SiteRegistry R;
+  SiteId A = R.registerSite("a.cpp", 10, "f");
+  SiteId B = R.registerSite("a.cpp", 10, "f");
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(R.size(), 1u);
+}
+
+TEST(SiteRegistryTest, DistinctTriplesGetDistinctIds) {
+  SiteRegistry R;
+  SiteId A = R.registerSite("a.cpp", 10, "f");
+  SiteId B = R.registerSite("a.cpp", 11, "f");
+  SiteId C = R.registerSite("b.cpp", 10, "f");
+  SiteId D = R.registerSite("a.cpp", 10, "g");
+  EXPECT_NE(A, B);
+  EXPECT_NE(A, C);
+  EXPECT_NE(A, D);
+  EXPECT_EQ(R.size(), 4u);
+}
+
+TEST(SiteRegistryTest, LookupRoundTrips) {
+  SiteRegistry R;
+  SiteId Id = R.registerSite("needle.cpp", 189, "needle_cpu");
+  const SourceSite *Site = R.lookup(Id);
+  ASSERT_NE(Site, nullptr);
+  EXPECT_EQ(Site->File, "needle.cpp");
+  EXPECT_EQ(Site->Line, 189u);
+  EXPECT_EQ(Site->Function, "needle_cpu");
+}
+
+TEST(SiteRegistryTest, UnknownAndOutOfRangeLookups) {
+  SiteRegistry R;
+  EXPECT_EQ(R.lookup(UnknownSite), nullptr);
+  EXPECT_EQ(R.lookup(42), nullptr);
+}
+
+TEST(SiteRegistryTest, DescribeFormatsLocation) {
+  SourceSite Site{"adi.c", 40, "kernel_adi"};
+  EXPECT_EQ(Site.describe(), "adi.c:40 (kernel_adi)");
+  SourceSite NoFunction{"adi.c", 40, ""};
+  EXPECT_EQ(NoFunction.describe(), "adi.c:40");
+}
+
+TEST(SiteRegistryTest, SitesVectorInIdOrder) {
+  SiteRegistry R;
+  R.registerSite("x.cpp", 1, "");
+  R.registerSite("y.cpp", 2, "");
+  ASSERT_EQ(R.sites().size(), 2u);
+  EXPECT_EQ(R.sites()[0].File, "x.cpp");
+  EXPECT_EQ(R.sites()[1].File, "y.cpp");
+}

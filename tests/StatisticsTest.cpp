@@ -1,0 +1,108 @@
+//===- tests/StatisticsTest.cpp - Statistics unit tests -------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace ccprof;
+
+TEST(StatisticsTest, MeanVarianceStddev) {
+  std::vector<double> V = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(V), 5.0);
+  EXPECT_DOUBLE_EQ(variance(V), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(V), 2.0);
+}
+
+TEST(StatisticsTest, EmptyInputs) {
+  std::vector<double> Empty;
+  EXPECT_DOUBLE_EQ(mean(Empty), 0.0);
+  EXPECT_DOUBLE_EQ(variance(Empty), 0.0);
+  EXPECT_DOUBLE_EQ(median(Empty), 0.0);
+  EXPECT_DOUBLE_EQ(geomean(Empty), 0.0);
+}
+
+TEST(StatisticsTest, Geomean) {
+  std::vector<double> V = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(geomean(V), 4.0, 1e-12);
+}
+
+TEST(StatisticsTest, MedianOddAndEven) {
+  std::vector<double> Odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(median(Odd), 3.0);
+  std::vector<double> Even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(Even), 2.5);
+}
+
+TEST(StatisticsTest, PercentileInterpolates) {
+  std::vector<double> V = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(V, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 62.5), 35.0);
+}
+
+TEST(StatisticsTest, RunningStatsMatchesBatch) {
+  std::vector<double> V = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats Stats;
+  for (double X : V)
+    Stats.add(X);
+  EXPECT_EQ(Stats.count(), V.size());
+  EXPECT_NEAR(Stats.mean(), mean(V), 1e-12);
+  EXPECT_NEAR(Stats.variance(), variance(V), 1e-12);
+  EXPECT_DOUBLE_EQ(Stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(Stats.max(), 9.0);
+}
+
+TEST(BinaryConfusionTest, PerfectClassifier) {
+  BinaryConfusion C;
+  for (int I = 0; I < 8; ++I)
+    C.record(/*Predicted=*/I % 2 == 0, /*Actual=*/I % 2 == 0);
+  EXPECT_DOUBLE_EQ(C.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(C.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(C.f1(), 1.0);
+  EXPECT_DOUBLE_EQ(C.accuracy(), 1.0);
+}
+
+TEST(BinaryConfusionTest, KnownConfusionMatrix) {
+  BinaryConfusion C;
+  C.TruePositives = 6;
+  C.FalsePositives = 2;
+  C.FalseNegatives = 2;
+  C.TrueNegatives = 6;
+  EXPECT_DOUBLE_EQ(C.precision(), 0.75);
+  EXPECT_DOUBLE_EQ(C.recall(), 0.75);
+  EXPECT_DOUBLE_EQ(C.f1(), 0.75);
+  EXPECT_DOUBLE_EQ(C.accuracy(), 0.75);
+}
+
+TEST(BinaryConfusionTest, DegenerateCasesReturnZero) {
+  BinaryConfusion C;
+  EXPECT_DOUBLE_EQ(C.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(C.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(C.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(C.accuracy(), 0.0);
+
+  // All-negative predictions on all-negative data: no F1, full accuracy.
+  C.record(false, false);
+  EXPECT_DOUBLE_EQ(C.f1(), 0.0);
+  EXPECT_DOUBLE_EQ(C.accuracy(), 1.0);
+}
+
+TEST(BinaryConfusionTest, MergePoolsCounts) {
+  BinaryConfusion A, B;
+  A.record(true, true);
+  B.record(false, true);
+  B.record(true, false);
+  A.merge(B);
+  EXPECT_EQ(A.TruePositives, 1u);
+  EXPECT_EQ(A.FalseNegatives, 1u);
+  EXPECT_EQ(A.FalsePositives, 1u);
+  EXPECT_EQ(A.total(), 3u);
+}

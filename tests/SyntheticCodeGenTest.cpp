@@ -1,0 +1,170 @@
+//===- tests/SyntheticCodeGenTest.cpp - Loop-spec lowering tests ----------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "cfg/SyntheticCodeGen.h"
+
+#include "cfg/Cfg.h"
+#include "cfg/LoopNest.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccprof;
+
+namespace {
+
+FunctionSpec simpleLoopFunction() {
+  LoopSpec Loop;
+  Loop.HeaderLine = 10;
+  Loop.EndLine = 14;
+  Loop.AccessLines = {11, 12};
+  Loop.StatementLines = {13};
+
+  FunctionSpec Function;
+  Function.Name = "kernel";
+  Function.StartLine = 5;
+  Function.EndLine = 20;
+  Function.Loops = {Loop};
+  return Function;
+}
+
+} // namespace
+
+TEST(SyntheticCodeGenTest, LoweredLoopIsRediscovered) {
+  BinaryImage Image = lowerToBinary("k.cpp", {simpleLoopFunction()});
+  ASSERT_EQ(Image.functions().size(), 1u);
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  LoopNest Nest = LoopNest::analyze(Graph);
+  ASSERT_EQ(Nest.numLoops(), 1u);
+  const LoopInfo &Loop = Nest.loop(0);
+  EXPECT_TRUE(Loop.IsReducible);
+  EXPECT_EQ(Graph.block(Loop.Header).MinLine, 10u);
+  EXPECT_EQ(Loop.MinLine, 10u);
+  EXPECT_EQ(Loop.MaxLine, 14u);
+}
+
+TEST(SyntheticCodeGenTest, AccessLinesAreMemoryInstructions) {
+  BinaryImage Image = lowerToBinary("k.cpp", {simpleLoopFunction()});
+  size_t Accesses = 0;
+  for (const Instruction &Insn : Image.instructions()) {
+    if (Insn.IsMemoryAccess) {
+      ++Accesses;
+      EXPECT_TRUE(Insn.Line == 11 || Insn.Line == 12);
+    }
+  }
+  EXPECT_EQ(Accesses, 2u);
+}
+
+TEST(SyntheticCodeGenTest, TripleNestRediscoveredWithDepths) {
+  LoopSpec K;
+  K.HeaderLine = 6;
+  K.EndLine = 8;
+  K.AccessLines = {7};
+  LoopSpec J;
+  J.HeaderLine = 5;
+  J.EndLine = 8;
+  J.Children = {K};
+  LoopSpec I;
+  I.HeaderLine = 4;
+  I.EndLine = 9;
+  I.Children = {J};
+  FunctionSpec F;
+  F.Name = "jacobi";
+  F.StartLine = 1;
+  F.EndLine = 12;
+  F.Loops = {I};
+
+  BinaryImage Image = lowerToBinary("j.c", {F});
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  LoopNest Nest = LoopNest::analyze(Graph);
+  ASSERT_EQ(Nest.numLoops(), 3u);
+  uint32_t Depths[3] = {};
+  for (LoopId L = 0; L < 3; ++L)
+    ++Depths[Nest.loop(L).Depth - 1];
+  EXPECT_EQ(Depths[0], 1u);
+  EXPECT_EQ(Depths[1], 1u);
+  EXPECT_EQ(Depths[2], 1u);
+
+  auto Innermost = Nest.innermostLoopForLine(7);
+  ASSERT_TRUE(Innermost.has_value());
+  EXPECT_EQ(Nest.loop(*Innermost).Depth, 3u);
+  EXPECT_EQ(Graph.block(Nest.loop(*Innermost).Header).MinLine, 6u);
+}
+
+TEST(SyntheticCodeGenTest, SequentialLoopsDoNotNest) {
+  LoopSpec First;
+  First.HeaderLine = 10;
+  First.EndLine = 12;
+  First.AccessLines = {11};
+  LoopSpec Second;
+  Second.HeaderLine = 20;
+  Second.EndLine = 22;
+  Second.AccessLines = {21};
+  FunctionSpec F;
+  F.Name = "two";
+  F.StartLine = 5;
+  F.EndLine = 30;
+  F.Loops = {First, Second};
+
+  BinaryImage Image = lowerToBinary("two.cpp", {F});
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  LoopNest Nest = LoopNest::analyze(Graph);
+  ASSERT_EQ(Nest.numLoops(), 2u);
+  EXPECT_EQ(Nest.loop(0).Depth, 1u);
+  EXPECT_EQ(Nest.loop(1).Depth, 1u);
+  EXPECT_FALSE(Nest.loop(0).Parent.has_value());
+  EXPECT_FALSE(Nest.loop(1).Parent.has_value());
+}
+
+TEST(SyntheticCodeGenTest, MultipleFunctions) {
+  FunctionSpec A = simpleLoopFunction();
+  A.Name = "first";
+  FunctionSpec B;
+  B.Name = "second";
+  B.StartLine = 40;
+  B.EndLine = 45;
+  B.AccessLines = {42};
+
+  BinaryImage Image = lowerToBinary("multi.cpp", {A, B});
+  ASSERT_EQ(Image.functions().size(), 2u);
+  EXPECT_EQ(Image.functions()[0].Name, "first");
+  EXPECT_EQ(Image.functions()[1].Name, "second");
+
+  // The loop-free function has no loops.
+  Cfg SecondGraph = Cfg::build(Image, Image.functions()[1]);
+  EXPECT_EQ(LoopNest::analyze(SecondGraph).numLoops(), 0u);
+}
+
+TEST(SyntheticCodeGenTest, EveryBranchTargetStaysInFunction) {
+  LoopSpec Nested;
+  Nested.HeaderLine = 3;
+  Nested.EndLine = 5;
+  Nested.AccessLines = {4};
+  LoopSpec Outer;
+  Outer.HeaderLine = 2;
+  Outer.EndLine = 6;
+  Outer.Children = {Nested};
+  FunctionSpec F;
+  F.Name = "f";
+  F.StartLine = 1;
+  F.EndLine = 7;
+  F.Loops = {Outer};
+
+  BinaryImage Image = lowerToBinary("span.cpp", {F});
+  const BinaryFunction &Function = Image.functions()[0];
+  uint64_t Low = Image.instructions()[Function.FirstInsn].Addr;
+  uint64_t High =
+      Image.instructions()[Function.FirstInsn + Function.NumInsns - 1].Addr;
+  for (size_t I = Function.FirstInsn,
+              E = Function.FirstInsn + Function.NumInsns;
+       I < E; ++I) {
+    const Instruction &Insn = Image.instructions()[I];
+    if (Insn.Kind == InsnKind::Jump || Insn.Kind == InsnKind::CondBranch) {
+      EXPECT_GE(Insn.Target, Low);
+      EXPECT_LE(Insn.Target, High);
+    }
+  }
+}

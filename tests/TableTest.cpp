@@ -1,0 +1,99 @@
+//===- tests/TableTest.cpp - Text table unit tests -------------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace ccprof;
+
+TEST(TextTableTest, RenderAlignsColumns) {
+  TextTable Table({"name", "value"});
+  Table.addRow({"alpha", "1"});
+  Table.addRow({"b", "22"});
+  std::string Out = Table.render();
+  // Both data rows start their second column at the same offset.
+  size_t Line1 = Out.find("alpha");
+  size_t Line2 = Out.find("\nb");
+  ASSERT_NE(Line1, std::string::npos);
+  ASSERT_NE(Line2, std::string::npos);
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("-----"), std::string::npos);
+}
+
+TEST(TextTableTest, HeaderlessTableHasNoSeparator) {
+  TextTable Table;
+  Table.addRow({"x", "y"});
+  std::string Out = Table.render();
+  EXPECT_EQ(Out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, ExplicitSeparators) {
+  TextTable Table;
+  Table.addRow({"a"});
+  Table.addSeparator();
+  Table.addRow({"b"});
+  std::string Out = Table.render();
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, RaggedRowsSupported) {
+  TextTable Table({"c1", "c2", "c3"});
+  Table.addRow({"only-one"});
+  Table.addRow({"a", "b", "c"});
+  EXPECT_NE(Table.render().find("only-one"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvEscapesSpecialCharacters) {
+  TextTable Table({"name", "note"});
+  Table.addRow({"plain", "with,comma"});
+  Table.addRow({"quoted", "say \"hi\""});
+  std::string Csv = Table.renderCsv();
+  EXPECT_NE(Csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(Csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+  EXPECT_NE(Csv.find("name,note"), std::string::npos);
+}
+
+TEST(TextTableTest, StreamOperator) {
+  TextTable Table({"h"});
+  Table.addRow({"v"});
+  std::ostringstream Out;
+  Out << Table;
+  EXPECT_EQ(Out.str(), Table.render());
+}
+
+TEST(FormatTest, Fixed) {
+  EXPECT_EQ(fmt::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt::fixed(2.0, 0), "2");
+}
+
+TEST(FormatTest, Percent) {
+  EXPECT_EQ(fmt::percent(0.525), "52.5%");
+  EXPECT_EQ(fmt::percent(1.0, 0), "100%");
+}
+
+TEST(FormatTest, Times) {
+  EXPECT_EQ(fmt::times(2.9), "2.90x");
+  EXPECT_EQ(fmt::times(94.6, 1), "94.6x");
+}
+
+TEST(FormatTest, Bytes) {
+  EXPECT_EQ(fmt::bytes(512), "512B");
+  EXPECT_EQ(fmt::bytes(32 * 1024), "32KiB");
+  EXPECT_EQ(fmt::bytes(35 * 1024 * 1024), "35MiB");
+  // Non-multiples stay in the largest exact unit.
+  EXPECT_EQ(fmt::bytes(1536), "1536B");
+}
+
+TEST(FormatTest, Grouped) {
+  EXPECT_EQ(fmt::grouped(0), "0");
+  EXPECT_EQ(fmt::grouped(999), "999");
+  EXPECT_EQ(fmt::grouped(1000), "1,000");
+  EXPECT_EQ(fmt::grouped(1234567), "1,234,567");
+}

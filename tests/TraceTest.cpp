@@ -1,0 +1,127 @@
+//===- tests/TraceTest.cpp - Trace container and serialization tests ------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Trace.h"
+
+#include "gtest/gtest.h"
+
+#include <sstream>
+
+using namespace ccprof;
+
+TEST(TraceTest, RecordLoadsAndStores) {
+  Trace T;
+  SiteId S = T.site("a.cpp", 10, "f");
+  double X = 0.0;
+  T.load(S, &X);
+  T.store(S, &X);
+  ASSERT_EQ(T.size(), 2u);
+  EXPECT_FALSE(T.records()[0].IsWrite);
+  EXPECT_TRUE(T.records()[1].IsWrite);
+  EXPECT_EQ(T.records()[0].SizeBytes, sizeof(double));
+  EXPECT_EQ(T.records()[0].Addr, reinterpret_cast<uint64_t>(&X));
+  EXPECT_EQ(T.records()[0].Site, S);
+}
+
+TEST(TraceTest, AllocationsAreQueryable) {
+  Trace T;
+  int Buffer[64];
+  T.registerAllocation("buffer", Buffer, sizeof(Buffer));
+  auto Id = T.allocations().findByAddress(
+      reinterpret_cast<uint64_t>(&Buffer[10]));
+  ASSERT_TRUE(Id.has_value());
+  EXPECT_EQ(T.allocations().info(*Id).Name, "buffer");
+}
+
+TEST(TraceTest, ClearRecordsKeepsRegistries) {
+  Trace T;
+  SiteId S = T.site("a.cpp", 1, "");
+  int X = 0;
+  T.load(S, &X);
+  T.clearRecords();
+  EXPECT_TRUE(T.empty());
+  EXPECT_EQ(T.sites().size(), 1u);
+}
+
+TEST(TraceSerializationTest, RoundTrip) {
+  Trace T;
+  SiteId S1 = T.site("needle.cpp", 189, "needle_cpu");
+  SiteId S2 = T.site("needle.cpp", 128, "needle_cpu");
+  T.recordLoad(S1, 0xdeadbeef, 4);
+  T.recordStore(S2, 0xcafef00d, 8);
+  T.recordLoad(UnknownSite, 0x42, 2);
+  int Buffer[4];
+  T.registerAllocation("buf", Buffer, sizeof(Buffer));
+
+  std::stringstream Stream;
+  ASSERT_TRUE(T.writeTo(Stream));
+
+  Trace Loaded;
+  ASSERT_TRUE(Trace::readFrom(Stream, Loaded));
+  ASSERT_EQ(Loaded.size(), 3u);
+  EXPECT_EQ(Loaded.records()[0],
+            (MemoryRecord{S1, 0xdeadbeef, 4, false}));
+  EXPECT_EQ(Loaded.records()[1], (MemoryRecord{S2, 0xcafef00d, 8, true}));
+  EXPECT_EQ(Loaded.records()[2], (MemoryRecord{UnknownSite, 0x42, 2, false}));
+
+  const SourceSite *Site = Loaded.sites().lookup(S1);
+  ASSERT_NE(Site, nullptr);
+  EXPECT_EQ(Site->Line, 189u);
+
+  auto Alloc = Loaded.allocations().findByAddress(
+      reinterpret_cast<uint64_t>(&Buffer[2]));
+  ASSERT_TRUE(Alloc.has_value());
+  EXPECT_EQ(Loaded.allocations().info(*Alloc).Name, "buf");
+}
+
+TEST(TraceSerializationTest, RoundTripWithFreedAllocations) {
+  Trace T;
+  T.allocations().recordAllocation("first", 0x1000, 0x100);
+  T.allocations().recordFree(0x1000);
+  T.allocations().recordAllocation("second", 0x1000, 0x80);
+
+  std::stringstream Stream;
+  ASSERT_TRUE(T.writeTo(Stream));
+  Trace Loaded;
+  ASSERT_TRUE(Trace::readFrom(Stream, Loaded));
+  ASSERT_EQ(Loaded.allocations().size(), 2u);
+  EXPECT_FALSE(Loaded.allocations().info(0).Live);
+  EXPECT_TRUE(Loaded.allocations().info(1).Live);
+  auto Id = Loaded.allocations().findByAddress(0x1040);
+  ASSERT_TRUE(Id.has_value());
+  EXPECT_EQ(Loaded.allocations().info(*Id).Name, "second");
+}
+
+TEST(TraceSerializationTest, RejectsGarbage) {
+  std::stringstream Stream("this is not a trace file");
+  Trace Loaded;
+  EXPECT_FALSE(Trace::readFrom(Stream, Loaded));
+}
+
+TEST(TraceSerializationTest, RejectsTruncatedStream) {
+  Trace T;
+  T.recordLoad(T.site("a.cpp", 1, ""), 0x1234, 4);
+  std::stringstream Stream;
+  ASSERT_TRUE(T.writeTo(Stream));
+  std::string Bytes = Stream.str();
+  for (size_t Cut : {Bytes.size() / 4, Bytes.size() / 2, Bytes.size() - 1}) {
+    std::stringstream Truncated(Bytes.substr(0, Cut));
+    Trace Partial;
+    EXPECT_FALSE(Trace::readFrom(Truncated, Partial))
+        << "cut at " << Cut << " of " << Bytes.size();
+  }
+}
+
+TEST(TraceSerializationTest, EmptyTraceRoundTrips) {
+  Trace T;
+  std::stringstream Stream;
+  ASSERT_TRUE(T.writeTo(Stream));
+  Trace Loaded;
+  ASSERT_TRUE(Trace::readFrom(Stream, Loaded));
+  EXPECT_TRUE(Loaded.empty());
+  EXPECT_EQ(Loaded.sites().size(), 0u);
+}

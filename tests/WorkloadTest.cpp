@@ -1,0 +1,195 @@
+//===- tests/WorkloadTest.cpp - Workload correctness tests -----------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates the benchmark kernels themselves: the Optimized rewrite must
+// compute the same result (padding and loop order change layout, never
+// mathematics), traces must be populated and attributable, and the
+// synthetic binaries must be analyzable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "core/ProgramStructure.h"
+#include "workloads/NeedlemanWunsch.h"
+#include "workloads/Symmetrization.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace ccprof;
+
+TEST(WorkloadSuiteTest, CaseStudyRoster) {
+  auto Suite = makeCaseStudySuite();
+  ASSERT_EQ(Suite.size(), 6u);
+  std::vector<std::string> Names;
+  for (const auto &W : Suite)
+    Names.push_back(W->name());
+  EXPECT_EQ(Names, (std::vector<std::string>{"NW", "MKL-FFT", "ADI",
+                                             "Tiny-DNN", "Kripke",
+                                             "HimenoBMT"}));
+  for (const auto &W : Suite)
+    EXPECT_TRUE(W->expectConflicts()) << W->name();
+}
+
+TEST(WorkloadSuiteTest, RodiniaRosterHasEighteenApps) {
+  auto Suite = makeRodiniaSuite();
+  ASSERT_EQ(Suite.size(), 18u);
+  size_t Conflicting = 0;
+  for (const auto &W : Suite)
+    Conflicting += W->expectConflicts() ? 1 : 0;
+  EXPECT_EQ(Conflicting, 1u) << "only NW conflicts in Fig. 7";
+}
+
+TEST(WorkloadSuiteTest, LookupByName) {
+  EXPECT_NE(makeWorkloadByName("NW"), nullptr);
+  EXPECT_NE(makeWorkloadByName("hotspot"), nullptr);
+  EXPECT_NE(makeWorkloadByName("Symmetrization"), nullptr);
+  EXPECT_EQ(makeWorkloadByName("no-such-app"), nullptr);
+}
+
+namespace {
+
+/// Small-instance workloads where available keep this test fast; the
+/// checksum-identity property must hold at any size.
+void expectVariantsAgree(const Workload &W, double Tolerance) {
+  double Original = W.run(WorkloadVariant::Original, nullptr);
+  double Optimized = W.run(WorkloadVariant::Optimized, nullptr);
+  if (Tolerance == 0.0)
+    EXPECT_DOUBLE_EQ(Original, Optimized) << W.name();
+  else
+    EXPECT_NEAR(Original, Optimized,
+                Tolerance * (std::abs(Original) + 1e-12))
+        << W.name();
+}
+
+} // namespace
+
+TEST(WorkloadCorrectnessTest, OptimizationPreservesResults) {
+  for (const auto &W : makeCaseStudySuite()) {
+    // Kripke's loop-order fix reassociates the floating-point
+    // reduction; everything else is bit-identical.
+    double Tolerance = W->name() == "Kripke" ? 1e-9 : 0.0;
+    expectVariantsAgree(*W, Tolerance);
+  }
+  expectVariantsAgree(*makeSymmetrization(), 0.0);
+}
+
+TEST(WorkloadCorrectnessTest, DeterministicAcrossRuns) {
+  auto W = makeWorkloadByName("ADI");
+  ASSERT_NE(W, nullptr);
+  EXPECT_DOUBLE_EQ(W->run(WorkloadVariant::Original, nullptr),
+                   W->run(WorkloadVariant::Original, nullptr));
+}
+
+TEST(WorkloadCorrectnessTest, NwAlignmentScoreIsLayoutIndependent) {
+  NeedlemanWunschWorkload Small(4); // 65x65 matrix
+  double A = Small.run(WorkloadVariant::Original, nullptr);
+  double B = Small.run(WorkloadVariant::Optimized, nullptr);
+  EXPECT_DOUBLE_EQ(A, B);
+  EXPECT_EQ(Small.dim(), 65u);
+}
+
+TEST(WorkloadTraceTest, TracesCarrySitesAndAllocations) {
+  for (const auto &W : makeCaseStudySuite()) {
+    Trace T;
+    W->run(WorkloadVariant::Original, &T);
+    EXPECT_GT(T.size(), 10000u) << W->name();
+    EXPECT_GT(T.sites().size(), 0u) << W->name();
+    EXPECT_GT(T.allocations().liveCount(), 0u) << W->name();
+
+    // Every record's site resolves, or is UnknownSite.
+    size_t Checked = 0;
+    for (const MemoryRecord &Record : T.records()) {
+      if (Record.Site != UnknownSite)
+        EXPECT_NE(T.sites().lookup(Record.Site), nullptr);
+      if (++Checked > 1000)
+        break;
+    }
+  }
+}
+
+TEST(WorkloadTraceTest, RecordedAddressesFallInAllocations) {
+  auto W = makeWorkloadByName("Tiny-DNN");
+  ASSERT_NE(W, nullptr);
+  Trace T;
+  W->run(WorkloadVariant::Original, &T);
+  size_t Attributed = 0, Checked = 0;
+  for (const MemoryRecord &Record : T.records()) {
+    if (T.allocations().findByAddress(Record.Addr))
+      ++Attributed;
+    if (++Checked == 20000)
+      break;
+  }
+  // Nearly all references target the registered heap structures (the
+  // kernels have no unregistered globals).
+  EXPECT_GT(Attributed, Checked * 9 / 10);
+}
+
+TEST(WorkloadBinaryTest, BinariesAreAnalyzable) {
+  auto All = makeRodiniaSuite();
+  for (const auto &W : makeCaseStudySuite())
+    All.push_back(makeWorkloadByName(W->name()));
+  All.push_back(makeSymmetrization());
+  for (const auto &W : All) {
+    ASSERT_NE(W, nullptr);
+    BinaryImage Image = W->makeBinary();
+    EXPECT_FALSE(Image.functions().empty()) << W->name();
+    ProgramStructure S(Image);
+    EXPECT_GT(S.numLoops(), 0u) << W->name();
+  }
+}
+
+TEST(WorkloadBinaryTest, HotLoopLocationExistsInStructure) {
+  for (const auto &W : makeCaseStudySuite()) {
+    std::string Hot = W->hotLoopLocation();
+    ASSERT_FALSE(Hot.empty()) << W->name();
+    BinaryImage Image = W->makeBinary();
+    ProgramStructure S(Image);
+    bool Found = false;
+    for (LoopRef Ref : S.allLoops())
+      if (S.describeLoop(Ref) == Hot)
+        Found = true;
+    EXPECT_TRUE(Found) << W->name() << " hot loop " << Hot
+                       << " not discovered by the analyzer";
+  }
+}
+
+TEST(WorkloadCorrectnessTest, MiniKernelsAreDeterministic) {
+  for (const auto &W : makeRodiniaSuite()) {
+    double A = W->run(WorkloadVariant::Original, nullptr);
+    double B = W->run(WorkloadVariant::Original, nullptr);
+    EXPECT_DOUBLE_EQ(A, B) << W->name();
+    // The minis have no distinct optimized build: results coincide.
+    if (!W->expectConflicts())
+      EXPECT_DOUBLE_EQ(A, W->run(WorkloadVariant::Optimized, nullptr))
+          << W->name();
+  }
+}
+
+TEST(WorkloadTraceTest, TracingDoesNotChangeResults) {
+  for (const char *Name : {"ADI", "Kripke", "hotspot"}) {
+    auto W = makeWorkloadByName(Name);
+    ASSERT_NE(W, nullptr) << Name;
+    Trace T;
+    double Traced = W->run(WorkloadVariant::Original, &T);
+    double Plain = W->run(WorkloadVariant::Original, nullptr);
+    EXPECT_DOUBLE_EQ(Traced, Plain) << Name;
+    EXPECT_FALSE(T.empty()) << Name;
+  }
+}
+
+TEST(WorkloadTraceTest, SymmetrizationTraceMatchesArithmetic) {
+  SymmetrizationWorkload W(/*N=*/16, /*Sweeps=*/2);
+  Trace T;
+  W.run(WorkloadVariant::Original, &T);
+  // 2 sweeps x 16 x 16 cells x 3 recorded references.
+  EXPECT_EQ(T.size(), 2u * 16 * 16 * 3);
+  EXPECT_EQ(W.rowElems(WorkloadVariant::Original), 16u);
+  EXPECT_EQ(W.rowElems(WorkloadVariant::Optimized), 24u);
+}

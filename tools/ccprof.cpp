@@ -1,0 +1,308 @@
+//===- tools/ccprof.cpp - Command-line driver ------------------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The command-line face of the library, standing in for the artifact's
+// ccProf_run_and_analyze.sh workflow:
+//
+//   ccprof list
+//   ccprof profile <workload> [--optimized] [--exact] [--period N]
+//                  [--sampler bursty|jitter|fixed] [--threshold N]
+//                  [--level l1|l2] [--mapping identity|firsttouch|shuffled]
+//                  [--csv]
+//   ccprof compare <workload> [profile options]
+//   ccprof trace <workload> <file> [--optimized]
+//   ccprof analyze <file> <workload> [profile options]
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Profiler.h"
+#include "core/Report.h"
+#include "support/Table.h"
+#include "workloads/Workload.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace ccprof;
+
+namespace {
+
+void printUsage(std::ostream &Out) {
+  Out << "usage: ccprof <command> [options]\n"
+         "\n"
+         "commands:\n"
+         "  list                      list the built-in workloads\n"
+         "  profile <workload>        run a workload and report conflicts\n"
+         "  compare <workload>        profile original and optimized builds\n"
+         "  trace <workload> <file>   record a memory trace to a file\n"
+         "  analyze <file> <workload> profile a previously recorded trace\n"
+         "\n"
+         "profile options:\n"
+         "  --optimized               use the padded/reordered build\n"
+         "  --exact                   capture every miss (simulator-grade)\n"
+         "  --period N                mean sampling period (default 1212)\n"
+         "  --sampler KIND            bursty | jitter | fixed\n"
+         "  --threshold N             short-RCD threshold (default 8)\n"
+         "  --level L                 l1 (default) | l2\n"
+         "  --mapping M               identity | firsttouch | shuffled\n"
+         "  --csv                     emit the loop table as CSV\n";
+}
+
+struct CliOptions {
+  bool Optimized = false;
+  bool Exact = false;
+  bool Csv = false;
+  ProfileOptions Profile;
+  bool Ok = true;
+};
+
+CliOptions parseOptions(const std::vector<std::string> &Args) {
+  CliOptions Options;
+  Options.Profile.Sampling.Kind = SamplingKind::Bursty;
+
+  auto Fail = [&Options](const std::string &Message) {
+    std::cerr << "error: " << Message << '\n';
+    Options.Ok = false;
+  };
+
+  for (size_t I = 0; I < Args.size() && Options.Ok; ++I) {
+    const std::string &Arg = Args[I];
+    auto NextValue = [&]() -> std::string {
+      if (I + 1 >= Args.size()) {
+        Fail("missing value for " + Arg);
+        return "";
+      }
+      return Args[++I];
+    };
+
+    if (Arg == "--optimized") {
+      Options.Optimized = true;
+    } else if (Arg == "--exact") {
+      Options.Exact = true;
+    } else if (Arg == "--csv") {
+      Options.Csv = true;
+    } else if (Arg == "--period") {
+      std::string Value = NextValue();
+      if (Options.Ok) {
+        long Period = std::atol(Value.c_str());
+        if (Period <= 0)
+          Fail("--period must be a positive integer");
+        else
+          Options.Profile.Sampling.MeanPeriod =
+              static_cast<uint64_t>(Period);
+      }
+    } else if (Arg == "--threshold") {
+      std::string Value = NextValue();
+      if (Options.Ok) {
+        long Threshold = std::atol(Value.c_str());
+        if (Threshold <= 0)
+          Fail("--threshold must be a positive integer");
+        else
+          Options.Profile.RcdThreshold = static_cast<uint64_t>(Threshold);
+      }
+    } else if (Arg == "--sampler") {
+      std::string Value = NextValue();
+      if (Value == "bursty")
+        Options.Profile.Sampling.Kind = SamplingKind::Bursty;
+      else if (Value == "jitter")
+        Options.Profile.Sampling.Kind = SamplingKind::UniformJitter;
+      else if (Value == "fixed")
+        Options.Profile.Sampling.Kind = SamplingKind::Fixed;
+      else if (Options.Ok)
+        Fail("unknown sampler '" + Value + "'");
+    } else if (Arg == "--level") {
+      std::string Value = NextValue();
+      if (Value == "l1")
+        Options.Profile.Level = ProfileLevel::L1;
+      else if (Value == "l2")
+        Options.Profile.Level = ProfileLevel::L2;
+      else if (Options.Ok)
+        Fail("unknown level '" + Value + "'");
+    } else if (Arg == "--mapping") {
+      std::string Value = NextValue();
+      if (Value == "identity")
+        Options.Profile.Mapping = PagePolicy::Identity;
+      else if (Value == "firsttouch")
+        Options.Profile.Mapping = PagePolicy::FirstTouch;
+      else if (Value == "shuffled")
+        Options.Profile.Mapping = PagePolicy::Shuffled;
+      else if (Options.Ok)
+        Fail("unknown mapping '" + Value + "'");
+    } else {
+      Fail("unknown option '" + Arg + "'");
+    }
+  }
+  return Options;
+}
+
+int commandList() {
+  TextTable Table({"name", "source", "expected"});
+  for (const auto &W : makeCaseStudySuite())
+    Table.addRow({W->name(), W->sourceFile(),
+                  W->expectConflicts() ? "conflicts" : "clean"});
+  Table.addSeparator();
+  for (const auto &W : makeRodiniaSuite()) {
+    if (W->name() == "NW")
+      continue; // Already listed with the case studies.
+    Table.addRow({W->name(), W->sourceFile(),
+                  W->expectConflicts() ? "conflicts" : "clean"});
+  }
+  Table.addSeparator();
+  Table.addRow({"Symmetrization", "symm.cpp", "conflicts"});
+  std::cout << Table.render();
+  return 0;
+}
+
+ProfileResult runPipeline(const Workload &W, const Trace &T,
+                          const CliOptions &Options) {
+  BinaryImage Image = W.makeBinary();
+  ProgramStructure Structure(Image);
+  Profiler P(Options.Profile);
+  return Options.Exact ? P.profileExact(T, Structure)
+                       : P.profile(T, Structure);
+}
+
+void emitResult(const ProfileResult &Result, const std::string &Name,
+                const CliOptions &Options) {
+  if (!Options.Csv) {
+    std::cout << renderProfileReport(Result, Name);
+    return;
+  }
+  TextTable Table({"loop", "samples", "miss_contribution", "sets",
+                   "cf", "median_rcd", "p_conflict", "verdict"});
+  for (const LoopConflictReport &Loop : Result.Loops)
+    Table.addRow({Loop.Location, std::to_string(Loop.Samples),
+                  fmt::fixed(Loop.MissContribution, 6),
+                  std::to_string(Loop.SetsUtilized),
+                  fmt::fixed(Loop.ContributionFactor, 6),
+                  std::to_string(Loop.MedianRcd),
+                  fmt::fixed(Loop.ConflictProbability, 4),
+                  Loop.ConflictPredicted ? "conflict" : "clean"});
+  std::cout << Table.renderCsv();
+}
+
+int commandProfile(const std::string &Name, const CliOptions &Options) {
+  std::unique_ptr<Workload> W = makeWorkloadByName(Name);
+  if (!W) {
+    std::cerr << "error: unknown workload '" << Name
+              << "' (try: ccprof list)\n";
+    return 1;
+  }
+  Trace T;
+  W->run(Options.Optimized ? WorkloadVariant::Optimized
+                           : WorkloadVariant::Original,
+         &T);
+  emitResult(runPipeline(*W, T, Options), W->name(), Options);
+  return 0;
+}
+
+int commandCompare(const std::string &Name, const CliOptions &Options) {
+  std::unique_ptr<Workload> W = makeWorkloadByName(Name);
+  if (!W) {
+    std::cerr << "error: unknown workload '" << Name << "'\n";
+    return 1;
+  }
+  for (WorkloadVariant Variant :
+       {WorkloadVariant::Original, WorkloadVariant::Optimized}) {
+    Trace T;
+    W->run(Variant, &T);
+    ProfileResult Result = runPipeline(*W, T, Options);
+    std::cout << "=== " << W->name() << " ("
+              << (Variant == WorkloadVariant::Original ? "original"
+                                                        : "optimized")
+              << ") ===\n";
+    emitResult(Result, W->name(), Options);
+    std::cout << '\n';
+  }
+  return 0;
+}
+
+int commandTrace(const std::string &Name, const std::string &Path,
+                 const CliOptions &Options) {
+  std::unique_ptr<Workload> W = makeWorkloadByName(Name);
+  if (!W) {
+    std::cerr << "error: unknown workload '" << Name << "'\n";
+    return 1;
+  }
+  Trace T;
+  W->run(Options.Optimized ? WorkloadVariant::Optimized
+                           : WorkloadVariant::Original,
+         &T);
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out || !T.writeTo(Out)) {
+    std::cerr << "error: cannot write trace to " << Path << '\n';
+    return 1;
+  }
+  std::cout << "wrote " << T.size() << " records to " << Path << '\n';
+  return 0;
+}
+
+int commandAnalyze(const std::string &Path, const std::string &Name,
+                   const CliOptions &Options) {
+  std::unique_ptr<Workload> W = makeWorkloadByName(Name);
+  if (!W) {
+    std::cerr << "error: unknown workload '" << Name << "'\n";
+    return 1;
+  }
+  std::ifstream In(Path, std::ios::binary);
+  Trace T;
+  if (!In || !Trace::readFrom(In, T)) {
+    std::cerr << "error: cannot read trace from " << Path << '\n';
+    return 1;
+  }
+  emitResult(runPipeline(*W, T, Options), W->name() + " (from trace)",
+             Options);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  if (Args.empty() || Args[0] == "--help" || Args[0] == "-h" ||
+      Args[0] == "help") {
+    printUsage(Args.empty() ? std::cerr : std::cout);
+    return Args.empty() ? 1 : 0;
+  }
+
+  const std::string &Command = Args[0];
+  if (Command == "list")
+    return commandList();
+
+  if (Command == "profile" || Command == "compare") {
+    if (Args.size() < 2) {
+      std::cerr << "error: " << Command << " needs a workload name\n";
+      return 1;
+    }
+    CliOptions Options =
+        parseOptions(std::vector<std::string>(Args.begin() + 2, Args.end()));
+    if (!Options.Ok)
+      return 1;
+    return Command == "profile" ? commandProfile(Args[1], Options)
+                                : commandCompare(Args[1], Options);
+  }
+
+  if (Command == "trace" || Command == "analyze") {
+    if (Args.size() < 3) {
+      std::cerr << "error: " << Command << " needs two arguments\n";
+      return 1;
+    }
+    CliOptions Options =
+        parseOptions(std::vector<std::string>(Args.begin() + 3, Args.end()));
+    if (!Options.Ok)
+      return 1;
+    return Command == "trace" ? commandTrace(Args[1], Args[2], Options)
+                              : commandAnalyze(Args[1], Args[2], Options);
+  }
+
+  std::cerr << "error: unknown command '" << Command << "'\n";
+  printUsage(std::cerr);
+  return 1;
+}
