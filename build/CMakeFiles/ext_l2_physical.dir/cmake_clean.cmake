@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_l2_physical.dir/bench/ext_l2_physical.cpp.o"
+  "CMakeFiles/ext_l2_physical.dir/bench/ext_l2_physical.cpp.o.d"
+  "bench/ext_l2_physical"
+  "bench/ext_l2_physical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_l2_physical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

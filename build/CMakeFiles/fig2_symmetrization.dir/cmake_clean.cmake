@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_symmetrization.dir/bench/fig2_symmetrization.cpp.o"
+  "CMakeFiles/fig2_symmetrization.dir/bench/fig2_symmetrization.cpp.o.d"
+  "bench/fig2_symmetrization"
+  "bench/fig2_symmetrization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_symmetrization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3456_rcd_concepts.dir/bench/fig3456_rcd_concepts.cpp.o"
+  "CMakeFiles/fig3456_rcd_concepts.dir/bench/fig3456_rcd_concepts.cpp.o.d"
+  "bench/fig3456_rcd_concepts"
+  "bench/fig3456_rcd_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3456_rcd_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

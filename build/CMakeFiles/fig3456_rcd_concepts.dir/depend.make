@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3456_rcd_concepts.
+# This may be replaced when dependencies are built.

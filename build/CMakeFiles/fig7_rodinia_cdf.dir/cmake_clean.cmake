@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_rodinia_cdf.dir/bench/fig7_rodinia_cdf.cpp.o"
+  "CMakeFiles/fig7_rodinia_cdf.dir/bench/fig7_rodinia_cdf.cpp.o.d"
+  "bench/fig7_rodinia_cdf"
+  "bench/fig7_rodinia_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_rodinia_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_accuracy_overhead.cpp" "CMakeFiles/fig8_accuracy_overhead.dir/bench/fig8_accuracy_overhead.cpp.o" "gcc" "CMakeFiles/fig8_accuracy_overhead.dir/bench/fig8_accuracy_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ccprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/ccprof_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/ccprof_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccprof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_accuracy_overhead.dir/bench/fig8_accuracy_overhead.cpp.o"
+  "CMakeFiles/fig8_accuracy_overhead.dir/bench/fig8_accuracy_overhead.cpp.o.d"
+  "bench/fig8_accuracy_overhead"
+  "bench/fig8_accuracy_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_accuracy_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

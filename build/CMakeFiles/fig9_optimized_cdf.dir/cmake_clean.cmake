@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_optimized_cdf.dir/bench/fig9_optimized_cdf.cpp.o"
+  "CMakeFiles/fig9_optimized_cdf.dir/bench/fig9_optimized_cdf.cpp.o.d"
+  "bench/fig9_optimized_cdf"
+  "bench/fig9_optimized_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_optimized_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_ccprof.dir/bench/micro_ccprof.cpp.o"
+  "CMakeFiles/micro_ccprof.dir/bench/micro_ccprof.cpp.o.d"
+  "bench/micro_ccprof"
+  "bench/micro_ccprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_ccprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

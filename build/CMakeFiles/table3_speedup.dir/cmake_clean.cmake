@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_speedup.dir/bench/table3_speedup.cpp.o"
+  "CMakeFiles/table3_speedup.dir/bench/table3_speedup.cpp.o.d"
+  "bench/table3_speedup"
+  "bench/table3_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_nw_sets.dir/bench/table4_nw_sets.cpp.o"
+  "CMakeFiles/table4_nw_sets.dir/bench/table4_nw_sets.cpp.o.d"
+  "bench/table4_nw_sets"
+  "bench/table4_nw_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_nw_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

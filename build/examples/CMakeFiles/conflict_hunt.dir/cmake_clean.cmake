@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conflict_hunt.dir/conflict_hunt.cpp.o"
+  "CMakeFiles/conflict_hunt.dir/conflict_hunt.cpp.o.d"
+  "conflict_hunt"
+  "conflict_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conflict_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

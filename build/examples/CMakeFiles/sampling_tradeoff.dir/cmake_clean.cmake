@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sampling_tradeoff.dir/sampling_tradeoff.cpp.o"
+  "CMakeFiles/sampling_tradeoff.dir/sampling_tradeoff.cpp.o.d"
+  "sampling_tradeoff"
+  "sampling_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sampling_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccprof_cfg.dir/BinaryImage.cpp.o"
+  "CMakeFiles/ccprof_cfg.dir/BinaryImage.cpp.o.d"
+  "CMakeFiles/ccprof_cfg.dir/Cfg.cpp.o"
+  "CMakeFiles/ccprof_cfg.dir/Cfg.cpp.o.d"
+  "CMakeFiles/ccprof_cfg.dir/Dominators.cpp.o"
+  "CMakeFiles/ccprof_cfg.dir/Dominators.cpp.o.d"
+  "CMakeFiles/ccprof_cfg.dir/LoopNest.cpp.o"
+  "CMakeFiles/ccprof_cfg.dir/LoopNest.cpp.o.d"
+  "CMakeFiles/ccprof_cfg.dir/SyntheticCodeGen.cpp.o"
+  "CMakeFiles/ccprof_cfg.dir/SyntheticCodeGen.cpp.o.d"
+  "libccprof_cfg.a"
+  "libccprof_cfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccprof_cfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ConflictClassifier.cpp" "src/core/CMakeFiles/ccprof_core.dir/ConflictClassifier.cpp.o" "gcc" "src/core/CMakeFiles/ccprof_core.dir/ConflictClassifier.cpp.o.d"
+  "/root/repo/src/core/CrossValidation.cpp" "src/core/CMakeFiles/ccprof_core.dir/CrossValidation.cpp.o" "gcc" "src/core/CMakeFiles/ccprof_core.dir/CrossValidation.cpp.o.d"
+  "/root/repo/src/core/LogisticRegression.cpp" "src/core/CMakeFiles/ccprof_core.dir/LogisticRegression.cpp.o" "gcc" "src/core/CMakeFiles/ccprof_core.dir/LogisticRegression.cpp.o.d"
+  "/root/repo/src/core/PaddingAdvisor.cpp" "src/core/CMakeFiles/ccprof_core.dir/PaddingAdvisor.cpp.o" "gcc" "src/core/CMakeFiles/ccprof_core.dir/PaddingAdvisor.cpp.o.d"
+  "/root/repo/src/core/Profiler.cpp" "src/core/CMakeFiles/ccprof_core.dir/Profiler.cpp.o" "gcc" "src/core/CMakeFiles/ccprof_core.dir/Profiler.cpp.o.d"
+  "/root/repo/src/core/ProgramStructure.cpp" "src/core/CMakeFiles/ccprof_core.dir/ProgramStructure.cpp.o" "gcc" "src/core/CMakeFiles/ccprof_core.dir/ProgramStructure.cpp.o.d"
+  "/root/repo/src/core/RcdAnalyzer.cpp" "src/core/CMakeFiles/ccprof_core.dir/RcdAnalyzer.cpp.o" "gcc" "src/core/CMakeFiles/ccprof_core.dir/RcdAnalyzer.cpp.o.d"
+  "/root/repo/src/core/Report.cpp" "src/core/CMakeFiles/ccprof_core.dir/Report.cpp.o" "gcc" "src/core/CMakeFiles/ccprof_core.dir/Report.cpp.o.d"
+  "/root/repo/src/core/SetImbalanceBaseline.cpp" "src/core/CMakeFiles/ccprof_core.dir/SetImbalanceBaseline.cpp.o" "gcc" "src/core/CMakeFiles/ccprof_core.dir/SetImbalanceBaseline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/ccprof_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/ccprof_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccprof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccprof_core.dir/ConflictClassifier.cpp.o"
+  "CMakeFiles/ccprof_core.dir/ConflictClassifier.cpp.o.d"
+  "CMakeFiles/ccprof_core.dir/CrossValidation.cpp.o"
+  "CMakeFiles/ccprof_core.dir/CrossValidation.cpp.o.d"
+  "CMakeFiles/ccprof_core.dir/LogisticRegression.cpp.o"
+  "CMakeFiles/ccprof_core.dir/LogisticRegression.cpp.o.d"
+  "CMakeFiles/ccprof_core.dir/PaddingAdvisor.cpp.o"
+  "CMakeFiles/ccprof_core.dir/PaddingAdvisor.cpp.o.d"
+  "CMakeFiles/ccprof_core.dir/Profiler.cpp.o"
+  "CMakeFiles/ccprof_core.dir/Profiler.cpp.o.d"
+  "CMakeFiles/ccprof_core.dir/ProgramStructure.cpp.o"
+  "CMakeFiles/ccprof_core.dir/ProgramStructure.cpp.o.d"
+  "CMakeFiles/ccprof_core.dir/RcdAnalyzer.cpp.o"
+  "CMakeFiles/ccprof_core.dir/RcdAnalyzer.cpp.o.d"
+  "CMakeFiles/ccprof_core.dir/Report.cpp.o"
+  "CMakeFiles/ccprof_core.dir/Report.cpp.o.d"
+  "CMakeFiles/ccprof_core.dir/SetImbalanceBaseline.cpp.o"
+  "CMakeFiles/ccprof_core.dir/SetImbalanceBaseline.cpp.o.d"
+  "libccprof_core.a"
+  "libccprof_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccprof_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

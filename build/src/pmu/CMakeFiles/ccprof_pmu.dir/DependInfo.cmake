@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmu/OverheadModel.cpp" "src/pmu/CMakeFiles/ccprof_pmu.dir/OverheadModel.cpp.o" "gcc" "src/pmu/CMakeFiles/ccprof_pmu.dir/OverheadModel.cpp.o.d"
+  "/root/repo/src/pmu/PebsEvent.cpp" "src/pmu/CMakeFiles/ccprof_pmu.dir/PebsEvent.cpp.o" "gcc" "src/pmu/CMakeFiles/ccprof_pmu.dir/PebsEvent.cpp.o.d"
+  "/root/repo/src/pmu/PebsSampler.cpp" "src/pmu/CMakeFiles/ccprof_pmu.dir/PebsSampler.cpp.o" "gcc" "src/pmu/CMakeFiles/ccprof_pmu.dir/PebsSampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/ccprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccprof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

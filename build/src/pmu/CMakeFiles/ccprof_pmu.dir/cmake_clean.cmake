@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccprof_pmu.dir/OverheadModel.cpp.o"
+  "CMakeFiles/ccprof_pmu.dir/OverheadModel.cpp.o.d"
+  "CMakeFiles/ccprof_pmu.dir/PebsEvent.cpp.o"
+  "CMakeFiles/ccprof_pmu.dir/PebsEvent.cpp.o.d"
+  "CMakeFiles/ccprof_pmu.dir/PebsSampler.cpp.o"
+  "CMakeFiles/ccprof_pmu.dir/PebsSampler.cpp.o.d"
+  "libccprof_pmu.a"
+  "libccprof_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccprof_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/Cache.cpp" "src/sim/CMakeFiles/ccprof_sim.dir/Cache.cpp.o" "gcc" "src/sim/CMakeFiles/ccprof_sim.dir/Cache.cpp.o.d"
+  "/root/repo/src/sim/CacheGeometry.cpp" "src/sim/CMakeFiles/ccprof_sim.dir/CacheGeometry.cpp.o" "gcc" "src/sim/CMakeFiles/ccprof_sim.dir/CacheGeometry.cpp.o.d"
+  "/root/repo/src/sim/CacheHierarchy.cpp" "src/sim/CMakeFiles/ccprof_sim.dir/CacheHierarchy.cpp.o" "gcc" "src/sim/CMakeFiles/ccprof_sim.dir/CacheHierarchy.cpp.o.d"
+  "/root/repo/src/sim/MachineConfig.cpp" "src/sim/CMakeFiles/ccprof_sim.dir/MachineConfig.cpp.o" "gcc" "src/sim/CMakeFiles/ccprof_sim.dir/MachineConfig.cpp.o.d"
+  "/root/repo/src/sim/MissClassifier.cpp" "src/sim/CMakeFiles/ccprof_sim.dir/MissClassifier.cpp.o" "gcc" "src/sim/CMakeFiles/ccprof_sim.dir/MissClassifier.cpp.o.d"
+  "/root/repo/src/sim/ReuseDistance.cpp" "src/sim/CMakeFiles/ccprof_sim.dir/ReuseDistance.cpp.o" "gcc" "src/sim/CMakeFiles/ccprof_sim.dir/ReuseDistance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ccprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

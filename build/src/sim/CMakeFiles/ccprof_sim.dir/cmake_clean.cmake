@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccprof_sim.dir/Cache.cpp.o"
+  "CMakeFiles/ccprof_sim.dir/Cache.cpp.o.d"
+  "CMakeFiles/ccprof_sim.dir/CacheGeometry.cpp.o"
+  "CMakeFiles/ccprof_sim.dir/CacheGeometry.cpp.o.d"
+  "CMakeFiles/ccprof_sim.dir/CacheHierarchy.cpp.o"
+  "CMakeFiles/ccprof_sim.dir/CacheHierarchy.cpp.o.d"
+  "CMakeFiles/ccprof_sim.dir/MachineConfig.cpp.o"
+  "CMakeFiles/ccprof_sim.dir/MachineConfig.cpp.o.d"
+  "CMakeFiles/ccprof_sim.dir/MissClassifier.cpp.o"
+  "CMakeFiles/ccprof_sim.dir/MissClassifier.cpp.o.d"
+  "CMakeFiles/ccprof_sim.dir/ReuseDistance.cpp.o"
+  "CMakeFiles/ccprof_sim.dir/ReuseDistance.cpp.o.d"
+  "libccprof_sim.a"
+  "libccprof_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccprof_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccprof_support.dir/Histogram.cpp.o"
+  "CMakeFiles/ccprof_support.dir/Histogram.cpp.o.d"
+  "CMakeFiles/ccprof_support.dir/Statistics.cpp.o"
+  "CMakeFiles/ccprof_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/ccprof_support.dir/Table.cpp.o"
+  "CMakeFiles/ccprof_support.dir/Table.cpp.o.d"
+  "libccprof_support.a"
+  "libccprof_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccprof_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

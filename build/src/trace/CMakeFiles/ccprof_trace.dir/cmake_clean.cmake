@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccprof_trace.dir/AllocationRegistry.cpp.o"
+  "CMakeFiles/ccprof_trace.dir/AllocationRegistry.cpp.o.d"
+  "CMakeFiles/ccprof_trace.dir/SiteRegistry.cpp.o"
+  "CMakeFiles/ccprof_trace.dir/SiteRegistry.cpp.o.d"
+  "CMakeFiles/ccprof_trace.dir/Trace.cpp.o"
+  "CMakeFiles/ccprof_trace.dir/Trace.cpp.o.d"
+  "libccprof_trace.a"
+  "libccprof_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccprof_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

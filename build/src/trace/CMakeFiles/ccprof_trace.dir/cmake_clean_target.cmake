@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libccprof_trace.a"
+)

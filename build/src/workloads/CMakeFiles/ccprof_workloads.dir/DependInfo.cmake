@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Adi.cpp" "src/workloads/CMakeFiles/ccprof_workloads.dir/Adi.cpp.o" "gcc" "src/workloads/CMakeFiles/ccprof_workloads.dir/Adi.cpp.o.d"
+  "/root/repo/src/workloads/Fft2d.cpp" "src/workloads/CMakeFiles/ccprof_workloads.dir/Fft2d.cpp.o" "gcc" "src/workloads/CMakeFiles/ccprof_workloads.dir/Fft2d.cpp.o.d"
+  "/root/repo/src/workloads/Himeno.cpp" "src/workloads/CMakeFiles/ccprof_workloads.dir/Himeno.cpp.o" "gcc" "src/workloads/CMakeFiles/ccprof_workloads.dir/Himeno.cpp.o.d"
+  "/root/repo/src/workloads/Kripke.cpp" "src/workloads/CMakeFiles/ccprof_workloads.dir/Kripke.cpp.o" "gcc" "src/workloads/CMakeFiles/ccprof_workloads.dir/Kripke.cpp.o.d"
+  "/root/repo/src/workloads/MiniKernels.cpp" "src/workloads/CMakeFiles/ccprof_workloads.dir/MiniKernels.cpp.o" "gcc" "src/workloads/CMakeFiles/ccprof_workloads.dir/MiniKernels.cpp.o.d"
+  "/root/repo/src/workloads/NeedlemanWunsch.cpp" "src/workloads/CMakeFiles/ccprof_workloads.dir/NeedlemanWunsch.cpp.o" "gcc" "src/workloads/CMakeFiles/ccprof_workloads.dir/NeedlemanWunsch.cpp.o.d"
+  "/root/repo/src/workloads/Symmetrization.cpp" "src/workloads/CMakeFiles/ccprof_workloads.dir/Symmetrization.cpp.o" "gcc" "src/workloads/CMakeFiles/ccprof_workloads.dir/Symmetrization.cpp.o.d"
+  "/root/repo/src/workloads/TinyDnnFc.cpp" "src/workloads/CMakeFiles/ccprof_workloads.dir/TinyDnnFc.cpp.o" "gcc" "src/workloads/CMakeFiles/ccprof_workloads.dir/TinyDnnFc.cpp.o.d"
+  "/root/repo/src/workloads/Workload.cpp" "src/workloads/CMakeFiles/ccprof_workloads.dir/Workload.cpp.o" "gcc" "src/workloads/CMakeFiles/ccprof_workloads.dir/Workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cfg/CMakeFiles/ccprof_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccprof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

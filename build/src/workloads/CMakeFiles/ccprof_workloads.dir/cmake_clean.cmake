@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccprof_workloads.dir/Adi.cpp.o"
+  "CMakeFiles/ccprof_workloads.dir/Adi.cpp.o.d"
+  "CMakeFiles/ccprof_workloads.dir/Fft2d.cpp.o"
+  "CMakeFiles/ccprof_workloads.dir/Fft2d.cpp.o.d"
+  "CMakeFiles/ccprof_workloads.dir/Himeno.cpp.o"
+  "CMakeFiles/ccprof_workloads.dir/Himeno.cpp.o.d"
+  "CMakeFiles/ccprof_workloads.dir/Kripke.cpp.o"
+  "CMakeFiles/ccprof_workloads.dir/Kripke.cpp.o.d"
+  "CMakeFiles/ccprof_workloads.dir/MiniKernels.cpp.o"
+  "CMakeFiles/ccprof_workloads.dir/MiniKernels.cpp.o.d"
+  "CMakeFiles/ccprof_workloads.dir/NeedlemanWunsch.cpp.o"
+  "CMakeFiles/ccprof_workloads.dir/NeedlemanWunsch.cpp.o.d"
+  "CMakeFiles/ccprof_workloads.dir/Symmetrization.cpp.o"
+  "CMakeFiles/ccprof_workloads.dir/Symmetrization.cpp.o.d"
+  "CMakeFiles/ccprof_workloads.dir/TinyDnnFc.cpp.o"
+  "CMakeFiles/ccprof_workloads.dir/TinyDnnFc.cpp.o.d"
+  "CMakeFiles/ccprof_workloads.dir/Workload.cpp.o"
+  "CMakeFiles/ccprof_workloads.dir/Workload.cpp.o.d"
+  "libccprof_workloads.a"
+  "libccprof_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccprof_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

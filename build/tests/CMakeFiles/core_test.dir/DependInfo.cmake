@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ConflictClassifierTest.cpp" "tests/CMakeFiles/core_test.dir/ConflictClassifierTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/ConflictClassifierTest.cpp.o.d"
+  "/root/repo/tests/CrossValidationTest.cpp" "tests/CMakeFiles/core_test.dir/CrossValidationTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/CrossValidationTest.cpp.o.d"
+  "/root/repo/tests/LogisticRegressionTest.cpp" "tests/CMakeFiles/core_test.dir/LogisticRegressionTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/LogisticRegressionTest.cpp.o.d"
+  "/root/repo/tests/PaddingAdvisorTest.cpp" "tests/CMakeFiles/core_test.dir/PaddingAdvisorTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/PaddingAdvisorTest.cpp.o.d"
+  "/root/repo/tests/ProfilerTest.cpp" "tests/CMakeFiles/core_test.dir/ProfilerTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/ProfilerTest.cpp.o.d"
+  "/root/repo/tests/ProgramStructureTest.cpp" "tests/CMakeFiles/core_test.dir/ProgramStructureTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/ProgramStructureTest.cpp.o.d"
+  "/root/repo/tests/RcdAnalyzerTest.cpp" "tests/CMakeFiles/core_test.dir/RcdAnalyzerTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/RcdAnalyzerTest.cpp.o.d"
+  "/root/repo/tests/ReportTest.cpp" "tests/CMakeFiles/core_test.dir/ReportTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/ReportTest.cpp.o.d"
+  "/root/repo/tests/SetImbalanceBaselineTest.cpp" "tests/CMakeFiles/core_test.dir/SetImbalanceBaselineTest.cpp.o" "gcc" "tests/CMakeFiles/core_test.dir/SetImbalanceBaselineTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ccprof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ccprof_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmu/CMakeFiles/ccprof_pmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cfg/CMakeFiles/ccprof_cfg.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccprof_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccprof_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccprof_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

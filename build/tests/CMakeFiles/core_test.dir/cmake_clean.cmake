@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/ConflictClassifierTest.cpp.o"
+  "CMakeFiles/core_test.dir/ConflictClassifierTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/CrossValidationTest.cpp.o"
+  "CMakeFiles/core_test.dir/CrossValidationTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/LogisticRegressionTest.cpp.o"
+  "CMakeFiles/core_test.dir/LogisticRegressionTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/PaddingAdvisorTest.cpp.o"
+  "CMakeFiles/core_test.dir/PaddingAdvisorTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/ProfilerTest.cpp.o"
+  "CMakeFiles/core_test.dir/ProfilerTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/ProgramStructureTest.cpp.o"
+  "CMakeFiles/core_test.dir/ProgramStructureTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/RcdAnalyzerTest.cpp.o"
+  "CMakeFiles/core_test.dir/RcdAnalyzerTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/ReportTest.cpp.o"
+  "CMakeFiles/core_test.dir/ReportTest.cpp.o.d"
+  "CMakeFiles/core_test.dir/SetImbalanceBaselineTest.cpp.o"
+  "CMakeFiles/core_test.dir/SetImbalanceBaselineTest.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

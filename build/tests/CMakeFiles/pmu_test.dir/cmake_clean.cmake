@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmu_test.dir/OverheadModelTest.cpp.o"
+  "CMakeFiles/pmu_test.dir/OverheadModelTest.cpp.o.d"
+  "CMakeFiles/pmu_test.dir/PageMapperTest.cpp.o"
+  "CMakeFiles/pmu_test.dir/PageMapperTest.cpp.o.d"
+  "CMakeFiles/pmu_test.dir/PebsSamplerTest.cpp.o"
+  "CMakeFiles/pmu_test.dir/PebsSamplerTest.cpp.o.d"
+  "CMakeFiles/pmu_test.dir/SamplingApproximationTest.cpp.o"
+  "CMakeFiles/pmu_test.dir/SamplingApproximationTest.cpp.o.d"
+  "pmu_test"
+  "pmu_test.pdb"
+  "pmu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_test.dir/CacheGeometryTest.cpp.o"
+  "CMakeFiles/sim_test.dir/CacheGeometryTest.cpp.o.d"
+  "CMakeFiles/sim_test.dir/CacheHierarchyTest.cpp.o"
+  "CMakeFiles/sim_test.dir/CacheHierarchyTest.cpp.o.d"
+  "CMakeFiles/sim_test.dir/CacheReferenceTest.cpp.o"
+  "CMakeFiles/sim_test.dir/CacheReferenceTest.cpp.o.d"
+  "CMakeFiles/sim_test.dir/CacheTest.cpp.o"
+  "CMakeFiles/sim_test.dir/CacheTest.cpp.o.d"
+  "CMakeFiles/sim_test.dir/MissClassifierTest.cpp.o"
+  "CMakeFiles/sim_test.dir/MissClassifierTest.cpp.o.d"
+  "CMakeFiles/sim_test.dir/ReuseDistanceTest.cpp.o"
+  "CMakeFiles/sim_test.dir/ReuseDistanceTest.cpp.o.d"
+  "sim_test"
+  "sim_test.pdb"
+  "sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

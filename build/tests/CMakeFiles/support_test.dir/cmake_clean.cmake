@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_test.dir/HistogramTest.cpp.o"
+  "CMakeFiles/support_test.dir/HistogramTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/IntervalMapTest.cpp.o"
+  "CMakeFiles/support_test.dir/IntervalMapTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/RngTest.cpp.o"
+  "CMakeFiles/support_test.dir/RngTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/StatisticsTest.cpp.o"
+  "CMakeFiles/support_test.dir/StatisticsTest.cpp.o.d"
+  "CMakeFiles/support_test.dir/TableTest.cpp.o"
+  "CMakeFiles/support_test.dir/TableTest.cpp.o.d"
+  "support_test"
+  "support_test.pdb"
+  "support_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

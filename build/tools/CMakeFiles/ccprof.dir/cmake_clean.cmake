@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccprof.dir/ccprof.cpp.o"
+  "CMakeFiles/ccprof.dir/ccprof.cpp.o.d"
+  "ccprof"
+  "ccprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli.list "/root/repo/build/tools/ccprof" "list")
+set_tests_properties(cli.list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.help "/root/repo/build/tools/ccprof" "help")
+set_tests_properties(cli.help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.profile_exact "/root/repo/build/tools/ccprof" "profile" "Symmetrization" "--exact")
+set_tests_properties(cli.profile_exact PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.profile_csv "/root/repo/build/tools/ccprof" "profile" "hotspot" "--period" "171" "--csv")
+set_tests_properties(cli.profile_csv PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.compare "/root/repo/build/tools/ccprof" "compare" "ADI" "--exact")
+set_tests_properties(cli.compare PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.l2 "/root/repo/build/tools/ccprof" "profile" "ADI" "--exact" "--level" "l2" "--mapping" "firsttouch" "--threshold" "64")
+set_tests_properties(cli.l2 PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;14;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli.bad_command "/root/repo/build/tools/ccprof" "frobnicate")
+set_tests_properties(cli.bad_command PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
