@@ -1,0 +1,56 @@
+//===- pipeline/ArtifactStore.cpp - Artifact directory layout ------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/ArtifactStore.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <system_error>
+
+using namespace ccprof;
+namespace fs = std::filesystem;
+
+ArtifactStore::ArtifactStore(std::string Directory)
+    : Directory(std::move(Directory)) {}
+
+bool ArtifactStore::ensureExists(std::string *Error) {
+  std::error_code Ec;
+  fs::create_directories(Directory, Ec);
+  if (Ec) {
+    if (Error)
+      *Error = "cannot create " + Directory + ": " + Ec.message();
+    return false;
+  }
+  return true;
+}
+
+std::string ArtifactStore::pathFor(const ProfileArtifact &Artifact) const {
+  return (fs::path(Directory) /
+          (Artifact.Provenance.Job.key() + ArtifactExtension))
+      .string();
+}
+
+std::string ArtifactStore::save(const ProfileArtifact &Artifact,
+                                std::string *Error) {
+  std::string Path = pathFor(Artifact);
+  if (!Artifact.saveToFile(Path, Error))
+    return "";
+  return Path;
+}
+
+std::vector<std::string> ArtifactStore::list() const {
+  std::vector<std::string> Paths;
+  std::error_code Ec;
+  for (const fs::directory_entry &Entry :
+       fs::directory_iterator(Directory, Ec)) {
+    if (Entry.is_regular_file() &&
+        Entry.path().extension() == ArtifactExtension)
+      Paths.push_back(Entry.path().string());
+  }
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
+}

@@ -1,0 +1,56 @@
+//===- pipeline/ArtifactStore.h - Artifact directory layout ----*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A directory of profile artifacts, one file per job, named by the
+/// job's key ("NW-orig-l1-firsttouch-bursty-p1212-t8-r0.ccpa"). The
+/// store is the persistence seam between batch production and the
+/// merge/diff consumers: later scaling work (shards, remote backends,
+/// artifact caches) replaces this class, not its callers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_PIPELINE_ARTIFACTSTORE_H
+#define CCPROF_PIPELINE_ARTIFACTSTORE_H
+
+#include "pipeline/ProfileArtifact.h"
+
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+/// Filesystem-backed artifact collection rooted at one directory.
+class ArtifactStore {
+public:
+  explicit ArtifactStore(std::string Directory);
+
+  /// Creates the root directory (and parents) if needed.
+  /// \returns false (with \p Error set) when creation fails.
+  bool ensureExists(std::string *Error = nullptr);
+
+  /// The path \p Artifact saves to: root / key + ".ccpa".
+  std::string pathFor(const ProfileArtifact &Artifact) const;
+
+  /// Writes \p Artifact to its canonical path.
+  /// \returns the path, or empty with \p Error set.
+  std::string save(const ProfileArtifact &Artifact,
+                   std::string *Error = nullptr);
+
+  /// Artifact file paths currently in the store, sorted by name so the
+  /// listing is deterministic across filesystems.
+  std::vector<std::string> list() const;
+
+  const std::string &directory() const { return Directory; }
+
+private:
+  std::string Directory;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_PIPELINE_ARTIFACTSTORE_H

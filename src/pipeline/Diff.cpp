@@ -1,0 +1,130 @@
+//===- pipeline/Diff.cpp - Structural profile comparison -----------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Diff.h"
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace ccprof;
+
+namespace {
+
+const char *changeName(LoopChange Change) {
+  switch (Change) {
+  case LoopChange::Unchanged:
+    return "unchanged";
+  case LoopChange::CfDrift:
+    return "cf drift";
+  case LoopChange::BecameConflict:
+    return "REGRESSION";
+  case LoopChange::BecameClean:
+    return "improved";
+  case LoopChange::OnlyInA:
+    return "only in A";
+  case LoopChange::OnlyInB:
+    return "only in B";
+  }
+  return "?";
+}
+
+bool isChanged(LoopChange Change) {
+  return Change != LoopChange::Unchanged;
+}
+
+} // namespace
+
+DiffResult ccprof::diffArtifacts(const ProfileArtifact &A,
+                                 const ProfileArtifact &B,
+                                 const DiffOptions &Options) {
+  DiffResult Result;
+
+  // Pair by location. std::map keeps the row order deterministic and
+  // symmetric: the same locations sort the same way from either side.
+  std::map<std::string, std::pair<const LoopConflictReport *,
+                                  const LoopConflictReport *>>
+      Paired;
+  for (const LoopConflictReport &Loop : A.Result.Loops)
+    Paired[Loop.Location].first = &Loop;
+  for (const LoopConflictReport &Loop : B.Result.Loops)
+    Paired[Loop.Location].second = &Loop;
+
+  for (const auto &[Location, Pair] : Paired) {
+    const auto [InA, InB] = Pair;
+    LoopDiff Row;
+    Row.Location = Location;
+    if (InA) {
+      Row.CfA = InA->ContributionFactor;
+      Row.MissContributionA = InA->MissContribution;
+      Row.ConflictA = InA->ConflictPredicted;
+    }
+    if (InB) {
+      Row.CfB = InB->ContributionFactor;
+      Row.MissContributionB = InB->MissContribution;
+      Row.ConflictB = InB->ConflictPredicted;
+    }
+    if (!InB)
+      Row.Change = LoopChange::OnlyInA;
+    else if (!InA)
+      Row.Change = LoopChange::OnlyInB;
+    else if (!Row.ConflictA && Row.ConflictB)
+      Row.Change = LoopChange::BecameConflict;
+    else if (Row.ConflictA && !Row.ConflictB)
+      Row.Change = LoopChange::BecameClean;
+    else if (std::abs(Row.CfB - Row.CfA) > Options.CfTolerance)
+      Row.Change = LoopChange::CfDrift;
+
+    if (Row.Change == LoopChange::BecameConflict)
+      ++Result.Regressions;
+    if (isChanged(Row.Change))
+      ++Result.Changed;
+    Result.Loops.push_back(std::move(Row));
+  }
+
+  // Changed rows first (they are what the reader came for), location
+  // order within each group.
+  std::stable_sort(Result.Loops.begin(), Result.Loops.end(),
+                   [](const LoopDiff &X, const LoopDiff &Y) {
+                     return isChanged(X.Change) > isChanged(Y.Change);
+                   });
+  return Result;
+}
+
+std::string ccprof::renderDiff(const DiffResult &Diff,
+                               const std::string &NameA,
+                               const std::string &NameB) {
+  std::string Out = "profile diff: A = " + NameA + ", B = " + NameB + "\n";
+  Out += "  " + std::to_string(Diff.Changed) + " changed loop(s), " +
+         std::to_string(Diff.Regressions) + " regression(s)\n\n";
+
+  TextTable Table({"loop", "change", "cf A", "cf B", "contrib A",
+                   "contrib B", "verdict A", "verdict B"});
+  for (const LoopDiff &Row : Diff.Loops) {
+    auto Verdict = [](bool Present, bool Conflict) -> std::string {
+      return Present ? (Conflict ? "conflict" : "clean") : "-";
+    };
+    Table.addRow({Row.Location, changeName(Row.Change),
+                  Row.Change == LoopChange::OnlyInB ? "-"
+                                                    : fmt::fixed(Row.CfA, 4),
+                  Row.Change == LoopChange::OnlyInA ? "-"
+                                                    : fmt::fixed(Row.CfB, 4),
+                  Row.Change == LoopChange::OnlyInB
+                      ? "-"
+                      : fmt::percent(Row.MissContributionA),
+                  Row.Change == LoopChange::OnlyInA
+                      ? "-"
+                      : fmt::percent(Row.MissContributionB),
+                  Verdict(Row.Change != LoopChange::OnlyInB, Row.ConflictA),
+                  Verdict(Row.Change != LoopChange::OnlyInA,
+                          Row.ConflictB)});
+  }
+  Out += Table.render();
+  return Out;
+}

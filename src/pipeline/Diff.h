@@ -1,0 +1,74 @@
+//===- pipeline/Diff.h - Structural profile comparison ---------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural diff of two profile artifacts: pairs loops by source
+/// location and flags the ones whose conflict verdict flipped or whose
+/// contribution factor drifted beyond a tolerance. This is the
+/// regression-detection primitive — profile a workload before and
+/// after a code change (or across two configurations) and the diff
+/// says which loops got a conflict they did not have.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_PIPELINE_DIFF_H
+#define CCPROF_PIPELINE_DIFF_H
+
+#include "pipeline/ProfileArtifact.h"
+
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+/// Knobs of a diff.
+struct DiffOptions {
+  /// |cf_b - cf_a| above this flags the loop as drifted.
+  double CfTolerance = 0.05;
+};
+
+/// How one paired loop changed from A to B.
+enum class LoopChange {
+  Unchanged,      ///< Same verdict, cf within tolerance.
+  CfDrift,        ///< Same verdict, cf moved beyond tolerance.
+  BecameConflict, ///< clean in A, conflict in B — a regression.
+  BecameClean,    ///< conflict in A, clean in B — an improvement.
+  OnlyInA,        ///< Loop absent from B.
+  OnlyInB,        ///< Loop absent from A.
+};
+
+/// One row of the diff.
+struct LoopDiff {
+  std::string Location;
+  LoopChange Change = LoopChange::Unchanged;
+  double CfA = 0.0, CfB = 0.0;
+  double MissContributionA = 0.0, MissContributionB = 0.0;
+  bool ConflictA = false, ConflictB = false;
+};
+
+/// Full diff of two artifacts.
+struct DiffResult {
+  std::vector<LoopDiff> Loops; ///< Changed loops first, then unchanged.
+  /// Loops that became conflicts — the count a CI gate cares about.
+  size_t Regressions = 0;
+  /// Loops whose verdict or cf changed, plus adds/removes.
+  size_t Changed = 0;
+};
+
+/// Diffs \p B against baseline \p A. Swapping the inputs mirrors the
+/// result: directions flip (BecameConflict <-> BecameClean,
+/// OnlyInA <-> OnlyInB) and Changed is identical.
+DiffResult diffArtifacts(const ProfileArtifact &A, const ProfileArtifact &B,
+                         const DiffOptions &Options = {});
+
+/// Human-readable rendering of \p Diff (support/Table).
+std::string renderDiff(const DiffResult &Diff, const std::string &NameA,
+                       const std::string &NameB);
+
+} // namespace ccprof
+
+#endif // CCPROF_PIPELINE_DIFF_H

@@ -1,0 +1,83 @@
+//===- pipeline/JobRunner.cpp - Parallel batch-profiling executor --------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/JobRunner.h"
+
+#include "trace/Canonicalize.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+using namespace ccprof;
+
+JobOutcome ccprof::runJob(const JobSpec &Job, uint64_t TimestampNs) {
+  JobOutcome Outcome;
+  Outcome.Job = Job;
+
+  std::unique_ptr<Workload> W = makeWorkloadByName(Job.WorkloadName);
+  if (!W) {
+    Outcome.Error = "unknown workload '" + Job.WorkloadName + "'";
+    return Outcome;
+  }
+
+  Trace Recorded;
+  W->run(Job.Variant, &Recorded);
+  // Rebase onto the deterministic canonical layout: artifacts must not
+  // depend on where this process's allocator happened to place buffers.
+  Trace T = canonicalizeTrace(Recorded);
+
+  BinaryImage Image = W->makeBinary();
+  ProgramStructure Structure(Image);
+  Profiler P(Job.toProfileOptions());
+  Outcome.Artifact.Result =
+      Job.Exact ? P.profileExact(T, Structure) : P.profile(T, Structure);
+  Outcome.Artifact.Provenance.Job = Job;
+  Outcome.Artifact.Provenance.TimestampNs = TimestampNs;
+  return Outcome;
+}
+
+std::vector<JobOutcome> ccprof::runJobs(
+    std::span<const JobSpec> Jobs, unsigned NumThreads, uint64_t TimestampNs,
+    const std::function<void(const JobOutcome &, size_t)> &OnJobDone) {
+  std::vector<JobOutcome> Outcomes(Jobs.size());
+  if (Jobs.empty())
+    return Outcomes;
+  NumThreads = std::max(1u, NumThreads);
+
+  std::atomic<size_t> NextJob{0};
+  std::atomic<size_t> NumDone{0};
+  std::mutex CallbackMutex;
+
+  auto Worker = [&]() {
+    for (size_t I = NextJob.fetch_add(1); I < Jobs.size();
+         I = NextJob.fetch_add(1)) {
+      Outcomes[I] = runJob(Jobs[I], TimestampNs);
+      size_t Done = NumDone.fetch_add(1) + 1;
+      if (OnJobDone) {
+        std::lock_guard<std::mutex> Lock(CallbackMutex);
+        OnJobDone(Outcomes[I], Done);
+      }
+    }
+  };
+
+  if (NumThreads == 1 || Jobs.size() == 1) {
+    Worker();
+    return Outcomes;
+  }
+
+  std::vector<std::thread> Pool;
+  const unsigned PoolSize =
+      static_cast<unsigned>(std::min<size_t>(NumThreads, Jobs.size()));
+  Pool.reserve(PoolSize);
+  for (unsigned I = 0; I < PoolSize; ++I)
+    Pool.emplace_back(Worker);
+  for (std::thread &T : Pool)
+    T.join();
+  return Outcomes;
+}

@@ -1,0 +1,61 @@
+//===- pipeline/JobRunner.h - Parallel batch-profiling executor -*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a list of profiling jobs across a fixed-size worker thread
+/// pool. Jobs are independent by construction — each worker builds its
+/// own workload, trace, and profiler — and results land in the slot of
+/// their job index, so the output vector is identical no matter how
+/// many threads ran or how the scheduler interleaved them. Address
+/// canonicalization (trace/Canonicalize.h) removes the remaining
+/// process-state dependence, making `--jobs N` output byte-identical
+/// to sequential execution for fixed seeds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_PIPELINE_JOBRUNNER_H
+#define CCPROF_PIPELINE_JOBRUNNER_H
+
+#include "pipeline/ProfileArtifact.h"
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+/// Result slot of one job: the artifact, or an error description.
+struct JobOutcome {
+  JobSpec Job;
+  ProfileArtifact Artifact;
+  /// Empty on success; e.g. "unknown workload 'Foo'" otherwise.
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Executes one job in the calling thread: run the workload, record
+/// its trace, canonicalize addresses, profile, wrap as an artifact.
+/// \p TimestampNs stamps the artifact's provenance (0 = deterministic).
+JobOutcome runJob(const JobSpec &Job, uint64_t TimestampNs = 0);
+
+/// Runs every job of \p Jobs on \p NumThreads workers (1 = fully
+/// sequential in the calling thread). Outcomes are returned in job
+/// order regardless of completion order. \p OnJobDone, when set, is
+/// invoked after each job completes — serialized under a mutex, so it
+/// may write to shared streams — with the finished outcome and the
+/// number of jobs completed so far.
+std::vector<JobOutcome>
+runJobs(std::span<const JobSpec> Jobs, unsigned NumThreads,
+        uint64_t TimestampNs = 0,
+        const std::function<void(const JobOutcome &, size_t)> &OnJobDone =
+            nullptr);
+
+} // namespace ccprof
+
+#endif // CCPROF_PIPELINE_JOBRUNNER_H

@@ -1,0 +1,110 @@
+//===- pipeline/JobSpec.cpp - Batch-profiling job matrix -----------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/JobSpec.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace ccprof;
+
+std::string ccprof::levelName(ProfileLevel Level) {
+  return Level == ProfileLevel::L1 ? "l1" : "l2";
+}
+
+std::string ccprof::mappingName(PagePolicy Mapping) {
+  switch (Mapping) {
+  case PagePolicy::Identity:
+    return "identity";
+  case PagePolicy::FirstTouch:
+    return "firsttouch";
+  case PagePolicy::Shuffled:
+    return "shuffled";
+  }
+  return "unknown";
+}
+
+std::string ccprof::samplerName(SamplingKind Kind) {
+  switch (Kind) {
+  case SamplingKind::Fixed:
+    return "fixed";
+  case SamplingKind::UniformJitter:
+    return "jitter";
+  case SamplingKind::Bursty:
+    return "bursty";
+  }
+  return "unknown";
+}
+
+std::string ccprof::variantName(WorkloadVariant Variant) {
+  return Variant == WorkloadVariant::Original ? "orig" : "opt";
+}
+
+ProfileOptions JobSpec::toProfileOptions() const {
+  ProfileOptions Options;
+  Options.Sampling.Kind = Sampler;
+  Options.Sampling.MeanPeriod = MeanPeriod;
+  Options.Sampling.Seed = Seed + Repeat;
+  Options.RcdThreshold = RcdThreshold;
+  Options.Level = Level;
+  Options.Mapping = Mapping;
+  return Options;
+}
+
+std::string JobSpec::key() const {
+  // Workload names may contain characters awkward in filenames
+  // ("MKL-FFT", "Tiny-DNN"); keep alphanumerics, map the rest to '_'.
+  std::string Safe = WorkloadName;
+  std::transform(Safe.begin(), Safe.end(), Safe.begin(), [](unsigned char C) {
+    return std::isalnum(C) ? static_cast<char>(C) : '_';
+  });
+  std::string Key = Safe + '-' + variantName(Variant) + '-' +
+                    levelName(Level) + '-' + mappingName(Mapping);
+  Key += Exact ? "-exact" : ('-' + samplerName(Sampler) + "-p" +
+                             std::to_string(MeanPeriod));
+  Key += "-t" + std::to_string(RcdThreshold);
+  Key += "-r" + std::to_string(Repeat);
+  return Key;
+}
+
+std::vector<JobSpec> ccprof::expandMatrix(const BatchMatrix &Matrix) {
+  // Exact profiles capture every miss, so the sampling period does not
+  // participate in the cross product (it would only duplicate jobs).
+  const std::vector<uint64_t> ExactPeriods = {1212};
+  const std::vector<uint64_t> &Periods =
+      Matrix.Exact ? ExactPeriods : Matrix.Periods;
+
+  std::vector<JobSpec> Jobs;
+  for (const std::string &Name : Matrix.Workloads)
+    for (WorkloadVariant Variant : Matrix.Variants)
+      for (ProfileLevel Level : Matrix.Levels)
+        for (PagePolicy Mapping : Matrix.Mappings)
+          for (uint64_t Period : Periods)
+            for (uint32_t Repeat = 0; Repeat < Matrix.Repeats; ++Repeat) {
+              JobSpec Job;
+              Job.WorkloadName = Name;
+              Job.Variant = Variant;
+              Job.Exact = Matrix.Exact;
+              Job.Sampler = Matrix.Sampler;
+              Job.MeanPeriod = Period;
+              Job.RcdThreshold = Matrix.RcdThreshold;
+              Job.Level = Level;
+              Job.Mapping = Mapping;
+              Job.Repeat = Repeat;
+              Job.Seed = Matrix.Seed;
+              Jobs.push_back(std::move(Job));
+            }
+  return Jobs;
+}
+
+std::vector<std::string> ccprof::defaultBatchWorkloads() {
+  std::vector<std::string> Names;
+  for (const auto &W : makeCaseStudySuite())
+    Names.push_back(W->name());
+  Names.push_back("Symmetrization");
+  return Names;
+}

@@ -1,0 +1,84 @@
+//===- pipeline/JobSpec.h - Batch-profiling job matrix ---------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One profiling job of the batch pipeline: a fully resolved
+/// (workload, variant, sampling config, cache level, page mapping,
+/// repeat) tuple. A BatchMatrix is the cross product the paper's
+/// evaluation sweeps (Tables 2-4 run six applications under several
+/// sampling periods and cache levels); expandMatrix() flattens it into
+/// the deterministic job list the JobRunner executes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_PIPELINE_JOBSPEC_H
+#define CCPROF_PIPELINE_JOBSPEC_H
+
+#include "core/Profiler.h"
+#include "workloads/Workload.h"
+
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+/// One fully resolved profiling job.
+struct JobSpec {
+  std::string WorkloadName;
+  WorkloadVariant Variant = WorkloadVariant::Original;
+  bool Exact = false;
+  SamplingKind Sampler = SamplingKind::Bursty;
+  uint64_t MeanPeriod = 1212;
+  uint64_t RcdThreshold = ConflictClassifier::DefaultRcdThreshold;
+  ProfileLevel Level = ProfileLevel::L1;
+  PagePolicy Mapping = PagePolicy::FirstTouch;
+  /// Repeat index within the matrix; repeat R perturbs the sampling
+  /// seed deterministically so repeated runs are independent draws.
+  uint32_t Repeat = 0;
+  /// Base sampling seed; the effective seed is Seed + Repeat.
+  uint64_t Seed = SamplingConfig{}.Seed;
+
+  /// The ProfileOptions this job profiles under.
+  ProfileOptions toProfileOptions() const;
+
+  /// Filename-safe identity, e.g. "NW-orig-l1-firsttouch-p1212-r0".
+  /// Distinct jobs of one matrix have distinct keys.
+  std::string key() const;
+};
+
+/// The cross product a `ccprof batch` invocation describes.
+struct BatchMatrix {
+  std::vector<std::string> Workloads;
+  std::vector<WorkloadVariant> Variants = {WorkloadVariant::Original};
+  std::vector<uint64_t> Periods = {1212};
+  std::vector<ProfileLevel> Levels = {ProfileLevel::L1};
+  std::vector<PagePolicy> Mappings = {PagePolicy::FirstTouch};
+  SamplingKind Sampler = SamplingKind::Bursty;
+  uint64_t RcdThreshold = ConflictClassifier::DefaultRcdThreshold;
+  uint32_t Repeats = 1;
+  uint64_t Seed = SamplingConfig{}.Seed;
+  bool Exact = false;
+};
+
+/// Flattens \p Matrix into its job list, in deterministic order
+/// (workload-major, repeat-minor). Order is part of the batch contract:
+/// job N of a matrix is the same job no matter how many threads run it.
+std::vector<JobSpec> expandMatrix(const BatchMatrix &Matrix);
+
+/// The workload names `ccprof batch all` expands to: the six case-study
+/// applications plus the Fig. 2 symmetrization example.
+std::vector<std::string> defaultBatchWorkloads();
+
+/// Short renderings used in keys, filenames, and reports.
+std::string levelName(ProfileLevel Level);
+std::string mappingName(PagePolicy Mapping);
+std::string samplerName(SamplingKind Kind);
+std::string variantName(WorkloadVariant Variant);
+
+} // namespace ccprof
+
+#endif // CCPROF_PIPELINE_JOBSPEC_H

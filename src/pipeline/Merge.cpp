@@ -1,0 +1,149 @@
+//===- pipeline/Merge.cpp - Deterministic artifact aggregation -----------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Merge.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ccprof;
+
+namespace {
+
+/// The aggregation identity of a job: everything but the repeat index
+/// and seed. Artifacts agreeing on this tuple are repeated draws of
+/// one experiment and may be pooled.
+auto configKey(const ProfileArtifact &A) {
+  const JobSpec &J = A.Provenance.Job;
+  return std::make_tuple(J.WorkloadName, static_cast<int>(J.Variant),
+                         J.Exact, static_cast<int>(J.Sampler), J.MeanPeriod,
+                         J.RcdThreshold, static_cast<int>(J.Level),
+                         static_cast<int>(J.Mapping), A.Result.NumSets,
+                         A.Result.RcdThreshold);
+}
+
+} // namespace
+
+bool ccprof::mergeCompatible(const ProfileArtifact &A,
+                             const ProfileArtifact &B, std::string *Why) {
+  if (configKey(A) == configKey(B))
+    return true;
+  if (Why) {
+    *Why = "artifacts profile different configurations (" +
+           A.Provenance.Job.key() + " vs " + B.Provenance.Job.key() + ")";
+  }
+  return false;
+}
+
+MergeResult ccprof::mergeArtifacts(std::span<const ProfileArtifact> Artifacts) {
+  MergeResult Out;
+  if (Artifacts.empty()) {
+    Out.Error = "nothing to merge";
+    return Out;
+  }
+  for (size_t I = 1; I < Artifacts.size(); ++I)
+    if (!mergeCompatible(Artifacts[0], Artifacts[I], &Out.Error))
+      return Out;
+
+  ProfileArtifact &Merged = Out.Merged;
+  Merged.Provenance = Artifacts[0].Provenance;
+  Merged.Provenance.MergedRuns = 0;
+  for (const ProfileArtifact &A : Artifacts)
+    Merged.Provenance.MergedRuns += A.Provenance.MergedRuns;
+
+  ProfileResult &Result = Merged.Result;
+  Result.NumSets = Artifacts[0].Result.NumSets;
+  Result.RcdThreshold = Artifacts[0].Result.RcdThreshold;
+  for (const ProfileArtifact &A : Artifacts) {
+    Result.TraceRefs += A.Result.TraceRefs;
+    Result.L1Misses += A.Result.L1Misses;
+    Result.Samples += A.Result.Samples;
+  }
+  Result.L1MissRatio =
+      Result.TraceRefs == 0
+          ? 0.0
+          : static_cast<double>(Result.L1Misses) /
+                static_cast<double>(Result.TraceRefs);
+
+  // Pool the loop tables by location, preserving first-appearance
+  // order so that merging one artifact is the identity.
+  std::map<std::string, size_t> LoopIndex;
+  for (const ProfileArtifact &A : Artifacts) {
+    for (const LoopConflictReport &Loop : A.Result.Loops) {
+      auto [It, Inserted] =
+          LoopIndex.try_emplace(Loop.Location, Result.Loops.size());
+      if (Inserted) {
+        LoopConflictReport Fresh;
+        Fresh.Location = Loop.Location;
+        Fresh.Loop = Loop.Loop;
+        Fresh.PerSetMisses.assign(Result.NumSets, 0);
+        Result.Loops.push_back(std::move(Fresh));
+      }
+      LoopConflictReport &Acc = Result.Loops[It->second];
+      Acc.Samples += Loop.Samples;
+      Acc.Rcd.merge(Loop.Rcd);
+      Acc.Periods.RunLengths.merge(Loop.Periods.RunLengths);
+      for (size_t S = 0; S < Loop.PerSetMisses.size() &&
+                         S < Acc.PerSetMisses.size();
+           ++S)
+        Acc.PerSetMisses[S] += Loop.PerSetMisses[S];
+      for (const DataStructureReport &Data : Loop.DataStructures) {
+        auto Existing = std::find_if(
+            Acc.DataStructures.begin(), Acc.DataStructures.end(),
+            [&](const DataStructureReport &D) { return D.Name == Data.Name; });
+        if (Existing == Acc.DataStructures.end())
+          Acc.DataStructures.push_back({Data.Name, Data.Samples, 0.0});
+        else
+          Existing->Samples += Data.Samples;
+      }
+    }
+  }
+
+  // Recompute every derived statistic from the pooled evidence — this
+  // is what makes the merge sample-count-weighted.
+  ConflictClassifier Classifier =
+      ConflictClassifier::pretrained(Result.RcdThreshold);
+  const double SignificanceThreshold = ProfileOptions{}.SignificanceThreshold;
+  for (LoopConflictReport &Loop : Result.Loops) {
+    Loop.MissContribution =
+        Result.Samples == 0
+            ? 0.0
+            : static_cast<double>(Loop.Samples) /
+                  static_cast<double>(Result.Samples);
+    Loop.SetsUtilized = static_cast<uint64_t>(
+        std::count_if(Loop.PerSetMisses.begin(), Loop.PerSetMisses.end(),
+                      [](uint64_t M) { return M > 0; }));
+    Loop.ContributionFactor =
+        Loop.Samples == 0
+            ? 0.0
+            : static_cast<double>(Loop.Rcd.countBelow(Result.RcdThreshold)) /
+                  static_cast<double>(Loop.Samples);
+    Loop.MeanRcd = Loop.Rcd.meanKey();
+    Loop.MedianRcd = Loop.Rcd.empty() ? 0 : Loop.Rcd.quantile(0.5);
+    ConflictClassifier::Decision Decision =
+        Classifier.classify(Loop.ContributionFactor);
+    Loop.ConflictProbability = Decision.Probability;
+    Loop.Significant = Loop.MissContribution >= SignificanceThreshold;
+    Loop.ConflictPredicted = Decision.Conflict && Loop.Significant;
+    for (DataStructureReport &Data : Loop.DataStructures)
+      Data.Share = Loop.Samples == 0
+                       ? 0.0
+                       : static_cast<double>(Data.Samples) /
+                             static_cast<double>(Loop.Samples);
+    std::stable_sort(Loop.DataStructures.begin(), Loop.DataStructures.end(),
+                     [](const DataStructureReport &A,
+                        const DataStructureReport &B) {
+                       return A.Samples > B.Samples;
+                     });
+  }
+  std::stable_sort(Result.Loops.begin(), Result.Loops.end(),
+                   [](const LoopConflictReport &A,
+                      const LoopConflictReport &B) {
+                     return A.Samples > B.Samples;
+                   });
+  return Out;
+}

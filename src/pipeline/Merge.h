@@ -1,0 +1,53 @@
+//===- pipeline/Merge.h - Deterministic artifact aggregation ---*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Merges profile artifacts from repeated runs of one configuration
+/// into a single aggregate artifact, the way MRC-construction systems
+/// pool sampled profiles across runs (Byrne, "A Survey of Miss-Ratio
+/// Curve Construction Techniques"). Histograms and counters sum; the
+/// derived statistics (contribution factor, median/mean RCD, miss
+/// contribution, classifier verdict) are recomputed from the pooled
+/// histograms, which makes the merge exactly sample-count-weighted:
+/// merging N identical artifacts reproduces the input's derived values
+/// with N-times the evidence. Merging is associative, commutative up
+/// to provenance, and deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_PIPELINE_MERGE_H
+#define CCPROF_PIPELINE_MERGE_H
+
+#include "pipeline/ProfileArtifact.h"
+
+#include <span>
+#include <string>
+
+namespace ccprof {
+
+/// Result of a merge attempt.
+struct MergeResult {
+  ProfileArtifact Merged;
+  /// Empty on success; otherwise why the inputs cannot be aggregated
+  /// (e.g. different workloads or cache geometries).
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// True when \p A and \p B profile the same (workload, variant, level,
+/// mapping, sampler, period, threshold, geometry) — i.e. they differ
+/// only in repeat index / seed and may be aggregated.
+bool mergeCompatible(const ProfileArtifact &A, const ProfileArtifact &B,
+                     std::string *Why = nullptr);
+
+/// Merges \p Artifacts (at least one) into a single artifact.
+MergeResult mergeArtifacts(std::span<const ProfileArtifact> Artifacts);
+
+} // namespace ccprof
+
+#endif // CCPROF_PIPELINE_MERGE_H

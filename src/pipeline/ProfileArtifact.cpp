@@ -1,0 +1,237 @@
+//===- pipeline/ProfileArtifact.cpp - Persistent profile results ---------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/ProfileArtifact.h"
+
+#include "trace/BinaryIO.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+using namespace ccprof;
+using namespace ccprof::bio;
+
+namespace {
+
+bool fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+void writeHistogram(std::ostream &Out, const Histogram &H) {
+  writeU64(Out, H.buckets().size());
+  for (const auto &[Key, Count] : H.buckets()) {
+    writeU64(Out, Key);
+    writeU64(Out, Count);
+  }
+}
+
+bool readHistogram(std::istream &In, Histogram &H) {
+  uint64_t NumBuckets = 0;
+  if (!readU64(In, NumBuckets))
+    return false;
+  for (uint64_t I = 0; I < NumBuckets; ++I) {
+    uint64_t Key = 0, Count = 0;
+    if (!readU64(In, Key) || !readU64(In, Count) || Count == 0)
+      return false;
+    H.add(Key, Count);
+  }
+  return true;
+}
+
+void writeLoop(std::ostream &Out, const LoopConflictReport &Loop) {
+  writeString(Out, Loop.Location);
+  writeU32(Out, Loop.Loop.has_value() ? 1 : 0);
+  writeU32(Out, Loop.Loop ? Loop.Loop->FunctionIndex : 0);
+  writeU32(Out, Loop.Loop ? Loop.Loop->Loop : 0);
+  writeU64(Out, Loop.Samples);
+  writeF64(Out, Loop.MissContribution);
+  writeU64(Out, Loop.SetsUtilized);
+  writeF64(Out, Loop.ContributionFactor);
+  writeF64(Out, Loop.MeanRcd);
+  writeU64(Out, Loop.MedianRcd);
+  writeF64(Out, Loop.ConflictProbability);
+  writeU32(Out, Loop.Significant ? 1 : 0);
+  writeU32(Out, Loop.ConflictPredicted ? 1 : 0);
+  writeHistogram(Out, Loop.Rcd);
+  writeHistogram(Out, Loop.Periods.RunLengths);
+  writeU64(Out, Loop.PerSetMisses.size());
+  for (uint64_t Misses : Loop.PerSetMisses)
+    writeU64(Out, Misses);
+  writeU64(Out, Loop.DataStructures.size());
+  for (const DataStructureReport &Data : Loop.DataStructures) {
+    writeString(Out, Data.Name);
+    writeU64(Out, Data.Samples);
+    writeF64(Out, Data.Share);
+  }
+}
+
+bool readLoop(std::istream &In, LoopConflictReport &Loop) {
+  uint32_t HasLoop = 0, FunctionIndex = 0, LoopId = 0;
+  if (!readString(In, Loop.Location) || !readU32(In, HasLoop) ||
+      !readU32(In, FunctionIndex) || !readU32(In, LoopId))
+    return false;
+  if (HasLoop)
+    Loop.Loop = LoopRef{FunctionIndex, LoopId};
+  uint32_t Significant = 0, Predicted = 0;
+  if (!readU64(In, Loop.Samples) || !readF64(In, Loop.MissContribution) ||
+      !readU64(In, Loop.SetsUtilized) ||
+      !readF64(In, Loop.ContributionFactor) || !readF64(In, Loop.MeanRcd) ||
+      !readU64(In, Loop.MedianRcd) ||
+      !readF64(In, Loop.ConflictProbability) || !readU32(In, Significant) ||
+      !readU32(In, Predicted))
+    return false;
+  Loop.Significant = Significant != 0;
+  Loop.ConflictPredicted = Predicted != 0;
+  if (!readHistogram(In, Loop.Rcd) ||
+      !readHistogram(In, Loop.Periods.RunLengths))
+    return false;
+  uint64_t NumSets = 0;
+  if (!readU64(In, NumSets) || NumSets > (1u << 24))
+    return false;
+  Loop.PerSetMisses.resize(NumSets);
+  for (uint64_t I = 0; I < NumSets; ++I)
+    if (!readU64(In, Loop.PerSetMisses[I]))
+      return false;
+  uint64_t NumData = 0;
+  if (!readU64(In, NumData) || NumData > (1u << 24))
+    return false;
+  Loop.DataStructures.resize(NumData);
+  for (uint64_t I = 0; I < NumData; ++I) {
+    DataStructureReport &Data = Loop.DataStructures[I];
+    if (!readString(In, Data.Name) || !readU64(In, Data.Samples) ||
+        !readF64(In, Data.Share))
+      return false;
+  }
+  return true;
+}
+
+void writeJobSpec(std::ostream &Out, const JobSpec &Job) {
+  writeString(Out, Job.WorkloadName);
+  writeU32(Out, Job.Variant == WorkloadVariant::Optimized ? 1 : 0);
+  writeU32(Out, Job.Exact ? 1 : 0);
+  writeU32(Out, static_cast<uint32_t>(Job.Sampler));
+  writeU64(Out, Job.MeanPeriod);
+  writeU64(Out, Job.RcdThreshold);
+  writeU32(Out, Job.Level == ProfileLevel::L2 ? 1 : 0);
+  writeU32(Out, static_cast<uint32_t>(Job.Mapping));
+  writeU32(Out, Job.Repeat);
+  writeU64(Out, Job.Seed);
+}
+
+bool readJobSpec(std::istream &In, JobSpec &Job) {
+  uint32_t Variant = 0, Exact = 0, Sampler = 0, Level = 0, Mapping = 0;
+  if (!readString(In, Job.WorkloadName) || !readU32(In, Variant) ||
+      !readU32(In, Exact) || !readU32(In, Sampler) ||
+      !readU64(In, Job.MeanPeriod) || !readU64(In, Job.RcdThreshold) ||
+      !readU32(In, Level) || !readU32(In, Mapping) ||
+      !readU32(In, Job.Repeat) || !readU64(In, Job.Seed))
+    return false;
+  if (Sampler > 2 || Mapping > 2)
+    return false;
+  Job.Variant =
+      Variant ? WorkloadVariant::Optimized : WorkloadVariant::Original;
+  Job.Exact = Exact != 0;
+  Job.Sampler = static_cast<SamplingKind>(Sampler);
+  Job.Level = Level ? ProfileLevel::L2 : ProfileLevel::L1;
+  Job.Mapping = static_cast<PagePolicy>(Mapping);
+  return true;
+}
+
+} // namespace
+
+bool ProfileArtifact::writeTo(std::ostream &Out) const {
+  writeU32(Out, ArtifactMagic);
+  writeU32(Out, ArtifactVersion);
+
+  // Provenance.
+  writeJobSpec(Out, Provenance.Job);
+  writeU32(Out, Provenance.MergedRuns);
+  writeU64(Out, Provenance.TimestampNs);
+  writeString(Out, Provenance.Tool);
+
+  // Run summary.
+  writeU64(Out, Result.TraceRefs);
+  writeU64(Out, Result.L1Misses);
+  writeU64(Out, Result.Samples);
+  writeF64(Out, Result.L1MissRatio);
+  writeU64(Out, Result.NumSets);
+  writeU64(Out, Result.RcdThreshold);
+
+  // Loop table.
+  writeU64(Out, Result.Loops.size());
+  for (const LoopConflictReport &Loop : Result.Loops)
+    writeLoop(Out, Loop);
+  return Out.good();
+}
+
+bool ProfileArtifact::readFrom(std::istream &In, ProfileArtifact &Result,
+                               std::string *Error) {
+  uint32_t Magic = 0, Version = 0;
+  if (!readU32(In, Magic))
+    return fail(Error, "file is empty or too short to be a ccprof artifact");
+  if (Magic != ArtifactMagic)
+    return fail(Error, "bad magic number: not a ccprof profile artifact");
+  if (!readU32(In, Version))
+    return fail(Error, "truncated artifact header");
+  if (Version != ArtifactVersion)
+    return fail(Error, "unsupported artifact format version " +
+                           std::to_string(Version) + " (expected " +
+                           std::to_string(ArtifactVersion) + ")");
+
+  ProfileArtifact Loaded;
+  if (!readJobSpec(In, Loaded.Provenance.Job) ||
+      !readU32(In, Loaded.Provenance.MergedRuns) ||
+      !readU64(In, Loaded.Provenance.TimestampNs) ||
+      !readString(In, Loaded.Provenance.Tool))
+    return fail(Error, "truncated or corrupt artifact provenance");
+
+  if (!readU64(In, Loaded.Result.TraceRefs) ||
+      !readU64(In, Loaded.Result.L1Misses) ||
+      !readU64(In, Loaded.Result.Samples) ||
+      !readF64(In, Loaded.Result.L1MissRatio) ||
+      !readU64(In, Loaded.Result.NumSets) ||
+      !readU64(In, Loaded.Result.RcdThreshold))
+    return fail(Error, "truncated or corrupt artifact run summary");
+
+  uint64_t NumLoops = 0;
+  if (!readU64(In, NumLoops) || NumLoops > (1u << 20))
+    return fail(Error, "truncated or corrupt artifact loop table");
+  Loaded.Result.Loops.resize(NumLoops);
+  for (uint64_t I = 0; I < NumLoops; ++I)
+    if (!readLoop(In, Loaded.Result.Loops[I]))
+      return fail(Error, "truncated or corrupt loop record " +
+                             std::to_string(I) + " of " +
+                             std::to_string(NumLoops));
+
+  Result = std::move(Loaded);
+  return true;
+}
+
+bool ProfileArtifact::saveToFile(const std::string &Path,
+                                 std::string *Error) const {
+  std::ofstream Out(Path, std::ios::binary);
+  if (!Out)
+    return fail(Error, "cannot open " + Path + " for writing");
+  if (!writeTo(Out))
+    return fail(Error, "I/O error while writing " + Path);
+  return true;
+}
+
+bool ProfileArtifact::loadFromFile(const std::string &Path,
+                                   ProfileArtifact &Result,
+                                   std::string *Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return fail(Error, "cannot open " + Path);
+  std::string Reason;
+  if (!readFrom(In, Result, &Reason))
+    return fail(Error, Path + ": " + Reason);
+  return true;
+}

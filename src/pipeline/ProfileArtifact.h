@@ -1,0 +1,80 @@
+//===- pipeline/ProfileArtifact.h - Persistent profile results -*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The on-disk product of one profiling job: a versioned binary capsule
+/// holding the full ProfileResult (loop table, RCD histograms,
+/// contribution factors, per-set miss counts, data-centric attribution)
+/// together with the provenance needed to reproduce or safely aggregate
+/// it (workload, variant, sampling config, seed, cache level, page
+/// mapping, format version, optional timestamp). Artifacts are what the
+/// merge and diff layers operate on; treating captured profiles as
+/// first-class replayable artifacts follows the snapshot methodology of
+/// live cache-inspection tooling (Tarapore et al., "Observing the
+/// Invisible").
+///
+/// Format: little-endian, fixed-width fields via trace/BinaryIO.
+/// Writers emit ArtifactMagic then ArtifactVersion; readers reject
+/// anything else with a descriptive error. Serialization is fully
+/// deterministic: identical results + provenance produce identical
+/// bytes, which is what makes `ccprof batch --jobs N` byte-comparable
+/// against a sequential run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_PIPELINE_PROFILEARTIFACT_H
+#define CCPROF_PIPELINE_PROFILEARTIFACT_H
+
+#include "core/Profiler.h"
+#include "pipeline/JobSpec.h"
+
+#include <iosfwd>
+#include <string>
+
+namespace ccprof {
+
+/// On-disk format constants.
+inline constexpr uint32_t ArtifactMagic = 0xCC9FA27F;
+inline constexpr uint32_t ArtifactVersion = 1;
+/// Conventional file extension ("ccprof artifact").
+inline constexpr const char *ArtifactExtension = ".ccpa";
+
+/// Everything needed to identify, reproduce, and aggregate a profile.
+struct ArtifactProvenance {
+  JobSpec Job;
+  /// Number of artifacts merged into this one; 1 for a raw job output.
+  uint32_t MergedRuns = 1;
+  /// Nanoseconds since the epoch, or 0 when the producer opted into
+  /// fully deterministic output (the batch default).
+  uint64_t TimestampNs = 0;
+  /// Producing tool, e.g. "ccprof-1".
+  std::string Tool = "ccprof-1";
+};
+
+/// A profile result plus its provenance: one serializable capsule.
+struct ProfileArtifact {
+  ArtifactProvenance Provenance;
+  ProfileResult Result;
+
+  /// Serializes to a binary stream. \returns false on I/O failure.
+  bool writeTo(std::ostream &Out) const;
+
+  /// Deserializes an artifact previously written by writeTo, rejecting
+  /// truncated, corrupt, or wrong-version input. \returns false on
+  /// failure, describing the cause in \p Error when non-null.
+  static bool readFrom(std::istream &In, ProfileArtifact &Result,
+                       std::string *Error = nullptr);
+
+  /// Convenience file wrappers around writeTo/readFrom.
+  bool saveToFile(const std::string &Path, std::string *Error = nullptr) const;
+  static bool loadFromFile(const std::string &Path, ProfileArtifact &Result,
+                           std::string *Error = nullptr);
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_PIPELINE_PROFILEARTIFACT_H

@@ -1,0 +1,60 @@
+//===- trace/BinaryIO.cpp - Shared binary stream helpers -----------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/BinaryIO.h"
+
+#include <istream>
+#include <ostream>
+
+namespace ccprof {
+namespace bio {
+
+void writeU32(std::ostream &Out, uint32_t Value) {
+  Out.write(reinterpret_cast<const char *>(&Value), sizeof(Value));
+}
+
+void writeU64(std::ostream &Out, uint64_t Value) {
+  Out.write(reinterpret_cast<const char *>(&Value), sizeof(Value));
+}
+
+void writeF64(std::ostream &Out, double Value) {
+  Out.write(reinterpret_cast<const char *>(&Value), sizeof(Value));
+}
+
+void writeString(std::ostream &Out, const std::string &Value) {
+  writeU32(Out, static_cast<uint32_t>(Value.size()));
+  Out.write(Value.data(), static_cast<std::streamsize>(Value.size()));
+}
+
+bool readU32(std::istream &In, uint32_t &Value) {
+  In.read(reinterpret_cast<char *>(&Value), sizeof(Value));
+  return In.good();
+}
+
+bool readU64(std::istream &In, uint64_t &Value) {
+  In.read(reinterpret_cast<char *>(&Value), sizeof(Value));
+  return In.good();
+}
+
+bool readF64(std::istream &In, double &Value) {
+  In.read(reinterpret_cast<char *>(&Value), sizeof(Value));
+  return In.good();
+}
+
+bool readString(std::istream &In, std::string &Value) {
+  uint32_t Size = 0;
+  if (!readU32(In, Size))
+    return false;
+  if (Size > MaxStringBytes)
+    return false;
+  Value.resize(Size);
+  In.read(Value.data(), Size);
+  return In.good() || (Size == 0 && !In.bad());
+}
+
+} // namespace bio
+} // namespace ccprof

@@ -1,0 +1,45 @@
+//===- trace/BinaryIO.h - Shared binary stream helpers ---------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian binary (de)serialization primitives shared by every
+/// on-disk format the project writes: traces (trace/Trace.cpp) and
+/// profile artifacts (pipeline/ProfileArtifact.cpp). All formats are
+/// host-endian (little-endian on every supported target) with
+/// fixed-width fields; readers return false on truncation instead of
+/// consuming garbage, so callers can surface a clear error.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_TRACE_BINARYIO_H
+#define CCPROF_TRACE_BINARYIO_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace ccprof {
+namespace bio {
+
+/// Cap accepted by readString: refuse absurd sizes rather than
+/// attempting a gigantic allocation on a corrupt stream.
+inline constexpr uint32_t MaxStringBytes = 1u << 20;
+
+void writeU32(std::ostream &Out, uint32_t Value);
+void writeU64(std::ostream &Out, uint64_t Value);
+void writeF64(std::ostream &Out, double Value);
+void writeString(std::ostream &Out, const std::string &Value);
+
+bool readU32(std::istream &In, uint32_t &Value);
+bool readU64(std::istream &In, uint64_t &Value);
+bool readF64(std::istream &In, double &Value);
+bool readString(std::istream &In, std::string &Value);
+
+} // namespace bio
+} // namespace ccprof
+
+#endif // CCPROF_TRACE_BINARYIO_H

@@ -1,0 +1,100 @@
+//===- trace/Canonicalize.cpp - Deterministic address rebasing -----------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Canonicalize.h"
+
+#include <vector>
+
+using namespace ccprof;
+
+namespace {
+
+constexpr uint64_t PageBytes = 4096;
+/// Base of the canonical region: far from any real mapping, page- and
+/// 2 MiB-aligned.
+constexpr uint64_t RegionBase = uint64_t{1} << 40;
+/// Guard gap between consecutive canonical allocations, so an
+/// off-by-one access past one buffer cannot alias the next.
+constexpr uint64_t GuardBytes = PageBytes;
+
+uint64_t alignUp(uint64_t Value, uint64_t Alignment) {
+  return (Value + Alignment - 1) / Alignment * Alignment;
+}
+
+} // namespace
+
+Trace ccprof::canonicalizeTrace(const Trace &Input) {
+  Trace Result;
+
+  // Sites copy verbatim; registration order reproduces the ids.
+  for (const SourceSite &Site : Input.sites().sites())
+    Result.site(Site.File, Site.Line, Site.Function);
+
+  // Allocations are laid out back to back in registration order, each
+  // page-aligned with a guard gap. Registration order is part of the
+  // recorded execution, so the layout is deterministic.
+  const AllocationRegistry &Allocs = Input.allocations();
+  std::vector<uint64_t> NewBase(Allocs.size(), 0);
+  uint64_t Cursor = RegionBase;
+  for (size_t I = 0; I < Allocs.size(); ++I) {
+    const AllocationInfo &Info = Allocs.info(static_cast<AllocId>(I));
+    NewBase[I] = Cursor;
+    Result.allocations().recordAllocation(Info.Name, Cursor, Info.SizeBytes);
+    if (!Info.Live)
+      Result.allocations().recordFree(Cursor);
+    Cursor = alignUp(Cursor + Info.SizeBytes, PageBytes) + GuardBytes;
+  }
+
+  // Addresses outside every registered allocation (stack tiles, other
+  // unregistered buffers) are rebased region-relatively: the first
+  // orphan address anchors a canonical region, and every later orphan
+  // within +/-RegionWindow of an anchor keeps its exact distance from
+  // it. Relative layout — the thing set conflicts depend on — is
+  // preserved, while the anchor's absolute position (which varies with
+  // stack placement, thread identity, and ASLR) is normalized away.
+  struct OrphanRegion {
+    uint64_t Anchor;        ///< First original address seen.
+    uint64_t CanonicalBase; ///< Where the anchor lands.
+  };
+  constexpr uint64_t RegionWindow = uint64_t{1} << 30;
+  constexpr uint64_t RegionSpan = uint64_t{4} << 30;
+  std::vector<OrphanRegion> Regions;
+  // Leave room below each anchor: stacks grow down, so later orphan
+  // addresses are often smaller than the first one seen.
+  uint64_t NextRegionBase =
+      alignUp(Cursor, PageBytes) + 16 * PageBytes + RegionSpan / 2;
+
+  Result.reserve(Input.size());
+  for (const MemoryRecord &Record : Input.records()) {
+    uint64_t Addr = Record.Addr;
+    if (std::optional<AllocId> Id = Allocs.findByAddress(Addr)) {
+      Addr = NewBase[*Id] + (Addr - Allocs.info(*Id).Start);
+    } else {
+      OrphanRegion *Home = nullptr;
+      for (OrphanRegion &Region : Regions) {
+        const uint64_t Distance = Addr > Region.Anchor
+                                      ? Addr - Region.Anchor
+                                      : Region.Anchor - Addr;
+        if (Distance < RegionWindow) {
+          Home = &Region;
+          break;
+        }
+      }
+      if (!Home) {
+        Regions.push_back({Addr, NextRegionBase});
+        NextRegionBase += RegionSpan;
+        Home = &Regions.back();
+      }
+      Addr = Home->CanonicalBase + (Addr - Home->Anchor);
+    }
+    if (Record.IsWrite)
+      Result.recordStore(Record.Site, Addr, Record.SizeBytes);
+    else
+      Result.recordLoad(Record.Site, Addr, Record.SizeBytes);
+  }
+  return Result;
+}

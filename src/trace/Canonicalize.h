@@ -1,0 +1,51 @@
+//===- trace/Canonicalize.h - Deterministic address rebasing ---*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rewrites the addresses of a recorded Trace onto a deterministic
+/// synthetic virtual layout so that profiles derived from the trace are
+/// reproducible across processes, allocator states, and thread
+/// schedules. Live runs place workload buffers wherever malloc happens
+/// to, so two recordings of the same kernel rarely agree byte-for-byte;
+/// the batch pipeline needs run-over-run (and parallel-vs-sequential)
+/// artifacts to be identical for fixed seeds.
+///
+/// The rebasing preserves exactly what conflict analysis depends on:
+///
+///  * intra-allocation layout — every recorded address keeps its offset
+///    from its allocation's base, so row strides, padding, and the
+///    resulting set-mapping regularity are untouched;
+///  * page alignment — each allocation lands on a page boundary, the
+///    behaviour of glibc's mmap path for the multi-megabyte buffers the
+///    workloads use (the L1's 64 sets x 64 B span exactly one 4 KiB
+///    page, so L1 set indices are a pure function of in-page offsets);
+///  * first-touch order — addresses outside any registered allocation
+///    (stack tile buffers, unregistered temporaries) are rebased
+///    region-relatively in order of first appearance: each keeps its
+///    exact distance from the first address of its region, so the
+///    relative layout conflicts depend on survives while the absolute
+///    position (stack placement, thread identity, ASLR) is normalized.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_TRACE_CANONICALIZE_H
+#define CCPROF_TRACE_CANONICALIZE_H
+
+#include "trace/Trace.h"
+
+namespace ccprof {
+
+/// Returns a copy of \p Input with identical sites, allocation names,
+/// sizes, and reference sequence, but with every address rebased onto
+/// the deterministic canonical layout described above. Calling this on
+/// traces of the same execution recorded at different heap states
+/// yields bit-identical results.
+Trace canonicalizeTrace(const Trace &Input);
+
+} // namespace ccprof
+
+#endif // CCPROF_TRACE_CANONICALIZE_H

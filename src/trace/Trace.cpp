@@ -7,50 +7,25 @@
 
 #include "trace/Trace.h"
 
+#include "trace/BinaryIO.h"
+
+#include <algorithm>
 #include <istream>
 #include <ostream>
 
 using namespace ccprof;
+using namespace ccprof::bio;
 
 namespace {
 
 constexpr uint32_t TraceMagic = 0xCC9F07A1;
 constexpr uint32_t TraceVersion = 1;
 
-void writeU32(std::ostream &Out, uint32_t Value) {
-  Out.write(reinterpret_cast<const char *>(&Value), sizeof(Value));
-}
-
-void writeU64(std::ostream &Out, uint64_t Value) {
-  Out.write(reinterpret_cast<const char *>(&Value), sizeof(Value));
-}
-
-void writeString(std::ostream &Out, const std::string &Value) {
-  writeU32(Out, static_cast<uint32_t>(Value.size()));
-  Out.write(Value.data(), static_cast<std::streamsize>(Value.size()));
-}
-
-bool readU32(std::istream &In, uint32_t &Value) {
-  In.read(reinterpret_cast<char *>(&Value), sizeof(Value));
-  return In.good();
-}
-
-bool readU64(std::istream &In, uint64_t &Value) {
-  In.read(reinterpret_cast<char *>(&Value), sizeof(Value));
-  return In.good();
-}
-
-bool readString(std::istream &In, std::string &Value) {
-  uint32_t Size = 0;
-  if (!readU32(In, Size))
-    return false;
-  // Refuse absurd sizes rather than attempting a gigantic allocation on a
-  // corrupt stream.
-  if (Size > (1u << 20))
-    return false;
-  Value.resize(Size);
-  In.read(Value.data(), Size);
-  return In.good() || (Size == 0 && !In.bad());
+/// Sets *Error (when non-null) and returns false.
+bool fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
 }
 
 } // namespace
@@ -88,55 +63,71 @@ bool Trace::writeTo(std::ostream &Out) const {
   return Out.good();
 }
 
-bool Trace::readFrom(std::istream &In, Trace &Result) {
+bool Trace::readFrom(std::istream &In, Trace &Result, std::string *Error) {
   uint32_t Magic = 0, Version = 0;
-  if (!readU32(In, Magic) || Magic != TraceMagic)
-    return false;
-  if (!readU32(In, Version) || Version != TraceVersion)
-    return false;
+  if (!readU32(In, Magic))
+    return fail(Error, "file is empty or too short to be a ccprof trace");
+  if (Magic != TraceMagic)
+    return fail(Error, "bad magic number: not a ccprof trace file");
+  if (!readU32(In, Version))
+    return fail(Error, "truncated trace header");
+  if (Version != TraceVersion)
+    return fail(Error, "unsupported trace format version " +
+                           std::to_string(Version) + " (expected " +
+                           std::to_string(TraceVersion) + ")");
 
   Trace Loaded;
 
   uint32_t NumSites = 0;
   if (!readU32(In, NumSites))
-    return false;
+    return fail(Error, "truncated trace: missing site table");
   for (uint32_t I = 0; I < NumSites; ++I) {
     std::string File, Function;
     uint32_t Line = 0;
     if (!readString(In, File) || !readU32(In, Line) ||
         !readString(In, Function))
-      return false;
+      return fail(Error, "truncated or corrupt site table (entry " +
+                             std::to_string(I) + " of " +
+                             std::to_string(NumSites) + ")");
     Loaded.Sites.registerSite(std::move(File), Line, std::move(Function));
   }
 
   uint32_t NumAllocations = 0;
   if (!readU32(In, NumAllocations))
-    return false;
+    return fail(Error, "truncated trace: missing allocation table");
   for (uint32_t I = 0; I < NumAllocations; ++I) {
     std::string Name;
     uint64_t Start = 0, Size = 0;
     uint32_t Live = 0;
     if (!readString(In, Name) || !readU64(In, Start) || !readU64(In, Size) ||
         !readU32(In, Live))
-      return false;
+      return fail(Error, "truncated or corrupt allocation table (entry " +
+                             std::to_string(I) + " of " +
+                             std::to_string(NumAllocations) + ")");
     std::optional<AllocId> Id =
         Loaded.Allocations.recordAllocation(std::move(Name), Start, Size);
     if (!Id)
-      return false;
+      return fail(Error,
+                  "corrupt allocation table: empty or overlapping range");
     if (!Live)
       Loaded.Allocations.recordFree(Start);
   }
 
   uint64_t NumRecords = 0;
   if (!readU64(In, NumRecords))
-    return false;
-  Loaded.Records.reserve(NumRecords);
+    return fail(Error, "truncated trace: missing reference stream");
+  // Reserve conservatively: a corrupt count must not trigger a gigantic
+  // up-front allocation; growth beyond the cap falls back to push_back.
+  Loaded.Records.reserve(
+      static_cast<size_t>(std::min<uint64_t>(NumRecords, 1u << 20)));
   for (uint64_t I = 0; I < NumRecords; ++I) {
     uint32_t Site = 0, SizeAndFlags = 0;
     uint64_t Addr = 0;
     if (!readU32(In, Site) || !readU64(In, Addr) ||
         !readU32(In, SizeAndFlags))
-      return false;
+      return fail(Error, "truncated reference stream (record " +
+                             std::to_string(I) + " of " +
+                             std::to_string(NumRecords) + ")");
     Loaded.Records.push_back(
         MemoryRecord{Site, Addr, static_cast<uint16_t>(SizeAndFlags >> 1),
                      (SizeAndFlags & 1) != 0});

@@ -80,9 +80,13 @@ public:
   /// \returns false on I/O failure.
   bool writeTo(std::ostream &Out) const;
 
-  /// Deserializes a trace previously written by writeTo.
-  /// \returns false on I/O failure or format mismatch.
-  static bool readFrom(std::istream &In, Trace &Result);
+  /// Deserializes a trace previously written by writeTo. The stream must
+  /// begin with the trace magic number and a supported format version;
+  /// truncated, corrupt, or wrong-version input is rejected.
+  /// \returns false on failure, describing the cause in \p Error when
+  /// non-null.
+  static bool readFrom(std::istream &In, Trace &Result,
+                       std::string *Error = nullptr);
 
 private:
   std::vector<MemoryRecord> Records;

@@ -1,0 +1,425 @@
+//===- tests/PipelineTest.cpp - Batch pipeline tests ----------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the batch-profiling subsystem: artifact round-trips, merge
+// determinism and weighting, diff symmetry and tolerance, parallel
+// execution equivalence, and trace canonicalization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/ArtifactStore.h"
+#include "pipeline/Diff.h"
+#include "pipeline/JobRunner.h"
+#include "pipeline/Merge.h"
+#include "trace/Canonicalize.h"
+#include "workloads/Workload.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <sstream>
+
+using namespace ccprof;
+
+namespace {
+
+std::string serialize(const ProfileArtifact &Artifact) {
+  std::stringstream Stream;
+  EXPECT_TRUE(Artifact.writeTo(Stream));
+  return Stream.str();
+}
+
+JobSpec symmetrizationJob() {
+  JobSpec Job;
+  Job.WorkloadName = "Symmetrization";
+  return Job;
+}
+
+/// A hand-built artifact with one loop, for merge/diff unit tests.
+ProfileArtifact makeArtifact(const std::string &Loop, double Cf,
+                             bool Conflict, uint64_t Samples = 1000) {
+  ProfileArtifact A;
+  A.Provenance.Job = symmetrizationJob();
+  A.Result.TraceRefs = 100000;
+  A.Result.L1Misses = 20000;
+  A.Result.Samples = Samples;
+  A.Result.L1MissRatio = 0.2;
+  A.Result.NumSets = 64;
+  A.Result.RcdThreshold = 8;
+  LoopConflictReport Report;
+  Report.Location = Loop;
+  Report.Samples = Samples;
+  Report.MissContribution = 1.0;
+  Report.ContributionFactor = Cf;
+  Report.ConflictPredicted = Conflict;
+  Report.Significant = true;
+  Report.PerSetMisses.assign(64, 1);
+  A.Result.Loops.push_back(std::move(Report));
+  return A;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Artifact serialization
+//===----------------------------------------------------------------------===//
+
+TEST(ProfileArtifactTest, RoundTripIsExact) {
+  JobOutcome Outcome = runJob(symmetrizationJob());
+  ASSERT_TRUE(Outcome.ok()) << Outcome.Error;
+  const ProfileArtifact &A = Outcome.Artifact;
+  ASSERT_FALSE(A.Result.Loops.empty());
+
+  std::stringstream Stream(serialize(A));
+  ProfileArtifact Loaded;
+  std::string Error;
+  ASSERT_TRUE(ProfileArtifact::readFrom(Stream, Loaded, &Error)) << Error;
+
+  // Byte-exact round trip: the loaded artifact re-serializes to the
+  // identical capsule.
+  EXPECT_EQ(serialize(A), serialize(Loaded));
+
+  // Spot-check that the interesting payload actually traveled.
+  EXPECT_EQ(Loaded.Provenance.Job.WorkloadName, "Symmetrization");
+  ASSERT_EQ(Loaded.Result.Loops.size(), A.Result.Loops.size());
+  const LoopConflictReport &Want = A.Result.Loops.front();
+  const LoopConflictReport &Got = Loaded.Result.Loops.front();
+  EXPECT_EQ(Got.Location, Want.Location);
+  EXPECT_EQ(Got.Samples, Want.Samples);
+  EXPECT_EQ(Got.ConflictPredicted, Want.ConflictPredicted);
+  EXPECT_EQ(Got.Rcd.buckets(), Want.Rcd.buckets());
+  EXPECT_EQ(Got.PerSetMisses, Want.PerSetMisses);
+  EXPECT_EQ(Got.DataStructures.size(), Want.DataStructures.size());
+}
+
+TEST(ProfileArtifactTest, RejectsGarbage) {
+  std::stringstream Stream("definitely not an artifact");
+  ProfileArtifact Loaded;
+  std::string Error;
+  EXPECT_FALSE(ProfileArtifact::readFrom(Stream, Loaded, &Error));
+  EXPECT_NE(Error.find("magic"), std::string::npos) << Error;
+}
+
+TEST(ProfileArtifactTest, RejectsWrongVersion) {
+  std::string Bytes = serialize(makeArtifact("symm.cpp:12", 0.7, true));
+  Bytes[4] = 42; // Version field lives at bytes 4..7.
+  std::stringstream Stream(Bytes);
+  ProfileArtifact Loaded;
+  std::string Error;
+  EXPECT_FALSE(ProfileArtifact::readFrom(Stream, Loaded, &Error));
+  EXPECT_NE(Error.find("version 42"), std::string::npos) << Error;
+}
+
+TEST(ProfileArtifactTest, RejectsTruncation) {
+  std::string Bytes = serialize(makeArtifact("symm.cpp:12", 0.7, true));
+  for (size_t Keep : {size_t{6}, Bytes.size() / 2, Bytes.size() - 1}) {
+    std::stringstream Stream(Bytes.substr(0, Keep));
+    ProfileArtifact Loaded;
+    std::string Error;
+    EXPECT_FALSE(ProfileArtifact::readFrom(Stream, Loaded, &Error))
+        << "accepted a " << Keep << "-byte prefix";
+    EXPECT_FALSE(Error.empty());
+  }
+}
+
+TEST(ArtifactStoreTest, SaveThenListThenLoad) {
+  const std::string Dir =
+      (std::filesystem::path(::testing::TempDir()) / "ccprof-store-test")
+          .string();
+  std::filesystem::remove_all(Dir);
+  ArtifactStore Store(Dir);
+  std::string Error;
+  ASSERT_TRUE(Store.ensureExists(&Error)) << Error;
+
+  ProfileArtifact A = makeArtifact("symm.cpp:12", 0.7, true);
+  std::string Path = Store.save(A, &Error);
+  ASSERT_FALSE(Path.empty()) << Error;
+
+  std::vector<std::string> Listed = Store.list();
+  ASSERT_EQ(Listed.size(), 1u);
+  EXPECT_EQ(Listed[0], Path);
+
+  ProfileArtifact Loaded;
+  ASSERT_TRUE(ProfileArtifact::loadFromFile(Path, Loaded, &Error)) << Error;
+  EXPECT_EQ(serialize(A), serialize(Loaded));
+  std::filesystem::remove_all(Dir);
+}
+
+//===----------------------------------------------------------------------===//
+// Merge
+//===----------------------------------------------------------------------===//
+
+TEST(MergeTest, MergeOfOneIsIdentity) {
+  JobOutcome Outcome = runJob(symmetrizationJob());
+  ASSERT_TRUE(Outcome.ok());
+  MergeResult Merged = mergeArtifacts({&Outcome.Artifact, 1});
+  ASSERT_TRUE(Merged.ok()) << Merged.Error;
+  EXPECT_EQ(serialize(Outcome.Artifact), serialize(Merged.Merged));
+}
+
+TEST(MergeTest, MergeOfIdenticalRunsScalesEvidenceNotVerdicts) {
+  JobOutcome Outcome = runJob(symmetrizationJob());
+  ASSERT_TRUE(Outcome.ok());
+  const ProfileArtifact &A = Outcome.Artifact;
+  std::vector<ProfileArtifact> Three = {A, A, A};
+
+  MergeResult Merged = mergeArtifacts(Three);
+  ASSERT_TRUE(Merged.ok()) << Merged.Error;
+  const ProfileResult &M = Merged.Merged.Result;
+
+  EXPECT_EQ(Merged.Merged.Provenance.MergedRuns, 3u);
+  EXPECT_EQ(M.TraceRefs, 3 * A.Result.TraceRefs);
+  EXPECT_EQ(M.L1Misses, 3 * A.Result.L1Misses);
+  EXPECT_EQ(M.Samples, 3 * A.Result.Samples);
+  EXPECT_DOUBLE_EQ(M.L1MissRatio, A.Result.L1MissRatio);
+
+  ASSERT_EQ(M.Loops.size(), A.Result.Loops.size());
+  for (size_t I = 0; I < M.Loops.size(); ++I) {
+    const LoopConflictReport &Want = A.Result.Loops[I];
+    const LoopConflictReport &Got = M.Loops[I];
+    EXPECT_EQ(Got.Location, Want.Location);
+    EXPECT_EQ(Got.Samples, 3 * Want.Samples);
+    // Sample-count-weighted derived statistics are unchanged when every
+    // input is the same draw.
+    EXPECT_DOUBLE_EQ(Got.ContributionFactor, Want.ContributionFactor);
+    EXPECT_DOUBLE_EQ(Got.MissContribution, Want.MissContribution);
+    EXPECT_EQ(Got.MedianRcd, Want.MedianRcd);
+    EXPECT_EQ(Got.ConflictPredicted, Want.ConflictPredicted);
+    EXPECT_EQ(Got.SetsUtilized, Want.SetsUtilized);
+    EXPECT_EQ(Got.Rcd.total(), 3 * Want.Rcd.total());
+  }
+}
+
+TEST(MergeTest, MergeIsDeterministic) {
+  JobSpec Job = symmetrizationJob();
+  JobOutcome First = runJob(Job);
+  Job.Repeat = 1;
+  JobOutcome Second = runJob(Job);
+  ASSERT_TRUE(First.ok() && Second.ok());
+
+  std::vector<ProfileArtifact> Inputs = {First.Artifact, Second.Artifact};
+  MergeResult MergedA = mergeArtifacts(Inputs);
+  MergeResult MergedB = mergeArtifacts(Inputs);
+  ASSERT_TRUE(MergedA.ok() && MergedB.ok());
+  EXPECT_EQ(serialize(MergedA.Merged), serialize(MergedB.Merged));
+}
+
+TEST(MergeTest, RejectsIncompatibleConfigurations) {
+  ProfileArtifact A = makeArtifact("symm.cpp:12", 0.7, true);
+  ProfileArtifact B = A;
+  B.Provenance.Job.WorkloadName = "NW";
+  std::vector<ProfileArtifact> Inputs = {A, B};
+  MergeResult Merged = mergeArtifacts(Inputs);
+  EXPECT_FALSE(Merged.ok());
+  EXPECT_NE(Merged.Error.find("different configurations"),
+            std::string::npos)
+      << Merged.Error;
+}
+
+TEST(MergeTest, RepeatsDifferOnlyInSeedAreCompatible) {
+  ProfileArtifact A = makeArtifact("symm.cpp:12", 0.7, true);
+  ProfileArtifact B = A;
+  B.Provenance.Job.Repeat = 5;
+  EXPECT_TRUE(mergeCompatible(A, B));
+}
+
+//===----------------------------------------------------------------------===//
+// Diff
+//===----------------------------------------------------------------------===//
+
+TEST(DiffTest, SelfDiffIsUnchanged) {
+  ProfileArtifact A = makeArtifact("symm.cpp:12", 0.7, true);
+  DiffResult Diff = diffArtifacts(A, A);
+  EXPECT_EQ(Diff.Changed, 0u);
+  EXPECT_EQ(Diff.Regressions, 0u);
+  ASSERT_EQ(Diff.Loops.size(), 1u);
+  EXPECT_EQ(Diff.Loops[0].Change, LoopChange::Unchanged);
+}
+
+TEST(DiffTest, FlagsRegressionsAndIsSymmetric) {
+  ProfileArtifact Clean = makeArtifact("symm.cpp:12", 0.1, false);
+  ProfileArtifact Bad = makeArtifact("symm.cpp:12", 0.9, true);
+
+  DiffResult Forward = diffArtifacts(Clean, Bad);
+  EXPECT_EQ(Forward.Regressions, 1u);
+  EXPECT_EQ(Forward.Changed, 1u);
+  ASSERT_EQ(Forward.Loops.size(), 1u);
+  EXPECT_EQ(Forward.Loops[0].Change, LoopChange::BecameConflict);
+
+  // Swapping the inputs mirrors the direction and keeps Changed.
+  DiffResult Backward = diffArtifacts(Bad, Clean);
+  EXPECT_EQ(Backward.Regressions, 0u);
+  EXPECT_EQ(Backward.Changed, 1u);
+  ASSERT_EQ(Backward.Loops.size(), 1u);
+  EXPECT_EQ(Backward.Loops[0].Change, LoopChange::BecameClean);
+}
+
+TEST(DiffTest, ToleranceGatesCfDrift) {
+  ProfileArtifact A = makeArtifact("symm.cpp:12", 0.40, true);
+  ProfileArtifact B = makeArtifact("symm.cpp:12", 0.44, true);
+
+  DiffOptions Loose;
+  Loose.CfTolerance = 0.05;
+  EXPECT_EQ(diffArtifacts(A, B, Loose).Changed, 0u);
+
+  DiffOptions Tight;
+  Tight.CfTolerance = 0.01;
+  DiffResult Diff = diffArtifacts(A, B, Tight);
+  ASSERT_EQ(Diff.Loops.size(), 1u);
+  EXPECT_EQ(Diff.Loops[0].Change, LoopChange::CfDrift);
+  EXPECT_EQ(Diff.Regressions, 0u);
+}
+
+TEST(DiffTest, ReportsAddedAndRemovedLoops) {
+  ProfileArtifact A = makeArtifact("symm.cpp:12", 0.7, true);
+  ProfileArtifact B = makeArtifact("other.cpp:9", 0.2, false);
+  DiffResult Diff = diffArtifacts(A, B);
+  ASSERT_EQ(Diff.Loops.size(), 2u);
+  EXPECT_EQ(Diff.Changed, 2u);
+  size_t OnlyA = 0, OnlyB = 0;
+  for (const LoopDiff &Row : Diff.Loops) {
+    OnlyA += Row.Change == LoopChange::OnlyInA;
+    OnlyB += Row.Change == LoopChange::OnlyInB;
+  }
+  EXPECT_EQ(OnlyA, 1u);
+  EXPECT_EQ(OnlyB, 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Job matrix and runner
+//===----------------------------------------------------------------------===//
+
+TEST(JobSpecTest, MatrixExpansionIsCompleteAndKeysAreUnique) {
+  BatchMatrix Matrix;
+  Matrix.Workloads = {"Symmetrization", "ADI"};
+  Matrix.Periods = {171, 1212};
+  Matrix.Levels = {ProfileLevel::L1, ProfileLevel::L2};
+  Matrix.Repeats = 2;
+
+  std::vector<JobSpec> Jobs = expandMatrix(Matrix);
+  EXPECT_EQ(Jobs.size(), 2u * 2u * 2u * 2u);
+  std::set<std::string> Keys;
+  for (const JobSpec &Job : Jobs)
+    Keys.insert(Job.key());
+  EXPECT_EQ(Keys.size(), Jobs.size()) << "job keys must be unique";
+}
+
+TEST(JobSpecTest, ExactMatrixIgnoresPeriodSweep) {
+  BatchMatrix Matrix;
+  Matrix.Workloads = {"Symmetrization"};
+  Matrix.Periods = {171, 1212, 9999};
+  Matrix.Exact = true;
+  EXPECT_EQ(expandMatrix(Matrix).size(), 1u);
+}
+
+TEST(JobRunnerTest, ReportsUnknownWorkload) {
+  JobSpec Job;
+  Job.WorkloadName = "NoSuchWorkload";
+  JobOutcome Outcome = runJob(Job);
+  EXPECT_FALSE(Outcome.ok());
+  EXPECT_NE(Outcome.Error.find("NoSuchWorkload"), std::string::npos);
+}
+
+TEST(JobRunnerTest, ParallelOutputIsByteIdenticalToSequential) {
+  BatchMatrix Matrix;
+  Matrix.Workloads = {"Symmetrization", "NW"};
+  Matrix.Repeats = 2;
+  std::vector<JobSpec> Jobs = expandMatrix(Matrix);
+  ASSERT_EQ(Jobs.size(), 4u);
+
+  std::vector<JobOutcome> Sequential = runJobs(Jobs, 1);
+  std::vector<JobOutcome> Parallel = runJobs(Jobs, 4);
+  ASSERT_EQ(Sequential.size(), Parallel.size());
+  for (size_t I = 0; I < Sequential.size(); ++I) {
+    ASSERT_TRUE(Sequential[I].ok()) << Sequential[I].Error;
+    ASSERT_TRUE(Parallel[I].ok()) << Parallel[I].Error;
+    EXPECT_EQ(Sequential[I].Job.key(), Parallel[I].Job.key());
+    EXPECT_EQ(serialize(Sequential[I].Artifact),
+              serialize(Parallel[I].Artifact))
+        << "job " << Jobs[I].key()
+        << " produced different bytes under parallel execution";
+  }
+}
+
+TEST(JobRunnerTest, ProgressCallbackSeesEveryJob) {
+  BatchMatrix Matrix;
+  Matrix.Workloads = {"Symmetrization"};
+  Matrix.Repeats = 3;
+  std::vector<JobSpec> Jobs = expandMatrix(Matrix);
+  size_t Calls = 0, MaxDone = 0;
+  runJobs(Jobs, 2, 0, [&](const JobOutcome &, size_t Done) {
+    ++Calls;
+    MaxDone = std::max(MaxDone, Done);
+  });
+  EXPECT_EQ(Calls, Jobs.size());
+  EXPECT_EQ(MaxDone, Jobs.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Canonicalization
+//===----------------------------------------------------------------------===//
+
+TEST(CanonicalizeTest, EqualLayoutsFromDifferentBasesCanonicalizeEqually) {
+  // The same execution recorded twice with every buffer at a different
+  // absolute address (different allocator state / thread stack) must
+  // canonicalize to identical traces.
+  auto Record = [](uint64_t HeapBase, uint64_t StackBase) {
+    Trace T;
+    SiteId Load = T.site("a.cpp", 10, "kernel");
+    SiteId Spill = T.site("a.cpp", 11, "kernel");
+    T.allocations().recordAllocation("A[]", HeapBase, 4096);
+    for (uint64_t I = 0; I < 16; ++I) {
+      T.recordLoad(Load, HeapBase + I * 64, 8);
+      T.recordStore(Spill, StackBase - I * 8, 8); // stack grows down
+    }
+    return T;
+  };
+
+  Trace First = Record(0x7f1234567010, 0x7ffc0003abc8);
+  Trace Second = Record(0x561200aaa440, 0x7f9988112374);
+
+  std::stringstream A, B;
+  ASSERT_TRUE(canonicalizeTrace(First).writeTo(A));
+  ASSERT_TRUE(canonicalizeTrace(Second).writeTo(B));
+  EXPECT_EQ(A.str(), B.str());
+}
+
+TEST(CanonicalizeTest, PreservesIntraAllocationLayoutAndMetadata) {
+  Trace T;
+  SiteId Load = T.site("a.cpp", 10, "kernel");
+  const uint64_t Base = 0x7f0000000123;
+  T.allocations().recordAllocation("A[]", Base, 8192);
+  T.recordLoad(Load, Base + 100, 8);
+  T.recordLoad(Load, Base + 4196, 8);
+
+  Trace Canon = canonicalizeTrace(T);
+  ASSERT_EQ(Canon.size(), 2u);
+  // Offsets from the allocation base survive exactly.
+  EXPECT_EQ(Canon.records()[1].Addr - Canon.records()[0].Addr, 4096u);
+  // The canonical base is page-aligned.
+  auto Id = Canon.allocations().findByAddress(Canon.records()[0].Addr);
+  ASSERT_TRUE(Id.has_value());
+  EXPECT_EQ(Canon.allocations().info(*Id).Start % 4096, 0u);
+  EXPECT_EQ(Canon.allocations().info(*Id).Name, "A[]");
+  EXPECT_EQ(Canon.sites().size(), T.sites().size());
+}
+
+TEST(CanonicalizeTest, IsIdempotent) {
+  JobSpec Job = symmetrizationJob();
+  std::unique_ptr<Workload> W = makeWorkloadByName(Job.WorkloadName);
+  Trace Recorded;
+  W->run(WorkloadVariant::Original, &Recorded);
+  Trace Once = canonicalizeTrace(Recorded);
+  Trace Twice = canonicalizeTrace(Once);
+  std::stringstream A, B;
+  ASSERT_TRUE(Once.writeTo(A));
+  ASSERT_TRUE(Twice.writeTo(B));
+  EXPECT_EQ(A.str(), B.str());
+}

@@ -99,7 +99,32 @@ TEST(TraceSerializationTest, RoundTripWithFreedAllocations) {
 TEST(TraceSerializationTest, RejectsGarbage) {
   std::stringstream Stream("this is not a trace file");
   Trace Loaded;
-  EXPECT_FALSE(Trace::readFrom(Stream, Loaded));
+  std::string Error;
+  EXPECT_FALSE(Trace::readFrom(Stream, Loaded, &Error));
+  EXPECT_NE(Error.find("magic"), std::string::npos) << Error;
+}
+
+TEST(TraceSerializationTest, RejectsEmptyStreamWithClearError) {
+  std::stringstream Stream;
+  Trace Loaded;
+  std::string Error;
+  EXPECT_FALSE(Trace::readFrom(Stream, Loaded, &Error));
+  EXPECT_NE(Error.find("empty or too short"), std::string::npos) << Error;
+}
+
+TEST(TraceSerializationTest, RejectsWrongVersionWithClearError) {
+  Trace T;
+  T.recordLoad(T.site("a.cpp", 1, ""), 0x1234, 4);
+  std::stringstream Stream;
+  ASSERT_TRUE(T.writeTo(Stream));
+  std::string Bytes = Stream.str();
+  // Bump the version field (bytes 4..7) to an unsupported value.
+  Bytes[4] = 99;
+  std::stringstream Tampered(Bytes);
+  Trace Loaded;
+  std::string Error;
+  EXPECT_FALSE(Trace::readFrom(Tampered, Loaded, &Error));
+  EXPECT_NE(Error.find("version 99"), std::string::npos) << Error;
 }
 
 TEST(TraceSerializationTest, RejectsTruncatedStream) {

@@ -17,16 +17,31 @@
 //   ccprof trace <workload> <file> [--optimized]
 //   ccprof analyze <file> <workload> [profile options]
 //
+// plus the batch-profiling pipeline over persistent artifacts:
+//
+//   ccprof batch <workloads|all> [--jobs N] [--out DIR] [--periods A,B]
+//                [--levels l1,l2] [--mappings M,N] [--variants V,W]
+//                [--repeats R] [--stamp] [profile options]
+//   ccprof merge <artifact...> [--out FILE]
+//   ccprof diff <artifact-a> <artifact-b> [--tolerance X] [--check]
+//   ccprof show <artifact>
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/Profiler.h"
 #include "core/Report.h"
+#include "pipeline/ArtifactStore.h"
+#include "pipeline/Diff.h"
+#include "pipeline/JobRunner.h"
+#include "pipeline/Merge.h"
 #include "support/Table.h"
 #include "workloads/Workload.h"
 
+#include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -43,6 +58,12 @@ void printUsage(std::ostream &Out) {
          "  compare <workload>        profile original and optimized builds\n"
          "  trace <workload> <file>   record a memory trace to a file\n"
          "  analyze <file> <workload> profile a previously recorded trace\n"
+         "  batch <workloads|all>     run a job matrix, write one artifact "
+         "per job\n"
+         "  merge <artifact...>       aggregate artifacts of repeated runs\n"
+         "  diff <a> <b>              compare two artifacts, flag "
+         "regressions\n"
+         "  show <artifact>           render a stored artifact's report\n"
          "\n"
          "profile options:\n"
          "  --optimized               use the padded/reordered build\n"
@@ -52,7 +73,26 @@ void printUsage(std::ostream &Out) {
          "  --threshold N             short-RCD threshold (default 8)\n"
          "  --level L                 l1 (default) | l2\n"
          "  --mapping M               identity | firsttouch | shuffled\n"
-         "  --csv                     emit the loop table as CSV\n";
+         "  --csv                     emit the loop table as CSV\n"
+         "\n"
+         "batch options:\n"
+         "  --jobs N                  worker threads (default 1)\n"
+         "  --out DIR                 artifact directory (default "
+         "ccprof-artifacts)\n"
+         "  --periods A,B,..          sampling periods to sweep\n"
+         "  --levels l1,l2            cache levels to sweep\n"
+         "  --mappings M,N,..         page mappings to sweep\n"
+         "  --variants orig,opt       workload variants to sweep\n"
+         "  --repeats R               repeated runs per config (seeds "
+         "R-perturbed)\n"
+         "  --stamp                   record wall-clock provenance "
+         "timestamps\n"
+         "\n"
+         "merge/diff options:\n"
+         "  --out FILE                write the merged artifact here\n"
+         "  --tolerance X             cf drift tolerance (default 0.05)\n"
+         "  --check                   exit nonzero when the diff finds "
+         "regressions\n";
 }
 
 struct CliOptions {
@@ -252,13 +292,345 @@ int commandAnalyze(const std::string &Path, const std::string &Name,
     return 1;
   }
   std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    std::cerr << "error: cannot open " << Path << '\n';
+    return 1;
+  }
   Trace T;
-  if (!In || !Trace::readFrom(In, T)) {
-    std::cerr << "error: cannot read trace from " << Path << '\n';
+  std::string Reason;
+  if (!Trace::readFrom(In, T, &Reason)) {
+    std::cerr << "error: cannot read trace from " << Path << ": " << Reason
+              << '\n';
     return 1;
   }
   emitResult(runPipeline(*W, T, Options), W->name() + " (from trace)",
              Options);
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Batch pipeline commands
+//===----------------------------------------------------------------------===//
+
+std::vector<std::string> splitList(const std::string &Value) {
+  std::vector<std::string> Parts;
+  std::stringstream Stream(Value);
+  std::string Part;
+  while (std::getline(Stream, Part, ','))
+    if (!Part.empty())
+      Parts.push_back(Part);
+  return Parts;
+}
+
+struct BatchCliOptions {
+  BatchMatrix Matrix;
+  unsigned Jobs = 1;
+  std::string OutDir = "ccprof-artifacts";
+  bool Stamp = false;
+  bool Ok = true;
+};
+
+BatchCliOptions parseBatchOptions(const std::vector<std::string> &Args) {
+  BatchCliOptions Options;
+  auto Fail = [&Options](const std::string &Message) {
+    std::cerr << "error: " << Message << '\n';
+    Options.Ok = false;
+  };
+
+  for (size_t I = 0; I < Args.size() && Options.Ok; ++I) {
+    const std::string &Arg = Args[I];
+    auto NextValue = [&]() -> std::string {
+      if (I + 1 >= Args.size()) {
+        Fail("missing value for " + Arg);
+        return "";
+      }
+      return Args[++I];
+    };
+    auto ParsePositive = [&](const std::string &Value, const char *What,
+                             auto &Slot) {
+      long Parsed = std::atol(Value.c_str());
+      if (Parsed <= 0)
+        Fail(std::string(What) + " must be a positive integer");
+      else
+        Slot = static_cast<std::remove_reference_t<decltype(Slot)>>(Parsed);
+    };
+
+    if (Arg == "--jobs") {
+      std::string Value = NextValue();
+      if (Options.Ok)
+        ParsePositive(Value, "--jobs", Options.Jobs);
+    } else if (Arg == "--out") {
+      std::string Value = NextValue();
+      if (Options.Ok)
+        Options.OutDir = Value;
+    } else if (Arg == "--repeats") {
+      std::string Value = NextValue();
+      if (Options.Ok)
+        ParsePositive(Value, "--repeats", Options.Matrix.Repeats);
+    } else if (Arg == "--threshold") {
+      std::string Value = NextValue();
+      if (Options.Ok)
+        ParsePositive(Value, "--threshold", Options.Matrix.RcdThreshold);
+    } else if (Arg == "--periods" || Arg == "--period") {
+      std::string Value = NextValue();
+      if (!Options.Ok)
+        continue;
+      Options.Matrix.Periods.clear();
+      for (const std::string &Part : splitList(Value)) {
+        uint64_t Period = 0;
+        ParsePositive(Part, "--periods", Period);
+        if (!Options.Ok)
+          break;
+        Options.Matrix.Periods.push_back(Period);
+      }
+      if (Options.Ok && Options.Matrix.Periods.empty())
+        Fail("--periods needs at least one value");
+    } else if (Arg == "--levels" || Arg == "--level") {
+      std::string Value = NextValue();
+      if (!Options.Ok)
+        continue;
+      Options.Matrix.Levels.clear();
+      for (const std::string &Part : splitList(Value)) {
+        if (Part == "l1")
+          Options.Matrix.Levels.push_back(ProfileLevel::L1);
+        else if (Part == "l2")
+          Options.Matrix.Levels.push_back(ProfileLevel::L2);
+        else
+          Fail("unknown level '" + Part + "'");
+      }
+      if (Options.Ok && Options.Matrix.Levels.empty())
+        Fail("--levels needs at least one value");
+    } else if (Arg == "--mappings" || Arg == "--mapping") {
+      std::string Value = NextValue();
+      if (!Options.Ok)
+        continue;
+      Options.Matrix.Mappings.clear();
+      for (const std::string &Part : splitList(Value)) {
+        if (Part == "identity")
+          Options.Matrix.Mappings.push_back(PagePolicy::Identity);
+        else if (Part == "firsttouch")
+          Options.Matrix.Mappings.push_back(PagePolicy::FirstTouch);
+        else if (Part == "shuffled")
+          Options.Matrix.Mappings.push_back(PagePolicy::Shuffled);
+        else
+          Fail("unknown mapping '" + Part + "'");
+      }
+      if (Options.Ok && Options.Matrix.Mappings.empty())
+        Fail("--mappings needs at least one value");
+    } else if (Arg == "--variants") {
+      std::string Value = NextValue();
+      if (!Options.Ok)
+        continue;
+      Options.Matrix.Variants.clear();
+      for (const std::string &Part : splitList(Value)) {
+        if (Part == "orig" || Part == "original")
+          Options.Matrix.Variants.push_back(WorkloadVariant::Original);
+        else if (Part == "opt" || Part == "optimized")
+          Options.Matrix.Variants.push_back(WorkloadVariant::Optimized);
+        else
+          Fail("unknown variant '" + Part + "'");
+      }
+      if (Options.Ok && Options.Matrix.Variants.empty())
+        Fail("--variants needs at least one value");
+    } else if (Arg == "--sampler") {
+      std::string Value = NextValue();
+      if (Value == "bursty")
+        Options.Matrix.Sampler = SamplingKind::Bursty;
+      else if (Value == "jitter")
+        Options.Matrix.Sampler = SamplingKind::UniformJitter;
+      else if (Value == "fixed")
+        Options.Matrix.Sampler = SamplingKind::Fixed;
+      else if (Options.Ok)
+        Fail("unknown sampler '" + Value + "'");
+    } else if (Arg == "--exact") {
+      Options.Matrix.Exact = true;
+    } else if (Arg == "--stamp") {
+      Options.Stamp = true;
+    } else {
+      Fail("unknown batch option '" + Arg + "'");
+    }
+  }
+  return Options;
+}
+
+int commandBatch(const std::string &Selection,
+                 const std::vector<std::string> &Args) {
+  BatchCliOptions Options = parseBatchOptions(Args);
+  if (!Options.Ok)
+    return 1;
+
+  if (Selection == "all") {
+    Options.Matrix.Workloads = defaultBatchWorkloads();
+  } else {
+    Options.Matrix.Workloads = splitList(Selection);
+    for (const std::string &Name : Options.Matrix.Workloads) {
+      if (!makeWorkloadByName(Name)) {
+        std::cerr << "error: unknown workload '" << Name
+                  << "' (try: ccprof list)\n";
+        return 1;
+      }
+    }
+  }
+  if (Options.Matrix.Workloads.empty()) {
+    std::cerr << "error: no workloads selected\n";
+    return 1;
+  }
+
+  std::vector<JobSpec> Jobs = expandMatrix(Options.Matrix);
+  ArtifactStore Store(Options.OutDir);
+  std::string Error;
+  if (!Store.ensureExists(&Error)) {
+    std::cerr << "error: " << Error << '\n';
+    return 1;
+  }
+
+  const uint64_t Timestamp =
+      Options.Stamp
+          ? static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count())
+          : 0;
+
+  std::cout << "batch: " << Jobs.size() << " job(s) on " << Options.Jobs
+            << " worker thread(s) -> " << Options.OutDir << '\n';
+
+  size_t Failures = 0;
+  std::vector<JobOutcome> Outcomes = runJobs(
+      Jobs, Options.Jobs, Timestamp,
+      [&](const JobOutcome &Outcome, size_t Done) {
+        if (Outcome.ok())
+          std::cout << "  [" << Done << "/" << Jobs.size() << "] "
+                    << Outcome.Job.key() << '\n';
+        else
+          std::cout << "  [" << Done << "/" << Jobs.size() << "] FAILED "
+                    << Outcome.Job.key() << ": " << Outcome.Error << '\n';
+      });
+
+  // Persist sequentially in job order: output listing and directory
+  // contents are deterministic regardless of completion order.
+  for (const JobOutcome &Outcome : Outcomes) {
+    if (!Outcome.ok()) {
+      ++Failures;
+      continue;
+    }
+    if (Store.save(Outcome.Artifact, &Error).empty()) {
+      std::cerr << "error: " << Error << '\n';
+      ++Failures;
+    }
+  }
+
+  std::cout << "batch: wrote " << (Outcomes.size() - Failures)
+            << " artifact(s)";
+  if (Failures)
+    std::cout << ", " << Failures << " job(s) failed";
+  std::cout << '\n';
+  return Failures == 0 ? 0 : 1;
+}
+
+int commandMerge(const std::vector<std::string> &Args) {
+  std::vector<std::string> Paths;
+  std::string OutPath;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (Args[I] == "--out") {
+      if (I + 1 >= Args.size()) {
+        std::cerr << "error: missing value for --out\n";
+        return 1;
+      }
+      OutPath = Args[++I];
+    } else {
+      Paths.push_back(Args[I]);
+    }
+  }
+  if (Paths.empty()) {
+    std::cerr << "error: merge needs at least one artifact\n";
+    return 1;
+  }
+
+  std::vector<ProfileArtifact> Artifacts(Paths.size());
+  for (size_t I = 0; I < Paths.size(); ++I) {
+    std::string Error;
+    if (!ProfileArtifact::loadFromFile(Paths[I], Artifacts[I], &Error)) {
+      std::cerr << "error: " << Error << '\n';
+      return 1;
+    }
+  }
+
+  MergeResult Merged = mergeArtifacts(Artifacts);
+  if (!Merged.ok()) {
+    std::cerr << "error: " << Merged.Error << '\n';
+    return 1;
+  }
+
+  if (!OutPath.empty()) {
+    std::string Error;
+    if (!Merged.Merged.saveToFile(OutPath, &Error)) {
+      std::cerr << "error: " << Error << '\n';
+      return 1;
+    }
+    std::cout << "merged " << Artifacts.size() << " artifact(s) ("
+              << Merged.Merged.Provenance.MergedRuns << " run(s)) -> "
+              << OutPath << '\n';
+    return 0;
+  }
+  std::cout << renderProfileReport(
+      Merged.Merged.Result,
+      Merged.Merged.Provenance.Job.WorkloadName + " (merge of " +
+          std::to_string(Merged.Merged.Provenance.MergedRuns) + " runs)");
+  return 0;
+}
+
+int commandDiff(const std::vector<std::string> &Args) {
+  std::vector<std::string> Paths;
+  DiffOptions Options;
+  bool Check = false;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (Args[I] == "--tolerance") {
+      if (I + 1 >= Args.size()) {
+        std::cerr << "error: missing value for --tolerance\n";
+        return 1;
+      }
+      Options.CfTolerance = std::atof(Args[++I].c_str());
+      if (Options.CfTolerance < 0) {
+        std::cerr << "error: --tolerance must be non-negative\n";
+        return 1;
+      }
+    } else if (Args[I] == "--check") {
+      Check = true;
+    } else {
+      Paths.push_back(Args[I]);
+    }
+  }
+  if (Paths.size() != 2) {
+    std::cerr << "error: diff needs exactly two artifacts\n";
+    return 1;
+  }
+
+  ProfileArtifact A, B;
+  std::string Error;
+  if (!ProfileArtifact::loadFromFile(Paths[0], A, &Error) ||
+      !ProfileArtifact::loadFromFile(Paths[1], B, &Error)) {
+    std::cerr << "error: " << Error << '\n';
+    return 1;
+  }
+
+  DiffResult Diff = diffArtifacts(A, B, Options);
+  std::cout << renderDiff(Diff, Paths[0], Paths[1]);
+  return Check && Diff.Regressions > 0 ? 2 : 0;
+}
+
+int commandShow(const std::string &Path) {
+  ProfileArtifact Artifact;
+  std::string Error;
+  if (!ProfileArtifact::loadFromFile(Path, Artifact, &Error)) {
+    std::cerr << "error: " << Error << '\n';
+    return 1;
+  }
+  const JobSpec &Job = Artifact.Provenance.Job;
+  std::cout << "artifact: " << Job.key() << " (format v" << ArtifactVersion
+            << ", " << Artifact.Provenance.MergedRuns << " run(s), tool "
+            << Artifact.Provenance.Tool << ")\n";
+  std::cout << renderProfileReport(Artifact.Result, Job.WorkloadName);
   return 0;
 }
 
@@ -287,6 +659,32 @@ int main(int Argc, char **Argv) {
       return 1;
     return Command == "profile" ? commandProfile(Args[1], Options)
                                 : commandCompare(Args[1], Options);
+  }
+
+  if (Command == "batch") {
+    if (Args.size() < 2) {
+      std::cerr << "error: batch needs a workload selection "
+                   "(names or 'all')\n";
+      return 1;
+    }
+    return commandBatch(
+        Args[1], std::vector<std::string>(Args.begin() + 2, Args.end()));
+  }
+
+  if (Command == "merge")
+    return commandMerge(
+        std::vector<std::string>(Args.begin() + 1, Args.end()));
+
+  if (Command == "diff")
+    return commandDiff(
+        std::vector<std::string>(Args.begin() + 1, Args.end()));
+
+  if (Command == "show") {
+    if (Args.size() != 2) {
+      std::cerr << "error: show needs one artifact path\n";
+      return 1;
+    }
+    return commandShow(Args[1]);
   }
 
   if (Command == "trace" || Command == "analyze") {
