@@ -1,0 +1,232 @@
+//===- bench/sim_throughput.cpp - Simulation engine throughput ------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Tracks the two perf levers of the single-pass simulation engine:
+//
+//  1. refs/sec of the SoA Cache hot path against the preserved scalar
+//     ReferenceCache on the same mixed strided/random reference stream
+//     (identical behaviour is enforced separately by
+//     tests/CacheSoaExactnessTest.cpp);
+//
+//  2. jobs/sec of a sampling-period-sweep batch — the paper-style
+//     evaluation matrix — with the shared-trace engine + miss-stream
+//     cache ON (runJobsShared) vs OFF (naive runJobs), verifying along
+//     the way that both paths produce byte-identical artifacts.
+//
+// Emits machine-readable BENCH_sim_throughput.json in the working
+// directory so the perf trajectory is comparable across PRs; exits
+// nonzero if the byte-identity check fails. `--smoke` shrinks the
+// workload for CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/JobRunner.h"
+#include "sim/MachineConfig.h"
+#include "sim/ReferenceCache.h"
+#include "support/Rng.h"
+#include "support/Table.h"
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+using namespace ccprof;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point Start) {
+  return std::chrono::duration<double>(Clock::now() - Start).count();
+}
+
+/// Mixed reference stream: strided array sweeps (the workloads' common
+/// pattern) interleaved with random pointers, plus stores.
+std::vector<std::pair<uint64_t, bool>> makeStream(size_t NumRefs) {
+  std::vector<std::pair<uint64_t, bool>> Refs;
+  Refs.reserve(NumRefs);
+  Xoshiro256 Rng(0xbe9c'47a1);
+  uint64_t Stride = 0;
+  for (size_t I = 0; I < NumRefs; ++I) {
+    uint64_t Addr;
+    if (I % 4 != 0) {
+      Stride += 24; // walks sets, revisits lines
+      Addr = Stride % (1 << 20);
+    } else {
+      Addr = Rng.nextBounded(1 << 20);
+    }
+    Refs.emplace_back(Addr, Rng.nextBounded(8) < 3);
+  }
+  return Refs;
+}
+
+template <typename CacheT>
+double refsPerSec(CacheT &C,
+                  const std::vector<std::pair<uint64_t, bool>> &Refs,
+                  uint64_t &HitSink) {
+  Clock::time_point Start = Clock::now();
+  for (const auto &[Addr, IsWrite] : Refs)
+    HitSink += C.access(Addr, IsWrite).Hit;
+  double Secs = secondsSince(Start);
+  return static_cast<double>(Refs.size()) / Secs;
+}
+
+std::string serializeAll(const std::vector<JobOutcome> &Outcomes) {
+  std::stringstream Stream;
+  for (const JobOutcome &Outcome : Outcomes)
+    if (Outcome.ok())
+      Outcome.Artifact.writeTo(Stream);
+  return Stream.str();
+}
+
+std::string fmtRate(double PerSec) {
+  std::ostringstream Out;
+  Out.precision(2);
+  Out << std::fixed;
+  if (PerSec >= 1e6)
+    Out << PerSec / 1e6 << "M";
+  else if (PerSec >= 1e3)
+    Out << PerSec / 1e3 << "k";
+  else
+    Out << PerSec;
+  return Out.str();
+}
+
+std::string fmtX(double Value) {
+  std::ostringstream Out;
+  Out.precision(2);
+  Out << std::fixed << Value << "x";
+  return Out.str();
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  for (int I = 1; I < Argc; ++I)
+    if (std::strcmp(Argv[I], "--smoke") == 0)
+      Smoke = true;
+
+  std::cout << "=== Simulation engine throughput"
+            << (Smoke ? " (smoke)" : "") << " ===\n\n";
+
+  // --- 1. SoA hot path vs scalar reference model ------------------------
+  const size_t NumRefs = Smoke ? 400'000 : 4'000'000;
+  std::vector<std::pair<uint64_t, bool>> Refs = makeStream(NumRefs);
+  const CacheGeometry L1 = paperL1Geometry();
+
+  uint64_t HitSink = 0;
+  // Warm-up pass each, then the measured pass.
+  double ScalarRate, SoaRate;
+  {
+    ReferenceCache Warm(L1), Timed(L1);
+    refsPerSec(Warm, Refs, HitSink);
+    ScalarRate = refsPerSec(Timed, Refs, HitSink);
+  }
+  {
+    Cache Warm(L1), Timed(L1);
+    refsPerSec(Warm, Refs, HitSink);
+    SoaRate = refsPerSec(Timed, Refs, HitSink);
+  }
+  const double SoaSpeedup = SoaRate / ScalarRate;
+
+  TextTable CacheTable({"model", "refs/sec", "speedup"});
+  CacheTable.addRow({"scalar (ReferenceCache)", fmtRate(ScalarRate), "1.00x"});
+  CacheTable.addRow({"SoA (Cache)", fmtRate(SoaRate), fmtX(SoaSpeedup)});
+  std::cout << CacheTable.render() << "(hit sink " << HitSink % 10 << ", "
+            << L1.describe() << ", LRU)\n\n";
+
+  // --- 2. Shared-trace batch vs naive per-job simulation ----------------
+  // The acceptance scenario: one workload swept over >= 4 sampling
+  // periods — identical trace and miss stream per job, different
+  // samplers. Paper Sec. 5.3 sweeps exactly this axis.
+  BatchMatrix Matrix;
+  Matrix.Workloads = {"Symmetrization"};
+  Matrix.Periods = Smoke ? std::vector<uint64_t>{171, 606, 1212, 2424}
+                         : std::vector<uint64_t>{171, 303, 606, 1212, 2424,
+                                                 4848};
+  std::vector<JobSpec> Jobs = expandMatrix(Matrix);
+
+  runJobs(Jobs, 1); // warm-up: page faults, lazy init
+
+  Clock::time_point NaiveStart = Clock::now();
+  std::vector<JobOutcome> Naive = runJobs(Jobs, 1);
+  const double NaiveSecs = secondsSince(NaiveStart);
+
+  SharedBatchStats Stats;
+  Clock::time_point SharedStart = Clock::now();
+  std::vector<JobOutcome> Shared =
+      runJobsShared(Jobs, 1, 0, nullptr, nullptr, &Stats);
+  const double SharedSecs = secondsSince(SharedStart);
+
+  size_t Failed = 0;
+  for (const JobOutcome &Outcome : Naive)
+    Failed += !Outcome.ok();
+  for (const JobOutcome &Outcome : Shared)
+    Failed += !Outcome.ok();
+  if (Failed != 0) {
+    std::cerr << "error: " << Failed << " job(s) failed\n";
+    return 1;
+  }
+  const bool Identical = serializeAll(Naive) == serializeAll(Shared);
+
+  const double NaiveRate = static_cast<double>(Jobs.size()) / NaiveSecs;
+  const double SharedRate = static_cast<double>(Jobs.size()) / SharedSecs;
+  const double BatchSpeedup = SharedRate / NaiveRate;
+
+  TextTable BatchTable(
+      {"engine", "jobs", "wall (s)", "jobs/sec", "speedup", "bytes =="});
+  {
+    std::ostringstream NaiveWall, SharedWall;
+    NaiveWall.precision(3);
+    NaiveWall << std::fixed << NaiveSecs;
+    SharedWall.precision(3);
+    SharedWall << std::fixed << SharedSecs;
+    BatchTable.addRow({"naive (miss-stream cache off)",
+                       std::to_string(Jobs.size()), NaiveWall.str(),
+                       fmtRate(NaiveRate), "1.00x", "-"});
+    BatchTable.addRow({"shared-trace (cache on)", std::to_string(Jobs.size()),
+                       SharedWall.str(), fmtRate(SharedRate),
+                       fmtX(BatchSpeedup), Identical ? "yes" : "NO"});
+  }
+  std::cout << BatchTable.render() << "(" << Jobs.size()
+            << "-period sweep; stream cache: " << Stats.Streams.Hits
+            << " hit(s), " << Stats.Streams.Misses << " simulation(s))\n";
+
+  // --- Machine-readable trajectory --------------------------------------
+  {
+    std::ofstream Json("BENCH_sim_throughput.json");
+    Json.precision(6);
+    Json << std::fixed << "{\n"
+         << "  \"bench\": \"sim_throughput\",\n"
+         << "  \"smoke\": " << (Smoke ? "true" : "false") << ",\n"
+         << "  \"cache_refs\": " << NumRefs << ",\n"
+         << "  \"scalar_refs_per_sec\": " << ScalarRate << ",\n"
+         << "  \"soa_refs_per_sec\": " << SoaRate << ",\n"
+         << "  \"soa_speedup\": " << SoaSpeedup << ",\n"
+         << "  \"batch_jobs\": " << Jobs.size() << ",\n"
+         << "  \"naive_jobs_per_sec\": " << NaiveRate << ",\n"
+         << "  \"shared_jobs_per_sec\": " << SharedRate << ",\n"
+         << "  \"shared_speedup\": " << BatchSpeedup << ",\n"
+         << "  \"stream_cache_hits\": " << Stats.Streams.Hits << ",\n"
+         << "  \"stream_cache_simulations\": " << Stats.Streams.Misses
+         << ",\n"
+         << "  \"byte_identical\": " << (Identical ? "true" : "false")
+         << "\n}\n";
+  }
+  std::cout << "\nwrote BENCH_sim_throughput.json\n";
+
+  if (!Identical) {
+    std::cerr << "error: shared-trace artifacts differ from the naive "
+                 "path's bytes\n";
+    return 1;
+  }
+  return 0;
+}

@@ -9,17 +9,24 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <unordered_map>
 
 using namespace ccprof;
 
 const LoopConflictReport *
 ProfileResult::byLocation(const std::string &Location) const {
-  for (const LoopConflictReport &Report : Loops)
-    if (Report.Location == Location)
-      return &Report;
-  return nullptr;
+  // Results are write-once (profiler output, artifact load, merge), so
+  // the index is built at most once per result in practice; the size
+  // check catches the rebuild-after-mutation case.
+  if (IndexedLoops != Loops.size()) {
+    LocationIndex.clear();
+    LocationIndex.reserve(Loops.size());
+    for (size_t I = 0; I < Loops.size(); ++I)
+      LocationIndex.emplace(Loops[I].Location, I); // first occurrence wins
+    IndexedLoops = Loops.size();
+  }
+  auto It = LocationIndex.find(Location);
+  return It == LocationIndex.end() ? nullptr : &Loops[It->second];
 }
 
 Profiler::Profiler(ProfileOptions Options, ConflictClassifier Classifier)
@@ -55,16 +62,66 @@ struct ContextKey {
     return std::make_tuple(static_cast<int>(Kind), Loop.FunctionIndex,
                            Loop.Loop, Line);
   }
-  bool operator<(const ContextKey &Other) const {
-    return asTuple() < Other.asTuple();
+  bool operator==(const ContextKey &Other) const {
+    return asTuple() == Other.asTuple();
+  }
+};
+
+/// SplitMix64-style mix over the key tuple; the attribution map is hit
+/// once per sample, so hashing beats the former std::map's pointer
+/// chasing in profileImpl profiles.
+struct ContextKeyHash {
+  size_t operator()(const ContextKey &Key) const {
+    uint64_t H = static_cast<uint64_t>(Key.Kind);
+    H = (H << 21) ^ (static_cast<uint64_t>(Key.Loop.FunctionIndex) << 32 |
+                     Key.Loop.Loop);
+    H ^= static_cast<uint64_t>(Key.Line) << 1;
+    H += 0x9e3779b97f4a7c15ULL;
+    H = (H ^ (H >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    H = (H ^ (H >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(H ^ (H >> 31));
   }
 };
 
 } // namespace
 
+std::vector<MissEvent>
+Profiler::collectMissStream(const Trace &Execution) const {
+  if (Options.Level == ProfileLevel::L1)
+    return collectL1MissStream(Execution, Options.L1, Options.MissOptions);
+  PageMapper Mapper(Options.Mapping);
+  return collectL2MissStream(Execution, Options.L1, Options.L2, Mapper,
+                             Options.MissOptions);
+}
+
+ProfileResult
+Profiler::profileWithStream(const Trace &Execution,
+                            const ProgramStructure &Structure,
+                            std::span<const MissEvent> Stream,
+                            bool Exact) const {
+  if (!Exact)
+    return profileStreamImpl(Execution, Structure, Stream, Options.Sampling);
+  SamplingConfig EveryMiss;
+  EveryMiss.Kind = SamplingKind::Fixed;
+  EveryMiss.MeanPeriod = 1;
+  return profileStreamImpl(Execution, Structure, Stream, EveryMiss);
+}
+
 ProfileResult Profiler::profileImpl(const Trace &Execution,
                                     const ProgramStructure &Structure,
                                     const SamplingConfig &Sampling) const {
+  // Collect-then-sample: the same two phases the shared-trace batch
+  // path runs with a cached stream, so both paths are byte-identical by
+  // construction.
+  std::vector<MissEvent> Stream = collectMissStream(Execution);
+  return profileStreamImpl(Execution, Structure, Stream, Sampling);
+}
+
+ProfileResult
+Profiler::profileStreamImpl(const Trace &Execution,
+                            const ProgramStructure &Structure,
+                            std::span<const MissEvent> Stream,
+                            const SamplingConfig &Sampling) const {
   // The geometry whose sets the analysis attributes misses to.
   const CacheGeometry &Target =
       Options.Level == ProfileLevel::L1 ? Options.L1 : Options.L2;
@@ -74,15 +131,6 @@ ProfileResult Profiler::profileImpl(const Trace &Execution,
   Result.NumSets = Target.numSets();
   Result.RcdThreshold = Options.RcdThreshold;
 
-  // --- Online phase: miss events and PEBS samples -----------------------
-  std::vector<MissEvent> Stream;
-  if (Options.Level == ProfileLevel::L1) {
-    Stream = collectL1MissStream(Execution, Options.L1, Options.MissOptions);
-  } else {
-    PageMapper Mapper(Options.Mapping);
-    Stream = collectL2MissStream(Execution, Options.L1, Options.L2, Mapper,
-                                 Options.MissOptions);
-  }
   Result.L1Misses = Stream.size();
   Result.L1MissRatio =
       Result.TraceRefs == 0
@@ -97,6 +145,7 @@ ProfileResult Profiler::profileImpl(const Trace &Execution,
   // --- Offline phase: attribution and RCD ------------------------------
   // Per-site context resolution is cached: the site table is small.
   std::unordered_map<SiteId, ContextKey> SiteContext;
+  SiteContext.reserve(Execution.sites().size());
   auto ResolveContext = [&](SiteId Site) -> const ContextKey & {
     auto It = SiteContext.find(Site);
     if (It != SiteContext.end())
@@ -115,8 +164,13 @@ ProfileResult Profiler::profileImpl(const Trace &Execution,
     return SiteContext.emplace(Site, Key).first->second;
   };
 
-  std::map<ContextKey, ContextId> ContextIds;
+  // Hashed, not ordered: context ids are assigned in first-appearance
+  // order (the map only deduplicates), so swapping std::map out does
+  // not move any id or reorder any report.
+  std::unordered_map<ContextKey, ContextId, ContextKeyHash> ContextIds;
+  ContextIds.reserve(64);
   std::vector<ContextKey> KeyOfContext;
+  KeyOfContext.reserve(64);
   auto ContextOf = [&](const ContextKey &Key) {
     auto [It, Inserted] =
         ContextIds.emplace(Key, static_cast<ContextId>(ContextIds.size()));

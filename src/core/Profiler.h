@@ -28,8 +28,11 @@
 #include "sim/MachineConfig.h"
 #include "trace/Trace.h"
 
+#include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace ccprof {
@@ -111,8 +114,16 @@ struct ProfileResult {
     return Loops.empty() ? nullptr : &Loops.front();
   }
 
-  /// The report whose location is \p Location, or nullptr.
+  /// The report whose location is \p Location, or nullptr. O(1) after
+  /// the first call: a location index is built lazily and reused until
+  /// Loops changes size (results are effectively immutable once built).
   const LoopConflictReport *byLocation(const std::string &Location) const;
+
+private:
+  /// Location -> index into Loops; first occurrence wins, matching the
+  /// former linear scan. Rebuilt when IndexedLoops != Loops.size().
+  mutable std::unordered_map<std::string, size_t> LocationIndex;
+  mutable size_t IndexedLoops = static_cast<size_t>(-1);
 };
 
 /// Drives the pipeline. Stateless apart from configuration, so one
@@ -131,6 +142,24 @@ public:
   ProfileResult profileExact(const Trace &Execution,
                              const ProgramStructure &Structure) const;
 
+  /// Replays \p Execution through the configured cache level(s) and
+  /// \returns the miss-event stream that profile() samples. The stream
+  /// depends only on Level / geometries / Mapping / MissOptions — never
+  /// on sampling or the RCD threshold — so one collected stream serves
+  /// every sampling-period / threshold variant of a cache configuration
+  /// (the batch pipeline's shared-trace fast path).
+  std::vector<MissEvent> collectMissStream(const Trace &Execution) const;
+
+  /// Profiles against a precomputed \p Stream, which must come from
+  /// collectMissStream() under identical cache-side options. With
+  /// \p Exact set the stream is consumed unsampled (profileExact).
+  /// Output is byte-identical to profile()/profileExact() on the same
+  /// trace: both run the exact same sampling + attribution code.
+  ProfileResult profileWithStream(const Trace &Execution,
+                                  const ProgramStructure &Structure,
+                                  std::span<const MissEvent> Stream,
+                                  bool Exact = false) const;
+
   const ProfileOptions &options() const { return Options; }
   const ConflictClassifier &classifier() const { return Classifier; }
 
@@ -138,6 +167,12 @@ private:
   ProfileResult profileImpl(const Trace &Execution,
                             const ProgramStructure &Structure,
                             const SamplingConfig &Sampling) const;
+
+  /// Sampling + attribution over an already-collected miss stream.
+  ProfileResult profileStreamImpl(const Trace &Execution,
+                                  const ProgramStructure &Structure,
+                                  std::span<const MissEvent> Stream,
+                                  const SamplingConfig &Sampling) const;
 
   ProfileOptions Options;
   ConflictClassifier Classifier;

@@ -13,6 +13,7 @@
 #include <atomic>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 using namespace ccprof;
 
@@ -40,6 +41,131 @@ JobOutcome ccprof::runJob(const JobSpec &Job, uint64_t TimestampNs) {
   Outcome.Artifact.Provenance.Job = Job;
   Outcome.Artifact.Provenance.TimestampNs = TimestampNs;
   return Outcome;
+}
+
+namespace {
+
+std::string geometryKey(const CacheGeometry &G) {
+  return std::to_string(G.sizeBytes()) + '/' +
+         std::to_string(G.lineBytes()) + '/' +
+         std::to_string(G.associativity());
+}
+
+} // namespace
+
+std::string ccprof::missStreamKeyOf(const JobSpec &Job) {
+  const ProfileOptions Options = Job.toProfileOptions();
+  std::string Key = Job.WorkloadName + '|' + variantName(Job.Variant) + '|' +
+                    levelName(Options.Level) + '|' + geometryKey(Options.L1) +
+                    "|pol" +
+                    std::to_string(static_cast<int>(Options.MissOptions.Policy)) +
+                    (Options.MissOptions.IncludeStores ? "+st" : "");
+  // The page mapping only reaches the simulation for physically-indexed
+  // levels; folding it into L1 keys would needlessly split the cache
+  // across mapping sweeps.
+  if (Options.Level == ProfileLevel::L2)
+    Key += '|' + geometryKey(Options.L2) + '|' + mappingName(Options.Mapping);
+  return Key;
+}
+
+std::vector<JobOutcome> ccprof::runJobsShared(
+    std::span<const JobSpec> Jobs, unsigned NumThreads, uint64_t TimestampNs,
+    const std::function<void(const JobOutcome &, size_t)> &OnJobDone,
+    MissStreamCache *StreamCache, SharedBatchStats *StatsOut) {
+  std::vector<JobOutcome> Outcomes(Jobs.size());
+  MissStreamCache LocalCache;
+  MissStreamCache &Cache = StreamCache ? *StreamCache : LocalCache;
+  if (Jobs.empty()) {
+    if (StatsOut)
+      *StatsOut = SharedBatchStats{0, Cache.stats()};
+    return Outcomes;
+  }
+  NumThreads = std::max(1u, NumThreads);
+
+  // Group job indices by (workload, variant) in first-appearance order:
+  // one trace generation per group, deterministic group list.
+  std::vector<std::vector<size_t>> Groups;
+  std::unordered_map<std::string, size_t> GroupOf;
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    std::string GroupKey =
+        Jobs[I].WorkloadName + '|' + variantName(Jobs[I].Variant);
+    auto [It, Inserted] = GroupOf.emplace(GroupKey, Groups.size());
+    if (Inserted)
+      Groups.emplace_back();
+    Groups[It->second].push_back(I);
+  }
+
+  std::atomic<size_t> NextGroup{0};
+  std::atomic<size_t> NumDone{0};
+  std::mutex CallbackMutex;
+
+  auto FinishJob = [&](size_t JobIndex) {
+    size_t Done = NumDone.fetch_add(1) + 1;
+    if (OnJobDone) {
+      std::lock_guard<std::mutex> Lock(CallbackMutex);
+      OnJobDone(Outcomes[JobIndex], Done);
+    }
+  };
+
+  auto Worker = [&]() {
+    for (size_t G = NextGroup.fetch_add(1); G < Groups.size();
+         G = NextGroup.fetch_add(1)) {
+      const std::vector<size_t> &Members = Groups[G];
+      const JobSpec &First = Jobs[Members.front()];
+
+      std::unique_ptr<Workload> W = makeWorkloadByName(First.WorkloadName);
+      if (!W) {
+        for (size_t I : Members) {
+          Outcomes[I].Job = Jobs[I];
+          Outcomes[I].Error =
+              "unknown workload '" + Jobs[I].WorkloadName + "'";
+          FinishJob(I);
+        }
+        continue;
+      }
+
+      // The expensive shared phase, once per group: run the workload,
+      // record its references, canonicalize, recover the program
+      // structure.
+      Trace Recorded;
+      W->run(First.Variant, &Recorded);
+      Trace T = canonicalizeTrace(Recorded);
+      BinaryImage Image = W->makeBinary();
+      ProgramStructure Structure(Image);
+
+      for (size_t I : Members) {
+        const JobSpec &Job = Jobs[I];
+        Profiler P(Job.toProfileOptions());
+        MissStreamCache::StreamPtr Stream = Cache.getOrCompute(
+            missStreamKeyOf(Job), [&] { return P.collectMissStream(T); });
+
+        JobOutcome &Out = Outcomes[I];
+        Out.Job = Job;
+        Out.Artifact.Result =
+            P.profileWithStream(T, Structure, *Stream, Job.Exact);
+        Out.Artifact.Provenance.Job = Job;
+        Out.Artifact.Provenance.TimestampNs = TimestampNs;
+        FinishJob(I);
+      }
+    }
+  };
+
+  if (NumThreads == 1 || Groups.size() == 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Pool;
+    const unsigned PoolSize =
+        static_cast<unsigned>(std::min<size_t>(NumThreads, Groups.size()));
+    Pool.reserve(PoolSize);
+    for (unsigned I = 0; I < PoolSize; ++I)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  if (StatsOut)
+    *StatsOut = SharedBatchStats{Groups.size(), Cache.stats()};
+  return Outcomes;
 }
 
 std::vector<JobOutcome> ccprof::runJobs(

@@ -7,19 +7,35 @@
 ///
 /// \file
 /// Executes a list of profiling jobs across a fixed-size worker thread
-/// pool. Jobs are independent by construction — each worker builds its
-/// own workload, trace, and profiler — and results land in the slot of
-/// their job index, so the output vector is identical no matter how
-/// many threads ran or how the scheduler interleaved them. Address
-/// canonicalization (trace/Canonicalize.h) removes the remaining
-/// process-state dependence, making `--jobs N` output byte-identical
-/// to sequential execution for fixed seeds.
+/// pool. Two execution strategies share one outcome format:
+///
+///  * runJobs — the naive path: every job builds its own workload,
+///    trace, and miss stream from scratch. Jobs are fully independent,
+///    so any thread count produces identical output.
+///
+///  * runJobsShared — the single-pass multi-configuration engine: jobs
+///    are grouped by (workload, variant), each group's trace is
+///    generated and canonicalized once, the miss-event stream is
+///    computed once per distinct cache configuration (level, geometry,
+///    replacement policy, page mapping) through a bounded
+///    MissStreamCache, and all sampling-period / sampler / threshold /
+///    repeat variants fan out over the cached stream. Output is
+///    byte-identical to runJobs: the profiler runs the exact same
+///    collect-then-sample phases, just without recomputing the collect
+///    phase per job.
+///
+/// Results land in the slot of their job index, so the output vector is
+/// identical no matter how many threads ran or how the scheduler
+/// interleaved them. Address canonicalization (trace/Canonicalize.h)
+/// removes the remaining process-state dependence, making `--jobs N`
+/// output byte-identical to sequential execution for fixed seeds.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCPROF_PIPELINE_JOBRUNNER_H
 #define CCPROF_PIPELINE_JOBRUNNER_H
 
+#include "pipeline/MissStreamCache.h"
 #include "pipeline/ProfileArtifact.h"
 
 #include <functional>
@@ -55,6 +71,35 @@ runJobs(std::span<const JobSpec> Jobs, unsigned NumThreads,
         uint64_t TimestampNs = 0,
         const std::function<void(const JobOutcome &, size_t)> &OnJobDone =
             nullptr);
+
+/// Accounting of one shared-trace batch run.
+struct SharedBatchStats {
+  /// Distinct (workload, variant) groups, i.e. traces generated. The
+  /// naive path generates one trace per *job* instead.
+  uint64_t TraceGroups = 0;
+  /// Miss-stream cache accounting: Misses counts full trace
+  /// simulations, Hits counts simulations avoided.
+  MissStreamCacheStats Streams;
+};
+
+/// The miss-stream cache key of \p Job: every field the simulated
+/// stream depends on — workload, variant, level, geometries, policy,
+/// store handling, and (for physically-indexed levels) the page
+/// mapping — and nothing it does not, so period/threshold/seed/repeat
+/// variants all map to the same key.
+std::string missStreamKeyOf(const JobSpec &Job);
+
+/// Runs \p Jobs with shared-trace reuse (see file comment): workers
+/// claim whole (workload, variant) groups, so NumThreads still scales
+/// across workloads while each group's trace is built exactly once.
+/// \p StreamCache bounds how many distinct miss streams stay resident;
+/// pass nullptr to use a run-local cache of default capacity.
+/// Outcomes are byte-identical to runJobs on the same job list.
+std::vector<JobOutcome> runJobsShared(
+    std::span<const JobSpec> Jobs, unsigned NumThreads,
+    uint64_t TimestampNs = 0,
+    const std::function<void(const JobOutcome &, size_t)> &OnJobDone = nullptr,
+    MissStreamCache *StreamCache = nullptr, SharedBatchStats *StatsOut = nullptr);
 
 } // namespace ccprof
 

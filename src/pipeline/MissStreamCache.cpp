@@ -1,0 +1,99 @@
+//===- pipeline/MissStreamCache.cpp - Shared miss-stream cache ------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/MissStreamCache.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace ccprof;
+
+MissStreamCache::MissStreamCache(size_t MaxEntries)
+    : MaxEntries(MaxEntries == 0 ? 1 : MaxEntries) {}
+
+MissStreamCache::StreamPtr
+MissStreamCache::getOrCompute(const std::string &Key,
+                              const std::function<Stream()> &Compute) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    auto It = Entries.find(Key);
+    if (It != Entries.end()) {
+      ++Hits;
+      ++Accounts[It->second.AccountIndex].Hits;
+      // Refresh recency: move to the front of the LRU list.
+      Recency.splice(Recency.begin(), Recency, It->second.RecencyIt);
+      return It->second.Data;
+    }
+    ++Misses;
+  }
+
+  // Compute outside the lock so a long simulation never blocks lookups
+  // of unrelated keys from other workers.
+  StreamPtr Data = std::make_shared<const Stream>(Compute());
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Entries.find(Key);
+  if (It != Entries.end()) {
+    // A racing caller stored the stream first; its copy wins so every
+    // holder shares one buffer. Deterministic content either way.
+    Recency.splice(Recency.begin(), Recency, It->second.RecencyIt);
+    return It->second.Data;
+  }
+
+  while (Entries.size() >= MaxEntries)
+    evictLeastRecentLocked();
+
+  size_t Account;
+  auto AcctIt = AccountIndexOf.find(Key);
+  if (AcctIt != AccountIndexOf.end()) {
+    Account = AcctIt->second; // re-inserted after eviction
+    Accounts[Account].Resident = true;
+  } else {
+    Account = Accounts.size();
+    Accounts.push_back({Key, 0, Data->size(), true});
+    AccountIndexOf.emplace(Key, Account);
+  }
+  Accounts[Account].Events = Data->size();
+
+  Recency.push_front(Key);
+  Entries.emplace(Key, Entry{Data, Recency.begin(), Account});
+  return Data;
+}
+
+void MissStreamCache::evictLeastRecentLocked() {
+  assert(!Recency.empty() && "evicting from an empty cache");
+  const std::string &Victim = Recency.back();
+  auto It = Entries.find(Victim);
+  assert(It != Entries.end() && "recency list out of sync");
+  Accounts[It->second.AccountIndex].Resident = false;
+  Entries.erase(It);
+  Recency.pop_back();
+  ++Evictions;
+}
+
+size_t MissStreamCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Entries.size();
+}
+
+MissStreamCacheStats MissStreamCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  MissStreamCacheStats Stats;
+  Stats.Hits = Hits;
+  Stats.Misses = Misses;
+  Stats.Evictions = Evictions;
+  Stats.Entries = Accounts;
+  return Stats;
+}
+
+void MissStreamCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  for (auto &[Key, E] : Entries)
+    Accounts[E.AccountIndex].Resident = false;
+  Entries.clear();
+  Recency.clear();
+}

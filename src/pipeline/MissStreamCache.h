@@ -1,0 +1,112 @@
+//===- pipeline/MissStreamCache.h - Shared miss-stream cache ---*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LRU-bounded, thread-safe in-memory cache of miss-event streams, the
+/// centerpiece of the batch pipeline's single-pass multi-configuration
+/// engine. Reference-by-reference cache simulation is by far the most
+/// expensive phase of a profiling job, yet its output — the stream of
+/// miss events — depends only on (workload, variant, cache level,
+/// geometry, replacement policy, page mapping), never on the sampling
+/// period, sampler kind, seed, or RCD threshold. A sweep over sampling
+/// periods therefore needs the stream exactly once; every further job
+/// of the sweep replays the cached stream through its own sampler.
+///
+/// Streams are handed out as shared_ptr-to-const so an entry evicted
+/// under memory pressure stays alive for jobs still profiling against
+/// it. Per-entry hit counters (kept even for evicted entries) feed the
+/// `ccprof batch` statistics output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_PIPELINE_MISSSTREAMCACHE_H
+#define CCPROF_PIPELINE_MISSSTREAMCACHE_H
+
+#include "pmu/PebsEvent.h"
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ccprof {
+
+/// Accounting of one cache entry (kept after eviction).
+struct MissStreamCacheEntryStats {
+  std::string Key;
+  uint64_t Hits = 0;   ///< Lookups served from this entry.
+  uint64_t Events = 0; ///< Stream length (miss events held).
+  bool Resident = true;
+};
+
+/// Snapshot of the whole cache's accounting.
+struct MissStreamCacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0; ///< Lookups that had to compute the stream.
+  uint64_t Evictions = 0;
+  /// One row per key ever inserted, in first-insertion order.
+  std::vector<MissStreamCacheEntryStats> Entries;
+};
+
+/// Keyed, bounded cache of immutable miss-event streams.
+class MissStreamCache {
+public:
+  using Stream = std::vector<MissEvent>;
+  using StreamPtr = std::shared_ptr<const Stream>;
+
+  /// \p MaxEntries bounds resident streams; the least-recently-used
+  /// entry is dropped when a new stream would exceed the bound.
+  explicit MissStreamCache(size_t MaxEntries = DefaultMaxEntries);
+
+  static constexpr size_t DefaultMaxEntries = 16;
+
+  /// \returns the stream under \p Key, invoking \p Compute (outside the
+  /// lock) to produce it on a miss. Concurrent callers with distinct
+  /// keys never serialize on each other's compute; racing callers with
+  /// the same key may compute twice, but both observe the same stored
+  /// stream afterwards.
+  StreamPtr getOrCompute(const std::string &Key,
+                         const std::function<Stream()> &Compute);
+
+  /// Resident entry count.
+  size_t size() const;
+
+  /// Accounting snapshot, including evicted entries.
+  MissStreamCacheStats stats() const;
+
+  /// Drops every resident entry (accounting is preserved).
+  void clear();
+
+private:
+  struct Entry {
+    StreamPtr Data;
+    std::list<std::string>::iterator RecencyIt;
+    size_t AccountIndex; ///< Index into Accounts.
+  };
+
+  /// Must be called with Mutex held.
+  void evictLeastRecentLocked();
+
+  mutable std::mutex Mutex;
+  size_t MaxEntries;
+  std::list<std::string> Recency; ///< Front = most recently used.
+  std::unordered_map<std::string, Entry> Entries;
+  /// Lifetime accounting, one row per key ever inserted.
+  std::vector<MissStreamCacheEntryStats> Accounts;
+  std::unordered_map<std::string, size_t> AccountIndexOf;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Evictions = 0;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_PIPELINE_MISSSTREAMCACHE_H

@@ -15,6 +15,9 @@ ccprof::collectL1MissStream(const Trace &Execution,
                             MissStreamOptions Options) {
   Cache L1(Geometry, Options.Policy);
   std::vector<MissEvent> Stream;
+  // Sized for a pessimistic miss ratio up front: push_back regrowth is
+  // a visible cost in profileImpl profiles on long traces.
+  Stream.reserve(Execution.size() / 4 + 16);
   for (const MemoryRecord &Record : Execution.records()) {
     CacheAccessResult Access = L1.access(Record.Addr, Record.IsWrite);
     if (Access.Hit)
@@ -34,6 +37,8 @@ ccprof::collectL2MissStream(const Trace &Execution,
   Cache L1(L1Geometry, Options.Policy);
   Cache L2(L2Geometry, Options.Policy);
   std::vector<MissEvent> Stream;
+  // L2 misses are rarer than L1 misses; reserve a smaller slab.
+  Stream.reserve(Execution.size() / 16 + 16);
   for (const MemoryRecord &Record : Execution.records()) {
     // L1 is virtually indexed; only its misses reach L2, which sees
     // physical addresses.

@@ -14,13 +14,20 @@ using namespace ccprof;
 
 Cache::Cache(CacheGeometry Geometry, ReplacementKind Policy, uint64_t RngSeed)
     : Geometry(Geometry), Policy(Policy),
-      Ways(Geometry.numSets() * Geometry.associativity()),
-      SetMisses(Geometry.numSets(), 0), Rng(RngSeed) {
+      Tags(Geometry.numSets() * Geometry.associativity(), 0),
+      LastUse(Geometry.numSets() * Geometry.associativity(), 0),
+      InsertedAt(Geometry.numSets() * Geometry.associativity(), 0),
+      ValidMask(Geometry.numSets(), 0), DirtyMask(Geometry.numSets(), 0),
+      SetMisses(Geometry.numSets(), 0),
+      AllWays(Geometry.associativity() == 64
+                  ? ~uint64_t{0}
+                  : (uint64_t{1} << Geometry.associativity()) - 1),
+      Rng(RngSeed) {
   assert((Policy != ReplacementKind::TreePlru ||
           std::has_single_bit(Geometry.associativity())) &&
          "tree-PLRU requires power-of-two associativity");
   assert(Geometry.associativity() <= 64 &&
-         "tree-PLRU bit storage limits associativity to 64");
+         "per-set bit masks limit associativity to 64");
   if (Policy == ReplacementKind::TreePlru)
     PlruBits.assign(Geometry.numSets(), 0);
 }
@@ -32,46 +39,56 @@ CacheAccessResult Cache::access(uint64_t Addr, bool IsWrite) {
   const uint64_t SetIndex = Geometry.setIndexOf(Addr);
   const uint64_t Tag = Geometry.tagOf(Addr);
   const uint32_t Assoc = Geometry.associativity();
+  const uint64_t Base = SetIndex * Assoc;
 
   CacheAccessResult Result;
   Result.SetIndex = SetIndex;
 
-  // Hit path: find the matching valid way.
-  uint32_t FreeWay = Assoc; // first invalid way, if any
-  for (uint32_t W = 0; W < Assoc; ++W) {
-    Way &Line = wayAt(SetIndex, W);
-    if (Line.Valid && Line.Tag == Tag) {
-      ++Stats.Hits;
-      Line.Dirty |= IsWrite;
-      touchWay(SetIndex, W);
-      Result.Hit = true;
-      return Result;
-    }
-    if (!Line.Valid && FreeWay == Assoc)
-      FreeWay = W;
+  // Hit lookup: branch-free compare sweep over the set's contiguous tag
+  // row, masked by the valid bits. At most one valid way can hold the
+  // tag (fills only happen on misses), so "first match" and "the match"
+  // coincide with the scalar model.
+  const uint64_t *TagRow = Tags.data() + Base;
+  uint64_t Match = 0;
+  for (uint32_t W = 0; W < Assoc; ++W)
+    Match |= static_cast<uint64_t>(TagRow[W] == Tag) << W;
+  Match &= ValidMask[SetIndex];
+
+  if (Match != 0) {
+    const uint32_t W = static_cast<uint32_t>(std::countr_zero(Match));
+    ++Stats.Hits;
+    DirtyMask[SetIndex] |= static_cast<uint64_t>(IsWrite) << W;
+    touchWay(SetIndex, W);
+    Result.Hit = true;
+    return Result;
   }
 
-  // Miss path: fill into a free way or evict a victim.
+  // Miss path: fill into the first free way or evict a victim.
   ++Stats.Misses;
   ++SetMisses[SetIndex];
 
-  uint32_t Victim = FreeWay;
-  if (Victim == Assoc) {
+  const uint64_t Free = ~ValidMask[SetIndex] & AllWays;
+  uint32_t Victim;
+  if (Free != 0) {
+    Victim = static_cast<uint32_t>(std::countr_zero(Free));
+  } else {
     Victim = chooseVictim(SetIndex);
-    Way &Old = wayAt(SetIndex, Victim);
-    Result.EvictedLine =
-        Geometry.lineAddrOf(Geometry.lineStartAddr(Old.Tag, SetIndex));
-    Result.EvictedDirty = Old.Dirty;
+    const bool OldDirty = (DirtyMask[SetIndex] >> Victim) & 1;
+    Result.EvictedLine = Geometry.lineAddrOf(
+        Geometry.lineStartAddr(Tags[Base + Victim], SetIndex));
+    Result.EvictedDirty = OldDirty;
     ++Stats.Evictions;
-    if (Old.Dirty)
+    if (OldDirty)
       ++Stats.Writebacks;
   }
 
-  Way &Line = wayAt(SetIndex, Victim);
-  Line.Tag = Tag;
-  Line.Valid = true;
-  Line.Dirty = IsWrite;
-  Line.InsertedAt = Tick;
+  Tags[Base + Victim] = Tag;
+  ValidMask[SetIndex] |= uint64_t{1} << Victim;
+  if (IsWrite)
+    DirtyMask[SetIndex] |= uint64_t{1} << Victim;
+  else
+    DirtyMask[SetIndex] &= ~(uint64_t{1} << Victim);
+  InsertedAt[Base + Victim] = Tick;
   touchWay(SetIndex, Victim);
   return Result;
 }
@@ -79,17 +96,20 @@ CacheAccessResult Cache::access(uint64_t Addr, bool IsWrite) {
 bool Cache::probe(uint64_t Addr) const {
   const uint64_t SetIndex = Geometry.setIndexOf(Addr);
   const uint64_t Tag = Geometry.tagOf(Addr);
-  for (uint32_t W = 0, E = Geometry.associativity(); W < E; ++W) {
-    const Way &Line = wayAt(SetIndex, W);
-    if (Line.Valid && Line.Tag == Tag)
-      return true;
-  }
-  return false;
+  const uint32_t Assoc = Geometry.associativity();
+  const uint64_t *TagRow = Tags.data() + SetIndex * Assoc;
+  uint64_t Match = 0;
+  for (uint32_t W = 0; W < Assoc; ++W)
+    Match |= static_cast<uint64_t>(TagRow[W] == Tag) << W;
+  return (Match & ValidMask[SetIndex]) != 0;
 }
 
 void Cache::flush() {
-  for (Way &Line : Ways)
-    Line = Way{};
+  std::fill(Tags.begin(), Tags.end(), 0);
+  std::fill(LastUse.begin(), LastUse.end(), 0);
+  std::fill(InsertedAt.begin(), InsertedAt.end(), 0);
+  std::fill(ValidMask.begin(), ValidMask.end(), 0);
+  std::fill(DirtyMask.begin(), DirtyMask.end(), 0);
   std::fill(PlruBits.begin(), PlruBits.end(), 0);
   Tick = 0;
 }
@@ -114,26 +134,29 @@ uint64_t Cache::setsWithMisses() const {
 
 uint32_t Cache::chooseVictim(uint64_t SetIndex) {
   const uint32_t Assoc = Geometry.associativity();
+  const uint64_t Base = SetIndex * Assoc;
   switch (Policy) {
   case ReplacementKind::Lru: {
+    // Lowest timestamp wins; strict < keeps the lowest way on ties,
+    // matching the reference model.
+    const uint64_t *Row = LastUse.data() + Base;
     uint32_t Victim = 0;
-    uint64_t Oldest = wayAt(SetIndex, 0).LastUse;
+    uint64_t Oldest = Row[0];
     for (uint32_t W = 1; W < Assoc; ++W) {
-      uint64_t Use = wayAt(SetIndex, W).LastUse;
-      if (Use < Oldest) {
-        Oldest = Use;
+      if (Row[W] < Oldest) {
+        Oldest = Row[W];
         Victim = W;
       }
     }
     return Victim;
   }
   case ReplacementKind::Fifo: {
+    const uint64_t *Row = InsertedAt.data() + Base;
     uint32_t Victim = 0;
-    uint64_t Oldest = wayAt(SetIndex, 0).InsertedAt;
+    uint64_t Oldest = Row[0];
     for (uint32_t W = 1; W < Assoc; ++W) {
-      uint64_t Inserted = wayAt(SetIndex, W).InsertedAt;
-      if (Inserted < Oldest) {
-        Oldest = Inserted;
+      if (Row[W] < Oldest) {
+        Oldest = Row[W];
         Victim = W;
       }
     }
@@ -160,8 +183,7 @@ uint32_t Cache::chooseVictim(uint64_t SetIndex) {
 }
 
 void Cache::touchWay(uint64_t SetIndex, uint32_t WayIndex) {
-  Way &Line = wayAt(SetIndex, WayIndex);
-  Line.LastUse = Tick;
+  LastUse[SetIndex * Geometry.associativity() + WayIndex] = Tick;
   if (Policy != ReplacementKind::TreePlru)
     return;
   // Flip every node on the root-to-leaf path to point away from this way.

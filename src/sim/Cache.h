@@ -12,6 +12,14 @@
 /// stream and reports hit/miss per reference together with per-set miss
 /// counters.
 ///
+/// The simulator is the hottest loop of every profiling job, so the
+/// cache state is laid out structure-of-arrays: one contiguous tag row
+/// per set, per-set valid/dirty bit masks, and separate recency /
+/// insertion timestamp planes. The hit lookup compiles to a branch-free
+/// compare-and-mask sweep over the tag row. Observable behaviour is
+/// bit-identical to the scalar model preserved in ReferenceCache.h
+/// (enforced by tests/CacheSoaExactnessTest.cpp).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCPROF_SIM_CACHE_H
@@ -99,32 +107,26 @@ public:
   uint64_t setsWithMisses() const;
 
 private:
-  struct Way {
-    uint64_t Tag = 0;
-    bool Valid = false;
-    bool Dirty = false;
-    uint64_t LastUse = 0;  ///< LRU timestamp.
-    uint64_t InsertedAt = 0; ///< FIFO timestamp.
-  };
-
   /// Selects the victim way in a full set according to Policy.
   uint32_t chooseVictim(uint64_t SetIndex);
 
   /// Updates replacement metadata for a hit or fill of \p WayIndex.
   void touchWay(uint64_t SetIndex, uint32_t WayIndex);
 
-  Way &wayAt(uint64_t SetIndex, uint32_t WayIndex) {
-    return Ways[SetIndex * Geometry.associativity() + WayIndex];
-  }
-  const Way &wayAt(uint64_t SetIndex, uint32_t WayIndex) const {
-    return Ways[SetIndex * Geometry.associativity() + WayIndex];
-  }
-
   CacheGeometry Geometry;
   ReplacementKind Policy;
-  std::vector<Way> Ways;          ///< NumSets * Associativity, row-major.
-  std::vector<uint64_t> PlruBits; ///< One tree-PLRU bitset per set.
+  // State planes, structure-of-arrays. Per-way planes are NumSets *
+  // Associativity, row-major (one contiguous row per set); the bit
+  // masks hold one bit per way, which caps associativity at 64 — the
+  // same cap tree-PLRU already imposes.
+  std::vector<uint64_t> Tags;       ///< Tag plane.
+  std::vector<uint64_t> LastUse;    ///< LRU timestamp plane.
+  std::vector<uint64_t> InsertedAt; ///< FIFO timestamp plane.
+  std::vector<uint64_t> ValidMask;  ///< One valid bitset per set.
+  std::vector<uint64_t> DirtyMask;  ///< One dirty bitset per set.
+  std::vector<uint64_t> PlruBits;   ///< One tree-PLRU bitset per set.
   std::vector<uint64_t> SetMisses;
+  uint64_t AllWays; ///< Mask of all Associativity way bits.
   CacheStats Stats;
   uint64_t Tick = 0;
   Xoshiro256 Rng;

@@ -1,0 +1,175 @@
+//===- sim/ReferenceCache.cpp - Scalar reference cache model --------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ReferenceCache.h"
+
+#include <algorithm>
+#include <bit>
+
+using namespace ccprof;
+
+ReferenceCache::ReferenceCache(CacheGeometry Geometry, ReplacementKind Policy,
+                               uint64_t RngSeed)
+    : Geometry(Geometry), Policy(Policy),
+      Ways(Geometry.numSets() * Geometry.associativity()),
+      SetMisses(Geometry.numSets(), 0), Rng(RngSeed) {
+  assert((Policy != ReplacementKind::TreePlru ||
+          std::has_single_bit(Geometry.associativity())) &&
+         "tree-PLRU requires power-of-two associativity");
+  assert(Geometry.associativity() <= 64 &&
+         "tree-PLRU bit storage limits associativity to 64");
+  if (Policy == ReplacementKind::TreePlru)
+    PlruBits.assign(Geometry.numSets(), 0);
+}
+
+CacheAccessResult ReferenceCache::access(uint64_t Addr, bool IsWrite) {
+  ++Tick;
+  ++Stats.Accesses;
+
+  const uint64_t SetIndex = Geometry.setIndexOf(Addr);
+  const uint64_t Tag = Geometry.tagOf(Addr);
+  const uint32_t Assoc = Geometry.associativity();
+
+  CacheAccessResult Result;
+  Result.SetIndex = SetIndex;
+
+  // Hit path: find the matching valid way.
+  uint32_t FreeWay = Assoc; // first invalid way, if any
+  for (uint32_t W = 0; W < Assoc; ++W) {
+    Way &Line = wayAt(SetIndex, W);
+    if (Line.Valid && Line.Tag == Tag) {
+      ++Stats.Hits;
+      Line.Dirty |= IsWrite;
+      touchWay(SetIndex, W);
+      Result.Hit = true;
+      return Result;
+    }
+    if (!Line.Valid && FreeWay == Assoc)
+      FreeWay = W;
+  }
+
+  // Miss path: fill into a free way or evict a victim.
+  ++Stats.Misses;
+  ++SetMisses[SetIndex];
+
+  uint32_t Victim = FreeWay;
+  if (Victim == Assoc) {
+    Victim = chooseVictim(SetIndex);
+    Way &Old = wayAt(SetIndex, Victim);
+    Result.EvictedLine =
+        Geometry.lineAddrOf(Geometry.lineStartAddr(Old.Tag, SetIndex));
+    Result.EvictedDirty = Old.Dirty;
+    ++Stats.Evictions;
+    if (Old.Dirty)
+      ++Stats.Writebacks;
+  }
+
+  Way &Line = wayAt(SetIndex, Victim);
+  Line.Tag = Tag;
+  Line.Valid = true;
+  Line.Dirty = IsWrite;
+  Line.InsertedAt = Tick;
+  touchWay(SetIndex, Victim);
+  return Result;
+}
+
+bool ReferenceCache::probe(uint64_t Addr) const {
+  const uint64_t SetIndex = Geometry.setIndexOf(Addr);
+  const uint64_t Tag = Geometry.tagOf(Addr);
+  for (uint32_t W = 0, E = Geometry.associativity(); W < E; ++W) {
+    const Way &Line = wayAt(SetIndex, W);
+    if (Line.Valid && Line.Tag == Tag)
+      return true;
+  }
+  return false;
+}
+
+void ReferenceCache::flush() {
+  for (Way &Line : Ways)
+    Line = Way{};
+  std::fill(PlruBits.begin(), PlruBits.end(), 0);
+  Tick = 0;
+}
+
+void ReferenceCache::resetStats() {
+  Stats = CacheStats{};
+  std::fill(SetMisses.begin(), SetMisses.end(), 0);
+}
+
+uint64_t ReferenceCache::missesOnSet(uint64_t SetIndex) const {
+  assert(SetIndex < SetMisses.size() && "set index out of range");
+  return SetMisses[SetIndex];
+}
+
+uint32_t ReferenceCache::chooseVictim(uint64_t SetIndex) {
+  const uint32_t Assoc = Geometry.associativity();
+  switch (Policy) {
+  case ReplacementKind::Lru: {
+    uint32_t Victim = 0;
+    uint64_t Oldest = wayAt(SetIndex, 0).LastUse;
+    for (uint32_t W = 1; W < Assoc; ++W) {
+      uint64_t Use = wayAt(SetIndex, W).LastUse;
+      if (Use < Oldest) {
+        Oldest = Use;
+        Victim = W;
+      }
+    }
+    return Victim;
+  }
+  case ReplacementKind::Fifo: {
+    uint32_t Victim = 0;
+    uint64_t Oldest = wayAt(SetIndex, 0).InsertedAt;
+    for (uint32_t W = 1; W < Assoc; ++W) {
+      uint64_t Inserted = wayAt(SetIndex, W).InsertedAt;
+      if (Inserted < Oldest) {
+        Oldest = Inserted;
+        Victim = W;
+      }
+    }
+    return Victim;
+  }
+  case ReplacementKind::TreePlru: {
+    // Walk the implicit binary tree from the root following the
+    // cold-direction bits. Node numbering: node I's children are 2I+1
+    // and 2I+2; leaves correspond to ways in order.
+    uint64_t Bits = PlruBits[SetIndex];
+    uint32_t Levels = static_cast<uint32_t>(std::countr_zero(Assoc));
+    uint32_t Node = 0;
+    for (uint32_t L = 0; L < Levels; ++L) {
+      bool GoRight = (Bits >> Node) & 1;
+      Node = 2 * Node + 1 + (GoRight ? 1 : 0);
+    }
+    return Node - (Assoc - 1);
+  }
+  case ReplacementKind::Random:
+    return static_cast<uint32_t>(Rng.nextBounded(Assoc));
+  }
+  assert(false && "unknown replacement policy");
+  return 0;
+}
+
+void ReferenceCache::touchWay(uint64_t SetIndex, uint32_t WayIndex) {
+  Way &Line = wayAt(SetIndex, WayIndex);
+  Line.LastUse = Tick;
+  if (Policy != ReplacementKind::TreePlru)
+    return;
+  // Flip every node on the root-to-leaf path to point away from this way.
+  const uint32_t Assoc = Geometry.associativity();
+  uint64_t Bits = PlruBits[SetIndex];
+  uint32_t Node = WayIndex + (Assoc - 1);
+  while (Node != 0) {
+    uint32_t Parent = (Node - 1) / 2;
+    bool CameFromRight = (Node == 2 * Parent + 2);
+    // Point the parent at the *other* child.
+    if (CameFromRight)
+      Bits &= ~(uint64_t{1} << Parent);
+    else
+      Bits |= (uint64_t{1} << Parent);
+    Node = Parent;
+  }
+  PlruBits[SetIndex] = Bits;
+}

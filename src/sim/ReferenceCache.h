@@ -1,0 +1,80 @@
+//===- sim/ReferenceCache.h - Scalar reference cache model -----*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The original array-of-structures cache model, preserved verbatim as
+/// the bit-exactness oracle for the structure-of-arrays Cache. Every
+/// replacement policy consumes randomness and breaks ties exactly the
+/// way Cache does, so the two models must agree on every access result
+/// (hit/miss, evicted line, dirtiness) and every counter — any
+/// divergence is a bug in one of them. The SoA/scalar throughput gap is
+/// what bench/sim_throughput measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SIM_REFERENCECACHE_H
+#define CCPROF_SIM_REFERENCECACHE_H
+
+#include "sim/Cache.h"
+
+#include <vector>
+
+namespace ccprof {
+
+/// Scalar (one-struct-per-way) set-associative cache with the same
+/// observable behaviour as Cache. Kept simple on purpose: correctness
+/// oracle first, benchmark baseline second.
+class ReferenceCache {
+public:
+  ReferenceCache(CacheGeometry Geometry,
+                 ReplacementKind Policy = ReplacementKind::Lru,
+                 uint64_t RngSeed = 0x5eedcafe);
+
+  const CacheGeometry &geometry() const { return Geometry; }
+  ReplacementKind policy() const { return Policy; }
+
+  CacheAccessResult access(uint64_t Addr, bool IsWrite = false);
+  bool probe(uint64_t Addr) const;
+  void flush();
+  void resetStats();
+
+  const CacheStats &stats() const { return Stats; }
+  uint64_t missesOnSet(uint64_t SetIndex) const;
+  const std::vector<uint64_t> &perSetMisses() const { return SetMisses; }
+
+private:
+  struct Way {
+    uint64_t Tag = 0;
+    bool Valid = false;
+    bool Dirty = false;
+    uint64_t LastUse = 0;    ///< LRU timestamp.
+    uint64_t InsertedAt = 0; ///< FIFO timestamp.
+  };
+
+  uint32_t chooseVictim(uint64_t SetIndex);
+  void touchWay(uint64_t SetIndex, uint32_t WayIndex);
+
+  Way &wayAt(uint64_t SetIndex, uint32_t WayIndex) {
+    return Ways[SetIndex * Geometry.associativity() + WayIndex];
+  }
+  const Way &wayAt(uint64_t SetIndex, uint32_t WayIndex) const {
+    return Ways[SetIndex * Geometry.associativity() + WayIndex];
+  }
+
+  CacheGeometry Geometry;
+  ReplacementKind Policy;
+  std::vector<Way> Ways;          ///< NumSets * Associativity, row-major.
+  std::vector<uint64_t> PlruBits; ///< One tree-PLRU bitset per set.
+  std::vector<uint64_t> SetMisses;
+  CacheStats Stats;
+  uint64_t Tick = 0;
+  Xoshiro256 Rng;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_SIM_REFERENCECACHE_H

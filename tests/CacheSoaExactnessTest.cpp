@@ -1,0 +1,136 @@
+//===- tests/CacheSoaExactnessTest.cpp - SoA vs scalar bit-exactness ------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Locks the structure-of-arrays Cache to the preserved scalar model
+// (ReferenceCache) bit for bit: every access of a randomized load/store
+// stream must agree on hit/miss, set index, evicted line, and eviction
+// dirtiness, across all four replacement policies, and the final
+// counters must be equal. Random replacement shares the RNG seed, so
+// even victim draws must line up; this is what lets the production
+// simulator evolve for speed without moving the ground truth.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+#include "sim/ReferenceCache.h"
+#include "support/Rng.h"
+
+#include "gtest/gtest.h"
+
+#include <tuple>
+
+using namespace ccprof;
+
+namespace {
+
+const char *policyName(ReplacementKind Policy) {
+  switch (Policy) {
+  case ReplacementKind::Lru:
+    return "LRU";
+  case ReplacementKind::Fifo:
+    return "FIFO";
+  case ReplacementKind::TreePlru:
+    return "TreePLRU";
+  case ReplacementKind::Random:
+    return "Random";
+  }
+  return "?";
+}
+
+/// Runs the same randomized reference stream through both models and
+/// asserts access-by-access equality.
+void expectBitExact(CacheGeometry G, ReplacementKind Policy,
+                    uint64_t StreamSeed, int Locality, int NumAccesses) {
+  const uint64_t RngSeed = 0x5eedcafe ^ StreamSeed;
+  Cache Soa(G, Policy, RngSeed);
+  ReferenceCache Scalar(G, Policy, RngSeed);
+
+  Xoshiro256 Rng(StreamSeed);
+  for (int I = 0; I < NumAccesses; ++I) {
+    // Mix of strided sweeps and random pointers, with writes sprinkled
+    // in so dirty/writeback state is exercised.
+    uint64_t Addr;
+    if (Rng.nextBounded(4) == 0)
+      Addr = (static_cast<uint64_t>(I) * 24) % (uint64_t{1} << Locality);
+    else
+      Addr = Rng.nextBounded(uint64_t{1} << Locality);
+    const bool IsWrite = Rng.nextBounded(8) < 3;
+
+    CacheAccessResult A = Soa.access(Addr, IsWrite);
+    CacheAccessResult B = Scalar.access(Addr, IsWrite);
+    ASSERT_EQ(A.Hit, B.Hit)
+        << policyName(Policy) << " access " << I << " addr " << Addr;
+    ASSERT_EQ(A.SetIndex, B.SetIndex) << policyName(Policy) << " access " << I;
+    ASSERT_EQ(A.EvictedLine.has_value(), B.EvictedLine.has_value())
+        << policyName(Policy) << " access " << I;
+    if (A.EvictedLine) {
+      ASSERT_EQ(*A.EvictedLine, *B.EvictedLine)
+          << policyName(Policy) << " access " << I;
+      ASSERT_EQ(A.EvictedDirty, B.EvictedDirty)
+          << policyName(Policy) << " access " << I;
+    }
+    // probe() must agree with the scalar model on residency too.
+    ASSERT_EQ(Soa.probe(Addr), Scalar.probe(Addr))
+        << policyName(Policy) << " access " << I;
+  }
+
+  EXPECT_EQ(Soa.stats().Accesses, Scalar.stats().Accesses);
+  EXPECT_EQ(Soa.stats().Hits, Scalar.stats().Hits);
+  EXPECT_EQ(Soa.stats().Misses, Scalar.stats().Misses);
+  EXPECT_EQ(Soa.stats().Evictions, Scalar.stats().Evictions);
+  EXPECT_EQ(Soa.stats().Writebacks, Scalar.stats().Writebacks);
+  EXPECT_EQ(Soa.perSetMisses(), Scalar.perSetMisses());
+}
+
+} // namespace
+
+class CacheSoaExactnessTest
+    : public ::testing::TestWithParam<
+          std::tuple<uint64_t, uint32_t, uint32_t, int>> {};
+
+TEST_P(CacheSoaExactnessTest, AllPoliciesMatchScalarModel) {
+  auto [Size, Line, Assoc, Locality] = GetParam();
+  CacheGeometry G(Size, Line, Assoc);
+  for (ReplacementKind Policy :
+       {ReplacementKind::Lru, ReplacementKind::Fifo, ReplacementKind::TreePlru,
+        ReplacementKind::Random}) {
+    if (Policy == ReplacementKind::TreePlru && (Assoc & (Assoc - 1)) != 0)
+      continue; // tree-PLRU needs power-of-two associativity
+    expectBitExact(G, Policy, Size * 131 + Assoc * 7 + Locality, Locality,
+                   40000);
+  }
+}
+
+TEST(CacheSoaExactnessTest, FlushResetsBothModelsIdentically) {
+  CacheGeometry G(32768, 64, 8);
+  Cache Soa(G, ReplacementKind::Lru);
+  ReferenceCache Scalar(G, ReplacementKind::Lru);
+  Xoshiro256 Rng(42);
+  for (int I = 0; I < 5000; ++I) {
+    uint64_t Addr = Rng.nextBounded(1 << 18);
+    Soa.access(Addr, I % 3 == 0);
+    Scalar.access(Addr, I % 3 == 0);
+  }
+  Soa.flush();
+  Scalar.flush();
+  for (int I = 0; I < 5000; ++I) {
+    uint64_t Addr = Rng.nextBounded(1 << 18);
+    ASSERT_EQ(Soa.access(Addr).Hit, Scalar.access(Addr).Hit) << I;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GeometryAndLocality, CacheSoaExactnessTest,
+    ::testing::Values(
+        std::make_tuple(uint64_t{4096}, 64u, 1u, 14),  // direct-mapped
+        std::make_tuple(uint64_t{4096}, 64u, 2u, 14),
+        std::make_tuple(uint64_t{32768}, 64u, 8u, 16), // the paper's L1
+        std::make_tuple(uint64_t{32768}, 64u, 8u, 20), // low locality
+        std::make_tuple(uint64_t{8192}, 32u, 4u, 15),
+        std::make_tuple(uint64_t{2048}, 64u, 16u, 13), // 2 fat sets
+        std::make_tuple(uint64_t{12288}, 64u, 3u, 14), // non-pow2 ways
+        std::make_tuple(uint64_t{65536}, 128u, 4u, 18)));

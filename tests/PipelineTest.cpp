@@ -15,6 +15,7 @@
 #include "pipeline/Diff.h"
 #include "pipeline/JobRunner.h"
 #include "pipeline/Merge.h"
+#include "pipeline/MissStreamCache.h"
 #include "trace/Canonicalize.h"
 #include "workloads/Workload.h"
 
@@ -360,6 +361,144 @@ TEST(JobRunnerTest, ProgressCallbackSeesEveryJob) {
   });
   EXPECT_EQ(Calls, Jobs.size());
   EXPECT_EQ(MaxDone, Jobs.size());
+}
+
+//===----------------------------------------------------------------------===//
+// Shared-trace engine and miss-stream cache
+//===----------------------------------------------------------------------===//
+
+TEST(SharedTraceTest, OutputIsByteIdenticalToNaivePath) {
+  // A sampling-period sweep across both cache levels: the configuration
+  // the shared-trace engine is built for. Every artifact must serialize
+  // to exactly the bytes the naive one-simulation-per-job path emits —
+  // this is the pipeline's reproducibility contract (PR 1) carried over
+  // to the fast path.
+  BatchMatrix Matrix;
+  Matrix.Workloads = {"Symmetrization"};
+  Matrix.Periods = {171, 603, 1212};
+  Matrix.Levels = {ProfileLevel::L1, ProfileLevel::L2};
+  Matrix.Repeats = 2;
+  std::vector<JobSpec> Jobs = expandMatrix(Matrix);
+  ASSERT_EQ(Jobs.size(), 12u);
+
+  std::vector<JobOutcome> Naive = runJobs(Jobs, 1);
+  SharedBatchStats Stats;
+  std::vector<JobOutcome> Shared =
+      runJobsShared(Jobs, 4, 0, nullptr, nullptr, &Stats);
+
+  ASSERT_EQ(Naive.size(), Shared.size());
+  for (size_t I = 0; I < Naive.size(); ++I) {
+    ASSERT_TRUE(Naive[I].ok()) << Naive[I].Error;
+    ASSERT_TRUE(Shared[I].ok()) << Shared[I].Error;
+    EXPECT_EQ(serialize(Naive[I].Artifact), serialize(Shared[I].Artifact))
+        << "job " << Jobs[I].key()
+        << " produced different bytes via the shared-trace engine";
+  }
+
+  // One workload, one variant -> one trace; two distinct streams (L1
+  // and L2); the other ten jobs ride the cache.
+  EXPECT_EQ(Stats.TraceGroups, 1u);
+  EXPECT_EQ(Stats.Streams.Misses, 2u);
+  EXPECT_EQ(Stats.Streams.Hits, 10u);
+  EXPECT_EQ(Stats.Streams.Evictions, 0u);
+}
+
+TEST(SharedTraceTest, ExactJobsShareStreamsWithSampledJobs) {
+  // An exact job consumes the same miss stream as a sampled job of the
+  // same configuration, just unsampled — so its stream is a cache hit.
+  JobSpec Sampled = symmetrizationJob();
+  JobSpec Exact = symmetrizationJob();
+  Exact.Exact = true;
+  EXPECT_EQ(missStreamKeyOf(Sampled), missStreamKeyOf(Exact));
+
+  std::vector<JobSpec> Jobs = {Sampled, Exact};
+  SharedBatchStats Stats;
+  std::vector<JobOutcome> Shared =
+      runJobsShared(Jobs, 1, 0, nullptr, nullptr, &Stats);
+  EXPECT_EQ(Stats.Streams.Misses, 1u);
+  EXPECT_EQ(Stats.Streams.Hits, 1u);
+
+  std::vector<JobOutcome> Naive = runJobs(Jobs, 1);
+  for (size_t I = 0; I < Jobs.size(); ++I)
+    EXPECT_EQ(serialize(Naive[I].Artifact), serialize(Shared[I].Artifact));
+}
+
+TEST(SharedTraceTest, StreamKeysSeparateWhatMustNotBeShared) {
+  JobSpec Base = symmetrizationJob();
+
+  JobSpec OtherPeriod = Base;
+  OtherPeriod.MeanPeriod = 171;
+  JobSpec OtherThreshold = Base;
+  OtherThreshold.RcdThreshold = 16;
+  JobSpec OtherRepeat = Base;
+  OtherRepeat.Repeat = 3;
+  // Sampling-side knobs never split the stream...
+  EXPECT_EQ(missStreamKeyOf(Base), missStreamKeyOf(OtherPeriod));
+  EXPECT_EQ(missStreamKeyOf(Base), missStreamKeyOf(OtherThreshold));
+  EXPECT_EQ(missStreamKeyOf(Base), missStreamKeyOf(OtherRepeat));
+
+  // ...cache-side knobs always do.
+  JobSpec OtherLevel = Base;
+  OtherLevel.Level = ProfileLevel::L2;
+  JobSpec OtherWorkload = Base;
+  OtherWorkload.WorkloadName = "NW";
+  JobSpec OtherVariant = Base;
+  OtherVariant.Variant = WorkloadVariant::Optimized;
+  EXPECT_NE(missStreamKeyOf(Base), missStreamKeyOf(OtherLevel));
+  EXPECT_NE(missStreamKeyOf(Base), missStreamKeyOf(OtherWorkload));
+  EXPECT_NE(missStreamKeyOf(Base), missStreamKeyOf(OtherVariant));
+
+  // The page mapping reaches the simulation only at L2.
+  JobSpec L1Shuffled = Base;
+  L1Shuffled.Mapping = PagePolicy::Shuffled;
+  EXPECT_EQ(missStreamKeyOf(Base), missStreamKeyOf(L1Shuffled));
+  JobSpec L2First = OtherLevel;
+  JobSpec L2Shuffled = OtherLevel;
+  L2Shuffled.Mapping = PagePolicy::Shuffled;
+  EXPECT_NE(missStreamKeyOf(L2First), missStreamKeyOf(L2Shuffled));
+}
+
+TEST(MissStreamCacheTest, CountsHitsPerEntryAndEvictsLeastRecent) {
+  MissStreamCache Cache(2);
+  uint64_t Computes = 0;
+  auto Stream = [&](size_t Len) {
+    return [&Computes, Len] {
+      ++Computes;
+      return std::vector<MissEvent>(Len);
+    };
+  };
+
+  EXPECT_EQ(Cache.getOrCompute("a", Stream(3))->size(), 3u);
+  EXPECT_EQ(Cache.getOrCompute("b", Stream(5))->size(), 5u);
+  EXPECT_EQ(Cache.getOrCompute("a", Stream(3))->size(), 3u); // hit, a is MRU
+  EXPECT_EQ(Computes, 2u);
+
+  // Third key evicts "b" (least recent), not "a".
+  EXPECT_EQ(Cache.getOrCompute("c", Stream(7))->size(), 7u);
+  EXPECT_EQ(Cache.size(), 2u);
+  Cache.getOrCompute("b", Stream(5));
+  EXPECT_EQ(Computes, 4u) << "evicted entry must be recomputed";
+
+  MissStreamCacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Hits, 1u);
+  EXPECT_EQ(Stats.Misses, 4u);
+  EXPECT_EQ(Stats.Evictions, 2u); // b evicted by c, then a evicted by b
+  ASSERT_EQ(Stats.Entries.size(), 3u);
+  EXPECT_EQ(Stats.Entries[0].Key, "a");
+  EXPECT_EQ(Stats.Entries[0].Hits, 1u);
+  EXPECT_EQ(Stats.Entries[0].Events, 3u);
+  EXPECT_FALSE(Stats.Entries[0].Resident);
+  EXPECT_TRUE(Stats.Entries[1].Resident); // b, re-inserted
+  EXPECT_TRUE(Stats.Entries[2].Resident); // c
+}
+
+TEST(MissStreamCacheTest, EvictedStreamsSurviveWhileHeld) {
+  MissStreamCache Cache(1);
+  MissStreamCache::StreamPtr Held =
+      Cache.getOrCompute("a", [] { return std::vector<MissEvent>(9); });
+  Cache.getOrCompute("b", [] { return std::vector<MissEvent>(1); });
+  EXPECT_EQ(Cache.size(), 1u);
+  EXPECT_EQ(Held->size(), 9u) << "held stream must outlive its eviction";
 }
 
 //===----------------------------------------------------------------------===//

@@ -87,6 +87,12 @@ void printUsage(std::ostream &Out) {
          "R-perturbed)\n"
          "  --stamp                   record wall-clock provenance "
          "timestamps\n"
+         "  --no-reuse                disable the shared-trace engine "
+         "(one full\n"
+         "                            simulation per job; output is "
+         "byte-identical)\n"
+         "  --stream-cache N          max resident miss streams "
+         "(default 16)\n"
          "\n"
          "merge/diff options:\n"
          "  --out FILE                write the merged artifact here\n"
@@ -327,6 +333,10 @@ struct BatchCliOptions {
   unsigned Jobs = 1;
   std::string OutDir = "ccprof-artifacts";
   bool Stamp = false;
+  /// Shared-trace engine on by default; --no-reuse restores the naive
+  /// one-simulation-per-job path (mainly for A/B measurement).
+  bool Reuse = true;
+  size_t StreamCacheEntries = MissStreamCache::DefaultMaxEntries;
   bool Ok = true;
 };
 
@@ -446,6 +456,12 @@ BatchCliOptions parseBatchOptions(const std::vector<std::string> &Args) {
       Options.Matrix.Exact = true;
     } else if (Arg == "--stamp") {
       Options.Stamp = true;
+    } else if (Arg == "--no-reuse") {
+      Options.Reuse = false;
+    } else if (Arg == "--stream-cache") {
+      std::string Value = NextValue();
+      if (Options.Ok)
+        ParsePositive(Value, "--stream-cache", Options.StreamCacheEntries);
     } else {
       Fail("unknown batch option '" + Arg + "'");
     }
@@ -493,19 +509,29 @@ int commandBatch(const std::string &Selection,
           : 0;
 
   std::cout << "batch: " << Jobs.size() << " job(s) on " << Options.Jobs
-            << " worker thread(s) -> " << Options.OutDir << '\n';
+            << " worker thread(s) -> " << Options.OutDir
+            << (Options.Reuse ? " (shared-trace engine)" : " (naive, --no-reuse)")
+            << '\n';
+
+  auto Progress = [&](const JobOutcome &Outcome, size_t Done) {
+    if (Outcome.ok())
+      std::cout << "  [" << Done << "/" << Jobs.size() << "] "
+                << Outcome.Job.key() << '\n';
+    else
+      std::cout << "  [" << Done << "/" << Jobs.size() << "] FAILED "
+                << Outcome.Job.key() << ": " << Outcome.Error << '\n';
+  };
 
   size_t Failures = 0;
-  std::vector<JobOutcome> Outcomes = runJobs(
-      Jobs, Options.Jobs, Timestamp,
-      [&](const JobOutcome &Outcome, size_t Done) {
-        if (Outcome.ok())
-          std::cout << "  [" << Done << "/" << Jobs.size() << "] "
-                    << Outcome.Job.key() << '\n';
-        else
-          std::cout << "  [" << Done << "/" << Jobs.size() << "] FAILED "
-                    << Outcome.Job.key() << ": " << Outcome.Error << '\n';
-      });
+  std::vector<JobOutcome> Outcomes;
+  SharedBatchStats Shared;
+  if (Options.Reuse) {
+    MissStreamCache StreamCache(Options.StreamCacheEntries);
+    Outcomes = runJobsShared(Jobs, Options.Jobs, Timestamp, Progress,
+                             &StreamCache, &Shared);
+  } else {
+    Outcomes = runJobs(Jobs, Options.Jobs, Timestamp, Progress);
+  }
 
   // Persist sequentially in job order: output listing and directory
   // contents are deterministic regardless of completion order.
@@ -517,6 +543,20 @@ int commandBatch(const std::string &Selection,
     if (Store.save(Outcome.Artifact, &Error).empty()) {
       std::cerr << "error: " << Error << '\n';
       ++Failures;
+    }
+  }
+
+  if (Options.Reuse) {
+    const MissStreamCacheStats &S = Shared.Streams;
+    std::cout << "batch: " << Shared.TraceGroups << " trace group(s); "
+              << "miss-stream cache: " << S.Hits << " hit(s), " << S.Misses
+              << " simulation(s), " << S.Evictions << " eviction(s)\n";
+    if (!S.Entries.empty()) {
+      TextTable Streams({"stream", "hits", "events", "resident"});
+      for (const MissStreamCacheEntryStats &E : S.Entries)
+        Streams.addRow({E.Key, std::to_string(E.Hits),
+                        std::to_string(E.Events), E.Resident ? "yes" : "no"});
+      std::cout << Streams.render();
     }
   }
 
