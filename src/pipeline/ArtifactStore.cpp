@@ -7,8 +7,11 @@
 
 #include "pipeline/ArtifactStore.h"
 
+#include "trace/BinaryIO.h"
+
 #include <algorithm>
 #include <filesystem>
+#include <fstream>
 #include <system_error>
 
 using namespace ccprof;
@@ -42,15 +45,68 @@ std::string ArtifactStore::save(const ProfileArtifact &Artifact,
   return Path;
 }
 
-std::vector<std::string> ArtifactStore::list() const {
+namespace {
+
+/// Shared by list/listStaleTemporaries: regular files under \p Dir
+/// whose name ends with \p Suffix, sorted.
+std::vector<std::string> listBySuffix(const std::string &Dir,
+                                      const std::string &Suffix,
+                                      std::string *Error) {
   std::vector<std::string> Paths;
   std::error_code Ec;
-  for (const fs::directory_entry &Entry :
-       fs::directory_iterator(Directory, Ec)) {
-    if (Entry.is_regular_file() &&
-        Entry.path().extension() == ArtifactExtension)
+  fs::directory_iterator It(Dir, Ec);
+  if (Ec) {
+    if (Error)
+      *Error = "cannot list artifact directory " + Dir + ": " + Ec.message();
+    return Paths;
+  }
+  for (const fs::directory_entry &Entry : It) {
+    const std::string Name = Entry.path().filename().string();
+    if (Entry.is_regular_file() && Name.size() > Suffix.size() &&
+        Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) == 0)
       Paths.push_back(Entry.path().string());
   }
   std::sort(Paths.begin(), Paths.end());
   return Paths;
+}
+
+} // namespace
+
+std::vector<std::string> ArtifactStore::list(std::string *Error) const {
+  // Match the extension against the full name, not path::extension():
+  // "x.ccpa.tmp" must stay invisible here and show up as a stale temp.
+  return listBySuffix(Directory, ArtifactExtension, Error);
+}
+
+std::vector<std::string> ArtifactStore::listStaleTemporaries() const {
+  return listBySuffix(
+      Directory, std::string(ArtifactExtension) + bio::AtomicTempSuffix,
+      nullptr);
+}
+
+ArtifactValidationReport ArtifactStore::validate(std::string *Error) const {
+  ArtifactValidationReport Report;
+  std::string ListError;
+  std::vector<std::string> Paths = list(&ListError);
+  if (!ListError.empty()) {
+    if (Error)
+      *Error = ListError;
+    return Report;
+  }
+  for (const std::string &Path : Paths) {
+    ++Report.Checked;
+    // readFrom rather than loadFromFile: the issue row already carries
+    // the path, so the reason should not repeat it.
+    std::ifstream In(Path, std::ios::binary);
+    if (!In) {
+      Report.Issues.push_back({Path, "cannot open for reading"});
+      continue;
+    }
+    ProfileArtifact Artifact;
+    std::string Reason;
+    if (!ProfileArtifact::readFrom(In, Artifact, &Reason))
+      Report.Issues.push_back({Path, Reason});
+  }
+  Report.StaleTemporaries = listStaleTemporaries();
+  return Report;
 }

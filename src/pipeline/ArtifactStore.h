@@ -10,7 +10,11 @@
 /// job's key ("NW-orig-l1-firsttouch-bursty-p1212-t8-r0.ccpa"). The
 /// store is the persistence seam between batch production and the
 /// merge/diff consumers: later scaling work (shards, remote backends,
-/// artifact caches) replaces this class, not its callers.
+/// artifact caches) replaces this class, not its callers. Saves are
+/// atomic (temp + rename via ProfileArtifact::saveToFile), listing
+/// surfaces I/O errors instead of conflating them with emptiness, and
+/// validate() sweeps the whole store through the checksummed loader —
+/// the engine behind `ccprof validate`.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +28,25 @@
 
 namespace ccprof {
 
+/// One unloadable artifact found by ArtifactStore::validate.
+struct ArtifactValidationIssue {
+  std::string Path;
+  std::string Reason;
+};
+
+/// Result of sweeping a store through the artifact loader.
+struct ArtifactValidationReport {
+  /// Artifact files examined.
+  size_t Checked = 0;
+  /// Files the loader rejected, with the loader's diagnostic.
+  std::vector<ArtifactValidationIssue> Issues;
+  /// Leftover ".ccpa.tmp" files from interrupted saves. Harmless (the
+  /// atomic-write protocol never publishes them) but worth reporting.
+  std::vector<std::string> StaleTemporaries;
+
+  bool ok() const { return Issues.empty(); }
+};
+
 /// Filesystem-backed artifact collection rooted at one directory.
 class ArtifactStore {
 public:
@@ -36,14 +59,26 @@ public:
   /// The path \p Artifact saves to: root / key + ".ccpa".
   std::string pathFor(const ProfileArtifact &Artifact) const;
 
-  /// Writes \p Artifact to its canonical path.
-  /// \returns the path, or empty with \p Error set.
+  /// Writes \p Artifact to its canonical path atomically (temp +
+  /// rename). \returns the path, or empty with \p Error set.
   std::string save(const ProfileArtifact &Artifact,
                    std::string *Error = nullptr);
 
   /// Artifact file paths currently in the store, sorted by name so the
-  /// listing is deterministic across filesystems.
-  std::vector<std::string> list() const;
+  /// listing is deterministic across filesystems. A missing or
+  /// unreadable directory reports through \p Error (when non-null) and
+  /// returns empty — distinguishable from a genuinely empty store,
+  /// whose \p Error stays untouched.
+  std::vector<std::string> list(std::string *Error = nullptr) const;
+
+  /// Leftover atomic-write temporaries (".ccpa.tmp"), sorted; evidence
+  /// of an interrupted save.
+  std::vector<std::string> listStaleTemporaries() const;
+
+  /// Loads every artifact in the store, collecting loader rejections
+  /// and stale temporaries. \p Error reports a listing failure (the
+  /// report is then empty).
+  ArtifactValidationReport validate(std::string *Error = nullptr) const;
 
   const std::string &directory() const { return Directory; }
 

@@ -62,6 +62,22 @@ std::string JobSpec::key() const {
   std::transform(Safe.begin(), Safe.end(), Safe.begin(), [](unsigned char C) {
     return std::isalnum(C) ? static_cast<char>(C) : '_';
   });
+  if (Safe != WorkloadName) {
+    // Sanitization was lossy, so distinct raw names can collapse onto
+    // one safe string ("MKL-FFT" and "MKL.FFT" both become "MKL_FFT" —
+    // and collide with a workload literally named "MKL_FFT"). Append a
+    // short hash of the raw name so such jobs never share an artifact
+    // path; names that sanitize to themselves keep their stable keys.
+    uint32_t Hash = 2166136261u; // FNV-1a
+    for (unsigned char C : WorkloadName) {
+      Hash ^= C;
+      Hash *= 16777619u;
+    }
+    static const char *Hex = "0123456789abcdef";
+    Safe += 'x';
+    for (int Shift = 28; Shift >= 0; Shift -= 4)
+      Safe += Hex[(Hash >> Shift) & 0xF];
+  }
   std::string Key = Safe + '-' + variantName(Variant) + '-' +
                     levelName(Level) + '-' + mappingName(Mapping);
   Key += Exact ? "-exact" : ('-' + samplerName(Sampler) + "-p" +

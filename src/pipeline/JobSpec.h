@@ -46,7 +46,10 @@ struct JobSpec {
   ProfileOptions toProfileOptions() const;
 
   /// Filename-safe identity, e.g. "NW-orig-l1-firsttouch-p1212-r0".
-  /// Distinct jobs of one matrix have distinct keys.
+  /// Distinct jobs have distinct keys: non-alphanumeric name characters
+  /// sanitize to '_', and when that is lossy a short hash of the raw
+  /// name is appended so "MKL-FFT" and "MKL_FFT" cannot collide onto
+  /// one artifact path.
   std::string key() const;
 };
 

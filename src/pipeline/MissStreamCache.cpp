@@ -39,7 +39,14 @@ MissStreamCache::getOrCompute(const std::string &Key,
   auto It = Entries.find(Key);
   if (It != Entries.end()) {
     // A racing caller stored the stream first; its copy wins so every
-    // holder shares one buffer. Deterministic content either way.
+    // holder shares one buffer. Deterministic content either way. The
+    // lookup is ultimately served from the cache, so reclassify our
+    // provisional miss as a hit (global and per-entry) — otherwise
+    // hit-rate reporting undercounts under contention and Misses
+    // overstates the number of streams actually simulated and stored.
+    --Misses;
+    ++Hits;
+    ++Accounts[It->second.AccountIndex].Hits;
     Recency.splice(Recency.begin(), Recency, It->second.RecencyIt);
     return It->second.Data;
   }

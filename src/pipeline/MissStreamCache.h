@@ -72,7 +72,9 @@ public:
   /// lock) to produce it on a miss. Concurrent callers with distinct
   /// keys never serialize on each other's compute; racing callers with
   /// the same key may compute twice, but both observe the same stored
-  /// stream afterwards.
+  /// stream afterwards, and only the caller whose stream is stored
+  /// counts as a miss — the loser's lookup is served from the cache
+  /// and is accounted as a hit (globally and per entry).
   StreamPtr getOrCompute(const std::string &Key,
                          const std::function<Stream()> &Compute);
 

@@ -10,8 +10,7 @@
 #include "trace/BinaryIO.h"
 
 #include <fstream>
-#include <istream>
-#include <ostream>
+#include <sstream>
 
 using namespace ccprof;
 using namespace ccprof::bio;
@@ -32,13 +31,15 @@ void writeHistogram(std::ostream &Out, const Histogram &H) {
   }
 }
 
-bool readHistogram(std::istream &In, Histogram &H) {
+bool readHistogram(ByteReader &In, Histogram &H) {
   uint64_t NumBuckets = 0;
-  if (!readU64(In, NumBuckets))
+  // Each bucket is 16 bytes on the wire; a count that cannot fit in the
+  // remaining bytes is corruption, caught before the add loop runs.
+  if (!In.readU64(NumBuckets) || !In.fits(NumBuckets, 16))
     return false;
   for (uint64_t I = 0; I < NumBuckets; ++I) {
     uint64_t Key = 0, Count = 0;
-    if (!readU64(In, Key) || !readU64(In, Count) || Count == 0)
+    if (!In.readU64(Key) || !In.readU64(Count) || Count == 0)
       return false;
     H.add(Key, Count);
   }
@@ -72,20 +73,26 @@ void writeLoop(std::ostream &Out, const LoopConflictReport &Loop) {
   }
 }
 
-bool readLoop(std::istream &In, LoopConflictReport &Loop) {
+/// Minimum wire size of one loop record: the fixed fields plus the four
+/// empty-sequence counts. Used to bound the loop-table count.
+constexpr size_t MinLoopBytes = 4 /*location len*/ + 3 * 4 /*loop ref*/ +
+                                8 + 8 + 8 + 8 + 8 + 8 + 8 /*stats*/ +
+                                2 * 4 /*flags*/ + 4 * 8 /*sequence counts*/;
+
+bool readLoop(ByteReader &In, LoopConflictReport &Loop) {
   uint32_t HasLoop = 0, FunctionIndex = 0, LoopId = 0;
-  if (!readString(In, Loop.Location) || !readU32(In, HasLoop) ||
-      !readU32(In, FunctionIndex) || !readU32(In, LoopId))
+  if (!In.readString(Loop.Location) || !In.readU32(HasLoop) ||
+      !In.readU32(FunctionIndex) || !In.readU32(LoopId))
     return false;
   if (HasLoop)
     Loop.Loop = LoopRef{FunctionIndex, LoopId};
   uint32_t Significant = 0, Predicted = 0;
-  if (!readU64(In, Loop.Samples) || !readF64(In, Loop.MissContribution) ||
-      !readU64(In, Loop.SetsUtilized) ||
-      !readF64(In, Loop.ContributionFactor) || !readF64(In, Loop.MeanRcd) ||
-      !readU64(In, Loop.MedianRcd) ||
-      !readF64(In, Loop.ConflictProbability) || !readU32(In, Significant) ||
-      !readU32(In, Predicted))
+  if (!In.readU64(Loop.Samples) || !In.readF64(Loop.MissContribution) ||
+      !In.readU64(Loop.SetsUtilized) ||
+      !In.readF64(Loop.ContributionFactor) || !In.readF64(Loop.MeanRcd) ||
+      !In.readU64(Loop.MedianRcd) ||
+      !In.readF64(Loop.ConflictProbability) || !In.readU32(Significant) ||
+      !In.readU32(Predicted))
     return false;
   Loop.Significant = Significant != 0;
   Loop.ConflictPredicted = Predicted != 0;
@@ -93,20 +100,20 @@ bool readLoop(std::istream &In, LoopConflictReport &Loop) {
       !readHistogram(In, Loop.Periods.RunLengths))
     return false;
   uint64_t NumSets = 0;
-  if (!readU64(In, NumSets) || NumSets > (1u << 24))
+  if (!In.readU64(NumSets) || !In.fits(NumSets, 8))
     return false;
   Loop.PerSetMisses.resize(NumSets);
   for (uint64_t I = 0; I < NumSets; ++I)
-    if (!readU64(In, Loop.PerSetMisses[I]))
+    if (!In.readU64(Loop.PerSetMisses[I]))
       return false;
   uint64_t NumData = 0;
-  if (!readU64(In, NumData) || NumData > (1u << 24))
+  if (!In.readU64(NumData) || !In.fits(NumData, 4 + 8 + 8))
     return false;
   Loop.DataStructures.resize(NumData);
   for (uint64_t I = 0; I < NumData; ++I) {
     DataStructureReport &Data = Loop.DataStructures[I];
-    if (!readString(In, Data.Name) || !readU64(In, Data.Samples) ||
-        !readF64(In, Data.Share))
+    if (!In.readString(Data.Name) || !In.readU64(Data.Samples) ||
+        !In.readF64(Data.Share))
       return false;
   }
   return true;
@@ -125,13 +132,13 @@ void writeJobSpec(std::ostream &Out, const JobSpec &Job) {
   writeU64(Out, Job.Seed);
 }
 
-bool readJobSpec(std::istream &In, JobSpec &Job) {
+bool readJobSpec(ByteReader &In, JobSpec &Job) {
   uint32_t Variant = 0, Exact = 0, Sampler = 0, Level = 0, Mapping = 0;
-  if (!readString(In, Job.WorkloadName) || !readU32(In, Variant) ||
-      !readU32(In, Exact) || !readU32(In, Sampler) ||
-      !readU64(In, Job.MeanPeriod) || !readU64(In, Job.RcdThreshold) ||
-      !readU32(In, Level) || !readU32(In, Mapping) ||
-      !readU32(In, Job.Repeat) || !readU64(In, Job.Seed))
+  if (!In.readString(Job.WorkloadName) || !In.readU32(Variant) ||
+      !In.readU32(Exact) || !In.readU32(Sampler) ||
+      !In.readU64(Job.MeanPeriod) || !In.readU64(Job.RcdThreshold) ||
+      !In.readU32(Level) || !In.readU32(Mapping) ||
+      !In.readU32(Job.Repeat) || !In.readU64(Job.Seed))
     return false;
   if (Sampler > 2 || Mapping > 2)
     return false;
@@ -147,68 +154,105 @@ bool readJobSpec(std::istream &In, JobSpec &Job) {
 } // namespace
 
 bool ProfileArtifact::writeTo(std::ostream &Out) const {
-  writeU32(Out, ArtifactMagic);
-  writeU32(Out, ArtifactVersion);
+  // Serialize to memory first: the trailing checksum covers every byte
+  // that precedes it (header included), so the payload must exist
+  // before the CRC can.
+  std::ostringstream Buffer;
+  writeU32(Buffer, ArtifactMagic);
+  writeU32(Buffer, ArtifactVersion);
 
   // Provenance.
-  writeJobSpec(Out, Provenance.Job);
-  writeU32(Out, Provenance.MergedRuns);
-  writeU64(Out, Provenance.TimestampNs);
-  writeString(Out, Provenance.Tool);
+  writeJobSpec(Buffer, Provenance.Job);
+  writeU32(Buffer, Provenance.MergedRuns);
+  writeU64(Buffer, Provenance.TimestampNs);
+  writeString(Buffer, Provenance.Tool);
 
   // Run summary.
-  writeU64(Out, Result.TraceRefs);
-  writeU64(Out, Result.L1Misses);
-  writeU64(Out, Result.Samples);
-  writeF64(Out, Result.L1MissRatio);
-  writeU64(Out, Result.NumSets);
-  writeU64(Out, Result.RcdThreshold);
+  writeU64(Buffer, Result.TraceRefs);
+  writeU64(Buffer, Result.L1Misses);
+  writeU64(Buffer, Result.Samples);
+  writeF64(Buffer, Result.L1MissRatio);
+  writeU64(Buffer, Result.NumSets);
+  writeU64(Buffer, Result.RcdThreshold);
 
   // Loop table.
-  writeU64(Out, Result.Loops.size());
+  writeU64(Buffer, Result.Loops.size());
   for (const LoopConflictReport &Loop : Result.Loops)
-    writeLoop(Out, Loop);
+    writeLoop(Buffer, Loop);
+
+  std::string Bytes = std::move(Buffer).str();
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  writeU32(Out, crc32(Bytes));
   return Out.good();
 }
 
 bool ProfileArtifact::readFrom(std::istream &In, ProfileArtifact &Result,
                                std::string *Error) {
+  return readFromBytes(readAll(In), Result, Error);
+}
+
+bool ProfileArtifact::readFromBytes(std::string_view Bytes,
+                                    ProfileArtifact &Result,
+                                    std::string *Error) {
+  ByteReader Header(Bytes);
   uint32_t Magic = 0, Version = 0;
-  if (!readU32(In, Magic))
+  if (!Header.readU32(Magic))
     return fail(Error, "file is empty or too short to be a ccprof artifact");
   if (Magic != ArtifactMagic)
     return fail(Error, "bad magic number: not a ccprof profile artifact");
-  if (!readU32(In, Version))
+  if (!Header.readU32(Version))
     return fail(Error, "truncated artifact header");
-  if (Version != ArtifactVersion)
+  if (Version < MinArtifactVersion || Version > ArtifactVersion)
     return fail(Error, "unsupported artifact format version " +
                            std::to_string(Version) + " (expected " +
+                           std::to_string(MinArtifactVersion) + ".." +
                            std::to_string(ArtifactVersion) + ")");
 
+  std::string_view Payload = Bytes.substr(8);
+  if (Version >= 2) {
+    // v2+ carries a trailing CRC-32 of everything before it.
+    if (Payload.size() < 4)
+      return fail(Error, "truncated artifact: missing checksum");
+    ByteReader Tail(Payload.substr(Payload.size() - 4));
+    uint32_t Stored = 0;
+    Tail.readU32(Stored);
+    Payload.remove_suffix(4);
+    uint32_t Actual = crc32(Bytes.substr(0, Bytes.size() - 4));
+    if (Stored != Actual)
+      return fail(Error, "checksum mismatch: artifact is corrupt "
+                         "(truncated tail or flipped bits)");
+  }
+
+  ByteReader Reader(Payload);
   ProfileArtifact Loaded;
-  if (!readJobSpec(In, Loaded.Provenance.Job) ||
-      !readU32(In, Loaded.Provenance.MergedRuns) ||
-      !readU64(In, Loaded.Provenance.TimestampNs) ||
-      !readString(In, Loaded.Provenance.Tool))
+  Loaded.FormatVersion = Version;
+  if (!readJobSpec(Reader, Loaded.Provenance.Job) ||
+      !Reader.readU32(Loaded.Provenance.MergedRuns) ||
+      !Reader.readU64(Loaded.Provenance.TimestampNs) ||
+      !Reader.readString(Loaded.Provenance.Tool))
     return fail(Error, "truncated or corrupt artifact provenance");
 
-  if (!readU64(In, Loaded.Result.TraceRefs) ||
-      !readU64(In, Loaded.Result.L1Misses) ||
-      !readU64(In, Loaded.Result.Samples) ||
-      !readF64(In, Loaded.Result.L1MissRatio) ||
-      !readU64(In, Loaded.Result.NumSets) ||
-      !readU64(In, Loaded.Result.RcdThreshold))
+  if (!Reader.readU64(Loaded.Result.TraceRefs) ||
+      !Reader.readU64(Loaded.Result.L1Misses) ||
+      !Reader.readU64(Loaded.Result.Samples) ||
+      !Reader.readF64(Loaded.Result.L1MissRatio) ||
+      !Reader.readU64(Loaded.Result.NumSets) ||
+      !Reader.readU64(Loaded.Result.RcdThreshold))
     return fail(Error, "truncated or corrupt artifact run summary");
 
   uint64_t NumLoops = 0;
-  if (!readU64(In, NumLoops) || NumLoops > (1u << 20))
+  if (!Reader.readU64(NumLoops) || !Reader.fits(NumLoops, MinLoopBytes))
     return fail(Error, "truncated or corrupt artifact loop table");
   Loaded.Result.Loops.resize(NumLoops);
   for (uint64_t I = 0; I < NumLoops; ++I)
-    if (!readLoop(In, Loaded.Result.Loops[I]))
+    if (!readLoop(Reader, Loaded.Result.Loops[I]))
       return fail(Error, "truncated or corrupt loop record " +
                              std::to_string(I) + " of " +
                              std::to_string(NumLoops));
+
+  if (!Reader.atEnd())
+    return fail(Error, std::to_string(Reader.remaining()) +
+                           " trailing byte(s) after the artifact payload");
 
   Result = std::move(Loaded);
   return true;
@@ -216,12 +260,13 @@ bool ProfileArtifact::readFrom(std::istream &In, ProfileArtifact &Result,
 
 bool ProfileArtifact::saveToFile(const std::string &Path,
                                  std::string *Error) const {
-  std::ofstream Out(Path, std::ios::binary);
-  if (!Out)
-    return fail(Error, "cannot open " + Path + " for writing");
-  if (!writeTo(Out))
-    return fail(Error, "I/O error while writing " + Path);
-  return true;
+  std::ostringstream Buffer;
+  if (!writeTo(Buffer))
+    return fail(Error, "I/O error while serializing " + Path);
+  // Write-temp-then-rename: a crash mid-save can never leave a
+  // truncated artifact at Path, only a stale ".tmp" sibling that
+  // ArtifactStore::list ignores and `ccprof validate` reports.
+  return atomicWriteFile(Path, std::move(Buffer).str(), Error);
 }
 
 bool ProfileArtifact::loadFromFile(const std::string &Path,

@@ -18,11 +18,16 @@
 /// Invisible").
 ///
 /// Format: little-endian, fixed-width fields via trace/BinaryIO.
-/// Writers emit ArtifactMagic then ArtifactVersion; readers reject
-/// anything else with a descriptive error. Serialization is fully
-/// deterministic: identical results + provenance produce identical
-/// bytes, which is what makes `ccprof batch --jobs N` byte-comparable
-/// against a sequential run.
+/// Writers emit ArtifactMagic, ArtifactVersion, the payload, and (since
+/// v2) a trailing CRC-32 of every preceding byte; readers verify the
+/// checksum before trusting any field, bound every count against the
+/// bytes actually remaining, and reject anything else with a
+/// descriptive error. v1 capsules (no checksum) still load.
+/// Serialization is fully deterministic: identical results + provenance
+/// produce identical bytes, which is what makes `ccprof batch --jobs N`
+/// byte-comparable against a sequential run. saveToFile persists via
+/// the write-temp-then-rename protocol, so a crash mid-save never
+/// leaves a truncated artifact at the final path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,12 +39,17 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 namespace ccprof {
 
 /// On-disk format constants.
 inline constexpr uint32_t ArtifactMagic = 0xCC9FA27F;
-inline constexpr uint32_t ArtifactVersion = 1;
+/// Current written version. History: v1 = initial capsule; v2 = same
+/// payload plus a trailing CRC-32 over header + payload.
+inline constexpr uint32_t ArtifactVersion = 2;
+/// Oldest version readFrom still accepts.
+inline constexpr uint32_t MinArtifactVersion = 1;
 /// Conventional file extension ("ccprof artifact").
 inline constexpr const char *ArtifactExtension = ".ccpa";
 
@@ -59,17 +69,30 @@ struct ArtifactProvenance {
 struct ProfileArtifact {
   ArtifactProvenance Provenance;
   ProfileResult Result;
+  /// Format version this artifact was decoded from (set by readFrom);
+  /// writeTo always emits the current ArtifactVersion. Not serialized
+  /// as a field — it mirrors the header.
+  uint32_t FormatVersion = ArtifactVersion;
 
-  /// Serializes to a binary stream. \returns false on I/O failure.
+  /// Serializes to a binary stream (current version, checksummed).
+  /// \returns false on I/O failure.
   bool writeTo(std::ostream &Out) const;
 
   /// Deserializes an artifact previously written by writeTo, rejecting
-  /// truncated, corrupt, or wrong-version input. \returns false on
-  /// failure, describing the cause in \p Error when non-null.
+  /// truncated, corrupt, checksum-mismatched, or wrong-version input.
+  /// \returns false on failure, describing the cause in \p Error when
+  /// non-null.
   static bool readFrom(std::istream &In, ProfileArtifact &Result,
                        std::string *Error = nullptr);
 
-  /// Convenience file wrappers around writeTo/readFrom.
+  /// readFrom over an in-memory buffer (the stream overload slurps and
+  /// delegates here).
+  static bool readFromBytes(std::string_view Bytes, ProfileArtifact &Result,
+                            std::string *Error = nullptr);
+
+  /// Convenience file wrappers around writeTo/readFrom. saveToFile is
+  /// atomic: it writes `Path + ".tmp"`, flushes, and renames, so an
+  /// interrupted save never leaves a partial artifact at \p Path.
   bool saveToFile(const std::string &Path, std::string *Error = nullptr) const;
   static bool loadFromFile(const std::string &Path, ProfileArtifact &Result,
                            std::string *Error = nullptr);

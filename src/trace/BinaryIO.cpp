@@ -7,22 +7,47 @@
 
 #include "trace/BinaryIO.h"
 
+#include <array>
+#include <bit>
+#include <cstring>
+#include <filesystem>
 #include <istream>
 #include <ostream>
+#include <system_error>
+
+#if !defined(_WIN32)
+#include <fcntl.h>
+#include <unistd.h>
+#else
+#include <fstream>
+#endif
 
 namespace ccprof {
 namespace bio {
 
+//===----------------------------------------------------------------------===//
+// Little-endian encoders / decoders
+//===----------------------------------------------------------------------===//
+
+// Encoding is byte-by-byte rather than a memcpy of the host value, so
+// the on-disk bytes are little-endian regardless of host endianness.
+
 void writeU32(std::ostream &Out, uint32_t Value) {
-  Out.write(reinterpret_cast<const char *>(&Value), sizeof(Value));
+  char Bytes[4] = {
+      static_cast<char>(Value), static_cast<char>(Value >> 8),
+      static_cast<char>(Value >> 16), static_cast<char>(Value >> 24)};
+  Out.write(Bytes, sizeof(Bytes));
 }
 
 void writeU64(std::ostream &Out, uint64_t Value) {
-  Out.write(reinterpret_cast<const char *>(&Value), sizeof(Value));
+  char Bytes[8];
+  for (int I = 0; I < 8; ++I)
+    Bytes[I] = static_cast<char>(Value >> (8 * I));
+  Out.write(Bytes, sizeof(Bytes));
 }
 
 void writeF64(std::ostream &Out, double Value) {
-  Out.write(reinterpret_cast<const char *>(&Value), sizeof(Value));
+  writeU64(Out, std::bit_cast<uint64_t>(Value));
 }
 
 void writeString(std::ostream &Out, const std::string &Value) {
@@ -30,31 +55,197 @@ void writeString(std::ostream &Out, const std::string &Value) {
   Out.write(Value.data(), static_cast<std::streamsize>(Value.size()));
 }
 
-bool readU32(std::istream &In, uint32_t &Value) {
-  In.read(reinterpret_cast<char *>(&Value), sizeof(Value));
-  return In.good();
+bool ByteReader::readU32(uint32_t &Value) {
+  if (remaining() < 4)
+    return false;
+  const auto *B = reinterpret_cast<const unsigned char *>(Ptr);
+  Value = static_cast<uint32_t>(B[0]) | static_cast<uint32_t>(B[1]) << 8 |
+          static_cast<uint32_t>(B[2]) << 16 | static_cast<uint32_t>(B[3]) << 24;
+  Ptr += 4;
+  return true;
 }
 
-bool readU64(std::istream &In, uint64_t &Value) {
-  In.read(reinterpret_cast<char *>(&Value), sizeof(Value));
-  return In.good();
+bool ByteReader::readU64(uint64_t &Value) {
+  if (remaining() < 8)
+    return false;
+  const auto *B = reinterpret_cast<const unsigned char *>(Ptr);
+  Value = 0;
+  for (int I = 0; I < 8; ++I)
+    Value |= static_cast<uint64_t>(B[I]) << (8 * I);
+  Ptr += 8;
+  return true;
 }
 
-bool readF64(std::istream &In, double &Value) {
-  In.read(reinterpret_cast<char *>(&Value), sizeof(Value));
-  return In.good();
+bool ByteReader::readF64(double &Value) {
+  uint64_t Bits = 0;
+  if (!readU64(Bits))
+    return false;
+  Value = std::bit_cast<double>(Bits);
+  return true;
 }
 
-bool readString(std::istream &In, std::string &Value) {
+bool ByteReader::readString(std::string &Value) {
   uint32_t Size = 0;
-  if (!readU32(In, Size))
+  if (!readU32(Size))
     return false;
-  if (Size > MaxStringBytes)
+  if (Size > MaxStringBytes || Size > remaining())
     return false;
-  Value.resize(Size);
-  In.read(Value.data(), Size);
-  return In.good() || (Size == 0 && !In.bad());
+  Value.assign(Ptr, Size);
+  Ptr += Size;
+  return true;
 }
+
+std::string readAll(std::istream &In) {
+  std::string Bytes;
+  char Buffer[1 << 16];
+  while (In.read(Buffer, sizeof(Buffer)) || In.gcount() > 0)
+    Bytes.append(Buffer, static_cast<size_t>(In.gcount()));
+  return Bytes;
+}
+
+//===----------------------------------------------------------------------===//
+// CRC-32
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+// IEEE 802.3 reflected polynomial, the zlib/PNG convention; the check
+// value crc32("123456789") == 0xCBF43926 is asserted in tests.
+constexpr std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> Table{};
+  for (uint32_t I = 0; I < 256; ++I) {
+    uint32_t C = I;
+    for (int K = 0; K < 8; ++K)
+      C = (C & 1) ? 0xEDB88320u ^ (C >> 1) : C >> 1;
+    Table[I] = C;
+  }
+  return Table;
+}
+
+constexpr std::array<uint32_t, 256> CrcTable = makeCrcTable();
+
+} // namespace
+
+uint32_t crc32(const void *Data, size_t Size, uint32_t Seed) {
+  const auto *Bytes = static_cast<const unsigned char *>(Data);
+  uint32_t Crc = ~Seed;
+  for (size_t I = 0; I < Size; ++I)
+    Crc = CrcTable[(Crc ^ Bytes[I]) & 0xFF] ^ (Crc >> 8);
+  return ~Crc;
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic file replacement
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+bool fail(std::string *Error, const std::string &Message) {
+  if (Error)
+    *Error = Message;
+  return false;
+}
+
+} // namespace
+
+#if !defined(_WIN32)
+
+bool atomicWriteFile(const std::string &Path, std::string_view Bytes,
+                     std::string *Error, const AtomicWriteOptions &Options) {
+  const std::string TempPath = Path + AtomicTempSuffix;
+  const size_t Chunk = Options.ChunkBytes == 0 ? 1 : Options.ChunkBytes;
+
+  int Fd = ::open(TempPath.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (Fd < 0)
+    return fail(Error, "cannot open " + TempPath + " for writing: " +
+                           std::strerror(errno));
+
+  size_t Written = 0;
+  while (Written < Bytes.size()) {
+    size_t Want = std::min(Chunk, Bytes.size() - Written);
+    ssize_t Got = ::write(Fd, Bytes.data() + Written, Want);
+    if (Got < 0) {
+      if (errno == EINTR)
+        continue;
+      int Saved = errno;
+      ::close(Fd);
+      return fail(Error, "I/O error while writing " + TempPath + ": " +
+                             std::strerror(Saved));
+    }
+    Written += static_cast<size_t>(Got);
+    if (Options.CrashAt && Options.CrashAt(Written)) {
+      // Simulated crash: abandon the temp file exactly as a killed
+      // process would — no fsync, no rename, temp left behind.
+      ::close(Fd);
+      return fail(Error, "simulated crash after " + std::to_string(Written) +
+                             " byte(s) of " + TempPath);
+    }
+  }
+
+  // The temp's bytes must be durable before the rename publishes them,
+  // otherwise a power loss could expose a renamed-but-empty file.
+  if (::fsync(Fd) != 0) {
+    int Saved = errno;
+    ::close(Fd);
+    return fail(Error,
+                "cannot flush " + TempPath + ": " + std::strerror(Saved));
+  }
+  if (::close(Fd) != 0)
+    return fail(Error,
+                "cannot close " + TempPath + ": " + std::strerror(errno));
+
+  if (::rename(TempPath.c_str(), Path.c_str()) != 0)
+    return fail(Error, "cannot rename " + TempPath + " to " + Path + ": " +
+                           std::strerror(errno));
+
+  // Make the rename itself durable. Failure here is not fatal to the
+  // caller: the data is intact either way, only crash-durability of the
+  // directory entry is weakened, so ignore errors (e.g. filesystems
+  // that refuse O_RDONLY directory fsync).
+  std::string Dir = std::filesystem::path(Path).parent_path().string();
+  if (Dir.empty())
+    Dir = ".";
+  int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (DirFd >= 0) {
+    ::fsync(DirFd);
+    ::close(DirFd);
+  }
+  return true;
+}
+
+#else // _WIN32 fallback: plain buffered writes + filesystem rename.
+
+bool atomicWriteFile(const std::string &Path, std::string_view Bytes,
+                     std::string *Error, const AtomicWriteOptions &Options) {
+  const std::string TempPath = Path + AtomicTempSuffix;
+  const size_t Chunk = Options.ChunkBytes == 0 ? 1 : Options.ChunkBytes;
+  {
+    std::ofstream Out(TempPath, std::ios::binary | std::ios::trunc);
+    if (!Out)
+      return fail(Error, "cannot open " + TempPath + " for writing");
+    size_t Written = 0;
+    while (Written < Bytes.size()) {
+      size_t Want = std::min(Chunk, Bytes.size() - Written);
+      Out.write(Bytes.data() + Written, static_cast<std::streamsize>(Want));
+      Written += Want;
+      if (Options.CrashAt && Options.CrashAt(Written))
+        return fail(Error, "simulated crash after " +
+                               std::to_string(Written) + " byte(s) of " +
+                               TempPath);
+    }
+    Out.flush();
+    if (!Out)
+      return fail(Error, "I/O error while writing " + TempPath);
+  }
+  std::error_code Ec;
+  std::filesystem::rename(TempPath, Path, Ec);
+  if (Ec)
+    return fail(Error, "cannot rename " + TempPath + " to " + Path + ": " +
+                           Ec.message());
+  return true;
+}
+
+#endif
 
 } // namespace bio
 } // namespace ccprof

@@ -8,19 +8,26 @@
 /// \file
 /// Little-endian binary (de)serialization primitives shared by every
 /// on-disk format the project writes: traces (trace/Trace.cpp) and
-/// profile artifacts (pipeline/ProfileArtifact.cpp). All formats are
-/// host-endian (little-endian on every supported target) with
-/// fixed-width fields; readers return false on truncation instead of
-/// consuming garbage, so callers can surface a clear error.
+/// profile artifacts (pipeline/ProfileArtifact.cpp). Writers encode
+/// fixed-width fields byte-by-byte, so the bytes are little-endian on
+/// every host, not just little-endian ones. Decoding goes through
+/// ByteReader, which knows how many bytes remain and therefore lets
+/// callers reject corrupt element counts before allocating, and
+/// atomicWriteFile provides the write-temp-then-rename protocol that
+/// keeps a crash mid-save from ever leaving a truncated file at the
+/// final path.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCPROF_TRACE_BINARYIO_H
 #define CCPROF_TRACE_BINARYIO_H
 
+#include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 namespace ccprof {
 namespace bio {
@@ -34,10 +41,74 @@ void writeU64(std::ostream &Out, uint64_t Value);
 void writeF64(std::ostream &Out, double Value);
 void writeString(std::ostream &Out, const std::string &Value);
 
-bool readU32(std::istream &In, uint32_t &Value);
-bool readU64(std::istream &In, uint64_t &Value);
-bool readF64(std::istream &In, double &Value);
-bool readString(std::istream &In, std::string &Value);
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of \p Size bytes at
+/// \p Data. \p Seed chains calls: crc32(B, crc32(A)) == crc32(A+B).
+uint32_t crc32(const void *Data, size_t Size, uint32_t Seed = 0);
+inline uint32_t crc32(std::string_view Bytes, uint32_t Seed = 0) {
+  return crc32(Bytes.data(), Bytes.size(), Seed);
+}
+
+/// Drains the rest of \p In into a string (binary-safe).
+std::string readAll(std::istream &In);
+
+/// Bounds-checked little-endian decoder over an in-memory buffer. Every
+/// read fails (returns false, consuming nothing further) instead of
+/// running off the end, and remaining() lets decoders of count-prefixed
+/// sequences reject counts that could not possibly fit in the bytes
+/// left — the defense against a corrupt count triggering a gigantic
+/// allocation or an out-of-bounds scan.
+class ByteReader {
+public:
+  explicit ByteReader(std::string_view Bytes)
+      : Ptr(Bytes.data()), End(Bytes.data() + Bytes.size()) {}
+
+  /// Bytes not yet consumed.
+  size_t remaining() const { return static_cast<size_t>(End - Ptr); }
+  bool atEnd() const { return Ptr == End; }
+
+  /// True when \p Count elements of at least \p MinElemBytes each could
+  /// still fit in the remaining bytes. The standard pre-resize guard:
+  /// `if (!R.fits(N, 16)) fail(...)`.
+  bool fits(uint64_t Count, size_t MinElemBytes) const {
+    return Count <= remaining() / MinElemBytes;
+  }
+
+  bool readU32(uint32_t &Value);
+  bool readU64(uint64_t &Value);
+  bool readF64(double &Value);
+  /// Length-prefixed string: u32 byte count, then the bytes. Fails when
+  /// the count exceeds MaxStringBytes or the bytes actually remaining.
+  bool readString(std::string &Value);
+
+private:
+  const char *Ptr;
+  const char *End;
+};
+
+/// Options for atomicWriteFile; defaults are what production callers
+/// want. The fault hook exists for crash-equivalence tests only.
+struct AtomicWriteOptions {
+  /// Bytes written per write(2) call.
+  size_t ChunkBytes = 1u << 20;
+  /// Testing hook, called after each chunk with the running byte count.
+  /// Returning true simulates a crash at that write boundary: the
+  /// function abandons the temp file exactly as a killed process would
+  /// (no rename, temp left behind) and returns false.
+  std::function<bool(size_t BytesWritten)> CrashAt;
+};
+
+/// Conventional suffix of the in-flight temp sibling; a leftover one
+/// marks an interrupted save.
+inline constexpr const char *AtomicTempSuffix = ".tmp";
+
+/// Durably replaces the file at \p Path with \p Bytes: writes to the
+/// sibling `Path + ".tmp"`, flushes it to stable storage, then
+/// rename(2)s over \p Path. A crash at any point leaves either the
+/// previous file or no file at \p Path — never a partial one.
+/// \returns false (with \p Error set when non-null) on failure.
+bool atomicWriteFile(const std::string &Path, std::string_view Bytes,
+                     std::string *Error = nullptr,
+                     const AtomicWriteOptions &Options = {});
 
 } // namespace bio
 } // namespace ccprof

@@ -9,9 +9,7 @@
 
 #include "trace/BinaryIO.h"
 
-#include <algorithm>
-#include <istream>
-#include <ostream>
+#include <sstream>
 
 using namespace ccprof;
 using namespace ccprof::bio;
@@ -19,7 +17,10 @@ using namespace ccprof::bio;
 namespace {
 
 constexpr uint32_t TraceMagic = 0xCC9F07A1;
-constexpr uint32_t TraceVersion = 1;
+// v1 = initial format; v2 = same payload plus a trailing CRC-32 over
+// header + payload (the same hardening as the artifact format).
+constexpr uint32_t TraceVersion = 2;
+constexpr uint32_t MinTraceVersion = 1;
 
 /// Sets *Error (when non-null) and returns false.
 bool fail(std::string *Error, const std::string &Message) {
@@ -31,61 +32,88 @@ bool fail(std::string *Error, const std::string &Message) {
 } // namespace
 
 bool Trace::writeTo(std::ostream &Out) const {
-  writeU32(Out, TraceMagic);
-  writeU32(Out, TraceVersion);
+  // Serialize to memory first so the trailing checksum can cover every
+  // byte that precedes it, header included.
+  std::ostringstream Buffer;
+  writeU32(Buffer, TraceMagic);
+  writeU32(Buffer, TraceVersion);
 
   // Site table.
-  writeU32(Out, static_cast<uint32_t>(Sites.size()));
+  writeU32(Buffer, static_cast<uint32_t>(Sites.size()));
   for (const SourceSite &Site : Sites.sites()) {
-    writeString(Out, Site.File);
-    writeU32(Out, Site.Line);
-    writeString(Out, Site.Function);
+    writeString(Buffer, Site.File);
+    writeU32(Buffer, Site.Line);
+    writeString(Buffer, Site.Function);
   }
 
   // Allocation table (live and freed, in id order).
-  writeU32(Out, static_cast<uint32_t>(Allocations.size()));
+  writeU32(Buffer, static_cast<uint32_t>(Allocations.size()));
   for (size_t I = 0; I < Allocations.size(); ++I) {
     const AllocationInfo &Info = Allocations.info(static_cast<AllocId>(I));
-    writeString(Out, Info.Name);
-    writeU64(Out, Info.Start);
-    writeU64(Out, Info.SizeBytes);
-    writeU32(Out, Info.Live ? 1 : 0);
+    writeString(Buffer, Info.Name);
+    writeU64(Buffer, Info.Start);
+    writeU64(Buffer, Info.SizeBytes);
+    writeU32(Buffer, Info.Live ? 1 : 0);
   }
 
   // Reference stream.
-  writeU64(Out, Records.size());
+  writeU64(Buffer, Records.size());
   for (const MemoryRecord &Record : Records) {
-    writeU32(Out, Record.Site);
-    writeU64(Out, Record.Addr);
-    writeU32(Out, (static_cast<uint32_t>(Record.SizeBytes) << 1) |
-                      (Record.IsWrite ? 1 : 0));
+    writeU32(Buffer, Record.Site);
+    writeU64(Buffer, Record.Addr);
+    writeU32(Buffer, (static_cast<uint32_t>(Record.SizeBytes) << 1) |
+                         (Record.IsWrite ? 1 : 0));
   }
+
+  std::string Bytes = std::move(Buffer).str();
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  writeU32(Out, crc32(Bytes));
   return Out.good();
 }
 
 bool Trace::readFrom(std::istream &In, Trace &Result, std::string *Error) {
+  const std::string Bytes = readAll(In);
+  ByteReader Header(Bytes);
   uint32_t Magic = 0, Version = 0;
-  if (!readU32(In, Magic))
+  if (!Header.readU32(Magic))
     return fail(Error, "file is empty or too short to be a ccprof trace");
   if (Magic != TraceMagic)
     return fail(Error, "bad magic number: not a ccprof trace file");
-  if (!readU32(In, Version))
+  if (!Header.readU32(Version))
     return fail(Error, "truncated trace header");
-  if (Version != TraceVersion)
+  if (Version < MinTraceVersion || Version > TraceVersion)
     return fail(Error, "unsupported trace format version " +
                            std::to_string(Version) + " (expected " +
+                           std::to_string(MinTraceVersion) + ".." +
                            std::to_string(TraceVersion) + ")");
 
+  std::string_view Payload = std::string_view(Bytes).substr(8);
+  if (Version >= 2) {
+    if (Payload.size() < 4)
+      return fail(Error, "truncated trace: missing checksum");
+    ByteReader Tail(Payload.substr(Payload.size() - 4));
+    uint32_t Stored = 0;
+    Tail.readU32(Stored);
+    Payload.remove_suffix(4);
+    if (Stored != crc32(Bytes.data(), Bytes.size() - 4))
+      return fail(Error, "checksum mismatch: trace is corrupt "
+                         "(truncated tail or flipped bits)");
+  }
+
+  ByteReader Reader(Payload);
   Trace Loaded;
 
   uint32_t NumSites = 0;
-  if (!readU32(In, NumSites))
+  // Bound every count against the bytes actually remaining (site: 12
+  // bytes minimum, allocation: 24, record: 16) so a corrupt count fails
+  // here instead of driving a gigantic allocation or scan.
+  if (!Reader.readU32(NumSites) || !Reader.fits(NumSites, 4 + 4 + 4))
     return fail(Error, "truncated trace: missing site table");
   for (uint32_t I = 0; I < NumSites; ++I) {
     std::string File, Function;
     uint32_t Line = 0;
-    if (!readString(In, File) || !readU32(In, Line) ||
-        !readString(In, Function))
+    if (!Reader.readString(File) || !Reader.readU32(Line) ||
+        !Reader.readString(Function))
       return fail(Error, "truncated or corrupt site table (entry " +
                              std::to_string(I) + " of " +
                              std::to_string(NumSites) + ")");
@@ -93,14 +121,15 @@ bool Trace::readFrom(std::istream &In, Trace &Result, std::string *Error) {
   }
 
   uint32_t NumAllocations = 0;
-  if (!readU32(In, NumAllocations))
+  if (!Reader.readU32(NumAllocations) ||
+      !Reader.fits(NumAllocations, 4 + 8 + 8 + 4))
     return fail(Error, "truncated trace: missing allocation table");
   for (uint32_t I = 0; I < NumAllocations; ++I) {
     std::string Name;
     uint64_t Start = 0, Size = 0;
     uint32_t Live = 0;
-    if (!readString(In, Name) || !readU64(In, Start) || !readU64(In, Size) ||
-        !readU32(In, Live))
+    if (!Reader.readString(Name) || !Reader.readU64(Start) ||
+        !Reader.readU64(Size) || !Reader.readU32(Live))
       return fail(Error, "truncated or corrupt allocation table (entry " +
                              std::to_string(I) + " of " +
                              std::to_string(NumAllocations) + ")");
@@ -114,17 +143,16 @@ bool Trace::readFrom(std::istream &In, Trace &Result, std::string *Error) {
   }
 
   uint64_t NumRecords = 0;
-  if (!readU64(In, NumRecords))
+  if (!Reader.readU64(NumRecords) || !Reader.fits(NumRecords, 4 + 8 + 4))
     return fail(Error, "truncated trace: missing reference stream");
-  // Reserve conservatively: a corrupt count must not trigger a gigantic
-  // up-front allocation; growth beyond the cap falls back to push_back.
-  Loaded.Records.reserve(
-      static_cast<size_t>(std::min<uint64_t>(NumRecords, 1u << 20)));
+  // The count is now proven to fit in the remaining bytes, so the
+  // reservation is bounded by the file size.
+  Loaded.Records.reserve(static_cast<size_t>(NumRecords));
   for (uint64_t I = 0; I < NumRecords; ++I) {
     uint32_t Site = 0, SizeAndFlags = 0;
     uint64_t Addr = 0;
-    if (!readU32(In, Site) || !readU64(In, Addr) ||
-        !readU32(In, SizeAndFlags))
+    if (!Reader.readU32(Site) || !Reader.readU64(Addr) ||
+        !Reader.readU32(SizeAndFlags))
       return fail(Error, "truncated reference stream (record " +
                              std::to_string(I) + " of " +
                              std::to_string(NumRecords) + ")");
@@ -132,6 +160,10 @@ bool Trace::readFrom(std::istream &In, Trace &Result, std::string *Error) {
         MemoryRecord{Site, Addr, static_cast<uint16_t>(SizeAndFlags >> 1),
                      (SizeAndFlags & 1) != 0});
   }
+
+  if (!Reader.atEnd())
+    return fail(Error, std::to_string(Reader.remaining()) +
+                           " trailing byte(s) after the trace payload");
 
   Result = std::move(Loaded);
   return true;

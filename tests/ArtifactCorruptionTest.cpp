@@ -1,0 +1,512 @@
+//===- tests/ArtifactCorruptionTest.cpp - Hostile-bytes decode harness ----===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Deterministic corruption-injection harness for the persistence layer:
+// every injected fault — single-bit flips over the whole capsule,
+// truncation at every byte boundary, oversized element counts, version
+// downgrades — must be rejected by ProfileArtifact / Trace decoding
+// with a non-empty diagnostic; never a crash, hang, over-allocation, or
+// silent wrong data (the suite runs under ASan+UBSan in CI). Also
+// covers the atomic-save crash property, ArtifactStore::validate, and
+// loading the checked-in v1 golden fixtures written before the format
+// grew its checksum.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/ArtifactStore.h"
+#include "trace/BinaryIO.h"
+#include "trace/Trace.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace ccprof;
+namespace fs = std::filesystem;
+
+#ifndef CCPROF_GOLDEN_DIR
+#error "CCPROF_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+std::string goldenPath(const std::string &Name) {
+  return (fs::path(CCPROF_GOLDEN_DIR) / Name).string();
+}
+
+std::string serialize(const ProfileArtifact &Artifact) {
+  std::stringstream Stream;
+  EXPECT_TRUE(Artifact.writeTo(Stream));
+  return Stream.str();
+}
+
+std::string serialize(const Trace &T) {
+  std::stringstream Stream;
+  EXPECT_TRUE(T.writeTo(Stream));
+  return Stream.str();
+}
+
+bool loadArtifact(std::string_view Bytes, std::string *Error = nullptr) {
+  ProfileArtifact Loaded;
+  return ProfileArtifact::readFromBytes(Bytes, Loaded, Error);
+}
+
+bool loadTrace(const std::string &Bytes, std::string *Error = nullptr) {
+  std::istringstream In(Bytes);
+  Trace Loaded;
+  return Trace::readFrom(In, Loaded, Error);
+}
+
+/// A hand-built artifact that populates every decode path: loop refs,
+/// both histograms, per-set misses, and data-structure attribution.
+ProfileArtifact makeRichArtifact() {
+  ProfileArtifact A;
+  A.Provenance.Job.WorkloadName = "Symmetrization";
+  A.Result.TraceRefs = 100000;
+  A.Result.L1Misses = 20000;
+  A.Result.Samples = 1000;
+  A.Result.L1MissRatio = 0.2;
+  A.Result.NumSets = 64;
+  A.Result.RcdThreshold = 8;
+  for (int I = 0; I < 2; ++I) {
+    LoopConflictReport Loop;
+    Loop.Location = I == 0 ? "symm.cpp:12" : "symm.cpp:40";
+    Loop.Loop = LoopRef{static_cast<uint32_t>(I), 0};
+    Loop.Samples = 500;
+    Loop.MissContribution = 0.5;
+    Loop.SetsUtilized = 9;
+    Loop.ContributionFactor = 0.7;
+    Loop.MeanRcd = 4.5;
+    Loop.MedianRcd = 4;
+    Loop.ConflictProbability = 0.9;
+    Loop.Significant = true;
+    Loop.ConflictPredicted = true;
+    for (uint64_t K = 1; K <= 8; ++K)
+      Loop.Rcd.add(K, K * 3);
+    Loop.Periods.RunLengths.add(2, 5);
+    Loop.Periods.RunLengths.add(7, 1);
+    Loop.PerSetMisses.assign(64, 11);
+    Loop.DataStructures.push_back({"A[]", 400, 0.8});
+    Loop.DataStructures.push_back({"B[]", 100, 0.2});
+    A.Result.Loops.push_back(std::move(Loop));
+  }
+  return A;
+}
+
+/// A small trace exercising every trace decode path.
+Trace makeRichTrace() {
+  Trace T;
+  SiteId Load = T.site("a.cpp", 10, "kernel");
+  SiteId Store = T.site("a.cpp", 11, "kernel");
+  T.allocations().recordAllocation("A[]", 0x1000, 4096);
+  T.allocations().recordAllocation("B[]", 0x3000, 4096);
+  T.allocations().recordFree(0x3000);
+  for (uint64_t I = 0; I < 16; ++I) {
+    T.recordLoad(Load, 0x1000 + I * 64, 8);
+    T.recordStore(Store, 0x1000 + I * 64, 8);
+  }
+  return T;
+}
+
+/// Rewrites the u64 at \p Offset and repairs the trailing CRC so only
+/// the patched field, not the checksum, trips the decoder.
+std::string patchU64AndFixCrc(std::string Bytes, size_t Offset,
+                              uint64_t Value) {
+  EXPECT_LE(Offset + 8, Bytes.size() - 4);
+  for (int I = 0; I < 8; ++I)
+    Bytes[Offset + I] = static_cast<char>(Value >> (8 * I));
+  uint32_t Crc = bio::crc32(Bytes.data(), Bytes.size() - 4);
+  for (int I = 0; I < 4; ++I)
+    Bytes[Bytes.size() - 4 + I] = static_cast<char>(Crc >> (8 * I));
+  return Bytes;
+}
+
+//===----------------------------------------------------------------------===//
+// Hand-rolled v1 encoders (no trailing CRC) for oversized-count faults.
+// Deliberately duplicates the writer's field order: this harness is a
+// format lock as much as a fuzz probe.
+//===----------------------------------------------------------------------===//
+
+void writeV1JobSpec(std::ostream &Out, const std::string &Workload) {
+  bio::writeString(Out, Workload);
+  bio::writeU32(Out, 0); // variant
+  bio::writeU32(Out, 0); // exact
+  bio::writeU32(Out, 2); // sampler (bursty)
+  bio::writeU64(Out, 1212);
+  bio::writeU64(Out, 8);
+  bio::writeU32(Out, 0); // level
+  bio::writeU32(Out, 1); // mapping
+  bio::writeU32(Out, 0); // repeat
+  bio::writeU64(Out, 42); // seed
+}
+
+/// Header + provenance + summary of a v1 artifact, ending right where
+/// the loop-table count goes.
+std::string v1ArtifactThroughSummary() {
+  std::ostringstream Out;
+  bio::writeU32(Out, ArtifactMagic);
+  bio::writeU32(Out, 1);
+  writeV1JobSpec(Out, "Symmetrization");
+  bio::writeU32(Out, 1); // merged runs
+  bio::writeU64(Out, 0); // timestamp
+  bio::writeString(Out, "ccprof-1");
+  bio::writeU64(Out, 100000); // trace refs
+  bio::writeU64(Out, 20000);  // L1 misses
+  bio::writeU64(Out, 1000);   // samples
+  bio::writeF64(Out, 0.2);    // miss ratio
+  bio::writeU64(Out, 64);     // sets
+  bio::writeU64(Out, 8);      // threshold
+  return Out.str();
+}
+
+/// One valid loop record minus its trailing sequences, ending right
+/// where the RCD histogram bucket count goes.
+std::string v1LoopThroughFlags() {
+  std::ostringstream Out;
+  bio::writeString(Out, "symm.cpp:12");
+  bio::writeU32(Out, 0); // has loop ref
+  bio::writeU32(Out, 0);
+  bio::writeU32(Out, 0);
+  bio::writeU64(Out, 500);  // samples
+  bio::writeF64(Out, 0.5);  // miss contribution
+  bio::writeU64(Out, 9);    // sets utilized
+  bio::writeF64(Out, 0.7);  // cf
+  bio::writeF64(Out, 4.5);  // mean rcd
+  bio::writeU64(Out, 4);    // median rcd
+  bio::writeF64(Out, 0.9);  // p(conflict)
+  bio::writeU32(Out, 1);    // significant
+  bio::writeU32(Out, 1);    // predicted
+  return Out.str();
+}
+
+std::string withU64(const std::string &Prefix, uint64_t Count) {
+  std::ostringstream Out;
+  Out << Prefix;
+  bio::writeU64(Out, Count);
+  return Out.str();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Golden fixtures: artifacts written before this PR still load
+//===----------------------------------------------------------------------===//
+
+TEST(GoldenFixtureTest, V1ArtifactStillLoads) {
+  ProfileArtifact Loaded;
+  std::string Error;
+  ASSERT_TRUE(ProfileArtifact::loadFromFile(
+      goldenPath("symmetrization_v1.ccpa"), Loaded, &Error))
+      << Error;
+  EXPECT_EQ(Loaded.FormatVersion, 1u);
+  EXPECT_EQ(Loaded.Provenance.Job.WorkloadName, "Symmetrization");
+  EXPECT_EQ(Loaded.Provenance.MergedRuns, 1u);
+  EXPECT_EQ(Loaded.Result.NumSets, 64u);
+  EXPECT_FALSE(Loaded.Result.Loops.empty());
+
+  // Re-serializing upgrades to the current checksummed format.
+  std::string Upgraded = serialize(Loaded);
+  ProfileArtifact Again;
+  ASSERT_TRUE(ProfileArtifact::readFromBytes(Upgraded, Again, &Error))
+      << Error;
+  EXPECT_EQ(Again.FormatVersion, ArtifactVersion);
+  EXPECT_EQ(serialize(Again), Upgraded);
+  EXPECT_EQ(Again.Result.Loops.size(), Loaded.Result.Loops.size());
+}
+
+TEST(GoldenFixtureTest, V1TraceStillLoads) {
+  std::ifstream In(goldenPath("tiny_v1.cctr"), std::ios::binary);
+  ASSERT_TRUE(In.is_open());
+  Trace Loaded;
+  std::string Error;
+  ASSERT_TRUE(Trace::readFrom(In, Loaded, &Error)) << Error;
+  EXPECT_EQ(Loaded.sites().size(), 2u);
+  EXPECT_EQ(Loaded.allocations().size(), 2u);
+  EXPECT_EQ(Loaded.size(), 64u);
+  EXPECT_EQ(Loaded.records()[0].Addr, 0x1000u);
+}
+
+//===----------------------------------------------------------------------===//
+// Truncation at every field boundary (and every byte in between)
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactCorruptionTest, EveryPrefixOfAnArtifactIsRejected) {
+  const std::string Bytes = serialize(makeRichArtifact());
+  ASSERT_GT(Bytes.size(), 100u);
+  for (size_t Keep = 0; Keep < Bytes.size(); ++Keep) {
+    std::string Error;
+    EXPECT_FALSE(loadArtifact(std::string_view(Bytes).substr(0, Keep),
+                              &Error))
+        << "accepted a " << Keep << "-byte prefix of " << Bytes.size();
+    EXPECT_FALSE(Error.empty()) << "no diagnostic for prefix " << Keep;
+  }
+}
+
+TEST(TraceCorruptionTest, EveryPrefixOfATraceIsRejected) {
+  const std::string Bytes = serialize(makeRichTrace());
+  ASSERT_GT(Bytes.size(), 100u);
+  for (size_t Keep = 0; Keep < Bytes.size(); ++Keep) {
+    std::string Error;
+    EXPECT_FALSE(loadTrace(Bytes.substr(0, Keep), &Error))
+        << "accepted a " << Keep << "-byte prefix of " << Bytes.size();
+    EXPECT_FALSE(Error.empty()) << "no diagnostic for prefix " << Keep;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Bit flips: the checksum catches every single-bit fault
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactCorruptionTest, EverySingleBitFlipIsRejected) {
+  std::string Bytes = serialize(makeRichArtifact());
+  for (size_t Byte = 0; Byte < Bytes.size(); ++Byte)
+    for (int Bit = 0; Bit < 8; ++Bit) {
+      Bytes[Byte] ^= char(1 << Bit);
+      std::string Error;
+      EXPECT_FALSE(loadArtifact(Bytes, &Error))
+          << "accepted a flip at byte " << Byte << " bit " << Bit;
+      EXPECT_FALSE(Error.empty());
+      Bytes[Byte] ^= char(1 << Bit);
+    }
+  // The pristine bytes still load: the harness corrupted, not the base.
+  EXPECT_TRUE(loadArtifact(Bytes));
+}
+
+TEST(TraceCorruptionTest, SingleBitFlipsAreRejected) {
+  std::string Bytes = serialize(makeRichTrace());
+  for (size_t Byte = 0; Byte < Bytes.size(); ++Byte) {
+    // One flip per byte keeps the sweep quick; the artifact test above
+    // covers the full per-bit sweep of the shared CRC machinery.
+    int Bit = static_cast<int>(Byte % 8);
+    Bytes[Byte] ^= char(1 << Bit);
+    std::string Error;
+    EXPECT_FALSE(loadTrace(Bytes, &Error))
+        << "accepted a flip at byte " << Byte << " bit " << Bit;
+    EXPECT_FALSE(Error.empty());
+    Bytes[Byte] ^= char(1 << Bit);
+  }
+  EXPECT_TRUE(loadTrace(Bytes));
+}
+
+TEST(ArtifactCorruptionTest, VersionDowngradeOfChecksummedBytesIsRejected) {
+  // Rewriting the version field to 1 (a multi-bit fault) routes the
+  // bytes to the checksum-less v1 parser; the trailing CRC then reads
+  // as trailing garbage, so the capsule is still rejected.
+  std::string Bytes = serialize(makeRichArtifact());
+  Bytes[4] = 1;
+  Bytes[5] = Bytes[6] = Bytes[7] = 0;
+  std::string Error;
+  EXPECT_FALSE(loadArtifact(Bytes, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Oversized counts: bounded against remaining bytes, never allocated
+//===----------------------------------------------------------------------===//
+
+TEST(ArtifactCorruptionTest, OversizedLoopCountIsRejected) {
+  for (uint64_t Count :
+       {uint64_t(1) << 20, uint64_t(1) << 40, UINT64_MAX}) {
+    std::string Error;
+    EXPECT_FALSE(
+        loadArtifact(withU64(v1ArtifactThroughSummary(), Count), &Error));
+    EXPECT_NE(Error.find("loop table"), std::string::npos) << Error;
+  }
+}
+
+TEST(ArtifactCorruptionTest, OversizedHistogramCountIsRejected) {
+  std::string Bytes =
+      withU64(v1ArtifactThroughSummary(), 1) + v1LoopThroughFlags();
+  // Pad past the loop-table minimum-size gate so the fault is caught by
+  // the histogram bound itself, inside the loop record.
+  std::string Error;
+  EXPECT_FALSE(loadArtifact(
+      withU64(Bytes, UINT64_MAX / 2) + std::string(32, '\0'), &Error));
+  EXPECT_NE(Error.find("loop record"), std::string::npos) << Error;
+}
+
+TEST(ArtifactCorruptionTest, OversizedPerSetAndDataCountsAreRejected) {
+  // Valid empty histograms, then a hostile per-set count...
+  std::string Loop =
+      withU64(withU64(v1LoopThroughFlags(), 0), 0); // two empty histograms
+  std::string Base = withU64(v1ArtifactThroughSummary(), 1) + Loop;
+  std::string Error;
+  EXPECT_FALSE(loadArtifact(withU64(Base, uint64_t(1) << 60), &Error));
+  EXPECT_FALSE(Error.empty());
+
+  // ...and, with an empty per-set table, a hostile data-structure count.
+  std::string WithSets = withU64(Base, 0);
+  EXPECT_FALSE(loadArtifact(withU64(WithSets, uint64_t(1) << 60), &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(ArtifactCorruptionTest, OversizedStringCountIsRejected) {
+  // A workload-name length claiming more bytes than the file holds.
+  std::ostringstream Out;
+  bio::writeU32(Out, ArtifactMagic);
+  bio::writeU32(Out, 1);
+  bio::writeU32(Out, bio::MaxStringBytes + 7);
+  Out << "short";
+  std::string Error;
+  EXPECT_FALSE(loadArtifact(Out.str(), &Error));
+  EXPECT_NE(Error.find("provenance"), std::string::npos) << Error;
+}
+
+TEST(ArtifactCorruptionTest, OversizedCountWithValidChecksumIsRejected) {
+  // Repairing the CRC after the patch proves the count bound itself —
+  // not just the checksum — rejects the capsule.
+  ProfileArtifact A = makeRichArtifact();
+  A.Result.Loops.resize(1);
+  std::string Bytes = serialize(A);
+  // Offset of the loop-table count: header (8) + job spec (52 + name
+  // length) + merged runs (4) + timestamp (8) + tool string (4 + tool
+  // length) + summary (48).
+  size_t Offset = 8 + 52 + A.Provenance.Job.WorkloadName.size() + 4 + 8 + 4 +
+                  A.Provenance.Tool.size() + 48;
+  {
+    bio::ByteReader Probe(std::string_view(Bytes).substr(Offset));
+    uint64_t Count = 0;
+    ASSERT_TRUE(Probe.readU64(Count));
+    ASSERT_EQ(Count, 1u) << "field-offset arithmetic drifted from the format";
+  }
+  std::string Patched = patchU64AndFixCrc(Bytes, Offset, uint64_t(1) << 50);
+  std::string Error;
+  EXPECT_FALSE(loadArtifact(Patched, &Error));
+  EXPECT_NE(Error.find("loop table"), std::string::npos) << Error;
+}
+
+TEST(TraceCorruptionTest, OversizedRecordCountIsRejected) {
+  // A v1 trace whose reference-stream count claims 2^61 records.
+  std::ostringstream Out;
+  bio::writeU32(Out, 0xCC9F07A1u); // trace magic
+  bio::writeU32(Out, 1);
+  bio::writeU32(Out, 0); // no sites
+  bio::writeU32(Out, 0); // no allocations
+  bio::writeU64(Out, uint64_t(1) << 61);
+  std::string Error;
+  EXPECT_FALSE(loadTrace(Out.str(), &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic save: interrupted writes never corrupt the published artifact
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+class StoreDirTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = (fs::path(::testing::TempDir()) / "ccprof-corruption-store")
+              .string();
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  void TearDown() override { fs::remove_all(Dir); }
+  std::string Dir;
+};
+
+} // namespace
+
+TEST_F(StoreDirTest, InterruptedSaveLeavesPreviousArtifactLoadable) {
+  ProfileArtifact Old = makeRichArtifact();
+  ProfileArtifact New = makeRichArtifact();
+  New.Result.Loops.resize(1);
+  ASSERT_NE(serialize(Old), serialize(New));
+
+  ArtifactStore Store(Dir);
+  std::string Error;
+  std::string Path = Store.save(Old, &Error);
+  ASSERT_FALSE(Path.empty()) << Error;
+
+  // Replay the exact byte sequence saveToFile performs, crashing at
+  // every write boundary.
+  const std::string NewBytes = serialize(New);
+  size_t Boundaries = (NewBytes.size() + 6) / 7;
+  for (size_t CrashAfter = 1; CrashAfter <= Boundaries; ++CrashAfter) {
+    bio::AtomicWriteOptions Options;
+    Options.ChunkBytes = 7;
+    size_t Chunks = 0;
+    Options.CrashAt = [&](size_t) { return ++Chunks == CrashAfter; };
+    EXPECT_FALSE(bio::atomicWriteFile(Path, NewBytes, &Error, Options));
+
+    ProfileArtifact Loaded;
+    ASSERT_TRUE(ProfileArtifact::loadFromFile(Path, Loaded, &Error))
+        << "crash after chunk " << CrashAfter
+        << " corrupted the published artifact: " << Error;
+    EXPECT_EQ(serialize(Loaded), serialize(Old));
+
+    // The stale temp is visible to validate but invisible to list.
+    EXPECT_EQ(Store.listStaleTemporaries().size(), 1u);
+    EXPECT_EQ(Store.list().size(), 1u);
+  }
+
+  // A completed save replaces the artifact and clears the temp.
+  ASSERT_FALSE(Store.save(New, &Error).empty()) << Error;
+  EXPECT_TRUE(Store.listStaleTemporaries().empty());
+  ProfileArtifact Loaded;
+  ASSERT_TRUE(ProfileArtifact::loadFromFile(Path, Loaded, &Error)) << Error;
+  EXPECT_EQ(serialize(Loaded), serialize(New));
+}
+
+//===----------------------------------------------------------------------===//
+// ArtifactStore::validate sweeps the store through the hardened loader
+//===----------------------------------------------------------------------===//
+
+TEST_F(StoreDirTest, ValidateReportsCorruptionAndStaleTemps) {
+  ArtifactStore Store(Dir);
+  std::string Error;
+  ProfileArtifact Good = makeRichArtifact();
+  ASSERT_FALSE(Store.save(Good, &Error).empty()) << Error;
+
+  // A corrupt sibling: valid bytes with one byte flipped.
+  std::string Bytes = serialize(Good);
+  Bytes[Bytes.size() / 2] ^= 0x20;
+  std::string BadPath = (fs::path(Dir) / "tampered.ccpa").string();
+  std::ofstream(BadPath, std::ios::binary).write(Bytes.data(), Bytes.size());
+
+  // A stale temp from a hypothetical interrupted save.
+  std::ofstream((fs::path(Dir) / "half.ccpa.tmp").string()) << "partial";
+
+  ArtifactValidationReport Report = Store.validate(&Error);
+  EXPECT_TRUE(Error.empty()) << Error;
+  EXPECT_EQ(Report.Checked, 2u);
+  EXPECT_FALSE(Report.ok());
+  ASSERT_EQ(Report.Issues.size(), 1u);
+  EXPECT_EQ(Report.Issues[0].Path, BadPath);
+  EXPECT_FALSE(Report.Issues[0].Reason.empty());
+  ASSERT_EQ(Report.StaleTemporaries.size(), 1u);
+
+  // Repairing the store (delete the tampered file) turns the report ok.
+  fs::remove(BadPath);
+  fs::remove(fs::path(Dir) / "half.ccpa.tmp");
+  Report = Store.validate(&Error);
+  EXPECT_TRUE(Report.ok());
+  EXPECT_EQ(Report.Checked, 1u);
+  EXPECT_TRUE(Report.StaleTemporaries.empty());
+}
+
+TEST(ArtifactStoreErrorTest, MissingDirectoryIsAnErrorNotEmpty) {
+  ArtifactStore Store("/no/such/ccprof-store-anywhere");
+  std::string Error;
+  EXPECT_TRUE(Store.list(&Error).empty());
+  EXPECT_FALSE(Error.empty()) << "a missing store must not read as empty";
+
+  std::string ValidateError;
+  ArtifactValidationReport Report = Store.validate(&ValidateError);
+  EXPECT_FALSE(ValidateError.empty());
+  EXPECT_EQ(Report.Checked, 0u);
+}
+
+TEST_F(StoreDirTest, EmptyDirectoryListsCleanlyWithoutError) {
+  ArtifactStore Store(Dir);
+  std::string Error;
+  EXPECT_TRUE(Store.list(&Error).empty());
+  EXPECT_TRUE(Error.empty()) << Error;
+}

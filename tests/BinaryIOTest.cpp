@@ -1,0 +1,270 @@
+//===- tests/BinaryIOTest.cpp - Binary codec and atomic-write tests -------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Locks down the wire-level contracts every on-disk format builds on:
+// explicit little-endian byte layout, CRC-32 check values, ByteReader
+// bounds behavior (including the readString edge cases), and the
+// crash-equivalence property of atomicWriteFile.
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/BinaryIO.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace ccprof;
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string bytesOf(const std::function<void(std::ostream &)> &Write) {
+  std::ostringstream Out;
+  Write(Out);
+  return Out.str();
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  return bio::readAll(In);
+}
+
+/// Fresh scratch directory per test.
+class AtomicWriteTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    Dir = (fs::path(::testing::TempDir()) / "ccprof-atomic-test").string();
+    fs::remove_all(Dir);
+    fs::create_directories(Dir);
+  }
+  void TearDown() override { fs::remove_all(Dir); }
+
+  std::string path(const std::string &Name) const {
+    return (fs::path(Dir) / Name).string();
+  }
+
+  std::string Dir;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Little-endian encoding
+//===----------------------------------------------------------------------===//
+
+TEST(BinaryIOTest, EncodesLittleEndianByteOrder) {
+  // The format guarantees these exact bytes on every host.
+  std::string U32 = bytesOf([](std::ostream &O) {
+    bio::writeU32(O, 0x04030201u);
+  });
+  EXPECT_EQ(U32, std::string("\x01\x02\x03\x04", 4));
+
+  std::string U64 = bytesOf([](std::ostream &O) {
+    bio::writeU64(O, 0x0807060504030201ull);
+  });
+  EXPECT_EQ(U64, std::string("\x01\x02\x03\x04\x05\x06\x07\x08", 8));
+
+  std::string Str = bytesOf([](std::ostream &O) {
+    bio::writeString(O, "ab");
+  });
+  EXPECT_EQ(Str, std::string("\x02\x00\x00\x00"
+                             "ab",
+                             6));
+}
+
+TEST(BinaryIOTest, RoundTripsThroughByteReader) {
+  std::string Bytes = bytesOf([](std::ostream &O) {
+    bio::writeU32(O, 0xDEADBEEFu);
+    bio::writeU64(O, 0x123456789ABCDEF0ull);
+    bio::writeF64(O, -1234.5678);
+    bio::writeString(O, "conflict");
+    bio::writeString(O, "");
+  });
+
+  bio::ByteReader Reader(Bytes);
+  uint32_t U32 = 0;
+  uint64_t U64 = 0;
+  double F64 = 0;
+  std::string A, B;
+  ASSERT_TRUE(Reader.readU32(U32));
+  ASSERT_TRUE(Reader.readU64(U64));
+  ASSERT_TRUE(Reader.readF64(F64));
+  ASSERT_TRUE(Reader.readString(A));
+  ASSERT_TRUE(Reader.readString(B));
+  EXPECT_EQ(U32, 0xDEADBEEFu);
+  EXPECT_EQ(U64, 0x123456789ABCDEF0ull);
+  EXPECT_DOUBLE_EQ(F64, -1234.5678);
+  EXPECT_EQ(A, "conflict");
+  EXPECT_EQ(B, "");
+  EXPECT_TRUE(Reader.atEnd());
+  EXPECT_EQ(Reader.remaining(), 0u);
+}
+
+TEST(BinaryIOTest, ReadsFailAtEndWithoutConsuming) {
+  std::string Bytes = bytesOf([](std::ostream &O) { bio::writeU32(O, 7); });
+  bio::ByteReader Reader(std::string_view(Bytes).substr(0, 3));
+  uint32_t Value = 99;
+  EXPECT_FALSE(Reader.readU32(Value));
+  EXPECT_EQ(Reader.remaining(), 3u) << "failed read must not consume";
+  uint64_t Big = 0;
+  EXPECT_FALSE(Reader.readU64(Big));
+  double D = 0;
+  EXPECT_FALSE(Reader.readF64(D));
+}
+
+//===----------------------------------------------------------------------===//
+// readString edge cases
+//===----------------------------------------------------------------------===//
+
+TEST(BinaryIOTest, ReadStringZeroLengthAtEofSucceeds) {
+  // Exactly a zero count and nothing after it: a valid empty string.
+  std::string Bytes = bytesOf([](std::ostream &O) { bio::writeU32(O, 0); });
+  bio::ByteReader Reader(Bytes);
+  std::string Value = "poison";
+  EXPECT_TRUE(Reader.readString(Value));
+  EXPECT_EQ(Value, "");
+  EXPECT_TRUE(Reader.atEnd());
+}
+
+TEST(BinaryIOTest, ReadStringRejectsOversizedCount) {
+  std::string Bytes = bytesOf([](std::ostream &O) {
+    bio::writeU32(O, bio::MaxStringBytes + 1);
+  });
+  Bytes += std::string(64, 'x'); // some payload, far less than claimed
+  bio::ByteReader Reader(Bytes);
+  std::string Value;
+  EXPECT_FALSE(Reader.readString(Value));
+}
+
+TEST(BinaryIOTest, ReadStringRejectsCountBeyondRemainingBytes) {
+  // Claims 16 bytes, carries 3: must fail without touching bytes 4..6.
+  std::string Bytes = bytesOf([](std::ostream &O) { bio::writeU32(O, 16); });
+  Bytes += "abc";
+  bio::ByteReader Reader(Bytes);
+  std::string Value;
+  EXPECT_FALSE(Reader.readString(Value));
+}
+
+TEST(BinaryIOTest, FitsBoundsCountsByRemainingBytes) {
+  std::string Bytes(32, '\0');
+  bio::ByteReader Reader(Bytes);
+  EXPECT_TRUE(Reader.fits(2, 16));
+  EXPECT_TRUE(Reader.fits(4, 8));
+  EXPECT_FALSE(Reader.fits(3, 16));
+  EXPECT_FALSE(Reader.fits(UINT64_MAX, 8));
+  EXPECT_TRUE(Reader.fits(0, 16));
+}
+
+//===----------------------------------------------------------------------===//
+// CRC-32
+//===----------------------------------------------------------------------===//
+
+TEST(BinaryIOTest, Crc32MatchesKnownCheckValues) {
+  // The standard CRC-32/IEEE check value.
+  EXPECT_EQ(bio::crc32(std::string_view("123456789")), 0xCBF43926u);
+  EXPECT_EQ(bio::crc32(std::string_view("")), 0x00000000u);
+  // Seeded chaining equals one pass over the concatenation.
+  std::string_view All("lightweight cache conflicts");
+  uint32_t Chained =
+      bio::crc32(All.substr(11), bio::crc32(All.substr(0, 11)));
+  EXPECT_EQ(Chained, bio::crc32(All));
+}
+
+TEST(BinaryIOTest, Crc32DetectsSingleBitFlips) {
+  std::string Bytes = bytesOf([](std::ostream &O) {
+    for (uint32_t I = 0; I < 64; ++I)
+      bio::writeU32(O, I * 2654435761u);
+  });
+  uint32_t Clean = bio::crc32(Bytes);
+  for (size_t Byte = 0; Byte < Bytes.size(); ++Byte)
+    for (int Bit = 0; Bit < 8; ++Bit) {
+      Bytes[Byte] ^= char(1 << Bit);
+      EXPECT_NE(bio::crc32(Bytes), Clean)
+          << "flip at byte " << Byte << " bit " << Bit << " went undetected";
+      Bytes[Byte] ^= char(1 << Bit);
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Atomic file replacement
+//===----------------------------------------------------------------------===//
+
+TEST_F(AtomicWriteTest, WritesContentAndLeavesNoTemp) {
+  std::string Target = path("a.bin");
+  std::string Error;
+  ASSERT_TRUE(bio::atomicWriteFile(Target, "hello artifact", &Error))
+      << Error;
+  EXPECT_EQ(slurp(Target), "hello artifact");
+  EXPECT_FALSE(fs::exists(Target + bio::AtomicTempSuffix));
+}
+
+TEST_F(AtomicWriteTest, ReplacesExistingFile) {
+  std::string Target = path("a.bin");
+  ASSERT_TRUE(bio::atomicWriteFile(Target, "old"));
+  ASSERT_TRUE(bio::atomicWriteFile(Target, "new and longer"));
+  EXPECT_EQ(slurp(Target), "new and longer");
+}
+
+TEST_F(AtomicWriteTest, WritesEmptyPayload) {
+  std::string Target = path("empty.bin");
+  ASSERT_TRUE(bio::atomicWriteFile(Target, ""));
+  EXPECT_TRUE(fs::exists(Target));
+  EXPECT_EQ(fs::file_size(Target), 0u);
+}
+
+TEST_F(AtomicWriteTest, FailsCleanlyWhenDirectoryMissing) {
+  std::string Target = path("no/such/dir/a.bin");
+  std::string Error;
+  EXPECT_FALSE(bio::atomicWriteFile(Target, "x", &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST_F(AtomicWriteTest, CrashAtEveryWriteBoundaryNeverCorruptsTarget) {
+  // The acceptance property: interrupting the save at ANY write
+  // boundary leaves either the previous file or no file at the final
+  // path — never a partial one. 3-byte chunks make every boundary of
+  // the payload a crash site.
+  const std::string Old = "PREVIOUS-ARTIFACT-CONTENT";
+  const std::string New = "REPLACEMENT-PAYLOAD-WITH-DIFFERENT-BYTES";
+  std::string Target = path("artifact.bin");
+
+  for (bool PreexistingTarget : {false, true}) {
+    size_t Boundaries = (New.size() + 2) / 3;
+    for (size_t CrashAfter = 1; CrashAfter <= Boundaries; ++CrashAfter) {
+      fs::remove(Target);
+      fs::remove(Target + bio::AtomicTempSuffix);
+      if (PreexistingTarget)
+        ASSERT_TRUE(bio::atomicWriteFile(Target, Old));
+
+      bio::AtomicWriteOptions Options;
+      Options.ChunkBytes = 3;
+      size_t Chunks = 0;
+      Options.CrashAt = [&](size_t) { return ++Chunks == CrashAfter; };
+      std::string Error;
+      EXPECT_FALSE(bio::atomicWriteFile(Target, New, &Error, Options));
+      EXPECT_FALSE(Error.empty());
+
+      if (PreexistingTarget)
+        EXPECT_EQ(slurp(Target), Old)
+            << "crash after chunk " << CrashAfter
+            << " must leave the previous file intact";
+      else
+        EXPECT_FALSE(fs::exists(Target))
+            << "crash after chunk " << CrashAfter
+            << " must not publish anything";
+
+      // Recovery: the next save wins and clears the stale temp the
+      // simulated crash left behind.
+      ASSERT_TRUE(bio::atomicWriteFile(Target, New, &Error)) << Error;
+      EXPECT_EQ(slurp(Target), New);
+      EXPECT_FALSE(fs::exists(Target + bio::AtomicTempSuffix));
+    }
+  }
+}

@@ -22,10 +22,13 @@
 #include "gtest/gtest.h"
 
 #include <algorithm>
+#include <atomic>
 #include <filesystem>
+#include <latch>
 #include <memory>
 #include <set>
 #include <sstream>
+#include <thread>
 
 using namespace ccprof;
 
@@ -320,6 +323,32 @@ TEST(JobSpecTest, ExactMatrixIgnoresPeriodSweep) {
   EXPECT_EQ(expandMatrix(Matrix).size(), 1u);
 }
 
+TEST(JobSpecTest, LossilySanitizedNamesNeverCollide) {
+  // "MKL-FFT" and "MKL_FFT" both sanitize to "MKL_FFT"; without the
+  // raw-name hash their artifacts would overwrite each other.
+  JobSpec Dashed;
+  Dashed.WorkloadName = "MKL-FFT";
+  JobSpec Underscored = Dashed;
+  Underscored.WorkloadName = "MKL_FFT";
+  JobSpec Dotted = Dashed;
+  Dotted.WorkloadName = "MKL.FFT";
+  EXPECT_NE(Dashed.key(), Underscored.key());
+  EXPECT_NE(Dashed.key(), Dotted.key());
+  EXPECT_NE(Underscored.key(), Dotted.key());
+
+  // Same raw name still means the same key.
+  JobSpec DashedAgain = Dashed;
+  EXPECT_EQ(Dashed.key(), DashedAgain.key());
+}
+
+TEST(JobSpecTest, CleanNamesKeepStableHashFreeKeys) {
+  // Names that sanitize to themselves are the common case; their keys
+  // are a published stable format, no hash suffix.
+  JobSpec Job;
+  Job.WorkloadName = "NW";
+  EXPECT_EQ(Job.key(), "NW-orig-l1-firsttouch-bursty-p1212-t8-r0");
+}
+
 TEST(JobRunnerTest, ReportsUnknownWorkload) {
   JobSpec Job;
   Job.WorkloadName = "NoSuchWorkload";
@@ -499,6 +528,41 @@ TEST(MissStreamCacheTest, EvictedStreamsSurviveWhileHeld) {
   Cache.getOrCompute("b", [] { return std::vector<MissEvent>(1); });
   EXPECT_EQ(Cache.size(), 1u);
   EXPECT_EQ(Held->size(), 9u) << "held stream must outlive its eviction";
+}
+
+TEST(MissStreamCacheTest, RacingComputeCountsLoserAsHit) {
+  // Two threads demand the same key and are forced into the compute
+  // callback simultaneously, so both run it (the documented duplicate
+  // compute). Exactly one stream may be stored and counted as a miss;
+  // the loser's lookup is served from the cache and must be a hit —
+  // the regression was counting both as misses, overstating simulated
+  // streams under contention.
+  MissStreamCache Cache(4);
+  std::latch BothComputing(2);
+  std::atomic<unsigned> Computes{0};
+  auto Compute = [&] {
+    BothComputing.arrive_and_wait();
+    ++Computes;
+    return std::vector<MissEvent>(6);
+  };
+
+  MissStreamCache::StreamPtr A, B;
+  std::thread First([&] { A = Cache.getOrCompute("k", Compute); });
+  std::thread Second([&] { B = Cache.getOrCompute("k", Compute); });
+  First.join();
+  Second.join();
+
+  EXPECT_EQ(Computes.load(), 2u) << "latch must force the duplicate compute";
+  EXPECT_EQ(A.get(), B.get()) << "racing callers must share one stored copy";
+  ASSERT_TRUE(A);
+  EXPECT_EQ(A->size(), 6u);
+
+  MissStreamCacheStats Stats = Cache.stats();
+  EXPECT_EQ(Stats.Misses, 1u) << "one stream stored, one miss";
+  EXPECT_EQ(Stats.Hits, 1u) << "the losing lookup is a cache hit";
+  ASSERT_EQ(Stats.Entries.size(), 1u);
+  EXPECT_EQ(Stats.Entries[0].Hits, 1u);
+  EXPECT_EQ(Stats.Entries[0].Events, 6u);
 }
 
 //===----------------------------------------------------------------------===//

@@ -22,9 +22,10 @@
 //   ccprof batch <workloads|all> [--jobs N] [--out DIR] [--periods A,B]
 //                [--levels l1,l2] [--mappings M,N] [--variants V,W]
 //                [--repeats R] [--stamp] [profile options]
-//   ccprof merge <artifact...> [--out FILE]
+//   ccprof merge <artifact|dir...> [--out FILE]
 //   ccprof diff <artifact-a> <artifact-b> [--tolerance X] [--check]
-//   ccprof show <artifact>
+//   ccprof show <artifact|dir>
+//   ccprof validate <artifact|dir...>
 //
 //===----------------------------------------------------------------------===//
 
@@ -39,10 +40,12 @@
 
 #include <chrono>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <vector>
 
 using namespace ccprof;
@@ -60,10 +63,13 @@ void printUsage(std::ostream &Out) {
          "  analyze <file> <workload> profile a previously recorded trace\n"
          "  batch <workloads|all>     run a job matrix, write one artifact "
          "per job\n"
-         "  merge <artifact...>       aggregate artifacts of repeated runs\n"
+         "  merge <artifact|dir...>   aggregate artifacts of repeated runs\n"
          "  diff <a> <b>              compare two artifacts, flag "
          "regressions\n"
-         "  show <artifact>           render a stored artifact's report\n"
+         "  show <artifact|dir>       render stored artifact reports\n"
+         "  validate <artifact|dir..> check artifacts for corruption "
+         "(checksums,\n"
+         "                            truncation, interrupted saves)\n"
          "\n"
          "profile options:\n"
          "  --optimized               use the padded/reordered build\n"
@@ -568,6 +574,34 @@ int commandBatch(const std::string &Selection,
   return Failures == 0 ? 0 : 1;
 }
 
+/// Expands \p PathArg into artifact paths: a directory contributes its
+/// store listing (a listing error or an artifact-free directory is an
+/// error — never silently "empty"), anything else passes through as a
+/// file path. \returns false with \p Error set on failure.
+bool collectArtifactPaths(const std::string &PathArg,
+                          std::vector<std::string> &Paths,
+                          std::string &Error) {
+  std::error_code Ec;
+  if (!std::filesystem::is_directory(PathArg, Ec)) {
+    Paths.push_back(PathArg);
+    return true;
+  }
+  ArtifactStore Store(PathArg);
+  std::string ListError;
+  std::vector<std::string> Listed = Store.list(&ListError);
+  if (!ListError.empty()) {
+    Error = ListError;
+    return false;
+  }
+  if (Listed.empty()) {
+    Error = "no " + std::string(ArtifactExtension) + " artifacts in " +
+            PathArg;
+    return false;
+  }
+  Paths.insert(Paths.end(), Listed.begin(), Listed.end());
+  return true;
+}
+
 int commandMerge(const std::vector<std::string> &Args) {
   std::vector<std::string> Paths;
   std::string OutPath;
@@ -579,7 +613,11 @@ int commandMerge(const std::vector<std::string> &Args) {
       }
       OutPath = Args[++I];
     } else {
-      Paths.push_back(Args[I]);
+      std::string Error;
+      if (!collectArtifactPaths(Args[I], Paths, Error)) {
+        std::cerr << "error: " << Error << '\n';
+        return 1;
+      }
     }
   }
   if (Paths.empty()) {
@@ -638,7 +676,11 @@ int commandDiff(const std::vector<std::string> &Args) {
     } else if (Args[I] == "--check") {
       Check = true;
     } else {
-      Paths.push_back(Args[I]);
+      std::string Error;
+      if (!collectArtifactPaths(Args[I], Paths, Error)) {
+        std::cerr << "error: " << Error << '\n';
+        return 1;
+      }
     }
   }
   if (Paths.size() != 2) {
@@ -659,19 +701,76 @@ int commandDiff(const std::vector<std::string> &Args) {
   return Check && Diff.Regressions > 0 ? 2 : 0;
 }
 
-int commandShow(const std::string &Path) {
-  ProfileArtifact Artifact;
+int commandShow(const std::string &PathArg) {
+  std::vector<std::string> Paths;
   std::string Error;
-  if (!ProfileArtifact::loadFromFile(Path, Artifact, &Error)) {
+  if (!collectArtifactPaths(PathArg, Paths, Error)) {
     std::cerr << "error: " << Error << '\n';
     return 1;
   }
-  const JobSpec &Job = Artifact.Provenance.Job;
-  std::cout << "artifact: " << Job.key() << " (format v" << ArtifactVersion
-            << ", " << Artifact.Provenance.MergedRuns << " run(s), tool "
-            << Artifact.Provenance.Tool << ")\n";
-  std::cout << renderProfileReport(Artifact.Result, Job.WorkloadName);
+  for (size_t I = 0; I < Paths.size(); ++I) {
+    ProfileArtifact Artifact;
+    if (!ProfileArtifact::loadFromFile(Paths[I], Artifact, &Error)) {
+      std::cerr << "error: " << Error << '\n';
+      return 1;
+    }
+    const JobSpec &Job = Artifact.Provenance.Job;
+    if (I)
+      std::cout << '\n';
+    std::cout << "artifact: " << Job.key() << " (format v"
+              << Artifact.FormatVersion << ", "
+              << Artifact.Provenance.MergedRuns << " run(s), tool "
+              << Artifact.Provenance.Tool << ")\n";
+    std::cout << renderProfileReport(Artifact.Result, Job.WorkloadName);
+  }
   return 0;
+}
+
+int commandValidate(const std::vector<std::string> &Args) {
+  size_t Checked = 0, Corrupt = 0, Stale = 0;
+  for (const std::string &Arg : Args) {
+    std::error_code Ec;
+    if (std::filesystem::is_directory(Arg, Ec)) {
+      ArtifactStore Store(Arg);
+      std::string Error;
+      ArtifactValidationReport Report = Store.validate(&Error);
+      if (!Error.empty()) {
+        std::cerr << "error: " << Error << '\n';
+        return 1;
+      }
+      Checked += Report.Checked;
+      Corrupt += Report.Issues.size();
+      Stale += Report.StaleTemporaries.size();
+      for (const ArtifactValidationIssue &Issue : Report.Issues)
+        std::cout << "FAIL " << Issue.Path << ": " << Issue.Reason << '\n';
+      for (const std::string &Temp : Report.StaleTemporaries)
+        std::cout << "stale " << Temp
+                  << ": leftover temp from an interrupted save (safe to "
+                     "delete; never published)\n";
+      continue;
+    }
+    ++Checked;
+    ProfileArtifact Artifact;
+    std::string Reason;
+    std::ifstream In(Arg, std::ios::binary);
+    if (!In) {
+      ++Corrupt;
+      std::cout << "FAIL " << Arg << ": cannot open for reading\n";
+    } else if (!ProfileArtifact::readFrom(In, Artifact, &Reason)) {
+      ++Corrupt;
+      std::cout << "FAIL " << Arg << ": " << Reason << '\n';
+    } else {
+      std::cout << "ok   " << Arg << " (format v" << Artifact.FormatVersion
+                << ", " << Artifact.Result.Loops.size() << " loop(s), "
+                << Artifact.Provenance.MergedRuns << " run(s))\n";
+    }
+  }
+  std::cout << "validate: " << Checked << " artifact(s), "
+            << (Checked - Corrupt) << " ok, " << Corrupt << " corrupt";
+  if (Stale)
+    std::cout << ", " << Stale << " stale temp(s)";
+  std::cout << '\n';
+  return Corrupt == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -721,10 +820,20 @@ int main(int Argc, char **Argv) {
 
   if (Command == "show") {
     if (Args.size() != 2) {
-      std::cerr << "error: show needs one artifact path\n";
+      std::cerr << "error: show needs one artifact or directory path\n";
       return 1;
     }
     return commandShow(Args[1]);
+  }
+
+  if (Command == "validate") {
+    if (Args.size() < 2) {
+      std::cerr << "error: validate needs at least one artifact or "
+                   "directory path\n";
+      return 1;
+    }
+    return commandValidate(
+        std::vector<std::string>(Args.begin() + 1, Args.end()));
   }
 
   if (Command == "trace" || Command == "analyze") {
