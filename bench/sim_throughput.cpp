@@ -5,35 +5,46 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Tracks the two perf levers of the single-pass simulation engine:
+// Tracks the three perf levers of the simulation engine:
 //
-//  1. refs/sec of the SoA Cache hot path against the preserved scalar
-//     ReferenceCache on the same mixed strided/random reference stream
-//     (identical behaviour is enforced separately by
-//     tests/CacheSoaExactnessTest.cpp);
+//  1. simulated-accesses/sec of the SoA Cache hot path against the
+//     preserved scalar ReferenceCache, reported per cache
+//     configuration (geometry x policy) on the same mixed
+//     strided/random reference stream (identical behaviour is enforced
+//     separately by tests/CacheSoaExactnessTest.cpp);
 //
 //  2. jobs/sec of a sampling-period-sweep batch — the paper-style
 //     evaluation matrix — with the shared-trace engine + miss-stream
 //     cache ON (runJobsShared) vs OFF (naive runJobs), verifying along
-//     the way that both paths produce byte-identical artifacts.
+//     the way that both paths produce byte-identical artifacts;
 //
-// Emits machine-readable BENCH_sim_throughput.json in the working
-// directory so the perf trajectory is comparable across PRs; exits
-// nonzero if the byte-identity check fails. `--smoke` shrinks the
-// workload for CI.
+//  3. a shard-count sweep of the set-sharded parallel collector
+//     (collectL1MissStreamParallel) over a large synthetic trace,
+//     verifying at every shard count that the merged miss stream is
+//     element-identical to the sequential collector's.
+//
+// Emits machine-readable BENCH_sim_throughput.json and
+// BENCH_simshard.json in the working directory so the perf trajectory
+// is comparable across PRs; exits nonzero if any identity check fails.
+// `--smoke` shrinks the workloads for CI; `--json` suppresses the
+// human-readable tables (the JSON files are always written).
 //
 //===----------------------------------------------------------------------===//
 
 #include "pipeline/JobRunner.h"
+#include "pmu/PebsEvent.h"
 #include "sim/MachineConfig.h"
 #include "sim/ReferenceCache.h"
 #include "support/Rng.h"
 #include "support/Table.h"
+#include "support/ThreadPool.h"
 
 #include <chrono>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -65,6 +76,19 @@ std::vector<std::pair<uint64_t, bool>> makeStream(size_t NumRefs) {
     Refs.emplace_back(Addr, Rng.nextBounded(8) < 3);
   }
   return Refs;
+}
+
+/// The same stream as a Trace, for the sharded trace-facing collector.
+Trace makeTrace(size_t NumRefs) {
+  Trace T;
+  T.reserve(NumRefs);
+  for (const auto &[Addr, IsWrite] : makeStream(NumRefs)) {
+    if (IsWrite)
+      T.recordStore(0, Addr, 8);
+    else
+      T.recordLoad(0, Addr, 8);
+  }
+  return T;
 }
 
 template <typename CacheT>
@@ -106,42 +130,92 @@ std::string fmtX(double Value) {
   return Out.str();
 }
 
+const char *policyName(ReplacementKind Policy) {
+  switch (Policy) {
+  case ReplacementKind::Lru:
+    return "LRU";
+  case ReplacementKind::Fifo:
+    return "FIFO";
+  case ReplacementKind::TreePlru:
+    return "TreePLRU";
+  case ReplacementKind::Random:
+    return "Random";
+  }
+  return "?";
+}
+
+/// One geometry x policy row of the per-config hot-path comparison.
+struct ConfigRow {
+  std::string Name;
+  CacheGeometry Geometry;
+  ReplacementKind Policy;
+  double ScalarRate = 0.0;
+  double SoaRate = 0.0;
+};
+
+/// One shard count of the sharded-collector sweep.
+struct ShardRow {
+  unsigned Shards = 0;
+  unsigned Threads = 0;
+  double AccessesPerSec = 0.0;
+  double Speedup = 1.0;
+  bool Identical = true;
+};
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   bool Smoke = false;
-  for (int I = 1; I < Argc; ++I)
+  bool JsonOnly = false;
+  for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--smoke") == 0)
       Smoke = true;
+    else if (std::strcmp(Argv[I], "--json") == 0)
+      JsonOnly = true;
+  }
 
-  std::cout << "=== Simulation engine throughput"
-            << (Smoke ? " (smoke)" : "") << " ===\n\n";
+  if (!JsonOnly)
+    std::cout << "=== Simulation engine throughput"
+              << (Smoke ? " (smoke)" : "") << " ===\n\n";
 
-  // --- 1. SoA hot path vs scalar reference model ------------------------
+  // --- 1. SoA hot path vs scalar model, per cache configuration --------
   const size_t NumRefs = Smoke ? 400'000 : 4'000'000;
   std::vector<std::pair<uint64_t, bool>> Refs = makeStream(NumRefs);
-  const CacheGeometry L1 = paperL1Geometry();
+
+  std::vector<ConfigRow> Configs = {
+      {"paper L1", paperL1Geometry(), ReplacementKind::Lru},
+      {"paper L1", paperL1Geometry(), ReplacementKind::Fifo},
+      {"256K/8w L2", CacheGeometry(256 * 1024, 64, 8), ReplacementKind::Lru},
+  };
 
   uint64_t HitSink = 0;
-  // Warm-up pass each, then the measured pass.
-  double ScalarRate, SoaRate;
-  {
-    ReferenceCache Warm(L1), Timed(L1);
-    refsPerSec(Warm, Refs, HitSink);
-    ScalarRate = refsPerSec(Timed, Refs, HitSink);
+  for (ConfigRow &Row : Configs) {
+    {
+      ReferenceCache Warm(Row.Geometry, Row.Policy),
+          Timed(Row.Geometry, Row.Policy);
+      refsPerSec(Warm, Refs, HitSink); // warm-up: page faults, lazy init
+      Row.ScalarRate = refsPerSec(Timed, Refs, HitSink);
+    }
+    {
+      Cache Warm(Row.Geometry, Row.Policy), Timed(Row.Geometry, Row.Policy);
+      refsPerSec(Warm, Refs, HitSink);
+      Row.SoaRate = refsPerSec(Timed, Refs, HitSink);
+    }
   }
-  {
-    Cache Warm(L1), Timed(L1);
-    refsPerSec(Warm, Refs, HitSink);
-    SoaRate = refsPerSec(Timed, Refs, HitSink);
-  }
-  const double SoaSpeedup = SoaRate / ScalarRate;
 
-  TextTable CacheTable({"model", "refs/sec", "speedup"});
-  CacheTable.addRow({"scalar (ReferenceCache)", fmtRate(ScalarRate), "1.00x"});
-  CacheTable.addRow({"SoA (Cache)", fmtRate(SoaRate), fmtX(SoaSpeedup)});
-  std::cout << CacheTable.render() << "(hit sink " << HitSink % 10 << ", "
-            << L1.describe() << ", LRU)\n\n";
+  if (!JsonOnly) {
+    TextTable CacheTable({"config", "policy", "scalar refs/sec",
+                          "SoA refs/sec", "SoA speedup"});
+    for (const ConfigRow &Row : Configs)
+      CacheTable.addRow({Row.Name, policyName(Row.Policy),
+                         fmtRate(Row.ScalarRate), fmtRate(Row.SoaRate),
+                         fmtX(Row.SoaRate / Row.ScalarRate)});
+    std::cout << CacheTable.render() << "(hit sink " << HitSink % 10 << ", "
+              << NumRefs << " refs per measurement)\n\n";
+  }
+  const double ScalarRate = Configs.front().ScalarRate;
+  const double SoaRate = Configs.front().SoaRate;
+  const double SoaSpeedup = SoaRate / ScalarRate;
 
   // --- 2. Shared-trace batch vs naive per-job simulation ----------------
   // The acceptance scenario: one workload swept over >= 4 sampling
@@ -181,9 +255,9 @@ int main(int Argc, char **Argv) {
   const double SharedRate = static_cast<double>(Jobs.size()) / SharedSecs;
   const double BatchSpeedup = SharedRate / NaiveRate;
 
-  TextTable BatchTable(
-      {"engine", "jobs", "wall (s)", "jobs/sec", "speedup", "bytes =="});
-  {
+  if (!JsonOnly) {
+    TextTable BatchTable(
+        {"engine", "jobs", "wall (s)", "jobs/sec", "speedup", "bytes =="});
     std::ostringstream NaiveWall, SharedWall;
     NaiveWall.precision(3);
     NaiveWall << std::fixed << NaiveSecs;
@@ -195,10 +269,75 @@ int main(int Argc, char **Argv) {
     BatchTable.addRow({"shared-trace (cache on)", std::to_string(Jobs.size()),
                        SharedWall.str(), fmtRate(SharedRate),
                        fmtX(BatchSpeedup), Identical ? "yes" : "NO"});
+    std::cout << BatchTable.render() << "(" << Jobs.size()
+              << "-period sweep; stream cache: " << Stats.Streams.Hits
+              << " hit(s), " << Stats.Streams.Misses << " simulation(s))\n\n";
   }
-  std::cout << BatchTable.render() << "(" << Jobs.size()
-            << "-period sweep; stream cache: " << Stats.Streams.Hits
-            << " hit(s), " << Stats.Streams.Misses << " simulation(s))\n";
+
+  // --- 3. Set-sharded parallel collector: shard-count sweep -------------
+  // One large synthetic trace, simulated sequentially once (baseline)
+  // and then through the sharded collector at increasing shard counts
+  // with a pool of shards-1 helpers. Every sweep point must reproduce
+  // the sequential miss stream element-for-element.
+  const size_t ShardTraceRefs = Smoke ? 400'000 : 8'000'000;
+  const Trace ShardTrace = makeTrace(ShardTraceRefs);
+  const CacheGeometry ShardGeometry = paperL1Geometry();
+  MissStreamOptions ShardOptions; // LRU, loads only
+
+  // Warm-up + baseline.
+  collectL1MissStream(ShardTrace, ShardGeometry, ShardOptions);
+  Clock::time_point SeqStart = Clock::now();
+  const std::vector<MissEvent> SeqStream =
+      collectL1MissStream(ShardTrace, ShardGeometry, ShardOptions);
+  const double SeqSecs = secondsSince(SeqStart);
+  const double SeqRate = static_cast<double>(ShardTraceRefs) / SeqSecs;
+
+  std::vector<ShardRow> Sweep;
+  Sweep.push_back({1, 1, SeqRate, 1.0, true});
+  bool ShardIdentical = true;
+  const std::vector<unsigned> ShardCounts =
+      Smoke ? std::vector<unsigned>{2, 4} : std::vector<unsigned>{2, 4, 8};
+  for (unsigned K : ShardCounts) {
+    ThreadPool Pool(K - 1);
+    ThreadBudget Budget(K);
+    ShardCachePool CachePool;
+    SimContext Ctx;
+    Ctx.Pool = &Pool;
+    Ctx.Budget = &Budget;
+    Ctx.CachePool = &CachePool;
+    Ctx.Shards = K;
+    Ctx.MinRefsToShard = 0;
+
+    // Warm-up (also primes the shard-cache pool), then the measured run.
+    collectL1MissStreamParallel(ShardTrace, ShardGeometry, ShardOptions, Ctx);
+    Clock::time_point Start = Clock::now();
+    const std::vector<MissEvent> Stream =
+        collectL1MissStreamParallel(ShardTrace, ShardGeometry, ShardOptions,
+                                    Ctx);
+    const double Secs = secondsSince(Start);
+
+    ShardRow Row;
+    Row.Shards = K;
+    Row.Threads = K;
+    Row.AccessesPerSec = static_cast<double>(ShardTraceRefs) / Secs;
+    Row.Speedup = Row.AccessesPerSec / SeqRate;
+    Row.Identical = Stream == SeqStream;
+    ShardIdentical = ShardIdentical && Row.Identical;
+    Sweep.push_back(Row);
+  }
+
+  if (!JsonOnly) {
+    TextTable ShardTable(
+        {"shards", "threads", "accesses/sec", "speedup", "stream =="});
+    for (const ShardRow &Row : Sweep)
+      ShardTable.addRow({std::to_string(Row.Shards),
+                         std::to_string(Row.Threads),
+                         fmtRate(Row.AccessesPerSec), fmtX(Row.Speedup),
+                         Row.Identical ? "yes" : "NO"});
+    std::cout << ShardTable.render() << "(" << ShardTraceRefs
+              << "-ref trace, " << ShardGeometry.describe()
+              << ", LRU; speedups depend on available cores)\n";
+  }
 
   // --- Machine-readable trajectory --------------------------------------
   {
@@ -211,6 +350,16 @@ int main(int Argc, char **Argv) {
          << "  \"scalar_refs_per_sec\": " << ScalarRate << ",\n"
          << "  \"soa_refs_per_sec\": " << SoaRate << ",\n"
          << "  \"soa_speedup\": " << SoaSpeedup << ",\n"
+         << "  \"configs\": [\n";
+    for (size_t I = 0; I < Configs.size(); ++I) {
+      const ConfigRow &Row = Configs[I];
+      Json << "    {\"config\": \"" << Row.Name << "\", \"policy\": \""
+           << policyName(Row.Policy)
+           << "\", \"scalar_refs_per_sec\": " << Row.ScalarRate
+           << ", \"soa_refs_per_sec\": " << Row.SoaRate << "}"
+           << (I + 1 < Configs.size() ? "," : "") << "\n";
+    }
+    Json << "  ],\n"
          << "  \"batch_jobs\": " << Jobs.size() << ",\n"
          << "  \"naive_jobs_per_sec\": " << NaiveRate << ",\n"
          << "  \"shared_jobs_per_sec\": " << SharedRate << ",\n"
@@ -221,11 +370,39 @@ int main(int Argc, char **Argv) {
          << "  \"byte_identical\": " << (Identical ? "true" : "false")
          << "\n}\n";
   }
-  std::cout << "\nwrote BENCH_sim_throughput.json\n";
+  {
+    std::ofstream Json("BENCH_simshard.json");
+    Json.precision(6);
+    Json << std::fixed << "{\n"
+         << "  \"bench\": \"simshard\",\n"
+         << "  \"smoke\": " << (Smoke ? "true" : "false") << ",\n"
+         << "  \"trace_refs\": " << ShardTraceRefs << ",\n"
+         << "  \"stream_identical\": " << (ShardIdentical ? "true" : "false")
+         << ",\n"
+         << "  \"sweep\": [\n";
+    for (size_t I = 0; I < Sweep.size(); ++I) {
+      const ShardRow &Row = Sweep[I];
+      Json << "    {\"shards\": " << Row.Shards
+           << ", \"threads\": " << Row.Threads
+           << ", \"accesses_per_sec\": " << Row.AccessesPerSec
+           << ", \"speedup_vs_1\": " << Row.Speedup
+           << ", \"identical\": " << (Row.Identical ? "true" : "false")
+           << "}" << (I + 1 < Sweep.size() ? "," : "") << "\n";
+    }
+    Json << "  ]\n}\n";
+  }
+  if (!JsonOnly)
+    std::cout
+        << "\nwrote BENCH_sim_throughput.json and BENCH_simshard.json\n";
 
   if (!Identical) {
     std::cerr << "error: shared-trace artifacts differ from the naive "
                  "path's bytes\n";
+    return 1;
+  }
+  if (!ShardIdentical) {
+    std::cerr << "error: sharded miss stream differs from the sequential "
+                 "collector's\n";
     return 1;
   }
   return 0;

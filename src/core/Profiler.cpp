@@ -94,6 +94,17 @@ Profiler::collectMissStream(const Trace &Execution) const {
                              Options.MissOptions);
 }
 
+std::vector<MissEvent>
+Profiler::collectMissStream(const Trace &Execution,
+                            const SimContext &Ctx) const {
+  if (Options.Level == ProfileLevel::L1)
+    return collectL1MissStreamParallel(Execution, Options.L1,
+                                       Options.MissOptions, Ctx);
+  PageMapper Mapper(Options.Mapping);
+  return collectL2MissStreamParallel(Execution, Options.L1, Options.L2,
+                                     Mapper, Options.MissOptions, Ctx);
+}
+
 ProfileResult
 Profiler::profileWithStream(const Trace &Execution,
                             const ProgramStructure &Structure,

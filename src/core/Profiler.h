@@ -150,6 +150,14 @@ public:
   /// (the batch pipeline's shared-trace fast path).
   std::vector<MissEvent> collectMissStream(const Trace &Execution) const;
 
+  /// Like collectMissStream(), but simulates through the set-sharded
+  /// parallel engine when \p Ctx provides a thread pool with idle
+  /// budget. The stream is element-identical to the sequential
+  /// collector's at every shard and thread count (enforced by
+  /// tests/CacheShardExactnessTest.cpp).
+  std::vector<MissEvent> collectMissStream(const Trace &Execution,
+                                           const SimContext &Ctx) const;
+
   /// Profiles against a precomputed \p Stream, which must come from
   /// collectMissStream() under identical cache-side options. With
   /// \p Exact set the stream is consumed unsampled (profileExact).

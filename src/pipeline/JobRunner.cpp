@@ -7,11 +7,14 @@
 
 #include "pipeline/JobRunner.h"
 
+#include "support/ThreadPool.h"
 #include "trace/Canonicalize.h"
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 
@@ -72,15 +75,29 @@ std::vector<JobOutcome> ccprof::runJobsShared(
     std::span<const JobSpec> Jobs, unsigned NumThreads, uint64_t TimestampNs,
     const std::function<void(const JobOutcome &, size_t)> &OnJobDone,
     MissStreamCache *StreamCache, SharedBatchStats *StatsOut) {
+  BatchExecOptions Exec;
+  Exec.Workers = std::max(1u, NumThreads);
+  // Budget == worker count: sharding appears only when workers go idle
+  // (the tail of the group list), so legacy callers keep their exact
+  // thread ceiling.
+  Exec.SimThreads = Exec.Workers;
+  return runJobsShared(Jobs, Exec, TimestampNs, OnJobDone, StreamCache,
+                       StatsOut);
+}
+
+std::vector<JobOutcome> ccprof::runJobsShared(
+    std::span<const JobSpec> Jobs, const BatchExecOptions &Exec,
+    uint64_t TimestampNs,
+    const std::function<void(const JobOutcome &, size_t)> &OnJobDone,
+    MissStreamCache *StreamCache, SharedBatchStats *StatsOut) {
   std::vector<JobOutcome> Outcomes(Jobs.size());
   MissStreamCache LocalCache;
   MissStreamCache &Cache = StreamCache ? *StreamCache : LocalCache;
   if (Jobs.empty()) {
     if (StatsOut)
-      *StatsOut = SharedBatchStats{0, Cache.stats()};
+      *StatsOut = SharedBatchStats{0, Cache.stats(), 0};
     return Outcomes;
   }
-  NumThreads = std::max(1u, NumThreads);
 
   // Group job indices by (workload, variant) in first-appearance order:
   // one trace generation per group, deterministic group list.
@@ -94,6 +111,32 @@ std::vector<JobOutcome> ccprof::runJobsShared(
       Groups.emplace_back();
     Groups[It->second].push_back(I);
   }
+
+  // --- Shared thread budget (anti-oversubscription) ---------------------
+  // One budget covers batch workers and per-job shard helpers alike:
+  // Workers slots are held while a worker runs groups and returned when
+  // it exits, so simulations shard exactly when idle capacity exists.
+  const unsigned BudgetTotal = std::max(
+      1u, Exec.SimThreads != 0 ? Exec.SimThreads
+                               : std::thread::hardware_concurrency());
+  const unsigned NumWorkers = std::max(
+      1u, std::min({Exec.Workers, static_cast<unsigned>(Groups.size()),
+                    BudgetTotal}));
+  ThreadBudget Budget(BudgetTotal);
+  const unsigned Reserved = Budget.tryAcquire(NumWorkers);
+  assert(Reserved == NumWorkers && "workers must fit the budget");
+  (void)Reserved;
+
+  std::optional<ThreadPool> ShardPool;
+  if (BudgetTotal > 1)
+    ShardPool.emplace(BudgetTotal - 1);
+  ShardCachePool CachePool;
+  SimContext Sim;
+  Sim.Pool = ShardPool ? &*ShardPool : nullptr;
+  Sim.Budget = &Budget;
+  Sim.CachePool = &CachePool;
+  Sim.Shards = Exec.Shards;
+  Sim.MinRefsToShard = Exec.MinRefsToShard;
 
   std::atomic<size_t> NextGroup{0};
   std::atomic<size_t> NumDone{0};
@@ -137,7 +180,7 @@ std::vector<JobOutcome> ccprof::runJobsShared(
         const JobSpec &Job = Jobs[I];
         Profiler P(Job.toProfileOptions());
         MissStreamCache::StreamPtr Stream = Cache.getOrCompute(
-            missStreamKeyOf(Job), [&] { return P.collectMissStream(T); });
+            missStreamKeyOf(Job), [&] { return P.collectMissStream(T, Sim); });
 
         JobOutcome &Out = Outcomes[I];
         Out.Job = Job;
@@ -148,23 +191,25 @@ std::vector<JobOutcome> ccprof::runJobsShared(
         FinishJob(I);
       }
     }
+    // Hand the slot back so in-flight simulations on other workers can
+    // fan out over the freed capacity (the run-tail sharding window).
+    Budget.release(1);
   };
 
-  if (NumThreads == 1 || Groups.size() == 1) {
+  if (NumWorkers == 1 || Groups.size() == 1) {
     Worker();
   } else {
-    std::vector<std::thread> Pool;
-    const unsigned PoolSize =
-        static_cast<unsigned>(std::min<size_t>(NumThreads, Groups.size()));
-    Pool.reserve(PoolSize);
-    for (unsigned I = 0; I < PoolSize; ++I)
-      Pool.emplace_back(Worker);
-    for (std::thread &T : Pool)
+    std::vector<std::thread> BatchPool;
+    BatchPool.reserve(NumWorkers);
+    for (unsigned I = 0; I < NumWorkers; ++I)
+      BatchPool.emplace_back(Worker);
+    for (std::thread &T : BatchPool)
       T.join();
   }
 
   if (StatsOut)
-    *StatsOut = SharedBatchStats{Groups.size(), Cache.stats()};
+    *StatsOut = SharedBatchStats{Groups.size(), Cache.stats(),
+                                 CachePool.reuses()};
   return Outcomes;
 }
 

@@ -80,6 +80,26 @@ struct SharedBatchStats {
   /// Miss-stream cache accounting: Misses counts full trace
   /// simulations, Hits counts simulations avoided.
   MissStreamCacheStats Streams;
+  /// Windowed shard caches recycled instead of reallocated.
+  uint64_t ShardCacheReuses = 0;
+};
+
+/// Execution shape of a shared-trace batch run. Workers carry
+/// job-level parallelism; SimThreads is the *total* thread budget the
+/// run may occupy at once — batch workers and set-shard helpers draw
+/// from the same ThreadBudget, so nested parallelism can never
+/// oversubscribe the machine. A job's simulation fans out across set
+/// shards only while idle budget exists (i.e. when pending jobs no
+/// longer cover the cores — typically the tail of a run).
+struct BatchExecOptions {
+  /// Batch worker threads (clamped to the budget and the group count).
+  unsigned Workers = 1;
+  /// Total simulation thread budget; 0 = hardware_concurrency.
+  unsigned SimThreads = 0;
+  /// Set shards per simulation; 0 = one shard per granted thread.
+  unsigned Shards = 0;
+  /// Traces shorter than this never shard (partition overhead).
+  uint64_t MinRefsToShard = SimContext::DefaultMinRefsToShard;
 };
 
 /// The miss-stream cache key of \p Job: every field the simulated
@@ -90,11 +110,22 @@ struct SharedBatchStats {
 std::string missStreamKeyOf(const JobSpec &Job);
 
 /// Runs \p Jobs with shared-trace reuse (see file comment): workers
-/// claim whole (workload, variant) groups, so NumThreads still scales
-/// across workloads while each group's trace is built exactly once.
-/// \p StreamCache bounds how many distinct miss streams stay resident;
-/// pass nullptr to use a run-local cache of default capacity.
-/// Outcomes are byte-identical to runJobs on the same job list.
+/// claim whole (workload, variant) groups, so job-level parallelism
+/// still scales across workloads while each group's trace is built
+/// exactly once, and each group's miss-stream simulations additionally
+/// fan out across set shards whenever the shared thread budget has
+/// idle slots. \p StreamCache bounds how many distinct miss streams
+/// stay resident; pass nullptr to use a run-local cache of default
+/// capacity. Outcomes are byte-identical to runJobs on the same job
+/// list at every Workers / SimThreads / Shards combination.
+std::vector<JobOutcome> runJobsShared(
+    std::span<const JobSpec> Jobs, const BatchExecOptions &Exec,
+    uint64_t TimestampNs = 0,
+    const std::function<void(const JobOutcome &, size_t)> &OnJobDone = nullptr,
+    MissStreamCache *StreamCache = nullptr, SharedBatchStats *StatsOut = nullptr);
+
+/// Back-compat shape: \p NumThreads batch workers with a thread budget
+/// equal to NumThreads (shard helpers only appear when workers idle).
 std::vector<JobOutcome> runJobsShared(
     std::span<const JobSpec> Jobs, unsigned NumThreads,
     uint64_t TimestampNs = 0,

@@ -7,7 +7,103 @@
 
 #include "pmu/PebsEvent.h"
 
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+
 using namespace ccprof;
+
+namespace {
+
+/// Decision of the sharding gate: how many shards to cut and how many
+/// pool workers were granted to help simulate them.
+struct ShardGrant {
+  unsigned Shards = 1;  ///< 1 = stay sequential.
+  unsigned Helpers = 0; ///< Budget slots to release afterwards.
+};
+
+/// Applies the oversubscription policy: shard only with threads to
+/// spare. The budget hands out idle slots only — when batch-level jobs
+/// already cover the machine nothing is granted and the simulation
+/// stays sequential; on the tail of a run (or a small matrix on a big
+/// machine) the freed worker slots flow here and the job fans out.
+ShardGrant acquireShardGrant(const SimContext &Ctx, uint64_t NumSets,
+                             size_t NumRefs) {
+  ShardGrant Grant;
+  if (!Ctx.Pool || NumSets < 2 || NumRefs < Ctx.MinRefsToShard)
+    return Grant;
+
+  const unsigned MaxUseful = static_cast<unsigned>(std::min<uint64_t>(
+      NumSets, Ctx.Shards != 0 ? Ctx.Shards : Ctx.Pool->workerCount() + 1));
+  if (MaxUseful <= 1 && Ctx.Shards == 0)
+    return Grant;
+
+  Grant.Helpers =
+      Ctx.Budget ? Ctx.Budget->tryAcquire(MaxUseful - 1)
+                 : std::min(Ctx.Pool->workerCount(), MaxUseful - 1);
+  // An explicit shard count is honored even when no helper is idle
+  // (the caller's thread simulates every shard); an automatic count
+  // follows the grant so a lone thread skips partitioning entirely.
+  Grant.Shards = Ctx.Shards != 0
+                     ? static_cast<unsigned>(std::min<uint64_t>(Ctx.Shards,
+                                                                NumSets))
+                     : Grant.Helpers + 1;
+  return Grant;
+}
+
+void releaseShardGrant(const SimContext &Ctx, const ShardGrant &Grant) {
+  if (Ctx.Budget && Grant.Helpers > 0)
+    Ctx.Budget->release(Grant.Helpers);
+}
+
+/// Routes every trace record to its shard. Two passes: an exact-count
+/// reserve pass, then the fill — per-shard vectors never regrow.
+std::vector<std::vector<ShardRef>>
+partitionBySet(std::span<const MemoryRecord> Records,
+               const CacheGeometry &Geometry,
+               std::span<const SetRange> Plan) {
+  const ShardMap Map(Plan);
+  std::vector<size_t> Counts(Plan.size(), 0);
+  for (const MemoryRecord &Record : Records)
+    ++Counts[Map.shardOf(Geometry.setIndexOf(Record.Addr))];
+
+  std::vector<std::vector<ShardRef>> Shards(Plan.size());
+  for (size_t S = 0; S < Plan.size(); ++S)
+    Shards[S].reserve(Counts[S]);
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const MemoryRecord &Record = Records[I];
+    Shards[Map.shardOf(Geometry.setIndexOf(Record.Addr))].push_back(
+        ShardRef::make(I, Record.Addr, Record.IsWrite));
+  }
+  return Shards;
+}
+
+/// Shards the full reference stream through caches of \p Geometry and
+/// \returns the globally-ordered sequence numbers of every missing
+/// access (loads and stores alike — callers filter).
+std::vector<uint64_t> shardedMissSeqs(std::span<const MemoryRecord> Records,
+                                      const CacheGeometry &Geometry,
+                                      ReplacementKind Policy,
+                                      const SimContext &Ctx,
+                                      const ShardGrant &Grant) {
+  const std::vector<SetRange> Plan = planShards(Geometry.numSets(),
+                                                Grant.Shards);
+  const std::vector<std::vector<ShardRef>> Parts =
+      partitionBySet(Records, Geometry, Plan);
+
+  std::vector<std::vector<uint64_t>> PerShard(Plan.size());
+  Ctx.Pool->parallelFor(Plan.size(), Grant.Helpers, [&](size_t S) {
+    std::unique_ptr<Cache> ShardCache =
+        Ctx.CachePool ? Ctx.CachePool->acquire(Geometry, Policy, Plan[S])
+                      : std::make_unique<Cache>(Geometry, Plan[S], Policy);
+    simulateShard(*ShardCache, Parts[S], PerShard[S]);
+    if (Ctx.CachePool)
+      Ctx.CachePool->park(std::move(ShardCache));
+  });
+  return mergeMissSeqs(PerShard);
+}
+
+} // namespace
 
 std::vector<MissEvent>
 ccprof::collectL1MissStream(const Trace &Execution,
@@ -45,6 +141,76 @@ ccprof::collectL2MissStream(const Trace &Execution,
     if (L1.access(Record.Addr, Record.IsWrite).Hit)
       continue;
     uint64_t Physical = Mapper.translate(Record.Addr);
+    if (L2.access(Physical, Record.IsWrite).Hit)
+      continue;
+    if (Record.IsWrite && !Options.IncludeStores)
+      continue;
+    Stream.push_back(MissEvent{Record.Site, Physical, Record.Addr});
+  }
+  return Stream;
+}
+
+std::vector<MissEvent> ccprof::collectL1MissStreamParallel(
+    const Trace &Execution, const CacheGeometry &Geometry,
+    MissStreamOptions Options, const SimContext &Ctx) {
+  if (Options.Policy == ReplacementKind::Random)
+    return collectL1MissStream(Execution, Geometry, Options);
+  const ShardGrant Grant =
+      acquireShardGrant(Ctx, Geometry.numSets(), Execution.size());
+  if (Grant.Shards <= 1 && Grant.Helpers == 0) {
+    releaseShardGrant(Ctx, Grant);
+    return collectL1MissStream(Execution, Geometry, Options);
+  }
+
+  const std::vector<uint64_t> MissSeqs = shardedMissSeqs(
+      Execution.records(), Geometry, Options.Policy, Ctx, Grant);
+  releaseShardGrant(Ctx, Grant);
+
+  const std::span<const MemoryRecord> Records = Execution.records();
+  std::vector<MissEvent> Stream;
+  Stream.reserve(MissSeqs.size());
+  for (uint64_t Seq : MissSeqs) {
+    const MemoryRecord &Record = Records[Seq];
+    if (Record.IsWrite && !Options.IncludeStores)
+      continue;
+    Stream.push_back(MissEvent{Record.Site, Record.Addr, Record.Addr});
+  }
+  return Stream;
+}
+
+std::vector<MissEvent> ccprof::collectL2MissStreamParallel(
+    const Trace &Execution, const CacheGeometry &L1Geometry,
+    const CacheGeometry &L2Geometry, PageMapper &Mapper,
+    MissStreamOptions Options, const SimContext &Ctx) {
+  if (Options.Policy == ReplacementKind::Random)
+    return collectL2MissStream(Execution, L1Geometry, L2Geometry, Mapper,
+                               Options);
+  const ShardGrant Grant =
+      acquireShardGrant(Ctx, L1Geometry.numSets(), Execution.size());
+  if (Grant.Shards <= 1 && Grant.Helpers == 0) {
+    releaseShardGrant(Ctx, Grant);
+    return collectL2MissStream(Execution, L1Geometry, L2Geometry, Mapper,
+                               Options);
+  }
+
+  // Stage 1 (sharded): the full-trace L1 replay, by far the dominant
+  // cost. Every L1 miss reaches L2 regardless of load/store, so no
+  // filtering happens here.
+  const std::vector<uint64_t> L1MissSeqs = shardedMissSeqs(
+      Execution.records(), L1Geometry, Options.Policy, Ctx, Grant);
+  releaseShardGrant(Ctx, Grant);
+
+  // Stage 2 (sequential): the merged L1 miss list is a small fraction
+  // of the trace; replaying it in global order keeps the first-touch
+  // page translations and the L2 replacement sequence bit-identical to
+  // the sequential collector.
+  const std::span<const MemoryRecord> Records = Execution.records();
+  Cache L2(L2Geometry, Options.Policy);
+  std::vector<MissEvent> Stream;
+  Stream.reserve(L1MissSeqs.size() / 4 + 16);
+  for (uint64_t Seq : L1MissSeqs) {
+    const MemoryRecord &Record = Records[Seq];
+    const uint64_t Physical = Mapper.translate(Record.Addr);
     if (L2.access(Physical, Record.IsWrite).Hit)
       continue;
     if (Record.IsWrite && !Options.IncludeStores)

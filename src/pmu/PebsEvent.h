@@ -22,6 +22,7 @@
 
 #include "sim/Cache.h"
 #include "sim/PageMapper.h"
+#include "sim/ShardedSim.h"
 #include "trace/Trace.h"
 
 #include <cstdint>
@@ -78,6 +79,32 @@ std::vector<MissEvent> collectL2MissStream(const Trace &Execution,
                                            const CacheGeometry &L2Geometry,
                                            PageMapper &Mapper,
                                            MissStreamOptions Options = {});
+
+/// Set-sharded parallel variant of collectL1MissStream: partitions the
+/// trace by set index, simulates contiguous set ranges on \p Ctx's
+/// thread pool, and k-way merges the per-shard miss lists by global
+/// sequence number. The returned stream is element-identical to the
+/// sequential collector's at every shard and thread count. Falls back
+/// to the sequential path when \p Ctx has no pool, the trace is below
+/// Ctx.MinRefsToShard, the geometry has a single set, or the policy is
+/// Random (whose cache-global RNG makes set-decomposition inexact).
+std::vector<MissEvent>
+collectL1MissStreamParallel(const Trace &Execution,
+                            const CacheGeometry &Geometry,
+                            MissStreamOptions Options, const SimContext &Ctx);
+
+/// Set-sharded parallel variant of collectL2MissStream. The dominant
+/// cost — replaying the full trace through L1 — is sharded by L1 set;
+/// the merged L1 miss list (a small fraction of the trace) then drives
+/// the page mapper and the L2 cache sequentially, preserving the
+/// first-touch translation order and the L2 replacement sequence
+/// exactly. Same fallback conditions as the L1 variant.
+std::vector<MissEvent>
+collectL2MissStreamParallel(const Trace &Execution,
+                            const CacheGeometry &L1Geometry,
+                            const CacheGeometry &L2Geometry,
+                            PageMapper &Mapper, MissStreamOptions Options,
+                            const SimContext &Ctx);
 
 } // namespace ccprof
 

@@ -13,23 +13,29 @@
 using namespace ccprof;
 
 Cache::Cache(CacheGeometry Geometry, ReplacementKind Policy, uint64_t RngSeed)
-    : Geometry(Geometry), Policy(Policy),
-      Tags(Geometry.numSets() * Geometry.associativity(), 0),
-      LastUse(Geometry.numSets() * Geometry.associativity(), 0),
-      InsertedAt(Geometry.numSets() * Geometry.associativity(), 0),
-      ValidMask(Geometry.numSets(), 0), DirtyMask(Geometry.numSets(), 0),
-      SetMisses(Geometry.numSets(), 0),
+    : Cache(Geometry, SetRange{0, Geometry.numSets()}, Policy, RngSeed) {}
+
+Cache::Cache(CacheGeometry Geometry, SetRange Window, ReplacementKind Policy,
+             uint64_t RngSeed)
+    : Geometry(Geometry), Policy(Policy), Window(Window),
+      Tags(Window.size() * Geometry.associativity(), 0),
+      LastUse(Window.size() * Geometry.associativity(), 0),
+      InsertedAt(Window.size() * Geometry.associativity(), 0),
+      ValidMask(Window.size(), 0), DirtyMask(Window.size(), 0),
+      SetMisses(Window.size(), 0),
       AllWays(Geometry.associativity() == 64
                   ? ~uint64_t{0}
                   : (uint64_t{1} << Geometry.associativity()) - 1),
-      Rng(RngSeed) {
+      RngSeed(RngSeed), Rng(RngSeed) {
   assert((Policy != ReplacementKind::TreePlru ||
           std::has_single_bit(Geometry.associativity())) &&
          "tree-PLRU requires power-of-two associativity");
   assert(Geometry.associativity() <= 64 &&
          "per-set bit masks limit associativity to 64");
+  assert(Window.Begin <= Window.End && Window.End <= Geometry.numSets() &&
+         Window.size() > 0 && "set window out of range");
   if (Policy == ReplacementKind::TreePlru)
-    PlruBits.assign(Geometry.numSets(), 0);
+    PlruBits.assign(Window.size(), 0);
 }
 
 CacheAccessResult Cache::access(uint64_t Addr, bool IsWrite) {
@@ -37,9 +43,11 @@ CacheAccessResult Cache::access(uint64_t Addr, bool IsWrite) {
   ++Stats.Accesses;
 
   const uint64_t SetIndex = Geometry.setIndexOf(Addr);
+  assert(Window.contains(SetIndex) && "access outside the set window");
+  const uint64_t LocalSet = SetIndex - Window.Begin;
   const uint64_t Tag = Geometry.tagOf(Addr);
   const uint32_t Assoc = Geometry.associativity();
-  const uint64_t Base = SetIndex * Assoc;
+  const uint64_t Base = LocalSet * Assoc;
 
   CacheAccessResult Result;
   Result.SetIndex = SetIndex;
@@ -52,28 +60,28 @@ CacheAccessResult Cache::access(uint64_t Addr, bool IsWrite) {
   uint64_t Match = 0;
   for (uint32_t W = 0; W < Assoc; ++W)
     Match |= static_cast<uint64_t>(TagRow[W] == Tag) << W;
-  Match &= ValidMask[SetIndex];
+  Match &= ValidMask[LocalSet];
 
   if (Match != 0) {
     const uint32_t W = static_cast<uint32_t>(std::countr_zero(Match));
     ++Stats.Hits;
-    DirtyMask[SetIndex] |= static_cast<uint64_t>(IsWrite) << W;
-    touchWay(SetIndex, W);
+    DirtyMask[LocalSet] |= static_cast<uint64_t>(IsWrite) << W;
+    touchWay(LocalSet, W);
     Result.Hit = true;
     return Result;
   }
 
   // Miss path: fill into the first free way or evict a victim.
   ++Stats.Misses;
-  ++SetMisses[SetIndex];
+  ++SetMisses[LocalSet];
 
-  const uint64_t Free = ~ValidMask[SetIndex] & AllWays;
+  const uint64_t Free = ~ValidMask[LocalSet] & AllWays;
   uint32_t Victim;
   if (Free != 0) {
     Victim = static_cast<uint32_t>(std::countr_zero(Free));
   } else {
-    Victim = chooseVictim(SetIndex);
-    const bool OldDirty = (DirtyMask[SetIndex] >> Victim) & 1;
+    Victim = chooseVictim(LocalSet);
+    const bool OldDirty = (DirtyMask[LocalSet] >> Victim) & 1;
     Result.EvictedLine = Geometry.lineAddrOf(
         Geometry.lineStartAddr(Tags[Base + Victim], SetIndex));
     Result.EvictedDirty = OldDirty;
@@ -83,25 +91,27 @@ CacheAccessResult Cache::access(uint64_t Addr, bool IsWrite) {
   }
 
   Tags[Base + Victim] = Tag;
-  ValidMask[SetIndex] |= uint64_t{1} << Victim;
+  ValidMask[LocalSet] |= uint64_t{1} << Victim;
   if (IsWrite)
-    DirtyMask[SetIndex] |= uint64_t{1} << Victim;
+    DirtyMask[LocalSet] |= uint64_t{1} << Victim;
   else
-    DirtyMask[SetIndex] &= ~(uint64_t{1} << Victim);
+    DirtyMask[LocalSet] &= ~(uint64_t{1} << Victim);
   InsertedAt[Base + Victim] = Tick;
-  touchWay(SetIndex, Victim);
+  touchWay(LocalSet, Victim);
   return Result;
 }
 
 bool Cache::probe(uint64_t Addr) const {
   const uint64_t SetIndex = Geometry.setIndexOf(Addr);
+  assert(Window.contains(SetIndex) && "probe outside the set window");
+  const uint64_t LocalSet = SetIndex - Window.Begin;
   const uint64_t Tag = Geometry.tagOf(Addr);
   const uint32_t Assoc = Geometry.associativity();
-  const uint64_t *TagRow = Tags.data() + SetIndex * Assoc;
+  const uint64_t *TagRow = Tags.data() + LocalSet * Assoc;
   uint64_t Match = 0;
   for (uint32_t W = 0; W < Assoc; ++W)
     Match |= static_cast<uint64_t>(TagRow[W] == Tag) << W;
-  return (Match & ValidMask[SetIndex]) != 0;
+  return (Match & ValidMask[LocalSet]) != 0;
 }
 
 void Cache::flush() {
@@ -119,9 +129,23 @@ void Cache::resetStats() {
   std::fill(SetMisses.begin(), SetMisses.end(), 0);
 }
 
+void Cache::resetForReuse() {
+  flush();
+  resetStats();
+  Rng = Xoshiro256(RngSeed);
+}
+
+void Cache::resetForReuse(SetRange NewWindow) {
+  assert(NewWindow.size() == Window.size() &&
+         NewWindow.End <= Geometry.numSets() &&
+         "rewindowing requires an equal-width window");
+  Window = NewWindow;
+  resetForReuse();
+}
+
 uint64_t Cache::missesOnSet(uint64_t SetIndex) const {
-  assert(SetIndex < SetMisses.size() && "set index out of range");
-  return SetMisses[SetIndex];
+  assert(Window.contains(SetIndex) && "set index outside the window");
+  return SetMisses[SetIndex - Window.Begin];
 }
 
 uint64_t Cache::setsWithMisses() const {
@@ -132,9 +156,9 @@ uint64_t Cache::setsWithMisses() const {
   return Count;
 }
 
-uint32_t Cache::chooseVictim(uint64_t SetIndex) {
+uint32_t Cache::chooseVictim(uint64_t LocalSet) {
   const uint32_t Assoc = Geometry.associativity();
-  const uint64_t Base = SetIndex * Assoc;
+  const uint64_t Base = LocalSet * Assoc;
   switch (Policy) {
   case ReplacementKind::Lru: {
     // Lowest timestamp wins; strict < keeps the lowest way on ties,
@@ -166,7 +190,7 @@ uint32_t Cache::chooseVictim(uint64_t SetIndex) {
     // Walk the implicit binary tree from the root following the
     // cold-direction bits. Node numbering: node I's children are 2I+1
     // and 2I+2; leaves correspond to ways in order.
-    uint64_t Bits = PlruBits[SetIndex];
+    uint64_t Bits = PlruBits[LocalSet];
     uint32_t Levels = static_cast<uint32_t>(std::countr_zero(Assoc));
     uint32_t Node = 0;
     for (uint32_t L = 0; L < Levels; ++L) {
@@ -182,13 +206,13 @@ uint32_t Cache::chooseVictim(uint64_t SetIndex) {
   return 0;
 }
 
-void Cache::touchWay(uint64_t SetIndex, uint32_t WayIndex) {
-  LastUse[SetIndex * Geometry.associativity() + WayIndex] = Tick;
+void Cache::touchWay(uint64_t LocalSet, uint32_t WayIndex) {
+  LastUse[LocalSet * Geometry.associativity() + WayIndex] = Tick;
   if (Policy != ReplacementKind::TreePlru)
     return;
   // Flip every node on the root-to-leaf path to point away from this way.
   const uint32_t Assoc = Geometry.associativity();
-  uint64_t Bits = PlruBits[SetIndex];
+  uint64_t Bits = PlruBits[LocalSet];
   uint32_t Node = WayIndex + (Assoc - 1);
   while (Node != 0) {
     uint32_t Parent = (Node - 1) / 2;
@@ -200,7 +224,7 @@ void Cache::touchWay(uint64_t SetIndex, uint32_t WayIndex) {
       Bits |= (uint64_t{1} << Parent);
     Node = Parent;
   }
-  PlruBits[SetIndex] = Bits;
+  PlruBits[LocalSet] = Bits;
 }
 
 FullyAssociativeLru::FullyAssociativeLru(uint64_t NumLines)

@@ -43,6 +43,20 @@ enum class ReplacementKind {
   Random, ///< Uniform random victim.
 };
 
+/// Contiguous range of cache sets [Begin, End). A windowed Cache owns
+/// replacement state for exactly these sets — the unit of the
+/// set-sharded parallel simulation engine (sim/ShardedSim.h).
+struct SetRange {
+  uint64_t Begin = 0;
+  uint64_t End = 0;
+
+  uint64_t size() const { return End - Begin; }
+  bool contains(uint64_t SetIndex) const {
+    return SetIndex >= Begin && SetIndex < End;
+  }
+  bool operator==(const SetRange &Other) const = default;
+};
+
 /// Result of a single cache access.
 struct CacheAccessResult {
   bool Hit = false;
@@ -78,8 +92,20 @@ public:
   Cache(CacheGeometry Geometry, ReplacementKind Policy = ReplacementKind::Lru,
         uint64_t RngSeed = 0x5eedcafe);
 
+  /// Windowed cache: replacement state and counters exist only for the
+  /// sets of \p Window; accessing an address outside the window is a
+  /// programming error. Within its sets a windowed cache behaves
+  /// bit-identically to a full cache fed the same per-set subsequence
+  /// (for deterministic policies; Random draws from a cache-local RNG,
+  /// so windowed Random caches are self-consistent but do not replay a
+  /// full cache's victim sequence).
+  Cache(CacheGeometry Geometry, SetRange Window,
+        ReplacementKind Policy = ReplacementKind::Lru,
+        uint64_t RngSeed = 0x5eedcafe);
+
   const CacheGeometry &geometry() const { return Geometry; }
   ReplacementKind policy() const { return Policy; }
+  const SetRange &window() const { return Window; }
 
   /// Simulates one reference to \p Addr. A miss allocates the line and
   /// may evict. \p IsWrite marks the (allocated or hit) line dirty.
@@ -95,12 +121,35 @@ public:
 
   void resetStats();
 
+  /// Returns the cache to its freshly-constructed state (contents,
+  /// statistics, tick, and RNG stream) without any reallocation, so
+  /// pooled instances replay identically across reuses.
+  void resetForReuse();
+
+  /// Like resetForReuse(), but re-aims the window at \p NewWindow,
+  /// which must span the same number of sets — the state planes are
+  /// reused in place. Geometry and policy are unchanged.
+  void resetForReuse(SetRange NewWindow);
+
+  /// Hints the hardware prefetcher at the tag row \p Addr will probe —
+  /// the shard simulation loop calls this a few accesses ahead.
+  void prefetchSet(uint64_t Addr) const {
+#if defined(__GNUC__) || defined(__clang__)
+    const uint64_t Local = Geometry.setIndexOf(Addr) - Window.Begin;
+    __builtin_prefetch(Tags.data() + Local * Geometry.associativity());
+#else
+    (void)Addr;
+#endif
+  }
+
   const CacheStats &stats() const { return Stats; }
 
-  /// Number of misses that fell on set \p SetIndex.
+  /// Number of misses that fell on set \p SetIndex (a global set index,
+  /// which must lie inside the window).
   uint64_t missesOnSet(uint64_t SetIndex) const;
 
-  /// Per-set miss counters, indexed by set.
+  /// Per-set miss counters, indexed by set *within the window* (slot 0
+  /// is window().Begin; a full-width cache is indexed by set as before).
   const std::vector<uint64_t> &perSetMisses() const { return SetMisses; }
 
   /// Number of sets that received at least one miss.
@@ -108,17 +157,21 @@ public:
 
 private:
   /// Selects the victim way in a full set according to Policy.
-  uint32_t chooseVictim(uint64_t SetIndex);
+  /// \p LocalSet indexes within the window.
+  uint32_t chooseVictim(uint64_t LocalSet);
 
   /// Updates replacement metadata for a hit or fill of \p WayIndex.
-  void touchWay(uint64_t SetIndex, uint32_t WayIndex);
+  /// \p LocalSet indexes within the window.
+  void touchWay(uint64_t LocalSet, uint32_t WayIndex);
 
   CacheGeometry Geometry;
   ReplacementKind Policy;
-  // State planes, structure-of-arrays. Per-way planes are NumSets *
-  // Associativity, row-major (one contiguous row per set); the bit
-  // masks hold one bit per way, which caps associativity at 64 — the
-  // same cap tree-PLRU already imposes.
+  /// The sets this instance models; full range unless windowed.
+  SetRange Window;
+  // State planes, structure-of-arrays. Per-way planes are
+  // Window.size() * Associativity, row-major (one contiguous row per
+  // set); the bit masks hold one bit per way, which caps associativity
+  // at 64 — the same cap tree-PLRU already imposes.
   std::vector<uint64_t> Tags;       ///< Tag plane.
   std::vector<uint64_t> LastUse;    ///< LRU timestamp plane.
   std::vector<uint64_t> InsertedAt; ///< FIFO timestamp plane.
@@ -129,6 +182,7 @@ private:
   uint64_t AllWays; ///< Mask of all Associativity way bits.
   CacheStats Stats;
   uint64_t Tick = 0;
+  uint64_t RngSeed; ///< Kept so resetForReuse() restarts the stream.
   Xoshiro256 Rng;
 };
 

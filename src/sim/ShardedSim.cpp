@@ -1,0 +1,140 @@
+//===- sim/ShardedSim.cpp - Set-sharded parallel cache simulation ---------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ShardedSim.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ccprof;
+
+std::vector<SetRange> ccprof::planShards(uint64_t NumSets,
+                                         unsigned ShardCount) {
+  assert(NumSets > 0 && "cannot shard an empty set space");
+  const uint64_t K = std::max<uint64_t>(
+      1, std::min<uint64_t>(ShardCount, NumSets));
+  const uint64_t Base = NumSets / K;
+  const uint64_t Rem = NumSets % K;
+
+  std::vector<SetRange> Plan;
+  Plan.reserve(K);
+  uint64_t Begin = 0;
+  for (uint64_t S = 0; S < K; ++S) {
+    const uint64_t Width = Base + (S < Rem ? 1 : 0);
+    Plan.push_back(SetRange{Begin, Begin + Width});
+    Begin += Width;
+  }
+  assert(Begin == NumSets && "shard plan must cover every set");
+  return Plan;
+}
+
+ShardMap::ShardMap(std::span<const SetRange> Plan)
+    : NumShards(Plan.size()) {
+  assert(!Plan.empty() && "empty shard plan");
+  SetToShard.resize(Plan.back().End);
+  for (size_t S = 0; S < Plan.size(); ++S)
+    std::fill(SetToShard.begin() + Plan[S].Begin,
+              SetToShard.begin() + Plan[S].End, static_cast<uint32_t>(S));
+}
+
+void ccprof::simulateShard(Cache &ShardCache, std::span<const ShardRef> Refs,
+                           std::vector<uint64_t> &MissSeqs) {
+  MissSeqs.clear();
+  MissSeqs.reserve(Refs.size() / 4 + 16);
+  // The tag rows of a shard's accesses are scattered across its window;
+  // fetching a few iterations ahead hides the latency the SoA layout
+  // cannot (accesses within a shard rarely revisit the same row
+  // back-to-back).
+  constexpr size_t PrefetchAhead = 8;
+  for (size_t I = 0; I < Refs.size(); ++I) {
+    if (I + PrefetchAhead < Refs.size())
+      ShardCache.prefetchSet(Refs[I + PrefetchAhead].Addr);
+    const ShardRef &R = Refs[I];
+    if (!ShardCache.access(R.Addr, R.isWrite()).Hit)
+      MissSeqs.push_back(R.seq());
+  }
+}
+
+std::vector<uint64_t>
+ccprof::mergeMissSeqs(std::span<const std::vector<uint64_t>> PerShard) {
+  size_t Total = 0;
+  for (const std::vector<uint64_t> &Shard : PerShard)
+    Total += Shard.size();
+
+  std::vector<uint64_t> Merged;
+  Merged.reserve(Total);
+
+  if (PerShard.size() == 1) {
+    Merged = PerShard.front();
+    return Merged;
+  }
+
+  // Linear min-scan over the K shard heads: K is small (bounded by the
+  // thread budget), and every input list is ascending, so this is the
+  // classical k-way merge without heap bookkeeping.
+  std::vector<size_t> Head(PerShard.size(), 0);
+  while (Merged.size() < Total) {
+    size_t Best = PerShard.size();
+    uint64_t BestSeq = 0;
+    for (size_t S = 0; S < PerShard.size(); ++S) {
+      if (Head[S] >= PerShard[S].size())
+        continue;
+      const uint64_t Seq = PerShard[S][Head[S]];
+      if (Best == PerShard.size() || Seq < BestSeq) {
+        Best = S;
+        BestSeq = Seq;
+      }
+    }
+    assert(Best < PerShard.size() && "merge ran dry before Total");
+    Merged.push_back(BestSeq);
+    ++Head[Best];
+  }
+  return Merged;
+}
+
+std::unique_ptr<Cache> ShardCachePool::acquire(const CacheGeometry &Geometry,
+                                               ReplacementKind Policy,
+                                               SetRange Window) {
+  std::unique_ptr<Cache> Reused;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (size_t I = 0; I < Parked.size(); ++I) {
+      Cache &C = *Parked[I];
+      if (C.geometry() == Geometry && C.policy() == Policy &&
+          C.window().size() == Window.size()) {
+        Reused = std::move(Parked[I]);
+        Parked[I] = std::move(Parked.back());
+        Parked.pop_back();
+        ++Reuses;
+        break;
+      }
+    }
+  }
+  if (Reused) {
+    // Zeroing the planes happens outside the lock: it is the expensive
+    // part and touches only this instance.
+    Reused->resetForReuse(Window);
+    return Reused;
+  }
+  return std::make_unique<Cache>(Geometry, Window, Policy);
+}
+
+void ShardCachePool::park(std::unique_ptr<Cache> Instance) {
+  assert(Instance && "parking a null cache");
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Parked.push_back(std::move(Instance));
+}
+
+size_t ShardCachePool::parked() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Parked.size();
+}
+
+uint64_t ShardCachePool::reuses() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Reuses;
+}

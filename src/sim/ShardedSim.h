@@ -1,0 +1,145 @@
+//===- sim/ShardedSim.h - Set-sharded parallel cache simulation -*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Primitives of the set-sharded parallel simulation engine. In a
+/// set-associative cache every set's replacement state (LRU / FIFO
+/// timestamps, tree-PLRU bits) depends only on the relative order of
+/// the accesses that map to that set, never on accesses to other sets.
+/// The reference stream can therefore be partitioned once by set index
+/// into K shards of contiguous set ranges, each shard simulated
+/// independently against a windowed Cache, and the per-shard miss lists
+/// — sorted by the access's global sequence number by construction —
+/// k-way merged back into the exact miss stream a sequential simulation
+/// produces. The decomposition is bit-exact for every deterministic
+/// replacement policy; ReplacementKind::Random consumes a cache-global
+/// RNG whose draw order depends on the interleaving of sets, so Random
+/// simulations must stay sequential (callers gate on this).
+///
+/// The pieces here are deliberately policy-free building blocks:
+/// planShards() cuts the set space, simulateShard() walks one shard's
+/// subsequence, mergeMissSeqs() reconstructs global order, and
+/// ShardCachePool recycles windowed Cache instances across
+/// configurations so repeated sharded runs do not reallocate state
+/// planes. The trace-facing collectors that put them together live in
+/// pmu/PebsEvent.h; the thread-budget policy lives with the batch
+/// runner (pipeline/JobRunner.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SIM_SHARDEDSIM_H
+#define CCPROF_SIM_SHARDEDSIM_H
+
+#include "sim/Cache.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace ccprof {
+
+class ThreadPool;
+class ThreadBudget;
+class ShardCachePool;
+
+/// One reference routed to a shard: the address plus its global
+/// position in the trace (and the write bit, packed into the low bit
+/// so a shard entry stays 16 bytes).
+struct ShardRef {
+  uint64_t Addr = 0;
+  uint64_t SeqAndWrite = 0;
+
+  static ShardRef make(uint64_t Seq, uint64_t Addr, bool IsWrite) {
+    return ShardRef{Addr, (Seq << 1) | static_cast<uint64_t>(IsWrite)};
+  }
+  uint64_t seq() const { return SeqAndWrite >> 1; }
+  bool isWrite() const { return SeqAndWrite & 1; }
+};
+
+/// Cuts \p NumSets into at most \p ShardCount contiguous, non-empty,
+/// near-equal ranges (the first NumSets % K ranges are one set wider).
+std::vector<SetRange> planShards(uint64_t NumSets, unsigned ShardCount);
+
+/// O(1) set-to-shard lookup for a planShards() plan.
+class ShardMap {
+public:
+  explicit ShardMap(std::span<const SetRange> Plan);
+
+  uint32_t shardOf(uint64_t SetIndex) const {
+    assert(SetIndex < SetToShard.size() && "set index out of range");
+    return SetToShard[SetIndex];
+  }
+  size_t numShards() const { return NumShards; }
+
+private:
+  std::vector<uint32_t> SetToShard;
+  size_t NumShards;
+};
+
+/// Replays \p Refs (all of which must map into \p ShardCache's window,
+/// in ascending seq order) and appends the global sequence number of
+/// every access that missed to \p MissSeqs. \p ShardCache must be
+/// freshly constructed or resetForReuse()'d.
+void simulateShard(Cache &ShardCache, std::span<const ShardRef> Refs,
+                   std::vector<uint64_t> &MissSeqs);
+
+/// K-way merges the ascending per-shard miss lists into one ascending
+/// list — the global miss order a sequential simulation would emit.
+std::vector<uint64_t>
+mergeMissSeqs(std::span<const std::vector<uint64_t>> PerShard);
+
+/// Thread-safe pool of windowed Cache instances. A shard simulation
+/// acquires a cache per shard and parks it afterwards; a later
+/// acquisition with the same geometry, policy, and window width reuses
+/// the parked instance's state planes (resetForReuse) instead of
+/// reallocating them — the common case when one batch run sweeps many
+/// sampling periods over few cache configurations.
+class ShardCachePool {
+public:
+  /// Returns a reset cache for (\p Geometry, \p Policy, \p Window),
+  /// recycling a parked instance when one matches.
+  std::unique_ptr<Cache> acquire(const CacheGeometry &Geometry,
+                                 ReplacementKind Policy, SetRange Window);
+
+  /// Parks \p Instance for future reuse.
+  void park(std::unique_ptr<Cache> Instance);
+
+  size_t parked() const;
+  uint64_t reuses() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<std::unique_ptr<Cache>> Parked;
+  uint64_t Reuses = 0;
+};
+
+/// Everything a miss-stream collector needs to go parallel. A
+/// default-constructed context (null pool) means "stay sequential";
+/// the batch runner owns one context per run and threads it through
+/// MissStreamCache compute callbacks.
+struct SimContext {
+  /// Workers that may help simulate shards; null disables sharding.
+  ThreadPool *Pool = nullptr;
+  /// Shared budget capping batch workers + shard helpers; when null,
+  /// the collector uses every pool worker.
+  ThreadBudget *Budget = nullptr;
+  /// Recycles windowed caches across configurations; may be null.
+  ShardCachePool *CachePool = nullptr;
+  /// Shard count; 0 = one shard per granted thread.
+  unsigned Shards = 0;
+  /// Traces shorter than this are simulated sequentially — partition
+  /// and merge overhead beats the parallel win on tiny streams.
+  uint64_t MinRefsToShard = DefaultMinRefsToShard;
+
+  static constexpr uint64_t DefaultMinRefsToShard = 1 << 16;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_SIM_SHARDEDSIM_H

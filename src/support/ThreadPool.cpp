@@ -1,0 +1,111 @@
+//===- support/ThreadPool.cpp - Reusable worker pool + thread budget ------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ccprof;
+
+ThreadPool::ThreadPool(unsigned NumWorkers) {
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  Cv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::helpRun(Job &J) {
+  for (size_t I = J.Next.fetch_add(1); I < J.Count; I = J.Next.fetch_add(1)) {
+    (*J.Fn)(I);
+    if (J.Done.fetch_add(1) + 1 == J.Count) {
+      // Empty critical section: the waiter checks Done under DoneMutex,
+      // so locking here closes the check-then-sleep window.
+      { std::lock_guard<std::mutex> Lock(J.DoneMutex); }
+      J.DoneCv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> J;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      Cv.wait(Lock, [this] { return Stopping || !Tokens.empty(); });
+      if (Tokens.empty())
+        return; // Stopping and nothing left to help with.
+      J = std::move(Tokens.front());
+      Tokens.pop_front();
+    }
+    // A token for an already-finished job degenerates to zero
+    // iterations; Fn is never dereferenced once Next >= Count, so the
+    // caller's function object may be long gone by then.
+    helpRun(*J);
+  }
+}
+
+void ThreadPool::parallelFor(size_t Count, unsigned HelperCap,
+                             const std::function<void(size_t)> &Fn) {
+  if (Count == 0)
+    return;
+  if (Count == 1 || HelperCap == 0 || Workers.empty()) {
+    for (size_t I = 0; I < Count; ++I)
+      Fn(I);
+    return;
+  }
+
+  auto J = std::make_shared<Job>();
+  J->Count = Count;
+  J->Fn = &Fn;
+
+  const unsigned NumTokens = static_cast<unsigned>(std::min<size_t>(
+      {static_cast<size_t>(HelperCap), Count - 1, Workers.size()}));
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (unsigned I = 0; I < NumTokens; ++I)
+      Tokens.push_back(J);
+  }
+  if (NumTokens == 1)
+    Cv.notify_one();
+  else
+    Cv.notify_all();
+
+  helpRun(*J);
+
+  std::unique_lock<std::mutex> Lock(J->DoneMutex);
+  J->DoneCv.wait(Lock, [&] { return J->Done.load() == Count; });
+}
+
+ThreadBudget::ThreadBudget(unsigned Total)
+    : TotalCount(std::max(1u, Total)), Avail(TotalCount) {}
+
+unsigned ThreadBudget::tryAcquire(unsigned Want) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const unsigned Granted = std::min(Want, Avail);
+  Avail -= Granted;
+  return Granted;
+}
+
+void ThreadBudget::release(unsigned Count) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Avail = std::min(Avail + Count, TotalCount);
+}
+
+unsigned ThreadBudget::available() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Avail;
+}

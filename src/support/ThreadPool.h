@@ -1,0 +1,121 @@
+//===- support/ThreadPool.h - Reusable worker pool + thread budget -*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size, reusable worker pool for the set-sharded simulation
+/// engine, plus the process-wide thread-budget accounting that keeps
+/// nested parallelism (batch workers x per-job shard helpers) from
+/// oversubscribing the machine.
+///
+/// The pool is deliberately simple: parallelFor() publishes one job with
+/// a shared atomic index counter, wakes up to HelperCap workers, and the
+/// calling thread works alongside them until every index is done. Work
+/// distribution is self-balancing (idle threads steal the next index),
+/// results are written wherever the callback puts them, and nothing
+/// about the output depends on which thread ran which index.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SUPPORT_THREADPOOL_H
+#define CCPROF_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ccprof {
+
+/// Fixed pool of worker threads executing indexed parallel loops.
+///
+/// Many threads may call parallelFor() concurrently; each call is an
+/// independent job and workers drain whichever jobs have helper slots
+/// left. Workers idle on a condition variable between jobs, so a pool
+/// sized for the whole batch run costs nothing while jobs run
+/// sequentially.
+class ThreadPool {
+public:
+  /// Spawns \p NumWorkers worker threads (0 is valid: every
+  /// parallelFor then runs entirely in the calling thread).
+  explicit ThreadPool(unsigned NumWorkers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned workerCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Runs \p Fn(0) .. \p Fn(Count-1), each exactly once, across the
+  /// calling thread plus at most \p HelperCap pool workers. Returns
+  /// when every index has completed. \p Fn must be safe to invoke
+  /// concurrently with distinct indices.
+  void parallelFor(size_t Count, unsigned HelperCap,
+                   const std::function<void(size_t)> &Fn);
+
+private:
+  /// One parallelFor invocation. Workers and the caller claim indices
+  /// from Next; Done counts completions and gates the caller's return.
+  struct Job {
+    size_t Count = 0;
+    const std::function<void(size_t)> *Fn = nullptr;
+    std::atomic<size_t> Next{0};
+    std::atomic<size_t> Done{0};
+    std::mutex DoneMutex;
+    std::condition_variable DoneCv;
+  };
+
+  /// Claims indices from \p J until none remain.
+  static void helpRun(Job &J);
+
+  void workerLoop();
+
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  /// One entry per helper slot handed out; a worker consumes one entry
+  /// and then drains that job. Entries of finished jobs are no-ops.
+  std::deque<std::shared_ptr<Job>> Tokens;
+  bool Stopping = false;
+  std::vector<std::thread> Workers;
+};
+
+/// Shared accounting of how many simulation threads the whole batch run
+/// may use at once. Batch workers hold one slot each while running;
+/// a job that wants to shard its simulation asks for extra slots and
+/// gets only what is actually idle — so shard helpers appear exactly
+/// when jobs are scarcer than cores (the tail of a run, or a small
+/// matrix on a big machine) and batch-level parallelism always wins
+/// when jobs are plentiful.
+class ThreadBudget {
+public:
+  /// \p Total caps concurrently running threads (clamped to >= 1).
+  explicit ThreadBudget(unsigned Total);
+
+  /// Grants between 0 and \p Want slots, whatever is available.
+  unsigned tryAcquire(unsigned Want);
+
+  /// Returns \p Count slots to the budget.
+  void release(unsigned Count);
+
+  unsigned total() const { return TotalCount; }
+  unsigned available() const;
+
+private:
+  unsigned TotalCount;
+  mutable std::mutex Mutex;
+  unsigned Avail;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_SUPPORT_THREADPOOL_H

@@ -1,0 +1,355 @@
+//===- tests/CacheShardExactnessTest.cpp - Sharded simulation exactness ---===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The set-sharded parallel simulation engine claims bit-exactness: at
+// every shard count and thread count, the merged global miss stream —
+// and therefore every artifact downstream of it — is identical to what
+// a sequential simulation produces. This suite enforces the claim at
+// three layers:
+//
+//  * the sharding primitives (planShards / simulateShard /
+//    mergeMissSeqs) against the scalar ReferenceCache oracle,
+//    including per-set miss counts gathered from windowed shard caches;
+//
+//  * the trace-facing parallel collectors against their sequential
+//    counterparts, across policies, store handling, L2 page mappings,
+//    and the Random-policy sequential fallback;
+//
+//  * the batch runner: byte-identical serialized artifacts across
+//    Workers / SimThreads / Shards combinations.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/JobRunner.h"
+#include "sim/ReferenceCache.h"
+#include "sim/ShardedSim.h"
+#include "support/Rng.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+using namespace ccprof;
+
+namespace {
+
+// 64 sets, 2 ways: small enough that the synthetic stream exercises
+// every set, many evictions, and window boundaries of every shard plan.
+CacheGeometry testGeometry() { return CacheGeometry(8192, 64, 2); }
+
+/// Mixed strided/random reference stream with stores, as a Trace.
+Trace makeTrace(size_t NumRefs, uint64_t Seed = 0x7e57'5eed) {
+  Trace T;
+  T.reserve(NumRefs);
+  Xoshiro256 Rng(Seed);
+  uint64_t Stride = 0;
+  for (size_t I = 0; I < NumRefs; ++I) {
+    uint64_t Addr;
+    if (I % 4 != 0) {
+      Stride += 24;
+      Addr = Stride % (1 << 18);
+    } else {
+      Addr = Rng.nextBounded(1 << 18);
+    }
+    if (Rng.nextBounded(8) < 3)
+      T.recordStore(0, Addr, 8);
+    else
+      T.recordLoad(0, Addr, 8);
+  }
+  return T;
+}
+
+/// Oracle: global sequence numbers of every missing access (loads and
+/// stores), from the scalar reference model.
+std::vector<uint64_t> referenceMissSeqs(const Trace &T,
+                                        const CacheGeometry &Geometry,
+                                        ReplacementKind Policy) {
+  ReferenceCache Oracle(Geometry, Policy);
+  std::vector<uint64_t> Seqs;
+  const std::span<const MemoryRecord> Records = T.records();
+  for (size_t I = 0; I < Records.size(); ++I)
+    if (!Oracle.access(Records[I].Addr, Records[I].IsWrite).Hit)
+      Seqs.push_back(I);
+  return Seqs;
+}
+
+/// Routes each record of \p T into its shard per \p Plan, preserving
+/// global order within every shard.
+std::vector<std::vector<ShardRef>>
+partition(const Trace &T, const CacheGeometry &Geometry,
+          std::span<const SetRange> Plan) {
+  const ShardMap Map(Plan);
+  std::vector<std::vector<ShardRef>> Shards(Plan.size());
+  const std::span<const MemoryRecord> Records = T.records();
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const MemoryRecord &R = Records[I];
+    Shards[Map.shardOf(Geometry.setIndexOf(R.Addr))].push_back(
+        ShardRef::make(I, R.Addr, R.IsWrite));
+  }
+  return Shards;
+}
+
+std::string serializeAll(const std::vector<JobOutcome> &Outcomes) {
+  std::stringstream Stream;
+  for (const JobOutcome &Outcome : Outcomes) {
+    EXPECT_TRUE(Outcome.ok()) << Outcome.Error;
+    if (Outcome.ok())
+      Outcome.Artifact.writeTo(Stream);
+  }
+  return Stream.str();
+}
+
+} // namespace
+
+TEST(ShardPlanTest, CoversEverySetExactlyOnce) {
+  for (unsigned K : {1u, 2u, 3u, 7u, 64u, 200u}) {
+    const std::vector<SetRange> Plan = planShards(64, K);
+    EXPECT_LE(Plan.size(), std::min<size_t>(K, 64));
+    uint64_t Next = 0;
+    for (const SetRange &Range : Plan) {
+      EXPECT_EQ(Range.Begin, Next) << "gap or overlap at shard boundary";
+      EXPECT_GT(Range.End, Range.Begin) << "empty shard";
+      Next = Range.End;
+    }
+    EXPECT_EQ(Next, 64u) << "plan does not cover the set space";
+
+    const ShardMap Map(Plan);
+    for (uint64_t Set = 0; Set < 64; ++Set)
+      EXPECT_TRUE(Plan[Map.shardOf(Set)].contains(Set));
+  }
+}
+
+TEST(CacheShardExactnessTest, MergedMissSeqsMatchReferenceOracle) {
+  const CacheGeometry Geometry = testGeometry();
+  const Trace T = makeTrace(60'000);
+
+  for (ReplacementKind Policy :
+       {ReplacementKind::Lru, ReplacementKind::Fifo,
+        ReplacementKind::TreePlru}) {
+    const std::vector<uint64_t> Expected =
+        referenceMissSeqs(T, Geometry, Policy);
+    ASSERT_FALSE(Expected.empty());
+
+    for (unsigned K : {1u, 2u, 3u, 7u, 64u}) {
+      const std::vector<SetRange> Plan = planShards(Geometry.numSets(), K);
+      const std::vector<std::vector<ShardRef>> Parts =
+          partition(T, Geometry, Plan);
+
+      std::vector<std::vector<uint64_t>> PerShard(Plan.size());
+      std::vector<Cache> ShardCaches;
+      ShardCaches.reserve(Plan.size());
+      for (size_t S = 0; S < Plan.size(); ++S) {
+        ShardCaches.emplace_back(Geometry, Plan[S], Policy);
+        simulateShard(ShardCaches[S], Parts[S], PerShard[S]);
+      }
+      EXPECT_EQ(mergeMissSeqs(PerShard), Expected)
+          << "policy " << static_cast<int>(Policy) << ", " << K
+          << " shard(s)";
+
+      // Per-set miss counts, reassembled from the windowed shard
+      // caches, must match the reference model set for set.
+      ReferenceCache Oracle(Geometry, Policy);
+      for (const MemoryRecord &R : T.records())
+        Oracle.access(R.Addr, R.IsWrite);
+      for (size_t S = 0; S < Plan.size(); ++S)
+        for (uint64_t Set = Plan[S].Begin; Set < Plan[S].End; ++Set)
+          ASSERT_EQ(ShardCaches[S].missesOnSet(Set), Oracle.missesOnSet(Set))
+              << "set " << Set << ", " << K << " shard(s)";
+    }
+  }
+}
+
+TEST(CacheShardExactnessTest, WindowedCacheReuseIsExact) {
+  const CacheGeometry Geometry = testGeometry();
+  const Trace T = makeTrace(20'000);
+  const std::vector<SetRange> Plan = planShards(Geometry.numSets(), 4);
+  const std::vector<std::vector<ShardRef>> Parts =
+      partition(T, Geometry, Plan);
+
+  // Fresh caches, one per shard.
+  std::vector<std::vector<uint64_t>> Fresh(Plan.size());
+  for (size_t S = 0; S < Plan.size(); ++S) {
+    Cache C(Geometry, Plan[S], ReplacementKind::Lru);
+    simulateShard(C, Parts[S], Fresh[S]);
+  }
+
+  // One pooled cache rewound across all shards (equal window widths).
+  std::vector<std::vector<uint64_t>> Reused(Plan.size());
+  Cache Pooled(Geometry, Plan[0], ReplacementKind::Lru);
+  for (size_t S = 0; S < Plan.size(); ++S) {
+    Pooled.resetForReuse(Plan[S]);
+    simulateShard(Pooled, Parts[S], Reused[S]);
+    EXPECT_EQ(Pooled.window(), Plan[S]);
+  }
+  EXPECT_EQ(Fresh, Reused);
+
+  // The pool recycles parked instances and counts the reuses.
+  ShardCachePool Pool;
+  std::unique_ptr<Cache> A =
+      Pool.acquire(Geometry, ReplacementKind::Lru, Plan[0]);
+  Pool.park(std::move(A));
+  EXPECT_EQ(Pool.parked(), 1u);
+  std::unique_ptr<Cache> B =
+      Pool.acquire(Geometry, ReplacementKind::Lru, Plan[1]);
+  EXPECT_EQ(Pool.reuses(), 1u);
+  EXPECT_EQ(Pool.parked(), 0u);
+  EXPECT_EQ(B->window(), Plan[1]);
+  std::vector<uint64_t> FromPool;
+  simulateShard(*B, Parts[1], FromPool);
+  EXPECT_EQ(FromPool, Fresh[1]);
+
+  // A mismatched geometry never reuses a parked instance.
+  Pool.park(std::move(B));
+  std::unique_ptr<Cache> C =
+      Pool.acquire(CacheGeometry(16384, 64, 4), ReplacementKind::Lru,
+                   SetRange{0, 16});
+  EXPECT_EQ(Pool.reuses(), 1u);
+  EXPECT_EQ(C->geometry().sizeBytes(), 16384u);
+}
+
+TEST(CacheShardExactnessTest, ParallelL1CollectorMatchesSequential) {
+  const CacheGeometry Geometry = testGeometry();
+  const Trace T = makeTrace(60'000);
+
+  ThreadPool Pool(3);
+  ShardCachePool CachePool;
+  for (ReplacementKind Policy :
+       {ReplacementKind::Lru, ReplacementKind::Fifo,
+        ReplacementKind::TreePlru}) {
+    for (bool IncludeStores : {false, true}) {
+      MissStreamOptions Options;
+      Options.Policy = Policy;
+      Options.IncludeStores = IncludeStores;
+      const std::vector<MissEvent> Sequential =
+          collectL1MissStream(T, Geometry, Options);
+
+      for (unsigned Shards : {0u, 1u, 2u, 3u, 7u, 64u}) {
+        ThreadBudget Budget(4);
+        SimContext Ctx;
+        Ctx.Pool = &Pool;
+        Ctx.Budget = &Budget;
+        Ctx.CachePool = &CachePool;
+        Ctx.Shards = Shards;
+        Ctx.MinRefsToShard = 0;
+        EXPECT_EQ(collectL1MissStreamParallel(T, Geometry, Options, Ctx),
+                  Sequential)
+            << "policy " << static_cast<int>(Policy) << ", stores "
+            << IncludeStores << ", " << Shards << " shard(s)";
+        // Every granted budget slot must have been returned.
+        EXPECT_EQ(Budget.available(), 4u);
+      }
+    }
+  }
+}
+
+TEST(CacheShardExactnessTest, ParallelL2CollectorMatchesSequential) {
+  const CacheGeometry L1 = testGeometry();
+  const CacheGeometry L2(32 * 1024, 64, 4);
+  const Trace T = makeTrace(60'000);
+
+  ThreadPool Pool(3);
+  for (PagePolicy Mapping :
+       {PagePolicy::Identity, PagePolicy::FirstTouch, PagePolicy::Shuffled}) {
+    for (bool IncludeStores : {false, true}) {
+      MissStreamOptions Options;
+      Options.IncludeStores = IncludeStores;
+      // Page mappers are stateful (first-touch order): each collector
+      // run gets its own, exactly as the profiler does.
+      PageMapper SeqMapper(Mapping);
+      const std::vector<MissEvent> Sequential =
+          collectL2MissStream(T, L1, L2, SeqMapper, Options);
+
+      for (unsigned Shards : {2u, 7u}) {
+        ThreadBudget Budget(4);
+        SimContext Ctx;
+        Ctx.Pool = &Pool;
+        Ctx.Budget = &Budget;
+        Ctx.Shards = Shards;
+        Ctx.MinRefsToShard = 0;
+        PageMapper ParMapper(Mapping);
+        EXPECT_EQ(
+            collectL2MissStreamParallel(T, L1, L2, ParMapper, Options, Ctx),
+            Sequential)
+            << "mapping " << static_cast<int>(Mapping) << ", stores "
+            << IncludeStores << ", " << Shards << " shard(s)";
+        EXPECT_EQ(Budget.available(), 4u);
+      }
+    }
+  }
+}
+
+TEST(CacheShardExactnessTest, RandomPolicyFallsBackToSequential) {
+  const CacheGeometry Geometry = testGeometry();
+  const Trace T = makeTrace(30'000);
+  MissStreamOptions Options;
+  Options.Policy = ReplacementKind::Random;
+  const std::vector<MissEvent> Sequential =
+      collectL1MissStream(T, Geometry, Options);
+
+  ThreadPool Pool(3);
+  ThreadBudget Budget(4);
+  SimContext Ctx;
+  Ctx.Pool = &Pool;
+  Ctx.Budget = &Budget;
+  Ctx.Shards = 7;
+  Ctx.MinRefsToShard = 0;
+  // Random draws from a cache-global RNG whose consumption order
+  // depends on cross-set interleaving; the collector must refuse to
+  // shard it and still reproduce the sequential stream.
+  EXPECT_EQ(collectL1MissStreamParallel(T, Geometry, Options, Ctx),
+            Sequential);
+  EXPECT_EQ(Budget.available(), 4u);
+}
+
+TEST(CacheShardExactnessTest, ShortTracesStaySequential) {
+  const CacheGeometry Geometry = testGeometry();
+  const Trace T = makeTrace(1'000);
+  MissStreamOptions Options;
+  const std::vector<MissEvent> Sequential =
+      collectL1MissStream(T, Geometry, Options);
+
+  ThreadPool Pool(3);
+  SimContext Ctx;
+  Ctx.Pool = &Pool;
+  Ctx.Shards = 4;
+  // Default MinRefsToShard (64k) far exceeds the trace: the gate must
+  // short-circuit without touching pool or budget, and stay exact.
+  EXPECT_EQ(collectL1MissStreamParallel(T, Geometry, Options, Ctx),
+            Sequential);
+}
+
+TEST(CacheShardExactnessTest, BatchArtifactsAreByteIdenticalAcrossShapes) {
+  BatchMatrix Matrix;
+  Matrix.Workloads = {"Symmetrization"};
+  Matrix.Periods = {606, 1212};
+  Matrix.Levels = {ProfileLevel::L1, ProfileLevel::L2};
+  const std::vector<JobSpec> Jobs = expandMatrix(Matrix);
+  ASSERT_GE(Jobs.size(), 4u);
+
+  // Ground truth: the naive engine, one full simulation per job.
+  const std::string Naive = serializeAll(runJobs(Jobs, 1));
+
+  // Legacy shared-trace entry point, sequential and threaded.
+  EXPECT_EQ(serializeAll(runJobsShared(Jobs, 1u)), Naive);
+  EXPECT_EQ(serializeAll(runJobsShared(Jobs, 2u)), Naive);
+
+  // The sharded engine at several execution shapes, forcing sharding
+  // on every simulation (MinRefsToShard = 0).
+  for (BatchExecOptions Exec :
+       {BatchExecOptions{1, 4, 0, 0}, BatchExecOptions{2, 4, 3, 0},
+        BatchExecOptions{4, 2, 0, 0}, BatchExecOptions{1, 1, 5, 0}}) {
+    SharedBatchStats Stats;
+    EXPECT_EQ(serializeAll(runJobsShared(Jobs, Exec, 0, nullptr, nullptr,
+                                         &Stats)),
+              Naive)
+        << "Workers=" << Exec.Workers << " SimThreads=" << Exec.SimThreads
+        << " Shards=" << Exec.Shards;
+    EXPECT_GT(Stats.TraceGroups, 0u);
+  }
+}

@@ -1,0 +1,142 @@
+//===- tests/ThreadPoolTest.cpp - Worker pool and thread budget ----------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+using namespace ccprof;
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool Pool(3);
+  constexpr size_t Count = 10'000;
+  std::vector<std::atomic<int>> Hits(Count);
+  Pool.parallelFor(Count, 3, [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I < Count; ++I)
+    ASSERT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPoolTest, HelperCapZeroRunsInCaller) {
+  ThreadPool Pool(2);
+  const std::thread::id Caller = std::this_thread::get_id();
+  std::atomic<size_t> Ran{0};
+  std::atomic<bool> OffThread{false};
+  Pool.parallelFor(64, 0, [&](size_t) {
+    Ran.fetch_add(1);
+    if (std::this_thread::get_id() != Caller)
+      OffThread = true;
+  });
+  EXPECT_EQ(Ran.load(), 64u);
+  EXPECT_FALSE(OffThread.load());
+}
+
+TEST(ThreadPoolTest, HelperCapAboveWorkerCountIsClamped) {
+  ThreadPool Pool(2);
+  std::atomic<size_t> Ran{0};
+  Pool.parallelFor(1000, 100, [&](size_t) { Ran.fetch_add(1); });
+  EXPECT_EQ(Ran.load(), 1000u);
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolStillCompletes) {
+  ThreadPool Pool(0);
+  EXPECT_EQ(Pool.workerCount(), 0u);
+  std::atomic<size_t> Ran{0};
+  Pool.parallelFor(128, 4, [&](size_t) { Ran.fetch_add(1); });
+  EXPECT_EQ(Ran.load(), 128u);
+}
+
+TEST(ThreadPoolTest, EmptyAndSingleCounts) {
+  ThreadPool Pool(2);
+  std::atomic<size_t> Ran{0};
+  Pool.parallelFor(0, 2, [&](size_t) { Ran.fetch_add(1); });
+  EXPECT_EQ(Ran.load(), 0u);
+  Pool.parallelFor(1, 2, [&](size_t I) { Ran.fetch_add(I + 1); });
+  EXPECT_EQ(Ran.load(), 1u);
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossManyLoops) {
+  ThreadPool Pool(2);
+  uint64_t Total = 0;
+  for (int Round = 0; Round < 50; ++Round) {
+    std::atomic<uint64_t> Sum{0};
+    Pool.parallelFor(100, 2, [&](size_t I) { Sum.fetch_add(I); });
+    Total += Sum.load();
+  }
+  EXPECT_EQ(Total, 50u * (99u * 100u / 2));
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallers) {
+  ThreadPool Pool(3);
+  constexpr size_t Callers = 4;
+  constexpr size_t Count = 2'000;
+  std::vector<std::atomic<uint64_t>> Sums(Callers);
+  std::vector<std::thread> Threads;
+  for (size_t C = 0; C < Callers; ++C)
+    Threads.emplace_back([&, C] {
+      Pool.parallelFor(Count, 2, [&, C](size_t I) { Sums[C].fetch_add(I); });
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  const uint64_t Expected = (Count - 1) * Count / 2;
+  for (size_t C = 0; C < Callers; ++C)
+    EXPECT_EQ(Sums[C].load(), Expected) << "caller " << C;
+}
+
+TEST(ThreadBudgetTest, AcquireGrantsOnlyWhatIsAvailable) {
+  ThreadBudget Budget(4);
+  EXPECT_EQ(Budget.total(), 4u);
+  EXPECT_EQ(Budget.available(), 4u);
+  EXPECT_EQ(Budget.tryAcquire(3), 3u);
+  EXPECT_EQ(Budget.available(), 1u);
+  EXPECT_EQ(Budget.tryAcquire(3), 1u); // partial grant
+  EXPECT_EQ(Budget.tryAcquire(1), 0u); // exhausted
+  Budget.release(4);
+  EXPECT_EQ(Budget.available(), 4u);
+}
+
+TEST(ThreadBudgetTest, ZeroTotalClampsToOne) {
+  ThreadBudget Budget(0);
+  EXPECT_EQ(Budget.total(), 1u);
+  EXPECT_EQ(Budget.tryAcquire(5), 1u);
+  EXPECT_EQ(Budget.tryAcquire(1), 0u);
+}
+
+TEST(ThreadBudgetTest, ReleaseClampsToTotal) {
+  ThreadBudget Budget(2);
+  EXPECT_EQ(Budget.tryAcquire(1), 1u);
+  Budget.release(10); // over-release never inflates the budget
+  EXPECT_EQ(Budget.available(), 2u);
+}
+
+TEST(ThreadBudgetTest, ConcurrentAcquireReleaseNeverExceedsTotal) {
+  ThreadBudget Budget(3);
+  std::atomic<int> InFlight{0};
+  std::atomic<bool> Violated{false};
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < 6; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < 500; ++I) {
+        unsigned Got = Budget.tryAcquire(2);
+        int Now = InFlight.fetch_add(static_cast<int>(Got)) +
+                  static_cast<int>(Got);
+        if (Now > 3)
+          Violated = true;
+        InFlight.fetch_sub(static_cast<int>(Got));
+        if (Got)
+          Budget.release(Got);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_FALSE(Violated.load());
+  EXPECT_EQ(Budget.available(), 3u);
+}

@@ -99,6 +99,15 @@ void printUsage(std::ostream &Out) {
          "byte-identical)\n"
          "  --stream-cache N          max resident miss streams "
          "(default 16)\n"
+         "  --sim-threads N           total thread budget shared by "
+         "workers and\n"
+         "                            set-shard helpers (default: "
+         "hardware cores;\n"
+         "                            output is byte-identical at any "
+         "value)\n"
+         "  --shards K                force K set shards per simulation "
+         "(default:\n"
+         "                            one per granted thread)\n"
          "\n"
          "merge/diff options:\n"
          "  --out FILE                write the merged artifact here\n"
@@ -343,6 +352,10 @@ struct BatchCliOptions {
   /// one-simulation-per-job path (mainly for A/B measurement).
   bool Reuse = true;
   size_t StreamCacheEntries = MissStreamCache::DefaultMaxEntries;
+  /// Total thread budget (workers + shard helpers); 0 = hardware cores.
+  unsigned SimThreads = 0;
+  /// Forced set-shard count per simulation; 0 = one per granted thread.
+  unsigned Shards = 0;
   bool Ok = true;
 };
 
@@ -468,6 +481,14 @@ BatchCliOptions parseBatchOptions(const std::vector<std::string> &Args) {
       std::string Value = NextValue();
       if (Options.Ok)
         ParsePositive(Value, "--stream-cache", Options.StreamCacheEntries);
+    } else if (Arg == "--sim-threads") {
+      std::string Value = NextValue();
+      if (Options.Ok)
+        ParsePositive(Value, "--sim-threads", Options.SimThreads);
+    } else if (Arg == "--shards") {
+      std::string Value = NextValue();
+      if (Options.Ok)
+        ParsePositive(Value, "--shards", Options.Shards);
     } else {
       Fail("unknown batch option '" + Arg + "'");
     }
@@ -533,8 +554,12 @@ int commandBatch(const std::string &Selection,
   SharedBatchStats Shared;
   if (Options.Reuse) {
     MissStreamCache StreamCache(Options.StreamCacheEntries);
-    Outcomes = runJobsShared(Jobs, Options.Jobs, Timestamp, Progress,
-                             &StreamCache, &Shared);
+    BatchExecOptions Exec;
+    Exec.Workers = Options.Jobs;
+    Exec.SimThreads = Options.SimThreads;
+    Exec.Shards = Options.Shards;
+    Outcomes = runJobsShared(Jobs, Exec, Timestamp, Progress, &StreamCache,
+                             &Shared);
   } else {
     Outcomes = runJobs(Jobs, Options.Jobs, Timestamp, Progress);
   }
@@ -556,7 +581,11 @@ int commandBatch(const std::string &Selection,
     const MissStreamCacheStats &S = Shared.Streams;
     std::cout << "batch: " << Shared.TraceGroups << " trace group(s); "
               << "miss-stream cache: " << S.Hits << " hit(s), " << S.Misses
-              << " simulation(s), " << S.Evictions << " eviction(s)\n";
+              << " simulation(s), " << S.Evictions << " eviction(s)";
+    if (Shared.ShardCacheReuses)
+      std::cout << "; shard caches reused " << Shared.ShardCacheReuses
+                << " time(s)";
+    std::cout << '\n';
     if (!S.Entries.empty()) {
       TextTable Streams({"stream", "hits", "events", "resident"});
       for (const MissStreamCacheEntryStats &E : S.Entries)
