@@ -1,0 +1,116 @@
+//===- analysis/AccessModel.h - Static access descriptors ------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The symbolic form of a workload's memory behaviour: per-allocation
+/// sizes plus, for every instrumented access site, the affine structure
+/// of the addresses it touches (start offset, per-loop-level trip count
+/// and stride). This is what SyntheticCodeGen-backed workloads can
+/// state about themselves without running — the input of the static
+/// conflict analyzer, mirroring how classic analytical models (Cache
+/// Miss Equations) describe affine loop nests.
+///
+/// Descriptors attach to LoopNest loops through their source line: the
+/// analyzer resolves each descriptor's Line against the program
+/// structure exactly the way measured samples are attributed, so static
+/// and measured reports speak about the same "file:headerLine" loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_ANALYSIS_ACCESSMODEL_H
+#define CCPROF_ANALYSIS_ACCESSMODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+/// One level of the loop nest enclosing an access, outermost first.
+/// The access's address advances by StrideBytes each iteration of the
+/// level; a zero stride means the level repeats the same addresses
+/// (e.g. a temporal outer loop).
+struct AccessLoopLevel {
+  uint64_t TripCount = 1;
+  int64_t StrideBytes = 0;
+};
+
+/// The address stream of one instrumented access site: an affine walk
+/// over an allocation.
+struct AccessDescriptor {
+  /// Registered allocation name ("reference[]") this access walks, as
+  /// recorded in the trace; must match a StaticAccessModel allocation.
+  std::string Array;
+  /// Source line of the access — the attachment point to the loop
+  /// forest (same line the recorded SiteId carries).
+  uint32_t Line = 0;
+  uint32_t ElementBytes = 1;
+  /// Byte offset of the first access inside the allocation.
+  uint64_t StartOffset = 0;
+  bool IsStore = false;
+  /// Descriptors with equal Phase execute interleaved (the same
+  /// innermost program region); distinct phases run one after another.
+  /// Windowed occupancy is only meaningful within a phase.
+  uint32_t Phase = 0;
+  /// The enclosing loop levels, outermost first. An empty vector means
+  /// a single access.
+  std::vector<AccessLoopLevel> Levels;
+  /// Byte offsets emitted per innermost iteration (relative to the
+  /// affine position): a multi-point stencil touches several addresses
+  /// per iteration. Defaults to the single point {0}.
+  std::vector<int64_t> PointOffsetsBytes = {0};
+
+  /// Total accesses the descriptor emits (product of trip counts times
+  /// points per iteration), saturating at UINT64_MAX.
+  uint64_t totalAccesses() const {
+    uint64_t Total = PointOffsetsBytes.empty() ? 1 : PointOffsetsBytes.size();
+    for (const AccessLoopLevel &Level : Levels) {
+      if (Level.TripCount != 0 && Total > UINT64_MAX / Level.TripCount)
+        return UINT64_MAX;
+      Total *= Level.TripCount;
+    }
+    return Total;
+  }
+};
+
+/// One allocation the model knows about. Registered allocations appear
+/// in the trace's allocation registry in this order and receive exact
+/// canonical bases; unregistered ones (stack tiles) are placed on
+/// synthetic pages — their *intra*-buffer layout is exact but their
+/// set phase relative to other buffers is approximate, which the
+/// consistency checker treats as reduced evidence.
+struct ModeledAllocation {
+  std::string Name;
+  uint64_t SizeBytes = 0;
+  bool Registered = true;
+};
+
+/// Everything a workload states statically about one variant.
+struct StaticAccessModel {
+  std::string SourceFile;
+  /// True when the model covers every recorded access of the variant —
+  /// the precondition for using a clean static verdict to skip
+  /// simulation (--static-screen).
+  bool Complete = false;
+  /// Allocations in registration order (registered ones first is not
+  /// required; order among registered entries must match the trace).
+  std::vector<ModeledAllocation> Allocations;
+  std::vector<AccessDescriptor> Accesses;
+
+  bool empty() const { return Accesses.empty(); }
+
+  const ModeledAllocation *findAllocation(const std::string &Name) const {
+    for (const ModeledAllocation &Alloc : Allocations)
+      if (Alloc.Name == Name)
+        return &Alloc;
+    return nullptr;
+  }
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_ANALYSIS_ACCESSMODEL_H

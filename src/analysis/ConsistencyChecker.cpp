@@ -1,0 +1,167 @@
+//===- analysis/ConsistencyChecker.cpp - Static vs measured --------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConsistencyChecker.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace ccprof;
+
+const char *ccprof::consistencyVerdictName(ConsistencyVerdict Verdict) {
+  switch (Verdict) {
+  case ConsistencyVerdict::ConfirmedConflict:
+    return "confirmed-conflict";
+  case ConsistencyVerdict::ConfirmedClean:
+    return "confirmed-clean";
+  case ConsistencyVerdict::StaticOnly:
+    return "static-only";
+  case ConsistencyVerdict::MeasuredOnly:
+    return "measured-only";
+  case ConsistencyVerdict::Contradicted:
+    return "contradicted";
+  }
+  return "unknown";
+}
+
+std::vector<uint32_t> ConsistencyChecker::victimSetsFromMisses(
+    const std::vector<uint64_t> &PerSetMisses) const {
+  std::vector<uint32_t> Victims;
+  uint64_t Total = 0;
+  uint64_t Utilized = 0;
+  for (uint64_t Misses : PerSetMisses) {
+    Total += Misses;
+    Utilized += Misses > 0;
+  }
+  if (Utilized == 0)
+    return Victims;
+  const double Bar = Opts.VictimMissFactor * static_cast<double>(Total) /
+                     static_cast<double>(Utilized);
+  for (size_t Set = 0; Set < PerSetMisses.size(); ++Set)
+    if (static_cast<double>(PerSetMisses[Set]) > Bar)
+      Victims.push_back(static_cast<uint32_t>(Set));
+  return Victims;
+}
+
+std::vector<uint32_t>
+ConsistencyChecker::measuredVictimSets(const LoopConflictReport &Report) const {
+  return victimSetsFromMisses(Report.PerSetMisses);
+}
+
+namespace {
+
+double jaccard(const std::vector<uint32_t> &A, const std::vector<uint32_t> &B) {
+  if (A.empty() && B.empty())
+    return 1.0;
+  const std::set<uint32_t> SetA(A.begin(), A.end());
+  uint64_t Intersection = 0;
+  for (uint32_t Value : B)
+    Intersection += SetA.count(Value);
+  const uint64_t Union = SetA.size() + B.size() - Intersection;
+  return Union == 0 ? 1.0
+                    : static_cast<double>(Intersection) /
+                          static_cast<double>(Union);
+}
+
+} // namespace
+
+ConsistencyReport
+ConsistencyChecker::check(const StaticAnalysisResult &Static,
+                          const ProfileResult &Measured) const {
+  ConsistencyReport Report;
+
+  // Walk the union of locations, static order first (highest predicted
+  // share leads), then measured-only contexts.
+  std::vector<std::string> Locations;
+  Locations.reserve(Static.Loops.size() + Measured.Loops.size());
+  for (const LoopPrediction &Loop : Static.Loops)
+    Locations.push_back(Loop.Location);
+  for (const LoopConflictReport &Loop : Measured.Loops)
+    if (!Static.byLocation(Loop.Location))
+      Locations.push_back(Loop.Location);
+
+  for (const std::string &Location : Locations) {
+    const LoopPrediction *Predicted = Static.byLocation(Location);
+    const LoopConflictReport *Observed = Measured.byLocation(Location);
+
+    LoopConsistency Entry;
+    Entry.Location = Location;
+    Entry.HasStatic = Predicted != nullptr;
+    Entry.HasMeasured = Observed != nullptr;
+    if (Predicted) {
+      Entry.StaticConflict = Predicted->ConflictPredicted;
+      Entry.StaticContributionFactor = Predicted->PredictedContributionFactor;
+    }
+    bool MeasuredSignificant = false;
+    if (Observed) {
+      Entry.MeasuredConflict = Observed->ConflictPredicted;
+      Entry.MeasuredContributionFactor = Observed->ContributionFactor;
+      Entry.MeasuredVictimSets = measuredVictimSets(*Observed);
+      MeasuredSignificant =
+          Observed->MissContribution >= Opts.MinMeasuredContribution;
+    }
+    // Same bar rule on both per-set miss vectors: a time-rotating
+    // conflict spreads its victims over the run on both sides, so the
+    // analyzer's instantaneous occupancy victims must not be compared
+    // against whole-run measured imbalance directly.
+    if (Predicted && Observed)
+      Entry.VictimSetAgreement =
+          jaccard(victimSetsFromMisses(Predicted->PredictedMissesPerSet),
+                  Entry.MeasuredVictimSets);
+
+    if (Entry.StaticConflict && Entry.MeasuredConflict) {
+      Entry.Verdict = ConsistencyVerdict::ConfirmedConflict;
+      Entry.Note = "prediction and measurement agree on a conflict";
+    } else if (Entry.StaticConflict) {
+      Entry.Verdict = ConsistencyVerdict::StaticOnly;
+      Entry.Note = Observed
+                       ? "predicted conflict not visible in the measurement"
+                       : "predicted conflict; loop missing from measurement";
+    } else if (Entry.MeasuredConflict) {
+      if (Predicted && Predicted->ExactPlacement && Static.ModelComplete) {
+        Entry.Verdict = ConsistencyVerdict::Contradicted;
+        Entry.Note = "measured conflict in a loop the model covers with "
+                     "exact placement yet predicts clean — the model's "
+                     "strides or sizes are wrong";
+      } else {
+        Entry.Verdict = ConsistencyVerdict::MeasuredOnly;
+        Entry.Note = Predicted
+                         ? "measured conflict where static placement is "
+                           "only approximate"
+                         : "measured conflict in a loop the model does "
+                           "not describe";
+      }
+    } else if (Observed && !Predicted && MeasuredSignificant &&
+               Static.ModelComplete) {
+      // A significant measured context absent from a complete model is
+      // itself a coverage gap worth flagging, even when clean.
+      Entry.Verdict = ConsistencyVerdict::MeasuredOnly;
+      Entry.Note = "significant measured context absent from the model";
+    } else {
+      Entry.Verdict = ConsistencyVerdict::ConfirmedClean;
+      Entry.Note = "no conflict on either side";
+    }
+
+    switch (Entry.Verdict) {
+    case ConsistencyVerdict::ConfirmedConflict:
+    case ConsistencyVerdict::ConfirmedClean:
+      ++Report.Confirmed;
+      break;
+    case ConsistencyVerdict::StaticOnly:
+      ++Report.StaticOnly;
+      break;
+    case ConsistencyVerdict::MeasuredOnly:
+      ++Report.MeasuredOnly;
+      break;
+    case ConsistencyVerdict::Contradicted:
+      ++Report.Contradicted;
+      break;
+    }
+    Report.Loops.push_back(std::move(Entry));
+  }
+  return Report;
+}

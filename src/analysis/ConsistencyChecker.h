@@ -1,0 +1,131 @@
+//===- analysis/ConsistencyChecker.h - Static vs measured ------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Joins a static conflict prediction with a measured profile (live or
+/// loaded from a ProfileArtifact) loop by loop and classifies each:
+///
+///  * Confirmed      — both sides agree (conflict or clean);
+///  * StaticOnly     — the model predicts a conflict the measurement
+///                     does not show (over-approximate model, or the
+///                     measured run never exercised the pattern);
+///  * MeasuredOnly   — the measurement shows a conflict the model has
+///                     no descriptors for, or where placement was only
+///                     approximate (reduced static evidence);
+///  * Contradicted   — the measurement shows a conflict in a loop the
+///                     model covers with exact placement yet predicts
+///                     clean: the model itself is wrong (a mis-stated
+///                     stride, trip count, or allocation size).
+///
+/// Contradictions are the actionable output: a static model that
+/// disagrees with ground truth under exact placement is a bug in the
+/// model, not a modeling limitation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_ANALYSIS_CONSISTENCYCHECKER_H
+#define CCPROF_ANALYSIS_CONSISTENCYCHECKER_H
+
+#include "analysis/StaticConflictAnalyzer.h"
+#include "core/Profiler.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+enum class ConsistencyVerdict {
+  ConfirmedConflict,
+  ConfirmedClean,
+  StaticOnly,
+  MeasuredOnly,
+  Contradicted,
+};
+
+/// Name of \p Verdict ("confirmed-conflict", "static-only", ...).
+const char *consistencyVerdictName(ConsistencyVerdict Verdict);
+
+/// One loop's join of prediction and measurement.
+struct LoopConsistency {
+  std::string Location;
+  ConsistencyVerdict Verdict = ConsistencyVerdict::ConfirmedClean;
+  bool HasStatic = false;
+  bool HasMeasured = false;
+  bool StaticConflict = false;
+  bool MeasuredConflict = false;
+  double StaticContributionFactor = 0.0;
+  double MeasuredContributionFactor = 0.0;
+  /// Jaccard similarity of the predicted and measured victim-set
+  /// lists, with the *same* imbalance-bar rule applied to both per-set
+  /// miss vectors (time-rotating conflicts spread their victims over
+  /// the whole run on both sides, so comparing the analyzer's
+  /// instantaneous occupancy victims against whole-run measured
+  /// imbalance would mis-score them). 1.0 when both are empty.
+  double VictimSetAgreement = 1.0;
+  /// Measured victim sets (per-set misses above the imbalance bar).
+  std::vector<uint32_t> MeasuredVictimSets;
+  std::string Note;
+};
+
+/// Whole-run consistency report.
+struct ConsistencyReport {
+  std::vector<LoopConsistency> Loops;
+  uint64_t Confirmed = 0;
+  uint64_t StaticOnly = 0;
+  uint64_t MeasuredOnly = 0;
+  uint64_t Contradicted = 0;
+
+  /// True when no loop contradicts the model.
+  bool consistent() const { return Contradicted == 0; }
+
+  const LoopConsistency *byLocation(const std::string &Location) const {
+    for (const LoopConsistency &Loop : Loops)
+      if (Loop.Location == Location)
+        return &Loop;
+    return nullptr;
+  }
+};
+
+class ConsistencyChecker {
+public:
+  struct Options {
+    /// A set is a measured victim when its miss count exceeds this
+    /// multiple of the loop's mean per-set misses (the imbalance bar:
+    /// balanced walks put ~1x the mean on every set).
+    double VictimMissFactor = 2.0;
+    /// Measured loops below this miss contribution are ignored — the
+    /// same significance idea the profiler applies.
+    double MinMeasuredContribution = 0.01;
+  };
+
+  ConsistencyChecker() : Opts{} {}
+  explicit ConsistencyChecker(Options Opts) : Opts(Opts) {}
+
+  /// The imbalance-bar rule shared by both sides of the victim-set
+  /// comparison: sets whose miss count exceeds VictimMissFactor x
+  /// (mean misses per utilized set).
+  std::vector<uint32_t>
+  victimSetsFromMisses(const std::vector<uint64_t> &PerSetMisses) const;
+
+  /// Derives the measured victim sets of \p Report via
+  /// victimSetsFromMisses over its per-set miss counts.
+  std::vector<uint32_t>
+  measuredVictimSets(const LoopConflictReport &Report) const;
+
+  ConsistencyReport check(const StaticAnalysisResult &Static,
+                          const ProfileResult &Measured) const;
+
+  const Options &options() const { return Opts; }
+
+private:
+  Options Opts;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_ANALYSIS_CONSISTENCYCHECKER_H

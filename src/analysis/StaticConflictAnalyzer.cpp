@@ -1,0 +1,406 @@
+//===- analysis/StaticConflictAnalyzer.cpp - Static prediction -----------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticConflictAnalyzer.h"
+
+#include "core/RcdAnalyzer.h"
+#include "core/SetFootprint.h"
+#include "trace/Canonicalize.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace ccprof;
+
+namespace {
+
+/// Alignment used when packing unregistered (stack-like) allocations
+/// onto their synthetic orphan region: stack buffers in one frame are
+/// adjacent, not page-aligned, so packing at line granularity mimics
+/// their relative layout better than page alignment would.
+constexpr uint64_t SyntheticPackAlign = 64;
+
+uint64_t alignUp(uint64_t Value, uint64_t Alignment) {
+  return (Value + Alignment - 1) / Alignment * Alignment;
+}
+
+uint64_t saturatingAdd(uint64_t A, uint64_t B) {
+  return A > UINT64_MAX - B ? UINT64_MAX : A + B;
+}
+
+/// Lazily enumerates one descriptor's address stream: an odometer over
+/// the (possibly truncated) loop levels, emitting every point offset
+/// per innermost position.
+struct DescriptorStream {
+  const AccessDescriptor *Desc = nullptr;
+  size_t LoopIdx = 0;
+  size_t ArrayIdx = 0;
+  uint64_t Base = 0; ///< Allocation base + StartOffset.
+  std::vector<AccessLoopLevel> Levels;
+  std::vector<uint64_t> Index;
+  size_t PointIdx = 0;
+  int64_t AffineOffset = 0; ///< Sum of Index[l] * stride[l].
+  uint64_t Emitted = 0;
+  uint64_t Total = 0;
+  bool Truncated = false;
+
+  void computeTotal() {
+    Total = Desc->PointOffsetsBytes.empty()
+                ? 1
+                : static_cast<uint64_t>(Desc->PointOffsetsBytes.size());
+    for (const AccessLoopLevel &Level : Levels) {
+      if (Level.TripCount == 0) {
+        Total = 0;
+        return;
+      }
+      if (Total > UINT64_MAX / Level.TripCount) {
+        Total = UINT64_MAX;
+        return;
+      }
+      Total *= Level.TripCount;
+    }
+  }
+
+  bool done() const { return Emitted >= Total; }
+
+  uint64_t next() {
+    const int64_t Point = Desc->PointOffsetsBytes.empty()
+                              ? 0
+                              : Desc->PointOffsetsBytes[PointIdx];
+    const uint64_t Addr =
+        Base + static_cast<uint64_t>(AffineOffset + Point);
+    ++Emitted;
+    // Advance: points innermost, then the level odometer.
+    const size_t Points =
+        Desc->PointOffsetsBytes.empty() ? 1 : Desc->PointOffsetsBytes.size();
+    if (++PointIdx < Points)
+      return Addr;
+    PointIdx = 0;
+    for (size_t L = Levels.size(); L-- > 0;) {
+      AffineOffset += Levels[L].StrideBytes;
+      if (++Index[L] < Levels[L].TripCount)
+        return Addr;
+      AffineOffset -=
+          static_cast<int64_t>(Levels[L].TripCount) * Levels[L].StrideBytes;
+      Index[L] = 0;
+    }
+    return Addr; // Stream exhausted; done() is now true.
+  }
+};
+
+/// Per-(loop, array) accumulator.
+struct ArrayAccum {
+  std::string Array;
+  uint64_t Accesses = 0;
+  uint64_t DistinctLines = 0;
+  uint64_t ConflictMisses = 0;
+  std::vector<uint8_t> Touched;
+};
+
+/// Per-loop accumulator, keyed by resolved location.
+struct LoopAccum {
+  std::string Location;
+  uint32_t HeaderLine = 0;
+  bool Exact = true;
+  bool Truncated = false;
+  uint64_t Accesses = 0;
+  uint64_t DistinctLines = 0;
+  uint64_t ConflictMisses = 0;
+  uint64_t ColdMisses = 0;
+  std::vector<uint64_t> LinesPerSet;
+  std::vector<uint64_t> MissesPerSet;
+  std::vector<uint32_t> PeakOcc;
+  std::vector<uint8_t> Victim;
+  std::vector<uint8_t> Touched;
+  std::vector<ArrayAccum> Arrays;
+  std::map<std::string, size_t> ArrayIndex;
+
+  size_t arrayIndex(const std::string &Name, uint64_t NumSets) {
+    auto [It, Inserted] = ArrayIndex.try_emplace(Name, Arrays.size());
+    if (Inserted) {
+      Arrays.emplace_back();
+      Arrays.back().Array = Name;
+      Arrays.back().Touched.assign(NumSets, 0);
+    }
+    return It->second;
+  }
+};
+
+} // namespace
+
+StaticConflictAnalyzer::StaticConflictAnalyzer(Options Opts,
+                                               ConflictClassifier Classifier)
+    : Opts(Opts), Classifier(std::move(Classifier)) {}
+
+StaticAnalysisResult
+StaticConflictAnalyzer::analyze(const StaticAccessModel &Model,
+                                const ProgramStructure *Structure) const {
+  StaticAnalysisResult Result;
+  Result.Geometry = Opts.Geometry;
+  Result.RcdThreshold = Opts.RcdThreshold;
+  Result.ModelComplete = Model.Complete;
+  if (Model.empty())
+    return Result;
+
+  const uint64_t NumSets = Opts.Geometry.numSets();
+  const uint32_t Ways = Opts.Geometry.associativity();
+
+  // Place allocations: registered ones on the exact canonical layout
+  // (matching what simulation of a canonicalized trace sees),
+  // unregistered ones packed onto the first orphan region, arrays the
+  // model never declared on orphan regions of their own.
+  std::vector<uint64_t> RegisteredSizes;
+  for (const ModeledAllocation &Alloc : Model.Allocations)
+    if (Alloc.Registered)
+      RegisteredSizes.push_back(Alloc.SizeBytes);
+  const CanonicalLayout Layout = canonicalAllocationLayout(RegisteredSizes);
+
+  struct Placement {
+    uint64_t Base = 0;
+    bool Exact = true;
+  };
+  std::unordered_map<std::string, Placement> PlacementOf;
+  size_t RegIdx = 0;
+  uint64_t PackCursor = Layout.FirstOrphanBase;
+  for (const ModeledAllocation &Alloc : Model.Allocations) {
+    if (Alloc.Registered) {
+      PlacementOf[Alloc.Name] = {Layout.Bases[RegIdx++], true};
+    } else {
+      const uint64_t Base = alignUp(PackCursor, SyntheticPackAlign);
+      PlacementOf[Alloc.Name] = {Base, false};
+      PackCursor = Base + Alloc.SizeBytes;
+    }
+  }
+  uint64_t UnknownCursor = Layout.FirstOrphanBase + Layout.OrphanSpan;
+  auto placementFor = [&](const std::string &Name) -> Placement {
+    auto It = PlacementOf.find(Name);
+    if (It != PlacementOf.end())
+      return It->second;
+    const Placement Synthetic{UnknownCursor, false};
+    PlacementOf[Name] = Synthetic;
+    UnknownCursor += Layout.OrphanSpan;
+    return Synthetic;
+  };
+
+  // Resolve every descriptor line to a loop context, exactly the way
+  // measured samples are attributed.
+  std::vector<LoopAccum> Loops;
+  std::map<std::string, size_t> LoopIndex;
+  auto loopIndexForLine = [&](uint32_t Line) -> size_t {
+    std::string Location;
+    uint32_t Header = Line;
+    if (Structure) {
+      if (std::optional<LoopRef> Ref = Structure->innermostLoopForLine(Line)) {
+        Location = Structure->describeLoop(*Ref);
+        Header = Structure->headerLine(*Ref);
+      }
+    }
+    if (Location.empty())
+      Location = Model.SourceFile + ":" + std::to_string(Line);
+    auto [It, Inserted] = LoopIndex.try_emplace(Location, Loops.size());
+    if (Inserted) {
+      Loops.emplace_back();
+      LoopAccum &L = Loops.back();
+      L.Location = Location;
+      L.HeaderLine = Header;
+      L.LinesPerSet.assign(NumSets, 0);
+      L.MissesPerSet.assign(NumSets, 0);
+      L.PeakOcc.assign(NumSets, 0);
+      L.Victim.assign(NumSets, 0);
+      L.Touched.assign(NumSets, 0);
+    }
+    return It->second;
+  };
+
+  // Group descriptors into per-phase streams.
+  std::map<uint32_t, std::vector<DescriptorStream>> Phases;
+  for (const AccessDescriptor &Desc : Model.Accesses) {
+    const Placement Where = placementFor(Desc.Array);
+    DescriptorStream Stream;
+    Stream.Desc = &Desc;
+    Stream.LoopIdx = loopIndexForLine(Desc.Line);
+    Stream.ArrayIdx =
+        Loops[Stream.LoopIdx].arrayIndex(Desc.Array, NumSets);
+    Stream.Base = Where.Base + Desc.StartOffset;
+    Stream.Levels = Desc.Levels;
+    Stream.Index.assign(Desc.Levels.size(), 0);
+    Stream.computeTotal();
+    if (!Where.Exact)
+      Loops[Stream.LoopIdx].Exact = false;
+    if (Stream.Total > 0)
+      Phases[Desc.Phase].push_back(std::move(Stream));
+  }
+
+  // Halve outer trip counts of the largest stream until each phase fits
+  // the enumeration budget.
+  for (auto &[Phase, Streams] : Phases) {
+    (void)Phase;
+    auto phaseTotal = [&] {
+      uint64_t Sum = 0;
+      for (const DescriptorStream &S : Streams)
+        Sum = saturatingAdd(Sum, S.Total);
+      return Sum;
+    };
+    while (phaseTotal() > Opts.MaxStreamAccesses) {
+      DescriptorStream *Largest = nullptr;
+      for (DescriptorStream &S : Streams) {
+        bool Halvable = false;
+        for (const AccessLoopLevel &Level : S.Levels)
+          Halvable |= Level.TripCount > 1;
+        if (Halvable && (!Largest || S.Total > Largest->Total))
+          Largest = &S;
+      }
+      if (!Largest)
+        break;
+      for (AccessLoopLevel &Level : Largest->Levels) {
+        if (Level.TripCount > 1) {
+          Level.TripCount = std::max<uint64_t>(1, Level.TripCount / 2);
+          break;
+        }
+      }
+      Largest->computeTotal();
+      Largest->Truncated = true;
+      Loops[Largest->LoopIdx].Truncated = true;
+    }
+  }
+
+  // Run the phases through one occupancy window and one RCD analyzer.
+  // The window is a cache's worth of accesses; the RCD analyzer is the
+  // measured pipeline's, fed with predicted-miss ordinals.
+  SetOccupancyTracker Tracker(Opts.Geometry, NumSets * Ways);
+  RcdAnalyzer Rcd(NumSets);
+  uint64_t MissOrdinal = 0;
+  // Phases order the stream but do not reset the tracker: the real
+  // cache is continuous across program phases, so residency built by
+  // one phase legitimately serves the next (a local buffer re-walked
+  // every phase stays hot, exactly as it does under simulation).
+  for (auto &[Phase, Streams] : Phases) {
+    (void)Phase;
+    // Proportional K-way merge: always advance the stream that has
+    // completed the smallest fraction of its accesses, so co-phased
+    // descriptors interleave the way the program's instructions do.
+    std::vector<DescriptorStream *> Active;
+    for (DescriptorStream &S : Streams)
+      Active.push_back(&S);
+    while (!Active.empty()) {
+      DescriptorStream *Next = Active.front();
+      for (DescriptorStream *S : Active)
+        if (S->Emitted * Next->Total < Next->Emitted * S->Total)
+          Next = S;
+      const uint64_t Addr = Next->next();
+
+      const uint64_t Set = Tracker.access(Addr);
+      const bool Cold = Tracker.lastAccessWasNewLine();
+      const bool InWindow = Tracker.lastAccessWasInWindow();
+      const bool Resident = Tracker.lastAccessWasResident();
+      const uint32_t Occ = Tracker.occupancy(Set);
+
+      LoopAccum &L = Loops[Next->LoopIdx];
+      ArrayAccum &A = L.Arrays[Next->ArrayIdx];
+      ++L.Accesses;
+      ++A.Accesses;
+      L.Touched[Set] = 1;
+      A.Touched[Set] = 1;
+      if (Occ > L.PeakOcc[Set])
+        L.PeakOcc[Set] = Occ;
+      if (Cold) {
+        ++L.DistinctLines;
+        ++A.DistinctLines;
+        ++L.LinesPerSet[Set];
+      }
+      // Stores update the window (they occupy cache lines) but only
+      // count as misses when IncludeStores is set — the measured miss
+      // stream applies the same rule (MissStreamOptions::IncludeStores),
+      // so predicted miss counts stay comparable to simulated ones.
+      const bool Counted = !Next->Desc->IsStore || Opts.IncludeStores;
+      if (Counted && !Resident) {
+        ++MissOrdinal;
+        Rcd.addMiss(static_cast<ContextId>(Next->LoopIdx), Set, MissOrdinal);
+        ++L.MissesPerSet[Set];
+        if (Cold) {
+          ++L.ColdMisses;
+        } else {
+          ++L.ConflictMisses;
+          ++A.ConflictMisses;
+        }
+        // A miss on a line still inside the window is genuine thrash:
+        // the set's pressure pushed a recently used line past LRU
+        // reach. Out-of-window misses are compulsory/capacity and do
+        // not mark victims.
+        if (InWindow)
+          L.Victim[Set] = 1;
+      }
+
+      if (Next->done())
+        Active.erase(std::find(Active.begin(), Active.end(), Next));
+    }
+  }
+
+  // Fold the accumulators into predictions.
+  Result.PredictedMisses = MissOrdinal;
+  Result.Loops.reserve(Loops.size());
+  for (size_t Idx = 0; Idx < Loops.size(); ++Idx) {
+    LoopAccum &L = Loops[Idx];
+    Result.TotalAccesses += L.Accesses;
+
+    LoopPrediction P;
+    P.Location = L.Location;
+    P.HeaderLine = L.HeaderLine;
+    P.Accesses = L.Accesses;
+    P.DistinctLines = L.DistinctLines;
+    for (uint64_t Set = 0; Set < NumSets; ++Set) {
+      P.SetsTouched += L.Touched[Set];
+      if (L.Victim[Set])
+        P.VictimSets.push_back(static_cast<uint32_t>(Set));
+    }
+    P.PeakSetOccupancy = std::move(L.PeakOcc);
+    P.LinesPerSet = std::move(L.LinesPerSet);
+    P.PredictedMissesPerSet = std::move(L.MissesPerSet);
+    P.PredictedConflictMisses = L.ConflictMisses;
+    P.PredictedColdMisses = L.ColdMisses;
+    if (const RcdProfile *Prof = Rcd.profile(static_cast<ContextId>(Idx))) {
+      P.PredictedRcd = Prof->rcd();
+      P.PredictedContributionFactor =
+          Prof->contributionFactor(Opts.RcdThreshold);
+      if (!P.PredictedRcd.empty())
+        P.PredictedMedianRcd =
+            static_cast<double>(P.PredictedRcd.quantile(0.5));
+    }
+    const uint64_t Misses = L.ColdMisses + L.ConflictMisses;
+    P.MissShare = Result.PredictedMisses
+                      ? static_cast<double>(Misses) /
+                            static_cast<double>(Result.PredictedMisses)
+                      : 0.0;
+    P.Significant = Misses > 0 && P.MissShare >= Opts.SignificanceThreshold;
+    const ConflictClassifier::Decision Verdict =
+        Classifier.classify(P.PredictedContributionFactor);
+    P.ConflictProbability = Verdict.Probability;
+    P.ConflictPredicted = Verdict.Conflict && P.Significant;
+    P.ExactPlacement = L.Exact;
+    P.Truncated = L.Truncated;
+    for (ArrayAccum &A : L.Arrays) {
+      ArrayFootprint F;
+      F.Array = A.Array;
+      F.Accesses = A.Accesses;
+      F.DistinctLines = A.DistinctLines;
+      F.PredictedConflictMisses = A.ConflictMisses;
+      for (uint64_t Set = 0; Set < NumSets; ++Set)
+        F.SetsTouched += A.Touched[Set];
+      P.Arrays.push_back(std::move(F));
+    }
+    Result.Loops.push_back(std::move(P));
+  }
+
+  std::stable_sort(Result.Loops.begin(), Result.Loops.end(),
+                   [](const LoopPrediction &A, const LoopPrediction &B) {
+                     if (A.MissShare != B.MissShare)
+                       return A.MissShare > B.MissShare;
+                     return A.Location < B.Location;
+                   });
+  return Result;
+}

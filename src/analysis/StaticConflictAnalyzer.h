@@ -1,0 +1,185 @@
+//===- analysis/StaticConflictAnalyzer.h - Static prediction ---*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Predicts cache-set conflicts from a StaticAccessModel alone — no
+/// trace, no simulation. For every loop the analyzer:
+///
+///  1. places the model's allocations on the canonical layout (the same
+///     one canonicalizeTrace() rebases traces onto, so predicted set
+///     indices are directly comparable to measured ones);
+///  2. enumerates each phase's descriptors as one proportionally
+///     interleaved address stream and pushes it through a
+///     SetOccupancyTracker — a sliding window of numSets x ways
+///     accesses tracking distinct lines per set (the generalization of
+///     PaddingAdvisor's windowed column-sweep measures);
+///  3. predicts an access to *miss* when its line is not predicted
+///     resident: not among the set's `ways` most recently accessed
+///     lines — exact LRU residency over the model stream. A set is a
+///     *victim* of a loop when a miss lands on a line still inside the
+///     sliding window — the set's pressure evicted a recently used
+///     line, i.e. genuine thrash; out-of-window misses are
+///     compulsory/capacity;
+///  4. feeds the predicted miss stream through the very RcdProfile the
+///     measured pipeline uses, so the predicted RCD distribution and
+///     contribution factor come out of identical machinery: conflict
+///     misses concentrate on few sets and produce short RCDs, while
+///     compulsory/capacity misses of well-spread walks rotate over all
+///     sets and produce RCD ~ numSets (paper Observation 2);
+///  5. feeds the predicted contribution factor through the same
+///     logistic classifier the measured pipeline uses.
+///
+/// The model is deliberately coarser than simulation — see DESIGN.md
+/// §8 for its divergences — but it is O(stream length) with stream
+/// lengths capped per phase, and it needs nothing but the workload's
+/// declared strides.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_ANALYSIS_STATICCONFLICTANALYZER_H
+#define CCPROF_ANALYSIS_STATICCONFLICTANALYZER_H
+
+#include "analysis/AccessModel.h"
+#include "core/ConflictClassifier.h"
+#include "core/ProgramStructure.h"
+#include "sim/CacheGeometry.h"
+#include "sim/MachineConfig.h"
+#include "support/Histogram.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+/// Per-(loop, array) slice of a prediction.
+struct ArrayFootprint {
+  std::string Array;
+  uint64_t Accesses = 0;
+  uint64_t DistinctLines = 0;
+  uint64_t SetsTouched = 0;
+  uint64_t PredictedConflictMisses = 0;
+};
+
+/// Static prediction for one loop (or loop-free context).
+struct LoopPrediction {
+  std::string Location; ///< "file:headerLine", as measured reports use.
+  uint32_t HeaderLine = 0;
+  uint64_t Accesses = 0;
+  uint64_t DistinctLines = 0;
+  uint64_t SetsTouched = 0;
+  /// Sets predicted to thrash under this loop (a predicted miss hit a
+  /// line that was still inside the window — evicted by set pressure,
+  /// not by capacity), ascending.
+  std::vector<uint32_t> VictimSets;
+  /// Peak in-window distinct-line occupancy per set, from the loop's
+  /// phase (shared with co-phased loops).
+  std::vector<uint32_t> PeakSetOccupancy;
+  /// Distinct lines of this loop's accesses per set (the compulsory
+  /// baseline measured per-set misses are compared against).
+  std::vector<uint64_t> LinesPerSet;
+  /// Predicted misses per set: out-of-window lines plus accesses to
+  /// oversubscribed sets.
+  std::vector<uint64_t> PredictedMissesPerSet;
+  /// Predicted non-compulsory misses (re-fetches of evicted lines and
+  /// oversubscription thrash).
+  uint64_t PredictedConflictMisses = 0;
+  /// Predicted compulsory misses (first touch of a line).
+  uint64_t PredictedColdMisses = 0;
+  /// Predicted RCD distribution, computed by RcdProfile over the
+  /// predicted miss stream exactly as the measured pipeline computes it
+  /// over simulated misses.
+  Histogram PredictedRcd;
+  double PredictedMedianRcd = 0.0;
+  double PredictedContributionFactor = 0.0;
+  /// Share of the whole model's predicted misses.
+  double MissShare = 0.0;
+  double ConflictProbability = 0.0;
+  bool Significant = false;
+  /// Classifier verdict AND significance, like the measured pipeline.
+  bool ConflictPredicted = false;
+  /// True when every allocation this loop touches is registered (its
+  /// set phases are exact, not synthetic placements).
+  bool ExactPlacement = true;
+  /// True when the phase stream was cut off at MaxStreamAccesses.
+  bool Truncated = false;
+  std::vector<ArrayFootprint> Arrays;
+};
+
+/// Whole-model prediction.
+struct StaticAnalysisResult {
+  CacheGeometry Geometry{32 * 1024, 64, 8};
+  uint64_t RcdThreshold = 0;
+  bool ModelComplete = false;
+  uint64_t TotalAccesses = 0;
+  uint64_t PredictedMisses = 0;
+  /// Predictions, highest predicted-miss share first.
+  std::vector<LoopPrediction> Loops;
+
+  /// True when the model is complete and no *significant* loop shows
+  /// conflict evidence — a classifier conflict verdict or in-window
+  /// thrash victims: simulation provably (up to model fidelity) finds
+  /// no conflicts. The significance gate mirrors the measured
+  /// pipeline, which also reports sub-threshold loops as clean
+  /// regardless of their RCD shape, so marginal loops can never flip a
+  /// measured verdict and must not block screening.
+  bool conflictFree() const {
+    if (!ModelComplete)
+      return false;
+    for (const LoopPrediction &Loop : Loops)
+      if (Loop.ConflictPredicted ||
+          (Loop.Significant && !Loop.VictimSets.empty()))
+        return false;
+    return true;
+  }
+
+  const LoopPrediction *byLocation(const std::string &Location) const {
+    for (const LoopPrediction &Loop : Loops)
+      if (Loop.Location == Location)
+        return &Loop;
+    return nullptr;
+  }
+};
+
+class StaticConflictAnalyzer {
+public:
+  struct Options {
+    CacheGeometry Geometry = paperL1Geometry();
+    uint64_t RcdThreshold = ConflictClassifier::DefaultRcdThreshold;
+    /// Same significance gate as ProfileOptions.
+    double SignificanceThreshold = 0.01;
+    /// Count store accesses as predicted misses. Default matches
+    /// MissStreamOptions::IncludeStores: stores still occupy the
+    /// window (they hold cache lines) but do not emit misses, so
+    /// predictions stay comparable to the simulated miss stream.
+    bool IncludeStores = false;
+    /// Cap on enumerated accesses per phase; outer trip counts are
+    /// halved until a phase fits (Truncated is set on its loops).
+    uint64_t MaxStreamAccesses = uint64_t{1} << 23;
+  };
+
+  StaticConflictAnalyzer() : StaticConflictAnalyzer(Options{}) {}
+  explicit StaticConflictAnalyzer(Options Opts,
+                                  ConflictClassifier Classifier =
+                                      ConflictClassifier::pretrained());
+
+  /// Analyzes \p Model. When \p Structure is given, descriptor lines
+  /// resolve to innermost loops exactly like measured samples do;
+  /// without it each access line forms its own context.
+  StaticAnalysisResult analyze(const StaticAccessModel &Model,
+                               const ProgramStructure *Structure) const;
+
+  const Options &options() const { return Opts; }
+
+private:
+  Options Opts;
+  ConflictClassifier Classifier;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_ANALYSIS_STATICCONFLICTANALYZER_H

@@ -7,21 +7,49 @@
 
 #include "core/PaddingAdvisor.h"
 
+#include "core/SetFootprint.h"
+
 #include <algorithm>
 #include <cassert>
 #include <vector>
 
 using namespace ccprof;
 
+namespace {
+
+/// Rows worth examining for a walk of \p RowStrideBytes: beyond one
+/// full set-sequence period plus one window every window of rows is a
+/// repeat of an already-seen one, so arbitrarily large trip counts
+/// (larger than numSets * ways, larger than memory) cost the same as
+/// one period.
+uint64_t effectiveRows(uint64_t RowStrideBytes, uint64_t Rows,
+                       uint64_t Window, const CacheGeometry &Geometry) {
+  const uint64_t Period =
+      strideSetPeriod(static_cast<int64_t>(RowStrideBytes), Geometry);
+  if (Rows <= Period || Window > UINT64_MAX - Period)
+    return Rows;
+  return std::min(Rows, Period + Window - 1);
+}
+
+} // namespace
+
 uint64_t ccprof::setsTouchedByColumnSweep(uint64_t RowStrideBytes,
                                           uint64_t Rows,
                                           const CacheGeometry &Geometry) {
-  assert(RowStrideBytes > 0 && "stride must be positive");
+  // A zero stride dwells on one set forever; short-circuiting also
+  // spares the period computation a division by zero.
+  if (Rows == 0)
+    return 0;
+  if (RowStrideBytes == 0)
+    return 1;
   const uint64_t NumSets = Geometry.numSets();
+  // One period visits every set the walk will ever reach.
+  const uint64_t Limit = std::min(
+      Rows, strideSetPeriod(static_cast<int64_t>(RowStrideBytes), Geometry));
   std::vector<uint8_t> Touched(NumSets, 0);
   uint64_t Count = 0;
   uint64_t Addr = 0;
-  for (uint64_t Row = 0; Row < Rows && Count < NumSets; ++Row) {
+  for (uint64_t Row = 0; Row < Limit && Count < NumSets; ++Row) {
     uint64_t Set = Geometry.setIndexOf(Addr);
     if (!Touched[Set]) {
       Touched[Set] = 1;
@@ -35,34 +63,21 @@ uint64_t ccprof::setsTouchedByColumnSweep(uint64_t RowStrideBytes,
 uint64_t ccprof::worstWindowSetCoverage(uint64_t RowStrideBytes,
                                         uint64_t Rows,
                                         const CacheGeometry &Geometry) {
-  assert(RowStrideBytes > 0 && "stride must be positive");
   assert(Rows > 0 && "need at least one row");
   const uint64_t NumSets = Geometry.numSets();
   const uint64_t Window = std::min(NumSets, Rows);
+  if (RowStrideBytes == 0)
+    return 1; // Every access in every window shares one set.
 
-  // Sliding window over the per-row set sequence, tracking distinct-set
-  // counts incrementally.
-  std::vector<uint64_t> Sets(Rows);
+  const uint64_t Limit =
+      effectiveRows(RowStrideBytes, Rows, Window, Geometry);
+  SetOccupancyTracker Tracker(Geometry, Window);
   uint64_t Addr = 0;
-  for (uint64_t Row = 0; Row < Rows; ++Row) {
-    Sets[Row] = Geometry.setIndexOf(Addr);
+  for (uint64_t Row = 0; Row < Limit; ++Row) {
+    Tracker.access(Addr);
     Addr += RowStrideBytes;
   }
-
-  std::vector<uint32_t> InWindow(NumSets, 0);
-  uint64_t Distinct = 0;
-  uint64_t Worst = Window;
-  for (uint64_t Row = 0; Row < Rows; ++Row) {
-    if (InWindow[Sets[Row]]++ == 0)
-      ++Distinct;
-    if (Row + 1 >= Window) {
-      Worst = std::min(Worst, Distinct);
-      uint64_t Leaving = Sets[Row + 1 - Window];
-      if (--InWindow[Leaving] == 0)
-        --Distinct;
-    }
-  }
-  return Worst;
+  return Tracker.worstWindowCoverage();
 }
 
 PaddingAdvice ccprof::adviseRowPadding(uint64_t RowBytes,

@@ -30,7 +30,10 @@ namespace ccprof {
 
 /// Number of distinct cache sets touched by \p Rows accesses strided by
 /// \p RowStrideBytes (a column walk of a row-major matrix), starting at
-/// offset 0. Saturates at the geometry's set count.
+/// offset 0. Saturates at the geometry's set count. A zero stride
+/// touches exactly one set; trip counts of any size are fine — the walk
+/// is evaluated over at most one set-sequence period (see
+/// core/SetFootprint.h).
 uint64_t setsTouchedByColumnSweep(uint64_t RowStrideBytes, uint64_t Rows,
                                   const CacheGeometry &Geometry);
 
@@ -40,7 +43,8 @@ uint64_t setsTouchedByColumnSweep(uint64_t RowStrideBytes, uint64_t Rows,
 /// walk still dwells on one set for long runs (the NW pattern, where a
 /// small byte drift eventually covers every set but 16 consecutive rows
 /// share one) — low worst-window coverage is exactly what produces the
-/// short RCDs CCProf flags.
+/// short RCDs CCProf flags. Zero strides report a coverage of 1 and
+/// huge trip counts cost one period, never O(Rows) memory.
 uint64_t worstWindowSetCoverage(uint64_t RowStrideBytes, uint64_t Rows,
                                 const CacheGeometry &Geometry);
 

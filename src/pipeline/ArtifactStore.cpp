@@ -84,6 +84,23 @@ std::vector<std::string> ArtifactStore::listStaleTemporaries() const {
       nullptr);
 }
 
+std::vector<std::string>
+ArtifactStore::cleanStaleTemporaries(std::vector<std::string> *Failed) {
+  std::vector<std::string> Removed;
+  for (const std::string &Path : listStaleTemporaries()) {
+    std::error_code Ec;
+    if (fs::remove(Path, Ec)) {
+      Removed.push_back(Path);
+    } else if (Ec) {
+      if (Failed)
+        Failed->push_back(Path + ": " + Ec.message());
+    }
+    // remove() returning false without an error means the file vanished
+    // between listing and removal — already clean, nothing to report.
+  }
+  return Removed;
+}
+
 ArtifactValidationReport ArtifactStore::validate(std::string *Error) const {
   ArtifactValidationReport Report;
   std::string ListError;

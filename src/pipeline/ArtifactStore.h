@@ -75,6 +75,14 @@ public:
   /// of an interrupted save.
   std::vector<std::string> listStaleTemporaries() const;
 
+  /// Deletes every stale temporary and returns the paths removed.
+  /// Temporaries that vanish concurrently are skipped; a temporary that
+  /// exists but cannot be removed lands in \p Failed (when non-null)
+  /// with the OS diagnostic appended. The engine behind
+  /// `ccprof validate --clean-temps`.
+  std::vector<std::string>
+  cleanStaleTemporaries(std::vector<std::string> *Failed = nullptr);
+
   /// Loads every artifact in the store, collecting loader rejections
   /// and stale temporaries. \p Error reports a listing failure (the
   /// report is then empty).

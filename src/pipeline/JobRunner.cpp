@@ -7,6 +7,7 @@
 
 #include "pipeline/JobRunner.h"
 
+#include "analysis/StaticConflictAnalyzer.h"
 #include "support/ThreadPool.h"
 #include "trace/Canonicalize.h"
 
@@ -95,7 +96,7 @@ std::vector<JobOutcome> ccprof::runJobsShared(
   MissStreamCache &Cache = StreamCache ? *StreamCache : LocalCache;
   if (Jobs.empty()) {
     if (StatsOut)
-      *StatsOut = SharedBatchStats{0, Cache.stats(), 0};
+      *StatsOut = SharedBatchStats{0, Cache.stats(), 0, 0};
     return Outcomes;
   }
 
@@ -140,6 +141,7 @@ std::vector<JobOutcome> ccprof::runJobsShared(
 
   std::atomic<size_t> NextGroup{0};
   std::atomic<size_t> NumDone{0};
+  std::atomic<uint64_t> NumSkipped{0};
   std::mutex CallbackMutex;
 
   auto FinishJob = [&](size_t JobIndex) {
@@ -167,16 +169,43 @@ std::vector<JobOutcome> ccprof::runJobsShared(
         continue;
       }
 
+      BinaryImage Image = W->makeBinary();
+      ProgramStructure Structure(Image);
+
+      // Static screen: a complete access model that analyzes
+      // conflict-free proves every L1 simulation of the group finds no
+      // conflicts — those jobs skip without a trace.
+      std::vector<size_t> Pending;
+      Pending.reserve(Members.size());
+      bool ScreenClean = false;
+      if (Exec.StaticScreen) {
+        StaticAccessModel Model = W->accessModel(First.Variant);
+        if (Model.Complete && !Model.empty())
+          ScreenClean = StaticConflictAnalyzer()
+                            .analyze(Model, &Structure)
+                            .conflictFree();
+      }
+      for (size_t I : Members) {
+        if (ScreenClean && Jobs[I].Level == ProfileLevel::L1) {
+          Outcomes[I].Job = Jobs[I];
+          Outcomes[I].Skipped = true;
+          NumSkipped.fetch_add(1);
+          FinishJob(I);
+        } else {
+          Pending.push_back(I);
+        }
+      }
+      if (Pending.empty())
+        continue;
+
       // The expensive shared phase, once per group: run the workload,
       // record its references, canonicalize, recover the program
       // structure.
       Trace Recorded;
       W->run(First.Variant, &Recorded);
       Trace T = canonicalizeTrace(Recorded);
-      BinaryImage Image = W->makeBinary();
-      ProgramStructure Structure(Image);
 
-      for (size_t I : Members) {
+      for (size_t I : Pending) {
         const JobSpec &Job = Jobs[I];
         Profiler P(Job.toProfileOptions());
         MissStreamCache::StreamPtr Stream = Cache.getOrCompute(
@@ -209,7 +238,7 @@ std::vector<JobOutcome> ccprof::runJobsShared(
 
   if (StatsOut)
     *StatsOut = SharedBatchStats{Groups.size(), Cache.stats(),
-                                 CachePool.reuses()};
+                                 CachePool.reuses(), NumSkipped.load()};
   return Outcomes;
 }
 

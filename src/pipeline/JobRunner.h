@@ -51,6 +51,10 @@ struct JobOutcome {
   ProfileArtifact Artifact;
   /// Empty on success; e.g. "unknown workload 'Foo'" otherwise.
   std::string Error;
+  /// True when static screening proved the job's configuration
+  /// conflict-free and the simulation was skipped: no artifact was
+  /// produced, and Error stays empty.
+  bool Skipped = false;
 
   bool ok() const { return Error.empty(); }
 };
@@ -82,6 +86,8 @@ struct SharedBatchStats {
   MissStreamCacheStats Streams;
   /// Windowed shard caches recycled instead of reallocated.
   uint64_t ShardCacheReuses = 0;
+  /// Jobs skipped by static screening (BatchExecOptions::StaticScreen).
+  uint64_t StaticSkipped = 0;
 };
 
 /// Execution shape of a shared-trace batch run. Workers carry
@@ -100,6 +106,14 @@ struct BatchExecOptions {
   unsigned Shards = 0;
   /// Traces shorter than this never shard (partition overhead).
   uint64_t MinRefsToShard = SimContext::DefaultMinRefsToShard;
+  /// Run the static conflict analyzer over each group's access model
+  /// first and skip the simulation of L1 jobs whose (workload, variant)
+  /// is statically proven conflict-free (complete model, no victim
+  /// sets). Skipped jobs finish with JobOutcome::Skipped set and no
+  /// artifact; jobs that do run produce byte-identical artifacts to an
+  /// unscreened run. Groups whose members all skip never generate a
+  /// trace at all — the screening payoff.
+  bool StaticScreen = false;
 };
 
 /// The miss-stream cache key of \p Job: every field the simulated

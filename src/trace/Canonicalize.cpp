@@ -25,7 +25,26 @@ uint64_t alignUp(uint64_t Value, uint64_t Alignment) {
   return (Value + Alignment - 1) / Alignment * Alignment;
 }
 
+/// Span reserved per orphan region; regions anchor mid-span so stack
+/// addresses below the first-seen one still fit.
+constexpr uint64_t OrphanRegionSpan = uint64_t{4} << 30;
+
 } // namespace
+
+CanonicalLayout
+ccprof::canonicalAllocationLayout(std::span<const uint64_t> Sizes) {
+  CanonicalLayout Layout;
+  Layout.Bases.reserve(Sizes.size());
+  uint64_t Cursor = RegionBase;
+  for (uint64_t Size : Sizes) {
+    Layout.Bases.push_back(Cursor);
+    Cursor = alignUp(Cursor + Size, PageBytes) + GuardBytes;
+  }
+  Layout.FirstOrphanBase =
+      alignUp(Cursor, PageBytes) + 16 * PageBytes + OrphanRegionSpan / 2;
+  Layout.OrphanSpan = OrphanRegionSpan;
+  return Layout;
+}
 
 Trace ccprof::canonicalizeTrace(const Trace &Input) {
   Trace Result;
@@ -38,15 +57,17 @@ Trace ccprof::canonicalizeTrace(const Trace &Input) {
   // page-aligned with a guard gap. Registration order is part of the
   // recorded execution, so the layout is deterministic.
   const AllocationRegistry &Allocs = Input.allocations();
-  std::vector<uint64_t> NewBase(Allocs.size(), 0);
-  uint64_t Cursor = RegionBase;
+  std::vector<uint64_t> Sizes(Allocs.size(), 0);
+  for (size_t I = 0; I < Allocs.size(); ++I)
+    Sizes[I] = Allocs.info(static_cast<AllocId>(I)).SizeBytes;
+  const CanonicalLayout Layout = canonicalAllocationLayout(Sizes);
+  const std::vector<uint64_t> &NewBase = Layout.Bases;
   for (size_t I = 0; I < Allocs.size(); ++I) {
     const AllocationInfo &Info = Allocs.info(static_cast<AllocId>(I));
-    NewBase[I] = Cursor;
-    Result.allocations().recordAllocation(Info.Name, Cursor, Info.SizeBytes);
+    Result.allocations().recordAllocation(Info.Name, NewBase[I],
+                                          Info.SizeBytes);
     if (!Info.Live)
-      Result.allocations().recordFree(Cursor);
-    Cursor = alignUp(Cursor + Info.SizeBytes, PageBytes) + GuardBytes;
+      Result.allocations().recordFree(NewBase[I]);
   }
 
   // Addresses outside every registered allocation (stack tiles, other
@@ -61,12 +82,11 @@ Trace ccprof::canonicalizeTrace(const Trace &Input) {
     uint64_t CanonicalBase; ///< Where the anchor lands.
   };
   constexpr uint64_t RegionWindow = uint64_t{1} << 30;
-  constexpr uint64_t RegionSpan = uint64_t{4} << 30;
+  const uint64_t RegionSpan = Layout.OrphanSpan;
   std::vector<OrphanRegion> Regions;
   // Leave room below each anchor: stacks grow down, so later orphan
   // addresses are often smaller than the first one seen.
-  uint64_t NextRegionBase =
-      alignUp(Cursor, PageBytes) + 16 * PageBytes + RegionSpan / 2;
+  uint64_t NextRegionBase = Layout.FirstOrphanBase;
 
   Result.reserve(Input.size());
   for (const MemoryRecord &Record : Input.records()) {

@@ -37,7 +37,27 @@
 
 #include "trace/Trace.h"
 
+#include <span>
+#include <vector>
+
 namespace ccprof {
+
+/// The deterministic address layout canonicalizeTrace() rebases onto.
+struct CanonicalLayout {
+  /// Canonical base address of each allocation, in registration order.
+  std::vector<uint64_t> Bases;
+  /// Where the first region of unregistered (orphan) addresses lands.
+  uint64_t FirstOrphanBase = 0;
+  /// Spacing between consecutive orphan regions.
+  uint64_t OrphanSpan = 0;
+};
+
+/// Computes the canonical layout for allocations of the given sizes in
+/// registration order: back to back, page-aligned, one guard page
+/// apart. This is the exact placement canonicalizeTrace() uses, exposed
+/// so the static conflict analyzer can predict set indices that line up
+/// with what simulation of a canonicalized trace measures.
+CanonicalLayout canonicalAllocationLayout(std::span<const uint64_t> Sizes);
 
 /// Returns a copy of \p Input with identical sites, allocation names,
 /// sizes, and reference sequence, but with every address rebased onto

@@ -120,6 +120,74 @@ double AdiWorkload::run(WorkloadVariant Variant, Trace *Recorder) const {
   return runAdi(N, TimeSteps, Row, R);
 }
 
+StaticAccessModel AdiWorkload::accessModel(WorkloadVariant Variant) const {
+  const uint64_t Row =
+      N + (Variant == WorkloadVariant::Optimized ? 8 : 0);
+  const int64_t RowBytes = static_cast<int64_t>(Row * sizeof(double));
+  const int64_t Elem = sizeof(double);
+  const uint64_t Interior = N - 2; // J and I run 1 .. N-2.
+  const uint64_t GridBytes = N * Row * sizeof(double);
+
+  StaticAccessModel Model;
+  Model.SourceFile = "adi.c";
+  Model.Complete = true;
+  Model.Allocations = {{"u[][]", GridBytes, true},
+                       {"v[][]", GridBytes, true},
+                       {"p[][]", GridBytes, true},
+                       {"q[][]", GridBytes, true}};
+
+  auto Site = [&](const char *Array, uint32_t Line, bool Store,
+                  uint64_t Start, std::vector<AccessLoopLevel> Levels) {
+    AccessDescriptor D;
+    D.Array = Array;
+    D.Line = Line;
+    D.ElementBytes = sizeof(double);
+    D.StartOffset = Start;
+    D.IsStore = Store;
+    D.Levels = std::move(Levels);
+    return D;
+  };
+  const uint64_t StartIJ = static_cast<uint64_t>(RowBytes + Elem);
+
+  // Column sweep (phase 0): u is read down columns — the row-stride
+  // walk that conflicts — while p/q fill forward and v back-substitutes.
+  AccessDescriptor ColU = Site(
+      "u[][]", 41, false, StartIJ,
+      {{TimeSteps, 0}, {Interior, Elem}, {Interior, RowBytes}});
+  AccessDescriptor ColP = Site(
+      "p[][]", 42, true, StartIJ,
+      {{TimeSteps, 0}, {Interior, RowBytes}, {Interior, Elem}});
+  AccessDescriptor ColQ = ColP;
+  ColQ.Array = "q[][]";
+  ColQ.Line = 43;
+  AccessDescriptor ColV = Site(
+      "v[][]", 49, true, Interior * static_cast<uint64_t>(RowBytes) + Elem,
+      {{TimeSteps, 0}, {Interior, Elem}, {Interior, -RowBytes}});
+
+  // Row sweep (phase 1): everything runs along rows.
+  AccessDescriptor RowV = Site(
+      "v[][]", 58, false, StartIJ,
+      {{TimeSteps, 0}, {Interior, RowBytes}, {Interior, Elem}});
+  AccessDescriptor RowP = RowV;
+  RowP.Line = 59;
+  RowP.Array = "p[][]";
+  RowP.IsStore = true;
+  AccessDescriptor RowQ = RowP;
+  RowQ.Line = 60;
+  RowQ.Array = "q[][]";
+  AccessDescriptor RowU = Site(
+      "u[][]", 63, true,
+      static_cast<uint64_t>(RowBytes) + Interior * Elem,
+      {{TimeSteps, 0}, {Interior, RowBytes}, {Interior, -Elem}});
+
+  for (AccessDescriptor *D : {&ColU, &ColP, &ColQ, &ColV})
+    D->Phase = 0;
+  for (AccessDescriptor *D : {&RowV, &RowP, &RowQ, &RowU})
+    D->Phase = 1;
+  Model.Accesses = {ColU, ColP, ColQ, ColV, RowV, RowP, RowQ, RowU};
+  return Model;
+}
+
 BinaryImage AdiWorkload::makeBinary() const {
   LoopSpec ColInner;
   ColInner.HeaderLine = 40;

@@ -31,6 +31,7 @@ public:
   std::string hotLoopLocation() const override { return "adi.c:40"; }
   double run(WorkloadVariant Variant, Trace *Recorder) const override;
   BinaryImage makeBinary() const override;
+  StaticAccessModel accessModel(WorkloadVariant Variant) const override;
 
 private:
   uint64_t N;

@@ -131,6 +131,47 @@ double Fft2dWorkload::run(WorkloadVariant Variant, Trace *Recorder) const {
   return runFft(N, Row, R);
 }
 
+StaticAccessModel Fft2dWorkload::accessModel(WorkloadVariant Variant) const {
+  const uint64_t Row =
+      N + (Variant == WorkloadVariant::Optimized ? 4 : 0);
+  const uint64_t ElemBytes = 16; // one complex: two doubles
+  const int64_t RowBytes = static_cast<int64_t>(Row * ElemBytes);
+
+  // The FFT's butterfly order is not affine; the model is a
+  // count-faithful surrogate: each transform touches its N strided
+  // positions once per stage plus once for the bit-reversal pass
+  // (log2(N) + 1 sweeps), with one recorded load and store per
+  // position — the same per-set footprint and totals as the real
+  // access sequence, in sweep order instead of butterfly order.
+  uint64_t Sweeps = 1;
+  for (uint64_t Len = 2; Len <= N; Len <<= 1)
+    ++Sweeps;
+
+  StaticAccessModel Model;
+  Model.SourceFile = "mkl_fft.cpp";
+  Model.Complete = true;
+  Model.Allocations = {{"grid[][]", N * Row * ElemBytes, true}};
+
+  auto Pass = [&](uint32_t LoadLine, uint32_t StoreLine, int64_t OuterStride,
+                  int64_t InnerStride, uint32_t Phase) {
+    AccessDescriptor Load;
+    Load.Array = "grid[][]";
+    Load.Line = LoadLine;
+    Load.ElementBytes = ElemBytes;
+    Load.Phase = Phase;
+    Load.Levels = {{N, OuterStride}, {Sweeps, 0}, {N, InnerStride}};
+    AccessDescriptor Store = Load;
+    Store.Line = StoreLine;
+    Store.IsStore = true;
+    Model.Accesses.push_back(Load);
+    Model.Accesses.push_back(Store);
+  };
+  // Row pass: contiguous transforms. Column pass: the row-stride walk.
+  Pass(46, 47, RowBytes, static_cast<int64_t>(ElemBytes), 0);
+  Pass(61, 62, static_cast<int64_t>(ElemBytes), RowBytes, 1);
+  return Model;
+}
+
 BinaryImage Fft2dWorkload::makeBinary() const {
   // The MKL library ships without line info; the recovered structure is
   // two anonymous loop regions, one per pass.

@@ -38,6 +38,7 @@ public:
   std::string hotLoopLocation() const override { return "mkl_fft.cpp:60"; }
   double run(WorkloadVariant Variant, Trace *Recorder) const override;
   BinaryImage makeBinary() const override;
+  StaticAccessModel accessModel(WorkloadVariant Variant) const override;
 
 private:
   uint64_t N;

@@ -182,6 +182,77 @@ double HimenoWorkload::run(WorkloadVariant Variant, Trace *Recorder) const {
   return runHimeno(Rows, Cols, Deps, Iterations, J, K, R);
 }
 
+StaticAccessModel HimenoWorkload::accessModel(WorkloadVariant Variant) const {
+  const bool Optimized = Variant == WorkloadVariant::Optimized;
+  const uint64_t J = Cols + (Optimized ? 2 : 0);
+  const uint64_t K = Deps + (Optimized ? 16 : 0);
+  const uint64_t Plane = J * K;
+  const uint64_t Cells = Rows * Plane;
+  const int64_t Elem = sizeof(float);
+  const int64_t PlaneBytes = static_cast<int64_t>(Plane) * Elem;
+  const int64_t RowBytes = static_cast<int64_t>(K) * Elem;
+
+  StaticAccessModel Model;
+  Model.SourceFile = "himenobmt.c";
+  Model.Complete = true;
+  Model.Allocations = {{"a[]", 4 * Cells * sizeof(float), true},
+                       {"b[]", 3 * Cells * sizeof(float), true},
+                       {"c[]", 3 * Cells * sizeof(float), true},
+                       {"p[]", Cells * sizeof(float), true},
+                       {"wrk1[]", Cells * sizeof(float), true},
+                       {"wrk2[]", Cells * sizeof(float), true},
+                       {"bnd[]", Cells * sizeof(float), true}};
+
+  // Interior sweep over the *unpadded* extents; strides use the padded
+  // plane and row pitches.
+  const std::vector<AccessLoopLevel> Sweep = {{Iterations, 0},
+                                              {Rows - 2, PlaneBytes},
+                                              {Cols - 2, RowBytes},
+                                              {Deps - 2, Elem}};
+  const uint64_t Start = static_cast<uint64_t>(PlaneBytes + RowBytes) +
+                         static_cast<uint64_t>(Elem);
+
+  auto Site = [&](const char *Array, uint32_t Line, bool Store,
+                  uint32_t Phase) {
+    AccessDescriptor D;
+    D.Array = Array;
+    D.Line = Line;
+    D.ElementBytes = sizeof(float);
+    D.StartOffset = Start;
+    D.IsStore = Store;
+    D.Phase = Phase;
+    D.Levels = Sweep;
+    return D;
+  };
+
+  // The 19 stencil loads of p, in program order (himenobmt.c:7): the
+  // di/dj/dk displacements of each Lp call relative to the centre cell.
+  AccessDescriptor LoadP = Site("p[]", 7, false, 0);
+  auto Pt = [&](int64_t Di, int64_t Dj, int64_t Dk) {
+    return Di * PlaneBytes + Dj * RowBytes + Dk * Elem;
+  };
+  LoadP.PointOffsetsBytes = {
+      Pt(1, 0, 0),  Pt(0, 1, 0),   Pt(0, 0, 1),  Pt(1, 1, 0),
+      Pt(1, -1, 0), Pt(-1, 1, 0),  Pt(-1, -1, 0), Pt(0, 1, 1),
+      Pt(0, -1, 1), Pt(0, 1, -1),  Pt(0, -1, -1), Pt(1, 0, 1),
+      Pt(-1, 0, 1), Pt(1, 0, -1),  Pt(-1, 0, -1), Pt(-1, 0, 0),
+      Pt(0, -1, 0), Pt(0, 0, -1),  Pt(0, 0, 0)};
+
+  // Only the first bank of each coefficient array is instrumented
+  // (a[0], b[0], c[0]); the other banks ride the same lines uncounted.
+  Model.Accesses = {LoadP,
+                    Site("a[]", 8, false, 0),
+                    Site("b[]", 11, false, 0),
+                    Site("c[]", 19, false, 0),
+                    Site("wrk1[]", 22, false, 0),
+                    Site("bnd[]", 23, false, 0),
+                    Site("wrk2[]", 25, true, 0),
+                    // wrk2 -> p copy, a separate program region.
+                    Site("wrk2[]", 41, false, 1),
+                    Site("p[]", 42, true, 1)};
+  return Model;
+}
+
 BinaryImage HimenoWorkload::makeBinary() const {
   LoopSpec KLoop;
   KLoop.HeaderLine = 6;

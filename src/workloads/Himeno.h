@@ -36,6 +36,7 @@ public:
   std::string hotLoopLocation() const override { return "himenobmt.c:6"; }
   double run(WorkloadVariant Variant, Trace *Recorder) const override;
   BinaryImage makeBinary() const override;
+  StaticAccessModel accessModel(WorkloadVariant Variant) const override;
 
 private:
   uint64_t Rows; ///< mimax (i extent).

@@ -99,6 +99,66 @@ double KripkeWorkload::run(WorkloadVariant Variant, Trace *Recorder) const {
   return runKripke(Groups, Directions, Zones, RowOrder, R);
 }
 
+StaticAccessModel KripkeWorkload::accessModel(WorkloadVariant Variant) const {
+  const int64_t Elem = sizeof(double);
+  const int64_t ZoneBytes = static_cast<int64_t>(Zones) * Elem;
+  const int64_t GroupBytes = static_cast<int64_t>(Directions) * ZoneBytes;
+
+  StaticAccessModel Model;
+  Model.SourceFile = "kernel.cpp";
+  Model.Complete = true;
+  Model.Allocations = {
+      {"psi[]", Groups * Directions * Zones * sizeof(double), true},
+      {"volume[]", Zones * sizeof(double), true},
+      {"w[]", Directions * sizeof(double), true}};
+
+  if (Variant == WorkloadVariant::Original) {
+    // Column order: the inner g walk strides by a whole group of psi.
+    AccessDescriptor Psi;
+    Psi.Array = "psi[]";
+    Psi.Line = 15;
+    Psi.ElementBytes = sizeof(double);
+    Psi.Levels = {{Zones, Elem}, {Directions, ZoneBytes}, {Groups, GroupBytes}};
+
+    AccessDescriptor Weight;
+    Weight.Array = "w[]";
+    Weight.Line = 13;
+    Weight.ElementBytes = sizeof(double);
+    Weight.Levels = {{Zones, 0}, {Directions, Elem}};
+
+    AccessDescriptor Volume;
+    Volume.Array = "volume[]";
+    Volume.Line = 11;
+    Volume.ElementBytes = sizeof(double);
+    Volume.Levels = {{Zones, Elem}};
+
+    Model.Accesses = {Psi, Weight, Volume};
+    return Model;
+  }
+
+  // Row order: psi contiguous in z, volume re-read per (g, d) row.
+  AccessDescriptor Psi;
+  Psi.Array = "psi[]";
+  Psi.Line = 35;
+  Psi.ElementBytes = sizeof(double);
+  Psi.Levels = {{Groups, GroupBytes}, {Directions, ZoneBytes}, {Zones, Elem}};
+
+  AccessDescriptor Volume;
+  Volume.Array = "volume[]";
+  Volume.Line = 36;
+  Volume.ElementBytes = sizeof(double);
+  Volume.Levels = {{Groups, 0}, {Directions, 0}, {Zones, Elem}};
+
+  AccessDescriptor Weight;
+  Weight.Array = "w[]";
+  Weight.Line = 33;
+  Weight.ElementBytes = sizeof(double);
+  Weight.Levels = {{Groups, 0}, {Directions, Elem}};
+
+  Model.Accesses = {Psi, Volume, Weight};
+  return Model;
+}
+
 BinaryImage KripkeWorkload::makeBinary() const {
   LoopSpec ColG;
   ColG.HeaderLine = 14;

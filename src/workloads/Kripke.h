@@ -35,6 +35,7 @@ public:
   std::string hotLoopLocation() const override { return "kernel.cpp:14"; }
   double run(WorkloadVariant Variant, Trace *Recorder) const override;
   BinaryImage makeBinary() const override;
+  StaticAccessModel accessModel(WorkloadVariant Variant) const override;
 
 private:
   uint64_t Groups;

@@ -37,6 +37,7 @@ public:
   std::string hotLoopLocation() const override { return "needle.cpp:189"; }
   double run(WorkloadVariant Variant, Trace *Recorder) const override;
   BinaryImage makeBinary() const override;
+  StaticAccessModel accessModel(WorkloadVariant Variant) const override;
 
   static constexpr uint64_t TileSize = 16;
 

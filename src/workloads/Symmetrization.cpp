@@ -79,6 +79,36 @@ double SymmetrizationWorkload::run(WorkloadVariant Variant,
   return runSymmetrization(N, Sweeps, Row, R);
 }
 
+StaticAccessModel
+SymmetrizationWorkload::accessModel(WorkloadVariant Variant) const {
+  const uint64_t Row = rowElems(Variant);
+  const int64_t RowBytes = static_cast<int64_t>(Row * sizeof(double));
+
+  StaticAccessModel Model;
+  Model.SourceFile = "symm.cpp";
+  Model.Complete = true;
+  Model.Allocations = {{"A[][]", N * Row * sizeof(double), true}};
+
+  // The three recorded sites of the sweep nest; co-phased, one access
+  // of each per inner iteration.
+  AccessDescriptor Upper;
+  Upper.Array = "A[][]";
+  Upper.Line = 13;
+  Upper.ElementBytes = sizeof(double);
+  Upper.Levels = {{Sweeps, 0}, {N, RowBytes}, {N, sizeof(double)}};
+
+  AccessDescriptor Lower = Upper;
+  Lower.Line = 14;
+  Lower.Levels = {{Sweeps, 0}, {N, sizeof(double)}, {N, RowBytes}};
+
+  AccessDescriptor Average = Upper;
+  Average.Line = 15;
+  Average.IsStore = true;
+
+  Model.Accesses = {Upper, Lower, Average};
+  return Model;
+}
+
 BinaryImage SymmetrizationWorkload::makeBinary() const {
   LoopSpec Inner;
   Inner.HeaderLine = 12;

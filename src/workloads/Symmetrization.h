@@ -34,6 +34,7 @@ public:
   std::string hotLoopLocation() const override { return "symm.cpp:12"; }
   double run(WorkloadVariant Variant, Trace *Recorder) const override;
   BinaryImage makeBinary() const override;
+  StaticAccessModel accessModel(WorkloadVariant Variant) const override;
 
   uint64_t dimension() const { return N; }
   /// Row length in doubles of the given variant (pad included).

@@ -90,6 +90,43 @@ double TinyDnnFcWorkload::run(WorkloadVariant Variant,
   return runFc(InSize, OutSize, Batches, WRow, R);
 }
 
+StaticAccessModel
+TinyDnnFcWorkload::accessModel(WorkloadVariant Variant) const {
+  const uint64_t WRow =
+      OutSize + (Variant == WorkloadVariant::Optimized ? 16 : 0);
+  const int64_t WRowBytes = static_cast<int64_t>(WRow * sizeof(float));
+
+  StaticAccessModel Model;
+  Model.SourceFile = "fully_connected.h";
+  Model.Complete = true;
+  Model.Allocations = {{"W[]", InSize * WRow * sizeof(float), true},
+                       {"in[]", InSize * sizeof(float), true},
+                       {"b[]", OutSize * sizeof(float), true},
+                       {"a[]", OutSize * sizeof(float), true}};
+
+  // W is walked down a column per output: the WRow-stride walk.
+  AccessDescriptor LoadW;
+  LoadW.Array = "W[]";
+  LoadW.Line = 22;
+  LoadW.ElementBytes = sizeof(float);
+  LoadW.Levels = {
+      {Batches, 0}, {OutSize, sizeof(float)}, {InSize, WRowBytes}};
+
+  AccessDescriptor LoadIn = LoadW;
+  LoadIn.Array = "in[]";
+  LoadIn.Levels = {{Batches, 0}, {OutSize, 0}, {InSize, sizeof(float)}};
+
+  AccessDescriptor StoreOut;
+  StoreOut.Array = "a[]";
+  StoreOut.Line = 23;
+  StoreOut.ElementBytes = sizeof(float);
+  StoreOut.IsStore = true;
+  StoreOut.Levels = {{Batches, 0}, {OutSize, sizeof(float)}};
+
+  Model.Accesses = {LoadW, LoadIn, StoreOut};
+  return Model;
+}
+
 BinaryImage TinyDnnFcWorkload::makeBinary() const {
   LoopSpec Inner;
   Inner.HeaderLine = 21;

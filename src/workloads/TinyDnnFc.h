@@ -38,6 +38,7 @@ public:
   }
   double run(WorkloadVariant Variant, Trace *Recorder) const override;
   BinaryImage makeBinary() const override;
+  StaticAccessModel accessModel(WorkloadVariant Variant) const override;
 
 private:
   uint64_t InSize;

@@ -20,6 +20,8 @@ using namespace ccprof;
 
 Workload::~Workload() = default;
 
+StaticAccessModel Workload::accessModel(WorkloadVariant) const { return {}; }
+
 std::vector<std::unique_ptr<Workload>> ccprof::makeCaseStudySuite() {
   std::vector<std::unique_ptr<Workload>> Suite;
   Suite.push_back(std::make_unique<NeedlemanWunschWorkload>());

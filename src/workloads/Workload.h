@@ -30,6 +30,7 @@
 #ifndef CCPROF_WORKLOADS_WORKLOAD_H
 #define CCPROF_WORKLOADS_WORKLOAD_H
 
+#include "analysis/AccessModel.h"
 #include "cfg/BinaryImage.h"
 #include "trace/Trace.h"
 
@@ -104,6 +105,12 @@ public:
 
   /// "file:line" of the paper-reported hot loop, when one exists.
   virtual std::string hotLoopLocation() const { return {}; }
+
+  /// Symbolic description of the variant's recorded accesses for the
+  /// static conflict analyzer (src/analysis): allocation sizes in
+  /// registration order plus per-site affine strides. The default is an
+  /// empty model — such workloads cannot be statically screened.
+  virtual StaticAccessModel accessModel(WorkloadVariant Variant) const;
 };
 
 /// The six case-study applications of paper Table 2/3 and Sec. 6:

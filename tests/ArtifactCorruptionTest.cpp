@@ -403,7 +403,13 @@ namespace {
 class StoreDirTest : public ::testing::Test {
 protected:
   void SetUp() override {
-    Dir = (fs::path(::testing::TempDir()) / "ccprof-corruption-store")
+    // One directory per test case: ctest runs the cases as parallel
+    // processes, and a shared path would let one case's SetUp wipe
+    // another's store mid-test.
+    const char *Case =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    Dir = (fs::path(::testing::TempDir()) /
+           (std::string("ccprof-corruption-store-") + Case))
               .string();
     fs::remove_all(Dir);
     fs::create_directories(Dir);
@@ -509,4 +515,39 @@ TEST_F(StoreDirTest, EmptyDirectoryListsCleanlyWithoutError) {
   std::string Error;
   EXPECT_TRUE(Store.list(&Error).empty());
   EXPECT_TRUE(Error.empty()) << Error;
+}
+
+TEST(ArtifactStoreCleanTest, CleanStaleTemporariesRemovesOnlyTemps) {
+  // Own directory: StoreDirTest cases share one fixture path and this
+  // test runs in parallel with them under ctest.
+  std::string Dir =
+      (fs::path(::testing::TempDir()) / "ccprof-clean-temps-store").string();
+  fs::remove_all(Dir);
+  fs::create_directories(Dir);
+  ArtifactStore Store(Dir);
+  std::string Error;
+  ProfileArtifact Good = makeRichArtifact();
+  ASSERT_FALSE(Store.save(Good, &Error).empty()) << Error;
+
+  // Two stranded atomic-write temporaries and one innocent bystander.
+  std::ofstream((fs::path(Dir) / "a.ccpa.tmp").string()) << "partial";
+  std::ofstream((fs::path(Dir) / "b.ccpa.tmp").string()) << "partial";
+  std::ofstream((fs::path(Dir) / "notes.txt").string()) << "keep me";
+
+  std::vector<std::string> Failed;
+  std::vector<std::string> Removed = Store.cleanStaleTemporaries(&Failed);
+  EXPECT_EQ(Removed.size(), 2u);
+  EXPECT_TRUE(Failed.empty());
+  for (const std::string &Path : Removed)
+    EXPECT_FALSE(fs::exists(Path)) << Path;
+  EXPECT_TRUE(fs::exists(fs::path(Dir) / "notes.txt"));
+  EXPECT_TRUE(Store.listStaleTemporaries().empty());
+  // The published artifact is untouched and the store validates clean.
+  ArtifactValidationReport Report = Store.validate(&Error);
+  EXPECT_TRUE(Report.ok());
+  EXPECT_EQ(Report.Checked, 1u);
+
+  // Idempotent: a second sweep removes nothing.
+  EXPECT_TRUE(Store.cleanStaleTemporaries().empty());
+  fs::remove_all(Dir);
 }

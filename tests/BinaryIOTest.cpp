@@ -40,7 +40,14 @@ std::string slurp(const std::string &Path) {
 class AtomicWriteTest : public ::testing::Test {
 protected:
   void SetUp() override {
-    Dir = (fs::path(::testing::TempDir()) / "ccprof-atomic-test").string();
+    // One directory per test case: ctest runs the cases as parallel
+    // processes, and a shared path would let one case's SetUp wipe
+    // another's files mid-test.
+    const char *Case =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    Dir = (fs::path(::testing::TempDir()) /
+           (std::string("ccprof-atomic-test-") + Case))
+              .string();
     fs::remove_all(Dir);
     fs::create_directories(Dir);
   }

@@ -1,0 +1,147 @@
+//===- tests/ConsistencyCheckerTest.cpp - Static vs measured join --------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// The consistency checker's job is to catch lying models: a measured
+// conflict in a loop the model covers with exact placement yet
+// predicts clean must surface as Contradicted. These tests build a
+// tiny synthetic kernel (one loop, one array), record its ground-truth
+// trace, and check the join against a truthful and a mis-stated model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ConsistencyChecker.h"
+#include "analysis/StaticConflictAnalyzer.h"
+#include "cfg/SyntheticCodeGen.h"
+#include "core/Profiler.h"
+#include "trace/Canonicalize.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+
+using namespace ccprof;
+
+constexpr uint64_t RowStride = 4096; // One full set stride: a worst walk.
+constexpr uint64_t Rows = 500;
+constexpr uint64_t Sweeps = 32;
+
+/// One function, one loop (header line 10, body line 11): the shape
+/// both the recorded sites and the model descriptors attach to. The
+/// image must outlive any ProgramStructure built over it.
+BinaryImage kernelImage() {
+  FunctionSpec F;
+  F.Name = "kernel";
+  F.StartLine = 9;
+  F.EndLine = 13;
+  F.Loops = {LoopSpec{10, 12, {11}, {}, {}}};
+  return lowerToBinary("sim.cpp", {F});
+}
+
+/// Ground truth: `Sweeps` column walks striding a whole set-stride, so
+/// every access of the recorded trace lands on one cache set.
+Trace recordColumnWalk() {
+  Trace T;
+  const uint64_t Base = uint64_t{1} << 30;
+  T.registerAllocation("col[]", reinterpret_cast<const char *>(Base),
+                       Rows * RowStride);
+  SiteId Site = T.site("sim.cpp", 11, "kernel");
+  for (uint64_t S = 0; S < Sweeps; ++S)
+    for (uint64_t R = 0; R < Rows; ++R)
+      T.recordLoad(Site, Base + R * RowStride, 8);
+  return T;
+}
+
+/// The model of the kernel; \p StrideBytes is what it *claims* the row
+/// stride is — pass RowStride for the truth, 64 for the lie.
+StaticAccessModel kernelModel(int64_t StrideBytes) {
+  StaticAccessModel Model;
+  Model.SourceFile = "sim.cpp";
+  Model.Complete = true;
+  Model.Allocations = {{"col[]", Rows * RowStride, true}};
+  AccessDescriptor D;
+  D.Array = "col[]";
+  D.Line = 11;
+  D.ElementBytes = 8;
+  D.Levels = {{Sweeps, 0}, {Rows, StrideBytes}};
+  Model.Accesses = {D};
+  return Model;
+}
+
+ConsistencyReport checkAgainstTruth(const StaticAccessModel &Model) {
+  BinaryImage Image = kernelImage();
+  ProgramStructure Structure(Image);
+  ProfileResult Measured =
+      Profiler().profileExact(canonicalizeTrace(recordColumnWalk()), Structure);
+  StaticAnalysisResult Static =
+      StaticConflictAnalyzer().analyze(Model, &Structure);
+  return ConsistencyChecker().check(Static, Measured);
+}
+
+/// A truthful model of a conflicting kernel: both sides flag the loop
+/// and the join confirms it.
+TEST(ConsistencyCheckerTest, TruthfulModelIsConfirmed) {
+  ConsistencyReport Report = checkAgainstTruth(kernelModel(RowStride));
+  EXPECT_TRUE(Report.consistent());
+  EXPECT_EQ(Report.Contradicted, 0u);
+  const LoopConsistency *Loop = Report.byLocation("sim.cpp:10");
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_EQ(Loop->Verdict, ConsistencyVerdict::ConfirmedConflict);
+  EXPECT_TRUE(Loop->HasStatic);
+  EXPECT_TRUE(Loop->HasMeasured);
+  EXPECT_GT(Loop->VictimSetAgreement, 0.99);
+}
+
+/// Acceptance criterion: a deliberately mis-modeled stride — the model
+/// claims the column walk is a contiguous 64-byte walk, which is
+/// provably clean — must be reported Contradicted, because the
+/// measurement shows the conflict under exact placement.
+TEST(ConsistencyCheckerTest, MisModeledStrideIsContradicted) {
+  ConsistencyReport Report = checkAgainstTruth(kernelModel(64));
+  EXPECT_FALSE(Report.consistent());
+  EXPECT_EQ(Report.Contradicted, 1u);
+  const LoopConsistency *Loop = Report.byLocation("sim.cpp:10");
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_EQ(Loop->Verdict, ConsistencyVerdict::Contradicted);
+  EXPECT_FALSE(Loop->StaticConflict);
+  EXPECT_TRUE(Loop->MeasuredConflict);
+}
+
+/// A measured conflict in a loop the model has no descriptors for is
+/// reduced evidence, not a contradiction.
+TEST(ConsistencyCheckerTest, UncoveredLoopIsMeasuredOnly) {
+  BinaryImage Image = kernelImage();
+  ProgramStructure Structure(Image);
+  ProfileResult Measured =
+      Profiler().profileExact(canonicalizeTrace(recordColumnWalk()), Structure);
+  StaticAccessModel Empty;
+  Empty.SourceFile = "sim.cpp";
+  StaticAnalysisResult Static =
+      StaticConflictAnalyzer().analyze(Empty, &Structure);
+  ConsistencyReport Report = ConsistencyChecker().check(Static, Measured);
+  const LoopConsistency *Loop = Report.byLocation("sim.cpp:10");
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_EQ(Loop->Verdict, ConsistencyVerdict::MeasuredOnly);
+  EXPECT_TRUE(Report.consistent());
+}
+
+/// The imbalance-bar rule both sides share: victims are sets whose
+/// misses exceed twice the mean over utilized sets.
+TEST(ConsistencyCheckerTest, VictimSetBarRule) {
+  ConsistencyChecker Checker;
+  EXPECT_TRUE(Checker.victimSetsFromMisses({}).empty());
+  EXPECT_TRUE(Checker.victimSetsFromMisses({0, 0, 0, 0}).empty());
+  // Balanced walk: every set at the mean, nobody above the bar.
+  EXPECT_TRUE(Checker.victimSetsFromMisses({10, 10, 10, 10}).empty());
+  // One set dominating: mean 32.5, bar 65, only set 0 above it.
+  EXPECT_EQ(Checker.victimSetsFromMisses({100, 10, 10, 10}),
+            std::vector<uint32_t>{0});
+  // Zero-miss sets do not dilute the mean: utilized sets are {50, 10},
+  // mean 30, bar 60 — nobody qualifies.
+  EXPECT_TRUE(Checker.victimSetsFromMisses({50, 0, 0, 10}).empty());
+}
+
+} // namespace

@@ -144,6 +144,46 @@ TEST(LoopNestTest, IrreducibleRegionDetected) {
   EXPECT_FALSE(Nest.loop(0).IsReducible);
 }
 
+TEST(LoopNestTest, IrreducibleBodyResolvesToOneHavlakLoop) {
+  // Two-entry cycle on distinct lines: B1 (line 20) <-> B2 (line 30),
+  // entered at both blocks. Havlak still forms exactly one loop; every
+  // block and line of the cycle must resolve to it, so code-centric
+  // attribution gives samples in an irreducible region one stable
+  // context instead of dropping them.
+  BinaryImage Image = buildFunction({
+      {10, InsnKind::CondBranch, 3}, // 0 B0 -> B2 / fall to B1
+      {20, InsnKind::Sequential},    // 1 B1
+      {21, InsnKind::Jump, 3},       // 2 B1 -> B2
+      {30, InsnKind::Sequential},    // 3 B2
+      {31, InsnKind::CondBranch, 1}, // 4 B2 -> B1 / fall
+      {40, InsnKind::Return},        // 5 B3
+  });
+  Cfg Graph = Cfg::build(Image, Image.functions()[0]);
+  LoopNest Nest = LoopNest::analyze(Graph);
+  ASSERT_EQ(Nest.numLoops(), 1u);
+  const LoopInfo &Loop = Nest.loop(0);
+  EXPECT_FALSE(Loop.IsReducible);
+  // Blocks: B0 entry, B1 {20,21}, B2 {30,31}, B3 return. The Havlak
+  // header is one of the two cycle blocks, and the loop's line span
+  // covers the whole cycle.
+  EXPECT_TRUE(Loop.Header == 1u || Loop.Header == 2u);
+  EXPECT_EQ(Loop.MinLine, 20u);
+  EXPECT_EQ(Loop.MaxLine, 31u);
+
+  std::optional<LoopId> AtB1 = Nest.innermostLoopOf(1);
+  std::optional<LoopId> AtB2 = Nest.innermostLoopOf(2);
+  ASSERT_TRUE(AtB1.has_value());
+  ASSERT_TRUE(AtB2.has_value());
+  EXPECT_EQ(*AtB1, Loop.Id);
+  EXPECT_EQ(*AtB2, Loop.Id);
+  for (uint32_t Line : {20u, 21u, 30u, 31u}) {
+    std::optional<LoopId> ForLine = Nest.innermostLoopForLine(Line);
+    ASSERT_TRUE(ForLine.has_value()) << "line " << Line;
+    EXPECT_EQ(*ForLine, Loop.Id) << "line " << Line;
+  }
+  EXPECT_FALSE(Nest.innermostLoopForLine(40).has_value());
+}
+
 TEST(LoopNestTest, InnermostLoopForLinePrefersDeepest) {
   BinaryImage Image = buildFunction({
       {10, InsnKind::Sequential},     // B0

@@ -92,6 +92,47 @@ TEST(PaddingAdvisorTest, FewRowsNeedNoFullCoverage) {
   EXPECT_EQ(A.SetsAfter, 4u);
 }
 
+TEST(PaddingAdvisorTest, ZeroStrideAndZeroRowsDegenerates) {
+  // RowStrideBytes == 0 (a degenerate "matrix" of coincident rows)
+  // touches exactly one set and has window coverage 1; zero rows touch
+  // nothing. Neither may divide by zero or loop forever.
+  CacheGeometry G = paperL1Geometry();
+  EXPECT_EQ(setsTouchedByColumnSweep(0, 64, G), 1u);
+  EXPECT_EQ(worstWindowSetCoverage(0, 64, G), 1u);
+  EXPECT_EQ(setsTouchedByColumnSweep(4096, 0, G), 0u);
+  EXPECT_EQ(setsTouchedByColumnSweep(0, 0, G), 0u);
+  // The smallest legal row (one element) is still advisable: its
+  // baseline coverage is the measured one, not a division artifact.
+  PaddingAdvice A = adviseRowPadding(8, 8, 64, G);
+  EXPECT_EQ(A.SetsBefore, worstWindowSetCoverage(8, 64, G));
+}
+
+TEST(PaddingAdvisorTest, SubLineStrideSharesLines) {
+  // A 16-byte row stride packs 4 rows per line: 64 rows span 16 lines
+  // = 16 sets, and a full set-sequence period (256 rows) still covers
+  // all 64 sets. Strides below the line size must not be rounded up.
+  CacheGeometry G = paperL1Geometry();
+  EXPECT_EQ(setsTouchedByColumnSweep(16, 64, G), 16u);
+  EXPECT_EQ(setsTouchedByColumnSweep(16, 256, G), 64u);
+  EXPECT_EQ(worstWindowSetCoverage(16, 64, G), 16u);
+}
+
+TEST(PaddingAdvisorTest, HugeTripCountsCostOnePeriod) {
+  // Trip counts far beyond numSets x ways reduce to one set-sequence
+  // period: the answers equal the one-period answers and return
+  // immediately instead of iterating 2^40 rows.
+  CacheGeometry G = paperL1Geometry();
+  const uint64_t Huge = uint64_t{1} << 40;
+  EXPECT_EQ(setsTouchedByColumnSweep(4096, Huge, G),
+            setsTouchedByColumnSweep(4096, 64, G));
+  EXPECT_EQ(setsTouchedByColumnSweep(2052, Huge, G), 64u);
+  EXPECT_EQ(worstWindowSetCoverage(2052, Huge, G),
+            worstWindowSetCoverage(2052, 4096, G));
+  PaddingAdvice A = adviseRowPadding(4096, 8, Huge, G);
+  EXPECT_EQ(A.SetsAfter, 64u);
+  EXPECT_TRUE(A.improves());
+}
+
 TEST(PaddingAdvisorTest, WorksForSkylakeL2Geometry) {
   // The analysis is geometry-generic: check a 4-way 256KiB L2
   // (1024 sets, 64KiB set stride).

@@ -626,3 +626,66 @@ TEST(CanonicalizeTest, IsIdempotent) {
   ASSERT_TRUE(Twice.writeTo(B));
   EXPECT_EQ(A.str(), B.str());
 }
+
+//===----------------------------------------------------------------------===//
+// Static screening
+//===----------------------------------------------------------------------===//
+
+TEST(StaticScreenTest, SkipsProvenCleanJobsAndKeepsRestByteIdentical) {
+  // Original variants conflict by construction, optimized Symmetrization
+  // and NW are statically proven clean under the canonical layout: the
+  // screened run must skip exactly those and leave every executed job's
+  // artifact byte-identical to the unscreened run.
+  BatchMatrix Matrix;
+  Matrix.Workloads = {"Symmetrization", "NW"};
+  Matrix.Variants = {WorkloadVariant::Original, WorkloadVariant::Optimized};
+  std::vector<JobSpec> Jobs = expandMatrix(Matrix);
+  ASSERT_EQ(Jobs.size(), 4u);
+
+  BatchExecOptions Plain;
+  Plain.Workers = 2;
+  std::vector<JobOutcome> Unscreened = runJobsShared(Jobs, Plain);
+
+  BatchExecOptions Screen = Plain;
+  Screen.StaticScreen = true;
+  SharedBatchStats Stats;
+  std::vector<JobOutcome> Screened =
+      runJobsShared(Jobs, Screen, 0, nullptr, nullptr, &Stats);
+
+  ASSERT_EQ(Screened.size(), Unscreened.size());
+  uint64_t Skipped = 0;
+  for (size_t I = 0; I < Screened.size(); ++I) {
+    ASSERT_TRUE(Screened[I].ok()) << Screened[I].Error;
+    ASSERT_TRUE(Unscreened[I].ok()) << Unscreened[I].Error;
+    if (Screened[I].Skipped) {
+      ++Skipped;
+      EXPECT_EQ(Jobs[I].Variant, WorkloadVariant::Optimized)
+          << Jobs[I].key() << " skipped but not an optimized variant";
+      continue;
+    }
+    EXPECT_EQ(serialize(Screened[I].Artifact),
+              serialize(Unscreened[I].Artifact))
+        << Jobs[I].key() << " changed bytes under --static-screen";
+  }
+  EXPECT_EQ(Skipped, 2u);
+  EXPECT_EQ(Stats.StaticSkipped, 2u);
+}
+
+TEST(StaticScreenTest, NeverSkipsOriginalVariants) {
+  // Every case-study original must survive screening — a screen that
+  // skips a known-conflicting configuration would be unsound.
+  BatchMatrix Matrix;
+  Matrix.Workloads = defaultBatchWorkloads();
+  std::vector<JobSpec> Jobs = expandMatrix(Matrix);
+  BatchExecOptions Screen;
+  Screen.Workers = 4;
+  Screen.StaticScreen = true;
+  SharedBatchStats Stats;
+  std::vector<JobOutcome> Outcomes =
+      runJobsShared(Jobs, Screen, 0, nullptr, nullptr, &Stats);
+  for (const JobOutcome &Outcome : Outcomes) {
+    EXPECT_TRUE(Outcome.ok()) << Outcome.Error;
+    EXPECT_FALSE(Outcome.Skipped) << Outcome.Job.key();
+  }
+  EXPECT_EQ(Stats.StaticSkipped, 0u);
+}

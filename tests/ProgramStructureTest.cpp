@@ -110,3 +110,46 @@ TEST(ProgramStructureTest, LoopRefOrdering) {
   EXPECT_LT(B, C);
   EXPECT_EQ(A, (LoopRef{0, 1}));
 }
+
+TEST(ProgramStructureTest, IrreducibleRegionAttributesToHavlakHeader) {
+  // lowerToBinary can only emit reducible loops, so hand-assemble a
+  // two-entry cycle B1 (line 20) <-> B2 (line 30). Samples on any line
+  // of the cycle must attribute to the same loop, and the loop's
+  // "file:headerLine" name is derived from the Havlak-chosen header —
+  // the stable context measured and static reports join on.
+  BinaryImage Image("irr.cpp");
+  Image.beginFunction("tangle");
+  uint64_t Base = Image.nextAddr();
+  auto Emit = [&](uint32_t Line, InsnKind Kind, size_t TargetIndex) {
+    Instruction Insn;
+    Insn.Line = Line;
+    Insn.Kind = Kind;
+    Insn.Target = Base + TargetIndex * BinaryImage::InsnSize;
+    Image.appendInstruction(Insn);
+  };
+  Emit(10, InsnKind::CondBranch, 3); // B0 -> B2 / fall to B1
+  Emit(20, InsnKind::Sequential, 0); // B1
+  Emit(21, InsnKind::Jump, 3);       // B1 -> B2
+  Emit(30, InsnKind::Sequential, 0); // B2
+  Emit(31, InsnKind::CondBranch, 1); // B2 -> B1 / fall
+  Emit(40, InsnKind::Return, 0);     // B3
+  Image.endFunction();
+
+  ProgramStructure S(Image);
+  ASSERT_EQ(S.numLoops(), 1u);
+
+  std::optional<LoopRef> First;
+  for (uint32_t Line : {20u, 21u, 30u, 31u}) {
+    std::optional<LoopRef> Ref = S.innermostLoopForLine(Line);
+    ASSERT_TRUE(Ref.has_value()) << "line " << Line;
+    if (!First)
+      First = Ref;
+    EXPECT_EQ(*Ref, *First) << "line " << Line;
+  }
+  uint32_t Header = S.headerLine(*First);
+  EXPECT_TRUE(Header == 20u || Header == 30u)
+      << "header line " << Header << " must be a cycle block";
+  EXPECT_EQ(S.describeLoop(*First), "irr.cpp:" + std::to_string(Header));
+  EXPECT_EQ(S.depth(*First), 1u);
+  EXPECT_FALSE(S.innermostLoopForLine(40).has_value());
+}

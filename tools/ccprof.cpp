@@ -16,6 +16,8 @@
 //   ccprof compare <workload> [profile options]
 //   ccprof trace <workload> <file> [--optimized]
 //   ccprof analyze <file> <workload> [profile options]
+//   ccprof analyze <workload> [--optimized] [--threshold N] [--json]
+//                  [--artifact FILE]         (static prediction, no trace)
 //
 // plus the batch-profiling pipeline over persistent artifacts:
 //
@@ -29,6 +31,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "analysis/ConsistencyChecker.h"
+#include "analysis/StaticConflictAnalyzer.h"
 #include "core/Profiler.h"
 #include "core/Report.h"
 #include "pipeline/ArtifactStore.h"
@@ -38,6 +42,7 @@
 #include "support/Table.h"
 #include "workloads/Workload.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <filesystem>
@@ -61,6 +66,12 @@ void printUsage(std::ostream &Out) {
          "  compare <workload>        profile original and optimized builds\n"
          "  trace <workload> <file>   record a memory trace to a file\n"
          "  analyze <file> <workload> profile a previously recorded trace\n"
+         "  analyze <workload>        predict conflicts statically from the\n"
+         "                            workload's access model (no trace, no\n"
+         "                            simulation); --artifact FILE cross-"
+         "checks\n"
+         "                            the prediction against a measured "
+         "profile\n"
          "  batch <workloads|all>     run a job matrix, write one artifact "
          "per job\n"
          "  merge <artifact|dir...>   aggregate artifacts of repeated runs\n"
@@ -108,6 +119,23 @@ void printUsage(std::ostream &Out) {
          "  --shards K                force K set shards per simulation "
          "(default:\n"
          "                            one per granted thread)\n"
+         "  --static-screen           skip simulating L1 jobs whose "
+         "(workload,\n"
+         "                            variant) the static analyzer proves\n"
+         "                            conflict-free; non-skipped artifacts "
+         "are\n"
+         "                            byte-identical to an unscreened run\n"
+         "\n"
+         "analyze (static) options:\n"
+         "  --optimized               analyze the padded/reordered build\n"
+         "  --threshold N             short-RCD threshold (default 8)\n"
+         "  --json                    emit the prediction as JSON\n"
+         "  --artifact FILE           cross-check against a stored profile\n"
+         "\n"
+         "validate options:\n"
+         "  --clean-temps             delete stale .ccpa.tmp leftovers "
+         "instead\n"
+         "                            of only reporting them\n"
          "\n"
          "merge/diff options:\n"
          "  --out FILE                write the merged artifact here\n"
@@ -330,6 +358,215 @@ int commandAnalyze(const std::string &Path, const std::string &Name,
 }
 
 //===----------------------------------------------------------------------===//
+// Static analysis command
+//===----------------------------------------------------------------------===//
+
+std::string joinSets(const std::vector<uint32_t> &Sets, size_t MaxShown = 8) {
+  std::string Out;
+  for (size_t I = 0; I < Sets.size() && I < MaxShown; ++I) {
+    if (I)
+      Out += ',';
+    Out += std::to_string(Sets[I]);
+  }
+  if (Sets.size() > MaxShown)
+    Out += ",+" + std::to_string(Sets.size() - MaxShown);
+  return Out;
+}
+
+void emitStaticText(const StaticAnalysisResult &Result,
+                    const std::string &Name) {
+  std::cout << "=== " << Name << ": static conflict prediction ===\n"
+            << "geometry: " << Result.Geometry.sizeBytes() / 1024 << "KiB/"
+            << Result.Geometry.lineBytes() << "B/"
+            << Result.Geometry.associativity() << "-way, "
+            << Result.Geometry.numSets() << " sets; model "
+            << (Result.ModelComplete ? "complete" : "partial") << ", "
+            << Result.TotalAccesses << " modeled access(es), "
+            << Result.PredictedMisses << " predicted miss(es)\n";
+  TextTable Table({"loop", "accesses", "pred_misses", "cold", "victims",
+                   "cf", "median_rcd", "p_conflict", "verdict"});
+  for (const LoopPrediction &Loop : Result.Loops) {
+    std::string Verdict = Loop.ConflictPredicted ? "conflict" : "clean";
+    if (Loop.Truncated)
+      Verdict += "*";
+    Table.addRow(
+        {Loop.Location, std::to_string(Loop.Accesses),
+         std::to_string(Loop.PredictedConflictMisses +
+                        Loop.PredictedColdMisses),
+         std::to_string(Loop.PredictedColdMisses),
+         Loop.VictimSets.empty()
+             ? "-"
+             : std::to_string(Loop.VictimSets.size()) + " (" +
+                   joinSets(Loop.VictimSets) + ")",
+         fmt::fixed(Loop.PredictedContributionFactor, 4),
+         fmt::fixed(Loop.PredictedMedianRcd, 1),
+         fmt::fixed(Loop.ConflictProbability, 4), Verdict});
+  }
+  std::cout << Table.render();
+  std::cout << "static verdict: "
+            << (Result.conflictFree() ? "conflict-free"
+                                      : "conflicts predicted")
+            << '\n';
+}
+
+void emitStaticJson(const StaticAnalysisResult &Result,
+                    const std::string &Name,
+                    const ConsistencyReport *Consistency) {
+  std::ostream &Out = std::cout;
+  Out << "{\n  \"workload\": \"" << Name << "\",\n"
+      << "  \"model_complete\": "
+      << (Result.ModelComplete ? "true" : "false") << ",\n"
+      << "  \"conflict_free\": "
+      << (Result.conflictFree() ? "true" : "false") << ",\n"
+      << "  \"total_accesses\": " << Result.TotalAccesses << ",\n"
+      << "  \"predicted_misses\": " << Result.PredictedMisses << ",\n"
+      << "  \"loops\": [\n";
+  for (size_t I = 0; I < Result.Loops.size(); ++I) {
+    const LoopPrediction &Loop = Result.Loops[I];
+    Out << "    {\"loop\": \"" << Loop.Location << "\", \"accesses\": "
+        << Loop.Accesses << ", \"predicted_conflict_misses\": "
+        << Loop.PredictedConflictMisses << ", \"predicted_cold_misses\": "
+        << Loop.PredictedColdMisses << ", \"victim_sets\": ["
+        << joinSets(Loop.VictimSets, Loop.VictimSets.size())
+        << "], \"contribution_factor\": "
+        << fmt::fixed(Loop.PredictedContributionFactor, 6)
+        << ", \"median_rcd\": " << fmt::fixed(Loop.PredictedMedianRcd, 1)
+        << ", \"p_conflict\": " << fmt::fixed(Loop.ConflictProbability, 6)
+        << ", \"conflict\": " << (Loop.ConflictPredicted ? "true" : "false")
+        << ", \"exact_placement\": "
+        << (Loop.ExactPlacement ? "true" : "false") << ", \"truncated\": "
+        << (Loop.Truncated ? "true" : "false") << "}"
+        << (I + 1 < Result.Loops.size() ? "," : "") << '\n';
+  }
+  Out << "  ]";
+  if (Consistency) {
+    Out << ",\n  \"consistency\": {\n    \"consistent\": "
+        << (Consistency->consistent() ? "true" : "false")
+        << ",\n    \"confirmed\": " << Consistency->Confirmed
+        << ", \"static_only\": " << Consistency->StaticOnly
+        << ", \"measured_only\": " << Consistency->MeasuredOnly
+        << ", \"contradicted\": " << Consistency->Contradicted
+        << ",\n    \"loops\": [\n";
+    for (size_t I = 0; I < Consistency->Loops.size(); ++I) {
+      const LoopConsistency &Loop = Consistency->Loops[I];
+      Out << "      {\"loop\": \"" << Loop.Location << "\", \"verdict\": \""
+          << consistencyVerdictName(Loop.Verdict)
+          << "\", \"victim_agreement\": "
+          << fmt::fixed(Loop.VictimSetAgreement, 4) << "}"
+          << (I + 1 < Consistency->Loops.size() ? "," : "") << '\n';
+    }
+    Out << "    ]\n  }";
+  }
+  Out << "\n}\n";
+}
+
+void emitConsistencyText(const ConsistencyReport &Report) {
+  std::cout << "=== static vs measured consistency ===\n";
+  TextTable Table({"loop", "static", "measured", "victim_agreement",
+                   "verdict", "note"});
+  for (const LoopConsistency &Loop : Report.Loops)
+    Table.addRow({Loop.Location,
+                  Loop.HasStatic
+                      ? (Loop.StaticConflict ? "conflict" : "clean")
+                      : "-",
+                  Loop.HasMeasured
+                      ? (Loop.MeasuredConflict ? "conflict" : "clean")
+                      : "-",
+                  fmt::fixed(Loop.VictimSetAgreement, 2),
+                  consistencyVerdictName(Loop.Verdict), Loop.Note});
+  std::cout << Table.render();
+  std::cout << "consistency: " << Report.Confirmed << " confirmed, "
+            << Report.StaticOnly << " static-only, " << Report.MeasuredOnly
+            << " measured-only, " << Report.Contradicted
+            << " contradicted\n";
+  if (!Report.consistent())
+    std::cout << "warning: measurement contradicts the access model under "
+                 "exact placement — the model mis-states a stride, trip "
+                 "count, or allocation\n";
+}
+
+int commandStaticAnalyze(const std::string &Name,
+                         const std::vector<std::string> &Args) {
+  bool Optimized = false, Json = false;
+  uint64_t Threshold = ConflictClassifier::DefaultRcdThreshold;
+  std::string ArtifactPath;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    if (Arg == "--optimized") {
+      Optimized = true;
+    } else if (Arg == "--json") {
+      Json = true;
+    } else if (Arg == "--threshold" || Arg == "--artifact") {
+      if (I + 1 >= Args.size()) {
+        std::cerr << "error: missing value for " << Arg << '\n';
+        return 1;
+      }
+      const std::string Value = Args[++I];
+      if (Arg == "--artifact") {
+        ArtifactPath = Value;
+      } else {
+        long Parsed = std::atol(Value.c_str());
+        if (Parsed <= 0) {
+          std::cerr << "error: --threshold must be a positive integer\n";
+          return 1;
+        }
+        Threshold = static_cast<uint64_t>(Parsed);
+      }
+    } else {
+      std::cerr << "error: unknown analyze option '" << Arg << "'\n";
+      return 1;
+    }
+  }
+
+  std::unique_ptr<Workload> W = makeWorkloadByName(Name);
+  if (!W) {
+    std::cerr << "error: unknown workload '" << Name
+              << "' (try: ccprof list)\n";
+    return 1;
+  }
+  const WorkloadVariant Variant =
+      Optimized ? WorkloadVariant::Optimized : WorkloadVariant::Original;
+  StaticAccessModel Model = W->accessModel(Variant);
+  if (Model.empty()) {
+    std::cerr << "error: workload '" << Name
+              << "' declares no static access model\n";
+    return 1;
+  }
+
+  BinaryImage Image = W->makeBinary();
+  ProgramStructure Structure(Image);
+  StaticConflictAnalyzer::Options Opts;
+  Opts.RcdThreshold = Threshold;
+  StaticAnalysisResult Result =
+      StaticConflictAnalyzer(Opts).analyze(Model, &Structure);
+
+  ConsistencyReport Consistency;
+  bool HaveConsistency = false;
+  if (!ArtifactPath.empty()) {
+    ProfileArtifact Artifact;
+    std::string Error;
+    if (!ProfileArtifact::loadFromFile(ArtifactPath, Artifact, &Error)) {
+      std::cerr << "error: " << Error << '\n';
+      return 1;
+    }
+    Consistency = ConsistencyChecker().check(Result, Artifact.Result);
+    HaveConsistency = true;
+  }
+
+  if (Json) {
+    emitStaticJson(Result, W->name(),
+                   HaveConsistency ? &Consistency : nullptr);
+  } else {
+    emitStaticText(Result, W->name());
+    if (HaveConsistency) {
+      std::cout << '\n';
+      emitConsistencyText(Consistency);
+    }
+  }
+  return HaveConsistency && !Consistency.consistent() ? 2 : 0;
+}
+
+//===----------------------------------------------------------------------===//
 // Batch pipeline commands
 //===----------------------------------------------------------------------===//
 
@@ -356,6 +593,8 @@ struct BatchCliOptions {
   unsigned SimThreads = 0;
   /// Forced set-shard count per simulation; 0 = one per granted thread.
   unsigned Shards = 0;
+  /// Skip L1 jobs the static analyzer proves conflict-free.
+  bool StaticScreen = false;
   bool Ok = true;
 };
 
@@ -489,6 +728,8 @@ BatchCliOptions parseBatchOptions(const std::vector<std::string> &Args) {
       std::string Value = NextValue();
       if (Options.Ok)
         ParsePositive(Value, "--shards", Options.Shards);
+    } else if (Arg == "--static-screen") {
+      Options.StaticScreen = true;
     } else {
       Fail("unknown batch option '" + Arg + "'");
     }
@@ -501,6 +742,11 @@ int commandBatch(const std::string &Selection,
   BatchCliOptions Options = parseBatchOptions(Args);
   if (!Options.Ok)
     return 1;
+  if (Options.StaticScreen && !Options.Reuse) {
+    std::cerr << "error: --static-screen requires the shared-trace engine "
+                 "(drop --no-reuse)\n";
+    return 1;
+  }
 
   if (Selection == "all") {
     Options.Matrix.Workloads = defaultBatchWorkloads();
@@ -541,7 +787,10 @@ int commandBatch(const std::string &Selection,
             << '\n';
 
   auto Progress = [&](const JobOutcome &Outcome, size_t Done) {
-    if (Outcome.ok())
+    if (Outcome.Skipped)
+      std::cout << "  [" << Done << "/" << Jobs.size() << "] skipped "
+                << Outcome.Job.key() << " (statically conflict-free)\n";
+    else if (Outcome.ok())
       std::cout << "  [" << Done << "/" << Jobs.size() << "] "
                 << Outcome.Job.key() << '\n';
     else
@@ -558,6 +807,7 @@ int commandBatch(const std::string &Selection,
     Exec.Workers = Options.Jobs;
     Exec.SimThreads = Options.SimThreads;
     Exec.Shards = Options.Shards;
+    Exec.StaticScreen = Options.StaticScreen;
     Outcomes = runJobsShared(Jobs, Exec, Timestamp, Progress, &StreamCache,
                              &Shared);
   } else {
@@ -566,7 +816,12 @@ int commandBatch(const std::string &Selection,
 
   // Persist sequentially in job order: output listing and directory
   // contents are deterministic regardless of completion order.
+  size_t Skipped = 0;
   for (const JobOutcome &Outcome : Outcomes) {
+    if (Outcome.Skipped) {
+      ++Skipped;
+      continue;
+    }
     if (!Outcome.ok()) {
       ++Failures;
       continue;
@@ -585,6 +840,9 @@ int commandBatch(const std::string &Selection,
     if (Shared.ShardCacheReuses)
       std::cout << "; shard caches reused " << Shared.ShardCacheReuses
                 << " time(s)";
+    if (Options.StaticScreen)
+      std::cout << "; static screen skipped " << Shared.StaticSkipped
+                << " job(s)";
     std::cout << '\n';
     if (!S.Entries.empty()) {
       TextTable Streams({"stream", "hits", "events", "resident"});
@@ -595,8 +853,10 @@ int commandBatch(const std::string &Selection,
     }
   }
 
-  std::cout << "batch: wrote " << (Outcomes.size() - Failures)
+  std::cout << "batch: wrote " << (Outcomes.size() - Failures - Skipped)
             << " artifact(s)";
+  if (Skipped)
+    std::cout << ", " << Skipped << " job(s) skipped";
   if (Failures)
     std::cout << ", " << Failures << " job(s) failed";
   std::cout << '\n';
@@ -756,8 +1016,21 @@ int commandShow(const std::string &PathArg) {
 }
 
 int commandValidate(const std::vector<std::string> &Args) {
-  size_t Checked = 0, Corrupt = 0, Stale = 0;
+  size_t Checked = 0, Corrupt = 0, Stale = 0, Cleaned = 0;
+  bool CleanTemps = false;
+  std::vector<std::string> Paths;
   for (const std::string &Arg : Args) {
+    if (Arg == "--clean-temps")
+      CleanTemps = true;
+    else
+      Paths.push_back(Arg);
+  }
+  if (Paths.empty()) {
+    std::cerr << "error: validate needs at least one artifact or "
+                 "directory path\n";
+    return 1;
+  }
+  for (const std::string &Arg : Paths) {
     std::error_code Ec;
     if (std::filesystem::is_directory(Arg, Ec)) {
       ArtifactStore Store(Arg);
@@ -772,10 +1045,22 @@ int commandValidate(const std::vector<std::string> &Args) {
       Stale += Report.StaleTemporaries.size();
       for (const ArtifactValidationIssue &Issue : Report.Issues)
         std::cout << "FAIL " << Issue.Path << ": " << Issue.Reason << '\n';
-      for (const std::string &Temp : Report.StaleTemporaries)
-        std::cout << "stale " << Temp
-                  << ": leftover temp from an interrupted save (safe to "
-                     "delete; never published)\n";
+      if (CleanTemps) {
+        std::vector<std::string> Failed;
+        std::vector<std::string> Removed =
+            Store.cleanStaleTemporaries(&Failed);
+        Cleaned += Removed.size();
+        for (const std::string &Temp : Removed)
+          std::cout << "cleaned " << Temp << '\n';
+        for (const std::string &Failure : Failed)
+          std::cout << "FAIL cleaning " << Failure << '\n';
+        Corrupt += Failed.size();
+      } else {
+        for (const std::string &Temp : Report.StaleTemporaries)
+          std::cout << "stale " << Temp
+                    << ": leftover temp from an interrupted save (safe to "
+                       "delete; rerun with --clean-temps to remove)\n";
+      }
       continue;
     }
     ++Checked;
@@ -795,9 +1080,12 @@ int commandValidate(const std::vector<std::string> &Args) {
     }
   }
   std::cout << "validate: " << Checked << " artifact(s), "
-            << (Checked - Corrupt) << " ok, " << Corrupt << " corrupt";
+            << (Checked - std::min(Checked, Corrupt)) << " ok, " << Corrupt
+            << " corrupt";
   if (Stale)
     std::cout << ", " << Stale << " stale temp(s)";
+  if (Cleaned)
+    std::cout << " (" << Cleaned << " cleaned)";
   std::cout << '\n';
   return Corrupt == 0 ? 0 : 1;
 }
@@ -863,6 +1151,14 @@ int main(int Argc, char **Argv) {
     }
     return commandValidate(
         std::vector<std::string>(Args.begin() + 1, Args.end()));
+  }
+
+  if (Command == "analyze" && Args.size() >= 2 &&
+      (Args.size() < 3 || Args[2].rfind("--", 0) == 0)) {
+    // Static form: "analyze <workload> [--flags]". The trace-replay form
+    // below keeps its two positional arguments (file, then workload).
+    return commandStaticAnalyze(
+        Args[1], std::vector<std::string>(Args.begin() + 2, Args.end()));
   }
 
   if (Command == "trace" || Command == "analyze") {
