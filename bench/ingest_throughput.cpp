@@ -1,0 +1,277 @@
+//===- bench/ingest_throughput.cpp - ccprofd ingest throughput ------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the profile-ingest service's sustained throughput on one
+// box, two ways:
+//
+//   store   ServiceStore::put driven directly — the content-hash +
+//           atomic-persist + rolling-merge core with no queue in the
+//           way.
+//   daemon  the full Ccprofd path: in-process submit -> bounded queue
+//           -> worker threads -> store + regression monitor, i.e.
+//           exactly what a socket upload pays after the read().
+//
+// Every ingested artifact is distinct (fresh content, so nothing
+// dedups away) and every put updates the rolling aggregate, so the
+// measured rate is the *worst-case* persisted-ingest rate. The gate is
+// >= 1000 ingests/sec on the store path; results land in
+// BENCH_ingest.json for CI to archive.
+//
+// While it is at it, the harness re-ingests the same artifact family
+// in shuffled orders and at several worker counts and asserts the
+// rolling aggregate file is byte-identical every time — the
+// determinism property the merge canonicalization guarantees.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/Ccprofd.h"
+#include "service/ServiceStore.h"
+#include "support/Table.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <numeric>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace ccprof;
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr unsigned StoreIngests = 2000;
+constexpr unsigned DaemonIngests = 1000;
+constexpr double GateIngestsPerSec = 1000.0;
+
+using Clock = std::chrono::steady_clock;
+
+/// One synthetic profile run: merge-compatible with its siblings,
+/// distinct content per repeat index.
+ProfileArtifact makeRun(uint32_t Repeat) {
+  ProfileArtifact A;
+  A.Provenance.Job.WorkloadName = "IngestBench";
+  A.Provenance.Job.Repeat = Repeat;
+  A.Provenance.Job.Seed = 7000 + Repeat;
+  A.Result.TraceRefs = 100000;
+  A.Result.L1Misses = 20000;
+  A.Result.Samples = 1000 + Repeat;
+  A.Result.L1MissRatio = 0.2;
+  A.Result.NumSets = 64;
+  A.Result.RcdThreshold = 8;
+  LoopConflictReport Loop;
+  Loop.Location = "bench.cpp:7";
+  Loop.Samples = 1000 + Repeat;
+  Loop.MissContribution = 1.0;
+  Loop.ContributionFactor = 0.1;
+  Loop.Significant = true;
+  Loop.PerSetMisses.assign(64, 1);
+  A.Result.Loops.push_back(std::move(Loop));
+  return A;
+}
+
+std::string serialize(const ProfileArtifact &A) {
+  std::stringstream Stream;
+  A.writeTo(Stream);
+  return Stream.str();
+}
+
+struct Scratch {
+  fs::path Path;
+  explicit Scratch(const std::string &Tag)
+      : Path(fs::temp_directory_path() /
+             ("ccprof-ingest-bench-" + Tag + "-" +
+              std::to_string(::getpid()))) {
+    fs::remove_all(Path);
+    fs::create_directories(Path);
+  }
+  ~Scratch() {
+    std::error_code Ec;
+    fs::remove_all(Path, Ec);
+  }
+};
+
+std::string aggregateBytes(const ServiceStore &Store) {
+  std::vector<std::string> Keys = Store.aggregateKeys();
+  if (Keys.size() != 1)
+    return {};
+  std::ifstream In(fs::path(Store.aggregatesDirectory()) /
+                       (Keys[0] + ArtifactExtension),
+                   std::ios::binary);
+  std::ostringstream Out;
+  Out << In.rdbuf();
+  return Out.str();
+}
+
+} // namespace
+
+int main() {
+  std::cout << "=== ccprofd ingest throughput ===\n"
+            << "(every artifact distinct; every put persists the object "
+               "AND the rolling aggregate)\n\n";
+
+  // Pre-serialize the payloads: the wire bytes exist before the server
+  // sees them, so serialization is client-side cost, not ingest cost.
+  std::vector<ProfileArtifact> Runs;
+  std::vector<std::string> Payloads;
+  for (uint32_t I = 0; I < StoreIngests; ++I) {
+    Runs.push_back(makeRun(I));
+    Payloads.push_back(serialize(Runs.back()));
+  }
+
+  TextTable Table({"path", "ingests", "wall time (s)", "ingests/sec"});
+
+  // --- Store path: put() back to back, no queue. ---
+  double StoreRate = 0.0;
+  {
+    Scratch Dir("store");
+    ServiceStore Store(Dir.Path.string());
+    std::string Error;
+    if (!Store.open(&Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return 1;
+    }
+    Clock::time_point Start = Clock::now();
+    for (uint32_t I = 0; I < StoreIngests; ++I) {
+      ServicePutResult Put = Store.put(Runs[I], Payloads[I]);
+      if (!Put.Ok || !Put.Fresh) {
+        std::cerr << "error: put " << I << " failed: " << Put.Error << "\n";
+        return 1;
+      }
+    }
+    double Secs = std::chrono::duration<double>(Clock::now() - Start).count();
+    StoreRate = StoreIngests / Secs;
+    Table.addRow({"store", std::to_string(StoreIngests),
+                  fmt::fixed(Secs, 3), fmt::fixed(StoreRate, 1)});
+  }
+
+  // --- Daemon path: submit -> queue -> workers -> store + monitor. ---
+  double DaemonRate = 0.0;
+  {
+    Scratch Dir("daemon");
+    ServiceConfig Config;
+    Config.StoreDir = (Dir.Path / "store").string();
+    Config.Workers = 2;
+    Config.QueueCapacity = 128;
+    Ccprofd Daemon(Config);
+    std::string Error;
+    if (!Daemon.start(&Error)) {
+      std::cerr << "error: " << Error << "\n";
+      return 1;
+    }
+    Clock::time_point Start = Clock::now();
+    for (uint32_t I = 0; I < DaemonIngests; ++I) {
+      IngestRequest Request;
+      Request.Name = "IngestBench";
+      Request.Client = "bench";
+      Request.Bytes = Payloads[I];
+      Request.Source = "bench";
+      if (!Daemon.submit(std::move(Request))) {
+        std::cerr << "error: submit " << I << " refused\n";
+        return 1;
+      }
+    }
+    while (Daemon.processed() < DaemonIngests)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    double Secs = std::chrono::duration<double>(Clock::now() - Start).count();
+    Daemon.stop();
+    if (Daemon.store().stats().Objects != DaemonIngests) {
+      std::cerr << "error: daemon lost ingests ("
+                << Daemon.store().stats().Objects << " of " << DaemonIngests
+                << ")\n";
+      return 1;
+    }
+    DaemonRate = DaemonIngests / Secs;
+    Table.addRow({"daemon", std::to_string(DaemonIngests),
+                  fmt::fixed(Secs, 3), fmt::fixed(DaemonRate, 1)});
+  }
+
+  std::cout << Table;
+
+  // --- Aggregate determinism: shuffled orders x worker counts. ---
+  std::cout << "\n=== Aggregate byte-identity across ingest orders ===\n";
+  constexpr unsigned FamilySize = 64;
+  std::string Reference;
+  bool Deterministic = true;
+  unsigned Trials = 0;
+  for (unsigned WorkerCount : {1u, 4u}) {
+    for (unsigned Shuffle = 0; Shuffle < 2; ++Shuffle, ++Trials) {
+      std::vector<size_t> Order(FamilySize);
+      std::iota(Order.begin(), Order.end(), 0);
+      std::mt19937 Rng(Trials + 1);
+      std::shuffle(Order.begin(), Order.end(), Rng);
+
+      Scratch Dir("order-" + std::to_string(Trials));
+      ServiceConfig Config;
+      Config.StoreDir = Dir.Path.string();
+      Config.Workers = WorkerCount;
+      Ccprofd Daemon(Config);
+      std::string Error;
+      if (!Daemon.start(&Error)) {
+        std::cerr << "error: " << Error << "\n";
+        return 1;
+      }
+      for (size_t I : Order) {
+        IngestRequest Request;
+        Request.Name = "IngestBench";
+        Request.Client = "bench";
+        Request.Bytes = Payloads[I];
+        Daemon.submit(std::move(Request));
+      }
+      while (Daemon.processed() < FamilySize)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      Daemon.stop();
+
+      std::string Bytes = aggregateBytes(Daemon.store());
+      if (Bytes.empty()) {
+        std::cerr << "error: trial " << Trials << " produced no aggregate\n";
+        return 1;
+      }
+      if (Reference.empty())
+        Reference = Bytes;
+      const bool Same = Bytes == Reference;
+      Deterministic = Deterministic && Same;
+      std::cout << "  workers=" << WorkerCount << " shuffle=" << Shuffle
+                << ": " << (Same ? "identical" : "DIVERGED") << "\n";
+    }
+  }
+
+  // --- Machine-readable result for CI. ---
+  {
+    std::ofstream Json("BENCH_ingest.json");
+    Json << "{\"bench\":\"ingest_throughput\","
+         << "\"store_ingests\":" << StoreIngests << ","
+         << "\"store_ingests_per_sec\":" << StoreRate << ","
+         << "\"daemon_ingests\":" << DaemonIngests << ","
+         << "\"daemon_ingests_per_sec\":" << DaemonRate << ","
+         << "\"gate_ingests_per_sec\":" << GateIngestsPerSec << ","
+         << "\"aggregate_deterministic\":"
+         << (Deterministic ? "true" : "false") << "}\n";
+  }
+  std::cout << "\nresults -> BENCH_ingest.json\n";
+
+  if (!Deterministic) {
+    std::cerr << "error: aggregate bytes diverged across ingest orders\n";
+    return 1;
+  }
+  if (StoreRate < GateIngestsPerSec) {
+    std::cerr << "error: store ingest rate " << StoreRate
+              << "/sec is below the " << GateIngestsPerSec << "/sec gate\n";
+    return 1;
+  }
+  std::cout << "gate: store path sustains >= " << GateIngestsPerSec
+            << " ingests/sec: PASS\n";
+  return 0;
+}

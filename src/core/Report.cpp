@@ -7,6 +7,7 @@
 
 #include "core/Report.h"
 
+#include "support/Json.h"
 #include "support/Table.h"
 
 #include <sstream>
@@ -47,6 +48,45 @@ std::string ccprof::renderProfileReport(const ProfileResult &Result,
     Out << "  guidance: consider padding the dominant structure's rows "
            "or transposing the loop's access order.\n";
   }
+  return Out.str();
+}
+
+std::string ccprof::renderProfileReportJson(const ProfileResult &Result,
+                                            const std::string &ProgramName) {
+  std::ostringstream Out;
+  Out << "{\n  \"program\": " << json::quote(ProgramName)
+      << ",\n  \"trace_refs\": " << Result.TraceRefs
+      << ",\n  \"l1_misses\": " << Result.L1Misses
+      << ",\n  \"l1_miss_ratio\": " << json::number(Result.L1MissRatio)
+      << ",\n  \"samples\": " << Result.Samples
+      << ",\n  \"num_sets\": " << Result.NumSets
+      << ",\n  \"rcd_threshold\": " << Result.RcdThreshold
+      << ",\n  \"loops\": [\n";
+  for (size_t I = 0; I < Result.Loops.size(); ++I) {
+    const LoopConflictReport &Loop = Result.Loops[I];
+    Out << "    {\"loop\": " << json::quote(Loop.Location)
+        << ", \"samples\": " << Loop.Samples
+        << ", \"miss_contribution\": " << json::number(Loop.MissContribution)
+        << ", \"sets_utilized\": " << Loop.SetsUtilized
+        << ", \"contribution_factor\": "
+        << json::number(Loop.ContributionFactor)
+        << ", \"median_rcd\": " << Loop.MedianRcd
+        << ", \"p_conflict\": " << json::number(Loop.ConflictProbability)
+        << ", \"significant\": " << (Loop.Significant ? "true" : "false")
+        << ", \"conflict\": " << (Loop.ConflictPredicted ? "true" : "false");
+    if (!Loop.DataStructures.empty()) {
+      Out << ", \"data_structures\": [";
+      for (size_t D = 0; D < Loop.DataStructures.size(); ++D) {
+        const DataStructureReport &Data = Loop.DataStructures[D];
+        Out << (D ? ", " : "") << "{\"name\": " << json::quote(Data.Name)
+            << ", \"samples\": " << Data.Samples
+            << ", \"share\": " << json::number(Data.Share) << "}";
+      }
+      Out << "]";
+    }
+    Out << "}" << (I + 1 < Result.Loops.size() ? "," : "") << '\n';
+  }
+  Out << "  ]\n}\n";
   return Out.str();
 }
 

@@ -28,6 +28,14 @@ namespace ccprof {
 std::string renderProfileReport(const ProfileResult &Result,
                                 const std::string &ProgramName);
 
+/// Machine-readable rendering of \p Result as a JSON object: the run
+/// summary plus one entry per loop (location, samples, contribution
+/// factor, median RCD, conflict probability, verdict, data-structure
+/// attribution). The structured twin of renderProfileReport, consumed
+/// by `ccprof show --json`, service alerting, and CI.
+std::string renderProfileReportJson(const ProfileResult &Result,
+                                    const std::string &ProgramName);
+
 /// Table 4-style rendering: location, miss contribution, sets utilized.
 std::string renderLoopTable(const ProfileResult &Result);
 

@@ -10,6 +10,7 @@
 #include "trace/BinaryIO.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
@@ -47,48 +48,93 @@ std::string ArtifactStore::save(const ProfileArtifact &Artifact,
 
 namespace {
 
-/// Shared by list/listStaleTemporaries: regular files under \p Dir
-/// whose name ends with \p Suffix, sorted.
-std::vector<std::string> listBySuffix(const std::string &Dir,
-                                      const std::string &Suffix,
-                                      std::string *Error) {
-  std::vector<std::string> Paths;
+/// True when \p Name ends with \p Suffix (and is longer than it).
+bool hasSuffix(const std::string &Name, const std::string &Suffix) {
+  return Name.size() > Suffix.size() &&
+         Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) ==
+             0;
+}
+
+/// Shared by listEntries/listStaleTemporaries: entries under \p Dir
+/// whose name ends with \p Suffix, sorted by path. An entry that
+/// cannot be examined (stat failure, dangling symlink) is reported
+/// with its diagnostic rather than skipped.
+std::vector<ArtifactListEntry> listEntriesBySuffix(const std::string &Dir,
+                                                   const std::string &Suffix,
+                                                   std::string *Error) {
+  std::vector<ArtifactListEntry> Entries;
   std::error_code Ec;
   fs::directory_iterator It(Dir, Ec);
   if (Ec) {
     if (Error)
       *Error = "cannot list artifact directory " + Dir + ": " + Ec.message();
-    return Paths;
+    return Entries;
   }
   for (const fs::directory_entry &Entry : It) {
     const std::string Name = Entry.path().filename().string();
-    if (Entry.is_regular_file() && Name.size() > Suffix.size() &&
-        Name.compare(Name.size() - Suffix.size(), Suffix.size(), Suffix) == 0)
-      Paths.push_back(Entry.path().string());
+    if (!hasSuffix(Name, Suffix))
+      continue;
+    std::error_code StatEc;
+    const bool Regular = Entry.is_regular_file(StatEc);
+    if (StatEc)
+      Entries.push_back(
+          {Entry.path().string(), "cannot examine: " + StatEc.message()});
+    else if (Regular)
+      Entries.push_back({Entry.path().string(), ""});
   }
-  std::sort(Paths.begin(), Paths.end());
-  return Paths;
+  std::sort(Entries.begin(), Entries.end(),
+            [](const ArtifactListEntry &A, const ArtifactListEntry &B) {
+              return A.Path < B.Path;
+            });
+  return Entries;
 }
 
 } // namespace
 
-std::vector<std::string> ArtifactStore::list(std::string *Error) const {
+std::vector<ArtifactListEntry>
+ArtifactStore::listEntries(std::string *Error) const {
   // Match the extension against the full name, not path::extension():
   // "x.ccpa.tmp" must stay invisible here and show up as a stale temp.
-  return listBySuffix(Directory, ArtifactExtension, Error);
+  return listEntriesBySuffix(Directory, ArtifactExtension, Error);
+}
+
+std::vector<std::string> ArtifactStore::list(std::string *Error) const {
+  std::vector<std::string> Paths;
+  for (ArtifactListEntry &Entry : listEntries(Error))
+    if (Entry.ok())
+      Paths.push_back(std::move(Entry.Path));
+  return Paths;
 }
 
 std::vector<std::string> ArtifactStore::listStaleTemporaries() const {
-  return listBySuffix(
-      Directory, std::string(ArtifactExtension) + bio::AtomicTempSuffix,
-      nullptr);
+  std::vector<std::string> Paths;
+  for (ArtifactListEntry &Entry : listEntriesBySuffix(
+           Directory, std::string(ArtifactExtension) + bio::AtomicTempSuffix,
+           nullptr))
+    if (Entry.ok())
+      Paths.push_back(std::move(Entry.Path));
+  return Paths;
 }
 
 std::vector<std::string>
-ArtifactStore::cleanStaleTemporaries(std::vector<std::string> *Failed) {
+ArtifactStore::cleanStaleTemporaries(std::vector<std::string> *Failed,
+                                     unsigned MinAgeSeconds) {
   std::vector<std::string> Removed;
   for (const std::string &Path : listStaleTemporaries()) {
     std::error_code Ec;
+    if (MinAgeSeconds > 0) {
+      // The age gate: a temp younger than the gate may belong to a
+      // writer that is mid-save right now — leave it for a later
+      // sweep. fs::file_time_type and the wall clock share an epoch
+      // offset we avoid depending on by comparing against the
+      // filesystem clock's own now().
+      const fs::file_time_type Mtime = fs::last_write_time(Path, Ec);
+      if (Ec)
+        continue; // Vanished (writer renamed or removed it) — clean.
+      const auto Age = fs::file_time_type::clock::now() - Mtime;
+      if (Age < std::chrono::seconds(MinAgeSeconds))
+        continue;
+    }
     if (fs::remove(Path, Ec)) {
       Removed.push_back(Path);
     } else if (Ec) {
@@ -104,14 +150,21 @@ ArtifactStore::cleanStaleTemporaries(std::vector<std::string> *Failed) {
 ArtifactValidationReport ArtifactStore::validate(std::string *Error) const {
   ArtifactValidationReport Report;
   std::string ListError;
-  std::vector<std::string> Paths = list(&ListError);
+  std::vector<ArtifactListEntry> Entries = listEntries(&ListError);
   if (!ListError.empty()) {
     if (Error)
       *Error = ListError;
     return Report;
   }
-  for (const std::string &Path : Paths) {
+  for (const ArtifactListEntry &Entry : Entries) {
     ++Report.Checked;
+    // An entry the listing itself could not examine is as corrupt as a
+    // failed decode from the consumer's point of view.
+    if (!Entry.ok()) {
+      Report.Issues.push_back({Entry.Path, Entry.Error});
+      continue;
+    }
+    const std::string &Path = Entry.Path;
     // readFrom rather than loadFromFile: the issue row already carries
     // the path, so the reason should not repeat it.
     std::ifstream In(Path, std::ios::binary);

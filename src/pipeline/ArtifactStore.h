@@ -34,6 +34,19 @@ struct ArtifactValidationIssue {
   std::string Reason;
 };
 
+/// One directory entry seen by ArtifactStore::listEntries: the path
+/// plus, when the entry could not even be examined (stat failure,
+/// dangling symlink), the OS diagnostic. Entries with a non-empty
+/// Error are exactly the files list() cannot vouch for — surfaced
+/// here instead of silently skipped, so incremental consumers and
+/// /stats reporting stay honest about what they did not read.
+struct ArtifactListEntry {
+  std::string Path;
+  std::string Error;
+
+  bool ok() const { return Error.empty(); }
+};
+
 /// Result of sweeping a store through the artifact loader.
 struct ArtifactValidationReport {
   /// Artifact files examined.
@@ -68,20 +81,41 @@ public:
   /// listing is deterministic across filesystems. A missing or
   /// unreadable directory reports through \p Error (when non-null) and
   /// returns empty — distinguishable from a genuinely empty store,
-  /// whose \p Error stays untouched.
+  /// whose \p Error stays untouched. Entries that cannot be examined
+  /// (see listEntries) are excluded; callers that must account for
+  /// them use listEntries directly.
   std::vector<std::string> list(std::string *Error = nullptr) const;
+
+  /// Every artifact-suffixed entry in the store, sorted by path, with
+  /// per-entry examination errors surfaced instead of skipped: a
+  /// dangling symlink or stat failure produces an entry whose Error
+  /// holds the OS diagnostic rather than disappearing from the
+  /// listing. \p Error reports a directory-level listing failure.
+  std::vector<ArtifactListEntry>
+  listEntries(std::string *Error = nullptr) const;
 
   /// Leftover atomic-write temporaries (".ccpa.tmp"), sorted; evidence
   /// of an interrupted save.
   std::vector<std::string> listStaleTemporaries() const;
 
-  /// Deletes every stale temporary and returns the paths removed.
-  /// Temporaries that vanish concurrently are skipped; a temporary that
-  /// exists but cannot be removed lands in \p Failed (when non-null)
-  /// with the OS diagnostic appended. The engine behind
-  /// `ccprof validate --clean-temps`.
+  /// Temporaries younger than this are presumed owned by a live writer
+  /// and are never reaped by cleanStaleTemporaries' default.
+  static constexpr unsigned DefaultTempReapAgeSeconds = 60;
+
+  /// Deletes stale temporaries at least \p MinAgeSeconds old and
+  /// returns the paths removed. The age gate is what makes reaping
+  /// safe under concurrency: a daemon worker's in-flight ".ccpa.tmp"
+  /// is brand new, so a concurrent `validate --clean-temps` (or the
+  /// service's own periodic sweep) leaves it alone, while genuinely
+  /// orphaned temps from a crashed writer age past the gate and get
+  /// collected. Pass 0 to reap unconditionally (single-writer
+  /// offline cleanup). Temporaries that vanish concurrently are
+  /// skipped; a temporary that exists but cannot be removed lands in
+  /// \p Failed (when non-null) with the OS diagnostic appended. The
+  /// engine behind `ccprof validate --clean-temps`.
   std::vector<std::string>
-  cleanStaleTemporaries(std::vector<std::string> *Failed = nullptr);
+  cleanStaleTemporaries(std::vector<std::string> *Failed = nullptr,
+                        unsigned MinAgeSeconds = DefaultTempReapAgeSeconds);
 
   /// Loads every artifact in the store, collecting loader rejections
   /// and stale temporaries. \p Error reports a listing failure (the

@@ -7,6 +7,7 @@
 
 #include "pipeline/Diff.h"
 
+#include "support/Json.h"
 #include "support/Table.h"
 
 #include <algorithm>
@@ -95,6 +96,55 @@ DiffResult ccprof::diffArtifacts(const ProfileArtifact &A,
                      return isChanged(X.Change) > isChanged(Y.Change);
                    });
   return Result;
+}
+
+const char *ccprof::loopChangeId(LoopChange Change) {
+  switch (Change) {
+  case LoopChange::Unchanged:
+    return "unchanged";
+  case LoopChange::CfDrift:
+    return "cf_drift";
+  case LoopChange::BecameConflict:
+    return "became_conflict";
+  case LoopChange::BecameClean:
+    return "became_clean";
+  case LoopChange::OnlyInA:
+    return "only_in_a";
+  case LoopChange::OnlyInB:
+    return "only_in_b";
+  }
+  return "unknown";
+}
+
+std::string ccprof::renderDiffJson(const DiffResult &Diff,
+                                   const std::string &NameA,
+                                   const std::string &NameB) {
+  std::string Out = "{\n  \"a\": " + json::quote(NameA) +
+                    ",\n  \"b\": " + json::quote(NameB) +
+                    ",\n  \"changed\": " + std::to_string(Diff.Changed) +
+                    ",\n  \"regressions\": " +
+                    std::to_string(Diff.Regressions) + ",\n  \"loops\": [\n";
+  for (size_t I = 0; I < Diff.Loops.size(); ++I) {
+    const LoopDiff &Row = Diff.Loops[I];
+    const bool InA = Row.Change != LoopChange::OnlyInB;
+    const bool InB = Row.Change != LoopChange::OnlyInA;
+    Out += "    {\"loop\": " + json::quote(Row.Location) +
+           ", \"change\": " + json::quote(loopChangeId(Row.Change));
+    if (InA)
+      Out += ", \"cf_a\": " + json::number(Row.CfA) +
+             ", \"miss_contribution_a\": " +
+             json::number(Row.MissContributionA) +
+             ", \"conflict_a\": " + (Row.ConflictA ? "true" : "false");
+    if (InB)
+      Out += ", \"cf_b\": " + json::number(Row.CfB) +
+             ", \"miss_contribution_b\": " +
+             json::number(Row.MissContributionB) +
+             ", \"conflict_b\": " + (Row.ConflictB ? "true" : "false");
+    Out += "}";
+    Out += I + 1 < Diff.Loops.size() ? ",\n" : "\n";
+  }
+  Out += "  ]\n}\n";
+  return Out;
 }
 
 std::string ccprof::renderDiff(const DiffResult &Diff,

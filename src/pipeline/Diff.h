@@ -69,6 +69,17 @@ DiffResult diffArtifacts(const ProfileArtifact &A, const ProfileArtifact &B,
 std::string renderDiff(const DiffResult &Diff, const std::string &NameA,
                        const std::string &NameB);
 
+/// Short machine-stable identifier of \p Change, e.g. "became_conflict"
+/// — shared by the JSON rendering and service alert records.
+const char *loopChangeId(LoopChange Change);
+
+/// Machine-readable rendering of \p Diff as a JSON object: summary
+/// counts plus one entry per paired loop. The structured twin of
+/// renderDiff, consumed by `ccprof diff --json`, service alerting,
+/// and CI gates.
+std::string renderDiffJson(const DiffResult &Diff, const std::string &NameA,
+                           const std::string &NameB);
+
 } // namespace ccprof
 
 #endif // CCPROF_PIPELINE_DIFF_H

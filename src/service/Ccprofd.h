@@ -1,0 +1,169 @@
+//===- service/Ccprofd.h - Profile-ingest daemon ---------------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ccprofd: the daemonized profile-ingest service behind
+/// `ccprof serve`. It accepts .ccpa capsules (and raw .cctr traces,
+/// which it profiles on arrival) from two ingress surfaces — a
+/// Unix-domain-socket line protocol and a watched drop directory —
+/// pushes them through a bounded IngestQueue into worker threads, and
+/// lands every upload in a content-addressed ServiceStore that
+/// maintains rolling per-group aggregates and a fleet-level
+/// RegressionMonitor. Duplicate uploads (client retries, watcher
+/// re-scans) dedup by content hash, so delivery is at-least-once safe
+/// end to end.
+///
+/// Socket protocol (line-oriented, one request per line):
+///
+///   PUT <client> <ccpa|cctr> <name> <nbytes>\n<payload>
+///       -> "OK queued\n" once the payload is in the queue (the write
+///          blocks while the queue is full — backpressure reaches the
+///          client), or "ERR <why>\n".
+///   STATS\n  -> one line of JSON (queue depth, ingests/sec, dedup
+///               hits, per-client accounting, recent alerts).
+///   PING\n   -> "PONG\n".
+///
+/// Drop directory: files named *.ccpa or *.cctr are claimed by rename,
+/// ingested, and removed; the claim-by-rename makes concurrent
+/// watchers (or a watcher racing the producer) safe, and a full queue
+/// simply defers the file to the next poll. For traces the filename
+/// stem names the workload to profile against.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SERVICE_CCPROFD_H
+#define CCPROF_SERVICE_CCPROFD_H
+
+#include "service/IngestQueue.h"
+#include "service/RegressionMonitor.h"
+#include "service/ServiceStore.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ccprof {
+
+/// Everything `ccprof serve` configures.
+struct ServiceConfig {
+  /// Root of the ServiceStore (objects/ + aggregates/ live under it).
+  std::string StoreDir = "ccprofd-store";
+  /// Unix-domain socket path; empty disables the socket surface.
+  std::string SocketPath;
+  /// Drop directory to watch; empty disables the watcher.
+  std::string WatchDir;
+  unsigned Workers = 1;
+  size_t QueueCapacity = 64;
+  /// Drop-directory poll interval.
+  unsigned PollMs = 200;
+  /// Drain the drop directory once and exit (CI smoke mode); the
+  /// socket surface stays off.
+  bool Once = false;
+  RegressionMonitorConfig Monitor;
+};
+
+/// Per-client accounting, keyed by the client label uploads carry.
+struct ClientStats {
+  uint64_t Received = 0;
+  uint64_t Bytes = 0;
+  uint64_t Deduped = 0;
+  uint64_t Errors = 0;
+  uint64_t Alerts = 0;
+};
+
+/// The daemon. Lifecycle: construct -> start() -> stop() (or
+/// runOnce() for the drain-and-exit mode). One instance owns the
+/// store, the monitor, the queue, and every service thread.
+class Ccprofd {
+public:
+  explicit Ccprofd(ServiceConfig Config);
+  ~Ccprofd();
+
+  Ccprofd(const Ccprofd &) = delete;
+  Ccprofd &operator=(const Ccprofd &) = delete;
+
+  /// Opens the store and starts workers plus the configured ingress
+  /// surfaces. \returns false with \p Error set when the store or
+  /// socket cannot be set up.
+  bool start(std::string *Error);
+
+  /// Drains the queue, stops every thread, removes the socket file.
+  /// Idempotent.
+  void stop();
+
+  /// The --once mode: open the store, ingest the drop directory's
+  /// current contents (and anything submitted in-process), and return
+  /// once the queue is drained. No socket, no watcher thread.
+  bool runOnce(std::string *Error);
+
+  /// In-process ingress (the test and bench surface): blocks while the
+  /// queue is full. \returns false once the daemon is stopping.
+  bool submit(IngestRequest Request);
+
+  /// One line of JSON: uptime, queue, store, monitor, and per-client
+  /// counters plus the most recent alerts.
+  std::string statsJson() const;
+
+  /// Alerts raised since start, oldest first (capped by the monitor's
+  /// retention).
+  std::vector<RegressionAlert> recentAlerts(size_t Max = 32) const;
+
+  /// Invoked (from worker threads, serialized) for every alert the
+  /// monitor raises — the daemon's log hook. Set before start().
+  void setAlertSink(std::function<void(const RegressionAlert &)> Sink);
+
+  ServiceStore &store() { return Store; }
+  RegressionMonitor &monitor() { return Monitor; }
+  const ServiceConfig &config() const { return Config; }
+
+  /// Requests processed to completion (success or error) since start.
+  uint64_t processed() const { return Processed.load(); }
+
+private:
+  void workerLoop();
+  void watcherLoop();
+  void listenerLoop();
+  /// Scans the drop directory once; \returns files enqueued and, via
+  /// \p DeferredOut, how many a full queue deferred to the next poll.
+  size_t scanDropDirOnce(size_t *DeferredOut = nullptr);
+  void processRequest(const IngestRequest &Request);
+  void handleConnection(int Fd);
+  void noteClient(const std::string &Client, size_t Bytes, bool Dedup,
+                  bool Error, size_t Alerts);
+
+  ServiceConfig Config;
+  ServiceStore Store;
+  RegressionMonitor Monitor;
+  IngestQueue Queue;
+
+  std::atomic<bool> Stopping{false};
+  std::atomic<bool> Started{false};
+  std::atomic<uint64_t> Processed{0};
+  std::atomic<uint64_t> IngestErrors{0};
+  std::chrono::steady_clock::time_point StartTime;
+
+  std::vector<std::thread> WorkerThreads;
+  std::thread WatcherThread;
+  std::thread ListenerThread;
+  int ListenFd = -1;
+
+  mutable std::mutex ClientMutex;
+  std::map<std::string, ClientStats> Clients;
+
+  std::function<void(const RegressionAlert &)> AlertSink;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_SERVICE_CCPROFD_H

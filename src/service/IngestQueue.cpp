@@ -1,0 +1,87 @@
+//===- service/IngestQueue.cpp - Bounded ingest work queue ---------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/IngestQueue.h"
+
+#include <algorithm>
+
+using namespace ccprof;
+
+IngestQueue::IngestQueue(size_t Capacity)
+    : Capacity(std::max<size_t>(1, Capacity)) {}
+
+bool IngestQueue::push(IngestRequest Req) {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  if (Items.size() >= Capacity && !Closed)
+    ++Stalls;
+  NotFull.wait(Lock, [this] { return Items.size() < Capacity || Closed; });
+  if (Closed)
+    return false;
+  Items.push_back(std::move(Req));
+  ++Enqueued;
+  PeakDepth = std::max<uint64_t>(PeakDepth, Items.size());
+  NotEmpty.notify_one();
+  return true;
+}
+
+bool IngestQueue::tryPush(IngestRequest Req) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Closed || Items.size() >= Capacity) {
+    ++Rejected;
+    return false;
+  }
+  Items.push_back(std::move(Req));
+  ++Enqueued;
+  PeakDepth = std::max<uint64_t>(PeakDepth, Items.size());
+  NotEmpty.notify_one();
+  return true;
+}
+
+std::optional<IngestRequest> IngestQueue::pop() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  NotEmpty.wait(Lock, [this] { return !Items.empty() || Closed; });
+  if (Items.empty())
+    return std::nullopt;
+  IngestRequest Req = std::move(Items.front());
+  Items.pop_front();
+  ++Dequeued;
+  NotFull.notify_one();
+  if (Items.empty())
+    Drained.notify_all();
+  return Req;
+}
+
+void IngestQueue::close() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Closed = true;
+  NotFull.notify_all();
+  NotEmpty.notify_all();
+  Drained.notify_all();
+}
+
+void IngestQueue::waitDrained() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Drained.wait(Lock, [this] { return Items.empty(); });
+}
+
+size_t IngestQueue::depth() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Items.size();
+}
+
+IngestQueueStats IngestQueue::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  IngestQueueStats S;
+  S.Enqueued = Enqueued;
+  S.Dequeued = Dequeued;
+  S.Rejected = Rejected;
+  S.Stalls = Stalls;
+  S.PeakDepth = PeakDepth;
+  S.Depth = Items.size();
+  S.Capacity = Capacity;
+  return S;
+}

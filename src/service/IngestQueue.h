@@ -1,0 +1,113 @@
+//===- service/IngestQueue.h - Bounded ingest work queue -------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bounded multi-producer / multi-consumer queue between ccprofd's
+/// ingress surfaces (socket listener, drop-directory watcher, the
+/// in-process submit API) and its worker threads. Capacity is the
+/// backpressure mechanism: push() blocks the producer while the queue
+/// is full — a socket client streaming uploads simply stalls until
+/// workers catch up — while tryPush() refuses instead, for ingress
+/// paths (the watcher) that would rather retry on the next poll than
+/// pin a thread. Every transition is counted, so /stats can report
+/// queue depth, peak depth, and how often backpressure engaged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SERVICE_INGESTQUEUE_H
+#define CCPROF_SERVICE_INGESTQUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace ccprof {
+
+/// What an upload claims to be. Artifact payloads are .ccpa capsules;
+/// trace payloads are .cctr recordings the daemon profiles on arrival.
+enum class IngestKind { Artifact, Trace };
+
+/// One queued upload: the raw payload plus the attribution the ingress
+/// surface captured.
+struct IngestRequest {
+  IngestKind Kind = IngestKind::Artifact;
+  /// Workload name for traces (the daemon needs the program structure
+  /// to profile against); free-form label for artifacts.
+  std::string Name;
+  /// Per-client accounting key ("ci-runner-7", "socket:anon", ...).
+  std::string Client;
+  /// The upload's bytes, exactly as received.
+  std::string Bytes;
+  /// Where the payload came from (file path or "socket") — diagnostics
+  /// only, never interpreted.
+  std::string Source;
+};
+
+/// Counters of one queue's lifetime, all monotonic except Depth.
+struct IngestQueueStats {
+  uint64_t Enqueued = 0;
+  uint64_t Dequeued = 0;
+  /// tryPush refusals — how often backpressure turned work away.
+  uint64_t Rejected = 0;
+  /// push() calls that had to wait for space at least once.
+  uint64_t Stalls = 0;
+  uint64_t PeakDepth = 0;
+  uint64_t Depth = 0;
+  uint64_t Capacity = 0;
+};
+
+/// Bounded MPMC queue of IngestRequests. All methods are thread-safe.
+class IngestQueue {
+public:
+  /// \p Capacity bounds queued requests (clamped to >= 1).
+  explicit IngestQueue(size_t Capacity);
+
+  /// Enqueues \p Req, blocking while the queue is full. \returns false
+  /// (dropping the request) only when the queue is closed.
+  bool push(IngestRequest Req);
+
+  /// Enqueues \p Req if space is free right now; a full or closed
+  /// queue refuses and counts a rejection.
+  bool tryPush(IngestRequest Req);
+
+  /// Dequeues the oldest request, blocking while the queue is empty.
+  /// \returns nullopt once the queue is closed and drained — the
+  /// worker's signal to exit.
+  std::optional<IngestRequest> pop();
+
+  /// Wakes every blocked producer and consumer; subsequent pushes
+  /// fail, pops drain what remains.
+  void close();
+
+  /// Blocks until the queue is empty (requests may still be *being
+  /// processed*; emptiness only means nothing is waiting).
+  void waitDrained();
+
+  size_t depth() const;
+  IngestQueueStats stats() const;
+
+private:
+  mutable std::mutex Mutex;
+  std::condition_variable NotFull;
+  std::condition_variable NotEmpty;
+  std::condition_variable Drained;
+  std::deque<IngestRequest> Items;
+  size_t Capacity;
+  bool Closed = false;
+  uint64_t Enqueued = 0;
+  uint64_t Dequeued = 0;
+  uint64_t Rejected = 0;
+  uint64_t Stalls = 0;
+  uint64_t PeakDepth = 0;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_SERVICE_INGESTQUEUE_H

@@ -1,0 +1,165 @@
+//===- service/RegressionMonitor.cpp - Fleet regression detection --------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/RegressionMonitor.h"
+
+#include "pipeline/Diff.h"
+#include "pipeline/Merge.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <sstream>
+
+using namespace ccprof;
+
+std::string ccprof::baselineKeyOf(const JobSpec &Job) {
+  std::ostringstream Key;
+  Key << Job.WorkloadName << '|' << levelName(Job.Level) << '|'
+      << mappingName(Job.Mapping) << '|' << samplerName(Job.Sampler) << "|p"
+      << Job.MeanPeriod << "|t" << Job.RcdThreshold;
+  if (Job.Exact)
+    Key << "|exact";
+  return Key.str();
+}
+
+const char *ccprof::alertKindId(AlertKind Kind) {
+  switch (Kind) {
+  case AlertKind::NewConflictLoop:
+    return "new_conflict_loop";
+  case AlertKind::MissRatioDegraded:
+    return "miss_ratio_degraded";
+  }
+  return "unknown";
+}
+
+std::string ccprof::renderAlertJson(const RegressionAlert &Alert) {
+  std::ostringstream Out;
+  Out << "{\"kind\":" << json::quote(alertKindId(Alert.Kind))
+      << ",\"seq\":" << Alert.Sequence
+      << ",\"baseline\":" << json::quote(Alert.BaselineKey)
+      << ",\"client\":" << json::quote(Alert.Client)
+      << ",\"job\":" << json::quote(Alert.JobKey);
+  if (!Alert.Location.empty())
+    Out << ",\"loop\":" << json::quote(Alert.Location);
+  Out << ",\"before\":" << json::number(Alert.Before)
+      << ",\"after\":" << json::number(Alert.After)
+      << ",\"detail\":" << json::quote(Alert.Detail) << "}";
+  return Out.str();
+}
+
+RegressionMonitor::RegressionMonitor(RegressionMonitorConfig ConfigIn)
+    : Config(ConfigIn) {}
+
+std::vector<RegressionAlert>
+RegressionMonitor::observe(const ProfileArtifact &Incoming,
+                           const std::string &Client) {
+  const std::string Key = baselineKeyOf(Incoming.Provenance.Job);
+  const std::string JobKey = Incoming.Provenance.Job.key();
+
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Observations;
+
+  auto It = BaselineByKey.find(Key);
+  if (It == BaselineByKey.end()) {
+    // First sighting of this lineage: nothing to compare against yet.
+    BaselineByKey.emplace(Key, Incoming);
+    ++BaselineUpdates;
+    return {};
+  }
+  const ProfileArtifact &Baseline = It->second;
+
+  std::vector<RegressionAlert> Alerts;
+  auto raise = [&](AlertKind Kind, const std::string &Location, double Before,
+                   double After, std::string Detail) {
+    RegressionAlert Alert;
+    Alert.Kind = Kind;
+    Alert.Sequence = NextSequence++;
+    Alert.BaselineKey = Key;
+    Alert.Client = Client;
+    Alert.JobKey = JobKey;
+    Alert.Location = Location;
+    Alert.Before = Before;
+    Alert.After = After;
+    Alert.Detail = std::move(Detail);
+    Alerts.push_back(std::move(Alert));
+  };
+
+  DiffOptions Options;
+  Options.CfTolerance = Config.CfTolerance;
+  const DiffResult Diff = diffArtifacts(Baseline, Incoming, Options);
+  for (const LoopDiff &Loop : Diff.Loops) {
+    if (Loop.Change == LoopChange::BecameConflict)
+      raise(AlertKind::NewConflictLoop, Loop.Location, Loop.CfA, Loop.CfB,
+            "loop flipped clean -> conflict vs baseline");
+    else if (Loop.Change == LoopChange::OnlyInB && Loop.ConflictB)
+      raise(AlertKind::NewConflictLoop, Loop.Location, 0.0, Loop.CfB,
+            "conflicting loop absent from baseline");
+    else if (Loop.ConflictA && Loop.ConflictB &&
+             Loop.MissContributionB - Loop.MissContributionA >
+                 Config.MissContributionDelta)
+      raise(AlertKind::MissRatioDegraded, Loop.Location,
+            Loop.MissContributionA, Loop.MissContributionB,
+            "conflicting loop's miss contribution grew");
+  }
+
+  const double RatioA = Baseline.Result.L1MissRatio;
+  const double RatioB = Incoming.Result.L1MissRatio;
+  if (RatioA > 0.0 &&
+      (RatioB - RatioA) / RatioA > Config.MissRatioRelativeDelta)
+    raise(AlertKind::MissRatioDegraded, "", RatioA, RatioB,
+          "global miss ratio grew vs baseline");
+
+  if (Alerts.empty()) {
+    // A clean ingest refines the baseline: pooled in when it is the
+    // same configuration, adopted when the lineage moved to a new one
+    // (different variant / sampling seed regime) — either way the
+    // baseline tracks the healthy state.
+    if (mergeCompatible(Baseline, Incoming)) {
+      const ProfileArtifact Inputs[2] = {Baseline, Incoming};
+      MergeResult Merged = mergeArtifacts(Inputs);
+      if (Merged.ok())
+        It->second = std::move(Merged.Merged);
+    } else {
+      It->second = Incoming;
+    }
+    ++BaselineUpdates;
+  } else {
+    AlertsRaised += Alerts.size();
+    for (const RegressionAlert &Alert : Alerts) {
+      Recent.push_back(Alert);
+      if (Recent.size() > Config.MaxRetainedAlerts)
+        Recent.pop_front();
+    }
+  }
+  return Alerts;
+}
+
+bool RegressionMonitor::baselineFor(const std::string &Key,
+                                    ProfileArtifact &Out) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = BaselineByKey.find(Key);
+  if (It == BaselineByKey.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+std::vector<RegressionAlert> RegressionMonitor::recentAlerts(size_t Max) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  const size_t Count = std::min(Max, Recent.size());
+  return std::vector<RegressionAlert>(Recent.end() - Count, Recent.end());
+}
+
+RegressionMonitorStats RegressionMonitor::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  RegressionMonitorStats S;
+  S.Observations = Observations;
+  S.Baselines = BaselineByKey.size();
+  S.BaselineUpdates = BaselineUpdates;
+  S.AlertsRaised = AlertsRaised;
+  return S;
+}

@@ -1,0 +1,146 @@
+//===- service/RegressionMonitor.h - Fleet regression detection -*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fleet-level regression detection for ccprofd: every ingested
+/// artifact is diffed against a rolling baseline of its *workload
+/// lineage* — the job identity with variant, repeat, and seed struck.
+/// Striking the variant is the point: "orig" vs "opt" (or any pair of
+/// code versions profiled under the same cache level, mapping, and
+/// sampling config) land on the same baseline, so the monitor sees a
+/// code change as a before/after pair and can say which loops *became*
+/// conflicts, exactly the paper's motivating use (catch the conflict
+/// the code change introduced, without a full re-profile of the
+/// fleet).
+///
+/// Alert policy: a paired loop that flipped clean -> conflict, or a
+/// conflicting loop newly appearing, raises NewConflictLoop; a
+/// conflicting loop whose miss contribution grew past an absolute
+/// delta, or a global miss-ratio increase past a relative delta,
+/// raises MissRatioDegraded. Ingests that raise nothing are absorbed
+/// into the baseline (merged when compatible, adopted when the lineage
+/// moved to a new configuration), so the baseline tracks the fleet's
+/// healthy state; alerting ingests leave the baseline untouched and
+/// keep alerting until the regression is fixed or becomes the new
+/// baseline via a clean ingest.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SERVICE_REGRESSIONMONITOR_H
+#define CCPROF_SERVICE_REGRESSIONMONITOR_H
+
+#include "pipeline/ProfileArtifact.h"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+/// The baseline identity of \p Job: workload + cache level + mapping +
+/// sampler + period + threshold (+ exact), with variant, repeat, and
+/// seed struck so different code versions of one workload share a
+/// baseline.
+std::string baselineKeyOf(const JobSpec &Job);
+
+/// What a regression alert is about.
+enum class AlertKind {
+  /// A loop that was clean (or absent) in the baseline is a conflict
+  /// in the ingested profile.
+  NewConflictLoop,
+  /// Miss traffic degraded: a conflicting loop's miss contribution
+  /// grew past the absolute delta, or the profile's global miss ratio
+  /// grew past the relative delta.
+  MissRatioDegraded,
+};
+
+/// Machine-stable identifier of \p Kind ("new_conflict_loop", ...).
+const char *alertKindId(AlertKind Kind);
+
+/// One raised alert.
+struct RegressionAlert {
+  AlertKind Kind = AlertKind::NewConflictLoop;
+  /// Monotonic id, unique within one monitor's lifetime.
+  uint64_t Sequence = 0;
+  std::string BaselineKey;
+  /// Client whose ingest triggered the alert.
+  std::string Client;
+  /// Job key of the offending artifact.
+  std::string JobKey;
+  /// Loop location, or empty for a profile-global alert.
+  std::string Location;
+  /// The metric that moved: cf for NewConflictLoop, miss contribution
+  /// or miss ratio for MissRatioDegraded.
+  double Before = 0.0;
+  double After = 0.0;
+  /// Human-readable one-liner.
+  std::string Detail;
+};
+
+/// One-line JSON record of \p Alert (the /stats and log format).
+std::string renderAlertJson(const RegressionAlert &Alert);
+
+/// Alerting thresholds.
+struct RegressionMonitorConfig {
+  /// Contribution-factor drift tolerance forwarded to the diff.
+  double CfTolerance = 0.05;
+  /// Absolute growth of a conflicting loop's miss contribution that
+  /// raises MissRatioDegraded.
+  double MissContributionDelta = 0.05;
+  /// Relative growth of the global miss ratio that raises
+  /// MissRatioDegraded.
+  double MissRatioRelativeDelta = 0.10;
+  /// Most recent alerts retained for /stats.
+  size_t MaxRetainedAlerts = 256;
+};
+
+/// Monitor counters.
+struct RegressionMonitorStats {
+  uint64_t Observations = 0;
+  uint64_t Baselines = 0;
+  uint64_t BaselineUpdates = 0;
+  uint64_t AlertsRaised = 0;
+};
+
+/// Thread-safe rolling-baseline regression detector. One instance
+/// serves all daemon workers.
+class RegressionMonitor {
+public:
+  explicit RegressionMonitor(RegressionMonitorConfig Config = {});
+
+  /// Diffs \p Incoming against its lineage baseline and returns the
+  /// alerts raised (empty on the first sighting of a lineage, which
+  /// only seeds the baseline).
+  std::vector<RegressionAlert> observe(const ProfileArtifact &Incoming,
+                                       const std::string &Client);
+
+  /// Copies the current baseline of \p Key into \p Out.
+  /// \returns false when the lineage is unknown.
+  bool baselineFor(const std::string &Key, ProfileArtifact &Out) const;
+
+  /// The most recent alerts, oldest first, at most \p Max.
+  std::vector<RegressionAlert> recentAlerts(size_t Max = 32) const;
+
+  RegressionMonitorStats stats() const;
+
+private:
+  RegressionMonitorConfig Config;
+  mutable std::mutex Mutex;
+  std::map<std::string, ProfileArtifact> BaselineByKey;
+  std::deque<RegressionAlert> Recent;
+  uint64_t Observations = 0;
+  uint64_t BaselineUpdates = 0;
+  uint64_t AlertsRaised = 0;
+  uint64_t NextSequence = 1;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_SERVICE_REGRESSIONMONITOR_H

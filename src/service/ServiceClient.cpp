@@ -1,0 +1,147 @@
+//===- service/ServiceClient.cpp - ccprofd socket client -----------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ServiceClient.h"
+
+#include "trace/BinaryIO.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace ccprof;
+namespace fs = std::filesystem;
+
+namespace {
+
+int connectTo(const std::string &SocketPath, std::string *Error) {
+  sockaddr_un Addr{};
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    *Error = "socket path too long: " + SocketPath;
+    return -1;
+  }
+  const int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    *Error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  Addr.sun_family = AF_UNIX;
+  std::strncpy(Addr.sun_path, SocketPath.c_str(), sizeof(Addr.sun_path) - 1);
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof Addr) < 0) {
+    *Error = "connect " + SocketPath + ": " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool writeAll(int Fd, std::string_view Bytes, std::string *Error) {
+  while (!Bytes.empty()) {
+    const ssize_t N = ::write(Fd, Bytes.data(), Bytes.size());
+    if (N <= 0) {
+      *Error = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    Bytes.remove_prefix(static_cast<size_t>(N));
+  }
+  return true;
+}
+
+bool readLine(int Fd, std::string &Line, std::string *Error) {
+  Line.clear();
+  char C = 0;
+  for (;;) {
+    const ssize_t N = ::read(Fd, &C, 1);
+    if (N <= 0) {
+      *Error = N == 0 ? "connection closed before reply"
+                      : std::string("read: ") + std::strerror(errno);
+      return false;
+    }
+    if (C == '\n')
+      return true;
+    Line.push_back(C);
+  }
+}
+
+/// Connects, sends \p Request (plus optional \p Payload), reads one
+/// reply line.
+ServiceReply roundTrip(const std::string &SocketPath,
+                       const std::string &Request,
+                       std::string_view Payload = {}) {
+  ServiceReply Reply;
+  const int Fd = connectTo(SocketPath, &Reply.Error);
+  if (Fd < 0)
+    return Reply;
+  if (!writeAll(Fd, Request, &Reply.Error) ||
+      (!Payload.empty() && !writeAll(Fd, Payload, &Reply.Error)) ||
+      !readLine(Fd, Reply.Line, &Reply.Error)) {
+    ::close(Fd);
+    return Reply;
+  }
+  ::close(Fd);
+  Reply.Ok = Reply.Line.rfind("ERR", 0) != 0;
+  return Reply;
+}
+
+} // namespace
+
+ServiceReply ccprof::serviceSubmitBytes(const std::string &SocketPath,
+                                        const std::string &Client,
+                                        const std::string &Kind,
+                                        const std::string &Name,
+                                        const std::string &Bytes) {
+  std::ostringstream Header;
+  Header << "PUT " << (Client.empty() ? "anon" : Client) << ' ' << Kind << ' '
+         << (Name.empty() ? "-" : Name) << ' ' << Bytes.size() << '\n';
+  return roundTrip(SocketPath, Header.str(), Bytes);
+}
+
+ServiceReply ccprof::serviceSubmitFile(const std::string &SocketPath,
+                                       const std::string &Client,
+                                       const std::string &FilePath,
+                                       const std::string &Name) {
+  ServiceReply Reply;
+  const std::string Ext = fs::path(FilePath).extension().string();
+  const bool IsTrace = Ext == ".cctr";
+  if (!IsTrace && Ext != ".ccpa") {
+    Reply.Error = "unsupported upload extension '" + Ext +
+                  "' (expected .ccpa or .cctr): " + FilePath;
+    return Reply;
+  }
+  std::ifstream In(FilePath, std::ios::binary);
+  if (!In) {
+    Reply.Error = "cannot open " + FilePath;
+    return Reply;
+  }
+  std::string Label = Name;
+  if (Label.empty()) {
+    // Default the label to the stem up to the first '.', matching the
+    // daemon's drop-directory convention for trace workload names.
+    Label = fs::path(FilePath).filename().string();
+    const size_t Dot = Label.find('.');
+    if (Dot != std::string::npos)
+      Label.resize(Dot);
+  }
+  return serviceSubmitBytes(SocketPath, Client, IsTrace ? "cctr" : "ccpa",
+                            Label, bio::readAll(In));
+}
+
+ServiceReply ccprof::serviceQueryStats(const std::string &SocketPath) {
+  return roundTrip(SocketPath, "STATS\n");
+}
+
+ServiceReply ccprof::servicePing(const std::string &SocketPath) {
+  ServiceReply Reply = roundTrip(SocketPath, "PING\n");
+  Reply.Ok = Reply.Line == "PONG";
+  return Reply;
+}

@@ -1,0 +1,59 @@
+//===- service/ServiceClient.h - ccprofd socket client ---------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The client side of ccprofd's Unix-domain-socket protocol: connect,
+/// speak one or more requests, read the one-line replies. This is what
+/// `ccprof submit` and `ccprof serve --stats` are built on; tests use
+/// it to drive a live daemon end to end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SERVICE_SERVICECLIENT_H
+#define CCPROF_SERVICE_SERVICECLIENT_H
+
+#include <string>
+#include <vector>
+
+namespace ccprof {
+
+/// Outcome of one client request.
+struct ServiceReply {
+  /// Transport worked and the daemon answered "OK ..." (or returned a
+  /// payload, for STATS/PING).
+  bool Ok = false;
+  /// The daemon's reply line, verbatim (e.g. "OK queued").
+  std::string Line;
+  /// Transport-level failure description; empty when the daemon
+  /// answered at all (even with "ERR ...").
+  std::string Error;
+};
+
+/// Uploads the bytes of \p FilePath (kind inferred from the .ccpa /
+/// .cctr extension; \p Name is the workload label sent with it) as
+/// \p Client over the daemon socket at \p SocketPath.
+ServiceReply serviceSubmitFile(const std::string &SocketPath,
+                               const std::string &Client,
+                               const std::string &FilePath,
+                               const std::string &Name = "");
+
+/// Uploads in-memory bytes; \p Kind is "ccpa" or "cctr".
+ServiceReply serviceSubmitBytes(const std::string &SocketPath,
+                                const std::string &Client,
+                                const std::string &Kind,
+                                const std::string &Name,
+                                const std::string &Bytes);
+
+/// Sends "STATS" and returns the daemon's JSON line in Reply.Line.
+ServiceReply serviceQueryStats(const std::string &SocketPath);
+
+/// Sends "PING"; Ok when the daemon answers "PONG".
+ServiceReply servicePing(const std::string &SocketPath);
+
+} // namespace ccprof
+
+#endif // CCPROF_SERVICE_SERVICECLIENT_H

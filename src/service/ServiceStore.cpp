@@ -1,0 +1,413 @@
+//===- service/ServiceStore.cpp - Concurrent content-addressed store -----===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ServiceStore.h"
+
+#include "pipeline/Merge.h"
+#include "trace/BinaryIO.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace ccprof;
+namespace fs = std::filesystem;
+
+uint64_t ccprof::contentHash(std::string_view Bytes) {
+  uint64_t Hash = 0xcbf29ce484222325ull;
+  for (char C : Bytes) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
+std::string ccprof::aggregateKeyOf(const JobSpec &Job) {
+  JobSpec Norm = Job;
+  Norm.Repeat = 0;
+  return Norm.key();
+}
+
+void ccprof::canonicalizeAggregate(ProfileArtifact &Aggregate) {
+  Aggregate.Provenance.Job.Repeat = 0;
+  Aggregate.Provenance.TimestampNs = 0;
+  Aggregate.Provenance.Tool = "ccprofd-1";
+  // Total order on every row the merge only partially ordered: ties on
+  // the sample count fall back to the (unique) name, so the serialized
+  // bytes are a pure function of the pooled content.
+  std::stable_sort(Aggregate.Result.Loops.begin(),
+                   Aggregate.Result.Loops.end(),
+                   [](const LoopConflictReport &A,
+                      const LoopConflictReport &B) {
+                     if (A.Samples != B.Samples)
+                       return A.Samples > B.Samples;
+                     return A.Location < B.Location;
+                   });
+  for (LoopConflictReport &Loop : Aggregate.Result.Loops)
+    std::stable_sort(Loop.DataStructures.begin(), Loop.DataStructures.end(),
+                     [](const DataStructureReport &A,
+                        const DataStructureReport &B) {
+                       if (A.Samples != B.Samples)
+                         return A.Samples > B.Samples;
+                       return A.Name < B.Name;
+                     });
+}
+
+namespace {
+
+std::string hashHex(uint64_t Hash) {
+  char Buf[17];
+  std::snprintf(Buf, sizeof Buf, "%016llx",
+                static_cast<unsigned long long>(Hash));
+  return Buf;
+}
+
+/// The content-addressed object filename: "<job-key>-h<hash>.ccpa".
+std::string objectFileName(const JobSpec &Job, uint64_t Hash) {
+  return Job.key() + "-h" + hashHex(Hash) + ArtifactExtension;
+}
+
+/// Recovers the content hash a "...-h<16 hex>.ccpa" filename carries.
+/// \returns false for names that do not follow the convention (e.g. a
+/// file dropped into objects/ by hand).
+bool parseObjectHash(const std::string &Path, uint64_t &Hash) {
+  const std::string Name = fs::path(Path).filename().string();
+  const std::string Ext = ArtifactExtension;
+  // "-h" + 16 hex digits + extension.
+  if (Name.size() < 18 + Ext.size())
+    return false;
+  const size_t HexStart = Name.size() - Ext.size() - 16;
+  if (Name.compare(HexStart - 2, 2, "-h") != 0)
+    return false;
+  uint64_t Parsed = 0;
+  for (size_t I = HexStart; I < HexStart + 16; ++I) {
+    const char C = Name[I];
+    uint64_t Digit = 0;
+    if (C >= '0' && C <= '9')
+      Digit = static_cast<uint64_t>(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Digit = static_cast<uint64_t>(C - 'a') + 10;
+    else
+      return false;
+    Parsed = (Parsed << 4) | Digit;
+  }
+  Hash = Parsed;
+  return true;
+}
+
+/// Derives the merge-group key from a conforming object filename by
+/// stripping the "-h<hash>" content suffix and normalizing the
+/// trailing repeat component ("-r<N>" -> "-r0"). \returns false for
+/// names that do not follow the convention.
+bool parseObjectGroup(const std::string &Path, std::string &Group) {
+  const std::string Name = fs::path(Path).filename().string();
+  const std::string Ext = ArtifactExtension;
+  if (Name.size() < 18 + Ext.size())
+    return false;
+  const size_t HexStart = Name.size() - Ext.size() - 16;
+  if (Name.compare(HexStart - 2, 2, "-h") != 0)
+    return false;
+  const std::string Key = Name.substr(0, HexStart - 2);
+  const size_t RPos = Key.rfind("-r");
+  if (RPos == std::string::npos || RPos + 2 >= Key.size())
+    return false;
+  for (size_t I = RPos + 2; I < Key.size(); ++I)
+    if (Key[I] < '0' || Key[I] > '9')
+      return false;
+  Group = Key.substr(0, RPos) + "-r0";
+  return true;
+}
+
+} // namespace
+
+ServiceStore::ServiceStore(std::string RootDirIn)
+    : RootDir(std::move(RootDirIn)),
+      Objects((fs::path(RootDir) / "objects").string()),
+      Aggregates((fs::path(RootDir) / "aggregates").string()) {}
+
+bool ServiceStore::open(std::string *Error,
+                        std::vector<ArtifactValidationIssue> *Issues) {
+  if (!Objects.ensureExists(Error) || !Aggregates.ensureExists(Error))
+    return false;
+
+  // Rebuild the content index. The hash lives in the filename, so a
+  // warm restart indexes without reading a byte; files that do not
+  // follow the naming convention are re-hashed from their content.
+  // Group membership (for the staleness check below) comes from the
+  // filename too — or from the capsule's own provenance for the
+  // nonconforming files we had to read anyway.
+  std::string ListError;
+  std::map<std::string, std::vector<std::string>> ObjectsByGroup;
+  for (const ArtifactListEntry &Entry : Objects.listEntries(&ListError)) {
+    if (!Entry.ok()) {
+      if (Issues)
+        Issues->push_back({Entry.Path, Entry.Error});
+      continue;
+    }
+    uint64_t Hash = 0;
+    std::string Group;
+    if (parseObjectHash(Entry.Path, Hash) &&
+        parseObjectGroup(Entry.Path, Group)) {
+      ObjectsByGroup[Group].push_back(Entry.Path);
+    } else {
+      std::ifstream In(Entry.Path, std::ios::binary);
+      if (!In) {
+        if (Issues)
+          Issues->push_back({Entry.Path, "cannot open for hashing"});
+        continue;
+      }
+      const std::string Bytes = bio::readAll(In);
+      Hash = contentHash(Bytes);
+      ++IndexRebuilt;
+      ProfileArtifact Parsed;
+      if (ProfileArtifact::readFromBytes(Bytes, Parsed))
+        ObjectsByGroup[aggregateKeyOf(Parsed.Provenance.Job)].push_back(
+            Entry.Path);
+    }
+    ContentIndex.insert(Hash);
+  }
+  if (!ListError.empty()) {
+    if (Error)
+      *Error = ListError;
+    return false;
+  }
+
+  // Reload the rolling aggregates so the next merge continues from the
+  // persisted state rather than restarting every group from scratch.
+  for (const ArtifactListEntry &Entry : Aggregates.listEntries(&ListError)) {
+    if (!Entry.ok()) {
+      if (Issues)
+        Issues->push_back({Entry.Path, Entry.Error});
+      continue;
+    }
+    ProfileArtifact Aggregate;
+    std::string Reason;
+    if (!ProfileArtifact::loadFromFile(Entry.Path, Aggregate, &Reason)) {
+      if (Issues)
+        Issues->push_back({Entry.Path, Reason});
+      continue;
+    }
+    AggregateByKey[aggregateKeyOf(Aggregate.Provenance.Job)] =
+        std::move(Aggregate);
+  }
+  if (!ListError.empty()) {
+    if (Error)
+      *Error = ListError;
+    return false;
+  }
+
+  // Crash recovery: aggregates are checkpointed without fsync, so a
+  // power loss can leave a group's persisted aggregate behind its
+  // durably stored objects (or unreadable altogether, which the loop
+  // above surfaced and skipped). Every object covers at least one run,
+  // so an aggregate claiming fewer merged runs than the group has
+  // objects is provably stale — re-merge the group from its objects.
+  // Merging recomputes all statistics from pooled integer counters, so
+  // the rebuilt aggregate is byte-identical to the incremental one.
+  for (const auto &[Group, Paths] : ObjectsByGroup) {
+    const auto It = AggregateByKey.find(Group);
+    if (It != AggregateByKey.end() &&
+        It->second.Provenance.MergedRuns >= Paths.size())
+      continue;
+
+    std::vector<ProfileArtifact> Members;
+    Members.reserve(Paths.size());
+    for (const std::string &Path : Paths) {
+      ProfileArtifact Member;
+      std::string Reason;
+      if (!ProfileArtifact::loadFromFile(Path, Member, &Reason)) {
+        if (Issues)
+          Issues->push_back({Path, Reason});
+        continue;
+      }
+      Members.push_back(std::move(Member));
+    }
+    if (Members.empty())
+      continue;
+    MergeResult Merged = mergeArtifacts(Members);
+    if (!Merged.ok()) {
+      if (Issues)
+        Issues->push_back({Group, "aggregate rebuild failed: " + Merged.Error});
+      continue;
+    }
+    uint64_t MinSeed = Members.front().Provenance.Job.Seed;
+    for (const ProfileArtifact &Member : Members)
+      MinSeed = std::min(MinSeed, Member.Provenance.Job.Seed);
+    Merged.Merged.Provenance.Job.Seed = MinSeed;
+    canonicalizeAggregate(Merged.Merged);
+    std::string SaveError;
+    if (Aggregates.save(Merged.Merged, &SaveError).empty()) {
+      if (Error)
+        *Error = SaveError;
+      return false;
+    }
+    AggregateByKey[Group] = std::move(Merged.Merged);
+    ++AggregatesRebuilt;
+  }
+  return true;
+}
+
+ServicePutResult ServiceStore::put(const ProfileArtifact &Artifact) {
+  std::ostringstream Buffer;
+  if (!Artifact.writeTo(Buffer)) {
+    ServicePutResult Result;
+    Result.Error = "cannot serialize artifact " + Artifact.Provenance.Job.key();
+    return Result;
+  }
+  return put(Artifact, Buffer.str());
+}
+
+ServicePutResult ServiceStore::put(const ProfileArtifact &Artifact,
+                                   std::string_view Bytes) {
+  ServicePutResult Result;
+  Result.Hash = contentHash(Bytes);
+  Result.Path =
+      (fs::path(Objects.directory()) /
+       objectFileName(Artifact.Provenance.Job, Result.Hash))
+          .string();
+
+  {
+    std::lock_guard<std::mutex> Lock(IndexMutex);
+    ++Puts;
+    if (!ContentIndex.insert(Result.Hash).second) {
+      ++DedupHits;
+      Result.Ok = true;
+      Result.Fresh = false;
+      return Result;
+    }
+  }
+
+  // Fresh content: persist outside the index lock. Identical content
+  // racing in from another process lands on the same path with the
+  // same bytes through the atomic-write protocol — harmless.
+  std::string WriteError;
+  if (!bio::atomicWriteFile(Result.Path, Bytes, &WriteError)) {
+    std::lock_guard<std::mutex> Lock(IndexMutex);
+    ContentIndex.erase(Result.Hash); // Not stored; allow a retry.
+    Result.Error = WriteError;
+    return Result;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(IndexMutex);
+    ++Stored;
+    BytesWritten += Bytes.size();
+  }
+
+  // Fold into the group's rolling aggregate and checkpoint it. The
+  // canonical form (normalized provenance, totally ordered rows,
+  // running-min seed) makes the aggregate's bytes independent of
+  // arrival order and worker interleaving.
+  Result.AggregateKey = aggregateKeyOf(Artifact.Provenance.Job);
+  {
+    std::lock_guard<std::mutex> Lock(AggregateMutex);
+    auto It = AggregateByKey.find(Result.AggregateKey);
+    if (It == AggregateByKey.end()) {
+      ProfileArtifact Fresh = Artifact;
+      canonicalizeAggregate(Fresh);
+      It = AggregateByKey.emplace(Result.AggregateKey, std::move(Fresh)).first;
+    } else {
+      const uint64_t MinSeed = std::min(It->second.Provenance.Job.Seed,
+                                        Artifact.Provenance.Job.Seed);
+      const ProfileArtifact Inputs[2] = {It->second, Artifact};
+      MergeResult Merged = mergeArtifacts(Inputs);
+      if (!Merged.ok()) {
+        Result.Error = "aggregate merge failed: " + Merged.Error;
+        return Result;
+      }
+      Merged.Merged.Provenance.Job.Seed = MinSeed;
+      canonicalizeAggregate(Merged.Merged);
+      It->second = std::move(Merged.Merged);
+    }
+    // Checkpoint without fsync: the aggregate is derived state open()
+    // can rebuild by re-merging the (durably stored) objects, so a
+    // power loss rolling it back to the previous version is harmless —
+    // and skipping the sync halves the fsyncs on the ingest hot path.
+    std::ostringstream AggregateBuffer;
+    if (!It->second.writeTo(AggregateBuffer)) {
+      Result.Error = "cannot serialize aggregate " + Result.AggregateKey;
+      return Result;
+    }
+    bio::AtomicWriteOptions Relaxed;
+    Relaxed.SyncData = false;
+    std::string SaveError;
+    if (!bio::atomicWriteFile(Aggregates.pathFor(It->second),
+                              AggregateBuffer.str(), &SaveError, Relaxed)) {
+      Result.Error = SaveError;
+      return Result;
+    }
+    ++AggregateUpdates;
+  }
+
+  Result.Ok = true;
+  Result.Fresh = true;
+  return Result;
+}
+
+bool ServiceStore::aggregateFor(const std::string &Key,
+                                ProfileArtifact &Out) const {
+  std::lock_guard<std::mutex> Lock(AggregateMutex);
+  auto It = AggregateByKey.find(Key);
+  if (It == AggregateByKey.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+std::vector<std::string> ServiceStore::aggregateKeys() const {
+  std::lock_guard<std::mutex> Lock(AggregateMutex);
+  std::vector<std::string> Keys;
+  Keys.reserve(AggregateByKey.size());
+  for (const auto &[Key, Unused] : AggregateByKey)
+    Keys.push_back(Key);
+  return Keys;
+}
+
+ServiceStoreStats ServiceStore::stats() const {
+  ServiceStoreStats S;
+  {
+    std::lock_guard<std::mutex> Lock(IndexMutex);
+    S.Puts = Puts;
+    S.Stored = Stored;
+    S.DedupHits = DedupHits;
+    S.BytesWritten = BytesWritten;
+    S.IndexRebuilt = IndexRebuilt;
+    S.AggregatesRebuilt = AggregatesRebuilt;
+    S.Objects = ContentIndex.size();
+  }
+  {
+    std::lock_guard<std::mutex> Lock(AggregateMutex);
+    S.AggregateUpdates = AggregateUpdates;
+    S.Aggregates = AggregateByKey.size();
+  }
+  return S;
+}
+
+ArtifactValidationReport ServiceStore::validateAll(std::string *Error) const {
+  ArtifactValidationReport Combined = Objects.validate(Error);
+  if (Error && !Error->empty())
+    return Combined;
+  ArtifactValidationReport AggReport = Aggregates.validate(Error);
+  Combined.Checked += AggReport.Checked;
+  Combined.Issues.insert(Combined.Issues.end(), AggReport.Issues.begin(),
+                         AggReport.Issues.end());
+  Combined.StaleTemporaries.insert(Combined.StaleTemporaries.end(),
+                                   AggReport.StaleTemporaries.begin(),
+                                   AggReport.StaleTemporaries.end());
+  return Combined;
+}
+
+std::vector<std::string>
+ServiceStore::cleanStaleTemporaries(unsigned MinAgeSeconds) {
+  std::vector<std::string> Removed =
+      Objects.cleanStaleTemporaries(nullptr, MinAgeSeconds);
+  std::vector<std::string> AggRemoved =
+      Aggregates.cleanStaleTemporaries(nullptr, MinAgeSeconds);
+  Removed.insert(Removed.end(), AggRemoved.begin(), AggRemoved.end());
+  return Removed;
+}

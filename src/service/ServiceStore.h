@@ -1,0 +1,170 @@
+//===- service/ServiceStore.h - Concurrent content-addressed store -*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The daemon's artifact store: a concurrent, content-addressed layer
+/// over two ArtifactStore directories.
+///
+///   <root>/objects/     every distinct ingested artifact, exactly
+///                       once, named "<job-key>-<content-hash>.ccpa"
+///   <root>/aggregates/  one rolling merged artifact per merge group
+///                       (the job key with the repeat index struck),
+///                       named "<group-key>.ccpa"
+///
+/// put() hashes the serialized capsule (FNV-1a 64); a hash already in
+/// the index is a dedup hit — the bytes are not rewritten and the
+/// aggregate is not double-counted, which is what makes at-least-once
+/// delivery (client retries, watcher re-scans) safe. Fresh content is
+/// persisted through the atomic-write + CRC protocol (PR 3), so
+/// concurrent writers — multiple daemon workers, even multiple daemon
+/// processes sharing one root — can never corrupt the store: identical
+/// content races onto identical paths with identical bytes, and
+/// readers only ever see complete renamed files.
+///
+/// The rolling aggregate is canonicalized after every merge
+/// (normalized provenance, total ordering of loop rows), which makes
+/// its bytes a pure function of the *set* of ingested artifacts —
+/// byte-identical no matter the arrival order or how many workers
+/// interleaved, the property ServiceTest and bench/ingest_throughput
+/// enforce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SERVICE_SERVICESTORE_H
+#define CCPROF_SERVICE_SERVICESTORE_H
+
+#include "pipeline/ArtifactStore.h"
+#include "pipeline/ProfileArtifact.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace ccprof {
+
+/// FNV-1a 64-bit over \p Bytes — the content address of a capsule.
+uint64_t contentHash(std::string_view Bytes);
+
+/// The merge-group identity of \p Job: its key with the repeat index
+/// struck, i.e. exactly the fields mergeCompatible pools over. Also
+/// the aggregate's filename stem.
+std::string aggregateKeyOf(const JobSpec &Job);
+
+/// Rewrites \p Aggregate into its canonical serialized form: provenance
+/// normalized (repeat 0, no timestamp, service tool tag) and loop /
+/// data-structure rows totally ordered (samples desc, then name), so
+/// equal merged content always produces equal bytes. Exposed for tests.
+void canonicalizeAggregate(ProfileArtifact &Aggregate);
+
+/// Outcome of one ServiceStore::put.
+struct ServicePutResult {
+  /// False only on I/O or merge failure (Error says why).
+  bool Ok = false;
+  /// True when the content was new; false for a dedup hit.
+  bool Fresh = false;
+  uint64_t Hash = 0;
+  /// Object path (stored or already-present).
+  std::string Path;
+  /// Group whose aggregate absorbed the artifact (fresh puts only).
+  std::string AggregateKey;
+  std::string Error;
+};
+
+/// Counters of a store's lifetime.
+struct ServiceStoreStats {
+  uint64_t Puts = 0;
+  uint64_t Stored = 0;
+  uint64_t DedupHits = 0;
+  uint64_t AggregateUpdates = 0;
+  uint64_t BytesWritten = 0;
+  /// Object files whose content hash had to be recovered by re-reading
+  /// at open() because the filename did not carry it.
+  uint64_t IndexRebuilt = 0;
+  /// Aggregate groups open() re-merged from their objects because the
+  /// persisted aggregate was missing, unreadable, or covered fewer
+  /// runs than the group's object count (crash rollback).
+  uint64_t AggregatesRebuilt = 0;
+  uint64_t Objects = 0;
+  uint64_t Aggregates = 0;
+};
+
+/// Thread-safe content-addressed artifact store with rolling per-group
+/// aggregates. One instance serves all daemon workers.
+class ServiceStore {
+public:
+  explicit ServiceStore(std::string RootDir);
+
+  /// Creates the directory layout and rebuilds the in-memory state
+  /// (content index from object filenames, aggregates from the
+  /// aggregates directory) so a restarted daemon continues where the
+  /// previous one stopped. Aggregates are checkpointed without fsync
+  /// (they are derived state), so a crash can leave a group's
+  /// persisted aggregate missing, unreadable, or lagging its objects;
+  /// open() detects all three and re-merges the group from the durably
+  /// stored objects — merging is associative, so the rebuilt aggregate
+  /// is byte-identical to the incremental one. Unreadable entries are
+  /// surfaced in \p Issues (when non-null) rather than silently
+  /// skipped.
+  bool open(std::string *Error,
+            std::vector<ArtifactValidationIssue> *Issues = nullptr);
+
+  /// Ingests one artifact whose serialized form is \p Bytes (the
+  /// caller usually has the bytes already — they arrived on the wire).
+  /// Fresh content is stored and merged into its group's rolling
+  /// aggregate; duplicate content is counted and left alone.
+  ServicePutResult put(const ProfileArtifact &Artifact,
+                       std::string_view Bytes);
+
+  /// Serializes and ingests (convenience over the two-argument put).
+  ServicePutResult put(const ProfileArtifact &Artifact);
+
+  /// Copies the current rolling aggregate of \p Key into \p Out.
+  /// \returns false when the group is unknown.
+  bool aggregateFor(const std::string &Key, ProfileArtifact &Out) const;
+
+  /// Keys of every rolling aggregate, sorted.
+  std::vector<std::string> aggregateKeys() const;
+
+  ServiceStoreStats stats() const;
+
+  /// Sweeps objects and aggregates through the checksummed loader.
+  ArtifactValidationReport validateAll(std::string *Error = nullptr) const;
+
+  /// Age-gated stale-temp reaping across both directories (see
+  /// ArtifactStore::cleanStaleTemporaries); returns paths removed.
+  std::vector<std::string> cleanStaleTemporaries(
+      unsigned MinAgeSeconds = ArtifactStore::DefaultTempReapAgeSeconds);
+
+  const std::string &directory() const { return RootDir; }
+  std::string objectsDirectory() const { return Objects.directory(); }
+  std::string aggregatesDirectory() const { return Aggregates.directory(); }
+
+private:
+  std::string RootDir;
+  ArtifactStore Objects;
+  ArtifactStore Aggregates;
+
+  /// Guards the content index and counters; object-file writes happen
+  /// outside it (atomic rename makes them safe), aggregate merges
+  /// inside AggregateMutex.
+  mutable std::mutex IndexMutex;
+  std::unordered_set<uint64_t> ContentIndex;
+  uint64_t Puts = 0, Stored = 0, DedupHits = 0, BytesWritten = 0;
+  uint64_t IndexRebuilt = 0;
+  uint64_t AggregatesRebuilt = 0;
+
+  mutable std::mutex AggregateMutex;
+  std::map<std::string, ProfileArtifact> AggregateByKey;
+  uint64_t AggregateUpdates = 0;
+};
+
+} // namespace ccprof
+
+#endif // CCPROF_SERVICE_SERVICESTORE_H

@@ -1,0 +1,59 @@
+//===- support/Json.cpp - Minimal JSON emission helpers ------------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace ccprof;
+
+std::string json::escape(std::string_view Text) {
+  std::string Out;
+  Out.reserve(Text.size());
+  for (char C : Text) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof Buf, "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string json::quote(std::string_view Text) {
+  return '"' + escape(Text) + '"';
+}
+
+std::string json::number(double Value, int Digits) {
+  if (!std::isfinite(Value))
+    return "0";
+  char Buf[64];
+  std::snprintf(Buf, sizeof Buf, "%.*f", Digits, Value);
+  return Buf;
+}

@@ -1,0 +1,41 @@
+//===- support/Json.h - Minimal JSON emission helpers ----------*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small JSON-writing vocabulary shared by every machine-readable
+/// surface the project emits: `ccprof analyze/show/diff --json`, the
+/// service's /stats query, and the alert records ccprofd streams. Only
+/// emission — nothing in the project parses JSON — so the helpers stay
+/// deliberately tiny: escaping, quoting, and number formatting that is
+/// valid JSON (no NaN/Inf leakage, fixed-point doubles).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SUPPORT_JSON_H
+#define CCPROF_SUPPORT_JSON_H
+
+#include <string>
+#include <string_view>
+
+namespace ccprof {
+namespace json {
+
+/// Escapes \p Text for inclusion inside a JSON string literal:
+/// backslash, double quote, and control characters (as \uXXXX).
+std::string escape(std::string_view Text);
+
+/// \p Text escaped and wrapped in double quotes.
+std::string quote(std::string_view Text);
+
+/// A JSON-valid number for \p Value with \p Digits fractional digits.
+/// NaN and infinities (not representable in JSON) render as 0.
+std::string number(double Value, int Digits = 6);
+
+} // namespace json
+} // namespace ccprof
+
+#endif // CCPROF_SUPPORT_JSON_H

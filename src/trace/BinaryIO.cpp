@@ -184,7 +184,7 @@ bool atomicWriteFile(const std::string &Path, std::string_view Bytes,
 
   // The temp's bytes must be durable before the rename publishes them,
   // otherwise a power loss could expose a renamed-but-empty file.
-  if (::fsync(Fd) != 0) {
+  if (Options.SyncData && ::fsync(Fd) != 0) {
     int Saved = errno;
     ::close(Fd);
     return fail(Error,
@@ -202,13 +202,15 @@ bool atomicWriteFile(const std::string &Path, std::string_view Bytes,
   // caller: the data is intact either way, only crash-durability of the
   // directory entry is weakened, so ignore errors (e.g. filesystems
   // that refuse O_RDONLY directory fsync).
-  std::string Dir = std::filesystem::path(Path).parent_path().string();
-  if (Dir.empty())
-    Dir = ".";
-  int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (DirFd >= 0) {
-    ::fsync(DirFd);
-    ::close(DirFd);
+  if (Options.SyncData) {
+    std::string Dir = std::filesystem::path(Path).parent_path().string();
+    if (Dir.empty())
+      Dir = ".";
+    int DirFd = ::open(Dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (DirFd >= 0) {
+      ::fsync(DirFd);
+      ::close(DirFd);
+    }
   }
   return true;
 }

@@ -90,6 +90,14 @@ private:
 struct AtomicWriteOptions {
   /// Bytes written per write(2) call.
   size_t ChunkBytes = 1u << 20;
+  /// When false, skip the fsync(2) of the temp file and its directory.
+  /// The rename still guarantees readers never see a partial file; what
+  /// is given up is crash *durability* — a power loss may roll the path
+  /// back to its previous content. Only appropriate for derived state a
+  /// recovery path can rebuild (e.g. ccprofd's rolling aggregates,
+  /// which re-merge from the object store), where it removes the fsync
+  /// from the hot write path.
+  bool SyncData = true;
   /// Testing hook, called after each chunk with the running byte count.
   /// Returning true simulates a crash at that write boundary: the
   /// function abandons the temp file exactly as a killed process would

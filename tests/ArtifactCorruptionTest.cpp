@@ -534,8 +534,12 @@ TEST(ArtifactStoreCleanTest, CleanStaleTemporariesRemovesOnlyTemps) {
   std::ofstream((fs::path(Dir) / "b.ccpa.tmp").string()) << "partial";
   std::ofstream((fs::path(Dir) / "notes.txt").string()) << "keep me";
 
+  // Just-created temps look like a live writer's in-flight saves, so
+  // the default age gate must leave them alone; MinAge 0 is the
+  // unconditional offline sweep.
   std::vector<std::string> Failed;
-  std::vector<std::string> Removed = Store.cleanStaleTemporaries(&Failed);
+  EXPECT_TRUE(Store.cleanStaleTemporaries(&Failed).empty());
+  std::vector<std::string> Removed = Store.cleanStaleTemporaries(&Failed, 0);
   EXPECT_EQ(Removed.size(), 2u);
   EXPECT_TRUE(Failed.empty());
   for (const std::string &Path : Removed)
@@ -548,6 +552,6 @@ TEST(ArtifactStoreCleanTest, CleanStaleTemporariesRemovesOnlyTemps) {
   EXPECT_EQ(Report.Checked, 1u);
 
   // Idempotent: a second sweep removes nothing.
-  EXPECT_TRUE(Store.cleanStaleTemporaries().empty());
+  EXPECT_TRUE(Store.cleanStaleTemporaries(nullptr, 0).empty());
   fs::remove_all(Dir);
 }

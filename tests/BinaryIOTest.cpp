@@ -247,8 +247,9 @@ TEST_F(AtomicWriteTest, CrashAtEveryWriteBoundaryNeverCorruptsTarget) {
     for (size_t CrashAfter = 1; CrashAfter <= Boundaries; ++CrashAfter) {
       fs::remove(Target);
       fs::remove(Target + bio::AtomicTempSuffix);
-      if (PreexistingTarget)
+      if (PreexistingTarget) {
         ASSERT_TRUE(bio::atomicWriteFile(Target, Old));
+      }
 
       bio::AtomicWriteOptions Options;
       Options.ChunkBytes = 3;

@@ -25,9 +25,15 @@
 //                [--levels l1,l2] [--mappings M,N] [--variants V,W]
 //                [--repeats R] [--stamp] [profile options]
 //   ccprof merge <artifact|dir...> [--out FILE]
-//   ccprof diff <artifact-a> <artifact-b> [--tolerance X] [--check]
-//   ccprof show <artifact|dir>
-//   ccprof validate <artifact|dir...>
+//   ccprof diff <artifact-a> <artifact-b> [--tolerance X] [--check] [--json]
+//   ccprof show <artifact|dir> [--json]
+//   ccprof validate <artifact|dir...> [--clean-temps] [--temp-age SECS]
+//
+// and the ingest service (ccprofd):
+//
+//   ccprof serve [--store DIR] [--socket PATH] [--watch DIR] [--workers N]
+//                [--queue N] [--poll-ms N] [--once] [--stats]
+//   ccprof submit <files...> --socket PATH [--client NAME]
 //
 //===----------------------------------------------------------------------===//
 
@@ -39,11 +45,15 @@
 #include "pipeline/Diff.h"
 #include "pipeline/JobRunner.h"
 #include "pipeline/Merge.h"
+#include "service/Ccprofd.h"
+#include "service/ServiceClient.h"
 #include "support/Table.h"
 #include "workloads/Workload.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -51,6 +61,7 @@
 #include <sstream>
 #include <string>
 #include <system_error>
+#include <thread>
 #include <vector>
 
 using namespace ccprof;
@@ -81,6 +92,13 @@ void printUsage(std::ostream &Out) {
          "  validate <artifact|dir..> check artifacts for corruption "
          "(checksums,\n"
          "                            truncation, interrupted saves)\n"
+         "  serve                     run the ccprofd ingest service "
+         "(socket +\n"
+         "                            drop-directory ingestion, rolling "
+         "aggregates,\n"
+         "                            fleet regression alerts)\n"
+         "  submit <files...>         upload .ccpa/.cctr files to a "
+         "running daemon\n"
          "\n"
          "profile options:\n"
          "  --optimized               use the padded/reordered build\n"
@@ -136,12 +154,38 @@ void printUsage(std::ostream &Out) {
          "  --clean-temps             delete stale .ccpa.tmp leftovers "
          "instead\n"
          "                            of only reporting them\n"
+         "  --temp-age SECS           only reap temps at least this old "
+         "(default\n"
+         "                            60; 0 reaps unconditionally — only "
+         "safe when\n"
+         "                            no writer is live)\n"
          "\n"
-         "merge/diff options:\n"
+         "merge/diff/show options:\n"
          "  --out FILE                write the merged artifact here\n"
          "  --tolerance X             cf drift tolerance (default 0.05)\n"
          "  --check                   exit nonzero when the diff finds "
-         "regressions\n";
+         "regressions\n"
+         "  --json                    emit the report/diff as JSON\n"
+         "\n"
+         "serve options:\n"
+         "  --store DIR               service store root (default "
+         "ccprofd-store)\n"
+         "  --socket PATH             listen on this Unix-domain socket\n"
+         "  --watch DIR               ingest *.ccpa/*.cctr dropped here\n"
+         "  --workers N               ingest worker threads (default 1)\n"
+         "  --queue N                 ingest queue capacity (default 64)\n"
+         "  --poll-ms N               drop-directory poll interval "
+         "(default 200)\n"
+         "  --once                    drain the drop directory once and "
+         "exit\n"
+         "  --stats                   query a running daemon's /stats "
+         "and exit\n"
+         "\n"
+         "submit options:\n"
+         "  --socket PATH             daemon socket to upload to\n"
+         "  --client NAME             accounting label (default: "
+         "hostname-style\n"
+         "                            'cli')\n";
 }
 
 struct CliOptions {
@@ -951,6 +995,7 @@ int commandDiff(const std::vector<std::string> &Args) {
   std::vector<std::string> Paths;
   DiffOptions Options;
   bool Check = false;
+  bool Json = false;
   for (size_t I = 0; I < Args.size(); ++I) {
     if (Args[I] == "--tolerance") {
       if (I + 1 >= Args.size()) {
@@ -964,6 +1009,8 @@ int commandDiff(const std::vector<std::string> &Args) {
       }
     } else if (Args[I] == "--check") {
       Check = true;
+    } else if (Args[I] == "--json") {
+      Json = true;
     } else {
       std::string Error;
       if (!collectArtifactPaths(Args[I], Paths, Error)) {
@@ -986,17 +1033,32 @@ int commandDiff(const std::vector<std::string> &Args) {
   }
 
   DiffResult Diff = diffArtifacts(A, B, Options);
-  std::cout << renderDiff(Diff, Paths[0], Paths[1]);
+  std::cout << (Json ? renderDiffJson(Diff, Paths[0], Paths[1])
+                     : renderDiff(Diff, Paths[0], Paths[1]));
   return Check && Diff.Regressions > 0 ? 2 : 0;
 }
 
-int commandShow(const std::string &PathArg) {
+int commandShow(const std::vector<std::string> &Args) {
+  bool Json = false;
+  std::vector<std::string> PathArgs;
+  for (const std::string &Arg : Args) {
+    if (Arg == "--json")
+      Json = true;
+    else
+      PathArgs.push_back(Arg);
+  }
+  if (PathArgs.size() != 1) {
+    std::cerr << "error: show needs one artifact or directory path\n";
+    return 1;
+  }
   std::vector<std::string> Paths;
   std::string Error;
-  if (!collectArtifactPaths(PathArg, Paths, Error)) {
+  if (!collectArtifactPaths(PathArgs[0], Paths, Error)) {
     std::cerr << "error: " << Error << '\n';
     return 1;
   }
+  if (Json)
+    std::cout << "[\n";
   for (size_t I = 0; I < Paths.size(); ++I) {
     ProfileArtifact Artifact;
     if (!ProfileArtifact::loadFromFile(Paths[I], Artifact, &Error)) {
@@ -1004,6 +1066,17 @@ int commandShow(const std::string &PathArg) {
       return 1;
     }
     const JobSpec &Job = Artifact.Provenance.Job;
+    if (Json) {
+      if (I)
+        std::cout << ",\n";
+      std::cout << "{\"artifact\": \"" << Job.key() << "\", \"format_version\": "
+                << Artifact.FormatVersion << ", \"merged_runs\": "
+                << Artifact.Provenance.MergedRuns << ", \"tool\": \""
+                << Artifact.Provenance.Tool << "\",\n\"report\": "
+                << renderProfileReportJson(Artifact.Result, Job.WorkloadName)
+                << "}";
+      continue;
+    }
     if (I)
       std::cout << '\n';
     std::cout << "artifact: " << Job.key() << " (format v"
@@ -1012,18 +1085,35 @@ int commandShow(const std::string &PathArg) {
               << Artifact.Provenance.Tool << ")\n";
     std::cout << renderProfileReport(Artifact.Result, Job.WorkloadName);
   }
+  if (Json)
+    std::cout << "\n]\n";
   return 0;
 }
 
 int commandValidate(const std::vector<std::string> &Args) {
   size_t Checked = 0, Corrupt = 0, Stale = 0, Cleaned = 0;
   bool CleanTemps = false;
+  unsigned TempAgeSeconds = ArtifactStore::DefaultTempReapAgeSeconds;
   std::vector<std::string> Paths;
-  for (const std::string &Arg : Args) {
-    if (Arg == "--clean-temps")
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    if (Arg == "--clean-temps") {
       CleanTemps = true;
-    else
+    } else if (Arg == "--temp-age") {
+      if (I + 1 >= Args.size()) {
+        std::cerr << "error: missing value for --temp-age\n";
+        return 1;
+      }
+      const std::string Value = Args[++I];
+      long Parsed = std::atol(Value.c_str());
+      if (Parsed < 0 || (Parsed == 0 && Value != "0")) {
+        std::cerr << "error: --temp-age must be a non-negative integer\n";
+        return 1;
+      }
+      TempAgeSeconds = static_cast<unsigned>(Parsed);
+    } else {
       Paths.push_back(Arg);
+    }
   }
   if (Paths.empty()) {
     std::cerr << "error: validate needs at least one artifact or "
@@ -1048,7 +1138,7 @@ int commandValidate(const std::vector<std::string> &Args) {
       if (CleanTemps) {
         std::vector<std::string> Failed;
         std::vector<std::string> Removed =
-            Store.cleanStaleTemporaries(&Failed);
+            Store.cleanStaleTemporaries(&Failed, TempAgeSeconds);
         Cleaned += Removed.size();
         for (const std::string &Temp : Removed)
           std::cout << "cleaned " << Temp << '\n';
@@ -1088,6 +1178,176 @@ int commandValidate(const std::vector<std::string> &Args) {
     std::cout << " (" << Cleaned << " cleaned)";
   std::cout << '\n';
   return Corrupt == 0 ? 0 : 1;
+}
+
+//===----------------------------------------------------------------------===//
+// Service commands (ccprofd)
+//===----------------------------------------------------------------------===//
+
+std::atomic<bool> GServeStop{false};
+
+void serveSignalHandler(int) { GServeStop.store(true); }
+
+int commandServe(const std::vector<std::string> &Args) {
+  ServiceConfig Config;
+  bool StatsOnly = false;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    auto NextValue = [&](std::string &Slot) {
+      if (I + 1 >= Args.size()) {
+        std::cerr << "error: missing value for " << Arg << '\n';
+        return false;
+      }
+      Slot = Args[++I];
+      return true;
+    };
+    std::string Value;
+    if (Arg == "--store") {
+      if (!NextValue(Config.StoreDir))
+        return 1;
+    } else if (Arg == "--socket") {
+      if (!NextValue(Config.SocketPath))
+        return 1;
+    } else if (Arg == "--watch") {
+      if (!NextValue(Config.WatchDir))
+        return 1;
+    } else if (Arg == "--workers") {
+      if (!NextValue(Value))
+        return 1;
+      long Parsed = std::atol(Value.c_str());
+      if (Parsed <= 0) {
+        std::cerr << "error: --workers must be a positive integer\n";
+        return 1;
+      }
+      Config.Workers = static_cast<unsigned>(Parsed);
+    } else if (Arg == "--queue") {
+      if (!NextValue(Value))
+        return 1;
+      long Parsed = std::atol(Value.c_str());
+      if (Parsed <= 0) {
+        std::cerr << "error: --queue must be a positive integer\n";
+        return 1;
+      }
+      Config.QueueCapacity = static_cast<size_t>(Parsed);
+    } else if (Arg == "--poll-ms") {
+      if (!NextValue(Value))
+        return 1;
+      long Parsed = std::atol(Value.c_str());
+      if (Parsed <= 0) {
+        std::cerr << "error: --poll-ms must be a positive integer\n";
+        return 1;
+      }
+      Config.PollMs = static_cast<unsigned>(Parsed);
+    } else if (Arg == "--once") {
+      Config.Once = true;
+    } else if (Arg == "--stats") {
+      StatsOnly = true;
+    } else {
+      std::cerr << "error: unknown serve option '" << Arg << "'\n";
+      return 1;
+    }
+  }
+
+  if (StatsOnly) {
+    if (Config.SocketPath.empty()) {
+      std::cerr << "error: --stats needs --socket PATH\n";
+      return 1;
+    }
+    ServiceReply Reply = serviceQueryStats(Config.SocketPath);
+    if (!Reply.Error.empty()) {
+      std::cerr << "error: " << Reply.Error << '\n';
+      return 1;
+    }
+    std::cout << Reply.Line << '\n';
+    return 0;
+  }
+
+  if (Config.Once && Config.WatchDir.empty()) {
+    std::cerr << "error: --once needs --watch DIR (it drains the drop "
+                 "directory and exits)\n";
+    return 1;
+  }
+  if (!Config.Once && Config.SocketPath.empty() && Config.WatchDir.empty()) {
+    std::cerr << "error: serve needs at least one ingress surface "
+                 "(--socket and/or --watch)\n";
+    return 1;
+  }
+
+  Ccprofd Daemon(Config);
+  Daemon.setAlertSink([](const RegressionAlert &Alert) {
+    std::cout << "ALERT " << renderAlertJson(Alert) << std::endl;
+  });
+
+  std::string Error;
+  if (Config.Once) {
+    if (!Daemon.runOnce(&Error)) {
+      std::cerr << "error: " << Error << '\n';
+      return 1;
+    }
+    std::cout << Daemon.statsJson() << '\n';
+    return 0;
+  }
+
+  if (!Daemon.start(&Error)) {
+    std::cerr << "error: " << Error << '\n';
+    return 1;
+  }
+  std::cout << "ccprofd: store " << Config.StoreDir;
+  if (!Config.SocketPath.empty())
+    std::cout << ", socket " << Config.SocketPath;
+  if (!Config.WatchDir.empty())
+    std::cout << ", watching " << Config.WatchDir;
+  std::cout << " (" << std::max(1u, Config.Workers)
+            << " worker(s); ^C to stop)" << std::endl;
+
+  std::signal(SIGINT, serveSignalHandler);
+  std::signal(SIGTERM, serveSignalHandler);
+  while (!GServeStop.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Daemon.stop();
+  std::cout << Daemon.statsJson() << '\n';
+  return 0;
+}
+
+int commandSubmit(const std::vector<std::string> &Args) {
+  std::string SocketPath;
+  std::string Client = "cli";
+  std::vector<std::string> Files;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    if (Arg == "--socket" || Arg == "--client") {
+      if (I + 1 >= Args.size()) {
+        std::cerr << "error: missing value for " << Arg << '\n';
+        return 1;
+      }
+      (Arg == "--socket" ? SocketPath : Client) = Args[++I];
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+  if (SocketPath.empty()) {
+    std::cerr << "error: submit needs --socket PATH\n";
+    return 1;
+  }
+  if (Files.empty()) {
+    std::cerr << "error: submit needs at least one .ccpa/.cctr file\n";
+    return 1;
+  }
+  size_t Failures = 0;
+  for (const std::string &File : Files) {
+    const ServiceReply Reply = serviceSubmitFile(SocketPath, Client, File);
+    if (!Reply.Error.empty()) {
+      std::cerr << "error: " << File << ": " << Reply.Error << '\n';
+      ++Failures;
+    } else if (!Reply.Ok) {
+      std::cerr << "error: " << File << ": daemon said: " << Reply.Line
+                << '\n';
+      ++Failures;
+    } else {
+      std::cout << File << ": " << Reply.Line << '\n';
+    }
+  }
+  return Failures == 0 ? 0 : 1;
 }
 
 } // namespace
@@ -1136,12 +1396,21 @@ int main(int Argc, char **Argv) {
         std::vector<std::string>(Args.begin() + 1, Args.end()));
 
   if (Command == "show") {
-    if (Args.size() != 2) {
+    if (Args.size() < 2) {
       std::cerr << "error: show needs one artifact or directory path\n";
       return 1;
     }
-    return commandShow(Args[1]);
+    return commandShow(
+        std::vector<std::string>(Args.begin() + 1, Args.end()));
   }
+
+  if (Command == "serve")
+    return commandServe(
+        std::vector<std::string>(Args.begin() + 1, Args.end()));
+
+  if (Command == "submit")
+    return commandSubmit(
+        std::vector<std::string>(Args.begin() + 1, Args.end()));
 
   if (Command == "validate") {
     if (Args.size() < 2) {
