@@ -18,16 +18,26 @@
 //     cache ON (runJobsShared) vs OFF (naive runJobs), verifying along
 //     the way that both paths produce byte-identical artifacts;
 //
-//  3. a shard-count sweep of the set-sharded parallel collector
-//     (collectL1MissStreamParallel) over a large synthetic trace,
-//     verifying at every shard count that the merged miss stream is
-//     element-identical to the sequential collector's.
+//  3. shard-count sweeps of the set-sharded parallel collector
+//     (collectL1MissStreamParallel) and of the merge-elided
+//     aggregate-only collector (collectL1MissAggregates), in two
+//     tiers: the default tier (millions of refs — catches setup-cost
+//     regressions) and, with --large, a steady-state tier of >= 100M
+//     synthetic refs generated procedurally in memory (no giant trace
+//     file is ever materialized) where partition/merge serial
+//     fractions, not warm-up, dominate the measurement. Every sweep
+//     point is verified element-identical (ordered collector) or
+//     field-identical (aggregates) to the sequential baseline.
 //
 // Emits machine-readable BENCH_sim_throughput.json and
-// BENCH_simshard.json in the working directory so the perf trajectory
-// is comparable across PRs; exits nonzero if any identity check fails.
-// `--smoke` shrinks the workloads for CI; `--json` suppresses the
-// human-readable tables (the JSON files are always written).
+// BENCH_simshard.json (one entry per tier) in the working directory so
+// the perf trajectory is comparable across PRs; exits nonzero if any
+// identity check fails. `--smoke` shrinks the workloads for CI;
+// `--json` suppresses the human-readable tables (the JSON files are
+// always written); `--refs N` overrides the large tier's trace length;
+// `--gate` additionally fails the run if the large tier's 2-shard
+// ordered-collector speedup falls below 1.0x — the CI floor that keeps
+// the sharded engine from regressing below sequential again.
 //
 //===----------------------------------------------------------------------===//
 
@@ -40,8 +50,11 @@
 #include "support/ThreadPool.h"
 
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <string>
+#include <thread>
 #include <iostream>
 #include <memory>
 #include <optional>
@@ -78,12 +91,23 @@ std::vector<std::pair<uint64_t, bool>> makeStream(size_t NumRefs) {
   return Refs;
 }
 
-/// The same stream as a Trace, for the sharded trace-facing collector.
+/// The same mixed distribution generated straight into a Trace — the
+/// large tier synthesizes >= 100M refs this way, so no intermediate
+/// stream vector (and no trace file) is ever materialized.
 Trace makeTrace(size_t NumRefs) {
   Trace T;
   T.reserve(NumRefs);
-  for (const auto &[Addr, IsWrite] : makeStream(NumRefs)) {
-    if (IsWrite)
+  Xoshiro256 Rng(0xbe9c'47a1);
+  uint64_t Stride = 0;
+  for (size_t I = 0; I < NumRefs; ++I) {
+    uint64_t Addr;
+    if (I % 4 != 0) {
+      Stride += 24; // walks sets, revisits lines
+      Addr = Stride % (1 << 20);
+    } else {
+      Addr = Rng.nextBounded(1 << 20);
+    }
+    if (Rng.nextBounded(8) < 3)
       T.recordStore(0, Addr, 8);
     else
       T.recordLoad(0, Addr, 8);
@@ -153,25 +177,136 @@ struct ConfigRow {
   double SoaRate = 0.0;
 };
 
-/// One shard count of the sharded-collector sweep.
+/// One shard count of the sharded-collector sweep: the ordered
+/// (merged-stream) collector and the merge-elided aggregate collector,
+/// both against the sequential ordered baseline.
 struct ShardRow {
   unsigned Shards = 0;
   unsigned Threads = 0;
-  double AccessesPerSec = 0.0;
-  double Speedup = 1.0;
+  double StreamRate = 0.0;
+  double StreamSpeedup = 1.0;
+  double AggRate = 0.0;
+  double AggSpeedup = 1.0;
   bool Identical = true;
 };
+
+/// One trace-size tier of the shard sweep.
+struct ShardTier {
+  std::string Name;
+  size_t TraceRefs = 0;
+  double SeqRate = 0.0;    ///< Sequential ordered collector.
+  double SeqAggRate = 0.0; ///< Sequential aggregate collector.
+  std::vector<ShardRow> Sweep;
+  bool Identical = true;
+};
+
+/// Runs one tier: synthesize the trace, measure the sequential
+/// baselines, then sweep shard counts with a K-thread execution shape,
+/// verifying exactness at every point.
+ShardTier runShardTier(const std::string &Name, size_t NumRefs,
+                       const std::vector<unsigned> &ShardCounts) {
+  const CacheGeometry Geometry = paperL1Geometry();
+  const MissStreamOptions Options; // LRU, loads only
+  const Trace T = makeTrace(NumRefs);
+
+  ShardTier Tier;
+  Tier.Name = Name;
+  Tier.TraceRefs = NumRefs;
+
+  // One warm-up replay (page faults, lazy allocation), then timed
+  // sequential baselines for both collectors.
+  collectL1MissStream(T, Geometry, Options);
+  Clock::time_point SeqStart = Clock::now();
+  const std::vector<MissEvent> SeqStream =
+      collectL1MissStream(T, Geometry, Options);
+  Tier.SeqRate = static_cast<double>(NumRefs) / secondsSince(SeqStart);
+
+  Clock::time_point SeqAggStart = Clock::now();
+  const MissStreamAggregates SeqAgg =
+      collectL1MissAggregates(T, Geometry, Options);
+  Tier.SeqAggRate = static_cast<double>(NumRefs) / secondsSince(SeqAggStart);
+
+  Tier.Sweep.push_back({1, 1, Tier.SeqRate, 1.0, Tier.SeqAggRate,
+                        Tier.SeqAggRate / Tier.SeqRate, true});
+
+  for (unsigned K : ShardCounts) {
+    // Full machine budget per row: the sweep asks how *shard count*
+    // scales on this runner, and the grant spends threads beyond the
+    // shard count on the partition / merge / rebuild phases (they
+    // chunk past K). Floor at K so one-core machines still exercise
+    // every parallel code path for the identity checks.
+    const unsigned Threads =
+        std::max(K, std::max(1u, std::thread::hardware_concurrency()));
+    ThreadPool Pool(Threads - 1);
+    ThreadBudget Budget(Threads);
+    ShardCachePool CachePool;
+    ShardExecStats Stats;
+    SimContext Ctx;
+    Ctx.Pool = &Pool;
+    Ctx.Budget = &Budget;
+    Ctx.CachePool = &CachePool;
+    Ctx.Stats = &Stats;
+    Ctx.Shards = K;
+    Ctx.MinRefsToShard = 0;
+
+    // Warm-up (also primes the shard-cache pool), then the measured
+    // runs: ordered collector first, aggregate-only second.
+    collectL1MissStreamParallel(T, Geometry, Options, Ctx);
+    Clock::time_point Start = Clock::now();
+    const std::vector<MissEvent> Stream =
+        collectL1MissStreamParallel(T, Geometry, Options, Ctx);
+    const double StreamSecs = secondsSince(Start);
+
+    Clock::time_point AggStart = Clock::now();
+    const MissStreamAggregates Agg =
+        collectL1MissAggregates(T, Geometry, Options, Ctx);
+    const double AggSecs = secondsSince(AggStart);
+
+    ShardRow Row;
+    Row.Shards = K;
+    Row.Threads = Threads;
+    Row.StreamRate = static_cast<double>(NumRefs) / StreamSecs;
+    Row.StreamSpeedup = Row.StreamRate / Tier.SeqRate;
+    Row.AggRate = static_cast<double>(NumRefs) / AggSecs;
+    Row.AggSpeedup = Row.AggRate / Tier.SeqRate;
+    Row.Identical = Stream == SeqStream && Agg == SeqAgg &&
+                    Agg.Events == SeqStream.size() &&
+                    Stats.ElidedMerges.load() > 0;
+    Tier.Identical = Tier.Identical && Row.Identical;
+    Tier.Sweep.push_back(Row);
+  }
+  return Tier;
+}
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   bool Smoke = false;
   bool JsonOnly = false;
+  bool Large = false;
+  bool Gate = false;
+  size_t LargeRefs = 100'000'000;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--smoke") == 0)
       Smoke = true;
     else if (std::strcmp(Argv[I], "--json") == 0)
       JsonOnly = true;
+    else if (std::strcmp(Argv[I], "--large") == 0)
+      Large = true;
+    else if (std::strcmp(Argv[I], "--gate") == 0)
+      Gate = true;
+    else if (std::strcmp(Argv[I], "--refs") == 0 && I + 1 < Argc)
+      LargeRefs = static_cast<size_t>(std::strtoull(Argv[++I], nullptr, 10));
+    else {
+      std::cerr << "usage: sim_throughput [--smoke] [--json] [--large] "
+                   "[--refs N] [--gate]\n";
+      return 2;
+    }
+  }
+  if (Gate && !Large) {
+    std::cerr << "error: --gate requires --large (the floor is defined on "
+                 "the steady-state tier)\n";
+    return 2;
   }
 
   if (!JsonOnly)
@@ -274,70 +409,58 @@ int main(int Argc, char **Argv) {
               << " hit(s), " << Stats.Streams.Misses << " simulation(s))\n\n";
   }
 
-  // --- 3. Set-sharded parallel collector: shard-count sweep -------------
-  // One large synthetic trace, simulated sequentially once (baseline)
-  // and then through the sharded collector at increasing shard counts
-  // with a pool of shards-1 helpers. Every sweep point must reproduce
-  // the sequential miss stream element-for-element.
-  const size_t ShardTraceRefs = Smoke ? 400'000 : 8'000'000;
-  const Trace ShardTrace = makeTrace(ShardTraceRefs);
-  const CacheGeometry ShardGeometry = paperL1Geometry();
-  MissStreamOptions ShardOptions; // LRU, loads only
-
-  // Warm-up + baseline.
-  collectL1MissStream(ShardTrace, ShardGeometry, ShardOptions);
-  Clock::time_point SeqStart = Clock::now();
-  const std::vector<MissEvent> SeqStream =
-      collectL1MissStream(ShardTrace, ShardGeometry, ShardOptions);
-  const double SeqSecs = secondsSince(SeqStart);
-  const double SeqRate = static_cast<double>(ShardTraceRefs) / SeqSecs;
-
-  std::vector<ShardRow> Sweep;
-  Sweep.push_back({1, 1, SeqRate, 1.0, true});
-  bool ShardIdentical = true;
+  // --- 3. Set-sharded parallel collector: tiered shard-count sweeps -----
+  // Default tier: a few million refs, cheap enough to run everywhere,
+  // sensitive to setup cost. Large tier (--large): >= 100M synthetic
+  // refs so the measurement is steady-state — this is the tier the CI
+  // speedup gate reads, because the smoke-sized sweep punishes the
+  // parallel path with fixed costs the real workloads amortize away.
   const std::vector<unsigned> ShardCounts =
       Smoke ? std::vector<unsigned>{2, 4} : std::vector<unsigned>{2, 4, 8};
-  for (unsigned K : ShardCounts) {
-    ThreadPool Pool(K - 1);
-    ThreadBudget Budget(K);
-    ShardCachePool CachePool;
-    SimContext Ctx;
-    Ctx.Pool = &Pool;
-    Ctx.Budget = &Budget;
-    Ctx.CachePool = &CachePool;
-    Ctx.Shards = K;
-    Ctx.MinRefsToShard = 0;
-
-    // Warm-up (also primes the shard-cache pool), then the measured run.
-    collectL1MissStreamParallel(ShardTrace, ShardGeometry, ShardOptions, Ctx);
-    Clock::time_point Start = Clock::now();
-    const std::vector<MissEvent> Stream =
-        collectL1MissStreamParallel(ShardTrace, ShardGeometry, ShardOptions,
-                                    Ctx);
-    const double Secs = secondsSince(Start);
-
-    ShardRow Row;
-    Row.Shards = K;
-    Row.Threads = K;
-    Row.AccessesPerSec = static_cast<double>(ShardTraceRefs) / Secs;
-    Row.Speedup = Row.AccessesPerSec / SeqRate;
-    Row.Identical = Stream == SeqStream;
-    ShardIdentical = ShardIdentical && Row.Identical;
-    Sweep.push_back(Row);
-  }
+  std::vector<ShardTier> Tiers;
+  Tiers.push_back(runShardTier(Smoke ? "smoke" : "standard",
+                               Smoke ? 400'000 : 8'000'000, ShardCounts));
+  if (Large)
+    Tiers.push_back(runShardTier("large", LargeRefs,
+                                 std::vector<unsigned>{2, 4}));
+  bool ShardIdentical = true;
+  for (const ShardTier &Tier : Tiers)
+    ShardIdentical = ShardIdentical && Tier.Identical;
 
   if (!JsonOnly) {
-    TextTable ShardTable(
-        {"shards", "threads", "accesses/sec", "speedup", "stream =="});
-    for (const ShardRow &Row : Sweep)
-      ShardTable.addRow({std::to_string(Row.Shards),
-                         std::to_string(Row.Threads),
-                         fmtRate(Row.AccessesPerSec), fmtX(Row.Speedup),
-                         Row.Identical ? "yes" : "NO"});
-    std::cout << ShardTable.render() << "(" << ShardTraceRefs
-              << "-ref trace, " << ShardGeometry.describe()
-              << ", LRU; speedups depend on available cores)\n";
+    for (const ShardTier &Tier : Tiers) {
+      TextTable ShardTable({"shards", "threads", "stream refs/sec",
+                            "speedup", "agg refs/sec", "agg speedup",
+                            "exact =="});
+      for (const ShardRow &Row : Tier.Sweep)
+        ShardTable.addRow({std::to_string(Row.Shards),
+                           std::to_string(Row.Threads),
+                           fmtRate(Row.StreamRate), fmtX(Row.StreamSpeedup),
+                           fmtRate(Row.AggRate), fmtX(Row.AggSpeedup),
+                           Row.Identical ? "yes" : "NO"});
+      std::cout << "[" << Tier.Name << " tier]\n"
+                << ShardTable.render() << "(" << Tier.TraceRefs
+                << "-ref trace, " << paperL1Geometry().describe()
+                << ", LRU; agg = merge-elided aggregate collector; "
+                   "speedups depend on available cores)\n\n";
+    }
   }
+
+  // --- Speedup gate (CI) ------------------------------------------------
+  // The floor is deliberately modest — 2 shards must at least beat
+  // sequential on the steady-state tier — so the gate trips on "the
+  // sharded engine lost its parallelism" (the PR-4 regression mode),
+  // not on runner noise.
+  constexpr double GateFloor2Shards = 1.0;
+  bool GatePassed = true;
+  // Recorded in the JSON even when the gate is advisory, so local and
+  // CI trajectories stay comparable.
+  double Gate2ShardSpeedup = 0.0;
+  for (const ShardRow &Row : Tiers.back().Sweep)
+    if (Row.Shards == 2)
+      Gate2ShardSpeedup = Row.StreamSpeedup;
+  if (Gate)
+    GatePassed = Gate2ShardSpeedup >= GateFloor2Shards;
 
   // --- Machine-readable trajectory --------------------------------------
   {
@@ -376,20 +499,39 @@ int main(int Argc, char **Argv) {
     Json << std::fixed << "{\n"
          << "  \"bench\": \"simshard\",\n"
          << "  \"smoke\": " << (Smoke ? "true" : "false") << ",\n"
-         << "  \"trace_refs\": " << ShardTraceRefs << ",\n"
+         << "  \"hardware_concurrency\": "
+         << std::thread::hardware_concurrency() << ",\n"
          << "  \"stream_identical\": " << (ShardIdentical ? "true" : "false")
          << ",\n"
-         << "  \"sweep\": [\n";
-    for (size_t I = 0; I < Sweep.size(); ++I) {
-      const ShardRow &Row = Sweep[I];
-      Json << "    {\"shards\": " << Row.Shards
-           << ", \"threads\": " << Row.Threads
-           << ", \"accesses_per_sec\": " << Row.AccessesPerSec
-           << ", \"speedup_vs_1\": " << Row.Speedup
-           << ", \"identical\": " << (Row.Identical ? "true" : "false")
-           << "}" << (I + 1 < Sweep.size() ? "," : "") << "\n";
+         << "  \"tiers\": [\n";
+    for (size_t TI = 0; TI < Tiers.size(); ++TI) {
+      const ShardTier &Tier = Tiers[TI];
+      Json << "    {\"tier\": \"" << Tier.Name << "\", \"trace_refs\": "
+           << Tier.TraceRefs << ",\n"
+           << "     \"seq_refs_per_sec\": " << Tier.SeqRate
+           << ", \"seq_agg_refs_per_sec\": " << Tier.SeqAggRate << ",\n"
+           << "     \"identical\": " << (Tier.Identical ? "true" : "false")
+           << ",\n"
+           << "     \"sweep\": [\n";
+      for (size_t I = 0; I < Tier.Sweep.size(); ++I) {
+        const ShardRow &Row = Tier.Sweep[I];
+        Json << "       {\"shards\": " << Row.Shards
+             << ", \"threads\": " << Row.Threads
+             << ", \"stream_refs_per_sec\": " << Row.StreamRate
+             << ", \"stream_speedup\": " << Row.StreamSpeedup
+             << ", \"agg_refs_per_sec\": " << Row.AggRate
+             << ", \"agg_speedup\": " << Row.AggSpeedup
+             << ", \"identical\": " << (Row.Identical ? "true" : "false")
+             << "}" << (I + 1 < Tier.Sweep.size() ? "," : "") << "\n";
+      }
+      Json << "     ]}" << (TI + 1 < Tiers.size() ? "," : "") << "\n";
     }
-    Json << "  ]\n}\n";
+    Json << "  ],\n"
+         << "  \"gate\": {\"enforced\": " << (Gate ? "true" : "false")
+         << ", \"floor_2shard_speedup\": " << GateFloor2Shards
+         << ", \"speedup_2shards\": " << Gate2ShardSpeedup
+         << ", \"passed\": " << (GatePassed ? "true" : "false") << "}\n"
+         << "}\n";
   }
   if (!JsonOnly)
     std::cout
@@ -403,6 +545,12 @@ int main(int Argc, char **Argv) {
   if (!ShardIdentical) {
     std::cerr << "error: sharded miss stream differs from the sequential "
                  "collector's\n";
+    return 1;
+  }
+  if (!GatePassed) {
+    std::cerr << "error: speedup gate failed — large-tier 2-shard speedup "
+              << Gate2ShardSpeedup << "x is below the "
+              << GateFloor2Shards << "x floor\n";
     return 1;
   }
   return 0;

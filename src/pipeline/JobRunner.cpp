@@ -96,7 +96,7 @@ std::vector<JobOutcome> ccprof::runJobsShared(
   MissStreamCache &Cache = StreamCache ? *StreamCache : LocalCache;
   if (Jobs.empty()) {
     if (StatsOut)
-      *StatsOut = SharedBatchStats{0, Cache.stats(), 0, 0};
+      *StatsOut = SharedBatchStats{0, Cache.stats(), 0, 0, 0, 0};
     return Outcomes;
   }
 
@@ -128,14 +128,20 @@ std::vector<JobOutcome> ccprof::runJobsShared(
   assert(Reserved == NumWorkers && "workers must fit the budget");
   (void)Reserved;
 
+  // An explicit shard count deserves a pool even on a one-slot budget:
+  // a zero-worker pool runs every shard inline in the caller (degraded
+  // serialized mode), which keeps --shards honored — and counted — at
+  // --sim-threads 1 instead of silently ignored.
   std::optional<ThreadPool> ShardPool;
-  if (BudgetTotal > 1)
+  if (BudgetTotal > 1 || Exec.Shards > 1)
     ShardPool.emplace(BudgetTotal - 1);
   ShardCachePool CachePool;
+  ShardExecStats ShardStats;
   SimContext Sim;
   Sim.Pool = ShardPool ? &*ShardPool : nullptr;
   Sim.Budget = &Budget;
   Sim.CachePool = &CachePool;
+  Sim.Stats = &ShardStats;
   Sim.Shards = Exec.Shards;
   Sim.MinRefsToShard = Exec.MinRefsToShard;
 
@@ -238,7 +244,9 @@ std::vector<JobOutcome> ccprof::runJobsShared(
 
   if (StatsOut)
     *StatsOut = SharedBatchStats{Groups.size(), Cache.stats(),
-                                 CachePool.reuses(), NumSkipped.load()};
+                                 CachePool.reuses(), NumSkipped.load(),
+                                 ShardStats.ShardedSims.load(),
+                                 ShardStats.UnhelpedShardedSims.load()};
   return Outcomes;
 }
 

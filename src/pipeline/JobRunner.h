@@ -88,6 +88,13 @@ struct SharedBatchStats {
   uint64_t ShardCacheReuses = 0;
   /// Jobs skipped by static screening (BatchExecOptions::StaticScreen).
   uint64_t StaticSkipped = 0;
+  /// Simulations that took the set-sharded path (ShardExecStats).
+  uint64_t ShardedSims = 0;
+  /// Sharded simulations that ran with zero helper threads — an
+  /// explicit shard count honored on an exhausted budget serializes
+  /// every shard replay on one thread. Surfaced so sweeps can tell
+  /// "sharded but unhelped" from real parallel runs.
+  uint64_t UnhelpedShardedSims = 0;
 };
 
 /// Execution shape of a shared-trace batch run. Workers carry

@@ -10,6 +10,7 @@
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <cassert>
 
 using namespace ccprof;
 
@@ -33,21 +34,26 @@ ShardGrant acquireShardGrant(const SimContext &Ctx, uint64_t NumSets,
   if (!Ctx.Pool || NumSets < 2 || NumRefs < Ctx.MinRefsToShard)
     return Grant;
 
-  const unsigned MaxUseful = static_cast<unsigned>(std::min<uint64_t>(
-      NumSets, Ctx.Shards != 0 ? Ctx.Shards : Ctx.Pool->workerCount() + 1));
-  if (MaxUseful <= 1 && Ctx.Shards == 0)
-    return Grant;
-
-  Grant.Helpers =
-      Ctx.Budget ? Ctx.Budget->tryAcquire(MaxUseful - 1)
-                 : std::min(Ctx.Pool->workerCount(), MaxUseful - 1);
+  // The grant asks the budget for every pool worker, not Shards - 1:
+  // partition chunks, merge segments, and the event rebuild all
+  // parallelize past the shard count, so slots beyond the replay's
+  // need still cut the serial fraction. Replay simply leaves extra
+  // workers idle (parallelFor hands out at most one token per shard).
+  Grant.Helpers = Ctx.Budget ? Ctx.Budget->tryAcquire(Ctx.Pool->workerCount())
+                             : Ctx.Pool->workerCount();
   // An explicit shard count is honored even when no helper is idle
   // (the caller's thread simulates every shard); an automatic count
   // follows the grant so a lone thread skips partitioning entirely.
-  Grant.Shards = Ctx.Shards != 0
-                     ? static_cast<unsigned>(std::min<uint64_t>(Ctx.Shards,
-                                                                NumSets))
-                     : Grant.Helpers + 1;
+  Grant.Shards = static_cast<unsigned>(std::min<uint64_t>(
+      NumSets, Ctx.Shards != 0 ? Ctx.Shards : Grant.Helpers + 1));
+  if (Ctx.Stats && Grant.Shards > 1) {
+    Ctx.Stats->ShardedSims.fetch_add(1, std::memory_order_relaxed);
+    // Degraded mode: the shard count was forced but no helper showed
+    // up, so one thread replays every shard back to back. Bench sweeps
+    // read this to tell "sharded but unhelped" from real parallelism.
+    if (Grant.Helpers == 0)
+      Ctx.Stats->UnhelpedShardedSims.fetch_add(1, std::memory_order_relaxed);
+  }
   return Grant;
 }
 
@@ -56,26 +62,19 @@ void releaseShardGrant(const SimContext &Ctx, const ShardGrant &Grant) {
     Ctx.Budget->release(Grant.Helpers);
 }
 
-/// Routes every trace record to its shard. Two passes: an exact-count
-/// reserve pass, then the fill — per-shard vectors never regrow.
-std::vector<std::vector<ShardRef>>
-partitionBySet(std::span<const MemoryRecord> Records,
-               const CacheGeometry &Geometry,
-               std::span<const SetRange> Plan) {
-  const ShardMap Map(Plan);
-  std::vector<size_t> Counts(Plan.size(), 0);
-  for (const MemoryRecord &Record : Records)
-    ++Counts[Map.shardOf(Geometry.setIndexOf(Record.Addr))];
-
-  std::vector<std::vector<ShardRef>> Shards(Plan.size());
-  for (size_t S = 0; S < Plan.size(); ++S)
-    Shards[S].reserve(Counts[S]);
-  for (size_t I = 0; I < Records.size(); ++I) {
-    const MemoryRecord &Record = Records[I];
-    Shards[Map.shardOf(Geometry.setIndexOf(Record.Addr))].push_back(
-        ShardRef::make(I, Record.Addr, Record.IsWrite));
-  }
-  return Shards;
+/// Routes the stream to its shards: block-parallel count + scatter
+/// when the grant came with helpers, the sequential two-pass fill when
+/// the calling thread is on its own (the degraded explicit-shards
+/// mode, where chunk bookkeeping would be pure overhead).
+ShardPartition partitionForGrant(std::span<const MemoryRecord> Records,
+                                 const CacheGeometry &Geometry,
+                                 std::span<const SetRange> Plan,
+                                 const SimContext &Ctx,
+                                 const ShardGrant &Grant) {
+  if (Grant.Helpers > 0)
+    return partitionBySetParallel(Records, Geometry, Plan, *Ctx.Pool,
+                                  Grant.Helpers);
+  return partitionBySet(Records, Geometry, Plan);
 }
 
 /// Shards the full reference stream through caches of \p Geometry and
@@ -88,19 +87,79 @@ std::vector<uint64_t> shardedMissSeqs(std::span<const MemoryRecord> Records,
                                       const ShardGrant &Grant) {
   const std::vector<SetRange> Plan = planShards(Geometry.numSets(),
                                                 Grant.Shards);
-  const std::vector<std::vector<ShardRef>> Parts =
-      partitionBySet(Records, Geometry, Plan);
+  const ShardPartition Parts =
+      partitionForGrant(Records, Geometry, Plan, Ctx, Grant);
 
   std::vector<std::vector<uint64_t>> PerShard(Plan.size());
   Ctx.Pool->parallelFor(Plan.size(), Grant.Helpers, [&](size_t S) {
     std::unique_ptr<Cache> ShardCache =
         Ctx.CachePool ? Ctx.CachePool->acquire(Geometry, Policy, Plan[S])
                       : std::make_unique<Cache>(Geometry, Plan[S], Policy);
-    simulateShard(*ShardCache, Parts[S], PerShard[S]);
+    simulateShard(*ShardCache, Parts.shard(S), PerShard[S]);
     if (Ctx.CachePool)
       Ctx.CachePool->park(std::move(ShardCache));
   });
-  return mergeMissSeqs(PerShard);
+  return mergeMissSeqs(PerShard, Ctx.Pool, Grant.Helpers);
+}
+
+/// Aggregate-only sharded replay: per-shard counters and per-set miss
+/// counts combine without ever reconstructing global order — the merge
+/// is elided outright.
+MissStreamAggregates
+shardedMissAggregates(std::span<const MemoryRecord> Records,
+                      const CacheGeometry &Geometry, ReplacementKind Policy,
+                      MissStreamOptions Options, const SimContext &Ctx,
+                      const ShardGrant &Grant) {
+  const std::vector<SetRange> Plan = planShards(Geometry.numSets(),
+                                                Grant.Shards);
+  const ShardPartition Parts =
+      partitionForGrant(Records, Geometry, Plan, Ctx, Grant);
+
+  MissStreamAggregates Agg;
+  Agg.Accesses = Records.size();
+  Agg.PerSetMisses.assign(Geometry.numSets(), 0);
+  std::vector<ShardAggregates> PerShard(Plan.size());
+  Ctx.Pool->parallelFor(Plan.size(), Grant.Helpers, [&](size_t S) {
+    std::unique_ptr<Cache> ShardCache =
+        Ctx.CachePool ? Ctx.CachePool->acquire(Geometry, Policy, Plan[S])
+                      : std::make_unique<Cache>(Geometry, Plan[S], Policy);
+    PerShard[S] = simulateShardAggregates(*ShardCache, Parts.shard(S));
+    // Shard windows are disjoint set ranges, so these writes never
+    // overlap across workers.
+    std::copy(ShardCache->perSetMisses().begin(),
+              ShardCache->perSetMisses().end(),
+              Agg.PerSetMisses.begin() + Plan[S].Begin);
+    if (Ctx.CachePool)
+      Ctx.CachePool->park(std::move(ShardCache));
+  });
+  for (const ShardAggregates &Shard : PerShard) {
+    Agg.Misses += Shard.Misses;
+    Agg.LoadMisses += Shard.LoadMisses;
+    Agg.StoreMisses += Shard.StoreMisses;
+  }
+  Agg.Events = Agg.LoadMisses + (Options.IncludeStores ? Agg.StoreMisses : 0);
+  if (Ctx.Stats)
+    Ctx.Stats->ElidedMerges.fetch_add(1, std::memory_order_relaxed);
+  return Agg;
+}
+
+/// Sequential aggregate collection: the same replay as
+/// collectL1MissStream, counting instead of recording.
+MissStreamAggregates
+sequentialMissAggregates(const Trace &Execution, const CacheGeometry &Geometry,
+                         MissStreamOptions Options) {
+  Cache L1(Geometry, Options.Policy);
+  MissStreamAggregates Agg;
+  Agg.Accesses = Execution.size();
+  for (const MemoryRecord &Record : Execution.records()) {
+    if (L1.access(Record.Addr, Record.IsWrite).Hit)
+      continue;
+    ++(Record.IsWrite ? Agg.StoreMisses : Agg.LoadMisses);
+  }
+  Agg.Misses = L1.stats().Misses;
+  Agg.PerSetMisses = L1.perSetMisses();
+  Agg.Events = Agg.LoadMisses + (Options.IncludeStores ? Agg.StoreMisses : 0);
+  return Agg;
 }
 
 } // namespace
@@ -150,6 +209,25 @@ ccprof::collectL2MissStream(const Trace &Execution,
   return Stream;
 }
 
+MissStreamAggregates
+ccprof::collectL1MissAggregates(const Trace &Execution,
+                                const CacheGeometry &Geometry,
+                                MissStreamOptions Options,
+                                const SimContext &Ctx) {
+  if (Options.Policy == ReplacementKind::Random)
+    return sequentialMissAggregates(Execution, Geometry, Options);
+  const ShardGrant Grant =
+      acquireShardGrant(Ctx, Geometry.numSets(), Execution.size());
+  if (Grant.Shards <= 1 && Grant.Helpers == 0) {
+    releaseShardGrant(Ctx, Grant);
+    return sequentialMissAggregates(Execution, Geometry, Options);
+  }
+  MissStreamAggregates Agg = shardedMissAggregates(
+      Execution.records(), Geometry, Options.Policy, Options, Ctx, Grant);
+  releaseShardGrant(Ctx, Grant);
+  return Agg;
+}
+
 std::vector<MissEvent> ccprof::collectL1MissStreamParallel(
     const Trace &Execution, const CacheGeometry &Geometry,
     MissStreamOptions Options, const SimContext &Ctx) {
@@ -164,17 +242,58 @@ std::vector<MissEvent> ccprof::collectL1MissStreamParallel(
 
   const std::vector<uint64_t> MissSeqs = shardedMissSeqs(
       Execution.records(), Geometry, Options.Policy, Ctx, Grant);
-  releaseShardGrant(Ctx, Grant);
 
+  // Rebuild the MissEvent stream from the merged sequence numbers.
+  // This tail is proportional to the miss count, so it gets the same
+  // count / prefix / scatter treatment as the partition instead of
+  // running serially: chunks count their kept events, a prefix sum
+  // assigns disjoint output slices, and the scatter fills them. The
+  // chunk grid never changes the bytes produced — only who writes
+  // them — so the stream stays identical at every helper count.
   const std::span<const MemoryRecord> Records = Execution.records();
   std::vector<MissEvent> Stream;
-  Stream.reserve(MissSeqs.size());
-  for (uint64_t Seq : MissSeqs) {
-    const MemoryRecord &Record = Records[Seq];
-    if (Record.IsWrite && !Options.IncludeStores)
-      continue;
-    Stream.push_back(MissEvent{Record.Site, Record.Addr, Record.Addr});
+  auto KeepsEvent = [&](uint64_t Seq) {
+    return !Records[Seq].IsWrite || Options.IncludeStores;
+  };
+  if (Grant.Helpers > 0 && !MissSeqs.empty()) {
+    const std::vector<size_t> Chunks =
+        planChunks(MissSeqs.size(), Grant.Helpers + 1, size_t{1} << 15);
+    const size_t NumChunks = Chunks.size() - 1;
+    std::vector<size_t> Offsets(NumChunks + 1, 0);
+    if (Options.IncludeStores) {
+      // Every miss becomes an event: offsets are the chunk bounds.
+      Offsets = Chunks;
+    } else {
+      Ctx.Pool->parallelFor(NumChunks, Grant.Helpers, [&](size_t C) {
+        size_t Kept = 0;
+        for (size_t I = Chunks[C]; I < Chunks[C + 1]; ++I)
+          Kept += KeepsEvent(MissSeqs[I]) ? 1 : 0;
+        Offsets[C + 1] = Kept;
+      });
+      for (size_t C = 0; C < NumChunks; ++C)
+        Offsets[C + 1] += Offsets[C];
+    }
+    Stream.resize(Offsets.back());
+    Ctx.Pool->parallelFor(NumChunks, Grant.Helpers, [&](size_t C) {
+      size_t Out = Offsets[C];
+      for (size_t I = Chunks[C]; I < Chunks[C + 1]; ++I) {
+        const MemoryRecord &Record = Records[MissSeqs[I]];
+        if (Record.IsWrite && !Options.IncludeStores)
+          continue;
+        Stream[Out++] = MissEvent{Record.Site, Record.Addr, Record.Addr};
+      }
+      assert(Out == Offsets[C + 1] && "chunk must fill its exact slice");
+    });
+  } else {
+    Stream.reserve(MissSeqs.size());
+    for (uint64_t Seq : MissSeqs) {
+      if (!KeepsEvent(Seq))
+        continue;
+      const MemoryRecord &Record = Records[Seq];
+      Stream.push_back(MissEvent{Record.Site, Record.Addr, Record.Addr});
+    }
   }
+  releaseShardGrant(Ctx, Grant);
   return Stream;
 }
 

@@ -80,6 +80,39 @@ std::vector<MissEvent> collectL2MissStream(const Trace &Execution,
                                            PageMapper &Mapper,
                                            MissStreamOptions Options = {});
 
+/// Aggregate view of a miss-stream simulation, for callers that need
+/// statistics but not the ordered event stream — the merge-elision
+/// fast path of the sharded engine: per-shard counters combine
+/// directly (addition is order-free), so no global miss order is ever
+/// reconstructed. Field-for-field consistent with the ordered
+/// collector: Events equals the stream length collectL1MissStream
+/// would return under the same options.
+struct MissStreamAggregates {
+  uint64_t Accesses = 0;    ///< References replayed (the trace length).
+  uint64_t Misses = 0;      ///< All missing accesses, loads and stores.
+  uint64_t LoadMisses = 0;
+  uint64_t StoreMisses = 0;
+  /// Entries the ordered collector would emit: load misses, plus store
+  /// misses when MissStreamOptions::IncludeStores is set.
+  uint64_t Events = 0;
+  /// Misses per (global) set index, size Geometry.numSets().
+  std::vector<uint64_t> PerSetMisses;
+
+  bool operator==(const MissStreamAggregates &Other) const = default;
+};
+
+/// Replays \p Execution through an L1 cache of \p Geometry and \returns
+/// only aggregate statistics. With a sharding-capable \p Ctx the
+/// per-shard replays run in parallel and the ordered merge is elided
+/// entirely (Ctx.Stats counts the elisions); the returned aggregates
+/// are identical to those derived from the ordered collectors at every
+/// execution shape, including the sequential fallbacks (Random policy,
+/// short traces, no pool).
+MissStreamAggregates
+collectL1MissAggregates(const Trace &Execution, const CacheGeometry &Geometry,
+                        MissStreamOptions Options = {},
+                        const SimContext &Ctx = {});
+
 /// Set-sharded parallel variant of collectL1MissStream: partitions the
 /// trace by set index, simulates contiguous set ranges on \p Ctx's
 /// thread pool, and k-way merges the per-shard miss lists by global

@@ -7,6 +7,8 @@
 
 #include "sim/ShardedSim.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -41,6 +43,134 @@ ShardMap::ShardMap(std::span<const SetRange> Plan)
               SetToShard.begin() + Plan[S].End, static_cast<uint32_t>(S));
 }
 
+namespace {
+
+/// Smallest chunk worth its per-chunk counter row: below this the
+/// bookkeeping (K counters per chunk, two passes) competes with the
+/// routing work itself.
+constexpr size_t MinRecordsPerChunk = 1 << 15;
+
+/// Smallest merge-path segment worth its binary-search split: below
+/// this the split searches compete with the merging itself.
+constexpr size_t MinMergeSegment = 1 << 16;
+
+/// A-side split of the merge path of ascending (A, B) at combined
+/// offset \p T: the first T merged elements are exactly A[0, a) and
+/// B[0, T - a) for the returned a. Requires the values of A and B to
+/// be pairwise distinct — true here, since each global sequence
+/// number lives in exactly one shard's miss list — which makes the
+/// split unique and the segmented merge byte-identical to one
+/// std::merge over the whole pair.
+size_t mergePathSplit(const std::vector<uint64_t> &A,
+                      const std::vector<uint64_t> &B, size_t T) {
+  size_t Lo = T > B.size() ? T - B.size() : 0;
+  size_t Hi = std::min(T, A.size());
+  while (Lo < Hi) {
+    const size_t Mid = Lo + (Hi - Lo) / 2;
+    // A[Mid] sorts before B's last left-side candidate, so it belongs
+    // on the left of the cut: the split lies strictly above Mid.
+    if (A[Mid] < B[T - Mid - 1])
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}
+
+/// Counts how many of Records[Begin..End) route to each shard into
+/// \p Counts (size K, zeroed by the caller).
+void countChunk(std::span<const MemoryRecord> Records, size_t Begin,
+                size_t End, const CacheGeometry &Geometry,
+                const ShardMap &Map, size_t *Counts) {
+  for (size_t I = Begin; I < End; ++I)
+    ++Counts[Map.shardOf(Geometry.setIndexOf(Records[I].Addr))];
+}
+
+/// Scatters Records[Begin..End) into \p Arena at the per-shard cursors
+/// of \p Cursors (size K, advanced in place). Within the chunk, global
+/// order is preserved per shard, so chunk-ascending cursor bases give
+/// each shard its refs in ascending seq order.
+void scatterChunk(std::span<const MemoryRecord> Records, size_t Begin,
+                  size_t End, const CacheGeometry &Geometry,
+                  const ShardMap &Map, std::span<ShardRef> Arena,
+                  size_t *Cursors) {
+  for (size_t I = Begin; I < End; ++I) {
+    const MemoryRecord &Record = Records[I];
+    const uint32_t S = Map.shardOf(Geometry.setIndexOf(Record.Addr));
+    Arena[Cursors[S]++] = ShardRef::make(I, Record.Addr, Record.IsWrite);
+  }
+}
+
+} // namespace
+
+ShardPartition ccprof::partitionBySet(std::span<const MemoryRecord> Records,
+                                      const CacheGeometry &Geometry,
+                                      std::span<const SetRange> Plan) {
+  const ShardMap Map(Plan);
+  const size_t K = Plan.size();
+
+  ShardPartition Part;
+  Part.Offsets.assign(K + 1, 0);
+  // Count pass: exact shard sizes so the arena never regrows.
+  std::vector<size_t> Counts(K, 0);
+  countChunk(Records, 0, Records.size(), Geometry, Map, Counts.data());
+  for (size_t S = 0; S < K; ++S)
+    Part.Offsets[S + 1] = Part.Offsets[S] + Counts[S];
+
+  Part.Arena.resize(Records.size());
+  std::vector<size_t> Cursors(Part.Offsets.begin(), Part.Offsets.end() - 1);
+  scatterChunk(Records, 0, Records.size(), Geometry, Map, Part.Arena,
+               Cursors.data());
+  return Part;
+}
+
+ShardPartition
+ccprof::partitionBySetParallel(std::span<const MemoryRecord> Records,
+                               const CacheGeometry &Geometry,
+                               std::span<const SetRange> Plan,
+                               ThreadPool &Pool, unsigned Helpers) {
+  const ShardMap Map(Plan);
+  const size_t K = Plan.size();
+  const std::vector<size_t> Chunks =
+      planChunks(Records.size(), Helpers + 1, MinRecordsPerChunk);
+  const size_t NumChunks = Chunks.size() - 1;
+
+  // Pass 1 (parallel): per-chunk, per-shard routing counts. Each chunk
+  // owns one row of the counts matrix, so no write is shared.
+  std::vector<size_t> Counts(NumChunks * K, 0);
+  Pool.parallelFor(NumChunks, Helpers, [&](size_t C) {
+    countChunk(Records, Chunks[C], Chunks[C + 1], Geometry, Map,
+               Counts.data() + C * K);
+  });
+
+  // Prefix sum (serial, NumChunks x K — tiny next to the trace):
+  // chunk C's cursor for shard S starts after shard S's slots from
+  // every earlier chunk, keeping each shard's refs seq-ascending.
+  ShardPartition Part;
+  Part.Offsets.assign(K + 1, 0);
+  std::vector<size_t> Starts(NumChunks * K, 0);
+  size_t Running = 0;
+  for (size_t S = 0; S < K; ++S) {
+    Part.Offsets[S] = Running;
+    for (size_t C = 0; C < NumChunks; ++C) {
+      Starts[C * K + S] = Running;
+      Running += Counts[C * K + S];
+    }
+  }
+  Part.Offsets[K] = Running;
+  assert(Running == Records.size() && "partition must place every record");
+
+  // Pass 2 (parallel): scatter into disjoint, precomputed arena slots.
+  Part.Arena.resize(Records.size());
+  Pool.parallelFor(NumChunks, Helpers, [&](size_t C) {
+    std::vector<size_t> Cursors(Starts.begin() + C * K,
+                                Starts.begin() + (C + 1) * K);
+    scatterChunk(Records, Chunks[C], Chunks[C + 1], Geometry, Map,
+                 Part.Arena, Cursors.data());
+  });
+  return Part;
+}
+
 void ccprof::simulateShard(Cache &ShardCache, std::span<const ShardRef> Refs,
                            std::vector<uint64_t> &MissSeqs) {
   MissSeqs.clear();
@@ -59,41 +189,126 @@ void ccprof::simulateShard(Cache &ShardCache, std::span<const ShardRef> Refs,
   }
 }
 
-std::vector<uint64_t>
-ccprof::mergeMissSeqs(std::span<const std::vector<uint64_t>> PerShard) {
-  size_t Total = 0;
-  for (const std::vector<uint64_t> &Shard : PerShard)
-    Total += Shard.size();
-
-  std::vector<uint64_t> Merged;
-  Merged.reserve(Total);
-
-  if (PerShard.size() == 1) {
-    Merged = PerShard.front();
-    return Merged;
+ShardAggregates
+ccprof::simulateShardAggregates(Cache &ShardCache,
+                                std::span<const ShardRef> Refs) {
+  ShardAggregates Agg;
+  constexpr size_t PrefetchAhead = 8;
+  for (size_t I = 0; I < Refs.size(); ++I) {
+    if (I + PrefetchAhead < Refs.size())
+      ShardCache.prefetchSet(Refs[I + PrefetchAhead].Addr);
+    const ShardRef &R = Refs[I];
+    if (!ShardCache.access(R.Addr, R.isWrite()).Hit) {
+      ++Agg.Misses;
+      ++(R.isWrite() ? Agg.StoreMisses : Agg.LoadMisses);
+    }
   }
+  return Agg;
+}
 
-  // Linear min-scan over the K shard heads: K is small (bounded by the
-  // thread budget), and every input list is ascending, so this is the
-  // classical k-way merge without heap bookkeeping.
-  std::vector<size_t> Head(PerShard.size(), 0);
-  while (Merged.size() < Total) {
-    size_t Best = PerShard.size();
-    uint64_t BestSeq = 0;
-    for (size_t S = 0; S < PerShard.size(); ++S) {
-      if (Head[S] >= PerShard[S].size())
-        continue;
-      const uint64_t Seq = PerShard[S][Head[S]];
-      if (Best == PerShard.size() || Seq < BestSeq) {
-        Best = S;
-        BestSeq = Seq;
+std::vector<uint64_t>
+ccprof::mergeMissSeqs(std::span<std::vector<uint64_t>> PerShard,
+                      ThreadPool *Pool, unsigned Helpers) {
+  if (PerShard.empty())
+    return {};
+  if (PerShard.size() == 1)
+    return std::move(PerShard.front());
+
+  // Pairwise tournament: each round merges adjacent pairs (both
+  // ascending, so std::merge into a pre-sized output), halving the
+  // list count. Every pair is additionally cut along its merge path
+  // into segments that merge independently, so even the final round —
+  // one pair spanning the whole stream, a fully serial O(Total) tail
+  // otherwise — spreads across all granted workers. Pairing and
+  // per-segment output slots are fixed by sizes alone, so the result
+  // is identical at every helper count.
+  std::vector<std::vector<uint64_t>> Cur(
+      std::make_move_iterator(PerShard.begin()),
+      std::make_move_iterator(PerShard.end()));
+  while (Cur.size() > 1) {
+    const size_t Pairs = Cur.size() / 2;
+    std::vector<std::vector<uint64_t>> Next(Pairs + Cur.size() % 2);
+    for (size_t P = 0; P < Pairs; ++P)
+      Next[P].resize(Cur[2 * P].size() + Cur[2 * P + 1].size());
+    if (Pool && Helpers > 0) {
+      // One flat job list across all pairs of the round: a job is one
+      // merge-path segment of one pair, writing a disjoint slice of
+      // that pair's output.
+      struct MergeSegment {
+        size_t Pair;
+        size_t ABegin, AEnd;
+        size_t BBegin, BEnd;
+        size_t OutBegin;
+      };
+      std::vector<MergeSegment> Jobs;
+      for (size_t P = 0; P < Pairs; ++P) {
+        const std::vector<uint64_t> &A = Cur[2 * P];
+        const std::vector<uint64_t> &B = Cur[2 * P + 1];
+        const std::vector<size_t> Cuts =
+            planChunks(A.size() + B.size(), Helpers + 1, MinMergeSegment);
+        size_t PrevA = 0;
+        for (size_t C = 1; C < Cuts.size(); ++C) {
+          const size_t SplitA =
+              C + 1 == Cuts.size() ? A.size() : mergePathSplit(A, B, Cuts[C]);
+          Jobs.push_back(MergeSegment{P, PrevA, SplitA, Cuts[C - 1] - PrevA,
+                                      Cuts[C] - SplitA, Cuts[C - 1]});
+          PrevA = SplitA;
+        }
+      }
+      Pool->parallelFor(Jobs.size(), Helpers, [&](size_t J) {
+        const MergeSegment &Seg = Jobs[J];
+        const std::vector<uint64_t> &A = Cur[2 * Seg.Pair];
+        const std::vector<uint64_t> &B = Cur[2 * Seg.Pair + 1];
+        std::merge(A.begin() + Seg.ABegin, A.begin() + Seg.AEnd,
+                   B.begin() + Seg.BBegin, B.begin() + Seg.BEnd,
+                   Next[Seg.Pair].begin() + Seg.OutBegin);
+      });
+      for (size_t P = 0; P < Pairs; ++P) {
+        Cur[2 * P].clear();
+        Cur[2 * P].shrink_to_fit();
+        Cur[2 * P + 1].clear();
+        Cur[2 * P + 1].shrink_to_fit();
+      }
+    } else {
+      for (size_t P = 0; P < Pairs; ++P) {
+        std::vector<uint64_t> &A = Cur[2 * P];
+        std::vector<uint64_t> &B = Cur[2 * P + 1];
+        std::merge(A.begin(), A.end(), B.begin(), B.end(),
+                   Next[P].begin());
+        A.clear();
+        A.shrink_to_fit();
+        B.clear();
+        B.shrink_to_fit();
       }
     }
-    assert(Best < PerShard.size() && "merge ran dry before Total");
-    Merged.push_back(BestSeq);
-    ++Head[Best];
+    if (Cur.size() % 2)
+      Next.back() = std::move(Cur.back());
+    Cur = std::move(Next);
   }
-  return Merged;
+  return std::move(Cur.front());
+}
+
+size_t ShardCachePool::BucketKeyHash::operator()(const BucketKey &Key) const {
+  // FNV-1a over the key fields; quality only affects bucket spread.
+  uint64_t H = 0xcbf29ce484222325ull;
+  for (uint64_t V : {Key.SizeBytes, Key.LineBytes, Key.Associativity,
+                     Key.WindowSets, static_cast<uint64_t>(Key.Policy)}) {
+    H ^= V;
+    H *= 0x100000001b3ull;
+  }
+  return static_cast<size_t>(H);
+}
+
+ShardCachePool::BucketKey ShardCachePool::keyOf(const CacheGeometry &Geometry,
+                                                ReplacementKind Policy,
+                                                uint64_t WindowSets) {
+  BucketKey Key;
+  Key.SizeBytes = Geometry.sizeBytes();
+  Key.LineBytes = Geometry.lineBytes();
+  Key.Associativity = Geometry.associativity();
+  Key.WindowSets = WindowSets;
+  Key.Policy = Policy;
+  return Key;
 }
 
 std::unique_ptr<Cache> ShardCachePool::acquire(const CacheGeometry &Geometry,
@@ -102,16 +317,12 @@ std::unique_ptr<Cache> ShardCachePool::acquire(const CacheGeometry &Geometry,
   std::unique_ptr<Cache> Reused;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    for (size_t I = 0; I < Parked.size(); ++I) {
-      Cache &C = *Parked[I];
-      if (C.geometry() == Geometry && C.policy() == Policy &&
-          C.window().size() == Window.size()) {
-        Reused = std::move(Parked[I]);
-        Parked[I] = std::move(Parked.back());
-        Parked.pop_back();
-        ++Reuses;
-        break;
-      }
+    auto It = Buckets.find(keyOf(Geometry, Policy, Window.size()));
+    if (It != Buckets.end() && !It->second.empty()) {
+      Reused = std::move(It->second.back());
+      It->second.pop_back();
+      --NumParked;
+      ++Reuses;
     }
   }
   if (Reused) {
@@ -125,13 +336,16 @@ std::unique_ptr<Cache> ShardCachePool::acquire(const CacheGeometry &Geometry,
 
 void ShardCachePool::park(std::unique_ptr<Cache> Instance) {
   assert(Instance && "parking a null cache");
+  const BucketKey Key = keyOf(Instance->geometry(), Instance->policy(),
+                              Instance->window().size());
   std::lock_guard<std::mutex> Lock(Mutex);
-  Parked.push_back(std::move(Instance));
+  Buckets[Key].push_back(std::move(Instance));
+  ++NumParked;
 }
 
 size_t ShardCachePool::parked() const {
   std::lock_guard<std::mutex> Lock(Mutex);
-  return Parked.size();
+  return NumParked;
 }
 
 uint64_t ShardCachePool::reuses() const {

@@ -14,20 +14,24 @@
 /// into K shards of contiguous set ranges, each shard simulated
 /// independently against a windowed Cache, and the per-shard miss lists
 /// — sorted by the access's global sequence number by construction —
-/// k-way merged back into the exact miss stream a sequential simulation
+/// merged back into the exact miss stream a sequential simulation
 /// produces. The decomposition is bit-exact for every deterministic
 /// replacement policy; ReplacementKind::Random consumes a cache-global
 /// RNG whose draw order depends on the interleaving of sets, so Random
 /// simulations must stay sequential (callers gate on this).
 ///
-/// The pieces here are deliberately policy-free building blocks:
-/// planShards() cuts the set space, simulateShard() walks one shard's
-/// subsequence, mergeMissSeqs() reconstructs global order, and
-/// ShardCachePool recycles windowed Cache instances across
-/// configurations so repeated sharded runs do not reallocate state
-/// planes. The trace-facing collectors that put them together live in
-/// pmu/PebsEvent.h; the thread-budget policy lives with the batch
-/// runner (pipeline/JobRunner.h).
+/// Every stage is built to keep the serial fraction near zero (Amdahl
+/// is what sank the first sharded design — see DESIGN.md §7):
+/// partitioning is a block-parallel count + prefix-sum + scatter into
+/// one pre-sized flat arena (partitionBySetParallel), the k-way merge
+/// is a pairwise tournament whose rounds parallelize (mergeMissSeqs),
+/// and callers that only need aggregate statistics skip the merge
+/// entirely (simulateShardAggregates + the aggregate collectors in
+/// pmu/PebsEvent.h). ShardCachePool recycles windowed Cache instances
+/// across configurations in O(1) so repeated sharded runs do not
+/// reallocate state planes. The trace-facing collectors that put the
+/// pieces together live in pmu/PebsEvent.h; the thread-budget policy
+/// lives with the batch runner (pipeline/JobRunner.h).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,11 +39,14 @@
 #define CCPROF_SIM_SHARDEDSIM_H
 
 #include "sim/Cache.h"
+#include "trace/MemoryRecord.h"
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 namespace ccprof {
@@ -60,6 +67,7 @@ struct ShardRef {
   }
   uint64_t seq() const { return SeqAndWrite >> 1; }
   bool isWrite() const { return SeqAndWrite & 1; }
+  bool operator==(const ShardRef &Other) const = default;
 };
 
 /// Cuts \p NumSets into at most \p ShardCount contiguous, non-empty,
@@ -82,6 +90,46 @@ private:
   size_t NumShards;
 };
 
+/// A reference stream routed to its shards: one pre-sized flat arena
+/// holding every shard's subsequence contiguously, in ascending global
+/// sequence order within each shard. Replaces the per-shard
+/// std::vector<ShardRef> regions of the first sharded design — no
+/// per-shard regrowth, no K separate allocations, and the scatter that
+/// fills it can run block-parallel because every slot is precomputed.
+struct ShardPartition {
+  std::vector<ShardRef> Arena;
+  /// Shard S occupies Arena[Offsets[S] .. Offsets[S+1]).
+  std::vector<size_t> Offsets;
+
+  size_t numShards() const {
+    return Offsets.empty() ? 0 : Offsets.size() - 1;
+  }
+  size_t totalRefs() const { return Arena.size(); }
+  std::span<const ShardRef> shard(size_t S) const {
+    assert(S + 1 < Offsets.size() && "shard index out of range");
+    return std::span<const ShardRef>(Arena.data() + Offsets[S],
+                                     Offsets[S + 1] - Offsets[S]);
+  }
+};
+
+/// Routes every record of \p Records into its shard per \p Plan,
+/// sequentially (count pass + fill pass in the calling thread).
+ShardPartition partitionBySet(std::span<const MemoryRecord> Records,
+                              const CacheGeometry &Geometry,
+                              std::span<const SetRange> Plan);
+
+/// Block-parallel partitionBySet: the trace is cut into contiguous
+/// chunks (planChunks), workers count each chunk's per-shard routing,
+/// a sequential prefix sum turns the chunk x shard counts into exact
+/// arena cursors, and workers scatter their chunks into disjoint arena
+/// slots. Record-for-record identical to the sequential partition at
+/// every chunk grid and helper count — the cursors fix each record's
+/// slot before any thread writes.
+ShardPartition partitionBySetParallel(std::span<const MemoryRecord> Records,
+                                      const CacheGeometry &Geometry,
+                                      std::span<const SetRange> Plan,
+                                      ThreadPool &Pool, unsigned Helpers);
+
 /// Replays \p Refs (all of which must map into \p ShardCache's window,
 /// in ascending seq order) and appends the global sequence number of
 /// every access that missed to \p MissSeqs. \p ShardCache must be
@@ -89,17 +137,41 @@ private:
 void simulateShard(Cache &ShardCache, std::span<const ShardRef> Refs,
                    std::vector<uint64_t> &MissSeqs);
 
-/// K-way merges the ascending per-shard miss lists into one ascending
-/// list — the global miss order a sequential simulation would emit.
-std::vector<uint64_t>
-mergeMissSeqs(std::span<const std::vector<uint64_t>> PerShard);
+/// Counters of one shard replay when only totals are needed (the
+/// merge-elision fast path: no miss list is materialized at all).
+struct ShardAggregates {
+  uint64_t Misses = 0;      ///< All missing accesses, loads and stores.
+  uint64_t LoadMisses = 0;
+  uint64_t StoreMisses = 0;
+};
+
+/// Replays \p Refs like simulateShard but records nothing per miss —
+/// only the aggregate counters. Per-set misses stay available from
+/// \p ShardCache.perSetMisses() afterwards.
+ShardAggregates simulateShardAggregates(Cache &ShardCache,
+                                        std::span<const ShardRef> Refs);
+
+/// Merges the ascending per-shard miss lists into one ascending list —
+/// the global miss order a sequential simulation would emit.
+/// Destructive: the inputs are consumed (the single-shard fast path
+/// moves the list out; multi-shard inputs are drained by a pairwise
+/// tournament of std::merge rounds, O(Total * ceil(log2 K)) instead of
+/// the old linear min-scan's O(Total * K)). When \p Pool is non-null,
+/// each round's pair merges run across up to \p Helpers pool workers;
+/// the result is identical at every helper count.
+std::vector<uint64_t> mergeMissSeqs(std::span<std::vector<uint64_t>> PerShard,
+                                    ThreadPool *Pool = nullptr,
+                                    unsigned Helpers = 0);
 
 /// Thread-safe pool of windowed Cache instances. A shard simulation
 /// acquires a cache per shard and parks it afterwards; a later
 /// acquisition with the same geometry, policy, and window width reuses
-/// the parked instance's state planes (resetForReuse) instead of
+/// a parked instance's state planes (resetForReuse) instead of
 /// reallocating them — the common case when one batch run sweeps many
-/// sampling periods over few cache configurations.
+/// sampling periods over few cache configurations. Parked instances
+/// are bucketed by (geometry, policy, window-size), so acquire is one
+/// hash lookup under the mutex no matter how many configurations a
+/// batch has parked.
 class ShardCachePool {
 public:
   /// Returns a reset cache for (\p Geometry, \p Policy, \p Window),
@@ -114,9 +186,49 @@ public:
   uint64_t reuses() const;
 
 private:
+  /// Everything acquire() matches on. Window position is deliberately
+  /// absent: resetForReuse re-aims the window, only the width must
+  /// agree for the state planes to fit.
+  struct BucketKey {
+    uint64_t SizeBytes = 0;
+    uint64_t LineBytes = 0;
+    uint64_t Associativity = 0;
+    uint64_t WindowSets = 0;
+    ReplacementKind Policy = ReplacementKind::Lru;
+
+    bool operator==(const BucketKey &Other) const = default;
+  };
+  struct BucketKeyHash {
+    size_t operator()(const BucketKey &Key) const;
+  };
+
+  static BucketKey keyOf(const CacheGeometry &Geometry,
+                         ReplacementKind Policy, uint64_t WindowSets);
+
   mutable std::mutex Mutex;
-  std::vector<std::unique_ptr<Cache>> Parked;
+  std::unordered_map<BucketKey, std::vector<std::unique_ptr<Cache>>,
+                     BucketKeyHash>
+      Buckets;
+  size_t NumParked = 0;
   uint64_t Reuses = 0;
+};
+
+/// Counters of how the sharding gate actually executed, shared across
+/// every simulation of a run (all atomic; a null pointer in SimContext
+/// disables collection). The interesting split is sharded-with-helpers
+/// vs the degraded mode: an explicit shard count is honored even when
+/// no helper thread was granted, which serializes K shard replays on
+/// the calling thread — bench sweeps must be able to tell that apart
+/// from real parallel runs.
+struct ShardExecStats {
+  /// Simulations that took the sharded path (Shards > 1).
+  std::atomic<uint64_t> ShardedSims{0};
+  /// Sharded simulations that got zero helper threads (explicit
+  /// --shards with an exhausted budget or an empty pool): every shard
+  /// replayed serially on one thread.
+  std::atomic<uint64_t> UnhelpedShardedSims{0};
+  /// Aggregate-only collections that skipped the ordered merge.
+  std::atomic<uint64_t> ElidedMerges{0};
 };
 
 /// Everything a miss-stream collector needs to go parallel. A
@@ -131,6 +243,8 @@ struct SimContext {
   ThreadBudget *Budget = nullptr;
   /// Recycles windowed caches across configurations; may be null.
   ShardCachePool *CachePool = nullptr;
+  /// Execution accounting sink; may be null.
+  ShardExecStats *Stats = nullptr;
   /// Shard count; 0 = one shard per granted thread.
   unsigned Shards = 0;
   /// Traces shorter than this are simulated sequentially — partition

@@ -90,6 +90,26 @@ void ThreadPool::parallelFor(size_t Count, unsigned HelperCap,
   J->DoneCv.wait(Lock, [&] { return J->Done.load() == Count; });
 }
 
+std::vector<size_t> ccprof::planChunks(size_t Items, unsigned Threads,
+                                       size_t MinItemsPerChunk) {
+  // A few chunks per thread keeps the tail short when chunk costs vary
+  // (the last thread never sits on more than ~1/4 of its share).
+  constexpr size_t ChunksPerThread = 4;
+  const size_t ByThreads =
+      std::max<size_t>(1, static_cast<size_t>(Threads) * ChunksPerThread);
+  const size_t ByGrain = std::max<size_t>(
+      1, MinItemsPerChunk == 0 ? Items : Items / MinItemsPerChunk);
+  const size_t NumChunks = std::max<size_t>(1, std::min(ByThreads, ByGrain));
+
+  std::vector<size_t> Bounds(NumChunks + 1, 0);
+  const size_t Base = Items / NumChunks;
+  const size_t Rem = Items % NumChunks;
+  for (size_t C = 0; C < NumChunks; ++C)
+    Bounds[C + 1] = Bounds[C] + Base + (C < Rem ? 1 : 0);
+  assert(Bounds.back() == Items && "chunk grid must cover every item");
+  return Bounds;
+}
+
 ThreadBudget::ThreadBudget(unsigned Total)
     : TotalCount(std::max(1u, Total)), Avail(TotalCount) {}
 

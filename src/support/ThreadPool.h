@@ -89,6 +89,18 @@ private:
   std::vector<std::thread> Workers;
 };
 
+/// Deterministic chunk grid for block-parallel loops over \p Items
+/// contiguous elements: near-equal chunks, a few per expected thread so
+/// the atomic-counter scheduler can balance uneven chunk costs, but
+/// never finer than \p MinItemsPerChunk (per-chunk bookkeeping must
+/// stay cheap relative to the work). Returns the NumChunks + 1 chunk
+/// boundaries (Bounds[C] .. Bounds[C+1] is chunk C). The grid depends
+/// only on the arguments — never on how many helpers actually show up
+/// at run time — so two passes planned with the same inputs walk
+/// identical chunks.
+std::vector<size_t> planChunks(size_t Items, unsigned Threads,
+                               size_t MinItemsPerChunk);
+
 /// Shared accounting of how many simulation threads the whole batch run
 /// may use at once. Batch workers hold one slot each while running;
 /// a job that wants to shard its simulation asks for extra slots and

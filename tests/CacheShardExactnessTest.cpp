@@ -32,6 +32,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
 #include <sstream>
 #include <vector>
 
@@ -351,5 +353,267 @@ TEST(CacheShardExactnessTest, BatchArtifactsAreByteIdenticalAcrossShapes) {
         << "Workers=" << Exec.Workers << " SimThreads=" << Exec.SimThreads
         << " Shards=" << Exec.Shards;
     EXPECT_GT(Stats.TraceGroups, 0u);
+  }
+}
+
+TEST(CacheShardExactnessTest, ParallelPartitionMatchesSequential) {
+  const CacheGeometry Geometry = testGeometry();
+  // Big enough for several 32k-record chunks, odd enough that the
+  // chunk grid never divides evenly.
+  const Trace T = makeTrace(200'001);
+
+  ThreadPool Pool(3);
+  for (unsigned K : {2u, 3u, 7u, 64u}) {
+    const std::vector<SetRange> Plan = planShards(Geometry.numSets(), K);
+    const ShardPartition Sequential =
+        partitionBySet(T.records(), Geometry, Plan);
+    const std::vector<std::vector<ShardRef>> Oracle =
+        partition(T, Geometry, Plan);
+
+    // The flat arena must hold exactly the per-shard vectors of the
+    // naive router, shard for shard, record for record.
+    ASSERT_EQ(Sequential.numShards(), Plan.size());
+    EXPECT_EQ(Sequential.totalRefs(), T.size());
+    for (size_t S = 0; S < Plan.size(); ++S) {
+      const std::span<const ShardRef> Shard = Sequential.shard(S);
+      ASSERT_EQ(Shard.size(), Oracle[S].size()) << K << " shards, shard " << S;
+      EXPECT_TRUE(std::equal(Shard.begin(), Shard.end(), Oracle[S].begin()))
+          << K << " shards, shard " << S;
+    }
+
+    // The chunked parallel router must reproduce the sequential arena
+    // bit for bit at every helper count (0 = all chunks in the caller).
+    for (unsigned Helpers : {0u, 1u, 3u}) {
+      const ShardPartition Parallel = partitionBySetParallel(
+          T.records(), Geometry, Plan, Pool, Helpers);
+      EXPECT_EQ(Parallel.Offsets, Sequential.Offsets)
+          << K << " shards, " << Helpers << " helper(s)";
+      EXPECT_EQ(Parallel.Arena, Sequential.Arena)
+          << K << " shards, " << Helpers << " helper(s)";
+    }
+  }
+}
+
+TEST(CacheShardExactnessTest, MergeSegmentationMatchesPlainMerge) {
+  // Lists long enough to cross the merge-path segmentation threshold
+  // (64k entries per segment), with deliberately lopsided sizes and
+  // an odd list count so one list carries over between rounds. Values
+  // are globally unique, as shard miss sequence numbers always are.
+  std::vector<std::vector<uint64_t>> Lists(5);
+  uint64_t V = 0;
+  for (size_t Round = 0; Round < 200'000; ++Round)
+    for (size_t L = 0; L < Lists.size(); ++L)
+      if (Round < 100'000 + 40'000 * L)
+        Lists[L].push_back(V++);
+
+  std::vector<uint64_t> Expected;
+  for (const std::vector<uint64_t> &L : Lists)
+    Expected.insert(Expected.end(), L.begin(), L.end());
+  std::sort(Expected.begin(), Expected.end());
+
+  ThreadPool Pool(3);
+  std::vector<std::vector<uint64_t>> Parallel = Lists;
+  EXPECT_EQ(mergeMissSeqs(Parallel, &Pool, 3), Expected);
+  // The merge drains its inputs (move semantics, satellite of the
+  // single-shard copy fix) — spent lists must not linger.
+  for (const std::vector<uint64_t> &L : Parallel)
+    EXPECT_TRUE(L.empty());
+
+  std::vector<std::vector<uint64_t>> Sequential = Lists;
+  EXPECT_EQ(mergeMissSeqs(Sequential), Expected);
+
+  // Single-shard path: moved out wholesale, never copied.
+  std::vector<std::vector<uint64_t>> One(1);
+  One[0] = Lists[0];
+  const uint64_t *Data = One[0].data();
+  const std::vector<uint64_t> Merged = mergeMissSeqs(One);
+  EXPECT_EQ(Merged.data(), Data) << "single-shard merge must move";
+  EXPECT_EQ(Merged, Lists[0]);
+}
+
+TEST(CacheShardExactnessTest, AggregateCollectorMatchesStreamAggregates) {
+  const CacheGeometry Geometry = testGeometry();
+  const Trace T = makeTrace(80'000);
+
+  ThreadPool Pool(3);
+  ShardCachePool CachePool;
+  for (ReplacementKind Policy :
+       {ReplacementKind::Lru, ReplacementKind::Fifo,
+        ReplacementKind::TreePlru}) {
+    for (bool IncludeStores : {false, true}) {
+      MissStreamOptions Options;
+      Options.Policy = Policy;
+      Options.IncludeStores = IncludeStores;
+      const MissStreamAggregates Sequential =
+          collectL1MissAggregates(T, Geometry, Options);
+      const std::vector<MissEvent> Stream =
+          collectL1MissStream(T, Geometry, Options);
+
+      // The sequential aggregates must agree with the ordered stream
+      // and the reference model before they can anchor the sharded
+      // comparison.
+      EXPECT_EQ(Sequential.Accesses, T.size());
+      EXPECT_EQ(Sequential.Events, Stream.size());
+      EXPECT_EQ(Sequential.Misses,
+                Sequential.LoadMisses + Sequential.StoreMisses);
+      ReferenceCache Oracle(Geometry, Policy);
+      for (const MemoryRecord &R : T.records())
+        Oracle.access(R.Addr, R.IsWrite);
+      ASSERT_EQ(Sequential.PerSetMisses.size(), Geometry.numSets());
+      for (uint64_t Set = 0; Set < Geometry.numSets(); ++Set)
+        ASSERT_EQ(Sequential.PerSetMisses[Set], Oracle.missesOnSet(Set))
+            << "set " << Set;
+
+      // Merge elision: the sharded aggregate path must reproduce the
+      // sequential aggregates exactly, at every shard count, without
+      // ever building the ordered stream.
+      for (unsigned Shards : {2u, 3u, 7u, 64u}) {
+        ThreadBudget Budget(4);
+        ShardExecStats Stats;
+        SimContext Ctx;
+        Ctx.Pool = &Pool;
+        Ctx.Budget = &Budget;
+        Ctx.CachePool = &CachePool;
+        Ctx.Stats = &Stats;
+        Ctx.Shards = Shards;
+        Ctx.MinRefsToShard = 0;
+        EXPECT_EQ(collectL1MissAggregates(T, Geometry, Options, Ctx),
+                  Sequential)
+            << "policy " << static_cast<int>(Policy) << ", stores "
+            << IncludeStores << ", " << Shards << " shard(s)";
+        EXPECT_EQ(Stats.ElidedMerges.load(), 1u);
+        EXPECT_EQ(Budget.available(), 4u);
+      }
+    }
+  }
+}
+
+TEST(CacheShardExactnessTest, UnhelpedExplicitShardsAreCountedDegraded) {
+  const CacheGeometry Geometry = testGeometry();
+  const Trace T = makeTrace(70'000);
+  const MissStreamOptions Options;
+  const std::vector<MissEvent> Sequential =
+      collectL1MissStream(T, Geometry, Options);
+
+  ThreadPool Pool(3);
+  ThreadBudget Budget(4);
+  // Drain the budget: every slot is busy elsewhere, exactly the state
+  // of a batch whose workers cover the machine.
+  ASSERT_EQ(Budget.tryAcquire(4), 4u);
+
+  ShardExecStats Stats;
+  SimContext Ctx;
+  Ctx.Pool = &Pool;
+  Ctx.Budget = &Budget;
+  Ctx.Stats = &Stats;
+  Ctx.MinRefsToShard = 0;
+
+  // Automatic shard count on an exhausted budget: the gate declines to
+  // shard at all, and nothing is counted.
+  Ctx.Shards = 0;
+  EXPECT_EQ(collectL1MissStreamParallel(T, Geometry, Options, Ctx),
+            Sequential);
+  EXPECT_EQ(Stats.ShardedSims.load(), 0u);
+
+  // An explicit --shards 4 is still honored: the caller's thread
+  // partitions and replays all four shards back to back (degraded
+  // serialized mode), the run is counted as sharded-but-unhelped, and
+  // the stream stays byte-identical.
+  Ctx.Shards = 4;
+  EXPECT_EQ(collectL1MissStreamParallel(T, Geometry, Options, Ctx),
+            Sequential);
+  EXPECT_EQ(Stats.ShardedSims.load(), 1u);
+  EXPECT_EQ(Stats.UnhelpedShardedSims.load(), 1u);
+  EXPECT_EQ(Budget.available(), 0u) << "no slot may leak back";
+
+  // With the budget refilled the same context shards with helpers:
+  // counted as sharded, not as degraded.
+  Budget.release(4);
+  EXPECT_EQ(collectL1MissStreamParallel(T, Geometry, Options, Ctx),
+            Sequential);
+  EXPECT_EQ(Stats.ShardedSims.load(), 2u);
+  EXPECT_EQ(Stats.UnhelpedShardedSims.load(), 1u);
+  EXPECT_EQ(Budget.available(), 4u);
+}
+
+TEST(CacheShardExactnessTest, ShardCachePoolBucketsByConfig) {
+  const CacheGeometry Small = testGeometry();          // 64 sets, 2-way
+  const CacheGeometry Big(32 * 1024, 64, 4);           // 128 sets, 4-way
+  const SetRange WinA{0, 16}, WinB{16, 32}, Wide{0, 32};
+
+  ShardCachePool Pool;
+  // Park one cache per distinct (geometry, policy, window-width)
+  // bucket, plus a second LRU/Small/16 instance.
+  Pool.park(std::make_unique<Cache>(Small, WinA, ReplacementKind::Lru));
+  Pool.park(std::make_unique<Cache>(Small, WinB, ReplacementKind::Lru));
+  Pool.park(std::make_unique<Cache>(Small, WinA, ReplacementKind::Fifo));
+  Pool.park(std::make_unique<Cache>(Big, WinA, ReplacementKind::Lru));
+  Pool.park(std::make_unique<Cache>(Small, Wide, ReplacementKind::Lru));
+  EXPECT_EQ(Pool.parked(), 5u);
+
+  // Same geometry, same policy, same window width, different window
+  // *position*: reusable — the pool rewinds the window.
+  std::unique_ptr<Cache> R1 =
+      Pool.acquire(Small, ReplacementKind::Lru, SetRange{32, 48});
+  EXPECT_EQ(Pool.reuses(), 1u);
+  EXPECT_EQ(Pool.parked(), 4u);
+  EXPECT_EQ(R1->window(), (SetRange{32, 48}));
+
+  // Both parked LRU/Small/16 instances drain before a miss.
+  std::unique_ptr<Cache> R2 =
+      Pool.acquire(Small, ReplacementKind::Lru, WinA);
+  EXPECT_EQ(Pool.reuses(), 2u);
+  EXPECT_EQ(Pool.parked(), 3u);
+
+  // Bucket misses: fresh instances, no reuse counted — a different
+  // policy, geometry, or window width never matches.
+  Pool.acquire(Small, ReplacementKind::TreePlru, WinA);
+  Pool.acquire(CacheGeometry(4096, 64, 2), ReplacementKind::Lru, WinA);
+  Pool.acquire(Small, ReplacementKind::Lru, SetRange{0, 8});
+  EXPECT_EQ(Pool.reuses(), 2u);
+  EXPECT_EQ(Pool.parked(), 3u);
+
+  // The remaining buckets (FIFO/Small/16, LRU/Big/16, LRU/Small/32)
+  // each still serve exactly their own configuration.
+  Pool.acquire(Small, ReplacementKind::Fifo, WinB);
+  Pool.acquire(Big, ReplacementKind::Lru, WinB);
+  Pool.acquire(Small, ReplacementKind::Lru, Wide);
+  EXPECT_EQ(Pool.reuses(), 5u);
+  EXPECT_EQ(Pool.parked(), 0u);
+}
+
+TEST(CacheShardExactnessTest, LargeTraceStreamIdenticalAcrossExecShapes) {
+  const CacheGeometry Geometry = testGeometry();
+  // Well past MinRecordsPerChunk and MinRefsToShard: the partition
+  // runs chunked, the merge runs pairwise, and the rebuild runs
+  // scattered — every parallel stage is on its real code path.
+  const Trace T = makeTrace(600'000);
+  MissStreamOptions Options;
+  Options.IncludeStores = true;
+
+  const std::vector<MissEvent> Sequential =
+      collectL1MissStream(T, Geometry, Options);
+  const MissStreamAggregates SeqAgg =
+      collectL1MissAggregates(T, Geometry, Options);
+  ASSERT_EQ(SeqAgg.Events, Sequential.size());
+
+  for (unsigned Workers : {1u, 2u, 3u}) {
+    ThreadPool Pool(Workers);
+    ShardCachePool CachePool;
+    for (unsigned Shards : {2u, 4u, 16u, 64u}) {
+      ThreadBudget Budget(Workers + 1);
+      SimContext Ctx;
+      Ctx.Pool = &Pool;
+      Ctx.Budget = &Budget;
+      Ctx.CachePool = &CachePool;
+      Ctx.Shards = Shards;
+      Ctx.MinRefsToShard = 0;
+      EXPECT_EQ(collectL1MissStreamParallel(T, Geometry, Options, Ctx),
+                Sequential)
+          << Workers << " worker(s), " << Shards << " shard(s)";
+      EXPECT_EQ(collectL1MissAggregates(T, Geometry, Options, Ctx), SeqAgg)
+          << Workers << " worker(s), " << Shards << " shard(s)";
+      EXPECT_EQ(Budget.available(), Workers + 1);
+    }
   }
 }

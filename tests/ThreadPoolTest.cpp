@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <numeric>
 #include <thread>
@@ -139,4 +140,32 @@ TEST(ThreadBudgetTest, ConcurrentAcquireReleaseNeverExceedsTotal) {
     T.join();
   EXPECT_FALSE(Violated.load());
   EXPECT_EQ(Budget.available(), 3u);
+}
+
+TEST(ThreadPoolTest, PlanChunksCoversItemsWithBalancedWidths) {
+  for (size_t Items : {size_t{0}, size_t{1}, size_t{999}, size_t{32'768},
+                       size_t{100'000}, size_t{1'000'001}}) {
+    for (unsigned Threads : {1u, 2u, 4u, 7u}) {
+      const size_t MinItems = 1 << 15;
+      const std::vector<size_t> Cuts = planChunks(Items, Threads, MinItems);
+      ASSERT_GE(Cuts.size(), 2u);
+      EXPECT_EQ(Cuts.front(), 0u);
+      EXPECT_EQ(Cuts.back(), Items);
+      // The grid is a function of the arguments alone (determinism
+      // across runs), caps the chunk count at four per thread, and
+      // never cuts chunks smaller than the floor.
+      EXPECT_EQ(Cuts, planChunks(Items, Threads, MinItems));
+      EXPECT_LE(Cuts.size() - 1, std::max<size_t>(1, 4 * Threads));
+      size_t MinWidth = Items, MaxWidth = 0;
+      for (size_t C = 1; C < Cuts.size(); ++C) {
+        ASSERT_LE(Cuts[C - 1], Cuts[C]) << "boundaries must ascend";
+        MinWidth = std::min(MinWidth, Cuts[C] - Cuts[C - 1]);
+        MaxWidth = std::max(MaxWidth, Cuts[C] - Cuts[C - 1]);
+      }
+      EXPECT_LE(MaxWidth - MinWidth, 1u) << "chunks must be near-equal";
+      if (Cuts.size() > 2) {
+        EXPECT_GE(MinWidth, MinItems);
+      }
+    }
+  }
 }

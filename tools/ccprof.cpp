@@ -884,6 +884,15 @@ int commandBatch(const std::string &Selection,
     if (Shared.ShardCacheReuses)
       std::cout << "; shard caches reused " << Shared.ShardCacheReuses
                 << " time(s)";
+    if (Shared.ShardedSims) {
+      std::cout << "; " << Shared.ShardedSims << " sharded sim(s)";
+      // An explicit --shards on an exhausted budget still shards, but
+      // one thread replays every shard serially — call that out so a
+      // sweep over --shards is not mistaken for parallel execution.
+      if (Shared.UnhelpedShardedSims)
+        std::cout << ", " << Shared.UnhelpedShardedSims
+                  << " unhelped (serialized on one thread)";
+    }
     if (Options.StaticScreen)
       std::cout << "; static screen skipped " << Shared.StaticSkipped
                 << " job(s)";
