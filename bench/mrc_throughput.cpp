@@ -1,0 +1,232 @@
+//===- bench/mrc_throughput.cpp - Single-pass MRC vs N simulations --------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Measures the payoff of the single-pass miss-ratio curve engine: one
+// MrcEngine pass (exact, and SHARDS-sampled) against the per-config
+// alternative it replaces — one full Cache simulation per (size,
+// assoc) sweep point — on the six case-study workloads plus the Fig. 2
+// symmetrization example. Alongside wall-clock, it reports the
+// SHARDS-vs-exact max absolute curve error at every sweep point (both
+// curves read through the binomial model; the per-set/model gap is the
+// conflict signal, not sampling error — see DESIGN.md §10).
+//
+// Emits machine-readable BENCH_mrc.json in the working directory so
+// the perf trajectory is comparable across PRs. `--json` suppresses
+// the human-readable table (the JSON file is always written);
+// `--smoke` shrinks the run to one workload for CI sanity checks;
+// `--gate` exits nonzero if the sampled pass's speedup over the
+// per-config sweep drops below 2.0x on any workload or the SHARDS
+// curve error exceeds the documented 0.05 bound.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+#include "sim/MrcEngine.h"
+#include "support/Table.h"
+#include "trace/Canonicalize.h"
+#include "workloads/Workload.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace ccprof;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr double ShardsRate = 0.25;
+constexpr double ShardsBound = 0.05;
+constexpr double SpeedupFloor = 2.0;
+constexpr int Repeats = 3;
+
+/// The config sweep an MRC pass replaces, at the paper's line size and
+/// associativity. Curve resolution is the whole point of an MRC: the
+/// per-config baseline pays one full simulation per point, the engine
+/// answers every point from the same single pass, so the sweep here is
+/// a realistic ten-point curve rather than the minimal batch default.
+std::vector<CacheGeometry> sweepGeometries() {
+  std::vector<CacheGeometry> Sweep;
+  for (uint64_t SizeKb : {4, 8, 16, 24, 32, 48, 64, 96, 128, 256})
+    Sweep.emplace_back(SizeKb * 1024, 64, 8);
+  return Sweep;
+}
+
+struct WorkloadResult {
+  std::string Name;
+  uint64_t Refs = 0;
+  double SimSeconds = 0.0;    ///< All sweep-point simulations, summed.
+  double ExactSeconds = 0.0;  ///< One exact MRC pass.
+  double ShardsSeconds = 0.0; ///< One SHARDS pass at ShardsRate.
+  double MaxAbsError = 0.0;   ///< SHARDS vs exact, model readout.
+
+  double exactSpeedup() const { return SimSeconds / ExactSeconds; }
+  double shardsSpeedup() const { return SimSeconds / ShardsSeconds; }
+};
+
+/// Min-of-repeats wall clock of \p Fn (min filters scheduler noise).
+template <typename FnT> double timeMin(FnT &&Fn) {
+  double Best = 1e300;
+  for (int Rep = 0; Rep < Repeats; ++Rep) {
+    const Clock::time_point Start = Clock::now();
+    Fn();
+    Best = std::min(
+        Best, std::chrono::duration<double>(Clock::now() - Start).count());
+  }
+  return Best;
+}
+
+WorkloadResult measure(const std::string &Name,
+                       const std::vector<CacheGeometry> &Sweep) {
+  std::unique_ptr<Workload> W = makeWorkloadByName(Name);
+  Trace Recorded;
+  W->run(WorkloadVariant::Original, &Recorded);
+  const Trace T = canonicalizeTrace(Recorded);
+
+  WorkloadResult Result;
+  Result.Name = Name;
+  Result.Refs = T.size();
+
+  // The baseline this engine replaces: one full replay per sweep point.
+  // The sink defeats dead-code elimination across repeats.
+  volatile double Sink = 0.0;
+  Result.SimSeconds = timeMin([&] {
+    for (const CacheGeometry &G : Sweep) {
+      Cache Sim(G, ReplacementKind::Lru);
+      for (const MemoryRecord &R : T.records())
+        Sim.access(R.Addr, R.IsWrite);
+      Sink = Sink + Sim.stats().missRatio();
+    }
+  });
+
+  MrcOptions ExactOpts;
+  Result.ExactSeconds = timeMin([&] {
+    const MissRatioCurve Curve = MrcEngine::compute(T, ExactOpts);
+    Sink = Sink + Curve.missRatioAtLines(512);
+  });
+
+  MrcOptions ShardsOpts;
+  ShardsOpts.Sampled = true;
+  ShardsOpts.SampleRate = ShardsRate;
+  Result.ShardsSeconds = timeMin([&] {
+    const MissRatioCurve Curve = MrcEngine::compute(T, ShardsOpts);
+    Sink = Sink + Curve.missRatioAtLines(512);
+  });
+
+  const MissRatioCurve Exact = MrcEngine::compute(T, ExactOpts);
+  const MissRatioCurve Shards = MrcEngine::compute(T, ShardsOpts);
+  for (const CacheGeometry &G : Sweep)
+    Result.MaxAbsError =
+        std::max(Result.MaxAbsError, std::fabs(Shards.modelMissRatioAt(G) -
+                                               Exact.modelMissRatioAt(G)));
+  return Result;
+}
+
+std::string fixed(double Value, int Digits) {
+  return fmt::fixed(Value, Digits);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Json = false, Gate = false, Smoke = false;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--json") == 0)
+      Json = true;
+    else if (std::strcmp(Argv[I], "--gate") == 0)
+      Gate = true;
+    else if (std::strcmp(Argv[I], "--smoke") == 0)
+      Smoke = true;
+    else {
+      std::cerr << "usage: mrc_throughput [--json] [--gate] [--smoke]\n";
+      return 2;
+    }
+  }
+
+  const std::vector<CacheGeometry> Sweep = sweepGeometries();
+  const std::vector<std::string> Names =
+      Smoke ? std::vector<std::string>{"Symmetrization"}
+            : std::vector<std::string>{"NW",     "MKL-FFT",   "ADI",
+                                       "Tiny-DNN", "Kripke",
+                                       "HimenoBMT", "Symmetrization"};
+
+  std::vector<WorkloadResult> Results;
+  for (const std::string &Name : Names)
+    Results.push_back(measure(Name, Sweep));
+
+  double MaxError = 0.0, MinShardsSpeedup = 1e300, MinExactSpeedup = 1e300;
+  for (const WorkloadResult &R : Results) {
+    MaxError = std::max(MaxError, R.MaxAbsError);
+    MinShardsSpeedup = std::min(MinShardsSpeedup, R.shardsSpeedup());
+    MinExactSpeedup = std::min(MinExactSpeedup, R.exactSpeedup());
+  }
+
+  {
+    std::ofstream Out("BENCH_mrc.json", std::ios::trunc);
+    Out << "{\n  \"bench\": \"mrc_throughput\",\n  \"sweep_points\": "
+        << Sweep.size() << ",\n  \"shards_rate\": " << fixed(ShardsRate, 4)
+        << ",\n  \"workloads\": [\n";
+    for (size_t I = 0; I < Results.size(); ++I) {
+      const WorkloadResult &R = Results[I];
+      Out << "    {\"name\": \"" << R.Name << "\", \"refs\": " << R.Refs
+          << ", \"sim_seconds\": " << fixed(R.SimSeconds, 6)
+          << ", \"exact_mrc_seconds\": " << fixed(R.ExactSeconds, 6)
+          << ", \"shards_mrc_seconds\": " << fixed(R.ShardsSeconds, 6)
+          << ", \"exact_speedup\": " << fixed(R.exactSpeedup(), 3)
+          << ", \"shards_speedup\": " << fixed(R.shardsSpeedup(), 3)
+          << ", \"shards_max_abs_err\": " << fixed(R.MaxAbsError, 6) << "}"
+          << (I + 1 < Results.size() ? "," : "") << '\n';
+    }
+    Out << "  ],\n  \"min_exact_speedup\": " << fixed(MinExactSpeedup, 3)
+        << ",\n  \"min_shards_speedup\": " << fixed(MinShardsSpeedup, 3)
+        << ",\n  \"max_abs_err\": " << fixed(MaxError, 6)
+        << ",\n  \"gate_speedup_floor\": " << fixed(SpeedupFloor, 2)
+        << ",\n  \"gate_error_bound\": " << fixed(ShardsBound, 2) << "\n}\n";
+  }
+
+  if (!Json) {
+    TextTable Table({"workload", "refs", "sim(s)", "exact(s)", "shards(s)",
+                     "exact x", "shards x", "max err"});
+    for (const WorkloadResult &R : Results)
+      Table.addRow({R.Name, std::to_string(R.Refs), fixed(R.SimSeconds, 4),
+                    fixed(R.ExactSeconds, 4), fixed(R.ShardsSeconds, 4),
+                    fixed(R.exactSpeedup(), 2), fixed(R.shardsSpeedup(), 2),
+                    fixed(R.MaxAbsError, 4)});
+    std::cout << "mrc_throughput: one MRC pass vs " << Sweep.size()
+              << " per-config L1 simulations (SHARDS rate "
+              << fixed(ShardsRate, 2) << ")\n"
+              << Table.render()
+              << "min shards speedup " << fixed(MinShardsSpeedup, 2)
+              << "x, max abs err " << fixed(MaxError, 4) << '\n';
+  }
+
+  if (Gate) {
+    bool Failed = false;
+    if (MinShardsSpeedup < SpeedupFloor) {
+      std::cerr << "GATE FAIL: shards speedup " << fixed(MinShardsSpeedup, 2)
+                << "x below the " << fixed(SpeedupFloor, 1) << "x floor\n";
+      Failed = true;
+    }
+    if (MaxError > ShardsBound) {
+      std::cerr << "GATE FAIL: shards curve error " << fixed(MaxError, 4)
+                << " above the " << fixed(ShardsBound, 2) << " bound\n";
+      Failed = true;
+    }
+    if (Failed)
+      return 1;
+    std::cout << "gate ok: shards speedup >= " << fixed(SpeedupFloor, 1)
+              << "x, error <= " << fixed(ShardsBound, 2) << '\n';
+  }
+  return 0;
+}

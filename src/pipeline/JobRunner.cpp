@@ -17,6 +17,7 @@
 #include <mutex>
 #include <optional>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 
 using namespace ccprof;
@@ -90,13 +91,14 @@ std::vector<JobOutcome> ccprof::runJobsShared(
     std::span<const JobSpec> Jobs, const BatchExecOptions &Exec,
     uint64_t TimestampNs,
     const std::function<void(const JobOutcome &, size_t)> &OnJobDone,
-    MissStreamCache *StreamCache, SharedBatchStats *StatsOut) {
+    MissStreamCache *StreamCache, SharedBatchStats *StatsOut,
+    std::vector<MrcGroupCurve> *MrcOut) {
   std::vector<JobOutcome> Outcomes(Jobs.size());
   MissStreamCache LocalCache;
   MissStreamCache &Cache = StreamCache ? *StreamCache : LocalCache;
   if (Jobs.empty()) {
     if (StatsOut)
-      *StatsOut = SharedBatchStats{0, Cache.stats(), 0, 0, 0, 0};
+      *StatsOut = SharedBatchStats{0, Cache.stats(), 0, 0, 0, 0, 0, 0};
     return Outcomes;
   }
 
@@ -148,6 +150,12 @@ std::vector<JobOutcome> ccprof::runJobsShared(
   std::atomic<size_t> NextGroup{0};
   std::atomic<size_t> NumDone{0};
   std::atomic<uint64_t> NumSkipped{0};
+  std::atomic<uint64_t> NumMrcGroups{0};
+  std::atomic<uint64_t> NumMrcRouted{0};
+  // One slot per group, written only by the worker that owns the group;
+  // compacted in group order afterwards so MrcOut is deterministic.
+  std::vector<std::optional<MrcGroupCurve>> GroupCurves(
+      Exec.Mrc ? Groups.size() : 0);
   std::mutex CallbackMutex;
 
   auto FinishJob = [&](size_t JobIndex) {
@@ -211,7 +219,70 @@ std::vector<JobOutcome> ccprof::runJobsShared(
       W->run(First.Variant, &Recorded);
       Trace T = canonicalizeTrace(Recorded);
 
-      for (size_t I : Pending) {
+      // MRC routing: one stack-distance pass answers every L1 LRU job
+      // of the group at once; only the rest still simulates. The
+      // predictions land in the group's curve, not in artifacts.
+      std::vector<size_t> Simulated;
+      if (Exec.Mrc) {
+        std::vector<size_t> Routed;
+        for (size_t I : Pending) {
+          const ProfileOptions Options = Jobs[I].toProfileOptions();
+          if (Jobs[I].Level == ProfileLevel::L1 &&
+              Options.MissOptions.Policy == ReplacementKind::Lru)
+            Routed.push_back(I);
+          else
+            Simulated.push_back(I);
+        }
+        if (!Routed.empty()) {
+          MrcOptions MrcOpts = Exec.MrcConfig;
+          MrcOpts.Reference = Jobs[Routed.front()].toProfileOptions().L1;
+          const MissRatioCurve Curve = MrcEngine::compute(T, MrcOpts, Sim);
+
+          std::vector<CacheGeometry> Geometries;
+          Geometries.reserve(Routed.size() + Exec.MrcSweep.size());
+          for (size_t I : Routed)
+            Geometries.push_back(Jobs[I].toProfileOptions().L1);
+          Geometries.insert(Geometries.end(), Exec.MrcSweep.begin(),
+                            Exec.MrcSweep.end());
+          auto Shape = [](const CacheGeometry &Geometry) {
+            return std::make_tuple(Geometry.sizeBytes(), Geometry.lineBytes(),
+                                   Geometry.associativity());
+          };
+          std::sort(Geometries.begin(), Geometries.end(),
+                    [&](const CacheGeometry &A, const CacheGeometry &B) {
+                      return Shape(A) < Shape(B);
+                    });
+          Geometries.erase(
+              std::unique(Geometries.begin(), Geometries.end()),
+              Geometries.end());
+
+          MrcGroupCurve GroupCurve;
+          GroupCurve.WorkloadName = First.WorkloadName;
+          GroupCurve.Variant = First.Variant;
+          GroupCurve.TraceRefs = Curve.TotalRefs;
+          GroupCurve.Sampled = Curve.Sampled;
+          GroupCurve.FinalRate = Curve.FinalRate;
+          GroupCurve.RoutedJobs = Routed.size();
+          GroupCurve.Points.reserve(Geometries.size());
+          for (const CacheGeometry &Geometry : Geometries)
+            GroupCurve.Points.push_back(MrcPoint{
+                Geometry, Curve.missRatioAt(Geometry),
+                Curve.isExactAt(Geometry)});
+          GroupCurves[G] = std::move(GroupCurve);
+          NumMrcGroups.fetch_add(1);
+          NumMrcRouted.fetch_add(Routed.size());
+
+          for (size_t I : Routed) {
+            Outcomes[I].Job = Jobs[I];
+            Outcomes[I].MrcPredicted = true;
+            FinishJob(I);
+          }
+        }
+      } else {
+        Simulated = Pending;
+      }
+
+      for (size_t I : Simulated) {
         const JobSpec &Job = Jobs[I];
         Profiler P(Job.toProfileOptions());
         MissStreamCache::StreamPtr Stream = Cache.getOrCompute(
@@ -246,7 +317,14 @@ std::vector<JobOutcome> ccprof::runJobsShared(
     *StatsOut = SharedBatchStats{Groups.size(), Cache.stats(),
                                  CachePool.reuses(), NumSkipped.load(),
                                  ShardStats.ShardedSims.load(),
-                                 ShardStats.UnhelpedShardedSims.load()};
+                                 ShardStats.UnhelpedShardedSims.load(),
+                                 NumMrcGroups.load(), NumMrcRouted.load()};
+  if (MrcOut) {
+    MrcOut->clear();
+    for (std::optional<MrcGroupCurve> &Curve : GroupCurves)
+      if (Curve)
+        MrcOut->push_back(std::move(*Curve));
+  }
   return Outcomes;
 }
 

@@ -37,6 +37,7 @@
 
 #include "pipeline/MissStreamCache.h"
 #include "pipeline/ProfileArtifact.h"
+#include "sim/MrcEngine.h"
 
 #include <functional>
 #include <span>
@@ -55,6 +56,11 @@ struct JobOutcome {
   /// conflict-free and the simulation was skipped: no artifact was
   /// produced, and Error stays empty.
   bool Skipped = false;
+  /// True when the job was answered by the group's single-pass
+  /// miss-ratio curve (BatchExecOptions::Mrc) instead of a simulation:
+  /// no artifact was produced — the prediction lands in the group's
+  /// MrcGroupCurve — and Error stays empty.
+  bool MrcPredicted = false;
 
   bool ok() const { return Error.empty(); }
 };
@@ -95,6 +101,35 @@ struct SharedBatchStats {
   /// every shard replay on one thread. Surfaced so sweeps can tell
   /// "sharded but unhelped" from real parallel runs.
   uint64_t UnhelpedShardedSims = 0;
+  /// Groups that ran a single-pass MRC (BatchExecOptions::Mrc).
+  uint64_t MrcGroups = 0;
+  /// L1 jobs answered by a group curve instead of a simulation.
+  uint64_t MrcRoutedJobs = 0;
+};
+
+/// One (geometry, predicted miss ratio) sample of a group's curve.
+struct MrcPoint {
+  CacheGeometry Geometry = CacheGeometry(32 * 1024, 64, 8);
+  double MissRatio = 0.0;
+  /// True when the curve resolved this point exactly (fully-associative
+  /// or per-set path) rather than via the binomial correction.
+  bool Exact = false;
+};
+
+/// The single-pass MRC of one (workload, variant) group of a --mrc
+/// batch run: predicted miss ratios at every distinct L1 geometry of
+/// the group's routed jobs plus every requested sweep point.
+struct MrcGroupCurve {
+  std::string WorkloadName;
+  WorkloadVariant Variant = WorkloadVariant::Original;
+  uint64_t TraceRefs = 0;
+  bool Sampled = false;
+  /// Final SHARDS rate (1.0 for exact passes).
+  double FinalRate = 1.0;
+  /// L1 jobs of the group answered by this curve.
+  uint64_t RoutedJobs = 0;
+  /// Ascending by (sizeBytes, lineBytes, associativity), deduplicated.
+  std::vector<MrcPoint> Points;
 };
 
 /// Execution shape of a shared-trace batch run. Workers carry
@@ -121,6 +156,21 @@ struct BatchExecOptions {
   /// unscreened run. Groups whose members all skip never generate a
   /// trace at all — the screening payoff.
   bool StaticScreen = false;
+  /// Route each group's L1 LRU jobs through one single-pass miss-ratio
+  /// curve (MrcEngine) instead of per-configuration simulations. Routed
+  /// jobs finish with JobOutcome::MrcPredicted and no artifact; the
+  /// predictions are collected per group into MrcGroupCurve (the MrcOut
+  /// parameter of runJobsShared). Non-LRU and L2 jobs — and everything
+  /// when this is false, the default — simulate exactly as before:
+  /// exact simulation remains the default and the oracle.
+  bool Mrc = false;
+  /// Pass configuration when Mrc is set. The reference geometry is
+  /// overridden per group with the group's own L1 geometry, so the
+  /// routed jobs' points sit on the exact per-set path.
+  MrcOptions MrcConfig;
+  /// Extra geometries every group curve is sampled at, beyond the
+  /// distinct L1 geometries of the routed jobs themselves.
+  std::vector<CacheGeometry> MrcSweep;
 };
 
 /// The miss-stream cache key of \p Job: every field the simulated
@@ -139,11 +189,14 @@ std::string missStreamKeyOf(const JobSpec &Job);
 /// stay resident; pass nullptr to use a run-local cache of default
 /// capacity. Outcomes are byte-identical to runJobs on the same job
 /// list at every Workers / SimThreads / Shards combination.
+/// \p MrcOut receives one MrcGroupCurve per group that ran an MRC pass
+/// (group order, hence deterministic); ignored unless Exec.Mrc.
 std::vector<JobOutcome> runJobsShared(
     std::span<const JobSpec> Jobs, const BatchExecOptions &Exec,
     uint64_t TimestampNs = 0,
     const std::function<void(const JobOutcome &, size_t)> &OnJobDone = nullptr,
-    MissStreamCache *StreamCache = nullptr, SharedBatchStats *StatsOut = nullptr);
+    MissStreamCache *StreamCache = nullptr, SharedBatchStats *StatsOut = nullptr,
+    std::vector<MrcGroupCurve> *MrcOut = nullptr);
 
 /// Back-compat shape: \p NumThreads batch workers with a thread budget
 /// equal to NumThreads (shard helpers only appear when workers idle).

@@ -1,0 +1,306 @@
+//===- sim/MrcEngine.cpp - Single-pass miss-ratio curves -----------------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MrcEngine.h"
+
+#include "support/ThreadPool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ccprof;
+
+namespace {
+
+/// splitmix64 finalizer: the SHARDS spatial filter. Deterministic in
+/// the line address alone, so sampling decisions are reproducible
+/// across runs and execution shapes.
+uint64_t hashLine(uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// P(Binomial(D, P) <= A - 1): the Hill–Smith probability that a reuse
+/// of global stack distance D hits an (S = 1/P sets, A ways) cache.
+/// Iterative term recurrence, O(A) per call; underflow of the leading
+/// (1-P)^D term correctly collapses the tail probability to ~0.
+double binomialHitProbability(uint64_t D, double P, uint32_t A) {
+  if (D < A)
+    return 1.0; // At most D intervening lines can map to the set.
+  double Term = std::exp(static_cast<double>(D) * std::log1p(-P));
+  double Cdf = Term;
+  const double Odds = P / (1.0 - P);
+  for (uint32_t K = 0; K + 1 < A; ++K) {
+    Term *= static_cast<double>(D - K) / static_cast<double>(K + 1) * Odds;
+    Cdf += Term;
+  }
+  return std::min(Cdf, 1.0);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// MissRatioCurve
+//===----------------------------------------------------------------------===//
+
+uint64_t MissRatioCurve::missWeightAtLines(uint64_t Lines) const {
+  return ColdWeight +
+         (StackDistances.total() - StackDistances.countBelow(Lines));
+}
+
+double MissRatioCurve::missRatioAtLines(uint64_t Lines) const {
+  const uint64_t Refs = scaledRefs();
+  if (Refs == 0)
+    return 0.0;
+  return static_cast<double>(missWeightAtLines(Lines)) /
+         static_cast<double>(Refs);
+}
+
+bool MissRatioCurve::isExactAt(const CacheGeometry &Geometry) const {
+  if (Geometry.numSets() == 1)
+    return !Sampled;
+  return HasPerSet && Geometry.lineBytes() == Reference.lineBytes() &&
+         Geometry.numSets() == Reference.numSets() &&
+         Geometry.associativity() <= MaxWays;
+}
+
+double MissRatioCurve::missRatioAt(const CacheGeometry &Geometry) const {
+  if (Geometry.numSets() != 1 && isExactAt(Geometry)) {
+    const uint64_t Total = PerSetCold + PerSetDistances.total();
+    if (Total == 0)
+      return 0.0;
+    const uint64_t Misses =
+        PerSetCold + (PerSetDistances.total() -
+                      PerSetDistances.countBelow(Geometry.associativity()));
+    return static_cast<double>(Misses) / static_cast<double>(Total);
+  }
+  return modelMissRatioAt(Geometry);
+}
+
+double MissRatioCurve::modelMissRatioAt(const CacheGeometry &Geometry) const {
+  if (Geometry.numSets() == 1)
+    return missRatioAtLines(Geometry.numLines());
+  const uint64_t Refs = scaledRefs();
+  if (Refs == 0)
+    return 0.0;
+  const double P = 1.0 / static_cast<double>(Geometry.numSets());
+  double Hits = 0.0;
+  for (const auto &[Distance, Weight] : StackDistances.buckets())
+    Hits += static_cast<double>(Weight) *
+            binomialHitProbability(Distance, P, Geometry.associativity());
+  return (static_cast<double>(Refs) - Hits) / static_cast<double>(Refs);
+}
+
+//===----------------------------------------------------------------------===//
+// PerSetStackPass
+//===----------------------------------------------------------------------===//
+
+PerSetStackPass::PerSetStackPass(const CacheGeometry &Reference,
+                                 uint32_t MaxWays, SetRange Window)
+    : Reference(Reference), MaxWays(MaxWays), Window(Window),
+      Stacks(Window.size()) {}
+
+void PerSetStackPass::addRef(uint64_t Addr) {
+  const uint64_t Set = Reference.setIndexOf(Addr);
+  assert(Window.contains(Set) && "reference outside the pass window");
+  const uint64_t Line = Reference.lineAddrOf(Addr);
+  std::vector<uint64_t> &Stack = Stacks[Set - Window.Begin];
+
+  auto It = std::find(Stack.begin(), Stack.end(), Line);
+  if (It != Stack.end()) {
+    // Stack position == distinct same-set lines touched since last use.
+    Distances.add(static_cast<uint64_t>(It - Stack.begin()));
+    Stack.erase(It);
+  } else if (Seen.insert(Line).second) {
+    ++Cold;
+  } else {
+    // Previously seen but fallen off the capped stack: the true per-set
+    // distance is >= MaxWays; the sentinel bucket keeps it a miss at
+    // every queryable associativity.
+    Distances.add(MaxWays);
+  }
+  Stack.insert(Stack.begin(), Line);
+  if (Stack.size() > MaxWays)
+    Stack.pop_back();
+}
+
+//===----------------------------------------------------------------------===//
+// MrcEngine
+//===----------------------------------------------------------------------===//
+
+MrcEngine::MrcEngine(const MrcOptions &Opts)
+    : Opts(Opts), PerSet(Opts.Reference, Opts.MaxWays,
+                         SetRange{0, Opts.Reference.numSets()}) {
+  assert(Opts.SampleRate > 0.0 && Opts.SampleRate <= 1.0 &&
+         "sample rate must be in (0, 1]");
+  assert(Opts.MaxSampledLines >= 2 && "reservoir too small to adapt");
+  if (Opts.Sampled)
+    Threshold = Opts.SampleRate >= 1.0
+                    ? std::numeric_limits<uint64_t>::max()
+                    : static_cast<uint64_t>(
+                          std::ldexp(Opts.SampleRate, 64));
+}
+
+double MrcEngine::currentRate() const {
+  return Threshold == std::numeric_limits<uint64_t>::max()
+             ? 1.0
+             : std::ldexp(static_cast<double>(Threshold), -64);
+}
+
+void MrcEngine::addRef(uint64_t Addr) {
+  ++TotalRefs;
+  const uint64_t Line = Opts.Reference.lineAddrOf(Addr);
+  if (Opts.Sampled) {
+    addRefSampled(Line);
+    return;
+  }
+  Global.access(Line);
+  PerSet.addRef(Addr);
+}
+
+void MrcEngine::addRefSampled(uint64_t LineAddr) {
+  const uint64_t Hash = hashLine(LineAddr);
+  if (Hash >= Threshold)
+    return;
+  const double Rate = currentRate();
+  const uint64_t Weight =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(1.0 / Rate)));
+  const uint64_t Distance = Global.access(LineAddr);
+  if (Distance == ReuseDistanceAnalyzer::Infinite) {
+    ScaledCold += Weight;
+    Reservoir.emplace(Hash, LineAddr);
+    if (Reservoir.size() > Opts.MaxSampledLines)
+      shrinkReservoir();
+    return;
+  }
+  // Sampled distances count only tracked lines; dividing by the rate
+  // rescales to full-stream units (SHARDS' distance correction).
+  const uint64_t Scaled = static_cast<uint64_t>(
+      std::llround(static_cast<double>(Distance) / Rate));
+  ScaledStack.add(Scaled, Weight);
+}
+
+void MrcEngine::shrinkReservoir() {
+  // Drop to the largest tracked hash: that line (and any hash ties)
+  // leaves both the reservoir and the analyzer, and the filter
+  // tightens so it can never return — tracked set and filter stay
+  // consistent, which is what makes eviction semantically sound.
+  Threshold = std::prev(Reservoir.end())->first;
+  while (!Reservoir.empty()) {
+    auto Last = std::prev(Reservoir.end());
+    if (Last->first < Threshold)
+      break;
+    Global.evict(Last->second);
+    Reservoir.erase(Last);
+  }
+}
+
+void MrcEngine::addTrace(const Trace &T) {
+  for (const MemoryRecord &R : T.records())
+    addRef(R.Addr);
+}
+
+MissRatioCurve MrcEngine::take() {
+  MissRatioCurve Curve;
+  Curve.TotalRefs = TotalRefs;
+  Curve.Reference = Opts.Reference;
+  Curve.MaxWays = Opts.MaxWays;
+  Curve.Sampled = Opts.Sampled;
+  if (Opts.Sampled) {
+    Curve.ColdWeight = ScaledCold;
+    Curve.StackDistances = std::move(ScaledStack);
+    Curve.HasPerSet = false;
+    Curve.FinalRate = currentRate();
+  } else {
+    Curve.ColdWeight = Global.coldCount();
+    Curve.StackDistances = Global.distances();
+    Curve.PerSetDistances = PerSet.distances();
+    Curve.PerSetCold = PerSet.coldCount();
+    Curve.HasPerSet = true;
+    Curve.FinalRate = 1.0;
+  }
+  return Curve;
+}
+
+MissRatioCurve MrcEngine::compute(const Trace &T, const MrcOptions &Opts,
+                                  const SimContext &Ctx) {
+  const std::span<const MemoryRecord> Records = T.records();
+  const uint64_t NumSets = Opts.Reference.numSets();
+
+  // Sampled passes are hash-filter cheap and strictly order-dependent
+  // in the global analyzer; tiny traces don't amortize a partition.
+  const bool Shardable = !Opts.Sampled && Ctx.Pool && NumSets >= 2 &&
+                         Records.size() >= Ctx.MinRefsToShard;
+  if (!Shardable) {
+    MrcEngine Engine(Opts);
+    Engine.addTrace(T);
+    return Engine.take();
+  }
+
+  const unsigned Helpers = Ctx.Budget
+                               ? Ctx.Budget->tryAcquire(Ctx.Pool->workerCount())
+                               : Ctx.Pool->workerCount();
+  const unsigned Shards = static_cast<unsigned>(std::min<uint64_t>(
+      NumSets, Ctx.Shards != 0 ? Ctx.Shards : Helpers + 1));
+  if (Shards <= 1 && Helpers == 0) {
+    MrcEngine Engine(Opts);
+    Engine.addTrace(T);
+    return Engine.take();
+  }
+  if (Ctx.Stats && Shards > 1) {
+    Ctx.Stats->ShardedSims.fetch_add(1, std::memory_order_relaxed);
+    if (Helpers == 0)
+      Ctx.Stats->UnhelpedShardedSims.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const std::vector<SetRange> Plan = planShards(NumSets, Shards);
+  const ShardPartition Parts =
+      Helpers > 0 ? partitionBySetParallel(Records, Opts.Reference, Plan,
+                                           *Ctx.Pool, Helpers)
+                  : partitionBySet(Records, Opts.Reference, Plan);
+
+  // Task 0 is the whole-stream global pass (the Mattson curve cannot
+  // decompose by set); tasks 1..K are the per-set shards. Each shard's
+  // refs arrive in ascending global order from the partition, so every
+  // per-shard histogram matches what the sequential pass contributes
+  // for those sets, and the merged result is identical at every shard
+  // count and helper count.
+  ReuseDistanceAnalyzer Global;
+  std::vector<std::unique_ptr<PerSetStackPass>> Passes(Plan.size());
+  Ctx.Pool->parallelFor(Plan.size() + 1, Helpers, [&](size_t Task) {
+    if (Task == 0) {
+      for (const MemoryRecord &R : Records)
+        Global.access(Opts.Reference.lineAddrOf(R.Addr));
+      return;
+    }
+    const size_t S = Task - 1;
+    auto Pass =
+        std::make_unique<PerSetStackPass>(Opts.Reference, Opts.MaxWays, Plan[S]);
+    for (const ShardRef &Ref : Parts.shard(S))
+      Pass->addRef(Ref.Addr);
+    Passes[S] = std::move(Pass);
+  });
+  if (Ctx.Budget && Helpers > 0)
+    Ctx.Budget->release(Helpers);
+
+  MissRatioCurve Curve;
+  Curve.TotalRefs = Records.size();
+  Curve.Reference = Opts.Reference;
+  Curve.MaxWays = Opts.MaxWays;
+  Curve.Sampled = false;
+  Curve.ColdWeight = Global.coldCount();
+  Curve.StackDistances = Global.distances();
+  Curve.HasPerSet = true;
+  for (const std::unique_ptr<PerSetStackPass> &Pass : Passes) {
+    Curve.PerSetDistances.merge(Pass->distances());
+    Curve.PerSetCold += Pass->coldCount();
+  }
+  return Curve;
+}

@@ -7,6 +7,7 @@
 
 #include "sim/ReuseDistance.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace ccprof;
@@ -17,9 +18,16 @@ ReuseDistanceAnalyzer::ReuseDistanceAnalyzer() {
 }
 
 uint64_t ReuseDistanceAnalyzer::access(uint64_t LineAddr) {
+  if (Clock + 1 >= Bit.size()) {
+    // Most timestamps dead (lines re-referenced or evicted)? Renumber
+    // the survivors instead of doubling: the Fenwick stays sized to the
+    // live-line count rather than the reference count.
+    if (Clock >= 64 && LastAccess.size() * 4 <= Clock)
+      compact();
+    if (Clock + 1 >= Bit.size())
+      grow(Clock + 2);
+  }
   ++Clock; // Timestamps are 1-based to match the Fenwick indexing.
-  if (Clock >= Bit.size())
-    grow(Clock + 1);
 
   auto [It, Inserted] = LastAccess.try_emplace(LineAddr, Clock);
   if (Inserted) {
@@ -39,12 +47,35 @@ uint64_t ReuseDistanceAnalyzer::access(uint64_t LineAddr) {
   return Distance;
 }
 
+bool ReuseDistanceAnalyzer::evict(uint64_t LineAddr) {
+  auto It = LastAccess.find(LineAddr);
+  if (It == LastAccess.end())
+    return false;
+  bitAdd(It->second, -1);
+  LastAccess.erase(It);
+  return true;
+}
+
 double ReuseDistanceAnalyzer::missRatioAtCapacity(uint64_t CacheLines) const {
   if (Distances.empty())
     return 0.0;
   const uint64_t Hits = Distances.countBelow(CacheLines);
   return 1.0 -
          static_cast<double>(Hits) / static_cast<double>(Distances.total());
+}
+
+uint64_t
+ReuseDistanceAnalyzer::overallMissCountAtCapacity(uint64_t CacheLines) const {
+  return ColdCount + (Distances.total() - Distances.countBelow(CacheLines));
+}
+
+double
+ReuseDistanceAnalyzer::overallMissRatioAtCapacity(uint64_t CacheLines) const {
+  const uint64_t Refs = totalRefs();
+  if (Refs == 0)
+    return 0.0;
+  return static_cast<double>(overallMissCountAtCapacity(CacheLines)) /
+         static_cast<double>(Refs);
 }
 
 void ReuseDistanceAnalyzer::reset() {
@@ -71,6 +102,36 @@ void ReuseDistanceAnalyzer::grow(size_t MinSize) {
     if (Parent < NewSize)
       Bit[Parent] += Bit[I];
   }
+}
+
+void ReuseDistanceAnalyzer::compact() {
+  // Renumber live timestamps to 1..N preserving their relative order;
+  // only the order matters for distance queries, so behavior is
+  // unchanged while the Fenwick shrinks to O(live lines).
+  std::vector<std::pair<size_t, uint64_t>> Live; // (old timestamp, line)
+  Live.reserve(LastAccess.size());
+  for (const auto &[Line, Ts] : LastAccess)
+    Live.emplace_back(Ts, Line);
+  std::sort(Live.begin(), Live.end());
+
+  const size_t N = Live.size();
+  // Size past 2*N so the next compaction trigger has room to amortize.
+  size_t NewSize = 64;
+  while (NewSize < 2 * (N + 2))
+    NewSize *= 2;
+  Marks.assign(NewSize, 0);
+  for (size_t I = 0; I < N; ++I) {
+    LastAccess[Live[I].second] = I + 1;
+    Marks[I + 1] = 1;
+  }
+  Bit.assign(NewSize, 0);
+  for (size_t I = 1; I < NewSize; ++I) {
+    Bit[I] += Marks[I];
+    size_t Parent = I + (I & (~I + 1));
+    if (Parent < NewSize)
+      Bit[Parent] += Bit[I];
+  }
+  Clock = N;
 }
 
 void ReuseDistanceAnalyzer::bitAdd(size_t Index, int64_t Delta) {

@@ -12,6 +12,12 @@
 /// predicts a capacity miss under fully-associative LRU. Implemented with
 /// a Fenwick tree over access timestamps: O(log n) per reference.
 ///
+/// The timestamp space is compacted automatically once most timestamps
+/// are dead (their line has been re-referenced or evicted), so the
+/// Fenwick footprint tracks the number of *live* lines, not the total
+/// reference count — the property the SHARDS-sampled MRC engine relies
+/// on to stay O(reservoir) on arbitrarily long traces.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCPROF_SIM_REUSEDISTANCE_H
@@ -39,16 +45,48 @@ public:
   /// reference to \p LineAddr, or Infinite on first touch.
   uint64_t access(uint64_t LineAddr);
 
-  /// Histogram of all finite distances observed so far.
+  /// Forgets \p LineAddr entirely: its next reference counts as cold
+  /// again, and it no longer contributes to the distances of spans that
+  /// cross it. \returns false if the line was not being tracked. This is
+  /// the hook the SHARDS reservoir uses when it lowers its hash
+  /// threshold — an evicted line would fail the new filter anyway, so
+  /// dropping it keeps the tracked set consistent with the filter.
+  bool evict(uint64_t LineAddr);
+
+  /// Number of distinct lines currently tracked (bounded by the SHARDS
+  /// reservoir in sampled mode; equal to the footprint in exact mode).
+  size_t trackedLines() const { return LastAccess.size(); }
+
+  /// Histogram of all finite distances observed so far. Cold (first
+  /// touch) references are *not* recorded here; they are counted in
+  /// coldCount().
   const Histogram &distances() const { return Distances; }
 
   /// Number of cold (first-touch) references observed.
   uint64_t coldCount() const { return ColdCount; }
 
-  /// Fraction of finite-distance references whose distance is >=
-  /// \p CacheLines — the predicted capacity-miss ratio of reuses for a
-  /// fully-associative LRU cache with that many lines.
+  /// Total references observed == coldCount() + distances().total().
+  uint64_t totalRefs() const { return ColdCount + Distances.total(); }
+
+  /// Fraction of *reuse* references (finite distances only — the
+  /// denominator is distances().total(), cold misses excluded from both
+  /// sides) whose distance is >= \p CacheLines: the predicted
+  /// capacity-miss ratio *among reuses* for a fully-associative LRU
+  /// cache with that many lines. For the overall miss ratio of the whole
+  /// reference stream, use overallMissRatioAtCapacity().
   double missRatioAtCapacity(uint64_t CacheLines) const;
+
+  /// Overall predicted miss ratio of the full reference stream for a
+  /// fully-associative LRU cache of \p CacheLines lines:
+  /// (coldCount() + #(distance >= CacheLines)) / totalRefs(). Cold
+  /// misses count as misses and the denominator is every reference, so
+  /// this matches what simulating FullyAssociativeLru over the same
+  /// stream reports.
+  double overallMissRatioAtCapacity(uint64_t CacheLines) const;
+
+  /// Predicted miss *count* companion of overallMissRatioAtCapacity():
+  /// coldCount() + #(distance >= CacheLines).
+  uint64_t overallMissCountAtCapacity(uint64_t CacheLines) const;
 
   void reset();
 
@@ -56,6 +94,7 @@ private:
   // Fenwick tree over timestamps: Marks[t] == 1 iff timestamp t is the
   // most recent access of some line; Bit is its Fenwick prefix-sum form.
   void grow(size_t MinSize);
+  void compact();
   void bitAdd(size_t Index, int64_t Delta);
   uint64_t bitPrefixSum(size_t Index) const;
 

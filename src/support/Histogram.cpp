@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <sstream>
 
 using namespace ccprof;
@@ -62,9 +63,15 @@ double Histogram::cdfAt(uint64_t Bound) const {
 uint64_t Histogram::quantile(double Q) const {
   assert(!empty() && "quantile of an empty histogram");
   assert(Q > 0.0 && Q <= 1.0 && "quantile requires Q in (0, 1]");
-  uint64_t Target = static_cast<uint64_t>(Q * static_cast<double>(Total));
+  // The contract is "smallest K with P(key <= K) >= Q", so the rank
+  // target must round *up*: with floor rounding the median of 5
+  // observations was the rank-2 one (CDF 0.4 < 0.5).
+  uint64_t Target =
+      static_cast<uint64_t>(std::ceil(Q * static_cast<double>(Total)));
   if (Target == 0)
     Target = 1;
+  if (Target > Total)
+    Target = Total;
   uint64_t Seen = 0;
   for (const auto &[Key, Count] : Buckets) {
     Seen += Count;

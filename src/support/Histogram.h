@@ -58,7 +58,9 @@ public:
   double cdfAt(uint64_t Bound) const;
 
   /// Smallest key K such that P(key <= K) >= \p Q, for Q in (0, 1].
-  /// Requires a non-empty histogram.
+  /// The rank target is ceil(Q * total()) — e.g. the median of 5
+  /// observations is the rank-3 one, never the rank-2 one whose CDF is
+  /// only 0.4. Requires a non-empty histogram.
   uint64_t quantile(double Q) const;
 
   /// Smallest observed key. Requires a non-empty histogram.

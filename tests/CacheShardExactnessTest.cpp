@@ -343,9 +343,18 @@ TEST(CacheShardExactnessTest, BatchArtifactsAreByteIdenticalAcrossShapes) {
 
   // The sharded engine at several execution shapes, forcing sharding
   // on every simulation (MinRefsToShard = 0).
-  for (BatchExecOptions Exec :
-       {BatchExecOptions{1, 4, 0, 0}, BatchExecOptions{2, 4, 3, 0},
-        BatchExecOptions{4, 2, 0, 0}, BatchExecOptions{1, 1, 5, 0}}) {
+  const auto MakeExec = [](unsigned Workers, unsigned SimThreads,
+                           unsigned Shards) {
+    BatchExecOptions Exec;
+    Exec.Workers = Workers;
+    Exec.SimThreads = SimThreads;
+    Exec.Shards = Shards;
+    Exec.MinRefsToShard = 0;
+    return Exec;
+  };
+  for (const BatchExecOptions &Exec :
+       {MakeExec(1, 4, 0), MakeExec(2, 4, 3), MakeExec(4, 2, 0),
+        MakeExec(1, 1, 5)}) {
     SharedBatchStats Stats;
     EXPECT_EQ(serializeAll(runJobsShared(Jobs, Exec, 0, nullptr, nullptr,
                                          &Stats)),

@@ -87,6 +87,40 @@ TEST(HistogramTest, QuantileAndMinMax) {
   EXPECT_EQ(H.quantile(0.01), 1u);
 }
 
+TEST(HistogramTest, QuantileRoundsFractionalRankUp) {
+  // Regression: the rank target is ceil(Q * total). With 5 observations
+  // the median is the rank-3 one — the old truncating target picked
+  // rank 2, whose CDF is only 0.4 < 0.5.
+  Histogram H;
+  for (uint64_t K = 1; K <= 5; ++K)
+    H.add(K * 10);
+  EXPECT_EQ(H.quantile(0.5), 30u);
+  EXPECT_EQ(H.quantile(0.4), 20u);  // exact rank boundary: CDF(20) == 0.4
+  EXPECT_EQ(H.quantile(0.41), 30u); // just past it
+  EXPECT_EQ(H.quantile(0.2), 10u);
+}
+
+TEST(HistogramTest, QuantileOneIsMaxKey) {
+  Histogram H;
+  H.add(3, 7);
+  H.add(11, 2);
+  H.add(200, 1);
+  EXPECT_EQ(H.quantile(1.0), 200u);
+  EXPECT_EQ(H.quantile(1.0), H.maxKey());
+}
+
+TEST(HistogramTest, QuantileSingleBucket) {
+  // Every quantile of a one-bucket histogram is that bucket, including
+  // Q values whose raw target rounds to rank 0 (Q = 0 itself is outside
+  // the documented (0, 1] contract).
+  Histogram H;
+  H.add(42, 3);
+  EXPECT_EQ(H.quantile(0.001), 42u);
+  EXPECT_EQ(H.quantile(0.1), 42u);
+  EXPECT_EQ(H.quantile(0.5), 42u);
+  EXPECT_EQ(H.quantile(1.0), 42u);
+}
+
 TEST(HistogramTest, MeanKey) {
   Histogram H;
   H.add(10, 3);

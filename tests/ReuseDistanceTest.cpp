@@ -93,6 +93,93 @@ TEST(ReuseDistanceTest, MatchesNaiveReferenceImplementation) {
   }
 }
 
+TEST(ReuseDistanceTest, OverallMissRatioIsColdInclusive) {
+  ReuseDistanceAnalyzer A;
+  // a b c a b c: 3 cold misses, 3 reuses at distance 2, 6 refs total.
+  for (int Round = 0; Round < 2; ++Round)
+    for (uint64_t L = 0; L < 3; ++L)
+      A.access(L);
+  EXPECT_EQ(A.totalRefs(), 6u);
+  // Reuse-only denominator: all 3 reuses hit at capacity 3.
+  EXPECT_DOUBLE_EQ(A.missRatioAtCapacity(3), 0.0);
+  // Cold-inclusive denominator counts the 3 compulsory misses too.
+  EXPECT_EQ(A.overallMissCountAtCapacity(3), 3u);
+  EXPECT_DOUBLE_EQ(A.overallMissRatioAtCapacity(3), 0.5);
+  EXPECT_EQ(A.overallMissCountAtCapacity(2), 6u);
+  EXPECT_DOUBLE_EQ(A.overallMissRatioAtCapacity(2), 1.0);
+}
+
+TEST(ReuseDistanceTest, OverallMissCountMatchesLruReplay) {
+  // overallMissCountAtCapacity(C) must equal an actual C-line
+  // fully-associative LRU replay, for every capacity.
+  Xoshiro256 Rng(0xabcd);
+  std::vector<uint64_t> Lines;
+  for (int I = 0; I < 5000; ++I)
+    Lines.push_back(Rng.nextBounded(48));
+  ReuseDistanceAnalyzer A;
+  for (uint64_t Line : Lines)
+    A.access(Line);
+  for (uint64_t Capacity : {1u, 2u, 8u, 16u, 32u, 48u, 64u}) {
+    FullyAssociativeLru Cache(Capacity);
+    uint64_t Misses = 0;
+    for (uint64_t Line : Lines)
+      Misses += Cache.access(Line) ? 0 : 1;
+    EXPECT_EQ(A.overallMissCountAtCapacity(Capacity), Misses)
+        << "capacity " << Capacity;
+    EXPECT_DOUBLE_EQ(A.overallMissRatioAtCapacity(Capacity),
+                     static_cast<double>(Misses) /
+                         static_cast<double>(Lines.size()));
+  }
+}
+
+TEST(ReuseDistanceTest, EvictForgetsALine) {
+  ReuseDistanceAnalyzer A;
+  A.access(1);
+  A.access(2);
+  EXPECT_EQ(A.trackedLines(), 2u);
+  EXPECT_TRUE(A.evict(1));
+  EXPECT_FALSE(A.evict(1)); // already gone
+  EXPECT_EQ(A.trackedLines(), 1u);
+  // An evicted line's next access is cold again and must not count the
+  // evicted occurrence as an intervening distinct line either.
+  EXPECT_EQ(A.access(1), ReuseDistanceAnalyzer::Infinite);
+  A.access(3);
+  EXPECT_EQ(A.access(2), 2u); // {1, 3} intervened; the evicted slot didn't
+}
+
+TEST(ReuseDistanceTest, CompactionIsTransparent) {
+  // A hot small working set inside a long stream triggers timestamp
+  // compaction (live lines << clock); distances must stay oracle-exact
+  // across the rebuilds. Evictions keep the live set small. The oracle
+  // mirrors the analyzer's semantics directly: each tracked line holds
+  // one mark at its last access, so the distance of a reuse of Y is the
+  // number of tracked lines accessed more recently than Y.
+  ReuseDistanceAnalyzer A;
+  Xoshiro256 Rng(0x77);
+  std::unordered_map<uint64_t, size_t> LastIndex; // tracked lines only
+  size_t Position = 0;
+  for (int I = 0; I < 20000; ++I) {
+    uint64_t Line = Rng.nextBounded(16);
+    uint64_t Got = A.access(Line);
+    auto It = LastIndex.find(Line);
+    if (It == LastIndex.end()) {
+      EXPECT_EQ(Got, ReuseDistanceAnalyzer::Infinite) << "at access " << I;
+    } else {
+      uint64_t MoreRecent = 0;
+      for (const auto &[Other, Last] : LastIndex)
+        MoreRecent += Last > It->second ? 1 : 0;
+      EXPECT_EQ(Got, MoreRecent) << "at access " << I;
+    }
+    LastIndex[Line] = Position++;
+    // Periodically evict a line so the footprint stays small relative
+    // to the clock and compaction actually fires.
+    if (I % 37 == 0 && A.evict(Line))
+      LastIndex.erase(Line);
+    ASSERT_EQ(A.trackedLines(), LastIndex.size()) << "at access " << I;
+  }
+  EXPECT_LE(A.trackedLines(), 16u);
+}
+
 TEST(ReuseDistanceTest, PredictsFullyAssociativeLruHits) {
   // The classic theorem: an access hits an N-line fully-associative LRU
   // cache iff its reuse distance is < N.

@@ -47,17 +47,27 @@
 #include "pipeline/Merge.h"
 #include "service/Ccprofd.h"
 #include "service/ServiceClient.h"
+#include "sim/Cache.h"
+#include "sim/MrcEngine.h"
+#include "trace/Canonicalize.h"
+#include "support/Json.h"
 #include "support/Table.h"
 #include "workloads/Workload.h"
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
+#include <charconv>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <system_error>
@@ -85,6 +95,10 @@ void printUsage(std::ostream &Out) {
          "profile\n"
          "  batch <workloads|all>     run a job matrix, write one artifact "
          "per job\n"
+         "  mrc <workload>            single-pass miss-ratio curve: "
+         "predicted miss\n"
+         "                            ratio at every geometry from one "
+         "trace walk\n"
          "  merge <artifact|dir...>   aggregate artifacts of repeated runs\n"
          "  diff <a> <b>              compare two artifacts, flag "
          "regressions\n"
@@ -143,6 +157,45 @@ void printUsage(std::ostream &Out) {
          "                            conflict-free; non-skipped artifacts "
          "are\n"
          "                            byte-identical to an unscreened run\n"
+         "  --mrc                     answer each group's L1 LRU jobs with "
+         "one\n"
+         "                            single-pass miss-ratio curve instead "
+         "of one\n"
+         "                            simulation per geometry; writes\n"
+         "                            <workload>-<variant>.mrc.json next to "
+         "the\n"
+         "                            artifacts (exact simulation stays the\n"
+         "                            default and the oracle)\n"
+         "  --mrc-geoms G1,G2,..      extra SIZE/LINE/WAYS curve points "
+         "(SIZE\n"
+         "                            takes K/M suffixes; implies --mrc;\n"
+         "                            default sweep 8K..128K at 64/8)\n"
+         "  --mrc-sampled             SHARDS spatial sampling for the curve "
+         "pass\n"
+         "                            (implies --mrc)\n"
+         "  --mrc-rate R              initial SHARDS rate in (0,1] "
+         "(default 0.01;\n"
+         "                            implies --mrc-sampled)\n"
+         "  --mrc-reservoir N         SHARDS max tracked lines (default "
+         "16384;\n"
+         "                            implies --mrc-sampled)\n"
+         "\n"
+         "mrc options:\n"
+         "  --optimized               curve of the padded/reordered build\n"
+         "  --geoms G1,G2,..          SIZE/LINE/WAYS points to report "
+         "(default\n"
+         "                            8K..128K at 64/8 plus the reference)\n"
+         "  --reference SIZE/LINE/WAYS  exact per-set geometry (default "
+         "32K/64/8)\n"
+         "  --sampled                 SHARDS sampling (see --mrc-sampled)\n"
+         "  --rate R / --reservoir N  SHARDS tuning (imply --sampled)\n"
+         "  --check                   gate exact points against a "
+         "simulator\n"
+         "                            replay and sampled points against "
+         "the exact\n"
+         "                            curve (0.05 bound); exit nonzero on "
+         "failure\n"
+         "  --json                    emit the curve as JSON\n"
          "\n"
          "analyze (static) options:\n"
          "  --optimized               analyze the padded/reordered build\n"
@@ -188,6 +241,31 @@ void printUsage(std::ostream &Out) {
          "                            'cli')\n";
 }
 
+/// Strict decimal parse of \p Value as an unsigned integer: every
+/// character must be a digit and the value must fit uint64_t. The
+/// atol-style partial, negative, and overflowing parses ("4x", "-3",
+/// 2^64) are all rejected — a numeric flag either parses exactly or
+/// errors, never silently truncates.
+bool parseUnsignedArg(const std::string &Value, uint64_t &Out) {
+  if (Value.empty())
+    return false;
+  const char *First = Value.data();
+  const char *Last = First + Value.size();
+  auto [Ptr, Ec] = std::from_chars(First, Last, Out, 10);
+  return Ec == std::errc() && Ptr == Last;
+}
+
+/// Strict parse of a finite double; the whole string must be consumed.
+bool parseDoubleArg(const std::string &Value, double &Out) {
+  if (Value.empty())
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  Out = std::strtod(Value.c_str(), &End);
+  return End == Value.c_str() + Value.size() && errno == 0 &&
+         std::isfinite(Out);
+}
+
 struct CliOptions {
   bool Optimized = false;
   bool Exact = false;
@@ -224,21 +302,21 @@ CliOptions parseOptions(const std::vector<std::string> &Args) {
     } else if (Arg == "--period") {
       std::string Value = NextValue();
       if (Options.Ok) {
-        long Period = std::atol(Value.c_str());
-        if (Period <= 0)
-          Fail("--period must be a positive integer");
+        uint64_t Period = 0;
+        if (!parseUnsignedArg(Value, Period) || Period == 0)
+          Fail("--period must be a positive integer (got '" + Value + "')");
         else
-          Options.Profile.Sampling.MeanPeriod =
-              static_cast<uint64_t>(Period);
+          Options.Profile.Sampling.MeanPeriod = Period;
       }
     } else if (Arg == "--threshold") {
       std::string Value = NextValue();
       if (Options.Ok) {
-        long Threshold = std::atol(Value.c_str());
-        if (Threshold <= 0)
-          Fail("--threshold must be a positive integer");
+        uint64_t Threshold = 0;
+        if (!parseUnsignedArg(Value, Threshold) || Threshold == 0)
+          Fail("--threshold must be a positive integer (got '" + Value +
+               "')");
         else
-          Options.Profile.RcdThreshold = static_cast<uint64_t>(Threshold);
+          Options.Profile.RcdThreshold = Threshold;
       }
     } else if (Arg == "--sampler") {
       std::string Value = NextValue();
@@ -549,12 +627,12 @@ int commandStaticAnalyze(const std::string &Name,
       if (Arg == "--artifact") {
         ArtifactPath = Value;
       } else {
-        long Parsed = std::atol(Value.c_str());
-        if (Parsed <= 0) {
-          std::cerr << "error: --threshold must be a positive integer\n";
+        if (!parseUnsignedArg(Value, Threshold) || Threshold == 0) {
+          std::cerr << "error: --threshold must be a positive integer "
+                       "(got '"
+                    << Value << "')\n";
           return 1;
         }
-        Threshold = static_cast<uint64_t>(Parsed);
       }
     } else {
       std::cerr << "error: unknown analyze option '" << Arg << "'\n";
@@ -624,6 +702,68 @@ std::vector<std::string> splitList(const std::string &Value) {
   return Parts;
 }
 
+/// Parses a "SIZE/LINE/WAYS" geometry spec (SIZE accepts a K or M
+/// suffix, e.g. "32K/64/8") and appends it to \p Out. The shape is
+/// validated here — line size a power of two, 1..64 ways, size
+/// divisible by line*ways — so a bad spec is a CLI error, not an
+/// assertion inside CacheGeometry.
+bool parseGeometrySpec(const std::string &Spec,
+                       std::vector<CacheGeometry> &Out, std::string &Error) {
+  std::vector<std::string> Parts;
+  std::stringstream Stream(Spec);
+  std::string Part;
+  while (std::getline(Stream, Part, '/'))
+    Parts.push_back(Part);
+  if (Parts.size() != 3) {
+    Error = "geometry '" + Spec + "' is not SIZE/LINE/WAYS";
+    return false;
+  }
+  uint64_t Multiplier = 1;
+  std::string SizePart = Parts[0];
+  if (!SizePart.empty() &&
+      (SizePart.back() == 'K' || SizePart.back() == 'k' ||
+       SizePart.back() == 'M' || SizePart.back() == 'm')) {
+    Multiplier = (SizePart.back() == 'K' || SizePart.back() == 'k')
+                     ? 1024
+                     : 1024 * 1024;
+    SizePart.pop_back();
+  }
+  uint64_t Size = 0, Line = 0, Ways = 0;
+  if (!parseUnsignedArg(SizePart, Size) || !parseUnsignedArg(Parts[1], Line) ||
+      !parseUnsignedArg(Parts[2], Ways) || Size == 0 || Line == 0 ||
+      Ways == 0) {
+    Error = "geometry '" + Spec + "' has a non-numeric or zero field";
+    return false;
+  }
+  Size *= Multiplier;
+  if ((Line & (Line - 1)) != 0 || Line > std::numeric_limits<uint32_t>::max()) {
+    Error = "geometry '" + Spec + "': line size must be a power of two";
+    return false;
+  }
+  if (Ways > 64) {
+    Error = "geometry '" + Spec + "': at most 64 ways are supported";
+    return false;
+  }
+  if (Size % (Line * Ways) != 0) {
+    Error = "geometry '" + Spec +
+            "': size must be divisible by line * ways";
+    return false;
+  }
+  Out.push_back(CacheGeometry(Size, static_cast<uint32_t>(Line),
+                              static_cast<uint32_t>(Ways)));
+  return true;
+}
+
+/// The default geometry ladder `mrc` and `batch --mrc` sample when no
+/// --geoms/--mrc-geoms is given: an L1 size sweep around the paper's
+/// 32KiB/64B/8-way point.
+std::vector<CacheGeometry> defaultMrcSweep() {
+  std::vector<CacheGeometry> Sweep;
+  for (uint64_t KiB : {8, 16, 32, 64, 128})
+    Sweep.push_back(CacheGeometry(KiB * 1024, 64, 8));
+  return Sweep;
+}
+
 struct BatchCliOptions {
   BatchMatrix Matrix;
   unsigned Jobs = 1;
@@ -639,6 +779,17 @@ struct BatchCliOptions {
   unsigned Shards = 0;
   /// Skip L1 jobs the static analyzer proves conflict-free.
   bool StaticScreen = false;
+  /// Route L1 LRU jobs through one single-pass miss-ratio curve per
+  /// group instead of per-config simulations (any --mrc-* flag
+  /// implies this).
+  bool Mrc = false;
+  /// SHARDS sampling for the MRC pass.
+  bool MrcSampled = false;
+  double MrcRate = 0.01;
+  size_t MrcReservoir = 16384;
+  /// Extra geometries to sample each curve at; defaultMrcSweep() when
+  /// left empty.
+  std::vector<CacheGeometry> MrcSweep;
   bool Ok = true;
 };
 
@@ -660,11 +811,14 @@ BatchCliOptions parseBatchOptions(const std::vector<std::string> &Args) {
     };
     auto ParsePositive = [&](const std::string &Value, const char *What,
                              auto &Slot) {
-      long Parsed = std::atol(Value.c_str());
-      if (Parsed <= 0)
-        Fail(std::string(What) + " must be a positive integer");
+      using SlotType = std::remove_reference_t<decltype(Slot)>;
+      uint64_t Parsed = 0;
+      if (!parseUnsignedArg(Value, Parsed) || Parsed == 0 ||
+          Parsed > std::numeric_limits<SlotType>::max())
+        Fail(std::string(What) + " must be a positive integer (got '" +
+             Value + "')");
       else
-        Slot = static_cast<std::remove_reference_t<decltype(Slot)>>(Parsed);
+        Slot = static_cast<SlotType>(Parsed);
     };
 
     if (Arg == "--jobs") {
@@ -774,6 +928,42 @@ BatchCliOptions parseBatchOptions(const std::vector<std::string> &Args) {
         ParsePositive(Value, "--shards", Options.Shards);
     } else if (Arg == "--static-screen") {
       Options.StaticScreen = true;
+    } else if (Arg == "--mrc") {
+      Options.Mrc = true;
+    } else if (Arg == "--mrc-sampled") {
+      Options.Mrc = true;
+      Options.MrcSampled = true;
+    } else if (Arg == "--mrc-rate") {
+      std::string Value = NextValue();
+      if (Options.Ok) {
+        Options.Mrc = true;
+        Options.MrcSampled = true;
+        if (!parseDoubleArg(Value, Options.MrcRate) ||
+            Options.MrcRate <= 0.0 || Options.MrcRate > 1.0)
+          Fail("--mrc-rate must be in (0, 1] (got '" + Value + "')");
+      }
+    } else if (Arg == "--mrc-reservoir") {
+      std::string Value = NextValue();
+      if (Options.Ok) {
+        Options.Mrc = true;
+        Options.MrcSampled = true;
+        ParsePositive(Value, "--mrc-reservoir", Options.MrcReservoir);
+        if (Options.Ok && Options.MrcReservoir < 2)
+          Fail("--mrc-reservoir must be at least 2");
+      }
+    } else if (Arg == "--mrc-geoms") {
+      std::string Value = NextValue();
+      if (!Options.Ok)
+        continue;
+      Options.Mrc = true;
+      std::string Error;
+      for (const std::string &Spec : splitList(Value))
+        if (!parseGeometrySpec(Spec, Options.MrcSweep, Error)) {
+          Fail(Error);
+          break;
+        }
+      if (Options.Ok && Options.MrcSweep.empty())
+        Fail("--mrc-geoms needs at least one SIZE/LINE/WAYS spec");
     } else {
       Fail("unknown batch option '" + Arg + "'");
     }
@@ -791,6 +981,13 @@ int commandBatch(const std::string &Selection,
                  "(drop --no-reuse)\n";
     return 1;
   }
+  if (Options.Mrc && !Options.Reuse) {
+    std::cerr << "error: --mrc requires the shared-trace engine "
+                 "(drop --no-reuse)\n";
+    return 1;
+  }
+  if (Options.Mrc && Options.MrcSweep.empty())
+    Options.MrcSweep = defaultMrcSweep();
 
   if (Selection == "all") {
     Options.Matrix.Workloads = defaultBatchWorkloads();
@@ -834,6 +1031,9 @@ int commandBatch(const std::string &Selection,
     if (Outcome.Skipped)
       std::cout << "  [" << Done << "/" << Jobs.size() << "] skipped "
                 << Outcome.Job.key() << " (statically conflict-free)\n";
+    else if (Outcome.MrcPredicted)
+      std::cout << "  [" << Done << "/" << Jobs.size() << "] mrc "
+                << Outcome.Job.key() << " (one-pass curve prediction)\n";
     else if (Outcome.ok())
       std::cout << "  [" << Done << "/" << Jobs.size() << "] "
                 << Outcome.Job.key() << '\n';
@@ -845,6 +1045,7 @@ int commandBatch(const std::string &Selection,
   size_t Failures = 0;
   std::vector<JobOutcome> Outcomes;
   SharedBatchStats Shared;
+  std::vector<MrcGroupCurve> Curves;
   if (Options.Reuse) {
     MissStreamCache StreamCache(Options.StreamCacheEntries);
     BatchExecOptions Exec;
@@ -852,18 +1053,27 @@ int commandBatch(const std::string &Selection,
     Exec.SimThreads = Options.SimThreads;
     Exec.Shards = Options.Shards;
     Exec.StaticScreen = Options.StaticScreen;
+    Exec.Mrc = Options.Mrc;
+    Exec.MrcConfig.Sampled = Options.MrcSampled;
+    Exec.MrcConfig.SampleRate = Options.MrcRate;
+    Exec.MrcConfig.MaxSampledLines = Options.MrcReservoir;
+    Exec.MrcSweep = Options.MrcSweep;
     Outcomes = runJobsShared(Jobs, Exec, Timestamp, Progress, &StreamCache,
-                             &Shared);
+                             &Shared, &Curves);
   } else {
     Outcomes = runJobs(Jobs, Options.Jobs, Timestamp, Progress);
   }
 
   // Persist sequentially in job order: output listing and directory
   // contents are deterministic regardless of completion order.
-  size_t Skipped = 0;
+  size_t Skipped = 0, Predicted = 0;
   for (const JobOutcome &Outcome : Outcomes) {
     if (Outcome.Skipped) {
       ++Skipped;
+      continue;
+    }
+    if (Outcome.MrcPredicted) {
+      ++Predicted;
       continue;
     }
     if (!Outcome.ok()) {
@@ -872,6 +1082,42 @@ int commandBatch(const std::string &Selection,
     }
     if (Store.save(Outcome.Artifact, &Error).empty()) {
       std::cerr << "error: " << Error << '\n';
+      ++Failures;
+    }
+  }
+
+  // One curve file per (workload, variant) group, deterministic bytes:
+  // group order is first-appearance order of the job list and every
+  // number renders at fixed precision.
+  for (const MrcGroupCurve &Curve : Curves) {
+    std::string FileName = Curve.WorkloadName + '-' +
+                           variantName(Curve.Variant) + ".mrc.json";
+    for (char &C : FileName)
+      if (!std::isalnum(static_cast<unsigned char>(C)) && C != '-' &&
+          C != '_' && C != '.')
+        C = '_';
+    const std::string Path = Options.OutDir + '/' + FileName;
+    std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+    Out << "{\n  \"workload\": " << json::quote(Curve.WorkloadName)
+        << ",\n  \"variant\": " << json::quote(variantName(Curve.Variant))
+        << ",\n  \"trace_refs\": " << Curve.TraceRefs
+        << ",\n  \"sampled\": " << (Curve.Sampled ? "true" : "false")
+        << ",\n  \"final_rate\": " << json::number(Curve.FinalRate, 8)
+        << ",\n  \"routed_jobs\": " << Curve.RoutedJobs
+        << ",\n  \"points\": [\n";
+    for (size_t I = 0; I < Curve.Points.size(); ++I) {
+      const MrcPoint &Point = Curve.Points[I];
+      Out << "    {\"size_bytes\": " << Point.Geometry.sizeBytes()
+          << ", \"line_bytes\": " << Point.Geometry.lineBytes()
+          << ", \"ways\": " << Point.Geometry.associativity()
+          << ", \"sets\": " << Point.Geometry.numSets()
+          << ", \"miss_ratio\": " << json::number(Point.MissRatio, 9)
+          << ", \"exact\": " << (Point.Exact ? "true" : "false") << "}"
+          << (I + 1 < Curve.Points.size() ? "," : "") << '\n';
+    }
+    Out << "  ]\n}\n";
+    if (!Out) {
+      std::cerr << "error: cannot write " << Path << '\n';
       ++Failures;
     }
   }
@@ -896,6 +1142,9 @@ int commandBatch(const std::string &Selection,
     if (Options.StaticScreen)
       std::cout << "; static screen skipped " << Shared.StaticSkipped
                 << " job(s)";
+    if (Options.Mrc)
+      std::cout << "; mrc: " << Shared.MrcGroups << " curve(s) answered "
+                << Shared.MrcRoutedJobs << " job(s) in one pass";
     std::cout << '\n';
     if (!S.Entries.empty()) {
       TextTable Streams({"stream", "hits", "events", "resident"});
@@ -906,10 +1155,14 @@ int commandBatch(const std::string &Selection,
     }
   }
 
-  std::cout << "batch: wrote " << (Outcomes.size() - Failures - Skipped)
+  std::cout << "batch: wrote "
+            << (Outcomes.size() - Failures - Skipped - Predicted)
             << " artifact(s)";
   if (Skipped)
     std::cout << ", " << Skipped << " job(s) skipped";
+  if (Predicted)
+    std::cout << ", " << Predicted << " job(s) mrc-predicted across "
+              << Curves.size() << " curve(s)";
   if (Failures)
     std::cout << ", " << Failures << " job(s) failed";
   std::cout << '\n';
@@ -1114,9 +1367,12 @@ int commandValidate(const std::vector<std::string> &Args) {
         return 1;
       }
       const std::string Value = Args[++I];
-      long Parsed = std::atol(Value.c_str());
-      if (Parsed < 0 || (Parsed == 0 && Value != "0")) {
-        std::cerr << "error: --temp-age must be a non-negative integer\n";
+      uint64_t Parsed = 0;
+      if (!parseUnsignedArg(Value, Parsed) ||
+          Parsed > std::numeric_limits<unsigned>::max()) {
+        std::cerr << "error: --temp-age must be a non-negative integer "
+                     "(got '"
+                  << Value << "')\n";
         return 1;
       }
       TempAgeSeconds = static_cast<unsigned>(Parsed);
@@ -1190,6 +1446,238 @@ int commandValidate(const std::vector<std::string> &Args) {
 }
 
 //===----------------------------------------------------------------------===//
+// Miss-ratio curve command
+//===----------------------------------------------------------------------===//
+
+/// `ccprof mrc <workload>`: one pass over the workload's canonicalized
+/// trace, then the predicted miss ratio at every requested geometry.
+/// --check replays the simulator at each exact-resolved point (must
+/// match to float noise) and, for sampled curves, gates every point
+/// against the exact curve at the documented SHARDS bound.
+int commandMrc(const std::string &Name, const std::vector<std::string> &Args) {
+  bool Optimized = false, Sampled = false, Json = false, Check = false;
+  MrcOptions Opts;
+  std::vector<CacheGeometry> Geometries;
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    auto NextValue = [&](const char *Flag) -> std::optional<std::string> {
+      if (I + 1 >= Args.size()) {
+        std::cerr << "error: missing value for " << Flag << '\n';
+        return std::nullopt;
+      }
+      return Args[++I];
+    };
+    if (Arg == "--optimized") {
+      Optimized = true;
+    } else if (Arg == "--sampled") {
+      Sampled = true;
+    } else if (Arg == "--json") {
+      Json = true;
+    } else if (Arg == "--check") {
+      Check = true;
+    } else if (Arg == "--rate") {
+      std::optional<std::string> Value = NextValue("--rate");
+      if (!Value)
+        return 1;
+      double Parsed = 0.0;
+      if (!parseDoubleArg(*Value, Parsed) || Parsed <= 0.0 || Parsed > 1.0) {
+        std::cerr << "error: --rate must be a number in (0, 1] (got '"
+                  << *Value << "')\n";
+        return 1;
+      }
+      Sampled = true;
+      Opts.SampleRate = Parsed;
+    } else if (Arg == "--reservoir") {
+      std::optional<std::string> Value = NextValue("--reservoir");
+      if (!Value)
+        return 1;
+      uint64_t Parsed = 0;
+      if (!parseUnsignedArg(*Value, Parsed) || Parsed < 2) {
+        std::cerr << "error: --reservoir must be an integer >= 2 (got '"
+                  << *Value << "')\n";
+        return 1;
+      }
+      Sampled = true;
+      Opts.MaxSampledLines = static_cast<size_t>(Parsed);
+    } else if (Arg == "--reference") {
+      std::optional<std::string> Value = NextValue("--reference");
+      if (!Value)
+        return 1;
+      std::vector<CacheGeometry> Ref;
+      std::string Error;
+      if (!parseGeometrySpec(*Value, Ref, Error)) {
+        std::cerr << "error: " << Error << '\n';
+        return 1;
+      }
+      Opts.Reference = Ref.front();
+    } else if (Arg == "--geoms") {
+      std::optional<std::string> Value = NextValue("--geoms");
+      if (!Value)
+        return 1;
+      std::string Error;
+      for (const std::string &Spec : splitList(*Value)) {
+        if (!parseGeometrySpec(Spec, Geometries, Error)) {
+          std::cerr << "error: " << Error << '\n';
+          return 1;
+        }
+      }
+    } else {
+      std::cerr << "error: unknown mrc option '" << Arg << "'\n";
+      return 1;
+    }
+  }
+  Opts.Sampled = Sampled;
+  if (Geometries.empty())
+    Geometries = defaultMrcSweep();
+  // Always sample the reference geometry itself; sort + dedup so the
+  // output order is canonical no matter how --geoms was spelled.
+  Geometries.push_back(Opts.Reference);
+  auto Shape = [](const CacheGeometry &G) {
+    return std::tuple(G.sizeBytes(), G.lineBytes(), G.associativity());
+  };
+  std::sort(Geometries.begin(), Geometries.end(),
+            [&](const CacheGeometry &A, const CacheGeometry &B) {
+              return Shape(A) < Shape(B);
+            });
+  Geometries.erase(std::unique(Geometries.begin(), Geometries.end(),
+                               [&](const CacheGeometry &A,
+                                   const CacheGeometry &B) {
+                                 return Shape(A) == Shape(B);
+                               }),
+                   Geometries.end());
+
+  std::unique_ptr<Workload> W = makeWorkloadByName(Name);
+  if (!W) {
+    std::cerr << "error: unknown workload '" << Name
+              << "' (try: ccprof list)\n";
+    return 1;
+  }
+  const WorkloadVariant Variant =
+      Optimized ? WorkloadVariant::Optimized : WorkloadVariant::Original;
+  Trace Recorded;
+  W->run(Variant, &Recorded);
+  const Trace T = canonicalizeTrace(Recorded);
+
+  const MissRatioCurve Curve = MrcEngine::compute(T, Opts);
+
+  // --check oracles. Exact-resolved points must match a simulator
+  // replay; sampled curves must sit within the documented bound of the
+  // exact curve. Binomial-model points have no gate — the uniform-
+  // mapping assumption they encode is exactly what conflict-heavy
+  // workloads violate (that gap is the paper's subject, not a bug).
+  constexpr double ExactTolerance = 1e-9;
+  constexpr double ShardsBound = 0.05;
+  std::optional<MissRatioCurve> ExactCurve;
+  if (Check && Sampled) {
+    MrcOptions ExactOpts = Opts;
+    ExactOpts.Sampled = false;
+    ExactCurve = MrcEngine::compute(T, ExactOpts);
+  }
+  size_t CheckFailures = 0;
+  struct Row {
+    CacheGeometry Geometry = CacheGeometry(32 * 1024, 64, 8);
+    double MissRatio = 0.0;
+    bool Exact = false;
+    std::string CheckNote;
+  };
+  std::vector<Row> Rows;
+  for (const CacheGeometry &G : Geometries) {
+    Row R;
+    R.Geometry = G;
+    R.MissRatio = Curve.missRatioAt(G);
+    R.Exact = Curve.isExactAt(G);
+    if (Check) {
+      if (R.Exact) {
+        Cache Sim(G, ReplacementKind::Lru);
+        for (const MemoryRecord &Rec : T.records())
+          Sim.access(Rec.Addr, Rec.IsWrite);
+        const double Simulated = Sim.stats().missRatio();
+        if (std::fabs(Simulated - R.MissRatio) > ExactTolerance) {
+          R.CheckNote = "FAIL sim=" + fmt::fixed(Simulated, 9);
+          ++CheckFailures;
+        } else {
+          R.CheckNote = "ok (sim match)";
+        }
+      } else if (ExactCurve) {
+        // Model-to-model: the sampled curve always reads through the
+        // binomial model, so the bound is against the exact histogram
+        // read the same way — the per-set/model gap is the conflict
+        // signal, not sampling error.
+        const double Exact = ExactCurve->modelMissRatioAt(G);
+        const double Err = std::fabs(Exact - R.MissRatio);
+        if (Err > ShardsBound) {
+          R.CheckNote = "FAIL exact=" + fmt::fixed(Exact, 6) + " err=" +
+                        fmt::fixed(Err, 6);
+          ++CheckFailures;
+        } else {
+          R.CheckNote = "ok (err " + fmt::fixed(Err, 6) + ")";
+        }
+      } else {
+        R.CheckNote = "model (ungated)";
+      }
+    }
+    Rows.push_back(std::move(R));
+  }
+
+  if (Json) {
+    std::cout << "{\n  \"workload\": " << json::quote(W->name())
+              << ",\n  \"variant\": " << json::quote(variantName(Variant))
+              << ",\n  \"trace_refs\": " << Curve.TotalRefs
+              << ",\n  \"sampled\": " << (Curve.Sampled ? "true" : "false")
+              << ",\n  \"final_rate\": " << json::number(Curve.FinalRate, 8)
+              << ",\n  \"points\": [\n";
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      std::cout << "    {\"size_bytes\": " << R.Geometry.sizeBytes()
+                << ", \"line_bytes\": " << R.Geometry.lineBytes()
+                << ", \"ways\": " << R.Geometry.associativity()
+                << ", \"sets\": " << R.Geometry.numSets()
+                << ", \"miss_ratio\": " << json::number(R.MissRatio, 9)
+                << ", \"exact\": " << (R.Exact ? "true" : "false");
+      if (Check)
+        std::cout << ", \"check\": " << json::quote(R.CheckNote);
+      std::cout << "}" << (I + 1 < Rows.size() ? "," : "") << '\n';
+    }
+    std::cout << "  ]\n}\n";
+  } else {
+    std::cout << "mrc: " << W->name() << " (" << variantName(Variant) << "), "
+              << Curve.TotalRefs << " ref(s), "
+              << (Curve.Sampled
+                      ? "SHARDS rate " + fmt::fixed(Curve.FinalRate, 6)
+                      : std::string("exact"))
+              << '\n';
+    std::vector<std::string> Header = {"size",     "line", "ways",
+                                       "sets",     "miss_ratio",
+                                       "resolved"};
+    if (Check)
+      Header.push_back("check");
+    TextTable Table(Header);
+    for (const Row &R : Rows) {
+      std::vector<std::string> Cells = {
+          std::to_string(R.Geometry.sizeBytes()),
+          std::to_string(R.Geometry.lineBytes()),
+          std::to_string(R.Geometry.associativity()),
+          std::to_string(R.Geometry.numSets()),
+          fmt::fixed(R.MissRatio, 6),
+          R.Exact ? "exact" : "model"};
+      if (Check)
+        Cells.push_back(R.CheckNote);
+      Table.addRow(Cells);
+    }
+    std::cout << Table.render();
+  }
+  if (Check) {
+    std::cout << "mrc check: "
+              << (CheckFailures ? std::to_string(CheckFailures) +
+                                      " point(s) FAILED"
+                                : std::string("all gated points ok"))
+              << '\n';
+    return CheckFailures == 0 ? 0 : 1;
+  }
+  return 0;
+}
+
+//===----------------------------------------------------------------------===//
 // Service commands (ccprofd)
 //===----------------------------------------------------------------------===//
 
@@ -1223,27 +1711,32 @@ int commandServe(const std::vector<std::string> &Args) {
     } else if (Arg == "--workers") {
       if (!NextValue(Value))
         return 1;
-      long Parsed = std::atol(Value.c_str());
-      if (Parsed <= 0) {
-        std::cerr << "error: --workers must be a positive integer\n";
+      uint64_t Parsed = 0;
+      if (!parseUnsignedArg(Value, Parsed) || Parsed == 0 ||
+          Parsed > std::numeric_limits<unsigned>::max()) {
+        std::cerr << "error: --workers must be a positive integer (got '"
+                  << Value << "')\n";
         return 1;
       }
       Config.Workers = static_cast<unsigned>(Parsed);
     } else if (Arg == "--queue") {
       if (!NextValue(Value))
         return 1;
-      long Parsed = std::atol(Value.c_str());
-      if (Parsed <= 0) {
-        std::cerr << "error: --queue must be a positive integer\n";
+      uint64_t Parsed = 0;
+      if (!parseUnsignedArg(Value, Parsed) || Parsed == 0) {
+        std::cerr << "error: --queue must be a positive integer (got '"
+                  << Value << "')\n";
         return 1;
       }
       Config.QueueCapacity = static_cast<size_t>(Parsed);
     } else if (Arg == "--poll-ms") {
       if (!NextValue(Value))
         return 1;
-      long Parsed = std::atol(Value.c_str());
-      if (Parsed <= 0) {
-        std::cerr << "error: --poll-ms must be a positive integer\n";
+      uint64_t Parsed = 0;
+      if (!parseUnsignedArg(Value, Parsed) || Parsed == 0 ||
+          Parsed > std::numeric_limits<unsigned>::max()) {
+        std::cerr << "error: --poll-ms must be a positive integer (got '"
+                  << Value << "')\n";
         return 1;
       }
       Config.PollMs = static_cast<unsigned>(Parsed);
@@ -1393,6 +1886,15 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     return commandBatch(
+        Args[1], std::vector<std::string>(Args.begin() + 2, Args.end()));
+  }
+
+  if (Command == "mrc") {
+    if (Args.size() < 2) {
+      std::cerr << "error: mrc needs a workload name\n";
+      return 1;
+    }
+    return commandMrc(
         Args[1], std::vector<std::string>(Args.begin() + 2, Args.end()));
   }
 
