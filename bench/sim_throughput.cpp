@@ -29,20 +29,35 @@
 //     point is verified element-identical (ordered collector) or
 //     field-identical (aggregates) to the sequential baseline.
 //
+//  4. route-once partition reuse (--large adds a steady-state tier):
+//     twelve L1-class cache configurations sharing one index geometry
+//     (64 sets x 64B lines — four sizes at matching associativity, x
+//     every deterministic policy) replayed through the sharded
+//     aggregate collector with per-config routing vs a PartitionCache
+//     that routes the trace once and replays it for every
+//     configuration. The tier also A/B-times the count+scatter
+//     router against the fused single-pass router on the same trace
+//     (both must produce identical partitions), and verifies ordered
+//     miss streams are byte-identical cache on vs off.
+//
 // Emits machine-readable BENCH_sim_throughput.json and
 // BENCH_simshard.json (one entry per tier) in the working directory so
 // the perf trajectory is comparable across PRs; exits nonzero if any
 // identity check fails. `--smoke` shrinks the workloads for CI;
 // `--json` suppresses the human-readable tables (the JSON files are
 // always written); `--refs N` overrides the large tier's trace length;
-// `--gate` additionally fails the run if the large tier's 2-shard
-// ordered-collector speedup falls below 1.0x — the CI floor that keeps
-// the sharded engine from regressing below sequential again.
+// `--fused-router` replays the sweeps through the fused single-pass
+// router instead of the count+scatter default; `--gate` additionally
+// fails the run if the large tier's 2-shard ordered-collector speedup
+// falls below 1.0x — the CI floor that keeps the sharded engine from
+// regressing below sequential again — or the large sweep-reuse tier's
+// route-once speedup falls below 1.5x over per-config routing.
 //
 //===----------------------------------------------------------------------===//
 
 #include "pipeline/JobRunner.h"
 #include "pmu/PebsEvent.h"
+#include "sim/PartitionCache.h"
 #include "sim/MachineConfig.h"
 #include "sim/ReferenceCache.h"
 #include "support/Rng.h"
@@ -278,6 +293,173 @@ ShardTier runShardTier(const std::string &Name, size_t NumRefs,
   return Tier;
 }
 
+/// One trace-size tier of the route-once sweep: N configurations
+/// sharing an index geometry replayed with per-config routing vs a
+/// PartitionCache, plus a router A/B on the same trace.
+struct SweepReuseTier {
+  std::string Name;
+  size_t TraceRefs = 0;
+  size_t NumConfigs = 0;
+  unsigned Shards = 0;
+  double PerConfigSecs = 0.0; ///< Every config routes from scratch.
+  double ReuseSecs = 0.0;     ///< Route once, replay many.
+  double Speedup = 1.0;
+  uint64_t Builds = 0; ///< Partitions routed in reuse mode (want 1).
+  uint64_t Reuses = 0; ///< Route-once cache hits (want N - 1).
+  double RouterCsSecs = 0.0;    ///< Count+scatter routing pass alone.
+  double RouterFusedSecs = 0.0; ///< Fused routing pass alone.
+  bool Identical = true;
+};
+
+/// Runs one sweep-reuse tier: synthesize the trace, replay the
+/// eight-config sweep through the sharded aggregate collector with
+/// per-config routing, then again through a PartitionCache, and verify
+/// identical aggregates, byte-identical ordered streams cache on vs
+/// off, exact build/hit accounting, and router A/B partition identity.
+SweepReuseTier runSweepReuseTier(const std::string &Name, size_t NumRefs,
+                                 PartitionRouter Router) {
+  // Twelve configurations sharing one index geometry (64 sets x 64B
+  // lines): four L1-class sizes with matching associativity — the
+  // paper's own L1 (32K/8-way, 64 sets) included — x every
+  // deterministic policy (Random falls back to sequential replay and
+  // never partitions). The shard partition depends only on (set
+  // count, line size, shard count), so one routing pass serves every
+  // replay. Low associativity is deliberate: replay cost per ref
+  // grows with ways while routing cost does not, so an L1-class
+  // sweep is where route-once pays the most.
+  struct SweepConfig {
+    CacheGeometry Geometry;
+    ReplacementKind Policy;
+  };
+  std::vector<SweepConfig> Configs;
+  for (ReplacementKind Policy :
+       {ReplacementKind::Lru, ReplacementKind::Fifo,
+        ReplacementKind::TreePlru})
+    for (const auto &[SizeKb, Ways] :
+         std::initializer_list<std::pair<uint64_t, uint32_t>>{
+             {4, 1}, {8, 2}, {16, 4}, {32, 8}})
+      Configs.push_back({CacheGeometry(SizeKb * 1024, 64, Ways), Policy});
+
+  const Trace T = makeTrace(NumRefs);
+  constexpr unsigned SweepShards = 4;
+  const unsigned Threads = std::max(
+      SweepShards, std::max(1u, std::thread::hardware_concurrency()));
+  ThreadPool Pool(Threads - 1);
+  ThreadBudget Budget(Threads);
+  ShardCachePool CachePool;
+
+  SweepReuseTier Tier;
+  Tier.Name = Name;
+  Tier.TraceRefs = NumRefs;
+  Tier.NumConfigs = Configs.size();
+  Tier.Shards = SweepShards;
+
+  auto makeCtx = [&](ShardExecStats &Stats, PartitionCache *Cache,
+                     uint64_t TraceId) {
+    SimContext Ctx;
+    Ctx.Pool = &Pool;
+    Ctx.Budget = &Budget;
+    Ctx.CachePool = &CachePool;
+    Ctx.Stats = &Stats;
+    Ctx.Shards = SweepShards;
+    Ctx.MinRefsToShard = 0;
+    Ctx.Router = Router;
+    Ctx.Partitions = Cache;
+    Ctx.TraceId = TraceId;
+    return Ctx;
+  };
+
+  // The timed sweeps replay through the merge-elided aggregate
+  // collector — the configuration-sweep fast path — so routing cost
+  // is the difference under test; the ordered collector's byte
+  // identity is checked untimed below.
+  auto sweepAggregates = [&](const SimContext &Ctx) {
+    std::vector<MissStreamAggregates> Out;
+    Out.reserve(Configs.size());
+    for (const SweepConfig &C : Configs) {
+      MissStreamOptions Options;
+      Options.Policy = C.Policy;
+      Out.push_back(collectL1MissAggregates(T, C.Geometry, Options, Ctx));
+    }
+    return Out;
+  };
+
+  // Warm-up on one configuration: page faults, arena-sized
+  // allocations, the shard-cache pool. One replay is enough — the
+  // timed sweeps reuse the same allocator arenas config over config.
+  {
+    ShardExecStats Warm;
+    MissStreamOptions Options;
+    Options.Policy = Configs.front().Policy;
+    collectL1MissAggregates(T, Configs.front().Geometry, Options,
+                            makeCtx(Warm, nullptr, 0));
+  }
+
+  ShardExecStats PerConfigStats;
+  Clock::time_point PerConfigStart = Clock::now();
+  const std::vector<MissStreamAggregates> PerConfig =
+      sweepAggregates(makeCtx(PerConfigStats, nullptr, 0));
+  Tier.PerConfigSecs = secondsSince(PerConfigStart);
+
+  PartitionCache Partitions;
+  const uint64_t TraceId = Partitions.registerTrace();
+  ShardExecStats ReuseStats;
+  Clock::time_point ReuseStart = Clock::now();
+  const std::vector<MissStreamAggregates> Reused =
+      sweepAggregates(makeCtx(ReuseStats, &Partitions, TraceId));
+  Tier.ReuseSecs = secondsSince(ReuseStart);
+  Partitions.releaseTrace(TraceId);
+
+  Tier.Speedup = Tier.PerConfigSecs / Tier.ReuseSecs;
+  Tier.Builds = ReuseStats.PartitionBuilds.load();
+  Tier.Reuses = ReuseStats.PartitionReuses.load();
+  Tier.Identical = PerConfig == Reused && Tier.Builds == 1 &&
+                   Tier.Reuses == Configs.size() - 1 &&
+                   PerConfigStats.PartitionBuilds.load() == Configs.size();
+
+  // Ordered-stream byte identity, cache on vs off, on one config per
+  // policy (the aggregate equality above already spans all eight).
+  // The second config shares the first's geometry key, so the cached
+  // run exercises the reuse path in ordered mode too.
+  {
+    PartitionCache OrderedCache;
+    const uint64_t OrderedId = OrderedCache.registerTrace();
+    for (size_t I : {size_t{0}, Configs.size() - 1}) {
+      MissStreamOptions Options;
+      Options.Policy = Configs[I].Policy;
+      ShardExecStats OffStats, OnStats;
+      const std::vector<MissEvent> Off = collectL1MissStreamParallel(
+          T, Configs[I].Geometry, Options, makeCtx(OffStats, nullptr, 0));
+      const std::vector<MissEvent> On = collectL1MissStreamParallel(
+          T, Configs[I].Geometry, Options,
+          makeCtx(OnStats, &OrderedCache, OrderedId));
+      Tier.Identical = Tier.Identical && Off == On;
+    }
+    OrderedCache.releaseTrace(OrderedId);
+  }
+
+  // Router A/B: the routing pass alone — count+scatter vs fused — on
+  // this tier's trace. Both must produce the identical partition.
+  {
+    const CacheGeometry IndexGeometry = Configs.front().Geometry;
+    const std::vector<SetRange> Plan =
+        planShards(IndexGeometry.numSets(), SweepShards);
+    partitionBySetParallel(T.records(), IndexGeometry, Plan, Pool,
+                           Threads - 1); // warm-up
+    Clock::time_point CsStart = Clock::now();
+    const ShardPartition Cs = partitionBySetParallel(
+        T.records(), IndexGeometry, Plan, Pool, Threads - 1);
+    Tier.RouterCsSecs = secondsSince(CsStart);
+    Clock::time_point FusedStart = Clock::now();
+    const ShardPartition Fused = partitionBySetFused(
+        T.records(), IndexGeometry, Plan, Pool, Threads - 1);
+    Tier.RouterFusedSecs = secondsSince(FusedStart);
+    Tier.Identical = Tier.Identical && Fused.Arena == Cs.Arena &&
+                     Fused.Offsets == Cs.Offsets;
+  }
+  return Tier;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -285,6 +467,7 @@ int main(int Argc, char **Argv) {
   bool JsonOnly = false;
   bool Large = false;
   bool Gate = false;
+  PartitionRouter Router = PartitionRouter::CountScatter;
   size_t LargeRefs = 100'000'000;
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--smoke") == 0)
@@ -295,11 +478,13 @@ int main(int Argc, char **Argv) {
       Large = true;
     else if (std::strcmp(Argv[I], "--gate") == 0)
       Gate = true;
+    else if (std::strcmp(Argv[I], "--fused-router") == 0)
+      Router = PartitionRouter::Fused;
     else if (std::strcmp(Argv[I], "--refs") == 0 && I + 1 < Argc)
       LargeRefs = static_cast<size_t>(std::strtoull(Argv[++I], nullptr, 10));
     else {
       std::cerr << "usage: sim_throughput [--smoke] [--json] [--large] "
-                   "[--refs N] [--gate]\n";
+                   "[--refs N] [--fused-router] [--gate]\n";
       return 2;
     }
   }
@@ -446,12 +631,60 @@ int main(int Argc, char **Argv) {
     }
   }
 
+  // --- 4. Route once, replay many: partition reuse across a sweep -------
+  std::vector<SweepReuseTier> ReuseTiers;
+  ReuseTiers.push_back(runSweepReuseTier(Smoke ? "smoke" : "standard",
+                                         Smoke ? 400'000 : 8'000'000,
+                                         Router));
+  if (Large)
+    ReuseTiers.push_back(runSweepReuseTier("large", LargeRefs, Router));
+  bool ReuseIdentical = true;
+  for (const SweepReuseTier &Tier : ReuseTiers)
+    ReuseIdentical = ReuseIdentical && Tier.Identical;
+
+  if (!JsonOnly) {
+    TextTable ReuseTable({"tier", "configs", "per-config (s)",
+                          "route-once (s)", "speedup", "routed/reused",
+                          "router cs (s)", "router fused (s)", "exact =="});
+    for (const SweepReuseTier &Tier : ReuseTiers) {
+      std::ostringstream PerConfig, Reuse, Cs, Fused;
+      PerConfig.precision(3);
+      PerConfig << std::fixed << Tier.PerConfigSecs;
+      Reuse.precision(3);
+      Reuse << std::fixed << Tier.ReuseSecs;
+      Cs.precision(3);
+      Cs << std::fixed << Tier.RouterCsSecs;
+      Fused.precision(3);
+      Fused << std::fixed << Tier.RouterFusedSecs;
+      ReuseTable.addRow({Tier.Name, std::to_string(Tier.NumConfigs),
+                         PerConfig.str(), Reuse.str(), fmtX(Tier.Speedup),
+                         std::to_string(Tier.Builds) + "/" +
+                             std::to_string(Tier.Reuses),
+                         Cs.str(), Fused.str(),
+                         Tier.Identical ? "yes" : "NO"});
+    }
+    std::cout << "[route once, replay many]\n"
+              << ReuseTable.render()
+              << "(12 configs sharing 64 sets x 64B lines — 4K/1w..32K/8w "
+                 "x {LRU, FIFO, TreePLRU} — aggregate collector at "
+              << ReuseTiers.front().Shards << " shards; replay router: "
+              << (Router == PartitionRouter::Fused ? "fused"
+                                                   : "count+scatter")
+              << ")\n\n";
+  }
+
   // --- Speedup gate (CI) ------------------------------------------------
   // The floor is deliberately modest — 2 shards must at least beat
   // sequential on the steady-state tier — so the gate trips on "the
   // sharded engine lost its parallelism" (the PR-4 regression mode),
-  // not on runner noise.
+  // not on runner noise. The sweep-reuse floor asks that route-once
+  // deliver most of its Amdahl bound N(P+R)/(P+NR) on the
+  // twelve-config L1-class sweep: with routing P comparable to one
+  // low-associativity aggregate replay R on a serialized box, twelve
+  // configs bound the payoff well above 1.6x, so 1.5x trips on "the
+  // cache stopped reusing" rather than on measurement noise.
   constexpr double GateFloor2Shards = 1.0;
+  constexpr double GateFloorSweepReuse = 1.5;
   bool GatePassed = true;
   // Recorded in the JSON even when the gate is advisory, so local and
   // CI trajectories stay comparable.
@@ -459,8 +692,10 @@ int main(int Argc, char **Argv) {
   for (const ShardRow &Row : Tiers.back().Sweep)
     if (Row.Shards == 2)
       Gate2ShardSpeedup = Row.StreamSpeedup;
+  const double GateSweepSpeedup = ReuseTiers.back().Speedup;
   if (Gate)
-    GatePassed = Gate2ShardSpeedup >= GateFloor2Shards;
+    GatePassed = Gate2ShardSpeedup >= GateFloor2Shards &&
+                 GateSweepSpeedup >= GateFloorSweepReuse;
 
   // --- Machine-readable trajectory --------------------------------------
   {
@@ -527,9 +762,32 @@ int main(int Argc, char **Argv) {
       Json << "     ]}" << (TI + 1 < Tiers.size() ? "," : "") << "\n";
     }
     Json << "  ],\n"
+         << "  \"replay_router\": \""
+         << (Router == PartitionRouter::Fused ? "fused" : "count_scatter")
+         << "\",\n"
+         << "  \"sweep_reuse\": [\n";
+    for (size_t TI = 0; TI < ReuseTiers.size(); ++TI) {
+      const SweepReuseTier &Tier = ReuseTiers[TI];
+      Json << "    {\"tier\": \"" << Tier.Name
+           << "\", \"trace_refs\": " << Tier.TraceRefs
+           << ", \"configs\": " << Tier.NumConfigs
+           << ", \"shards\": " << Tier.Shards << ",\n"
+           << "     \"per_config_seconds\": " << Tier.PerConfigSecs
+           << ", \"route_once_seconds\": " << Tier.ReuseSecs
+           << ", \"speedup\": " << Tier.Speedup << ",\n"
+           << "     \"partitions_routed\": " << Tier.Builds
+           << ", \"partitions_reused\": " << Tier.Reuses << ",\n"
+           << "     \"router_count_scatter_seconds\": " << Tier.RouterCsSecs
+           << ", \"router_fused_seconds\": " << Tier.RouterFusedSecs << ",\n"
+           << "     \"identical\": " << (Tier.Identical ? "true" : "false")
+           << "}" << (TI + 1 < ReuseTiers.size() ? "," : "") << "\n";
+    }
+    Json << "  ],\n"
          << "  \"gate\": {\"enforced\": " << (Gate ? "true" : "false")
          << ", \"floor_2shard_speedup\": " << GateFloor2Shards
          << ", \"speedup_2shards\": " << Gate2ShardSpeedup
+         << ", \"floor_sweep_reuse_speedup\": " << GateFloorSweepReuse
+         << ", \"sweep_reuse_speedup\": " << GateSweepSpeedup
          << ", \"passed\": " << (GatePassed ? "true" : "false") << "}\n"
          << "}\n";
   }
@@ -547,10 +805,17 @@ int main(int Argc, char **Argv) {
                  "collector's\n";
     return 1;
   }
+  if (!ReuseIdentical) {
+    std::cerr << "error: route-once sweep differs from per-config routing "
+                 "(aggregates, ordered bytes, reuse accounting, or router "
+                 "A/B partition)\n";
+    return 1;
+  }
   if (!GatePassed) {
     std::cerr << "error: speedup gate failed — large-tier 2-shard speedup "
-              << Gate2ShardSpeedup << "x is below the "
-              << GateFloor2Shards << "x floor\n";
+              << Gate2ShardSpeedup << "x vs " << GateFloor2Shards
+              << "x floor, sweep-reuse speedup " << GateSweepSpeedup
+              << "x vs " << GateFloorSweepReuse << "x floor\n";
     return 1;
   }
   return 0;

@@ -98,7 +98,7 @@ std::vector<JobOutcome> ccprof::runJobsShared(
   MissStreamCache &Cache = StreamCache ? *StreamCache : LocalCache;
   if (Jobs.empty()) {
     if (StatsOut)
-      *StatsOut = SharedBatchStats{0, Cache.stats(), 0, 0, 0, 0, 0, 0};
+      *StatsOut = SharedBatchStats{0, Cache.stats(), 0, 0, 0, 0, 0, 0, 0, 0};
     return Outcomes;
   }
 
@@ -139,6 +139,12 @@ std::vector<JobOutcome> ccprof::runJobsShared(
     ShardPool.emplace(BudgetTotal - 1);
   ShardCachePool CachePool;
   ShardExecStats ShardStats;
+  // Route-once partition reuse: one cache for the whole run; each
+  // group registers a trace identity so the sweep over its configs
+  // shares arenas, and releases it when the group's trace dies.
+  std::optional<PartitionCache> Partitions;
+  if (Exec.PartitionReuse)
+    Partitions.emplace(Exec.PartitionCacheBytes);
   SimContext Sim;
   Sim.Pool = ShardPool ? &*ShardPool : nullptr;
   Sim.Budget = &Budget;
@@ -146,6 +152,7 @@ std::vector<JobOutcome> ccprof::runJobsShared(
   Sim.Stats = &ShardStats;
   Sim.Shards = Exec.Shards;
   Sim.MinRefsToShard = Exec.MinRefsToShard;
+  Sim.Partitions = Partitions ? &*Partitions : nullptr;
 
   std::atomic<size_t> NextGroup{0};
   std::atomic<size_t> NumDone{0};
@@ -219,6 +226,16 @@ std::vector<JobOutcome> ccprof::runJobsShared(
       W->run(First.Variant, &Recorded);
       Trace T = canonicalizeTrace(Recorded);
 
+      // A per-group context carrying the group trace's identity: every
+      // simulation and MRC pass of this group routes through the
+      // partition cache under one key family, and the entries die with
+      // the trace at the end of the group.
+      SimContext GroupSim = Sim;
+      if (Partitions) {
+        GroupSim.Partitions = &*Partitions;
+        GroupSim.TraceId = Partitions->registerTrace();
+      }
+
       // MRC routing: one stack-distance pass answers every L1 LRU job
       // of the group at once; only the rest still simulates. The
       // predictions land in the group's curve, not in artifacts.
@@ -236,7 +253,8 @@ std::vector<JobOutcome> ccprof::runJobsShared(
         if (!Routed.empty()) {
           MrcOptions MrcOpts = Exec.MrcConfig;
           MrcOpts.Reference = Jobs[Routed.front()].toProfileOptions().L1;
-          const MissRatioCurve Curve = MrcEngine::compute(T, MrcOpts, Sim);
+          const MissRatioCurve Curve =
+              MrcEngine::compute(T, MrcOpts, GroupSim);
 
           std::vector<CacheGeometry> Geometries;
           Geometries.reserve(Routed.size() + Exec.MrcSweep.size());
@@ -286,7 +304,8 @@ std::vector<JobOutcome> ccprof::runJobsShared(
         const JobSpec &Job = Jobs[I];
         Profiler P(Job.toProfileOptions());
         MissStreamCache::StreamPtr Stream = Cache.getOrCompute(
-            missStreamKeyOf(Job), [&] { return P.collectMissStream(T, Sim); });
+            missStreamKeyOf(Job),
+            [&] { return P.collectMissStream(T, GroupSim); });
 
         JobOutcome &Out = Outcomes[I];
         Out.Job = Job;
@@ -296,6 +315,10 @@ std::vector<JobOutcome> ccprof::runJobsShared(
         Out.Artifact.Provenance.TimestampNs = TimestampNs;
         FinishJob(I);
       }
+      // The group's trace dies with this iteration; its arenas index
+      // into it by sequence number and must go with it.
+      if (Partitions && GroupSim.TraceId != 0)
+        Partitions->releaseTrace(GroupSim.TraceId);
     }
     // Hand the slot back so in-flight simulations on other workers can
     // fan out over the freed capacity (the run-tail sharding window).
@@ -318,7 +341,9 @@ std::vector<JobOutcome> ccprof::runJobsShared(
                                  CachePool.reuses(), NumSkipped.load(),
                                  ShardStats.ShardedSims.load(),
                                  ShardStats.UnhelpedShardedSims.load(),
-                                 NumMrcGroups.load(), NumMrcRouted.load()};
+                                 NumMrcGroups.load(), NumMrcRouted.load(),
+                                 ShardStats.PartitionBuilds.load(),
+                                 ShardStats.PartitionReuses.load()};
   if (MrcOut) {
     MrcOut->clear();
     for (std::optional<MrcGroupCurve> &Curve : GroupCurves)

@@ -38,6 +38,7 @@
 #include "pipeline/MissStreamCache.h"
 #include "pipeline/ProfileArtifact.h"
 #include "sim/MrcEngine.h"
+#include "sim/PartitionCache.h"
 
 #include <functional>
 #include <span>
@@ -105,6 +106,11 @@ struct SharedBatchStats {
   uint64_t MrcGroups = 0;
   /// L1 jobs answered by a group curve instead of a simulation.
   uint64_t MrcRoutedJobs = 0;
+  /// Shard partitions routed from scratch (route-once misses).
+  uint64_t PartitionBuilds = 0;
+  /// Shard partitions served from the route-once cache: configurations
+  /// that shared an index geometry and skipped their routing pass.
+  uint64_t PartitionReuses = 0;
 };
 
 /// One (geometry, predicted miss ratio) sample of a group's curve.
@@ -171,6 +177,16 @@ struct BatchExecOptions {
   /// Extra geometries every group curve is sampled at, beyond the
   /// distinct L1 geometries of the routed jobs themselves.
   std::vector<CacheGeometry> MrcSweep;
+  /// Route once, replay many: retain each group's shard-partition
+  /// arenas in a PartitionCache so every configuration sharing an
+  /// index geometry (set count x line size) — ways/policy/store
+  /// variants, MRC passes at the reference geometry — routes the trace
+  /// exactly once. Artifacts are byte-identical either way; this only
+  /// skips redundant routing work.
+  bool PartitionReuse = true;
+  /// Byte budget of the partition cache (most-recent entry always
+  /// kept; see PartitionCache).
+  size_t PartitionCacheBytes = PartitionCache::DefaultMaxBytes;
 };
 
 /// The miss-stream cache key of \p Job: every field the simulated

@@ -7,6 +7,7 @@
 
 #include "pmu/PebsEvent.h"
 
+#include "sim/PartitionCache.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -29,7 +30,7 @@ struct ShardGrant {
 /// stays sequential; on the tail of a run (or a small matrix on a big
 /// machine) the freed worker slots flow here and the job fans out.
 ShardGrant acquireShardGrant(const SimContext &Ctx, uint64_t NumSets,
-                             size_t NumRefs) {
+                             size_t NumRefs, bool IsL2Stage2 = false) {
   ShardGrant Grant;
   if (!Ctx.Pool || NumSets < 2 || NumRefs < Ctx.MinRefsToShard)
     return Grant;
@@ -47,6 +48,13 @@ ShardGrant acquireShardGrant(const SimContext &Ctx, uint64_t NumSets,
   Grant.Shards = static_cast<unsigned>(std::min<uint64_t>(
       NumSets, Ctx.Shards != 0 ? Ctx.Shards : Grant.Helpers + 1));
   if (Ctx.Stats && Grant.Shards > 1) {
+    if (IsL2Stage2) {
+      // The L2 stage-2 replay is a nested phase of one collection, not
+      // a second simulation — it gets its own counter so bench sweeps
+      // see how often the miss stream was big enough to shard.
+      Ctx.Stats->L2StageShardedSims.fetch_add(1, std::memory_order_relaxed);
+      return Grant;
+    }
     Ctx.Stats->ShardedSims.fetch_add(1, std::memory_order_relaxed);
     // Degraded mode: the shard count was forced but no helper showed
     // up, so one thread replays every shard back to back. Bench sweeps
@@ -62,24 +70,13 @@ void releaseShardGrant(const SimContext &Ctx, const ShardGrant &Grant) {
     Ctx.Budget->release(Grant.Helpers);
 }
 
-/// Routes the stream to its shards: block-parallel count + scatter
-/// when the grant came with helpers, the sequential two-pass fill when
-/// the calling thread is on its own (the degraded explicit-shards
-/// mode, where chunk bookkeeping would be pure overhead).
-ShardPartition partitionForGrant(std::span<const MemoryRecord> Records,
-                                 const CacheGeometry &Geometry,
-                                 std::span<const SetRange> Plan,
-                                 const SimContext &Ctx,
-                                 const ShardGrant &Grant) {
-  if (Grant.Helpers > 0)
-    return partitionBySetParallel(Records, Geometry, Plan, *Ctx.Pool,
-                                  Grant.Helpers);
-  return partitionBySet(Records, Geometry, Plan);
-}
-
 /// Shards the full reference stream through caches of \p Geometry and
 /// \returns the globally-ordered sequence numbers of every missing
-/// access (loads and stores alike — callers filter).
+/// access (loads and stores alike — callers filter). The partition is
+/// served from Ctx.Partitions when the context carries a registered
+/// trace — the "route once, replay many" path a config sweep hits —
+/// and routed on the spot otherwise (block-parallel with helpers,
+/// sequential two-pass fill in the degraded explicit-shards mode).
 std::vector<uint64_t> shardedMissSeqs(std::span<const MemoryRecord> Records,
                                       const CacheGeometry &Geometry,
                                       ReplacementKind Policy,
@@ -87,15 +84,15 @@ std::vector<uint64_t> shardedMissSeqs(std::span<const MemoryRecord> Records,
                                       const ShardGrant &Grant) {
   const std::vector<SetRange> Plan = planShards(Geometry.numSets(),
                                                 Grant.Shards);
-  const ShardPartition Parts =
-      partitionForGrant(Records, Geometry, Plan, Ctx, Grant);
+  const PartitionCache::PartitionPtr Parts =
+      routeOrReuse(Records, Geometry, Plan, Ctx, Grant.Helpers);
 
   std::vector<std::vector<uint64_t>> PerShard(Plan.size());
   Ctx.Pool->parallelFor(Plan.size(), Grant.Helpers, [&](size_t S) {
     std::unique_ptr<Cache> ShardCache =
         Ctx.CachePool ? Ctx.CachePool->acquire(Geometry, Policy, Plan[S])
                       : std::make_unique<Cache>(Geometry, Plan[S], Policy);
-    simulateShard(*ShardCache, Parts.shard(S), PerShard[S]);
+    simulateShard(*ShardCache, Parts->shard(S), PerShard[S]);
     if (Ctx.CachePool)
       Ctx.CachePool->park(std::move(ShardCache));
   });
@@ -112,8 +109,8 @@ shardedMissAggregates(std::span<const MemoryRecord> Records,
                       const ShardGrant &Grant) {
   const std::vector<SetRange> Plan = planShards(Geometry.numSets(),
                                                 Grant.Shards);
-  const ShardPartition Parts =
-      partitionForGrant(Records, Geometry, Plan, Ctx, Grant);
+  const PartitionCache::PartitionPtr Parts =
+      routeOrReuse(Records, Geometry, Plan, Ctx, Grant.Helpers);
 
   MissStreamAggregates Agg;
   Agg.Accesses = Records.size();
@@ -123,7 +120,7 @@ shardedMissAggregates(std::span<const MemoryRecord> Records,
     std::unique_ptr<Cache> ShardCache =
         Ctx.CachePool ? Ctx.CachePool->acquire(Geometry, Policy, Plan[S])
                       : std::make_unique<Cache>(Geometry, Plan[S], Policy);
-    PerShard[S] = simulateShardAggregates(*ShardCache, Parts.shard(S));
+    PerShard[S] = simulateShardAggregates(*ShardCache, Parts->shard(S));
     // Shard windows are disjoint set ranges, so these writes never
     // overlap across workers.
     std::copy(ShardCache->perSetMisses().begin(),
@@ -141,6 +138,60 @@ shardedMissAggregates(std::span<const MemoryRecord> Records,
   if (Ctx.Stats)
     Ctx.Stats->ElidedMerges.fetch_add(1, std::memory_order_relaxed);
   return Agg;
+}
+
+/// Rebuilds a MissEvent stream from merged miss indices. The tail is
+/// proportional to the miss count, so it gets the same count / prefix
+/// / scatter treatment as the partition instead of running serially:
+/// chunks count their kept events, a prefix sum assigns disjoint
+/// output slices, and the scatter fills them. The chunk grid never
+/// changes the bytes produced — only who writes them — so the stream
+/// stays identical at every helper count. \p KeepAll short-circuits
+/// the count pass when every index yields an event; \p KeepsEvent and
+/// \p EventOf map a merged index to its filter decision and event.
+template <typename KeepFn, typename EventFn>
+std::vector<MissEvent> rebuildEvents(std::span<const uint64_t> Seqs,
+                                     bool KeepAll, KeepFn KeepsEvent,
+                                     EventFn EventOf, const SimContext &Ctx,
+                                     unsigned Helpers) {
+  std::vector<MissEvent> Stream;
+  if (Helpers > 0 && !Seqs.empty()) {
+    const std::vector<size_t> Chunks =
+        planChunks(Seqs.size(), Helpers + 1, size_t{1} << 15);
+    const size_t NumChunks = Chunks.size() - 1;
+    std::vector<size_t> Offsets(NumChunks + 1, 0);
+    if (KeepAll) {
+      // Every miss becomes an event: offsets are the chunk bounds.
+      Offsets = Chunks;
+    } else {
+      Ctx.Pool->parallelFor(NumChunks, Helpers, [&](size_t C) {
+        size_t Kept = 0;
+        for (size_t I = Chunks[C]; I < Chunks[C + 1]; ++I)
+          Kept += KeepsEvent(Seqs[I]) ? 1 : 0;
+        Offsets[C + 1] = Kept;
+      });
+      for (size_t C = 0; C < NumChunks; ++C)
+        Offsets[C + 1] += Offsets[C];
+    }
+    Stream.resize(Offsets.back());
+    Ctx.Pool->parallelFor(NumChunks, Helpers, [&](size_t C) {
+      size_t Out = Offsets[C];
+      for (size_t I = Chunks[C]; I < Chunks[C + 1]; ++I) {
+        if (!KeepsEvent(Seqs[I]))
+          continue;
+        Stream[Out++] = EventOf(Seqs[I]);
+      }
+      assert(Out == Offsets[C + 1] && "chunk must fill its exact slice");
+    });
+  } else {
+    Stream.reserve(Seqs.size());
+    for (uint64_t Seq : Seqs) {
+      if (!KeepsEvent(Seq))
+        continue;
+      Stream.push_back(EventOf(Seq));
+    }
+  }
+  return Stream;
 }
 
 /// Sequential aggregate collection: the same replay as
@@ -244,55 +295,17 @@ std::vector<MissEvent> ccprof::collectL1MissStreamParallel(
       Execution.records(), Geometry, Options.Policy, Ctx, Grant);
 
   // Rebuild the MissEvent stream from the merged sequence numbers.
-  // This tail is proportional to the miss count, so it gets the same
-  // count / prefix / scatter treatment as the partition instead of
-  // running serially: chunks count their kept events, a prefix sum
-  // assigns disjoint output slices, and the scatter fills them. The
-  // chunk grid never changes the bytes produced — only who writes
-  // them — so the stream stays identical at every helper count.
   const std::span<const MemoryRecord> Records = Execution.records();
-  std::vector<MissEvent> Stream;
-  auto KeepsEvent = [&](uint64_t Seq) {
-    return !Records[Seq].IsWrite || Options.IncludeStores;
-  };
-  if (Grant.Helpers > 0 && !MissSeqs.empty()) {
-    const std::vector<size_t> Chunks =
-        planChunks(MissSeqs.size(), Grant.Helpers + 1, size_t{1} << 15);
-    const size_t NumChunks = Chunks.size() - 1;
-    std::vector<size_t> Offsets(NumChunks + 1, 0);
-    if (Options.IncludeStores) {
-      // Every miss becomes an event: offsets are the chunk bounds.
-      Offsets = Chunks;
-    } else {
-      Ctx.Pool->parallelFor(NumChunks, Grant.Helpers, [&](size_t C) {
-        size_t Kept = 0;
-        for (size_t I = Chunks[C]; I < Chunks[C + 1]; ++I)
-          Kept += KeepsEvent(MissSeqs[I]) ? 1 : 0;
-        Offsets[C + 1] = Kept;
-      });
-      for (size_t C = 0; C < NumChunks; ++C)
-        Offsets[C + 1] += Offsets[C];
-    }
-    Stream.resize(Offsets.back());
-    Ctx.Pool->parallelFor(NumChunks, Grant.Helpers, [&](size_t C) {
-      size_t Out = Offsets[C];
-      for (size_t I = Chunks[C]; I < Chunks[C + 1]; ++I) {
-        const MemoryRecord &Record = Records[MissSeqs[I]];
-        if (Record.IsWrite && !Options.IncludeStores)
-          continue;
-        Stream[Out++] = MissEvent{Record.Site, Record.Addr, Record.Addr};
-      }
-      assert(Out == Offsets[C + 1] && "chunk must fill its exact slice");
-    });
-  } else {
-    Stream.reserve(MissSeqs.size());
-    for (uint64_t Seq : MissSeqs) {
-      if (!KeepsEvent(Seq))
-        continue;
-      const MemoryRecord &Record = Records[Seq];
-      Stream.push_back(MissEvent{Record.Site, Record.Addr, Record.Addr});
-    }
-  }
+  std::vector<MissEvent> Stream = rebuildEvents(
+      MissSeqs, Options.IncludeStores,
+      [&](uint64_t Seq) {
+        return !Records[Seq].IsWrite || Options.IncludeStores;
+      },
+      [&](uint64_t Seq) {
+        const MemoryRecord &Record = Records[Seq];
+        return MissEvent{Record.Site, Record.Addr, Record.Addr};
+      },
+      Ctx, Grant.Helpers);
   releaseShardGrant(Ctx, Grant);
   return Stream;
 }
@@ -319,22 +332,75 @@ std::vector<MissEvent> ccprof::collectL2MissStreamParallel(
       Execution.records(), L1Geometry, Options.Policy, Ctx, Grant);
   releaseShardGrant(Ctx, Grant);
 
-  // Stage 2 (sequential): the merged L1 miss list is a small fraction
-  // of the trace; replaying it in global order keeps the first-touch
-  // page translations and the L2 replacement sequence bit-identical to
-  // the sequential collector.
+  // Translation pass (sequential): PageMapper allocates frames at
+  // first touch, so the translation *order* is semantic — it must
+  // follow the merged global miss order exactly, or physical layouts
+  // (and with them L2 set conflicts) would drift across execution
+  // shapes. The pass emits one ShardRef per L1 miss whose "sequence"
+  // is its index into L1MissSeqs: locally dense, globally ordered, and
+  // exactly what the stage-2 merge needs to be deterministic.
   const std::span<const MemoryRecord> Records = Execution.records();
-  Cache L2(L2Geometry, Options.Policy);
-  std::vector<MissEvent> Stream;
-  Stream.reserve(L1MissSeqs.size() / 4 + 16);
-  for (uint64_t Seq : L1MissSeqs) {
-    const MemoryRecord &Record = Records[Seq];
-    const uint64_t Physical = Mapper.translate(Record.Addr);
-    if (L2.access(Physical, Record.IsWrite).Hit)
-      continue;
-    if (Record.IsWrite && !Options.IncludeStores)
-      continue;
-    Stream.push_back(MissEvent{Record.Site, Physical, Record.Addr});
+  std::vector<ShardRef> L2Refs(L1MissSeqs.size());
+  for (size_t I = 0; I < L1MissSeqs.size(); ++I) {
+    const MemoryRecord &Record = Records[L1MissSeqs[I]];
+    L2Refs[I] =
+        ShardRef::make(I, Mapper.translate(Record.Addr), Record.IsWrite);
   }
+
+  // Stage 2: replay the translated miss stream through L2, sharded by
+  // L2 set when the stream is long enough to be worth a second grant
+  // (the same per-set independence argument applies — only the
+  // addresses now are physical). Sequential otherwise: the merged L1
+  // miss list is usually a small fraction of the trace.
+  const ShardGrant Grant2 = acquireShardGrant(
+      Ctx, L2Geometry.numSets(), L2Refs.size(), /*IsL2Stage2=*/true);
+  auto KeepsEvent = [&](uint64_t Idx) {
+    return !Records[L1MissSeqs[Idx]].IsWrite || Options.IncludeStores;
+  };
+  auto EventOf = [&](uint64_t Idx) {
+    const MemoryRecord &Record = Records[L1MissSeqs[Idx]];
+    return MissEvent{Record.Site, L2Refs[Idx].Addr, Record.Addr};
+  };
+  if (Grant2.Shards <= 1 && Grant2.Helpers == 0) {
+    releaseShardGrant(Ctx, Grant2);
+    Cache L2(L2Geometry, Options.Policy);
+    std::vector<MissEvent> Stream;
+    Stream.reserve(L2Refs.size() / 4 + 16);
+    for (const ShardRef &Ref : L2Refs) {
+      if (L2.access(Ref.Addr, Ref.isWrite()).Hit)
+        continue;
+      if (!KeepsEvent(Ref.seq()))
+        continue;
+      Stream.push_back(EventOf(Ref.seq()));
+    }
+    return Stream;
+  }
+
+  const std::vector<SetRange> L2Plan =
+      planShards(L2Geometry.numSets(), Grant2.Shards);
+  // No reuse cache here: the stage-2 input is an L1-config-dependent
+  // miss stream, not the trace, so no two configs share it.
+  const ShardPartition L2Parts =
+      Grant2.Helpers > 0
+          ? partitionRefsBySetParallel(L2Refs, L2Geometry, L2Plan, *Ctx.Pool,
+                                       Grant2.Helpers)
+          : partitionRefsBySet(L2Refs, L2Geometry, L2Plan);
+  std::vector<std::vector<uint64_t>> PerShard(L2Plan.size());
+  Ctx.Pool->parallelFor(L2Plan.size(), Grant2.Helpers, [&](size_t S) {
+    std::unique_ptr<Cache> ShardCache =
+        Ctx.CachePool
+            ? Ctx.CachePool->acquire(L2Geometry, Options.Policy, L2Plan[S])
+            : std::make_unique<Cache>(L2Geometry, L2Plan[S], Options.Policy);
+    simulateShard(*ShardCache, L2Parts.shard(S), PerShard[S]);
+    if (Ctx.CachePool)
+      Ctx.CachePool->park(std::move(ShardCache));
+  });
+  const std::vector<uint64_t> L2MissIdx =
+      mergeMissSeqs(PerShard, Ctx.Pool, Grant2.Helpers);
+
+  std::vector<MissEvent> Stream = rebuildEvents(
+      L2MissIdx, Options.IncludeStores, KeepsEvent, EventOf, Ctx,
+      Grant2.Helpers);
+  releaseShardGrant(Ctx, Grant2);
   return Stream;
 }

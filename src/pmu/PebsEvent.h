@@ -127,11 +127,15 @@ collectL1MissStreamParallel(const Trace &Execution,
                             MissStreamOptions Options, const SimContext &Ctx);
 
 /// Set-sharded parallel variant of collectL2MissStream. The dominant
-/// cost — replaying the full trace through L1 — is sharded by L1 set;
-/// the merged L1 miss list (a small fraction of the trace) then drives
-/// the page mapper and the L2 cache sequentially, preserving the
-/// first-touch translation order and the L2 replacement sequence
-/// exactly. Same fallback conditions as the L1 variant.
+/// cost — replaying the full trace through L1 — is sharded by L1 set.
+/// The merged L1 miss list then drives the page mapper sequentially
+/// (frame allocation is first-touch, so translation *order* is
+/// semantic and must follow global miss order), after which the
+/// translated stream is itself partitioned by L2 set and replayed
+/// sharded when it is long enough to clear Ctx.MinRefsToShard
+/// (Ctx.Stats->L2StageShardedSims counts those), sequentially
+/// otherwise. The emitted stream is byte-identical across every
+/// execution shape. Same fallback conditions as the L1 variant.
 std::vector<MissEvent>
 collectL2MissStreamParallel(const Trace &Execution,
                             const CacheGeometry &L1Geometry,

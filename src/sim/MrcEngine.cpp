@@ -7,9 +7,11 @@
 
 #include "sim/MrcEngine.h"
 
+#include "sim/PartitionCache.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -141,14 +143,30 @@ MrcEngine::MrcEngine(const MrcOptions &Opts)
   assert(Opts.SampleRate > 0.0 && Opts.SampleRate <= 1.0 &&
          "sample rate must be in (0, 1]");
   assert(Opts.MaxSampledLines >= 2 && "reservoir too small to adapt");
-  if (Opts.Sampled)
-    Threshold = Opts.SampleRate >= 1.0
-                    ? std::numeric_limits<uint64_t>::max()
-                    : static_cast<uint64_t>(
-                          std::ldexp(Opts.SampleRate, 64));
+  if (Opts.Sampled) {
+    // Power-of-two shard count so "the top Lg hash bits" is an exact
+    // partition of line space; each shard filters on the remaining
+    // bits (subhash), which are again uniform over the full 2^64
+    // scale, so the threshold arithmetic is unchanged from the
+    // single-filter pass.
+    const uint32_t Requested =
+        std::clamp<uint32_t>(Opts.SampleShards, 1, 256);
+    LgSampleShards =
+        static_cast<unsigned>(std::bit_width(std::bit_floor(Requested)) - 1);
+    const uint64_t Threshold0 =
+        Opts.SampleRate >= 1.0
+            ? std::numeric_limits<uint64_t>::max()
+            : static_cast<uint64_t>(std::ldexp(Opts.SampleRate, 64));
+    SampledShards.resize(numSampleShards());
+    for (SampledShard &Shard : SampledShards) {
+      Shard.Threshold = Threshold0;
+      Shard.MaxLines = std::max<size_t>(
+          2, Opts.MaxSampledLines >> LgSampleShards);
+    }
+  }
 }
 
-double MrcEngine::currentRate() const {
+double MrcEngine::SampledShard::rate() const {
   return Threshold == std::numeric_limits<uint64_t>::max()
              ? 1.0
              : std::ldexp(static_cast<double>(Threshold), -64);
@@ -167,28 +185,42 @@ void MrcEngine::addRef(uint64_t Addr) {
 
 void MrcEngine::addRefSampled(uint64_t LineAddr) {
   const uint64_t Hash = hashLine(LineAddr);
-  if (Hash >= Threshold)
+  const size_t P = LgSampleShards == 0 ? 0 : Hash >> (64 - LgSampleShards);
+  SampledShards[P].addLine(Hash << LgSampleShards, LineAddr,
+                           numSampleShards());
+}
+
+void MrcEngine::SampledShard::addLine(uint64_t SubHash, uint64_t LineAddr,
+                                      uint32_t NumShards) {
+  if (SubHash >= Threshold)
     return;
-  const double Rate = currentRate();
+  // The shard owns a 1/NumShards slice of hash space and its threshold
+  // thins that slice further: the effective full-stream rate divides
+  // by the shard count, which is what keeps every scaled weight and
+  // distance in full-stream units — no merge-time rescale needed. At
+  // NumShards == 1 the division is exact and the pass is bit-identical
+  // to the legacy single filter.
+  const double Rate = rate() / static_cast<double>(NumShards);
   const uint64_t Weight =
       std::max<uint64_t>(1, static_cast<uint64_t>(std::llround(1.0 / Rate)));
   const uint64_t Distance = Global.access(LineAddr);
   if (Distance == ReuseDistanceAnalyzer::Infinite) {
     ScaledCold += Weight;
-    Reservoir.emplace(Hash, LineAddr);
-    if (Reservoir.size() > Opts.MaxSampledLines)
-      shrinkReservoir();
+    Reservoir.emplace(SubHash, LineAddr);
+    if (Reservoir.size() > MaxLines)
+      shrink();
     return;
   }
-  // Sampled distances count only tracked lines; dividing by the rate
-  // rescales to full-stream units (SHARDS' distance correction).
+  // Sampled distances count only this shard's tracked lines — a
+  // Rate-fraction of all distinct lines; dividing by it rescales to
+  // full-stream units (SHARDS' distance correction).
   const uint64_t Scaled = static_cast<uint64_t>(
       std::llround(static_cast<double>(Distance) / Rate));
   ScaledStack.add(Scaled, Weight);
 }
 
-void MrcEngine::shrinkReservoir() {
-  // Drop to the largest tracked hash: that line (and any hash ties)
+void MrcEngine::SampledShard::shrink() {
+  // Drop to the largest tracked subhash: that line (and any ties)
   // leaves both the reservoir and the analyzer, and the filter
   // tightens so it can never return — tracked set and filter stay
   // consistent, which is what makes eviction semantically sound.
@@ -207,6 +239,28 @@ void MrcEngine::addTrace(const Trace &T) {
     addRef(R.Addr);
 }
 
+void MrcEngine::addTraceSampledParallel(const Trace &T, ThreadPool &Pool,
+                                        unsigned Helpers) {
+  assert(Opts.Sampled && "parallel sampling on an exact engine");
+  const std::span<const MemoryRecord> Records = T.records();
+  TotalRefs += Records.size();
+  // One task per hash-space shard; each scans the whole stream and
+  // keeps its prefix. The scan is hash + compare per record — cheap
+  // next to the analyzer work behind the filter — and a shard's state
+  // sees exactly the substream it would see under streaming addRef, in
+  // the same order, so the result is identical at every helper count.
+  Pool.parallelFor(SampledShards.size(), Helpers, [&](size_t P) {
+    SampledShard &Shard = SampledShards[P];
+    for (const MemoryRecord &R : Records) {
+      const uint64_t Line = Opts.Reference.lineAddrOf(R.Addr);
+      const uint64_t Hash = hashLine(Line);
+      if ((LgSampleShards == 0 ? 0 : Hash >> (64 - LgSampleShards)) != P)
+        continue;
+      Shard.addLine(Hash << LgSampleShards, Line, numSampleShards());
+    }
+  });
+}
+
 MissRatioCurve MrcEngine::take() {
   MissRatioCurve Curve;
   Curve.TotalRefs = TotalRefs;
@@ -214,10 +268,20 @@ MissRatioCurve MrcEngine::take() {
   Curve.MaxWays = Opts.MaxWays;
   Curve.Sampled = Opts.Sampled;
   if (Opts.Sampled) {
-    Curve.ColdWeight = ScaledCold;
-    Curve.StackDistances = std::move(ScaledStack);
+    // Per-shard inserts were already scaled to full-stream units, so
+    // the merge is a plain sum. The reported rate is the merged
+    // filter's tracked fraction of line space: each shard contributes
+    // its threshold rate over a 1/NumShards slice. Equals the single
+    // filter's threshold rate at one shard.
+    double TrackedFraction = 0.0;
+    for (SampledShard &Shard : SampledShards) {
+      Curve.ColdWeight += Shard.ScaledCold;
+      Curve.StackDistances.merge(Shard.ScaledStack);
+      TrackedFraction +=
+          Shard.rate() / static_cast<double>(numSampleShards());
+    }
     Curve.HasPerSet = false;
-    Curve.FinalRate = currentRate();
+    Curve.FinalRate = TrackedFraction;
   } else {
     Curve.ColdWeight = Global.coldCount();
     Curve.StackDistances = Global.distances();
@@ -234,10 +298,30 @@ MissRatioCurve MrcEngine::compute(const Trace &T, const MrcOptions &Opts,
   const std::span<const MemoryRecord> Records = T.records();
   const uint64_t NumSets = Opts.Reference.numSets();
 
-  // Sampled passes are hash-filter cheap and strictly order-dependent
-  // in the global analyzer; tiny traces don't amortize a partition.
-  const bool Shardable = !Opts.Sampled && Ctx.Pool && NumSets >= 2 &&
-                         Records.size() >= Ctx.MinRefsToShard;
+  // Sampled mode parallelizes across its hash-space sub-filters (when
+  // configured with more than one); each is order-dependent internally
+  // but independent of its siblings, so the curve matches streaming.
+  if (Opts.Sampled) {
+    MrcEngine Engine(Opts);
+    if (Engine.numSampleShards() >= 2 && Ctx.Pool &&
+        Records.size() >= Ctx.MinRefsToShard) {
+      const unsigned Helpers =
+          Ctx.Budget ? Ctx.Budget->tryAcquire(Ctx.Pool->workerCount())
+                     : Ctx.Pool->workerCount();
+      if (Helpers > 0) {
+        Engine.addTraceSampledParallel(T, *Ctx.Pool, Helpers);
+        if (Ctx.Budget)
+          Ctx.Budget->release(Helpers);
+        return Engine.take();
+      }
+    }
+    Engine.addTrace(T);
+    return Engine.take();
+  }
+
+  // Tiny traces don't amortize a partition.
+  const bool Shardable =
+      Ctx.Pool && NumSets >= 2 && Records.size() >= Ctx.MinRefsToShard;
   if (!Shardable) {
     MrcEngine Engine(Opts);
     Engine.addTrace(T);
@@ -261,10 +345,11 @@ MissRatioCurve MrcEngine::compute(const Trace &T, const MrcOptions &Opts,
   }
 
   const std::vector<SetRange> Plan = planShards(NumSets, Shards);
-  const ShardPartition Parts =
-      Helpers > 0 ? partitionBySetParallel(Records, Opts.Reference, Plan,
-                                           *Ctx.Pool, Helpers)
-                  : partitionBySet(Records, Opts.Reference, Plan);
+  // Served from the route-once cache when the batch runner registered
+  // this trace: an MRC pass at the reference geometry shares its
+  // partition with every simulation sweeping the same index geometry.
+  const PartitionCache::PartitionPtr Parts =
+      routeOrReuse(Records, Opts.Reference, Plan, Ctx, Helpers);
 
   // Task 0 is the whole-stream global pass (the Mattson curve cannot
   // decompose by set); tasks 1..K are the per-set shards. Each shard's
@@ -283,7 +368,7 @@ MissRatioCurve MrcEngine::compute(const Trace &T, const MrcOptions &Opts,
     const size_t S = Task - 1;
     auto Pass =
         std::make_unique<PerSetStackPass>(Opts.Reference, Opts.MaxWays, Plan[S]);
-    for (const ShardRef &Ref : Parts.shard(S))
+    for (const ShardRef &Ref : Parts->shard(S))
       Pass->addRef(Ref.Addr);
     Passes[S] = std::move(Pass);
   });

@@ -83,8 +83,21 @@ struct MrcOptions {
   double SampleRate = 0.01;
 
   /// Fixed reservoir size: the maximum number of simultaneously
-  /// tracked lines in sampled mode (SHARDS s_max).
+  /// tracked lines in sampled mode (SHARDS s_max), split evenly across
+  /// the sample shards.
   size_t MaxSampledLines = 16384;
+
+  /// Number of independent SHARDS sub-filters the sampled pass splits
+  /// into (normalized to a power of two in [1, 256]). Shard p owns the
+  /// lines whose hash starts with prefix p, filters on the remaining
+  /// hash bits with its own adaptive threshold, and scales every
+  /// insert by its *effective* rate (threshold rate / shard count) —
+  /// full-stream units — so the merged histogram needs no rescale and
+  /// the curve at 1 shard is bit-identical to the legacy single-filter
+  /// pass. Because each shard's state depends only on its own
+  /// substream, in stream order, the shards can run in parallel
+  /// (MrcEngine::compute) with results identical to streaming.
+  uint32_t SampleShards = 1;
 };
 
 /// The product of a pass: queryable predicted miss ratios. In exact
@@ -192,19 +205,49 @@ public:
 
   /// One pass over \p T. With a usable SimContext (pool + enough refs)
   /// the exact per-set pass shards over the set partition while the
-  /// global pass runs as a sibling task; the curve is identical to the
-  /// sequential one at every --sim-threads/--shards shape. Sampled
-  /// passes always run sequentially (the hash filter makes them cheap
-  /// and the global analyzer is order-dependent).
+  /// global pass runs as a sibling task; the exact partition is served
+  /// from Ctx.Partitions when the context carries a registered trace.
+  /// Sampled passes with MrcOptions::SampleShards > 1 run their
+  /// hash-space sub-filters in parallel. Either way the curve is
+  /// identical to the sequential one at every --sim-threads/--shards
+  /// shape.
   static MissRatioCurve compute(const Trace &T, const MrcOptions &Opts,
                                 const SimContext &Ctx = SimContext{});
 
 private:
+  /// One SHARDS sub-filter owning the hash-prefix slice of line space.
+  /// All rates are *effective* (threshold rate / shard count): the
+  /// shard tracks a random 1/NumShards-of-hash-space sample further
+  /// thinned by its own threshold, and every weight/distance insert is
+  /// scaled to full-stream units at insert time.
+  struct SampledShard {
+    ReuseDistanceAnalyzer Global;
+    uint64_t Threshold = 0; ///< Track lines with subhash < Threshold.
+    /// (subhash, line) — ordered so the largest tracked subhash is the
+    /// adaptive eviction victim.
+    std::set<std::pair<uint64_t, uint64_t>> Reservoir;
+    Histogram ScaledStack;
+    uint64_t ScaledCold = 0;
+    size_t MaxLines = 0;
+
+    void addLine(uint64_t SubHash, uint64_t LineAddr, uint32_t NumShards);
+    /// Lower the threshold until the reservoir fits; evicts the
+    /// dropped lines from the analyzer so tracked set ==
+    /// filter-passing set.
+    void shrink();
+    /// Threshold rate of this shard's sub-filter (NOT divided by the
+    /// shard count).
+    double rate() const;
+  };
+
   void addRefSampled(uint64_t LineAddr);
-  /// Lower the threshold until the reservoir fits; evicts the dropped
-  /// lines from the analyzer so tracked set == filter-passing set.
-  void shrinkReservoir();
-  double currentRate() const;
+  /// Runs every sample shard over \p T concurrently (each shard scans
+  /// the stream and keeps only its hash prefix — states are disjoint,
+  /// so the result is identical to streaming the trace through
+  /// addRef).
+  void addTraceSampledParallel(const Trace &T, ThreadPool &Pool,
+                               unsigned Helpers);
+  uint32_t numSampleShards() const { return 1u << LgSampleShards; }
 
   MrcOptions Opts;
   ReuseDistanceAnalyzer Global;
@@ -212,10 +255,8 @@ private:
   uint64_t TotalRefs = 0;
 
   // SHARDS state (sampled mode only).
-  uint64_t Threshold = 0; ///< Track lines with hash < Threshold.
-  std::set<std::pair<uint64_t, uint64_t>> Reservoir; ///< (hash, line).
-  Histogram ScaledStack;
-  uint64_t ScaledCold = 0;
+  unsigned LgSampleShards = 0;
+  std::vector<SampledShard> SampledShards;
 };
 
 } // namespace ccprof

@@ -77,35 +77,48 @@ size_t mergePathSplit(const std::vector<uint64_t> &A,
   return Lo;
 }
 
+/// The routing passes are generic over what they route: full
+/// MemoryRecords (stage-1 partition of a raw trace, where the routed
+/// entry is minted from the record's global index) or already-minted
+/// ShardRefs (the L2 stage-2 re-partition of a merged miss stream,
+/// where the entry's SeqAndWrite payload must survive untouched).
+inline uint64_t routeAddrOf(const MemoryRecord &Record) { return Record.Addr; }
+inline uint64_t routeAddrOf(const ShardRef &Ref) { return Ref.Addr; }
+inline ShardRef routedRefOf(const MemoryRecord &Record, size_t I) {
+  return ShardRef::make(I, Record.Addr, Record.IsWrite);
+}
+inline ShardRef routedRefOf(const ShardRef &Ref, size_t) { return Ref; }
+
 /// Counts how many of Records[Begin..End) route to each shard into
 /// \p Counts (size K, zeroed by the caller).
-void countChunk(std::span<const MemoryRecord> Records, size_t Begin,
+template <typename RecordT>
+void countChunk(std::span<const RecordT> Records, size_t Begin,
                 size_t End, const CacheGeometry &Geometry,
                 const ShardMap &Map, size_t *Counts) {
   for (size_t I = Begin; I < End; ++I)
-    ++Counts[Map.shardOf(Geometry.setIndexOf(Records[I].Addr))];
+    ++Counts[Map.shardOf(Geometry.setIndexOf(routeAddrOf(Records[I])))];
 }
 
 /// Scatters Records[Begin..End) into \p Arena at the per-shard cursors
 /// of \p Cursors (size K, advanced in place). Within the chunk, global
 /// order is preserved per shard, so chunk-ascending cursor bases give
 /// each shard its refs in ascending seq order.
-void scatterChunk(std::span<const MemoryRecord> Records, size_t Begin,
+template <typename RecordT>
+void scatterChunk(std::span<const RecordT> Records, size_t Begin,
                   size_t End, const CacheGeometry &Geometry,
                   const ShardMap &Map, std::span<ShardRef> Arena,
                   size_t *Cursors) {
   for (size_t I = Begin; I < End; ++I) {
-    const MemoryRecord &Record = Records[I];
-    const uint32_t S = Map.shardOf(Geometry.setIndexOf(Record.Addr));
-    Arena[Cursors[S]++] = ShardRef::make(I, Record.Addr, Record.IsWrite);
+    const RecordT &Record = Records[I];
+    const uint32_t S = Map.shardOf(Geometry.setIndexOf(routeAddrOf(Record)));
+    Arena[Cursors[S]++] = routedRefOf(Record, I);
   }
 }
 
-} // namespace
-
-ShardPartition ccprof::partitionBySet(std::span<const MemoryRecord> Records,
-                                      const CacheGeometry &Geometry,
-                                      std::span<const SetRange> Plan) {
+template <typename RecordT>
+ShardPartition partitionImpl(std::span<const RecordT> Records,
+                             const CacheGeometry &Geometry,
+                             std::span<const SetRange> Plan) {
   const ShardMap Map(Plan);
   const size_t K = Plan.size();
 
@@ -124,11 +137,11 @@ ShardPartition ccprof::partitionBySet(std::span<const MemoryRecord> Records,
   return Part;
 }
 
-ShardPartition
-ccprof::partitionBySetParallel(std::span<const MemoryRecord> Records,
-                               const CacheGeometry &Geometry,
-                               std::span<const SetRange> Plan,
-                               ThreadPool &Pool, unsigned Helpers) {
+template <typename RecordT>
+ShardPartition partitionParallelImpl(std::span<const RecordT> Records,
+                                     const CacheGeometry &Geometry,
+                                     std::span<const SetRange> Plan,
+                                     ThreadPool &Pool, unsigned Helpers) {
   const ShardMap Map(Plan);
   const size_t K = Plan.size();
   const std::vector<size_t> Chunks =
@@ -167,6 +180,96 @@ ccprof::partitionBySetParallel(std::span<const MemoryRecord> Records,
                                 Starts.begin() + (C + 1) * K);
     scatterChunk(Records, Chunks[C], Chunks[C + 1], Geometry, Map,
                  Part.Arena, Cursors.data());
+  });
+  return Part;
+}
+
+} // namespace
+
+ShardPartition ccprof::partitionBySet(std::span<const MemoryRecord> Records,
+                                      const CacheGeometry &Geometry,
+                                      std::span<const SetRange> Plan) {
+  return partitionImpl(Records, Geometry, Plan);
+}
+
+ShardPartition
+ccprof::partitionBySetParallel(std::span<const MemoryRecord> Records,
+                               const CacheGeometry &Geometry,
+                               std::span<const SetRange> Plan,
+                               ThreadPool &Pool, unsigned Helpers) {
+  return partitionParallelImpl(Records, Geometry, Plan, Pool, Helpers);
+}
+
+ShardPartition ccprof::partitionRefsBySet(std::span<const ShardRef> Refs,
+                                          const CacheGeometry &Geometry,
+                                          std::span<const SetRange> Plan) {
+  return partitionImpl(Refs, Geometry, Plan);
+}
+
+ShardPartition
+ccprof::partitionRefsBySetParallel(std::span<const ShardRef> Refs,
+                                   const CacheGeometry &Geometry,
+                                   std::span<const SetRange> Plan,
+                                   ThreadPool &Pool, unsigned Helpers) {
+  return partitionParallelImpl(Refs, Geometry, Plan, Pool, Helpers);
+}
+
+ShardPartition
+ccprof::partitionBySetFused(std::span<const MemoryRecord> Records,
+                            const CacheGeometry &Geometry,
+                            std::span<const SetRange> Plan, ThreadPool &Pool,
+                            unsigned Helpers) {
+  const ShardMap Map(Plan);
+  const size_t K = Plan.size();
+  const std::vector<size_t> Chunks =
+      planChunks(Records.size(), Helpers + 1, MinRecordsPerChunk);
+  const size_t NumChunks = Chunks.size() - 1;
+
+  // Pass 1 (parallel): route each chunk exactly once, staging its refs
+  // in per-chunk per-shard rows. Within a row, global order is
+  // preserved; rows of different chunks never touch.
+  std::vector<std::vector<std::vector<ShardRef>>> Staged(NumChunks);
+  Pool.parallelFor(NumChunks, Helpers, [&](size_t C) {
+    std::vector<std::vector<ShardRef>> &Rows = Staged[C];
+    Rows.resize(K);
+    const size_t ChunkLen = Chunks[C + 1] - Chunks[C];
+    for (std::vector<ShardRef> &Row : Rows)
+      Row.reserve(ChunkLen / K + 16);
+    for (size_t I = Chunks[C]; I < Chunks[C + 1]; ++I) {
+      const MemoryRecord &Record = Records[I];
+      Rows[Map.shardOf(Geometry.setIndexOf(Record.Addr))].push_back(
+          ShardRef::make(I, Record.Addr, Record.IsWrite));
+    }
+  });
+
+  // Prefix sum over the staged row sizes fixes every row's arena slot,
+  // in the same (shard-major, chunk-ascending) order the count+scatter
+  // router uses — so the arena bytes come out identical.
+  ShardPartition Part;
+  Part.Offsets.assign(K + 1, 0);
+  std::vector<size_t> Starts(NumChunks * K, 0);
+  size_t Running = 0;
+  for (size_t S = 0; S < K; ++S) {
+    Part.Offsets[S] = Running;
+    for (size_t C = 0; C < NumChunks; ++C) {
+      Starts[C * K + S] = Running;
+      Running += Staged[C][S].size();
+    }
+  }
+  Part.Offsets[K] = Running;
+  assert(Running == Records.size() && "partition must place every record");
+
+  // Pass 2 (parallel): copy rows into their disjoint arena slices and
+  // free the staging as each chunk drains.
+  Part.Arena.resize(Records.size());
+  Pool.parallelFor(NumChunks, Helpers, [&](size_t C) {
+    for (size_t S = 0; S < K; ++S) {
+      std::vector<ShardRef> &Row = Staged[C][S];
+      std::copy(Row.begin(), Row.end(),
+                Part.Arena.begin() + Starts[C * K + S]);
+    }
+    Staged[C].clear();
+    Staged[C].shrink_to_fit();
   });
   return Part;
 }

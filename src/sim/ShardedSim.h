@@ -54,6 +54,7 @@ namespace ccprof {
 class ThreadPool;
 class ThreadBudget;
 class ShardCachePool;
+class PartitionCache;
 
 /// One reference routed to a shard: the address plus its global
 /// position in the trace (and the write bit, packed into the low bit
@@ -129,6 +130,35 @@ ShardPartition partitionBySetParallel(std::span<const MemoryRecord> Records,
                                       const CacheGeometry &Geometry,
                                       std::span<const SetRange> Plan,
                                       ThreadPool &Pool, unsigned Helpers);
+
+/// Fused single-pass variant of partitionBySetParallel: instead of the
+/// count + scatter double traversal, each chunk routes its records
+/// once into per-chunk per-shard staging rows, then a prefix sum over
+/// the staged sizes fixes arena slots and a second parallel pass
+/// copies rows out. Trades a full re-traversal of the trace for the
+/// staging rows' allocation and copy traffic — which side wins is a
+/// machine question, so the steady-state bench tier decides (see
+/// bench/sim_throughput --fused-router). Byte-identical output to the
+/// other routers at every chunk grid and helper count.
+ShardPartition partitionBySetFused(std::span<const MemoryRecord> Records,
+                                   const CacheGeometry &Geometry,
+                                   std::span<const SetRange> Plan,
+                                   ThreadPool &Pool, unsigned Helpers);
+
+/// partitionBySet over an already-routed ref stream (e.g. the merged
+/// L1 miss stream re-partitioned by L2 set for the stage-2 replay).
+/// Refs keep their original SeqAndWrite payload; \p Geometry supplies
+/// the *target* level's index mapping.
+ShardPartition partitionRefsBySet(std::span<const ShardRef> Refs,
+                                  const CacheGeometry &Geometry,
+                                  std::span<const SetRange> Plan);
+
+/// Block-parallel partitionRefsBySet; identical bytes at every chunk
+/// grid and helper count.
+ShardPartition partitionRefsBySetParallel(std::span<const ShardRef> Refs,
+                                          const CacheGeometry &Geometry,
+                                          std::span<const SetRange> Plan,
+                                          ThreadPool &Pool, unsigned Helpers);
 
 /// Replays \p Refs (all of which must map into \p ShardCache's window,
 /// in ascending seq order) and appends the global sequence number of
@@ -229,6 +259,20 @@ struct ShardExecStats {
   std::atomic<uint64_t> UnhelpedShardedSims{0};
   /// Aggregate-only collections that skipped the ordered merge.
   std::atomic<uint64_t> ElidedMerges{0};
+  /// Partitions routed from scratch (cache miss or no cache wired).
+  std::atomic<uint64_t> PartitionBuilds{0};
+  /// Partitions served from the PartitionCache without routing.
+  std::atomic<uint64_t> PartitionReuses{0};
+  /// L2 collections whose stage-2 replay itself ran sharded.
+  std::atomic<uint64_t> L2StageShardedSims{0};
+};
+
+/// Which routing strategy the parallel partitioner uses; see
+/// partitionBySetFused for the trade. CountScatter is the measured
+/// default.
+enum class PartitionRouter {
+  CountScatter,
+  Fused,
 };
 
 /// Everything a miss-stream collector needs to go parallel. A
@@ -250,6 +294,15 @@ struct SimContext {
   /// Traces shorter than this are simulated sequentially — partition
   /// and merge overhead beats the parallel win on tiny streams.
   uint64_t MinRefsToShard = DefaultMinRefsToShard;
+  /// Route-once arena cache shared across a sweep; null disables
+  /// reuse (every simulation routes its own partition).
+  PartitionCache *Partitions = nullptr;
+  /// Identity of the record stream this context simulates, minted by
+  /// PartitionCache::registerTrace(). 0 (the default) means "unknown
+  /// trace" and bypasses the cache even when Partitions is set.
+  uint64_t TraceId = 0;
+  /// Routing strategy for parallel partition passes.
+  PartitionRouter Router = PartitionRouter::CountScatter;
 
   static constexpr uint64_t DefaultMinRefsToShard = 1 << 16;
 };

@@ -286,6 +286,89 @@ TEST(CacheShardExactnessTest, ParallelL2CollectorMatchesSequential) {
   }
 }
 
+TEST(CacheShardExactnessTest, L2StageTwoShardsWithExactAccounting) {
+  // The L2 collector's stage-2 replay shards by L2 set since the
+  // route-once rework; its grant must bump the dedicated counter — not
+  // ShardedSims, which would double-count one collection — and the
+  // stream must stay identical to the sequential collector at every
+  // shard shape and page mapping.
+  const CacheGeometry L1 = testGeometry();
+  const CacheGeometry L2(32 * 1024, 64, 4);
+  const Trace T = makeTrace(60'000);
+
+  ThreadPool Pool(3);
+  for (PagePolicy Mapping :
+       {PagePolicy::Identity, PagePolicy::FirstTouch, PagePolicy::Shuffled}) {
+    MissStreamOptions Options;
+    PageMapper SeqMapper(Mapping);
+    const std::vector<MissEvent> Sequential =
+        collectL2MissStream(T, L1, L2, SeqMapper, Options);
+
+    for (unsigned Shards : {2u, 4u, 7u}) {
+      ThreadBudget Budget(4);
+      ShardExecStats Stats;
+      SimContext Ctx;
+      Ctx.Pool = &Pool;
+      Ctx.Budget = &Budget;
+      Ctx.Stats = &Stats;
+      Ctx.Shards = Shards;
+      Ctx.MinRefsToShard = 0;
+      PageMapper ParMapper(Mapping);
+      EXPECT_EQ(
+          collectL2MissStreamParallel(T, L1, L2, ParMapper, Options, Ctx),
+          Sequential)
+          << "mapping " << static_cast<int>(Mapping) << ", " << Shards
+          << " shard(s)";
+      EXPECT_EQ(Stats.ShardedSims.load(), 1u);          // stage 1 only
+      EXPECT_EQ(Stats.L2StageShardedSims.load(), 1u);   // stage 2 only
+      EXPECT_EQ(Budget.available(), 4u);
+    }
+  }
+}
+
+TEST(CacheShardExactnessTest, FusedRouterProducesIdenticalPartitions) {
+  // The fused single-pass router must produce byte-for-byte the same
+  // arena and offsets as the count+scatter pass and the sequential
+  // reference, at every plan width and helper count.
+  const CacheGeometry Geometry = testGeometry();
+  const Trace T = makeTrace(50'000);
+  ThreadPool Pool(3);
+  for (unsigned ShardCount : {1u, 2u, 3u, 7u, 64u}) {
+    const std::vector<SetRange> Plan =
+        planShards(Geometry.numSets(), ShardCount);
+    const ShardPartition Sequential =
+        partitionBySet(T.records(), Geometry, Plan);
+    for (unsigned Helpers : {0u, 1u, 3u}) {
+      const ShardPartition Cs = partitionBySetParallel(
+          T.records(), Geometry, Plan, Pool, Helpers);
+      const ShardPartition Fused =
+          partitionBySetFused(T.records(), Geometry, Plan, Pool, Helpers);
+      EXPECT_EQ(Cs.Arena, Sequential.Arena)
+          << ShardCount << " shard(s), " << Helpers << " helper(s)";
+      EXPECT_EQ(Cs.Offsets, Sequential.Offsets);
+      EXPECT_EQ(Fused.Arena, Sequential.Arena)
+          << ShardCount << " shard(s), " << Helpers << " helper(s)";
+      EXPECT_EQ(Fused.Offsets, Sequential.Offsets);
+    }
+  }
+
+  // End to end: a collector run routed through the fused router is
+  // still exact.
+  MissStreamOptions Options;
+  Options.IncludeStores = true;
+  const std::vector<MissEvent> Sequential =
+      collectL1MissStream(T, Geometry, Options);
+  ThreadBudget Budget(4);
+  SimContext Ctx;
+  Ctx.Pool = &Pool;
+  Ctx.Budget = &Budget;
+  Ctx.Shards = 4;
+  Ctx.MinRefsToShard = 0;
+  Ctx.Router = PartitionRouter::Fused;
+  EXPECT_EQ(collectL1MissStreamParallel(T, Geometry, Options, Ctx),
+            Sequential);
+}
+
 TEST(CacheShardExactnessTest, RandomPolicyFallsBackToSequential) {
   const CacheGeometry Geometry = testGeometry();
   const Trace T = makeTrace(30'000);

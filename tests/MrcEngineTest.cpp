@@ -215,6 +215,78 @@ TEST(MrcEngineTest, ReservoirBoundsTrackedFootprint) {
         << "lines " << Lines;
 }
 
+TEST(MrcEngineTest, SampleShardsParallelMatchesStreaming) {
+  // Hash-prefix sample shards own disjoint slices of line space, so
+  // running them concurrently must reproduce the streaming curve
+  // bit-for-bit at every helper count and shard count.
+  const Trace T = makeTrace(120'000);
+  for (uint32_t Shards : {2u, 4u, 16u}) {
+    MrcOptions Opts;
+    Opts.Sampled = true;
+    Opts.SampleRate = 0.3;
+    Opts.SampleShards = Shards;
+    const MissRatioCurve Streaming = MrcEngine::compute(T, Opts);
+
+    ThreadPool Pool(3);
+    for (unsigned Helpers : {0u, 1u, 3u}) {
+      ThreadBudget Budget(Helpers + 1);
+      SimContext Ctx;
+      Ctx.Pool = &Pool;
+      Ctx.Budget = &Budget;
+      Ctx.MinRefsToShard = 0;
+      const MissRatioCurve Parallel = MrcEngine::compute(T, Opts, Ctx);
+      EXPECT_EQ(Parallel.TotalRefs, Streaming.TotalRefs);
+      EXPECT_EQ(Parallel.ColdWeight, Streaming.ColdWeight);
+      EXPECT_EQ(Parallel.FinalRate, Streaming.FinalRate);
+      EXPECT_EQ(Parallel.StackDistances.cdfSeries(),
+                Streaming.StackDistances.cdfSeries())
+          << Shards << " sample shard(s), " << Helpers << " helper(s)";
+      EXPECT_EQ(Budget.available(), Helpers + 1);
+    }
+  }
+}
+
+TEST(MrcEngineTest, SampleShardsNormalizeAndStayWithinBound) {
+  const Trace T = makeTrace(100'000);
+
+  // Non-power-of-two requests round down; 1 is the legacy single
+  // filter (the default), so its curve defines the baseline.
+  MrcOptions Base;
+  Base.Sampled = true;
+  Base.SampleRate = 0.25;
+  const MissRatioCurve Legacy = MrcEngine::compute(T, Base);
+
+  MrcOptions One = Base;
+  One.SampleShards = 1;
+  const MissRatioCurve AtOne = MrcEngine::compute(T, One);
+  EXPECT_EQ(AtOne.ColdWeight, Legacy.ColdWeight);
+  EXPECT_EQ(AtOne.FinalRate, Legacy.FinalRate);
+  EXPECT_EQ(AtOne.StackDistances.cdfSeries(),
+            Legacy.StackDistances.cdfSeries());
+
+  MrcOptions Five = Base;
+  Five.SampleShards = 5; // rounds down to 4
+  MrcOptions Four = Base;
+  Four.SampleShards = 4;
+  const MissRatioCurve AtFive = MrcEngine::compute(T, Five);
+  const MissRatioCurve AtFour = MrcEngine::compute(T, Four);
+  EXPECT_EQ(AtFive.ColdWeight, AtFour.ColdWeight);
+  EXPECT_EQ(AtFive.StackDistances.cdfSeries(),
+            AtFour.StackDistances.cdfSeries());
+
+  // Splitting the filter re-partitions the sample but keeps the
+  // estimator: the sharded curve stays within the documented bound of
+  // the exact curve at the model readout.
+  const MissRatioCurve Exact = MrcEngine::compute(T, MrcOptions{});
+  EXPECT_LE(AtFour.FinalRate, 0.25 + 1e-12);
+  EXPECT_GT(AtFour.FinalRate, 0.0);
+  for (uint64_t SizeKb : {8u, 16u, 32u, 64u, 128u}) {
+    const CacheGeometry G(SizeKb * 1024, 64, 8);
+    EXPECT_NEAR(AtFour.missRatioAt(G), Exact.modelMissRatioAt(G), 0.05)
+        << SizeKb << "K";
+  }
+}
+
 TEST(MrcEngineTest, ShardsWithinBoundOnAllCaseStudyWorkloads) {
   // The documented accuracy contract (DESIGN.md §10): at rate 0.25 on
   // the case-study traces, the SHARDS curve sits within 0.05 of the

@@ -179,6 +179,21 @@ void printUsage(std::ostream &Out) {
          "  --mrc-reservoir N         SHARDS max tracked lines (default "
          "16384;\n"
          "                            implies --mrc-sampled)\n"
+         "  --mrc-sample-shards S     split the SHARDS filter into S "
+         "parallel\n"
+         "                            hash-space shards (power of two; "
+         "default 1;\n"
+         "                            implies --mrc-sampled)\n"
+         "  --no-partition-reuse      route each simulation's shard "
+         "partition\n"
+         "                            from scratch instead of reusing "
+         "arenas\n"
+         "                            across configs sharing an index "
+         "geometry\n"
+         "                            (output is byte-identical)\n"
+         "  --partition-cache-mb N    byte budget of the route-once "
+         "partition\n"
+         "                            cache (default 256)\n"
          "\n"
          "mrc options:\n"
          "  --optimized               curve of the padded/reordered build\n"
@@ -189,6 +204,9 @@ void printUsage(std::ostream &Out) {
          "32K/64/8)\n"
          "  --sampled                 SHARDS sampling (see --mrc-sampled)\n"
          "  --rate R / --reservoir N  SHARDS tuning (imply --sampled)\n"
+         "  --sample-shards S         parallel SHARDS sub-filters (see\n"
+         "                            --mrc-sample-shards; implies "
+         "--sampled)\n"
          "  --check                   gate exact points against a "
          "simulator\n"
          "                            replay and sampled points against "
@@ -787,6 +805,12 @@ struct BatchCliOptions {
   bool MrcSampled = false;
   double MrcRate = 0.01;
   size_t MrcReservoir = 16384;
+  uint32_t MrcSampleShards = 1;
+  /// Route-once partition reuse across same-index-geometry configs;
+  /// --no-partition-reuse restores per-config routing (for A/B
+  /// measurement — output is byte-identical).
+  bool PartitionReuse = true;
+  size_t PartitionCacheMb = PartitionCache::DefaultMaxBytes >> 20;
   /// Extra geometries to sample each curve at; defaultMrcSweep() when
   /// left empty.
   std::vector<CacheGeometry> MrcSweep;
@@ -951,6 +975,22 @@ BatchCliOptions parseBatchOptions(const std::vector<std::string> &Args) {
         if (Options.Ok && Options.MrcReservoir < 2)
           Fail("--mrc-reservoir must be at least 2");
       }
+    } else if (Arg == "--mrc-sample-shards") {
+      std::string Value = NextValue();
+      if (Options.Ok) {
+        Options.Mrc = true;
+        Options.MrcSampled = true;
+        ParsePositive(Value, "--mrc-sample-shards", Options.MrcSampleShards);
+        if (Options.Ok && (Options.MrcSampleShards &
+                           (Options.MrcSampleShards - 1)) != 0)
+          Fail("--mrc-sample-shards must be a power of two");
+      }
+    } else if (Arg == "--no-partition-reuse") {
+      Options.PartitionReuse = false;
+    } else if (Arg == "--partition-cache-mb") {
+      std::string Value = NextValue();
+      if (Options.Ok)
+        ParsePositive(Value, "--partition-cache-mb", Options.PartitionCacheMb);
     } else if (Arg == "--mrc-geoms") {
       std::string Value = NextValue();
       if (!Options.Ok)
@@ -1057,7 +1097,10 @@ int commandBatch(const std::string &Selection,
     Exec.MrcConfig.Sampled = Options.MrcSampled;
     Exec.MrcConfig.SampleRate = Options.MrcRate;
     Exec.MrcConfig.MaxSampledLines = Options.MrcReservoir;
+    Exec.MrcConfig.SampleShards = Options.MrcSampleShards;
     Exec.MrcSweep = Options.MrcSweep;
+    Exec.PartitionReuse = Options.PartitionReuse;
+    Exec.PartitionCacheBytes = Options.PartitionCacheMb << 20;
     Outcomes = runJobsShared(Jobs, Exec, Timestamp, Progress, &StreamCache,
                              &Shared, &Curves);
   } else {
@@ -1139,6 +1182,10 @@ int commandBatch(const std::string &Selection,
         std::cout << ", " << Shared.UnhelpedShardedSims
                   << " unhelped (serialized on one thread)";
     }
+    if (Shared.PartitionBuilds || Shared.PartitionReuses)
+      std::cout << "; partitions: " << Shared.PartitionBuilds
+                << " routed, " << Shared.PartitionReuses
+                << " reused (route once, replay many)";
     if (Options.StaticScreen)
       std::cout << "; static screen skipped " << Shared.StaticSkipped
                 << " job(s)";
@@ -1499,6 +1546,20 @@ int commandMrc(const std::string &Name, const std::vector<std::string> &Args) {
       }
       Sampled = true;
       Opts.MaxSampledLines = static_cast<size_t>(Parsed);
+    } else if (Arg == "--sample-shards") {
+      std::optional<std::string> Value = NextValue("--sample-shards");
+      if (!Value)
+        return 1;
+      uint64_t Parsed = 0;
+      if (!parseUnsignedArg(*Value, Parsed) || Parsed == 0 ||
+          Parsed > 256 || (Parsed & (Parsed - 1)) != 0) {
+        std::cerr << "error: --sample-shards must be a power of two in "
+                     "[1, 256] (got '"
+                  << *Value << "')\n";
+        return 1;
+      }
+      Sampled = true;
+      Opts.SampleShards = static_cast<uint32_t>(Parsed);
     } else if (Arg == "--reference") {
       std::optional<std::string> Value = NextValue("--reference");
       if (!Value)
