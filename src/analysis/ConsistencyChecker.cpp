@@ -7,7 +7,11 @@
 
 #include "analysis/ConsistencyChecker.h"
 
+#include "sim/ReuseDistance.h"
+#include "trace/Trace.h"
+
 #include <algorithm>
+#include <cmath>
 #include <set>
 
 using namespace ccprof;
@@ -26,6 +30,19 @@ const char *ccprof::consistencyVerdictName(ConsistencyVerdict Verdict) {
     return "contradicted";
   }
   return "unknown";
+}
+
+bool ccprof::consistencyVerdictFromName(const std::string &Name,
+                                        ConsistencyVerdict &Out) {
+  for (ConsistencyVerdict Verdict :
+       {ConsistencyVerdict::ConfirmedConflict,
+        ConsistencyVerdict::ConfirmedClean, ConsistencyVerdict::StaticOnly,
+        ConsistencyVerdict::MeasuredOnly, ConsistencyVerdict::Contradicted})
+    if (Name == consistencyVerdictName(Verdict)) {
+      Out = Verdict;
+      return true;
+    }
+  return false;
 }
 
 std::vector<uint32_t> ConsistencyChecker::victimSetsFromMisses(
@@ -67,11 +84,106 @@ double jaccard(const std::vector<uint32_t> &A, const std::vector<uint32_t> &B) {
                           static_cast<double>(Union);
 }
 
+/// Max/mean absolute error between a predicted curve's points and the
+/// measured curve read out at the same geometries. Both sides go
+/// through the histogram model (modelMissRatioAt on the measured side,
+/// the profile readout baked into PredictedMrc on the static side), so
+/// the score measures profile divergence, not model skew.
+struct MrcScore {
+  uint32_t Points = 0;
+  double MaxAbsError = 0.0;
+  double MeanAbsError = 0.0;
+};
+
+MrcScore scoreMrc(const std::vector<PredictedMrcPoint> &Predicted,
+                  const MissRatioCurve &Measured) {
+  MrcScore Score;
+  double Sum = 0.0;
+  for (const PredictedMrcPoint &Point : Predicted) {
+    const double Error =
+        std::abs(Point.MissRatio - Measured.modelMissRatioAt(Point.Geometry));
+    Score.MaxAbsError = std::max(Score.MaxAbsError, Error);
+    Sum += Error;
+    ++Score.Points;
+  }
+  if (Score.Points > 0)
+    Score.MeanAbsError = Sum / Score.Points;
+  return Score;
+}
+
 } // namespace
+
+MeasuredCurves ConsistencyChecker::measuredCurvesFromTrace(
+    const Trace &T, const ProgramStructure *Structure,
+    const CacheGeometry &Reference) {
+  MeasuredCurves Curves;
+
+  // Resolve every site to its loop location once, the same way
+  // measured samples are attributed.
+  std::vector<std::string> LocationOf(T.sites().size() + 1);
+  for (SiteId Id = 1; Id <= T.sites().size(); ++Id) {
+    const SourceSite *Site = T.sites().lookup(Id);
+    if (!Site)
+      continue;
+    std::string Location;
+    if (Structure) {
+      if (std::optional<LoopRef> Ref =
+              Structure->innermostLoopForLine(Site->Line)) {
+        Location = Structure->describeLoop(*Ref);
+      }
+    }
+    if (Location.empty())
+      Location = Site->File + ":" + std::to_string(Site->Line);
+    LocationOf[Id] = std::move(Location);
+  }
+
+  // One global stack-distance pass; per-reference distances attributed
+  // to the loop of the reference's site. Global semantics match the
+  // static estimator's interleaved footprint accounting.
+  struct LoopAccum {
+    Histogram Stack;
+    uint64_t Cold = 0;
+    uint64_t Total = 0;
+  };
+  std::map<std::string, LoopAccum> PerLoop;
+  ReuseDistanceAnalyzer Global;
+  for (const MemoryRecord &R : T.records()) {
+    const uint64_t Distance = Global.access(Reference.lineAddrOf(R.Addr));
+    LoopAccum &Accum =
+        PerLoop[R.Site < LocationOf.size() ? LocationOf[R.Site]
+                                           : std::string()];
+    ++Accum.Total;
+    if (Distance == ReuseDistanceAnalyzer::Infinite)
+      ++Accum.Cold;
+    else
+      Accum.Stack.add(Distance);
+  }
+
+  Curves.Program.Reference = Reference;
+  Curves.Program.TotalRefs = T.size();
+  Curves.Program.ColdWeight = Global.coldCount();
+  Curves.Program.StackDistances = Global.distances();
+  for (auto &[Location, Accum] : PerLoop) {
+    MissRatioCurve Curve;
+    Curve.Reference = Reference;
+    Curve.TotalRefs = Accum.Total;
+    Curve.ColdWeight = Accum.Cold;
+    Curve.StackDistances = std::move(Accum.Stack);
+    Curves.PerLoop.emplace(Location, std::move(Curve));
+  }
+  return Curves;
+}
 
 ConsistencyReport
 ConsistencyChecker::check(const StaticAnalysisResult &Static,
                           const ProfileResult &Measured) const {
+  return check(Static, Measured, nullptr);
+}
+
+ConsistencyReport
+ConsistencyChecker::check(const StaticAnalysisResult &Static,
+                          const ProfileResult &Measured,
+                          const MeasuredCurves *Curves) const {
   ConsistencyReport Report;
 
   // Walk the union of locations, static order first (highest predicted
@@ -146,6 +258,32 @@ ConsistencyChecker::check(const StaticAnalysisResult &Static,
       Entry.Note = "no conflict on either side";
     }
 
+    // Quantitative pass: score the loop's predicted MRC against the
+    // measured curve. Divergence beyond the threshold under exact
+    // placement and a complete model is a contradiction even when the
+    // boolean conflict verdicts happen to agree — the model's reuse
+    // structure does not describe the traced one.
+    if (Curves && Predicted && !Predicted->PredictedMrc.empty()) {
+      const auto CurveIt = Curves->PerLoop.find(Location);
+      if (CurveIt != Curves->PerLoop.end() &&
+          CurveIt->second.TotalRefs > 0) {
+        const MrcScore Score =
+            scoreMrc(Predicted->PredictedMrc, CurveIt->second);
+        Entry.HasMrc = Score.Points > 0;
+        Entry.MrcPoints = Score.Points;
+        Entry.MrcMaxAbsError = Score.MaxAbsError;
+        Entry.MrcMeanAbsError = Score.MeanAbsError;
+        if (Entry.HasMrc &&
+            Score.MaxAbsError > Opts.MrcContradictionThreshold &&
+            Predicted->ExactPlacement && Static.ModelComplete) {
+          Entry.Verdict = ConsistencyVerdict::Contradicted;
+          Entry.Note = "predicted miss-ratio curve diverges from the "
+                       "measured one beyond the modeling bound — the "
+                       "model's reuse structure is wrong";
+        }
+      }
+    }
+
     switch (Entry.Verdict) {
     case ConsistencyVerdict::ConfirmedConflict:
     case ConsistencyVerdict::ConfirmedClean:
@@ -162,6 +300,20 @@ ConsistencyChecker::check(const StaticAnalysisResult &Static,
       break;
     }
     Report.Loops.push_back(std::move(Entry));
+  }
+
+  // Program-level divergence: the whole-trace curve against the
+  // whole-model analytic one.
+  if (Curves && !Static.ProgramMrc.empty() &&
+      Curves->Program.TotalRefs > 0) {
+    const MrcScore Score = scoreMrc(Static.ProgramMrc, Curves->Program);
+    Report.HasProgramMrc = Score.Points > 0;
+    Report.ProgramMrcMaxAbsError = Score.MaxAbsError;
+    Report.ProgramMrcMeanAbsError = Score.MeanAbsError;
+    Report.ProgramMrcContradicted =
+        Report.HasProgramMrc &&
+        Score.MaxAbsError > Opts.MrcContradictionThreshold &&
+        Static.ReuseExactPlacement && Static.ModelComplete;
   }
   return Report;
 }

@@ -32,8 +32,10 @@
 
 #include "analysis/StaticConflictAnalyzer.h"
 #include "core/Profiler.h"
+#include "sim/MrcEngine.h"
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -49,6 +51,12 @@ enum class ConsistencyVerdict {
 
 /// Name of \p Verdict ("confirmed-conflict", "static-only", ...).
 const char *consistencyVerdictName(ConsistencyVerdict Verdict);
+
+/// Inverse of consistencyVerdictName: parses \p Name into \p Out.
+/// Returns false (leaving \p Out untouched) for unknown names, so
+/// readers of serialized reports can reject rather than mis-classify.
+bool consistencyVerdictFromName(const std::string &Name,
+                                ConsistencyVerdict &Out);
 
 /// One loop's join of prediction and measurement.
 struct LoopConsistency {
@@ -69,7 +77,28 @@ struct LoopConsistency {
   double VictimSetAgreement = 1.0;
   /// Measured victim sets (per-set misses above the imbalance bar).
   std::vector<uint32_t> MeasuredVictimSets;
+  /// Quantitative MRC divergence (set when measured curves were given
+  /// and both sides cover this loop): absolute predicted-vs-measured
+  /// miss-ratio error over the predicted curve's geometries, both
+  /// sides read through the shared Hill–Smith model.
+  bool HasMrc = false;
+  uint32_t MrcPoints = 0;
+  double MrcMaxAbsError = 0.0;
+  double MrcMeanAbsError = 0.0;
   std::string Note;
+};
+
+/// Measured miss-ratio curves to score a static prediction against:
+/// the whole-program curve plus per-loop curves keyed by the same
+/// "file:headerLine" locations static and measured reports use. All
+/// curves share *global* stack-distance semantics — per-loop entries
+/// are the global analyzer's distances attributed to the loop of each
+/// reference, matching how the static estimator interleaves co-phased
+/// descriptors — so predicted and measured histograms are directly
+/// comparable. Build with ConsistencyChecker::measuredCurvesFromTrace.
+struct MeasuredCurves {
+  MissRatioCurve Program;
+  std::map<std::string, MissRatioCurve> PerLoop;
 };
 
 /// Whole-run consistency report.
@@ -79,9 +108,20 @@ struct ConsistencyReport {
   uint64_t StaticOnly = 0;
   uint64_t MeasuredOnly = 0;
   uint64_t Contradicted = 0;
+  /// Program-level MRC divergence (set when measured curves were
+  /// given and the static side carries a predicted program curve).
+  bool HasProgramMrc = false;
+  double ProgramMrcMaxAbsError = 0.0;
+  double ProgramMrcMeanAbsError = 0.0;
+  /// True when the program-level divergence exceeded the contradiction
+  /// threshold under exact placement and a complete model: the model's
+  /// descriptors do not describe the traced program.
+  bool ProgramMrcContradicted = false;
 
   /// True when no loop contradicts the model.
-  bool consistent() const { return Contradicted == 0; }
+  bool consistent() const {
+    return Contradicted == 0 && !ProgramMrcContradicted;
+  }
 
   const LoopConsistency *byLocation(const std::string &Location) const {
     for (const LoopConsistency &Loop : Loops)
@@ -101,6 +141,12 @@ public:
     /// Measured loops below this miss contribution are ignored — the
     /// same significance idea the profiler applies.
     double MinMeasuredContribution = 0.01;
+    /// A predicted-vs-measured max absolute miss-ratio error above
+    /// this, under exact placement and a complete model, contradicts
+    /// the model. Three times the estimator's documented 0.05
+    /// approximation bound (DESIGN.md §11), so modeling error alone
+    /// can never trip it.
+    double MrcContradictionThreshold = 0.15;
   };
 
   ConsistencyChecker() : Opts{} {}
@@ -119,6 +165,23 @@ public:
 
   ConsistencyReport check(const StaticAnalysisResult &Static,
                           const ProfileResult &Measured) const;
+
+  /// Quantitative check: additionally scores every loop's predicted
+  /// MRC (and the program curve) against \p Curves. Divergence beyond
+  /// MrcContradictionThreshold under exact placement and a complete
+  /// model upgrades the loop's verdict to Contradicted.
+  ConsistencyReport check(const StaticAnalysisResult &Static,
+                          const ProfileResult &Measured,
+                          const MeasuredCurves *Curves) const;
+
+  /// Builds MeasuredCurves from a canonicalized trace: one global
+  /// stack-distance pass (lines of \p Reference's line size) whose
+  /// per-reference distances are attributed to the innermost loop of
+  /// the reference's site — resolved through \p Structure exactly like
+  /// measured samples, "file:line" of the site when absent.
+  static MeasuredCurves
+  measuredCurvesFromTrace(const Trace &T, const ProgramStructure *Structure,
+                          const CacheGeometry &Reference);
 
   const Options &options() const { return Opts; }
 

@@ -1,0 +1,680 @@
+//===- analysis/ReuseProfileEstimator.cpp - Analytic reuse profiles ------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ReuseProfileEstimator.h"
+
+#include "sim/MrcModel.h"
+#include "trace/Canonicalize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <unordered_map>
+
+using namespace ccprof;
+
+namespace {
+
+/// Alignment for packing unregistered allocations, matching
+/// StaticConflictAnalyzer so both static passes agree on placement.
+constexpr uint64_t SyntheticPackAlign = 64;
+
+uint64_t alignUp(uint64_t Value, uint64_t Alignment) {
+  return (Value + Alignment - 1) / Alignment * Alignment;
+}
+
+/// Distinct lines of the byte interval [Start, Start + Len).
+double linesOf(uint64_t Start, uint64_t Len, uint64_t L) {
+  if (Len == 0)
+    return 0.0;
+  const uint64_t First = Start / L;
+  const uint64_t Last = (Start + Len - 1) / L;
+  return static_cast<double>(Last - First + 1);
+}
+
+/// One contiguous cluster of a descriptor's per-iteration point set.
+/// PointOffsetsBytes within a line of each other fold into one lane;
+/// distant points (stencil rows / planes) form separate lanes that may
+/// chain under an outer level's stride.
+struct Lane {
+  uint64_t Start = 0;  ///< Absolute byte of the cluster's lowest point.
+  uint64_t Width = 0;  ///< Bytes spanned per innermost iteration.
+  uint64_t Points = 0; ///< Accesses per innermost iteration.
+
+  // Evolving coverage while levels apply, innermost -> outermost.
+  uint64_t RunLen = 0;      ///< Contiguous run length at finest grain.
+  uint64_t RunCount = 1;    ///< Product of disjoint-level trip counts.
+  uint64_t CoverLo = 0;     ///< Bounding interval of all touched bytes.
+  uint64_t CoverHi = 0;
+  double Union = 0.0;       ///< Distinct lines covered so far.
+};
+
+enum class LevelClass { Temporal, Sliding, Disjoint };
+
+/// Per-lane record of one processed level, for footprint queries.
+struct LevelRec {
+  LevelClass Cls = LevelClass::Temporal;
+  uint64_t Trip = 1;
+  double AccessesPerIter = 1; ///< Descriptor accesses per inner iteration.
+  double IterLines = 0;       ///< Lane lines of one inner iteration.
+  double NewPerIter = 0;      ///< Fresh lane lines per added iteration.
+  double UnionAfter = 0;      ///< Lane lines after the whole level.
+};
+
+/// A reuse event: Count accesses whose previous same-line touch lies
+/// GapOwnAccesses of this descriptor's own accesses in the past. The
+/// distance in distinct lines is resolved later against the phase's
+/// interleaved footprint.
+struct ReuseEvent {
+  double Count = 0;
+  double GapOwnAccesses = 1;
+};
+
+/// Per-descriptor analysis state.
+struct DescState {
+  const AccessDescriptor *Desc = nullptr;
+  size_t AllocIdx = 0;
+  uint64_t Total = 0; ///< Exact access count (saturating).
+  double LeafD0 = 0;  ///< Distinct line-touches per innermost iteration.
+  uint64_t LeafPoints = 1;
+  std::vector<Lane> Lanes;
+  std::vector<std::vector<LevelRec>> LaneLevels; ///< Innermost-first.
+  std::vector<ReuseEvent> Events;
+  double UnionLines = 0; ///< Chain-deduplicated distinct lines.
+  uint64_t CoverLo = 0, CoverHi = 0;
+  // Group fold: a follower walks the same lines as its leader and all
+  // of its accesses become short-distance reuses.
+  bool Follower = false;
+  size_t Leader = 0; ///< Index of the group leader (self when leading).
+};
+
+uint64_t saturatingMul(uint64_t A, uint64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  if (A > std::numeric_limits<uint64_t>::max() / B)
+    return std::numeric_limits<uint64_t>::max();
+  return A * B;
+}
+
+/// Lane footprint: distinct lines the lane touches over a window of
+/// \p M descriptor accesses, from the innermost-first level records.
+double laneFootprint(const std::vector<LevelRec> &Levels, double LeafD0,
+                     uint64_t LeafPoints, double M, size_t Idx) {
+  if (M <= 0)
+    return 0.0;
+  if (Idx == 0) {
+    const double P = static_cast<double>(LeafPoints);
+    if (M >= P)
+      return LeafD0;
+    return std::min(LeafD0, std::max(1.0, M * LeafD0 / P));
+  }
+  const LevelRec &R = Levels[Idx - 1];
+  const double AIn = R.AccessesPerIter;
+  if (M <= AIn)
+    return laneFootprint(Levels, LeafD0, LeafPoints, M, Idx - 1);
+  const double Iters = std::min(M / AIn, static_cast<double>(R.Trip));
+  switch (R.Cls) {
+  case LevelClass::Temporal:
+    return R.IterLines;
+  case LevelClass::Sliding:
+    return std::min(R.UnionAfter,
+                    R.IterLines + (Iters - 1.0) * R.NewPerIter);
+  case LevelClass::Disjoint: {
+    const double Whole = std::floor(Iters);
+    const double Rest = M - Whole * AIn;
+    return std::min(R.UnionAfter,
+                    Whole * R.IterLines +
+                        laneFootprint(Levels, LeafD0, LeafPoints, Rest,
+                                      Idx - 1));
+  }
+  }
+  return R.UnionAfter;
+}
+
+/// Descriptor footprint over \p M own accesses: sum of its lanes,
+/// capped at the chain-deduplicated union.
+double descFootprint(const DescState &D, double M) {
+  double Sum = 0.0;
+  for (size_t I = 0; I < D.Lanes.size(); ++I)
+    Sum += laneFootprint(D.LaneLevels[I], D.LeafD0 / D.Lanes.size(),
+                         std::max<uint64_t>(1, D.LeafPoints / D.Lanes.size()),
+                         M, D.LaneLevels[I].size());
+  return std::min(Sum, std::max(D.UnionLines, 1.0));
+}
+
+/// Most-recent-toucher registry segment.
+struct Segment {
+  uint64_t End = 0;
+  uint32_t PhaseIdx = 0;
+  double Density = 0; ///< Lines per byte of the touching walk.
+};
+
+/// Per-allocation interval map with most-recent-wins insertion.
+class TouchRegistry {
+public:
+  /// Overlap query: invokes \p Fn(OverlapBytes, PhaseIdx, Density) for
+  /// every registered segment intersecting [Lo, Hi).
+  template <typename FnT>
+  void query(uint64_t Lo, uint64_t Hi, FnT &&Fn) const {
+    if (Lo >= Hi)
+      return;
+    auto It = Map.upper_bound(Lo);
+    if (It != Map.begin())
+      --It;
+    for (; It != Map.end() && It->first < Hi; ++It) {
+      const uint64_t SegLo = std::max(Lo, It->first);
+      const uint64_t SegHi = std::min(Hi, It->second.End);
+      if (SegLo < SegHi)
+        Fn(SegHi - SegLo, It->second.PhaseIdx, It->second.Density);
+    }
+  }
+
+  void insert(uint64_t Lo, uint64_t Hi, uint32_t PhaseIdx, double Density) {
+    if (Lo >= Hi)
+      return;
+    // Trim or split whatever the new segment overlaps.
+    auto It = Map.upper_bound(Lo);
+    if (It != Map.begin())
+      --It;
+    while (It != Map.end() && It->first < Hi) {
+      auto Next = std::next(It);
+      const uint64_t OldLo = It->first;
+      const Segment Old = It->second;
+      if (Old.End <= Lo) {
+        It = Next;
+        continue;
+      }
+      Map.erase(It);
+      if (OldLo < Lo)
+        Map.emplace(OldLo, Segment{Lo, Old.PhaseIdx, Old.Density});
+      if (Old.End > Hi)
+        Map.emplace(Hi, Segment{Old.End, Old.PhaseIdx, Old.Density});
+      It = Next;
+    }
+    Map.emplace(Lo, Segment{Hi, PhaseIdx, Density});
+  }
+
+private:
+  std::map<uint64_t, Segment> Map;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ReuseProfile
+//===----------------------------------------------------------------------===//
+
+double ReuseProfile::missRatioAt(const CacheGeometry &Geometry) const {
+  return modelMissRatioFromStack(Stack, ColdRefs, TotalRefs, Geometry);
+}
+
+void ReuseProfile::merge(const ReuseProfile &Other) {
+  Stack.merge(Other.Stack);
+  ColdRefs += Other.ColdRefs;
+  TotalRefs += Other.TotalRefs;
+}
+
+//===----------------------------------------------------------------------===//
+// ReuseProfileEstimator
+//===----------------------------------------------------------------------===//
+
+ReuseProfileEstimate
+ReuseProfileEstimator::estimate(const StaticAccessModel &Model) const {
+  ReuseProfileEstimate Estimate;
+  if (Model.empty())
+    return Estimate;
+  const uint64_t L = Opts.LineBytes;
+
+  // Placement: identical to StaticConflictAnalyzer — registered
+  // allocations on the canonical layout, unregistered ones packed onto
+  // the orphan region.
+  std::vector<uint64_t> RegisteredSizes;
+  for (const ModeledAllocation &Alloc : Model.Allocations)
+    if (Alloc.Registered)
+      RegisteredSizes.push_back(Alloc.SizeBytes);
+  const CanonicalLayout Layout = canonicalAllocationLayout(RegisteredSizes);
+
+  struct AllocInfo {
+    uint64_t Base = 0;
+    double Lines = 0;
+  };
+  std::vector<AllocInfo> Allocs;
+  std::unordered_map<std::string, size_t> AllocIndex;
+  size_t RegIdx = 0;
+  uint64_t PackCursor = Layout.FirstOrphanBase;
+  for (const ModeledAllocation &Alloc : Model.Allocations) {
+    AllocInfo Info;
+    if (Alloc.Registered) {
+      Info.Base = Layout.Bases[RegIdx++];
+    } else {
+      Info.Base = alignUp(PackCursor, SyntheticPackAlign);
+      PackCursor = Info.Base + Alloc.SizeBytes;
+      Estimate.ExactPlacement = false;
+    }
+    Info.Lines = linesOf(Info.Base, Alloc.SizeBytes, L);
+    AllocIndex.emplace(Alloc.Name, Allocs.size());
+    Allocs.push_back(Info);
+  }
+  uint64_t UnknownCursor = Layout.FirstOrphanBase + Layout.OrphanSpan;
+  auto allocIndexFor = [&](const std::string &Name) -> size_t {
+    auto It = AllocIndex.find(Name);
+    if (It != AllocIndex.end())
+      return It->second;
+    AllocInfo Info;
+    Info.Base = UnknownCursor;
+    Info.Lines = static_cast<double>(Layout.OrphanSpan) /
+                 static_cast<double>(L);
+    UnknownCursor += Layout.OrphanSpan;
+    AllocIndex.emplace(Name, Allocs.size());
+    Allocs.push_back(Info);
+    Estimate.ExactPlacement = false;
+    return Allocs.size() - 1;
+  };
+
+  // Group descriptors into phases, preserving model order within one.
+  std::map<uint32_t, std::vector<size_t>> PhaseMembers;
+  std::vector<DescState> States;
+  States.reserve(Model.Accesses.size());
+  for (const AccessDescriptor &Desc : Model.Accesses) {
+    DescState St;
+    St.Desc = &Desc;
+    St.AllocIdx = allocIndexFor(Desc.Array);
+    St.Total = Desc.PointOffsetsBytes.empty()
+                   ? 1
+                   : static_cast<uint64_t>(Desc.PointOffsetsBytes.size());
+    for (const AccessLoopLevel &Level : Desc.Levels)
+      St.Total = saturatingMul(St.Total, Level.TripCount);
+    if (St.Total == 0)
+      continue;
+    PhaseMembers[Desc.Phase].push_back(States.size());
+    States.push_back(std::move(St));
+  }
+  if (States.empty())
+    return Estimate;
+
+  // -- Pass 1: per-descriptor level classification -----------------------
+  for (DescState &St : States) {
+    const AccessDescriptor &Desc = *St.Desc;
+    const uint64_t Base = Allocs[St.AllocIdx].Base + Desc.StartOffset;
+    const uint64_t Elem = std::max<uint16_t>(1, Desc.ElementBytes);
+
+    // Cluster point offsets into lanes: points within a line of each
+    // other share the same cache lines as the walk advances.
+    std::vector<int64_t> Offsets = Desc.PointOffsetsBytes;
+    if (Offsets.empty())
+      Offsets.push_back(0);
+    std::sort(Offsets.begin(), Offsets.end());
+    for (size_t I = 0; I < Offsets.size();) {
+      size_t J = I + 1;
+      while (J < Offsets.size() &&
+             Offsets[J] - Offsets[J - 1] < static_cast<int64_t>(L))
+        ++J;
+      Lane LaneState;
+      LaneState.Start = Base + static_cast<uint64_t>(Offsets[I]);
+      LaneState.Width =
+          static_cast<uint64_t>(Offsets[J - 1] - Offsets[I]) + Elem;
+      LaneState.Points = J - I;
+      LaneState.RunLen = LaneState.Width;
+      LaneState.CoverLo = LaneState.Start;
+      LaneState.CoverHi = LaneState.Start + LaneState.Width;
+      LaneState.Union = linesOf(LaneState.Start, LaneState.Width, L);
+      St.Lanes.push_back(LaneState);
+      I = J;
+    }
+    St.LeafPoints = Offsets.size();
+    St.LeafD0 = 0;
+    for (const Lane &LaneState : St.Lanes)
+      St.LeafD0 += LaneState.Union;
+    St.LaneLevels.assign(St.Lanes.size(), {});
+    St.UnionLines = St.LeafD0;
+
+    // Intra-iteration duplicates: points re-touching a lane-resident
+    // line within one innermost position (zero-lag reuse).
+    const double Dups =
+        std::max(0.0, static_cast<double>(St.LeafPoints) - St.LeafD0);
+    if (Dups > 0)
+      St.Events.push_back({Dups * static_cast<double>(St.Total) /
+                               static_cast<double>(St.LeafPoints),
+                           1.0});
+
+    // Apply levels innermost-first.
+    double AccessesPerIter = static_cast<double>(St.LeafPoints);
+    std::vector<AccessLoopLevel> Levels(Desc.Levels.rbegin(),
+                                        Desc.Levels.rend());
+    // Iterations of all levels processed so far, per whole descriptor.
+    double OuterReps = static_cast<double>(St.Total) /
+                       static_cast<double>(St.LeafPoints);
+    for (const AccessLoopLevel &Level : Levels) {
+      const uint64_t T = Level.TripCount;
+      const int64_t S = Level.StrideBytes;
+      const uint64_t A = S < 0 ? static_cast<uint64_t>(-S)
+                               : static_cast<uint64_t>(S);
+      OuterReps /= static_cast<double>(T);
+
+      // Lane chains along this stride: a lane whose coverage sits one
+      // stride ahead absorbs this lane's fresh lines (the stencil-row
+      // fold): the trailing lane re-touches them one iteration later.
+      std::vector<uint8_t> IsFollower(St.Lanes.size(), 0);
+      if (S != 0 && St.Lanes.size() > 1) {
+        for (size_t I = 0; I < St.Lanes.size(); ++I) {
+          const int64_t Ahead =
+              static_cast<int64_t>(St.Lanes[I].Start) + S;
+          for (size_t J = 0; J < St.Lanes.size(); ++J) {
+            if (J == I)
+              continue;
+            const int64_t Delta =
+                Ahead - static_cast<int64_t>(St.Lanes[J].Start);
+            if (Delta >= -static_cast<int64_t>(L) &&
+                Delta <= static_cast<int64_t>(L)) {
+              IsFollower[I] = 1;
+              break;
+            }
+          }
+        }
+      }
+
+      for (size_t LI = 0; LI < St.Lanes.size(); ++LI) {
+        Lane &Ln = St.Lanes[LI];
+        LevelRec Rec;
+        Rec.Trip = T;
+        Rec.AccessesPerIter = AccessesPerIter;
+        Rec.IterLines = Ln.Union;
+
+        if (S == 0 || T == 1) {
+          Rec.Cls = LevelClass::Temporal;
+          Rec.NewPerIter = 0;
+          Rec.UnionAfter = Ln.Union;
+          if (T > 1) {
+            // Every re-execution re-touches the inner footprint one
+            // interleaved inner iteration apart.
+            St.Events.push_back(
+                {static_cast<double>(T - 1) * Ln.Union * OuterReps,
+                 AccessesPerIter});
+          }
+        } else if (A <= Ln.RunLen) {
+          Rec.Cls = LevelClass::Sliding;
+          Rec.NewPerIter = static_cast<double>(Ln.RunCount) *
+                           static_cast<double>(A) / static_cast<double>(L);
+          const double Retouch =
+              std::max(0.0, Ln.Union - Rec.NewPerIter);
+          if (T > 1) {
+            // Re-touched lines: spatial reuse one iteration apart.
+            St.Events.push_back(
+                {static_cast<double>(T - 1) * Retouch * OuterReps,
+                 AccessesPerIter});
+            if (IsFollower[LI]) {
+              // Fresh lines were touched by the lane ahead one
+              // iteration earlier: same lag, but they no longer grow
+              // the descriptor's union.
+              St.Events.push_back({static_cast<double>(T - 1) *
+                                       Rec.NewPerIter * OuterReps,
+                                   AccessesPerIter});
+              St.UnionLines -=
+                  static_cast<double>(T - 1) * Rec.NewPerIter;
+            }
+          }
+          Rec.UnionAfter =
+              Ln.Union + static_cast<double>(T - 1) * Rec.NewPerIter;
+          Ln.Union = Rec.UnionAfter;
+          Ln.RunLen += (T - 1) * A;
+          if (S < 0)
+            Ln.CoverLo -= std::min(Ln.CoverLo, (T - 1) * A);
+          else
+            Ln.CoverHi += (T - 1) * A;
+          St.UnionLines += static_cast<double>(T - 1) * Rec.NewPerIter;
+        } else {
+          Rec.Cls = LevelClass::Disjoint;
+          Rec.NewPerIter = Ln.Union;
+          if (T > 1 && IsFollower[LI]) {
+            St.Events.push_back(
+                {static_cast<double>(T - 1) * Ln.Union * OuterReps,
+                 AccessesPerIter});
+            St.UnionLines -= static_cast<double>(T - 1) * Ln.Union;
+          }
+          Rec.UnionAfter = static_cast<double>(T) * Ln.Union;
+          St.UnionLines += static_cast<double>(T - 1) * Ln.Union;
+          Ln.Union = Rec.UnionAfter;
+          Ln.RunCount *= T;
+          if (S < 0)
+            Ln.CoverLo -= std::min(Ln.CoverLo, (T - 1) * A);
+          else
+            Ln.CoverHi += (T - 1) * A;
+        }
+        St.LaneLevels[LI].push_back(Rec);
+      }
+      AccessesPerIter *= static_cast<double>(T);
+    }
+
+    St.CoverLo = std::numeric_limits<uint64_t>::max();
+    St.CoverHi = 0;
+    for (const Lane &Ln : St.Lanes) {
+      St.CoverLo = std::min(St.CoverLo, Ln.CoverLo);
+      St.CoverHi = std::max(St.CoverHi, Ln.CoverHi);
+    }
+    const double AllocCap = Allocs[St.AllocIdx].Lines;
+    St.UnionLines = std::min(std::max(St.UnionLines, 1.0), AllocCap);
+  }
+
+  // -- Passes 2-5: per-phase interleaving, in phase order ----------------
+  std::map<uint32_t, std::map<uint64_t, double>> LineHists;
+  std::map<uint32_t, double> LineCold;
+  std::map<uint32_t, uint64_t> LineTotals;
+  std::vector<TouchRegistry> Registries(Allocs.size());
+  // Per-allocation distinct lines touched per phase, prefix-summed for
+  // cross-phase distance queries.
+  std::vector<std::vector<double>> AllocPhasePrefix(
+      Allocs.size(), std::vector<double>(PhaseMembers.size() + 1, 0.0));
+  std::vector<double> PhaseLines(PhaseMembers.size(), 0.0);
+
+  uint32_t PhaseIdx = 0;
+  for (const auto &[PhaseId, Members] : PhaseMembers) {
+    (void)PhaseId;
+    // Pass 2: group fold. A descriptor walking (essentially) the same
+    // bytes of the same allocation as an earlier one in this phase is
+    // its follower: interleaving places each of its accesses right
+    // after the leader's, so the whole stream reuses at the group
+    // interleave width.
+    for (size_t MI = 0; MI < Members.size(); ++MI) {
+      DescState &St = States[Members[MI]];
+      St.Leader = Members[MI];
+      for (size_t MJ = 0; MJ < MI; ++MJ) {
+        DescState &Cand = States[Members[MJ]];
+        if (Cand.Follower || Cand.AllocIdx != St.AllocIdx)
+          continue;
+        // Folding requires the SAME walk: identical loop structure, so
+        // the follower touches each line at (essentially) the moment
+        // the leader does. Same-interval walks with different shapes —
+        // a row walk and a column walk of one matrix — reuse at large
+        // distances, not small ones, and must stay independent.
+        if (Cand.Desc->Levels.size() != St.Desc->Levels.size() ||
+            Cand.Desc->PointOffsetsBytes.size() !=
+                St.Desc->PointOffsetsBytes.size())
+          continue;
+        bool SameShape = true;
+        for (size_t LI = 0; LI < St.Desc->Levels.size(); ++LI)
+          if (St.Desc->Levels[LI].TripCount !=
+                  Cand.Desc->Levels[LI].TripCount ||
+              St.Desc->Levels[LI].StrideBytes !=
+                  Cand.Desc->Levels[LI].StrideBytes) {
+            SameShape = false;
+            break;
+          }
+        if (!SameShape)
+          continue;
+        const uint64_t Lo = std::max(St.CoverLo, Cand.CoverLo);
+        const uint64_t Hi = std::min(St.CoverHi, Cand.CoverHi);
+        if (Lo >= Hi)
+          continue;
+        const uint64_t Span =
+            std::min(St.CoverHi - St.CoverLo, Cand.CoverHi - Cand.CoverLo);
+        const double UnionRatio =
+            std::max(St.UnionLines, Cand.UnionLines) /
+            std::max(1.0, std::min(St.UnionLines, Cand.UnionLines));
+        if (Span > 0 &&
+            static_cast<double>(Hi - Lo) >=
+                0.8 * static_cast<double>(Span) &&
+            UnionRatio <= 1.5) {
+          St.Follower = true;
+          St.Leader = Members[MJ];
+          break;
+        }
+      }
+    }
+
+    // Total accesses per descriptor in this phase (for rate scaling).
+    double PhaseTotal = 0;
+    for (size_t M : Members)
+      PhaseTotal += static_cast<double>(States[M].Total);
+
+    // Interleaved footprint of a gap of G own accesses of descriptor
+    // D: every group leader contributes its footprint over the window,
+    // summed per allocation and capped at the allocation's lines.
+    auto interleavedDistance = [&](const DescState &D, double Gap) {
+      std::unordered_map<size_t, double> PerAlloc;
+      for (size_t M : Members) {
+        const DescState &Other = States[M];
+        if (Other.Follower)
+          continue;
+        const double Window =
+            Gap * static_cast<double>(Other.Total) /
+            static_cast<double>(D.Total);
+        PerAlloc[Other.AllocIdx] += descFootprint(Other, Window);
+      }
+      double W = 0;
+      for (const auto &[AI, Sum] : PerAlloc)
+        W += std::min(Sum, Allocs[AI].Lines);
+      return std::max(0.0, std::round(W) - 1.0);
+    };
+
+    // Pass 3: resolve event distances.
+    for (size_t M : Members) {
+      DescState &St = States[M];
+      auto &Hist = LineHists[St.Desc->Line];
+      LineTotals[St.Desc->Line] += St.Total;
+      if (St.Follower) {
+        const double D = interleavedDistance(States[St.Leader], 1.0);
+        Hist[static_cast<uint64_t>(D)] += static_cast<double>(St.Total);
+        continue;
+      }
+      for (const ReuseEvent &Ev : St.Events) {
+        const double D = interleavedDistance(St, Ev.GapOwnAccesses);
+        Hist[static_cast<uint64_t>(D)] += Ev.Count;
+      }
+    }
+
+    // Pass 4: cross-phase group reuse — cold first touches of bytes a
+    // previous phase touched become reuses at the capped sum of the
+    // intervening phase footprints.
+    for (size_t M : Members) {
+      DescState &St = States[M];
+      if (St.Follower)
+        continue;
+      double Cold = St.UnionLines;
+      const double SelfDensity =
+          St.CoverHi > St.CoverLo
+              ? St.UnionLines / static_cast<double>(St.CoverHi - St.CoverLo)
+              : 0.0;
+      auto &Hist = LineHists[St.Desc->Line];
+      Registries[St.AllocIdx].query(
+          St.CoverLo, St.CoverHi,
+          [&](uint64_t OverlapBytes, uint32_t TouchPhase, double Density) {
+            if (Cold <= 0)
+              return;
+            double Converted = static_cast<double>(OverlapBytes) *
+                               std::min(Density, SelfDensity);
+            Converted = std::min(Converted, Cold);
+            if (Converted <= 0)
+              return;
+            double Between = 0;
+            for (size_t AI = 0; AI < Allocs.size(); ++AI) {
+              const double Sum = AllocPhasePrefix[AI][PhaseIdx] -
+                                 AllocPhasePrefix[AI][TouchPhase + 1];
+              Between += std::min(Sum, Allocs[AI].Lines);
+            }
+            const double D = std::max(
+                0.0, std::round(Between + 0.5 * PhaseLines[TouchPhase] +
+                                0.5 * PhaseLines[PhaseIdx]) -
+                         1.0);
+            Hist[static_cast<uint64_t>(D)] += Converted;
+            Cold -= Converted;
+          });
+      // Whatever remains cold stays cold (first touches of the run).
+      LineCold[St.Desc->Line] += std::max(0.0, Cold);
+    }
+
+    // Pass 5: registry + phase-footprint bookkeeping.
+    std::unordered_map<size_t, double> PhaseAlloc;
+    for (size_t M : Members) {
+      const DescState &St = States[M];
+      if (St.Follower)
+        continue;
+      const double SelfDensity =
+          St.CoverHi > St.CoverLo
+              ? St.UnionLines / static_cast<double>(St.CoverHi - St.CoverLo)
+              : 0.0;
+      Registries[St.AllocIdx].insert(St.CoverLo, St.CoverHi, PhaseIdx,
+                                     SelfDensity);
+      PhaseAlloc[St.AllocIdx] += St.UnionLines;
+    }
+    for (size_t AI = 0; AI < Allocs.size(); ++AI) {
+      const auto It = PhaseAlloc.find(AI);
+      const double Touched =
+          It == PhaseAlloc.end() ? 0.0
+                                 : std::min(It->second, Allocs[AI].Lines);
+      AllocPhasePrefix[AI][PhaseIdx + 1] =
+          AllocPhasePrefix[AI][PhaseIdx] + Touched;
+      PhaseLines[PhaseIdx] += Touched;
+    }
+    ++PhaseIdx;
+  }
+
+  // -- Materialize -------------------------------------------------------
+  for (const auto &[Line, Total] : LineTotals) {
+    ReuseProfile Profile;
+    Profile.TotalRefs = Total;
+    uint64_t HistTotal = 0;
+    auto HistIt = LineHists.find(Line);
+    if (HistIt != LineHists.end()) {
+      for (const auto &[Distance, Weight] : HistIt->second) {
+        const auto W = static_cast<uint64_t>(std::llround(Weight));
+        if (W == 0)
+          continue;
+        Profile.Stack.add(Distance, W);
+        HistTotal += W;
+      }
+    }
+    // Reuse mass can round past the exact total; clamp so cold plus
+    // reuses never exceeds it (the readout treats the residue as cold).
+    if (HistTotal > Total) {
+      Profile.Stack = Histogram();
+      uint64_t Kept = 0;
+      for (const auto &[Distance, Weight] : HistIt->second) {
+        const auto W = std::min(
+            static_cast<uint64_t>(std::llround(Weight)), Total - Kept);
+        if (W == 0)
+          continue;
+        Profile.Stack.add(Distance, W);
+        Kept += W;
+      }
+      HistTotal = Kept;
+    }
+    Profile.ColdRefs = Total - HistTotal;
+    const auto ColdIt = LineCold.find(Line);
+    if (ColdIt != LineCold.end())
+      Profile.ColdRefs = std::min(
+          Profile.ColdRefs,
+          std::max<uint64_t>(
+              1, static_cast<uint64_t>(std::llround(ColdIt->second))));
+    Estimate.Program.merge(Profile);
+    Estimate.PerLine.emplace(Line, std::move(Profile));
+  }
+  // Program total must reflect every reference, including the residue
+  // between per-line totals and their histogram mass.
+  Estimate.Valid = Estimate.Program.TotalRefs > 0;
+  return Estimate;
+}

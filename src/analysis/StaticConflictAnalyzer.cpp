@@ -219,11 +219,13 @@ StaticConflictAnalyzer::analyze(const StaticAccessModel &Model,
 
   // Group descriptors into per-phase streams.
   std::map<uint32_t, std::vector<DescriptorStream>> Phases;
+  std::map<uint32_t, size_t> LineToLoop;
   for (const AccessDescriptor &Desc : Model.Accesses) {
     const Placement Where = placementFor(Desc.Array);
     DescriptorStream Stream;
     Stream.Desc = &Desc;
     Stream.LoopIdx = loopIndexForLine(Desc.Line);
+    LineToLoop.emplace(Desc.Line, Stream.LoopIdx);
     Stream.ArrayIdx =
         Loops[Stream.LoopIdx].arrayIndex(Desc.Array, NumSets);
     Stream.Base = Where.Base + Desc.StartOffset;
@@ -394,6 +396,34 @@ StaticConflictAnalyzer::analyze(const StaticAccessModel &Model,
       P.Arrays.push_back(std::move(F));
     }
     Result.Loops.push_back(std::move(P));
+  }
+
+  // Analytic reuse profiles: estimated on the *untruncated* model (the
+  // estimator is O(descriptors), not O(stream)), joined into the same
+  // loop contexts the occupancy pass used, and read out at the
+  // requested geometries through the shared Hill–Smith model.
+  ReuseProfileEstimator::Options EstOpts;
+  EstOpts.LineBytes = Opts.Geometry.lineBytes();
+  const ReuseProfileEstimate Estimate =
+      ReuseProfileEstimator(EstOpts).estimate(Model);
+  Result.ReuseEstimated = Estimate.Valid;
+  Result.ReuseExactPlacement = Estimate.ExactPlacement;
+  if (Estimate.Valid) {
+    for (const auto &[Line, Profile] : Estimate.PerLine) {
+      const auto It = LineToLoop.find(Line);
+      if (It == LineToLoop.end())
+        continue;
+      Result.Loops[It->second].Reuse.merge(Profile);
+    }
+    Result.ProgramReuse = Estimate.Program;
+    for (LoopPrediction &Loop : Result.Loops) {
+      Loop.PredictedMrc.reserve(Opts.MrcGeometries.size());
+      for (const CacheGeometry &G : Opts.MrcGeometries)
+        Loop.PredictedMrc.push_back({G, Loop.Reuse.missRatioAt(G)});
+    }
+    Result.ProgramMrc.reserve(Opts.MrcGeometries.size());
+    for (const CacheGeometry &G : Opts.MrcGeometries)
+      Result.ProgramMrc.push_back({G, Result.ProgramReuse.missRatioAt(G)});
   }
 
   std::stable_sort(Result.Loops.begin(), Result.Loops.end(),

@@ -44,10 +44,12 @@
 #define CCPROF_ANALYSIS_STATICCONFLICTANALYZER_H
 
 #include "analysis/AccessModel.h"
+#include "analysis/ReuseProfileEstimator.h"
 #include "core/ConflictClassifier.h"
 #include "core/ProgramStructure.h"
 #include "sim/CacheGeometry.h"
 #include "sim/MachineConfig.h"
+#include "sim/MrcModel.h"
 #include "support/Histogram.h"
 
 #include <cstdint>
@@ -55,6 +57,12 @@
 #include <vector>
 
 namespace ccprof {
+
+/// One sampled point of an analytically predicted miss-ratio curve.
+struct PredictedMrcPoint {
+  CacheGeometry Geometry{32 * 1024, 64, 8};
+  double MissRatio = 0.0;
+};
 
 /// Per-(loop, array) slice of a prediction.
 struct ArrayFootprint {
@@ -108,6 +116,12 @@ struct LoopPrediction {
   /// True when the phase stream was cut off at MaxStreamAccesses.
   bool Truncated = false;
   std::vector<ArrayFootprint> Arrays;
+  /// Analytic reuse-distance profile of this loop's descriptors
+  /// (ReuseProfileEstimator), queryable at any geometry.
+  ReuseProfile Reuse;
+  /// Reuse profile read out at Options::MrcGeometries through the
+  /// shared Hill–Smith model — the loop's predicted MRC.
+  std::vector<PredictedMrcPoint> PredictedMrc;
 };
 
 /// Whole-model prediction.
@@ -119,6 +133,17 @@ struct StaticAnalysisResult {
   uint64_t PredictedMisses = 0;
   /// Predictions, highest predicted-miss share first.
   std::vector<LoopPrediction> Loops;
+  /// True when the reuse-profile estimator produced a profile (the
+  /// model was non-empty); per-loop Reuse/PredictedMrc are only
+  /// meaningful when set.
+  bool ReuseEstimated = false;
+  /// True when every estimated placement was exact (all allocations
+  /// registered) — the precondition for treating a large
+  /// predicted-vs-measured MRC divergence as a contradiction.
+  bool ReuseExactPlacement = true;
+  /// Whole-program analytic reuse profile and its predicted MRC.
+  ReuseProfile ProgramReuse;
+  std::vector<PredictedMrcPoint> ProgramMrc;
 
   /// True when the model is complete and no *significant* loop shows
   /// conflict evidence — a classifier conflict verdict or in-window
@@ -160,6 +185,10 @@ public:
     /// Cap on enumerated accesses per phase; outer trip counts are
     /// halved until a phase fits (Truncated is set on its loops).
     uint64_t MaxStreamAccesses = uint64_t{1} << 23;
+    /// Geometries the analytic reuse profiles are read out at (the
+    /// per-loop and program PredictedMrc points). The profile itself
+    /// is geometry-free; this only selects the sampled points.
+    std::vector<CacheGeometry> MrcGeometries = defaultMrcSweepGeometries();
   };
 
   StaticConflictAnalyzer() : StaticConflictAnalyzer(Options{}) {}

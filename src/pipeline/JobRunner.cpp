@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <cmath>
 #include <mutex>
 #include <optional>
 #include <thread>
@@ -98,7 +99,8 @@ std::vector<JobOutcome> ccprof::runJobsShared(
   MissStreamCache &Cache = StreamCache ? *StreamCache : LocalCache;
   if (Jobs.empty()) {
     if (StatsOut)
-      *StatsOut = SharedBatchStats{0, Cache.stats(), 0, 0, 0, 0, 0, 0, 0, 0};
+      *StatsOut =
+          SharedBatchStats{0, Cache.stats(), 0, 0, 0, 0, 0, 0, 0, 0, 0, 0};
     return Outcomes;
   }
 
@@ -157,6 +159,8 @@ std::vector<JobOutcome> ccprof::runJobsShared(
   std::atomic<size_t> NextGroup{0};
   std::atomic<size_t> NumDone{0};
   std::atomic<uint64_t> NumSkipped{0};
+  std::atomic<uint64_t> NumScreenedGroups{0};
+  std::atomic<uint64_t> NumScreenRefusals{0};
   std::atomic<uint64_t> NumMrcGroups{0};
   std::atomic<uint64_t> NumMrcRouted{0};
   // One slot per group, written only by the worker that owns the group;
@@ -193,18 +197,71 @@ std::vector<JobOutcome> ccprof::runJobsShared(
       BinaryImage Image = W->makeBinary();
       ProgramStructure Structure(Image);
 
-      // Static screen: a complete access model that analyzes
-      // conflict-free proves every L1 simulation of the group finds no
-      // conflicts — those jobs skip without a trace.
+      // Sweep-wide static screen: the analyzer runs at every distinct
+      // L1 geometry the group's jobs request — each must prove
+      // conflict-free at its own shape — and the analytic reuse curve
+      // must be flat around every swept point (a curve on a capacity
+      // cliff could flip a nearby verdict). All-or-nothing: one dirty
+      // or unstable geometry keeps the whole group simulating.
       std::vector<size_t> Pending;
       Pending.reserve(Members.size());
       bool ScreenClean = false;
       if (Exec.StaticScreen) {
         StaticAccessModel Model = W->accessModel(First.Variant);
-        if (Model.Complete && !Model.empty())
-          ScreenClean = StaticConflictAnalyzer()
-                            .analyze(Model, &Structure)
-                            .conflictFree();
+        std::vector<CacheGeometry> L1Geoms;
+        for (size_t I : Members) {
+          if (Jobs[I].Level != ProfileLevel::L1)
+            continue;
+          const CacheGeometry G = Jobs[I].toProfileOptions().L1;
+          bool Known = false;
+          for (const CacheGeometry &Seen : L1Geoms)
+            Known |= Seen.sizeBytes() == G.sizeBytes() &&
+                     Seen.lineBytes() == G.lineBytes() &&
+                     Seen.associativity() == G.associativity();
+          if (!Known)
+            L1Geoms.push_back(G);
+        }
+        if (Model.Complete && !Model.empty() && !L1Geoms.empty()) {
+          ScreenClean = true;
+          ReuseProfile Program;
+          bool HaveProfile = false;
+          for (const CacheGeometry &G : L1Geoms) {
+            StaticConflictAnalyzer::Options ScreenOpts;
+            ScreenOpts.Geometry = G;
+            // The screen needs verdicts and the (geometry-free) reuse
+            // profile, not sampled curve points.
+            ScreenOpts.MrcGeometries.clear();
+            StaticAnalysisResult R =
+                StaticConflictAnalyzer(ScreenOpts).analyze(Model, &Structure);
+            if (!R.conflictFree() || !R.ReuseEstimated) {
+              ScreenClean = false;
+              break;
+            }
+            if (!HaveProfile) {
+              Program = std::move(R.ProgramReuse);
+              HaveProfile = true;
+            }
+          }
+          // Stability guard: the predicted miss ratio may move at most
+          // ScreenStabilityMargin when each swept geometry grows its
+          // set count by 10%.
+          if (ScreenClean && HaveProfile) {
+            for (const CacheGeometry &G : L1Geoms) {
+              const uint64_t GrownSets = G.numSets() + (G.numSets() + 9) / 10;
+              const CacheGeometry Grown(GrownSets * G.lineBytes() *
+                                            G.associativity(),
+                                        G.lineBytes(), G.associativity());
+              const double Drift = std::abs(Program.missRatioAt(G) -
+                                            Program.missRatioAt(Grown));
+              if (Drift > Exec.ScreenStabilityMargin) {
+                ScreenClean = false;
+                break;
+              }
+            }
+          }
+          if (!ScreenClean)
+            NumScreenRefusals.fetch_add(1);
+        }
       }
       for (size_t I : Members) {
         if (ScreenClean && Jobs[I].Level == ProfileLevel::L1) {
@@ -216,8 +273,10 @@ std::vector<JobOutcome> ccprof::runJobsShared(
           Pending.push_back(I);
         }
       }
-      if (Pending.empty())
+      if (Pending.empty()) {
+        NumScreenedGroups.fetch_add(1);
         continue;
+      }
 
       // The expensive shared phase, once per group: run the workload,
       // record its references, canonicalize, recover the program
@@ -339,6 +398,8 @@ std::vector<JobOutcome> ccprof::runJobsShared(
   if (StatsOut)
     *StatsOut = SharedBatchStats{Groups.size(), Cache.stats(),
                                  CachePool.reuses(), NumSkipped.load(),
+                                 NumScreenedGroups.load(),
+                                 NumScreenRefusals.load(),
                                  ShardStats.ShardedSims.load(),
                                  ShardStats.UnhelpedShardedSims.load(),
                                  NumMrcGroups.load(), NumMrcRouted.load(),

@@ -95,6 +95,14 @@ struct SharedBatchStats {
   uint64_t ShardCacheReuses = 0;
   /// Jobs skipped by static screening (BatchExecOptions::StaticScreen).
   uint64_t StaticSkipped = 0;
+  /// Groups every member of which was screened out — no trace was
+  /// generated at all (the screening payoff).
+  uint64_t StaticScreenedGroups = 0;
+  /// Groups the screen analyzed but refused to skip: a conflict was
+  /// predicted at some swept geometry, the model was incomplete, the
+  /// reuse estimator declined, or the predicted curve failed the
+  /// stability guard near a swept geometry.
+  uint64_t StaticScreenRefusals = 0;
   /// Simulations that took the set-sharded path (ShardExecStats).
   uint64_t ShardedSims = 0;
   /// Sharded simulations that ran with zero helper threads — an
@@ -155,13 +163,26 @@ struct BatchExecOptions {
   /// Traces shorter than this never shard (partition overhead).
   uint64_t MinRefsToShard = SimContext::DefaultMinRefsToShard;
   /// Run the static conflict analyzer over each group's access model
-  /// first and skip the simulation of L1 jobs whose (workload, variant)
-  /// is statically proven conflict-free (complete model, no victim
-  /// sets). Skipped jobs finish with JobOutcome::Skipped set and no
-  /// artifact; jobs that do run produce byte-identical artifacts to an
-  /// unscreened run. Groups whose members all skip never generate a
-  /// trace at all — the screening payoff.
+  /// first and skip the simulation of the group's L1 jobs when the
+  /// sweep is statically proven clean. The screen is sweep-wide and
+  /// all-or-nothing: the analyzer runs at *every distinct L1 geometry*
+  /// the group's jobs request, each must analyze conflict-free
+  /// (complete model, no victim sets), the analytic reuse profile must
+  /// be available, and the predicted miss ratio must be stable around
+  /// every swept geometry (ScreenStabilityMargin) — a curve sitting on
+  /// a capacity cliff could flip a nearby verdict, so the screen
+  /// refuses to skip it. Skipped jobs finish with JobOutcome::Skipped
+  /// set and no artifact; jobs that do run produce byte-identical
+  /// artifacts to an unscreened run. Groups whose members all skip
+  /// never generate a trace at all — the screening payoff.
   bool StaticScreen = false;
+  /// Stability guard of the sweep screen: the predicted program miss
+  /// ratio may move at most this much between each swept geometry and
+  /// the same geometry with 10% more sets. The default matches the
+  /// reuse estimator's documented 0.05 approximation bound (DESIGN.md
+  /// §11): a curve flatter than the modeling error cannot hide a
+  /// geometry-sensitive conflict.
+  double ScreenStabilityMargin = 0.05;
   /// Route each group's L1 LRU jobs through one single-pass miss-ratio
   /// curve (MrcEngine) instead of per-configuration simulations. Routed
   /// jobs finish with JobOutcome::MrcPredicted and no artifact; the

@@ -7,6 +7,7 @@
 
 #include "sim/MrcEngine.h"
 
+#include "sim/MrcModel.h"
 #include "sim/PartitionCache.h"
 #include "support/ThreadPool.h"
 
@@ -27,23 +28,6 @@ uint64_t hashLine(uint64_t X) {
   X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
   X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
   return X ^ (X >> 31);
-}
-
-/// P(Binomial(D, P) <= A - 1): the Hill–Smith probability that a reuse
-/// of global stack distance D hits an (S = 1/P sets, A ways) cache.
-/// Iterative term recurrence, O(A) per call; underflow of the leading
-/// (1-P)^D term correctly collapses the tail probability to ~0.
-double binomialHitProbability(uint64_t D, double P, uint32_t A) {
-  if (D < A)
-    return 1.0; // At most D intervening lines can map to the set.
-  double Term = std::exp(static_cast<double>(D) * std::log1p(-P));
-  double Cdf = Term;
-  const double Odds = P / (1.0 - P);
-  for (uint32_t K = 0; K + 1 < A; ++K) {
-    Term *= static_cast<double>(D - K) / static_cast<double>(K + 1) * Odds;
-    Cdf += Term;
-  }
-  return std::min(Cdf, 1.0);
 }
 
 } // namespace
@@ -87,17 +71,10 @@ double MissRatioCurve::missRatioAt(const CacheGeometry &Geometry) const {
 }
 
 double MissRatioCurve::modelMissRatioAt(const CacheGeometry &Geometry) const {
-  if (Geometry.numSets() == 1)
-    return missRatioAtLines(Geometry.numLines());
-  const uint64_t Refs = scaledRefs();
-  if (Refs == 0)
-    return 0.0;
-  const double P = 1.0 / static_cast<double>(Geometry.numSets());
-  double Hits = 0.0;
-  for (const auto &[Distance, Weight] : StackDistances.buckets())
-    Hits += static_cast<double>(Weight) *
-            binomialHitProbability(Distance, P, Geometry.associativity());
-  return (static_cast<double>(Refs) - Hits) / static_cast<double>(Refs);
+  // One code path with the static reuse-profile estimator: both curves
+  // read out through sim/MrcModel's Hill–Smith implementation.
+  return modelMissRatioFromStack(StackDistances, ColdWeight, scaledRefs(),
+                                 Geometry);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,56 @@
+//===- sim/MrcModel.cpp - Shared stack-distance miss-ratio model ---------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/MrcModel.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ccprof;
+
+double ccprof::binomialHitProbability(uint64_t D, double P, uint32_t A) {
+  if (D < A)
+    return 1.0; // At most D intervening lines can map to the set.
+  double Term = std::exp(static_cast<double>(D) * std::log1p(-P));
+  double Cdf = Term;
+  const double Odds = P / (1.0 - P);
+  for (uint32_t K = 0; K + 1 < A; ++K) {
+    Term *= static_cast<double>(D - K) / static_cast<double>(K + 1) * Odds;
+    Cdf += Term;
+  }
+  return std::min(Cdf, 1.0);
+}
+
+std::vector<CacheGeometry> ccprof::defaultMrcSweepGeometries() {
+  std::vector<CacheGeometry> Sweep;
+  Sweep.reserve(5);
+  for (uint64_t KiB : {8, 16, 32, 64, 128})
+    Sweep.emplace_back(KiB * 1024, 64, 8);
+  return Sweep;
+}
+
+double ccprof::modelMissRatioFromStack(const Histogram &Distances,
+                                       uint64_t ColdWeight,
+                                       uint64_t TotalRefs,
+                                       const CacheGeometry &Geometry) {
+  if (TotalRefs == 0)
+    return 0.0;
+  if (Geometry.numSets() == 1) {
+    const uint64_t Hits = Distances.countBelow(Geometry.numLines());
+    return static_cast<double>(TotalRefs - std::min(Hits, TotalRefs)) /
+           static_cast<double>(TotalRefs);
+  }
+  (void)ColdWeight; // Cold misses are TotalRefs minus the hit weight.
+  const double P = 1.0 / static_cast<double>(Geometry.numSets());
+  double Hits = 0.0;
+  for (const auto &[Distance, Weight] : Distances.buckets())
+    Hits += static_cast<double>(Weight) *
+            binomialHitProbability(Distance, P, Geometry.associativity());
+  Hits = std::min(Hits, static_cast<double>(TotalRefs));
+  return (static_cast<double>(TotalRefs) - Hits) /
+         static_cast<double>(TotalRefs);
+}

@@ -1,0 +1,64 @@
+//===- sim/MrcModel.h - Shared stack-distance miss-ratio model -*- C++ -*-===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Hill–Smith readout that turns a *global* stack-distance
+/// histogram into a predicted miss ratio for any (sets, ways) cache
+/// geometry: a reuse of global distance D hits an S-set A-way LRU cache
+/// with probability P(Binomial(D, 1/S) < A), the probability that fewer
+/// than A of the D intervening distinct lines land in the reused line's
+/// set under uniform mapping.
+///
+/// This is deliberately a free function over (histogram, cold weight,
+/// total refs) rather than a MissRatioCurve method: the measured MRC
+/// engine (sim/MrcEngine) and the static reuse-profile estimator
+/// (analysis/ReuseProfileEstimator) both read their curves through this
+/// one implementation, so a predicted-vs-measured comparison scores the
+/// *profiles* against each other with zero model skew.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCPROF_SIM_MRCMODEL_H
+#define CCPROF_SIM_MRCMODEL_H
+
+#include "sim/CacheGeometry.h"
+#include "support/Histogram.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ccprof {
+
+/// P(Binomial(D, P) <= A - 1): the Hill–Smith probability that a reuse
+/// of global stack distance \p D hits an (S = 1/P sets, \p A ways)
+/// cache. Iterative term recurrence, O(A) per call; underflow of the
+/// leading (1-P)^D term correctly collapses the tail probability to ~0.
+double binomialHitProbability(uint64_t D, double P, uint32_t A);
+
+/// Model miss ratio of a reference stream summarized as a global
+/// stack-distance histogram (finite distances, in distinct lines of the
+/// geometry's line size) plus \p ColdWeight first-touch references, out
+/// of \p TotalRefs references. Single-set geometries use the exact
+/// stack threshold (distance < lines is a hit); multi-set geometries
+/// apply the binomial set-mapping model per bucket. Cold references
+/// always miss; references missing from the histogram (TotalRefs >
+/// ColdWeight + histogram total) are treated as cold.
+double modelMissRatioFromStack(const Histogram &Distances,
+                               uint64_t ColdWeight, uint64_t TotalRefs,
+                               const CacheGeometry &Geometry);
+
+/// The default geometry ladder MRC consumers sample when no explicit
+/// geometry list is given: an L1 capacity sweep (8..128 KiB) around
+/// the paper's 32KiB/64B/8-way point. Shared by the `mrc` and
+/// `analyze --mrc` commands, `batch --mrc`, and the static screening
+/// stability guard, so every predicted-vs-measured comparison scores
+/// the same points.
+std::vector<CacheGeometry> defaultMrcSweepGeometries();
+
+} // namespace ccprof
+
+#endif // CCPROF_SIM_MRCMODEL_H

@@ -21,6 +21,9 @@
 
 #include "gtest/gtest.h"
 
+#include <iterator>
+#include <set>
+
 namespace {
 
 using namespace ccprof;
@@ -126,6 +129,90 @@ TEST(ConsistencyCheckerTest, UncoveredLoopIsMeasuredOnly) {
   ASSERT_NE(Loop, nullptr);
   EXPECT_EQ(Loop->Verdict, ConsistencyVerdict::MeasuredOnly);
   EXPECT_TRUE(Report.consistent());
+}
+
+/// Every verdict enumerator names itself and parses back to itself;
+/// the names are what `analyze --json` serializes, so a collision or
+/// an "unknown" leak would corrupt stored reports.
+TEST(ConsistencyCheckerTest, VerdictNamesRoundTrip) {
+  const ConsistencyVerdict All[] = {
+      ConsistencyVerdict::ConfirmedConflict,
+      ConsistencyVerdict::ConfirmedClean, ConsistencyVerdict::StaticOnly,
+      ConsistencyVerdict::MeasuredOnly, ConsistencyVerdict::Contradicted};
+  std::set<std::string> Names;
+  for (ConsistencyVerdict Verdict : All) {
+    const std::string Name = consistencyVerdictName(Verdict);
+    EXPECT_FALSE(Name.empty());
+    EXPECT_NE(Name, "unknown");
+    ConsistencyVerdict Parsed;
+    ASSERT_TRUE(consistencyVerdictFromName(Name, Parsed)) << Name;
+    EXPECT_EQ(Parsed, Verdict) << Name;
+    Names.insert(Name);
+  }
+  EXPECT_EQ(Names.size(), std::size(All)) << "verdict names collide";
+  ConsistencyVerdict Unused;
+  EXPECT_FALSE(consistencyVerdictFromName("no-such-verdict", Unused));
+  EXPECT_FALSE(consistencyVerdictFromName("unknown", Unused));
+}
+
+/// Quantitative join: a truthful model's predicted MRC tracks the
+/// measured curve, and its divergence stays far under the
+/// contradiction threshold.
+TEST(ConsistencyCheckerTest, TruthfulModelMrcScoresSmall) {
+  BinaryImage Image = kernelImage();
+  ProgramStructure Structure(Image);
+  const Trace T = canonicalizeTrace(recordColumnWalk());
+  ProfileResult Measured = Profiler().profileExact(T, Structure);
+  StaticConflictAnalyzer Analyzer;
+  StaticAnalysisResult Static =
+      Analyzer.analyze(kernelModel(RowStride), &Structure);
+  ASSERT_TRUE(Static.ReuseEstimated);
+  ASSERT_FALSE(Static.ProgramMrc.empty());
+
+  const MeasuredCurves Curves = ConsistencyChecker::measuredCurvesFromTrace(
+      T, &Structure, Analyzer.options().Geometry);
+  ConsistencyChecker Checker;
+  ConsistencyReport Report = Checker.check(Static, Measured, &Curves);
+  EXPECT_TRUE(Report.consistent());
+  ASSERT_TRUE(Report.HasProgramMrc);
+  EXPECT_LE(Report.ProgramMrcMaxAbsError,
+            Checker.options().MrcContradictionThreshold);
+  EXPECT_FALSE(Report.ProgramMrcContradicted);
+  const LoopConsistency *Loop = Report.byLocation("sim.cpp:10");
+  ASSERT_NE(Loop, nullptr);
+  ASSERT_TRUE(Loop->HasMrc);
+  EXPECT_GT(Loop->MrcPoints, 0u);
+  EXPECT_LE(Loop->MrcMaxAbsError, Checker.options().MrcContradictionThreshold);
+  EXPECT_LE(Loop->MrcMeanAbsError, Loop->MrcMaxAbsError);
+}
+
+/// A model that mis-states the *footprint* — it claims the loop cycles
+/// over 8 rows when the trace walks 500 — predicts near-perfect reuse
+/// while the measurement misses heavily: the quantitative check must
+/// contradict it even though stack-distance curves are blind to set
+/// placement.
+TEST(ConsistencyCheckerTest, MisModeledFootprintIsMrcContradicted) {
+  BinaryImage Image = kernelImage();
+  ProgramStructure Structure(Image);
+  const Trace T = canonicalizeTrace(recordColumnWalk());
+  ProfileResult Measured = Profiler().profileExact(T, Structure);
+
+  StaticAccessModel Lying = kernelModel(RowStride);
+  Lying.Accesses[0].Levels = {{Sweeps * (Rows / 8), 0}, {8, RowStride}};
+  StaticConflictAnalyzer Analyzer;
+  StaticAnalysisResult Static = Analyzer.analyze(Lying, &Structure);
+  ASSERT_TRUE(Static.ReuseEstimated);
+
+  const MeasuredCurves Curves = ConsistencyChecker::measuredCurvesFromTrace(
+      T, &Structure, Analyzer.options().Geometry);
+  ConsistencyReport Report =
+      ConsistencyChecker().check(Static, Measured, &Curves);
+  EXPECT_FALSE(Report.consistent());
+  ASSERT_TRUE(Report.HasProgramMrc);
+  EXPECT_TRUE(Report.ProgramMrcContradicted);
+  const LoopConsistency *Loop = Report.byLocation("sim.cpp:10");
+  ASSERT_NE(Loop, nullptr);
+  EXPECT_EQ(Loop->Verdict, ConsistencyVerdict::Contradicted);
 }
 
 /// The imbalance-bar rule both sides share: victims are sets whose

@@ -671,6 +671,96 @@ TEST(StaticScreenTest, SkipsProvenCleanJobsAndKeepsRestByteIdentical) {
   EXPECT_EQ(Stats.StaticSkipped, 2u);
 }
 
+TEST(StaticScreenTest, SweepScreenSkipsWholeGroupsAcrossConfigSweep) {
+  // A multi-period, multi-repeat sweep over statically clean groups
+  // must skip every L1 job of the sweep — the whole group, so no trace
+  // is ever generated — while L2 jobs of the same groups still run and
+  // stay byte-identical to the unscreened run.
+  BatchMatrix Matrix;
+  Matrix.Workloads = {"Symmetrization", "NW"};
+  Matrix.Variants = {WorkloadVariant::Optimized};
+  Matrix.Periods = {606, 1212};
+  Matrix.Levels = {ProfileLevel::L1, ProfileLevel::L2};
+  Matrix.Repeats = 2;
+  std::vector<JobSpec> Jobs = expandMatrix(Matrix);
+
+  BatchExecOptions Plain;
+  Plain.Workers = 2;
+  std::vector<JobOutcome> Unscreened = runJobsShared(Jobs, Plain);
+
+  BatchExecOptions Screen = Plain;
+  Screen.StaticScreen = true;
+  SharedBatchStats Stats;
+  std::vector<JobOutcome> Screened =
+      runJobsShared(Jobs, Screen, 0, nullptr, nullptr, &Stats);
+
+  for (size_t I = 0; I < Screened.size(); ++I) {
+    ASSERT_TRUE(Screened[I].ok()) << Screened[I].Error;
+    if (Jobs[I].Level == ProfileLevel::L1) {
+      EXPECT_TRUE(Screened[I].Skipped)
+          << Jobs[I].key() << " survived a clean sweep screen";
+    } else {
+      EXPECT_FALSE(Screened[I].Skipped) << Jobs[I].key();
+      EXPECT_EQ(serialize(Screened[I].Artifact),
+                serialize(Unscreened[I].Artifact))
+          << Jobs[I].key() << " changed bytes under --static-screen";
+    }
+  }
+  // Every period/repeat variant of both groups' L1 jobs skipped.
+  EXPECT_EQ(Stats.StaticSkipped, 2u * 2u * 2u);
+  EXPECT_EQ(Stats.StaticScreenedGroups, 0u) << "L2 jobs still ran";
+
+  // The same sweep without L2 jobs skips the groups outright.
+  Matrix.Levels = {ProfileLevel::L1};
+  std::vector<JobSpec> L1Jobs = expandMatrix(Matrix);
+  SharedBatchStats L1Stats;
+  std::vector<JobOutcome> L1Screened =
+      runJobsShared(L1Jobs, Screen, 0, nullptr, nullptr, &L1Stats);
+  for (const JobOutcome &Outcome : L1Screened)
+    EXPECT_TRUE(Outcome.Skipped) << Outcome.Job.key();
+  EXPECT_EQ(L1Stats.StaticScreenedGroups, 2u);
+}
+
+TEST(StaticScreenTest, ScreenedVerdictsMatchUnscreenedOnCaseStudies) {
+  // Outcome equality on the full case-study suite, both variants: a
+  // job the screen skips must be one whose unscreened artifact finds
+  // no conflicts (skip-soundness), and a job the screen runs must be
+  // byte-identical to its unscreened twin.
+  BatchMatrix Matrix;
+  Matrix.Workloads = defaultBatchWorkloads();
+  Matrix.Variants = {WorkloadVariant::Original, WorkloadVariant::Optimized};
+  std::vector<JobSpec> Jobs = expandMatrix(Matrix);
+
+  BatchExecOptions Plain;
+  Plain.Workers = 4;
+  std::vector<JobOutcome> Unscreened = runJobsShared(Jobs, Plain);
+
+  BatchExecOptions Screen = Plain;
+  Screen.StaticScreen = true;
+  SharedBatchStats Stats;
+  std::vector<JobOutcome> Screened =
+      runJobsShared(Jobs, Screen, 0, nullptr, nullptr, &Stats);
+
+  for (size_t I = 0; I < Screened.size(); ++I) {
+    ASSERT_TRUE(Screened[I].ok()) << Screened[I].Error;
+    ASSERT_TRUE(Unscreened[I].ok()) << Unscreened[I].Error;
+    if (Screened[I].Skipped) {
+      for (const LoopConflictReport &Loop :
+           Unscreened[I].Artifact.Result.Loops)
+        EXPECT_FALSE(Loop.ConflictPredicted)
+            << Jobs[I].key() << " was skipped but the unscreened run "
+            << "finds a conflict in " << Loop.Location;
+    } else {
+      EXPECT_EQ(serialize(Screened[I].Artifact),
+                serialize(Unscreened[I].Artifact))
+          << Jobs[I].key() << " changed bytes under --static-screen";
+    }
+  }
+  // The screen must actually fire on this suite (optimized variants
+  // are clean by construction), or the soundness check is vacuous.
+  EXPECT_GT(Stats.StaticSkipped, 0u);
+}
+
 TEST(StaticScreenTest, NeverSkipsOriginalVariants) {
   // Every case-study original must survive screening — a screen that
   // skips a known-conflicting configuration would be unsound.

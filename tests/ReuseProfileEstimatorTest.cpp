@@ -1,0 +1,144 @@
+//===- tests/ReuseProfileEstimatorTest.cpp - Analytic profile tests ------===//
+//
+// Part of the CCProf reproduction project.
+// SPDX-License-Identifier: MIT
+//
+//===----------------------------------------------------------------------===//
+//
+// Validates the trace-free reuse-profile estimator against exact
+// traced curves. Both sides read out through the same Hill–Smith
+// model (sim/MrcModel), so any error measured here is purely the
+// analytic histogram's — the documented 0.05 bound of DESIGN.md §11.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/ReuseProfileEstimator.h"
+#include "sim/MrcEngine.h"
+#include "trace/Canonicalize.h"
+#include "trace/Trace.h"
+#include "workloads/Workload.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace ccprof;
+
+namespace {
+
+/// The default analyze --mrc sweep: L1-dense capacities plus the L2
+/// point, all at the paper's 64 B / 8-way shape.
+std::vector<CacheGeometry> sweepGeometries() {
+  std::vector<CacheGeometry> Geoms;
+  for (uint64_t Kb : {8, 16, 32, 64, 128})
+    Geoms.emplace_back(Kb * 1024, 64, 8);
+  Geoms.emplace_back(256 * 1024, 64, 8);
+  return Geoms;
+}
+
+struct WorkloadCase {
+  const char *Name;
+  WorkloadVariant Variant;
+};
+
+std::string caseLabel(const WorkloadCase &C) {
+  return std::string(C.Name) + "/" +
+         (C.Variant == WorkloadVariant::Original ? "orig" : "opt");
+}
+
+} // namespace
+
+TEST(ReuseProfileEstimatorTest, EmptyModelIsInvalid) {
+  const ReuseProfileEstimate E =
+      ReuseProfileEstimator().estimate(StaticAccessModel{});
+  EXPECT_FALSE(E.Valid);
+  EXPECT_EQ(E.Program.TotalRefs, 0u);
+}
+
+TEST(ReuseProfileEstimatorTest, TotalsMatchModelExactly) {
+  // A Complete model describes every recorded access, so the analytic
+  // profile's denominator must equal the descriptor totals exactly.
+  for (const char *Name : {"Symmetrization", "NW", "MKL-FFT", "ADI",
+                           "Tiny-DNN", "Kripke", "HimenoBMT"}) {
+    const std::unique_ptr<Workload> W = makeWorkloadByName(Name);
+    ASSERT_NE(W, nullptr) << Name;
+    const StaticAccessModel Model =
+        W->accessModel(WorkloadVariant::Original);
+    if (Model.empty())
+      continue;
+    uint64_t Expected = 0;
+    for (const AccessDescriptor &D : Model.Accesses)
+      Expected += D.totalAccesses();
+    const ReuseProfileEstimate E = ReuseProfileEstimator().estimate(Model);
+    EXPECT_TRUE(E.Valid) << Name;
+    EXPECT_EQ(E.Program.TotalRefs, Expected) << Name;
+    uint64_t PerLineSum = 0;
+    for (const auto &[Line, Profile] : E.PerLine)
+      PerLineSum += Profile.TotalRefs;
+    EXPECT_EQ(PerLineSum, Expected) << Name;
+  }
+}
+
+TEST(ReuseProfileEstimatorTest, DeterministicAcrossRuns) {
+  const std::unique_ptr<Workload> W = makeWorkloadByName("HimenoBMT");
+  ASSERT_NE(W, nullptr);
+  const StaticAccessModel Model = W->accessModel(WorkloadVariant::Original);
+  ASSERT_FALSE(Model.empty());
+  const ReuseProfileEstimate A = ReuseProfileEstimator().estimate(Model);
+  const ReuseProfileEstimate B = ReuseProfileEstimator().estimate(Model);
+  ASSERT_EQ(A.PerLine.size(), B.PerLine.size());
+  EXPECT_EQ(A.Program.ColdRefs, B.Program.ColdRefs);
+  EXPECT_EQ(A.Program.Stack.buckets(), B.Program.Stack.buckets());
+}
+
+TEST(ReuseProfileEstimatorTest, ProgramCurveWithinBoundOfExact) {
+  const std::vector<CacheGeometry> Geoms = sweepGeometries();
+  const WorkloadCase Cases[] = {
+      {"Symmetrization", WorkloadVariant::Original},
+      {"Symmetrization", WorkloadVariant::Optimized},
+      {"NW", WorkloadVariant::Original},
+      {"NW", WorkloadVariant::Optimized},
+      {"MKL-FFT", WorkloadVariant::Original},
+      {"MKL-FFT", WorkloadVariant::Optimized},
+      {"ADI", WorkloadVariant::Original},
+      {"ADI", WorkloadVariant::Optimized},
+      {"Tiny-DNN", WorkloadVariant::Original},
+      {"Tiny-DNN", WorkloadVariant::Optimized},
+      {"Kripke", WorkloadVariant::Original},
+      {"Kripke", WorkloadVariant::Optimized},
+      {"HimenoBMT", WorkloadVariant::Original},
+      {"HimenoBMT", WorkloadVariant::Optimized},
+  };
+  for (const WorkloadCase &C : Cases) {
+    const std::unique_ptr<Workload> W = makeWorkloadByName(C.Name);
+    ASSERT_NE(W, nullptr) << C.Name;
+    const StaticAccessModel Model = W->accessModel(C.Variant);
+    if (Model.empty())
+      continue;
+
+    Trace Recorded;
+    W->run(C.Variant, &Recorded);
+    const Trace T = canonicalizeTrace(Recorded);
+    const MissRatioCurve Exact = MrcEngine::compute(T, MrcOptions{});
+
+    const ReuseProfileEstimate E = ReuseProfileEstimator().estimate(Model);
+    ASSERT_TRUE(E.Valid) << caseLabel(C);
+    // Complete models are count-faithful to within the models'
+    // documented small-term elisions (boundary iterations).
+    if (Model.Complete)
+      EXPECT_NEAR(static_cast<double>(E.Program.TotalRefs),
+                  static_cast<double>(T.size()),
+                  0.01 * static_cast<double>(T.size()))
+          << caseLabel(C);
+
+    for (const CacheGeometry &G : Geoms) {
+      const double Predicted = E.Program.missRatioAt(G);
+      const double Measured = Exact.modelMissRatioAt(G);
+      EXPECT_NEAR(Predicted, Measured, 0.05)
+          << caseLabel(C) << " at " << G.describe();
+    }
+  }
+}

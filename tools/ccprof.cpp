@@ -151,11 +151,14 @@ void printUsage(std::ostream &Out) {
          "  --shards K                force K set shards per simulation "
          "(default:\n"
          "                            one per granted thread)\n"
-         "  --static-screen           skip simulating L1 jobs whose "
-         "(workload,\n"
-         "                            variant) the static analyzer proves\n"
-         "                            conflict-free; non-skipped artifacts "
-         "are\n"
+         "  --static-screen           skip a group's L1 jobs when the "
+         "static\n"
+         "                            analyzer proves every requested L1\n"
+         "                            geometry conflict-free and the "
+         "analytic\n"
+         "                            reuse curve is stable around each "
+         "swept\n"
+         "                            point; non-skipped artifacts are\n"
          "                            byte-identical to an unscreened run\n"
          "  --mrc                     answer each group's L1 LRU jobs with "
          "one\n"
@@ -220,6 +223,17 @@ void printUsage(std::ostream &Out) {
          "  --threshold N             short-RCD threshold (default 8)\n"
          "  --json                    emit the prediction as JSON\n"
          "  --artifact FILE           cross-check against a stored profile\n"
+         "  --mrc                     also emit analytically predicted "
+         "per-loop\n"
+         "                            and program miss-ratio curves; with\n"
+         "                            --artifact, score them against "
+         "measured\n"
+         "                            stack distances (quantitative check)\n"
+         "  --geoms G1,G2,..          SIZE/LINE/WAYS points the predicted "
+         "curves\n"
+         "                            are read out at (implies --mrc; "
+         "default\n"
+         "                            sweep 8K..128K at 64/8)\n"
          "\n"
          "validate options:\n"
          "  --clean-temps             delete stale .ccpa.tmp leftovers "
@@ -389,6 +403,30 @@ int commandList() {
   return 0;
 }
 
+/// Every name makeWorkloadByName accepts, comma-joined for error
+/// messages (the `list` command renders the full table).
+std::string availableWorkloadNames() {
+  std::string Out = "Symmetrization";
+  for (const auto &W : makeCaseStudySuite())
+    Out += ", " + W->name();
+  for (const auto &W : makeRodiniaSuite()) {
+    if (W->name() == "NW")
+      continue; // Already listed with the case studies.
+    Out += ", " + W->name();
+  }
+  return Out;
+}
+
+/// Shared workload lookup of the trace/analyze/profile/mrc commands:
+/// resolves \p Name or prints the available names on stderr.
+std::unique_ptr<Workload> lookupWorkload(const std::string &Name) {
+  std::unique_ptr<Workload> W = makeWorkloadByName(Name);
+  if (!W)
+    std::cerr << "error: unknown workload '" << Name
+              << "'; available: " << availableWorkloadNames() << '\n';
+  return W;
+}
+
 ProfileResult runPipeline(const Workload &W, const Trace &T,
                           const CliOptions &Options) {
   BinaryImage Image = W.makeBinary();
@@ -418,12 +456,9 @@ void emitResult(const ProfileResult &Result, const std::string &Name,
 }
 
 int commandProfile(const std::string &Name, const CliOptions &Options) {
-  std::unique_ptr<Workload> W = makeWorkloadByName(Name);
-  if (!W) {
-    std::cerr << "error: unknown workload '" << Name
-              << "' (try: ccprof list)\n";
+  std::unique_ptr<Workload> W = lookupWorkload(Name);
+  if (!W)
     return 1;
-  }
   Trace T;
   W->run(Options.Optimized ? WorkloadVariant::Optimized
                            : WorkloadVariant::Original,
@@ -433,11 +468,9 @@ int commandProfile(const std::string &Name, const CliOptions &Options) {
 }
 
 int commandCompare(const std::string &Name, const CliOptions &Options) {
-  std::unique_ptr<Workload> W = makeWorkloadByName(Name);
-  if (!W) {
-    std::cerr << "error: unknown workload '" << Name << "'\n";
+  std::unique_ptr<Workload> W = lookupWorkload(Name);
+  if (!W)
     return 1;
-  }
   for (WorkloadVariant Variant :
        {WorkloadVariant::Original, WorkloadVariant::Optimized}) {
     Trace T;
@@ -455,11 +488,9 @@ int commandCompare(const std::string &Name, const CliOptions &Options) {
 
 int commandTrace(const std::string &Name, const std::string &Path,
                  const CliOptions &Options) {
-  std::unique_ptr<Workload> W = makeWorkloadByName(Name);
-  if (!W) {
-    std::cerr << "error: unknown workload '" << Name << "'\n";
+  std::unique_ptr<Workload> W = lookupWorkload(Name);
+  if (!W)
     return 1;
-  }
   Trace T;
   W->run(Options.Optimized ? WorkloadVariant::Optimized
                            : WorkloadVariant::Original,
@@ -475,11 +506,9 @@ int commandTrace(const std::string &Name, const std::string &Path,
 
 int commandAnalyze(const std::string &Path, const std::string &Name,
                    const CliOptions &Options) {
-  std::unique_ptr<Workload> W = makeWorkloadByName(Name);
-  if (!W) {
-    std::cerr << "error: unknown workload '" << Name << "'\n";
+  std::unique_ptr<Workload> W = lookupWorkload(Name);
+  if (!W)
     return 1;
-  }
   std::ifstream In(Path, std::ios::binary);
   if (!In) {
     std::cerr << "error: cannot open " << Path << '\n';
@@ -549,15 +578,60 @@ void emitStaticText(const StaticAnalysisResult &Result,
             << '\n';
 }
 
+/// Short "32K/64/8" label for MRC tables and JSON.
+std::string geometryLabel(const CacheGeometry &G) {
+  return std::to_string(G.sizeBytes() / 1024) + "K/" +
+         std::to_string(G.lineBytes()) + "/" +
+         std::to_string(G.associativity());
+}
+
+std::string mrcPointsJson(const std::vector<PredictedMrcPoint> &Points) {
+  std::string Out = "[";
+  for (size_t I = 0; I < Points.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += "{\"geometry\": \"" + geometryLabel(Points[I].Geometry) +
+           "\", \"miss_ratio\": " + fmt::fixed(Points[I].MissRatio, 6) + "}";
+  }
+  return Out + "]";
+}
+
+void emitPredictedMrcText(const StaticAnalysisResult &Result) {
+  std::cout << "=== predicted miss-ratio curves (analytic) ===\n";
+  std::vector<std::string> Header{"loop"};
+  for (const PredictedMrcPoint &Point : Result.ProgramMrc)
+    Header.push_back(geometryLabel(Point.Geometry));
+  TextTable Table(Header);
+  for (const LoopPrediction &Loop : Result.Loops) {
+    std::vector<std::string> Row{Loop.Location};
+    for (const PredictedMrcPoint &Point : Loop.PredictedMrc)
+      Row.push_back(fmt::fixed(Point.MissRatio, 4));
+    Table.addRow(Row);
+  }
+  std::vector<std::string> Program{"<program>"};
+  for (const PredictedMrcPoint &Point : Result.ProgramMrc)
+    Program.push_back(fmt::fixed(Point.MissRatio, 4));
+  Table.addSeparator();
+  Table.addRow(Program);
+  std::cout << Table.render();
+  if (!Result.ReuseExactPlacement)
+    std::cout << "note: placement is partly synthetic — curves are "
+                 "approximate\n";
+}
+
 void emitStaticJson(const StaticAnalysisResult &Result,
                     const std::string &Name,
-                    const ConsistencyReport *Consistency) {
+                    const ConsistencyReport *Consistency, bool ShowMrc) {
   std::ostream &Out = std::cout;
   Out << "{\n  \"workload\": \"" << Name << "\",\n"
       << "  \"model_complete\": "
       << (Result.ModelComplete ? "true" : "false") << ",\n"
       << "  \"conflict_free\": "
       << (Result.conflictFree() ? "true" : "false") << ",\n"
+      << "  \"reuse_estimated\": "
+      << (Result.ReuseEstimated ? "true" : "false") << ",\n"
+      << "  \"reuse_exact_placement\": "
+      << (Result.ReuseExactPlacement ? "true" : "false") << ",\n"
       << "  \"total_accesses\": " << Result.TotalAccesses << ",\n"
       << "  \"predicted_misses\": " << Result.PredictedMisses << ",\n"
       << "  \"loops\": [\n";
@@ -575,25 +649,42 @@ void emitStaticJson(const StaticAnalysisResult &Result,
         << ", \"conflict\": " << (Loop.ConflictPredicted ? "true" : "false")
         << ", \"exact_placement\": "
         << (Loop.ExactPlacement ? "true" : "false") << ", \"truncated\": "
-        << (Loop.Truncated ? "true" : "false") << "}"
-        << (I + 1 < Result.Loops.size() ? "," : "") << '\n';
+        << (Loop.Truncated ? "true" : "false");
+    if (ShowMrc)
+      Out << ", \"predicted_mrc\": " << mrcPointsJson(Loop.PredictedMrc);
+    Out << "}" << (I + 1 < Result.Loops.size() ? "," : "") << '\n';
   }
   Out << "  ]";
+  if (ShowMrc)
+    Out << ",\n  \"predicted_mrc\": " << mrcPointsJson(Result.ProgramMrc);
   if (Consistency) {
     Out << ",\n  \"consistency\": {\n    \"consistent\": "
         << (Consistency->consistent() ? "true" : "false")
         << ",\n    \"confirmed\": " << Consistency->Confirmed
         << ", \"static_only\": " << Consistency->StaticOnly
         << ", \"measured_only\": " << Consistency->MeasuredOnly
-        << ", \"contradicted\": " << Consistency->Contradicted
-        << ",\n    \"loops\": [\n";
+        << ", \"contradicted\": " << Consistency->Contradicted;
+    if (Consistency->HasProgramMrc)
+      Out << ",\n    \"program_mrc_max_abs_error\": "
+          << fmt::fixed(Consistency->ProgramMrcMaxAbsError, 6)
+          << ", \"program_mrc_mean_abs_error\": "
+          << fmt::fixed(Consistency->ProgramMrcMeanAbsError, 6)
+          << ", \"program_mrc_contradicted\": "
+          << (Consistency->ProgramMrcContradicted ? "true" : "false");
+    Out << ",\n    \"loops\": [\n";
     for (size_t I = 0; I < Consistency->Loops.size(); ++I) {
       const LoopConsistency &Loop = Consistency->Loops[I];
       Out << "      {\"loop\": \"" << Loop.Location << "\", \"verdict\": \""
           << consistencyVerdictName(Loop.Verdict)
           << "\", \"victim_agreement\": "
-          << fmt::fixed(Loop.VictimSetAgreement, 4) << "}"
-          << (I + 1 < Consistency->Loops.size() ? "," : "") << '\n';
+          << fmt::fixed(Loop.VictimSetAgreement, 4);
+      if (Loop.HasMrc)
+        Out << ", \"mrc_points\": " << Loop.MrcPoints
+            << ", \"mrc_max_abs_error\": "
+            << fmt::fixed(Loop.MrcMaxAbsError, 6)
+            << ", \"mrc_mean_abs_error\": "
+            << fmt::fixed(Loop.MrcMeanAbsError, 6);
+      Out << "}" << (I + 1 < Consistency->Loops.size() ? "," : "") << '\n';
     }
     Out << "    ]\n  }";
   }
@@ -625,18 +716,26 @@ void emitConsistencyText(const ConsistencyReport &Report) {
                  "count, or allocation\n";
 }
 
+bool parseGeometrySpec(const std::string &Spec,
+                       std::vector<CacheGeometry> &Out, std::string &Error);
+std::vector<std::string> splitList(const std::string &Value);
+
 int commandStaticAnalyze(const std::string &Name,
                          const std::vector<std::string> &Args) {
-  bool Optimized = false, Json = false;
+  bool Optimized = false, Json = false, Mrc = false;
   uint64_t Threshold = ConflictClassifier::DefaultRcdThreshold;
   std::string ArtifactPath;
+  std::vector<CacheGeometry> Geoms;
   for (size_t I = 0; I < Args.size(); ++I) {
     const std::string &Arg = Args[I];
     if (Arg == "--optimized") {
       Optimized = true;
     } else if (Arg == "--json") {
       Json = true;
-    } else if (Arg == "--threshold" || Arg == "--artifact") {
+    } else if (Arg == "--mrc") {
+      Mrc = true;
+    } else if (Arg == "--threshold" || Arg == "--artifact" ||
+               Arg == "--geoms") {
       if (I + 1 >= Args.size()) {
         std::cerr << "error: missing value for " << Arg << '\n';
         return 1;
@@ -644,6 +743,21 @@ int commandStaticAnalyze(const std::string &Name,
       const std::string Value = Args[++I];
       if (Arg == "--artifact") {
         ArtifactPath = Value;
+      } else if (Arg == "--geoms") {
+        Mrc = true; // --geoms implies --mrc
+        std::string Error;
+        for (const std::string &Spec : splitList(Value))
+          if (!parseGeometrySpec(Spec, Geoms, Error)) {
+            std::cerr << "error: bad --geoms entry '" << Spec
+                      << "': " << Error << '\n';
+            return 1;
+          }
+        if (Geoms.empty()) {
+          std::cerr << "error: --geoms needs at least one SIZE/LINE/WAYS "
+                       "spec (got '"
+                    << Value << "')\n";
+          return 1;
+        }
       } else {
         if (!parseUnsignedArg(Value, Threshold) || Threshold == 0) {
           std::cerr << "error: --threshold must be a positive integer "
@@ -658,12 +772,9 @@ int commandStaticAnalyze(const std::string &Name,
     }
   }
 
-  std::unique_ptr<Workload> W = makeWorkloadByName(Name);
-  if (!W) {
-    std::cerr << "error: unknown workload '" << Name
-              << "' (try: ccprof list)\n";
+  std::unique_ptr<Workload> W = lookupWorkload(Name);
+  if (!W)
     return 1;
-  }
   const WorkloadVariant Variant =
       Optimized ? WorkloadVariant::Optimized : WorkloadVariant::Original;
   StaticAccessModel Model = W->accessModel(Variant);
@@ -677,6 +788,8 @@ int commandStaticAnalyze(const std::string &Name,
   ProgramStructure Structure(Image);
   StaticConflictAnalyzer::Options Opts;
   Opts.RcdThreshold = Threshold;
+  if (!Geoms.empty())
+    Opts.MrcGeometries = Geoms;
   StaticAnalysisResult Result =
       StaticConflictAnalyzer(Opts).analyze(Model, &Structure);
 
@@ -689,18 +802,43 @@ int commandStaticAnalyze(const std::string &Name,
       std::cerr << "error: " << Error << '\n';
       return 1;
     }
-    Consistency = ConsistencyChecker().check(Result, Artifact.Result);
+    if (Mrc) {
+      // Quantitative check: re-trace the workload and score the
+      // predicted curves against measured global stack distances.
+      Trace Recorded;
+      W->run(Variant, &Recorded);
+      const Trace T = canonicalizeTrace(Recorded);
+      const MeasuredCurves Curves = ConsistencyChecker::measuredCurvesFromTrace(
+          T, &Structure, Opts.Geometry);
+      Consistency = ConsistencyChecker().check(Result, Artifact.Result,
+                                               &Curves);
+    } else {
+      Consistency = ConsistencyChecker().check(Result, Artifact.Result);
+    }
     HaveConsistency = true;
   }
 
   if (Json) {
     emitStaticJson(Result, W->name(),
-                   HaveConsistency ? &Consistency : nullptr);
+                   HaveConsistency ? &Consistency : nullptr, Mrc);
   } else {
     emitStaticText(Result, W->name());
+    if (Mrc) {
+      std::cout << '\n';
+      emitPredictedMrcText(Result);
+    }
     if (HaveConsistency) {
       std::cout << '\n';
       emitConsistencyText(Consistency);
+      if (Consistency.HasProgramMrc)
+        std::cout << "program mrc divergence: max "
+                  << fmt::fixed(Consistency.ProgramMrcMaxAbsError, 4)
+                  << ", mean "
+                  << fmt::fixed(Consistency.ProgramMrcMeanAbsError, 4)
+                  << (Consistency.ProgramMrcContradicted
+                          ? " — CONTRADICTED"
+                          : "")
+                  << '\n';
     }
   }
   return HaveConsistency && !Consistency.consistent() ? 2 : 0;
@@ -1033,13 +1171,9 @@ int commandBatch(const std::string &Selection,
     Options.Matrix.Workloads = defaultBatchWorkloads();
   } else {
     Options.Matrix.Workloads = splitList(Selection);
-    for (const std::string &Name : Options.Matrix.Workloads) {
-      if (!makeWorkloadByName(Name)) {
-        std::cerr << "error: unknown workload '" << Name
-                  << "' (try: ccprof list)\n";
+    for (const std::string &Name : Options.Matrix.Workloads)
+      if (!lookupWorkload(Name))
         return 1;
-      }
-    }
   }
   if (Options.Matrix.Workloads.empty()) {
     std::cerr << "error: no workloads selected\n";
@@ -1188,7 +1322,9 @@ int commandBatch(const std::string &Selection,
                 << " reused (route once, replay many)";
     if (Options.StaticScreen)
       std::cout << "; static screen skipped " << Shared.StaticSkipped
-                << " job(s)";
+                << " job(s) (" << Shared.StaticScreenedGroups
+                << " whole group(s), " << Shared.StaticScreenRefusals
+                << " refusal(s))";
     if (Options.Mrc)
       std::cout << "; mrc: " << Shared.MrcGroups << " curve(s) answered "
                 << Shared.MrcRoutedJobs << " job(s) in one pass";
@@ -1607,12 +1743,9 @@ int commandMrc(const std::string &Name, const std::vector<std::string> &Args) {
                                }),
                    Geometries.end());
 
-  std::unique_ptr<Workload> W = makeWorkloadByName(Name);
-  if (!W) {
-    std::cerr << "error: unknown workload '" << Name
-              << "' (try: ccprof list)\n";
+  std::unique_ptr<Workload> W = lookupWorkload(Name);
+  if (!W)
     return 1;
-  }
   const WorkloadVariant Variant =
       Optimized ? WorkloadVariant::Optimized : WorkloadVariant::Original;
   Trace Recorded;
